@@ -1,0 +1,99 @@
+//! Experiment E13 — §6.1: "if a cell A appears a hundred times in a
+//! layout, a compactor operating on the final layout ... would be more
+//! computationally expensive than one which cleverly compacts the cell A
+//! only once ... These two factors can lead to orders of magnitude
+//! improvements in computation costs."
+//!
+//! Flat compaction of an n×n tiled array vs leaf compaction of the single
+//! cell (+ one pitch unknown). The flat cost grows with n²; the leaf cost
+//! is constant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsg_compact::leaf::{compact, LeafInterface, PitchKind};
+use rsg_compact::scanline::{generate, Method};
+use rsg_compact::solver::{solve, EdgeOrder};
+use rsg_geom::{Rect, Vector};
+use rsg_layout::{CellDefinition, Layer, Technology};
+use std::hint::black_box;
+
+/// The library cell: a loose two-bar poly/metal cell with compaction slack.
+fn leaf_cell() -> CellDefinition {
+    let mut c = CellDefinition::new("tile");
+    c.add_box(Layer::Poly, Rect::from_coords(2, 0, 8, 30));
+    c.add_box(Layer::Metal1, Rect::from_coords(16, 5, 28, 25));
+    c.add_box(Layer::Poly, Rect::from_coords(34, 0, 38, 30));
+    c
+}
+
+/// The flat view: the cell tiled n×n at its sample pitch.
+fn tiled(n: usize) -> Vec<(Layer, Rect)> {
+    let cell = leaf_cell();
+    let mut out = Vec::new();
+    for row in 0..n as i64 {
+        for col in 0..n as i64 {
+            let shift = Vector::new(col * 48, row * 36);
+            for (l, r) in cell.boxes() {
+                out.push((l, r.translate(shift)));
+            }
+        }
+    }
+    out
+}
+
+fn bench_flat_vs_leaf(c: &mut Criterion) {
+    let tech = Technology::mead_conway(2);
+    let interfaces = vec![
+        LeafInterface {
+            cell_a: 0,
+            cell_b: 0,
+            kind: PitchKind::VariableX { initial: 48, weight: 16 },
+            y_offset: 0,
+            name: "pitch_x".into(),
+        },
+        LeafInterface {
+            cell_a: 0,
+            cell_b: 0,
+            kind: PitchKind::FixedX(0),
+            y_offset: 36,
+            name: "pitch_y".into(),
+        },
+    ];
+
+    // Report the constraint-count table once.
+    for n in [2usize, 4, 8] {
+        let boxes = tiled(n);
+        let (sys, _) = generate(&boxes, &tech.rules, Method::Visibility);
+        println!(
+            "flat {n}x{n}: {} vars, {} constraints",
+            sys.num_vars(),
+            sys.constraints().len()
+        );
+    }
+    let leaf = compact(&[leaf_cell()], &interfaces, &tech.rules).unwrap();
+    println!(
+        "leaf: {} unknowns, {} constraints, pitch = {:?}",
+        leaf.unknowns, leaf.constraints, leaf.pitches
+    );
+
+    let mut group = c.benchmark_group("compaction/flat");
+    for n in [2usize, 4, 8, 16] {
+        let boxes = tiled(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &boxes, |b, boxes| {
+            b.iter(|| {
+                let (sys, _) = generate(boxes, &tech.rules, Method::Visibility);
+                black_box(solve(&sys, EdgeOrder::Sorted).unwrap().extent())
+            })
+        });
+    }
+    group.finish();
+
+    c.bench_function("compaction/leaf-once", |b| {
+        b.iter(|| {
+            let out = compact(&[leaf_cell()], &interfaces, &tech.rules).unwrap();
+            black_box(out.pitches)
+        })
+    });
+}
+
+criterion_group!(benches, bench_flat_vs_leaf);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Experiment E1 — the paper's headline timing (§4.5): "A 32×32
+//! Baugh-Wooley multiplier ... is generated in 5 seconds on a DEC-2060",
+//! with execution time "divided into roughly three equal parts: reading in
+//! the source file and building up the initial interface table, parsing
+//! and executing the design and parameter file, and writing the output
+//! file."
+//!
+//! The bench measures full generation at several sizes (shape: linear in
+//! cell count) and the three phases separately; the absolute numbers are
+//! ~4 decades faster than the DEC-2060.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn full_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplier/native");
+    for n in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let out = rsg_mult::generator::generate(black_box(n), black_box(n)).unwrap();
+                black_box(out.top)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn interpreted_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiplier/design-file");
+    for n in [8usize, 16, 32] {
+        let params = rsg_mult::parameter_file_source(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let run = rsg_lang::run_design(
+                    rsg_mult::cells::sample_layout(),
+                    rsg_mult::design_file_source(),
+                    &params,
+                )
+                .unwrap();
+                black_box(run.result)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn three_phases(c: &mut Criterion) {
+    // Phase 1: read the sample layout text + build the interface table.
+    let sample_text = {
+        let table = rsg_mult::cells::sample_layout();
+        let top = table.lookup("s_h").unwrap();
+        rsg_layout::write_rsgl(&table, top).unwrap()
+    };
+    c.bench_function("multiplier/phase1-read-sample-32", |b| {
+        b.iter(|| {
+            let (_table, _) = rsg_layout::read_rsgl(black_box(&sample_text)).unwrap();
+            let rsg = rsg_core::Rsg::from_sample(rsg_mult::cells::sample_layout()).unwrap();
+            black_box(rsg.interfaces().len())
+        })
+    });
+    // Phase 2: parse + execute the design/parameter files.
+    let params = rsg_mult::parameter_file_source(32, 32);
+    c.bench_function("multiplier/phase2-execute-32", |b| {
+        b.iter(|| {
+            let run = rsg_lang::run_design(
+                rsg_mult::cells::sample_layout(),
+                rsg_mult::design_file_source(),
+                &params,
+            )
+            .unwrap();
+            black_box(run.result)
+        })
+    });
+    // Phase 3: write the output file.
+    let out = rsg_mult::generator::generate(32, 32).unwrap();
+    c.bench_function("multiplier/phase3-write-cif-32", |b| {
+        b.iter(|| black_box(rsg_layout::write_cif(out.rsg.cells(), out.top).unwrap().len()))
+    });
+}
+
+criterion_group!(benches, full_generation, interpreted_generation, three_phases);
+criterion_main!(benches);

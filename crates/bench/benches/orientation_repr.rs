@@ -1,0 +1,124 @@
+//! Experiment E2 — §2.6's representation argument: the ℤ₄ × 𝔹 pair
+//! composes and inverts with a couple of integer operations, where "2×2
+//! matrices of real numbers ... require storage and manipulation of much
+//! more information than is needed [and] matrix composition and inversions
+//! are also relatively costly computationally."
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsg_geom::{Orientation, Vector};
+use std::hint::black_box;
+
+/// The baseline the paper argues against: straight 2×2 integer matrices.
+#[derive(Clone, Copy)]
+struct MatrixOrientation([[i64; 2]; 2]);
+
+impl MatrixOrientation {
+    fn compose(self, other: MatrixOrientation) -> MatrixOrientation {
+        let (a, b) = (self.0, other.0);
+        MatrixOrientation([
+            [a[0][0] * b[0][0] + a[0][1] * b[1][0], a[0][0] * b[0][1] + a[0][1] * b[1][1]],
+            [a[1][0] * b[0][0] + a[1][1] * b[1][0], a[1][0] * b[0][1] + a[1][1] * b[1][1]],
+        ])
+    }
+
+    fn inverse(self) -> MatrixOrientation {
+        // Orthogonal with determinant ±1: inverse = adjugate / det.
+        let m = self.0;
+        let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+        MatrixOrientation([
+            [m[1][1] / det, -m[0][1] / det],
+            [-m[1][0] / det, m[0][0] / det],
+        ])
+    }
+
+    fn apply(self, v: Vector) -> Vector {
+        Vector::new(
+            self.0[0][0] * v.x + self.0[0][1] * v.y,
+            self.0[1][0] * v.x + self.0[1][1] * v.y,
+        )
+    }
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let pairs: Vec<(Orientation, Orientation)> = Orientation::ALL
+        .iter()
+        .flat_map(|&a| Orientation::ALL.iter().map(move |&b| (a, b)))
+        .collect();
+    let matrix_pairs: Vec<(MatrixOrientation, MatrixOrientation)> = pairs
+        .iter()
+        .map(|&(a, b)| (MatrixOrientation(a.matrix()), MatrixOrientation(b.matrix())))
+        .collect();
+
+    c.bench_function("orientation/compose/z4xb", |bch| {
+        bch.iter(|| {
+            let mut acc = Orientation::NORTH;
+            for &(a, b) in &pairs {
+                acc = acc.compose(black_box(a).compose(black_box(b)));
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("orientation/compose/matrix", |bch| {
+        bch.iter(|| {
+            let mut acc = MatrixOrientation([[1, 0], [0, 1]]);
+            for &(a, b) in &matrix_pairs {
+                acc = acc.compose(black_box(a).compose(black_box(b)));
+            }
+            black_box(acc.0)
+        })
+    });
+}
+
+fn bench_inverse(c: &mut Criterion) {
+    c.bench_function("orientation/inverse/z4xb", |bch| {
+        bch.iter(|| {
+            let mut acc = 0i64;
+            for &o in &Orientation::ALL {
+                acc += black_box(o).inverse().matrix()[0][0];
+            }
+            black_box(acc)
+        })
+    });
+    let mats: Vec<MatrixOrientation> =
+        Orientation::ALL.iter().map(|o| MatrixOrientation(o.matrix())).collect();
+    c.bench_function("orientation/inverse/matrix", |bch| {
+        bch.iter(|| {
+            let mut acc = 0i64;
+            for &m in &mats {
+                acc += black_box(m).inverse().0[0][0];
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_apply(c: &mut Criterion) {
+    let vs: Vec<Vector> = (0..64).map(|k| Vector::new(k * 3 - 90, 17 - k)).collect();
+    c.bench_function("orientation/apply/z4xb", |bch| {
+        bch.iter(|| {
+            let mut acc = Vector::ZERO;
+            for &o in &Orientation::ALL {
+                for &v in &vs {
+                    acc += black_box(o).apply_vector(black_box(v));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    let mats: Vec<MatrixOrientation> =
+        Orientation::ALL.iter().map(|o| MatrixOrientation(o.matrix())).collect();
+    c.bench_function("orientation/apply/matrix", |bch| {
+        bch.iter(|| {
+            let mut acc = Vector::ZERO;
+            for &m in &mats {
+                for &v in &vs {
+                    acc += black_box(m).apply(black_box(v));
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_compose, bench_inverse, bench_apply);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Experiment E10 — §1.2.2: the RSG generates the same PLAs HPLA's
+//! relocation scheme does (identical geometry, cross-checked in tests);
+//! this bench compares the cost of the general mechanism against the
+//! hard-coded baseline, and exercises the decoder the baseline cannot
+//! express.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsg_hpla::{relocation_pla, rsg_decoder, rsg_pla, Personality};
+use std::hint::black_box;
+
+/// A synthetic n-input / n-output / 2n-product personality.
+fn synth(n: usize) -> Personality {
+    let rows: Vec<String> = (0..2 * n)
+        .map(|p| {
+            let cube: String = (0..n)
+                .map(|i| match (p + i) % 3 {
+                    0 => '1',
+                    1 => '0',
+                    _ => '-',
+                })
+                .collect();
+            let outs: String = (0..n).map(|o| if (p + o) % 2 == 0 { '1' } else { '0' }).collect();
+            format!("{cube} {outs}")
+        })
+        .collect();
+    let refs: Vec<&str> = rows.iter().map(String::as_str).collect();
+    Personality::parse(&refs, n, n).unwrap()
+}
+
+fn bench_pla(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pla");
+    for n in [4usize, 8, 16] {
+        let p = synth(n);
+        group.bench_with_input(BenchmarkId::new("rsg", n), &p, |b, p| {
+            b.iter(|| black_box(rsg_pla(p, "pla").unwrap().top))
+        });
+        group.bench_with_input(BenchmarkId::new("relocation", n), &p, |b, p| {
+            b.iter(|| black_box(relocation_pla(p, "pla_relo").1))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("decoder");
+    for n in [3usize, 5] {
+        group.bench_with_input(BenchmarkId::new("rsg", n), &n, |b, &n| {
+            b.iter(|| black_box(rsg_decoder(n, "dec").unwrap().top))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pla);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Experiment E15 — Figs 6.4–6.7: the band scan generates constraints for
+//! hidden edges (quadratic blow-up on fragmented layouts, and
+//! overconstraint); the visibility scan suppresses them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsg_compact::scanline::{generate, Method};
+use rsg_geom::Rect;
+use rsg_layout::{Layer, Technology};
+use std::hint::black_box;
+
+/// Fig 6.5's fragmented bus: n abutting diffusion fragments.
+fn fragmented(n: usize) -> Vec<(Layer, Rect)> {
+    (0..n as i64)
+        .map(|k| (Layer::Diffusion, Rect::from_coords(10 * k, 0, 10 * (k + 1), 4)))
+        .collect()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let rules = Technology::mead_conway(2).rules.clone();
+
+    // Constraint-count table (the measurable overconstraint).
+    for n in [8usize, 16, 32, 64] {
+        let boxes = fragmented(n);
+        let (band, _) = generate(&boxes, &rules, Method::Band);
+        let (vis, _) = generate(&boxes, &rules, Method::Visibility);
+        println!(
+            "fragmented bus n={n}: band={} constraints, visibility={}",
+            band.constraints().len(),
+            vis.constraints().len()
+        );
+    }
+
+    let mut group = c.benchmark_group("scanline");
+    for n in [8usize, 32, 64] {
+        let boxes = fragmented(n);
+        group.bench_with_input(BenchmarkId::new("band", n), &boxes, |b, boxes| {
+            b.iter(|| black_box(generate(boxes, &rules, Method::Band).0.constraints().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("visibility", n), &boxes, |b, boxes| {
+            b.iter(|| {
+                black_box(generate(boxes, &rules, Method::Visibility).0.constraints().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,206 @@
+//! The constraint representation of §6.3.
+//!
+//! Variables are the abscissas of vertical box edges; pitch variables λᵢ
+//! are the per-interface spacing unknowns of leaf-cell compaction. Every
+//! constraint is linear with at most two edge variables and at most one
+//! pitch term:
+//!
+//! ```text
+//! x_to − x_from + coeff·λ ≥ weight
+//! ```
+//!
+//! With no pitch term this is the classic difference constraint solvable
+//! by longest-path (Bellman-Ford); with pitch terms the system "cannot be
+//! solved by shortest path algorithms ... because the weights on the edges
+//! are not all constants" and goes to the LP solver instead.
+
+use std::fmt;
+
+/// Handle to an edge-position variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a pitch variable λᵢ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PitchId(pub(crate) usize);
+
+impl PitchId {
+    /// Raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One linear constraint `x_to − x_from + coeff·λ ≥ weight`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Constraint {
+    /// Variable on the positive side.
+    pub to: VarId,
+    /// Variable on the negative side.
+    pub from: VarId,
+    /// Required minimum separation.
+    pub weight: i64,
+    /// Optional pitch term `(λ, coefficient)`.
+    pub pitch: Option<(PitchId, i64)>,
+}
+
+/// A system of edge variables, pitch variables, and constraints.
+#[derive(Debug, Clone, Default)]
+pub struct ConstraintSystem {
+    var_initial: Vec<i64>,
+    pitch_names: Vec<String>,
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSystem {
+    /// Creates an empty system.
+    pub fn new() -> ConstraintSystem {
+        ConstraintSystem::default()
+    }
+
+    /// Adds an edge variable with its position in the initial layout
+    /// (used by the sorted-edge optimization and as the solver's hint).
+    pub fn add_var(&mut self, initial: i64) -> VarId {
+        self.var_initial.push(initial);
+        VarId(self.var_initial.len() - 1)
+    }
+
+    /// Adds a named pitch variable.
+    pub fn add_pitch(&mut self, name: impl Into<String>) -> PitchId {
+        self.pitch_names.push(name.into());
+        PitchId(self.pitch_names.len() - 1)
+    }
+
+    /// Adds `x_to − x_from ≥ weight`.
+    pub fn require(&mut self, from: VarId, to: VarId, weight: i64) {
+        self.constraints.push(Constraint { to, from, weight, pitch: None });
+    }
+
+    /// Adds `x_to − x_from + coeff·λ ≥ weight`.
+    pub fn require_with_pitch(
+        &mut self,
+        from: VarId,
+        to: VarId,
+        weight: i64,
+        pitch: PitchId,
+        coeff: i64,
+    ) {
+        self.constraints.push(Constraint { to, from, weight, pitch: Some((pitch, coeff)) });
+    }
+
+    /// Pins the distance `x_to − x_from` to exactly `d` (two constraints).
+    pub fn require_exact(&mut self, from: VarId, to: VarId, d: i64) {
+        self.require(from, to, d);
+        self.require(to, from, -d);
+    }
+
+    /// Number of edge variables.
+    pub fn num_vars(&self) -> usize {
+        self.var_initial.len()
+    }
+
+    /// Number of pitch variables.
+    pub fn num_pitches(&self) -> usize {
+        self.pitch_names.len()
+    }
+
+    /// Initial (original-layout) position of a variable.
+    pub fn initial(&self, v: VarId) -> i64 {
+        self.var_initial[v.0]
+    }
+
+    /// Name of a pitch variable.
+    pub fn pitch_name(&self, p: PitchId) -> &str {
+        &self.pitch_names[p.0]
+    }
+
+    /// The constraints, in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// `true` if any constraint carries a pitch term (needs the LP path).
+    pub fn has_pitch_terms(&self) -> bool {
+        self.constraints.iter().any(|c| c.pitch.is_some())
+    }
+
+    /// Checks a candidate solution; returns the violated constraints.
+    pub fn violations(&self, positions: &[i64], pitches: &[i64]) -> Vec<Constraint> {
+        self.constraints
+            .iter()
+            .copied()
+            .filter(|c| {
+                let lhs = positions[c.to.0] - positions[c.from.0]
+                    + c.pitch.map_or(0, |(p, k)| k * pitches[p.0]);
+                lhs < c.weight
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for ConstraintSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ConstraintSystem({} vars, {} pitches, {} constraints)",
+            self.var_initial.len(),
+            self.pitch_names.len(),
+            self.constraints.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        let p = s.add_pitch("lambda_a");
+        s.require(a, b, 5);
+        s.require_with_pitch(b, a, -2, p, 1);
+        assert_eq!(s.num_vars(), 2);
+        assert_eq!(s.num_pitches(), 1);
+        assert_eq!(s.initial(b), 10);
+        assert_eq!(s.pitch_name(p), "lambda_a");
+        assert!(s.has_pitch_terms());
+        assert_eq!(s.constraints().len(), 2);
+        assert!(s.to_string().contains("2 vars"));
+    }
+
+    #[test]
+    fn violations_detected() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(0);
+        s.require(a, b, 5);
+        assert_eq!(s.violations(&[0, 5], &[]).len(), 0);
+        assert_eq!(s.violations(&[0, 4], &[]).len(), 1);
+        let p = s.add_pitch("l");
+        s.require_with_pitch(a, b, 8, p, 1);
+        // b - a + λ >= 8: with b=5, λ=3 it holds exactly.
+        assert_eq!(s.violations(&[0, 5], &[3]).len(), 0);
+        assert_eq!(s.violations(&[0, 5], &[2]).len(), 1);
+    }
+
+    #[test]
+    fn exact_constraints() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(7);
+        s.require_exact(a, b, 7);
+        assert!(s.violations(&[0, 7], &[]).is_empty());
+        assert_eq!(s.violations(&[0, 8], &[]).len(), 1);
+        assert_eq!(s.violations(&[0, 6], &[]).len(), 1);
+    }
+}

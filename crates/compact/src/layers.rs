@@ -1,0 +1,163 @@
+//! Layer interaction handling (§6.4.3, Fig 6.9).
+//!
+//! Some design rules "are hard if not impossible to express in terms of
+//! minimum spacing constraints between the mask layers" — they arise from
+//! the interaction of several layers. The paper's remedy (after Magic) is
+//! pseudo-layers: a `Contact` layer that only at mask-creation time
+//! expands into metal, poly, and one or more contact cuts; and transistor
+//! gates recognized as poly-over-diffusion regions.
+
+use rsg_geom::Rect;
+use rsg_layout::{CellDefinition, DesignRules, Layer};
+
+/// Expands every `Contact` pseudo-layer box of a cell into lithographic
+/// mask geometry: a metal1 and a poly plate covering the contact extent,
+/// plus a grid of square cuts sized/spaced per the rules with the
+/// required overlap margin (Fig 6.9).
+///
+/// All other objects are copied through unchanged. The returned cell has
+/// the same name with a `$masks` suffix.
+pub fn expand_contacts(cell: &CellDefinition, rules: &DesignRules) -> CellDefinition {
+    let mut out = CellDefinition::new(format!("{}$masks", cell.name()));
+    for obj in cell.objects() {
+        match obj {
+            rsg_layout::LayoutObject::Box { layer: Layer::Contact, rect } => {
+                out.add_box(Layer::Metal1, *rect);
+                out.add_box(Layer::Poly, *rect);
+                for cut in contact_cuts(*rect, rules) {
+                    out.add_box(Layer::Cut, cut);
+                }
+            }
+            rsg_layout::LayoutObject::Box { layer, rect } => {
+                out.add_box(*layer, *rect);
+            }
+            rsg_layout::LayoutObject::Label { text, at } => {
+                out.add_label(text.clone(), *at);
+            }
+            rsg_layout::LayoutObject::Instance(i) => {
+                out.add_instance(*i);
+            }
+        }
+    }
+    out
+}
+
+/// The cut grid for one contact extent: as many cuts as fit with the
+/// mandated size, pitch, and overlap, but always at least one (centered
+/// when the contact is minimum-size).
+pub fn contact_cuts(contact: Rect, rules: &DesignRules) -> Vec<Rect> {
+    let size = rules.contact_cut_size.max(1);
+    let pitch = size + rules.contact_cut_spacing.max(0);
+    let margin = rules.contact_overlap.max(0);
+    let avail_w = contact.width() - 2 * margin;
+    let avail_h = contact.height() - 2 * margin;
+    let nx = if avail_w < size { 1 } else { 1 + (avail_w - size) / pitch };
+    let ny = if avail_h < size { 1 } else { 1 + (avail_h - size) / pitch };
+    // Center the grid within the contact.
+    let grid_w = size + (nx - 1) * pitch;
+    let grid_h = size + (ny - 1) * pitch;
+    let x0 = contact.lo().x + (contact.width() - grid_w) / 2;
+    let y0 = contact.lo().y + (contact.height() - grid_h) / 2;
+    let mut cuts = Vec::with_capacity((nx * ny) as usize);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let lo_x = x0 + ix * pitch;
+            let lo_y = y0 + iy * pitch;
+            cuts.push(Rect::from_coords(lo_x, lo_y, lo_x + size, lo_y + size));
+        }
+    }
+    cuts
+}
+
+/// Detects transistor gates: the intersections of poly and diffusion
+/// boxes (§6.4.3: "the width of poly may be 3λ except over diffusion
+/// (gate of a transistor) where it might have to be 5λ").
+pub fn detect_gates(boxes: &[(Layer, Rect)]) -> Vec<Rect> {
+    let mut gates = Vec::new();
+    for &(la, ra) in boxes {
+        if la != Layer::Poly {
+            continue;
+        }
+        for &(lb, rb) in boxes {
+            if lb != Layer::Diffusion {
+                continue;
+            }
+            if let Some(g) = ra.intersect(rb) {
+                if g.area() > 0 {
+                    gates.push(g);
+                }
+            }
+        }
+    }
+    gates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_layout::Technology;
+
+    fn rules() -> DesignRules {
+        // λ = 1: cut 2, spacing 2, overlap 1.
+        Technology::mead_conway(1).rules.clone()
+    }
+
+    #[test]
+    fn minimum_contact_gets_one_cut() {
+        // 4×4 contact, overlap 1 → 2×2 usable → exactly one 2×2 cut.
+        let cuts = contact_cuts(Rect::from_coords(0, 0, 4, 4), &rules());
+        assert_eq!(cuts, vec![Rect::from_coords(1, 1, 3, 3)]);
+    }
+
+    #[test]
+    fn large_contact_gets_a_grid() {
+        // 12×8: usable 10×6 → nx = 1 + (10−2)/4 = 3, ny = 1 + (6−2)/4 = 2.
+        let cuts = contact_cuts(Rect::from_coords(0, 0, 12, 8), &rules());
+        assert_eq!(cuts.len(), 6);
+        // All inside the contact with the overlap margin.
+        let inner = Rect::from_coords(1, 1, 11, 7);
+        for c in &cuts {
+            assert!(inner.contains_rect(*c), "{c}");
+        }
+        // Pairwise spacing ≥ 2.
+        for (i, a) in cuts.iter().enumerate() {
+            for b in &cuts[i + 1..] {
+                assert!(!a.inflate(1).overlaps(*b), "{a} too close to {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_replaces_pseudo_layer() {
+        let mut cell = CellDefinition::new("con");
+        cell.add_box(Layer::Contact, Rect::from_coords(0, 0, 4, 4));
+        cell.add_box(Layer::Metal2, Rect::from_coords(10, 10, 20, 20));
+        cell.add_label("x", rsg_geom::Point::new(1, 1));
+        let out = expand_contacts(&cell, &rules());
+        assert_eq!(out.name(), "con$masks");
+        let layers: Vec<Layer> = out.boxes().map(|(l, _)| l).collect();
+        assert!(layers.contains(&Layer::Metal1));
+        assert!(layers.contains(&Layer::Poly));
+        assert!(layers.contains(&Layer::Cut));
+        assert!(!layers.contains(&Layer::Contact));
+        assert!(layers.contains(&Layer::Metal2));
+        assert_eq!(out.labels().count(), 1);
+    }
+
+    #[test]
+    fn gate_detection() {
+        let boxes = vec![
+            (Layer::Poly, Rect::from_coords(4, 0, 8, 20)),
+            (Layer::Diffusion, Rect::from_coords(0, 6, 12, 12)),
+            (Layer::Metal1, Rect::from_coords(0, 0, 12, 20)),
+        ];
+        let gates = detect_gates(&boxes);
+        assert_eq!(gates, vec![Rect::from_coords(4, 6, 8, 12)]);
+        // Poly merely touching diffusion is not a gate.
+        let touch = vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 10)),
+            (Layer::Diffusion, Rect::from_coords(4, 0, 8, 10)),
+        ];
+        assert!(detect_gates(&touch).is_empty());
+    }
+}

@@ -1,0 +1,532 @@
+//! The leaf-cell compactor (§6.1, §6.3).
+//!
+//! "A leaf cell compactor is a compactor capable of compacting cells from
+//! a library while taking into account how the cells in the library may
+//! potentially interface together." Per Fig 6.3, inter-cell constraints
+//! are *folded* through the pitch: a constraint from an edge of one
+//! instance to an edge of the neighbouring instance becomes a constraint
+//! between the cell's own edges with the pitch λ as an extra unknown —
+//! every instance of a cell then shares one geometry, and "only one new
+//! unknown (a λᵢ pitch parameter) is added for each new interface".
+//!
+//! The solved system yields new cell geometry *and* new pitches, from
+//! which "it is possible to build a new sample layout for the new
+//! technology" — [`CompactionResult::cells`] is exactly that library.
+
+use crate::scanline::{self, BoxVars, Method};
+use crate::simplex::{Lp, LpError, Sense};
+use crate::solver::{self, EdgeOrder};
+use crate::{ConstraintSystem, PitchId, VarId};
+use rsg_geom::{Point, Rect, Vector};
+use rsg_layout::{CellDefinition, DesignRules, Layer, LayoutObject};
+
+/// How an interface displaces the second cell in x.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PitchKind {
+    /// The x displacement is the unknown pitch λ, starting from the
+    /// sample's value, with a cost weight (the replication factor `n` of
+    /// §6.2's cost function `X ≈ Σ nᵢλᵢ`).
+    VariableX {
+        /// The pitch in the input sample layout.
+        initial: i64,
+        /// Cost weight (expected replication factor).
+        weight: i64,
+    },
+    /// The x displacement is fixed (e.g. a vertical-abutment interface
+    /// contributes x-offset 0 during x compaction).
+    FixedX(i64),
+}
+
+/// One legal interface between two library cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafInterface {
+    /// Index of the reference cell in the library slice.
+    pub cell_a: usize,
+    /// Index of the second cell (may equal `cell_a`).
+    pub cell_b: usize,
+    /// Displacement of B's origin in x.
+    pub kind: PitchKind,
+    /// Fixed displacement of B's origin in y.
+    pub y_offset: i64,
+    /// Pitch variable name for reporting.
+    pub name: String,
+}
+
+/// Output of leaf-cell compaction.
+#[derive(Debug, Clone)]
+pub struct CompactionResult {
+    /// The compacted library, same order and names as the input.
+    pub cells: Vec<CellDefinition>,
+    /// Solved pitches `(name, value)` for each `VariableX` interface, in
+    /// interface order.
+    pub pitches: Vec<(String, i64)>,
+    /// Total unknowns (edge variables + pitch variables) — the Fig 6.3
+    /// reduction metric.
+    pub unknowns: usize,
+    /// Number of generated constraints.
+    pub constraints: usize,
+}
+
+/// Leaf compaction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeafError {
+    /// The LP or longest-path system was infeasible.
+    Infeasible(String),
+    /// Rounded pitches could not be repaired to an integral solution.
+    Rounding(String),
+}
+
+impl std::fmt::Display for LeafError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LeafError::Infeasible(m) => write!(f, "leaf compaction infeasible: {m}"),
+            LeafError::Rounding(m) => write!(f, "pitch rounding failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LeafError {}
+
+/// A box with its edge variables and optional pitch tag (B-side boxes in
+/// an interface pair carry the pitch).
+#[derive(Debug, Clone, Copy)]
+struct VBox {
+    layer: Layer,
+    rect: Rect,
+    left: VarId,
+    right: VarId,
+    pitch: Option<PitchId>,
+}
+
+/// Compacts a cell library in x under every declared interface.
+///
+/// # Errors
+///
+/// Returns [`LeafError`] on infeasible constraint systems.
+pub fn compact(
+    cells: &[CellDefinition],
+    interfaces: &[LeafInterface],
+    rules: &DesignRules,
+) -> Result<CompactionResult, LeafError> {
+    let mut sys = ConstraintSystem::new();
+    // A global origin variable pins each cell's frame: without it, a
+    // cell's contents could translate within its own coordinate system
+    // and absorb the pitch (the λ / translation degeneracy).
+    let origin = sys.add_var(0);
+
+    // Edge variables per cell box.
+    let mut cell_vars: Vec<Vec<BoxVars>> = Vec::with_capacity(cells.len());
+    let mut cell_boxes: Vec<Vec<(Layer, Rect)>> = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let boxes: Vec<(Layer, Rect)> = cell.boxes().collect();
+        let vars: Vec<BoxVars> = boxes
+            .iter()
+            .map(|(_, r)| BoxVars { left: sys.add_var(r.lo().x), right: sys.add_var(r.hi().x) })
+            .collect();
+        // Intra-cell constraints: widths, connectivity, visibility spacing.
+        scanline::append_constraints(&mut sys, &boxes, &vars, rules, Method::Visibility);
+        // Anchor the cell's leftmost edge at its original abscissa.
+        if let Some(k) = (0..boxes.len()).min_by_key(|&k| boxes[k].1.lo().x) {
+            sys.require_exact(origin, vars[k].left, boxes[k].1.lo().x);
+        }
+        cell_vars.push(vars);
+        cell_boxes.push(boxes);
+    }
+
+    // Pitch variables + folded inter-cell constraints (Fig 6.3).
+    let mut pitch_ids: Vec<Option<PitchId>> = Vec::with_capacity(interfaces.len());
+    let mut pitch_weights: Vec<i64> = Vec::new();
+    for iface in interfaces {
+        let (pitch, x0) = match iface.kind {
+            PitchKind::VariableX { initial, weight } => {
+                let p = sys.add_pitch(iface.name.clone());
+                pitch_weights.push(weight);
+                (Some(p), initial)
+            }
+            PitchKind::FixedX(dx) => (None, dx),
+        };
+        pitch_ids.push(pitch);
+
+        let shift = Vector::new(x0, iface.y_offset);
+        let a_view: Vec<VBox> = cell_boxes[iface.cell_a]
+            .iter()
+            .zip(&cell_vars[iface.cell_a])
+            .map(|(&(layer, rect), bv)| VBox { layer, rect, left: bv.left, right: bv.right, pitch: None })
+            .collect();
+        let b_view: Vec<VBox> = cell_boxes[iface.cell_b]
+            .iter()
+            .zip(&cell_vars[iface.cell_b])
+            .map(|(&(layer, rect), bv)| VBox {
+                layer,
+                rect: rect.translate(shift),
+                left: bv.left,
+                right: bv.right,
+                pitch,
+            })
+            .collect();
+        append_cross_constraints(&mut sys, &a_view, &b_view, x0, pitch, rules);
+    }
+
+    // Metric excludes the origin convenience variable (Fig 6.3 counts
+    // edge abscissas + pitches only).
+    let unknowns = (sys.num_vars() - 1) + sys.num_pitches();
+    let n_constraints = sys.constraints().len();
+
+    // Solve.
+    let (positions, pitches) = if sys.has_pitch_terms() || sys.num_pitches() > 0 {
+        solve_with_pitches(&sys, &pitch_weights)?
+    } else {
+        let sol = solver::solve(&sys, EdgeOrder::Sorted)
+            .map_err(|e| LeafError::Infeasible(e.to_string()))?;
+        (sol.positions_vec(), Vec::new())
+    };
+
+    debug_assert!(sys.violations(&positions, &pitches).is_empty());
+
+    // Rebuild the library with the new x coordinates.
+    let mut out_cells = Vec::with_capacity(cells.len());
+    for (cell, vars) in cells.iter().zip(&cell_vars) {
+        let mut out = CellDefinition::new(cell.name());
+        let mut box_idx = 0usize;
+        for obj in cell.objects() {
+            match obj {
+                LayoutObject::Box { layer, rect } => {
+                    let bv = vars[box_idx];
+                    box_idx += 1;
+                    out.add_box(
+                        *layer,
+                        Rect::from_coords(
+                            positions[bv.left.index()],
+                            rect.lo().y,
+                            positions[bv.right.index()],
+                            rect.hi().y,
+                        ),
+                    );
+                }
+                LayoutObject::Label { text, at } => {
+                    out.add_label(text.clone(), Point::new(at.x, at.y));
+                }
+                LayoutObject::Instance(i) => {
+                    out.add_instance(*i);
+                }
+            }
+        }
+        out_cells.push(out);
+    }
+
+    let mut named_pitches = Vec::new();
+    let mut k = 0usize;
+    for (iface, pid) in interfaces.iter().zip(&pitch_ids) {
+        if pid.is_some() {
+            named_pitches.push((iface.name.clone(), pitches[k]));
+            k += 1;
+        }
+    }
+
+    Ok(CompactionResult {
+        cells: out_cells,
+        pitches: named_pitches,
+        unknowns,
+        constraints: n_constraints,
+    })
+}
+
+/// Emits the cross constraints of one interface pair: spacing and
+/// connectivity between A-side and B-side boxes, folded through the pitch
+/// term (paper Fig 6.3's edge replacement).
+fn append_cross_constraints(
+    sys: &mut ConstraintSystem,
+    a_view: &[VBox],
+    b_view: &[VBox],
+    _x0: i64,
+    _pitch: Option<PitchId>,
+    rules: &DesignRules,
+) {
+    let all: Vec<VBox> = a_view.iter().chain(b_view).copied().collect();
+    let all_rects: Vec<(Layer, Rect)> = all.iter().map(|v| (v.layer, v.rect)).collect();
+
+    let emit = |sys: &mut ConstraintSystem, from: &VBox, from_right: bool, to: &VBox, to_left: bool, w: i64| {
+        // x_to − x_from + (coeff_to − coeff_from)·λ ≥ w, where a box's
+        // pitch tag contributes +λ to its edge positions.
+        let from_var = if from_right { from.right } else { from.left };
+        let to_var = if to_left { to.left } else { to.right };
+        match (from.pitch, to.pitch) {
+            (None, None) => sys.require(from_var, to_var, w),
+            (Some(p), Some(q)) if p == q => sys.require(from_var, to_var, w),
+            (None, Some(p)) => sys.require_with_pitch(from_var, to_var, w, p, 1),
+            (Some(p), None) => sys.require_with_pitch(from_var, to_var, w, p, -1),
+            (Some(_), Some(_)) => unreachable!("one pitch per interface pair"),
+        }
+    };
+
+    // Spacing: a strictly left of b, shared y-range, not hidden. Abutting
+    // same-layer cross boxes are connected material and get no spacing
+    // requirement (their relative position is governed by the pitch).
+    for (i, a) in all.iter().enumerate() {
+        for (j, b) in all.iter().enumerate() {
+            if i == j || (i < a_view.len()) == (j < a_view.len()) {
+                continue;
+            }
+            let Some(spacing) = rules.min_spacing(a.layer, b.layer) else { continue };
+            if a.rect.hi().x > b.rect.lo().x {
+                continue;
+            }
+            if a.rect.lo().y >= b.rect.hi().y || b.rect.lo().y >= a.rect.hi().y {
+                continue;
+            }
+            if a.layer == b.layer && a.rect.intersect(b.rect).is_some() {
+                continue; // abutting/connected across the interface
+            }
+            if scanline::hidden_between(&all_rects, i, j) {
+                continue;
+            }
+            emit(sys, a, true, b, true, spacing);
+        }
+    }
+}
+
+/// LP solve + integral pitch rounding + longest-path refinement.
+fn solve_with_pitches(
+    sys: &ConstraintSystem,
+    pitch_weights: &[i64],
+) -> Result<(Vec<i64>, Vec<i64>), LeafError> {
+    let n = sys.num_vars();
+    let p = sys.num_pitches();
+    // LP variables: [edges 0..n | pitches n..n+p].
+    let mut objective = vec![1e-4f64; n];
+    objective.extend(pitch_weights.iter().map(|&w| w as f64));
+    let mut lp = Lp::new(n + p, objective);
+    for c in sys.constraints() {
+        let mut row = vec![(c.to.index(), 1.0), (c.from.index(), -1.0)];
+        if let Some((pid, k)) = c.pitch {
+            row.push((n + pid.index(), k as f64));
+        }
+        lp.add_row(row, Sense::Ge, c.weight as f64);
+    }
+    let x = lp.solve().map_err(|e: LpError| LeafError::Infeasible(e.to_string()))?;
+
+    // Round pitches to integers: try floor/ceil combinations (p is tiny),
+    // keep the feasible combination with minimum cost.
+    let floats: Vec<f64> = (0..p).map(|k| x[n + k]).collect();
+    let mut best: Option<(i64, Vec<i64>, Vec<i64>)> = None;
+    for mask in 0..(1usize << p.min(16)) {
+        let candidate: Vec<i64> = floats
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                let f = v.floor() as i64;
+                if mask & (1 << k) != 0 {
+                    f + 1
+                } else {
+                    f
+                }
+            })
+            .collect();
+        if candidate.iter().any(|&v| v < 0) {
+            continue;
+        }
+        if let Some(positions) = solve_fixed_pitches(sys, &candidate) {
+            let cost: i64 =
+                candidate.iter().zip(pitch_weights).map(|(&l, &w)| l * w).sum();
+            if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
+                best = Some((cost, positions, candidate));
+            }
+        }
+    }
+    if best.is_none() {
+        // Escalate: bump all pitches upward together a few steps.
+        for bump in 1..=4 {
+            let candidate: Vec<i64> =
+                floats.iter().map(|&v| v.ceil() as i64 + bump).collect();
+            if let Some(positions) = solve_fixed_pitches(sys, &candidate) {
+                best = Some((0, positions, candidate));
+                break;
+            }
+        }
+    }
+    let (_, positions, pitches) = best.ok_or_else(|| {
+        LeafError::Rounding(format!("no integral pitch assignment near {floats:?}"))
+    })?;
+    Ok((positions, pitches))
+}
+
+/// With pitches fixed, the system reduces to difference constraints.
+fn solve_fixed_pitches(sys: &ConstraintSystem, pitches: &[i64]) -> Option<Vec<i64>> {
+    let mut reduced = ConstraintSystem::new();
+    for v in 0..sys.num_vars() {
+        reduced.add_var(sys.initial(VarId(v)));
+    }
+    for c in sys.constraints() {
+        let w = c.weight - c.pitch.map_or(0, |(pid, k)| k * pitches[pid.index()]);
+        reduced.require(c.from, c.to, w);
+    }
+    solver::solve(&reduced, EdgeOrder::Sorted).ok().map(|s| s.positions_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_layout::Technology;
+
+    fn rules() -> DesignRules {
+        Technology::mead_conway(2).rules.clone()
+    }
+
+    /// Fig 6.3: one cell with boxes, one self-interface: the unknowns are
+    /// the cell's own edges plus one λ — 5 instead of the flat 8.
+    #[test]
+    fn fig_6_3_unknown_reduction() {
+        let mut cell = CellDefinition::new("a");
+        cell.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 20));
+        cell.add_box(Layer::Poly, Rect::from_coords(12, 0, 16, 20));
+        let ifaces = vec![LeafInterface {
+            cell_a: 0,
+            cell_b: 0,
+            kind: PitchKind::VariableX { initial: 24, weight: 1 },
+            y_offset: 0,
+            name: "lambda_a".into(),
+        }];
+        let out = compact(&[cell], &ifaces, &rules()).unwrap();
+        assert_eq!(out.unknowns, 4 + 1, "4 edges + 1 pitch");
+        // Pitch compacts to the minimum: second box at min poly spacing
+        // from first, then wrap: λ = 16-12... solved geometry: boxes 4
+        // wide, gap 4 (2λ poly spacing at λ=2), λ = 4+4+4+4 = 16.
+        let lambda = out.pitches[0].1;
+        assert_eq!(lambda, 16, "pitches: {:?}", out.pitches);
+        // The compacted cell is design-rule clean when tiled at λ.
+        let boxes: Vec<(Layer, Rect)> = out.cells[0].boxes().collect();
+        assert_eq!(boxes[0].1.width(), 4);
+        assert_eq!(boxes[1].1.width(), 4);
+    }
+
+    /// §6.2 / Figs 6.1–6.2: pitches trade off; the cost weights decide
+    /// which one wins.
+    #[test]
+    fn pitch_tradeoff_follows_cost_function() {
+        // Cell: P in row A, Q in row B; interface 2 couples P against the
+        // neighbour's Q (helping small x_q), interface 3 couples Q against
+        // the neighbour's P (hurting large x_q). λ₂ + λ₃ is conserved.
+        let mut cell = CellDefinition::new("a");
+        cell.add_box(Layer::Metal1, Rect::from_coords(0, 0, 4, 10)); // P
+        cell.add_box(Layer::Metal1, Rect::from_coords(20, 20, 24, 30)); // Q
+        let mk = |w2: i64, w3: i64| {
+            vec![
+                LeafInterface {
+                    cell_a: 0,
+                    cell_b: 0,
+                    kind: PitchKind::VariableX { initial: 40, weight: w2 },
+                    y_offset: -20,
+                    name: "l2".into(),
+                },
+                LeafInterface {
+                    cell_a: 0,
+                    cell_b: 0,
+                    kind: PitchKind::VariableX { initial: 40, weight: w3 },
+                    y_offset: 20,
+                    name: "l3".into(),
+                },
+            ]
+        };
+        let r = rules();
+        // Heavy weight on l3 → shrink l3 at l2's expense, and vice versa.
+        let favor_l3 = compact(&[cell.clone()], &mk(1, 10), &r).unwrap();
+        let favor_l2 = compact(&[cell.clone()], &mk(10, 1), &r).unwrap();
+        let (l2a, l3a) = (favor_l3.pitches[0].1, favor_l3.pitches[1].1);
+        let (l2b, l3b) = (favor_l2.pitches[0].1, favor_l2.pitches[1].1);
+        assert!(l3a < l3b, "favoring l3 shrinks it: {l3a} vs {l3b}");
+        assert!(l2b < l2a, "favoring l2 shrinks it: {l2b} vs {l2a}");
+        // The trade-off is real: their sum is (nearly) conserved.
+        assert!((l2a + l3a) <= (l2b + l3b) + 1);
+        assert!((l2b + l3b) <= (l2a + l3a) + 1);
+    }
+
+    /// A two-cell library with an A–B interface and a fixed vertical
+    /// interface: both cells compact, the A–B pitch lands at the minimum.
+    #[test]
+    fn two_cell_library() {
+        let mut a = CellDefinition::new("a");
+        a.add_box(Layer::Diffusion, Rect::from_coords(0, 0, 6, 10));
+        a.add_box(Layer::Diffusion, Rect::from_coords(30, 0, 36, 10));
+        let mut b = CellDefinition::new("b");
+        b.add_box(Layer::Diffusion, Rect::from_coords(0, 0, 8, 10));
+        let ifaces = vec![
+            LeafInterface {
+                cell_a: 0,
+                cell_b: 1,
+                kind: PitchKind::VariableX { initial: 60, weight: 5 },
+                y_offset: 0,
+                name: "lab".into(),
+            },
+            LeafInterface {
+                cell_a: 0,
+                cell_b: 0,
+                kind: PitchKind::FixedX(0),
+                y_offset: -12,
+                name: "vert".into(),
+            },
+        ];
+        let out = compact(&[a, b], &ifaces, &rules()).unwrap();
+        // Intra: A's two diff boxes pull to 6λ spacing (6 at λ=2): second
+        // box at 12..18. A–B pitch: B clears A's right box by 6.
+        let a_boxes: Vec<(Layer, Rect)> = out.cells[0].boxes().collect();
+        assert_eq!(a_boxes[1].1.lo().x - a_boxes[0].1.hi().x, 6);
+        let lab = out.pitches.iter().find(|(n, _)| n == "lab").unwrap().1;
+        assert_eq!(lab, a_boxes[1].1.hi().x + 6);
+    }
+
+    /// Compacted cells re-tile without violations: rebuild the interface
+    /// pair at the solved pitch and re-scan.
+    #[test]
+    fn compacted_library_revalidates() {
+        let mut cell = CellDefinition::new("a");
+        cell.add_box(Layer::Poly, Rect::from_coords(2, 0, 8, 30));
+        cell.add_box(Layer::Metal1, Rect::from_coords(14, 5, 26, 25));
+        cell.add_box(Layer::Poly, Rect::from_coords(30, 0, 34, 30));
+        let ifaces = vec![LeafInterface {
+            cell_a: 0,
+            cell_b: 0,
+            kind: PitchKind::VariableX { initial: 44, weight: 1 },
+            y_offset: 0,
+            name: "l".into(),
+        }];
+        let r = rules();
+        let out = compact(&[cell], &ifaces, &r).unwrap();
+        let lambda = out.pitches[0].1;
+        // Tile 3 instances and scan the flat result: no violations.
+        let mut flat: Vec<(Layer, Rect)> = Vec::new();
+        for k in 0..3 {
+            for (l, rect) in out.cells[0].boxes() {
+                flat.push((l, rect.translate(rsg_geom::Vector::new(k * lambda, 0))));
+            }
+        }
+        let (sys, vars) = scanline::generate(&flat, &r, Method::Visibility);
+        let positions: Vec<i64> = flat
+            .iter()
+            .flat_map(|(_, rect)| [rect.lo().x, rect.hi().x])
+            .collect();
+        let _ = vars;
+        assert!(
+            sys.violations(&positions, &[]).is_empty(),
+            "tiled compacted cell violates rules"
+        );
+    }
+
+    #[test]
+    fn infeasible_library_reports() {
+        // A cell whose self-interface at fixed x = 0 demands impossible
+        // same-position spacing.
+        let mut cell = CellDefinition::new("bad");
+        cell.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 10));
+        cell.add_box(Layer::Poly, Rect::from_coords(8, 0, 12, 10));
+        let ifaces = vec![LeafInterface {
+            cell_a: 0,
+            cell_b: 0,
+            // Fixed pitch narrower than the two boxes + spacing can get.
+            kind: PitchKind::FixedX(6),
+            y_offset: 0,
+            name: "tight".into(),
+        }];
+        let err = compact(&[cell], &ifaces, &rules()).unwrap_err();
+        assert!(matches!(err, LeafError::Infeasible(_)), "{err}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Chapter 6: the leaf-cell compactor.
+//!
+//! The paper motivates a *leaf cell compactor*: instead of compacting each
+//! assembled regular structure (duplicating effort over every replication
+//! factor), compact the library cells **once**, taking into account every
+//! way the cells may legally interface, with the pitches λᵢ as first-class
+//! unknowns. This crate implements the whole pipeline:
+//!
+//! * [`ConstraintSystem`] — one-dimensional graph-based constraints
+//!   `x_to − x_from + Σcλ ≥ w` over vertical box edges and pitch
+//!   variables (§6.3, Fig 6.3),
+//! * [`scanline`] — two constraint generators: the naive *band* method
+//!   that overconstrains fragmented layouts (Figs 6.4–6.6) and the correct
+//!   *visibility* method (Fig 6.7) in which hidden edges generate no
+//!   constraints,
+//! * [`solver`] — a Bellman-Ford longest-path solver with the paper's
+//!   sorted-edge optimization (§6.4.2) and a jog-avoiding balanced mode
+//!   (Fig 6.8's "rubber bands, not a large magnet"),
+//! * [`simplex`] — a small dense LP solver for pitch trade-offs under a
+//!   user cost function (§6.2, Figs 6.1–6.2),
+//! * [`leaf`] — the leaf-cell compactor proper: intra-cell plus
+//!   interface-folded inter-cell constraints, solved for edge positions
+//!   *and* pitches simultaneously,
+//! * [`layers`] — pseudo-layer handling: contact expansion (Fig 6.9) and
+//!   transistor-gate detection (§6.4.3).
+//!
+//! # Example
+//!
+//! ```
+//! use rsg_compact::{scanline, solver, ConstraintSystem};
+//! use rsg_layout::{Layer, Technology};
+//! use rsg_geom::Rect;
+//!
+//! let tech = Technology::mead_conway(2);
+//! let boxes = vec![
+//!     (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+//!     (Layer::Poly, Rect::from_coords(30, 0, 34, 20)), // far right: slack
+//! ];
+//! let (sys, vars) = scanline::generate(&boxes, &tech.rules, scanline::Method::Visibility);
+//! let sol = solver::solve(&sys, solver::EdgeOrder::Sorted).unwrap();
+//! // Left-packed: the right box pulls in to the 2λ poly spacing.
+//! let left_edge_of_right_box = sol.position(vars[1].left);
+//! assert_eq!(left_edge_of_right_box - sol.position(vars[0].right), 4);
+//! ```
+
+#![deny(missing_docs)]
+
+mod constraint;
+pub mod layers;
+pub mod leaf;
+pub mod scanline;
+pub mod simplex;
+pub mod solver;
+pub mod transpose;
+
+pub use constraint::{Constraint, ConstraintSystem, PitchId, VarId};

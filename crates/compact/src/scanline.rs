@@ -1,0 +1,336 @@
+//! Constraint generation by scanning (§6.4.1).
+//!
+//! Two methods are provided, reproducing the paper's comparison:
+//!
+//! * [`Method::Band`] — the naive horizontal-band scan the paper's first
+//!   compactor used: every pair of facing edges on interacting layers
+//!   whose boxes share a y-range gets a spacing constraint, **including
+//!   hidden edges**. On a fragmented bus (Fig 6.5) this "would force the
+//!   x size of the final layout to be at least nλ".
+//! * [`Method::Visibility`] — the correct vertical scan line (Fig 6.7):
+//!   "the scan line contains information of what a viewer on the scan
+//!   line looking toward the left would see"; hidden edges never appear,
+//!   so merging of abutting boxes is implicitly taken care of.
+//!
+//! Both methods also emit, for every box, an exact width constraint (the
+//! compactor preserves widths — device and bus sizing is the business of
+//! the masking cells, §6.4.1), and connectivity constraints keeping
+//! same-layer boxes that touched in the input touching in the output.
+
+use crate::{ConstraintSystem, VarId};
+use rsg_geom::Rect;
+use rsg_layout::{DesignRules, Layer};
+
+/// The two edge variables of one input box.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoxVars {
+    /// Variable of the left (west) vertical edge.
+    pub left: VarId,
+    /// Variable of the right (east) vertical edge.
+    pub right: VarId,
+}
+
+/// Which constraint generation strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Naive band scan: hidden edges constrained too (overconstrains).
+    Band,
+    /// Correct visibility scan: only visible edge pairs constrained.
+    Visibility,
+}
+
+/// Generates the x-direction constraint system for a flat list of boxes.
+///
+/// Returns the system plus the per-box edge variables (in input order).
+/// Horizontal edges "play no role in the constraint representation and
+/// are assumed to shrink or expand in response" — y coordinates are
+/// untouched throughout.
+pub fn generate(
+    boxes: &[(Layer, Rect)],
+    rules: &DesignRules,
+    method: Method,
+) -> (ConstraintSystem, Vec<BoxVars>) {
+    let mut sys = ConstraintSystem::new();
+    let vars: Vec<BoxVars> = boxes
+        .iter()
+        .map(|(_, r)| {
+            let left = sys.add_var(r.lo().x);
+            let right = sys.add_var(r.hi().x);
+            BoxVars { left, right }
+        })
+        .collect();
+    append_constraints(&mut sys, boxes, &vars, rules, method);
+    (sys, vars)
+}
+
+/// Appends the width, connectivity, and spacing constraints for `boxes`
+/// (whose edge variables were already allocated as `vars`) into an
+/// existing system — the building block the leaf compactor reuses per
+/// cell.
+pub fn append_constraints(
+    sys: &mut ConstraintSystem,
+    boxes: &[(Layer, Rect)],
+    vars: &[BoxVars],
+    rules: &DesignRules,
+    method: Method,
+) {
+    // Width preservation.
+    for ((_, r), bv) in boxes.iter().zip(vars) {
+        sys.require_exact(bv.left, bv.right, r.width());
+    }
+
+    // Connectivity: same-layer boxes that touch or overlap stay rigidly
+    // attached (their x overlap is preserved exactly). Connected nets are
+    // rigid bodies in this compactor; only the space between disconnected
+    // groups compresses — device and bus resizing belongs to the masking
+    // cells, not the compactor (§6.4.1).
+    for i in 0..boxes.len() {
+        for j in 0..boxes.len() {
+            if i == j {
+                continue;
+            }
+            let (la, ra) = boxes[i];
+            let (lb, rb) = boxes[j];
+            if la != lb || !touches(ra, rb) || ra.lo().x > rb.lo().x {
+                continue;
+            }
+            sys.require_exact(vars[i].left, vars[j].left, rb.lo().x - ra.lo().x);
+        }
+    }
+
+    // Spacing constraints.
+    for i in 0..boxes.len() {
+        for j in 0..boxes.len() {
+            if i == j {
+                continue;
+            }
+            let (layer_a, ra) = boxes[i];
+            let (layer_b, rb) = boxes[j];
+            let Some(spacing) = rules.min_spacing(layer_a, layer_b) else { continue };
+            // `a` strictly left of `b`, sharing a y-range.
+            if ra.hi().x > rb.lo().x || !y_overlap(ra, rb) {
+                continue;
+            }
+            if layer_a == layer_b && touches(ra, rb) {
+                continue; // connected material: no spacing requirement
+            }
+            if method == Method::Visibility && hidden_between(boxes, i, j) {
+                continue;
+            }
+            sys.require(vars[i].right, vars[j].left, spacing);
+        }
+    }
+}
+
+fn y_overlap(a: Rect, b: Rect) -> bool {
+    a.lo().y < b.hi().y && b.lo().y < a.hi().y
+}
+
+fn touches(a: Rect, b: Rect) -> bool {
+    // Overlapping or abutting (shared edge/corner counts).
+    a.intersect(b).is_some()
+}
+
+/// `true` when the gap between box `i`'s right edge and box `j`'s left
+/// edge is fully covered, over their shared y-range, by *same-layer*
+/// material of some third box — the hidden-edge condition of Fig 6.4.
+pub(crate) fn hidden_between(boxes: &[(Layer, Rect)], i: usize, j: usize) -> bool {
+    let (layer_i, ra) = boxes[i];
+    let (layer_j, rb) = boxes[j];
+    let y0 = ra.lo().y.max(rb.lo().y);
+    let y1 = ra.hi().y.min(rb.hi().y);
+    let x0 = ra.hi().x;
+    let x1 = rb.lo().x;
+    if x0 >= x1 || y0 >= y1 {
+        return false;
+    }
+    let region = Rect::from_coords(x0, y0, x1, y1);
+    let covers: Vec<Rect> = boxes
+        .iter()
+        .enumerate()
+        .filter(|&(k, &(l, _))| k != i && k != j && (l == layer_i || l == layer_j))
+        .filter_map(|(_, &(_, r))| r.intersect(region))
+        .filter(|r| r.area() > 0)
+        .collect();
+    region_covered(region, &covers)
+}
+
+/// `true` if the union of `rects` covers all of `region`. Checked by
+/// decomposing into x strips at every rect boundary and verifying full
+/// y coverage per strip.
+fn region_covered(region: Rect, rects: &[Rect]) -> bool {
+    let mut xs: Vec<i64> = rects.iter().flat_map(|r| [r.lo().x, r.hi().x]).collect();
+    xs.push(region.lo().x);
+    xs.push(region.hi().x);
+    xs.retain(|&x| x >= region.lo().x && x <= region.hi().x);
+    xs.sort_unstable();
+    xs.dedup();
+    for w in xs.windows(2) {
+        let (sx0, sx1) = (w[0], w[1]);
+        if sx0 >= sx1 {
+            continue;
+        }
+        let mut ivs: Vec<(i64, i64)> = rects
+            .iter()
+            .filter(|r| r.lo().x <= sx0 && r.hi().x >= sx1)
+            .map(|r| (r.lo().y, r.hi().y))
+            .collect();
+        ivs.sort_unstable();
+        let mut covered_to = region.lo().y;
+        for (lo, hi) in ivs {
+            if lo > covered_to {
+                return false;
+            }
+            covered_to = covered_to.max(hi);
+        }
+        if covered_to < region.hi().y {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{solve, EdgeOrder};
+    use rsg_layout::Technology;
+
+    fn rules() -> DesignRules {
+        Technology::mead_conway(2).rules.clone()
+    }
+
+    /// Fig 6.5: a horizontal diffusion bus fragmented into n abutting
+    /// boxes (each at minimum width). The band method generates spacing
+    /// constraints between the hidden second-neighbour edges — which
+    /// contradict the bus's own connectivity and overconstrain the system
+    /// exactly as the paper warns; the visibility method compacts fine.
+    fn fragmented_bus(n: usize) -> Vec<(Layer, Rect)> {
+        (0..n as i64)
+            .map(|k| (Layer::Diffusion, Rect::from_coords(4 * k, 0, 4 * (k + 1), 4)))
+            .collect()
+    }
+
+    #[test]
+    fn band_overconstrains_fragmented_bus() {
+        let n = 6;
+        let boxes = fragmented_bus(n);
+        let r = rules();
+
+        let (band, _) = generate(&boxes, &r, Method::Band);
+        let (vis, vv) = generate(&boxes, &r, Method::Visibility);
+        assert!(band.constraints().len() > vis.constraints().len());
+
+        // Visibility: the bus survives at its natural length.
+        let sol_v = solve(&vis, EdgeOrder::Sorted).unwrap();
+        let w_vis = vv.iter().map(|v| sol_v.position(v.right)).max().unwrap()
+            - vv.iter().map(|v| sol_v.position(v.left)).min().unwrap();
+        assert_eq!(w_vis, 4 * n as i64);
+
+        // Band: hidden-edge spacing demands ≥ 6 between fragments that
+        // must stay abutting — infeasible (the overconstraint).
+        assert!(solve(&band, EdgeOrder::Sorted).is_err());
+    }
+
+    #[test]
+    fn hidden_edge_of_fig_6_4_generates_no_constraint() {
+        // Two boxes with a middle box masking them (solid-line situation
+        // of Fig 6.4): visibility emits no spacing between the outer pair.
+        let boxes = vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 10)),
+            (Layer::Poly, Rect::from_coords(4, 0, 20, 10)), // covers the gap
+            (Layer::Poly, Rect::from_coords(20, 0, 24, 10)),
+        ];
+        let r = rules();
+        let (vis, _) = generate(&boxes, &r, Method::Visibility);
+        let (band, _) = generate(&boxes, &r, Method::Band);
+        let spacing_constraints = |s: &ConstraintSystem| {
+            s.constraints().iter().filter(|c| c.weight > 0 && c.pitch.is_none()).count()
+        };
+        // Band has the 0↔2 spacing; visibility does not.
+        assert!(spacing_constraints(&band) > spacing_constraints(&vis));
+    }
+
+    #[test]
+    fn partially_hidden_edge_still_constrained() {
+        // Fig 6.6: the middle box only covers part of the shared y-range,
+        // so at scan position y₂ the edges see each other — a constraint
+        // is required even under visibility.
+        let boxes = vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+            (Layer::Poly, Rect::from_coords(4, 0, 30, 8)), // partial cover
+            (Layer::Poly, Rect::from_coords(30, 0, 34, 20)),
+        ];
+        let r = rules();
+        let (vis, vars) = generate(&boxes, &r, Method::Visibility);
+        let has = vis
+            .constraints()
+            .iter()
+            .any(|c| c.from == vars[0].right && c.to == vars[2].left && c.weight > 0);
+        assert!(has, "partially hidden pair must still be constrained");
+    }
+
+    #[test]
+    fn interacting_layers_only() {
+        // Metal1 and poly do not interact in the rule set: no spacing.
+        let boxes = vec![
+            (Layer::Metal1, Rect::from_coords(0, 0, 6, 10)),
+            (Layer::Poly, Rect::from_coords(10, 0, 14, 10)),
+        ];
+        let (sys, _) = generate(&boxes, &rules(), Method::Visibility);
+        // Only the 4 width constraints (2 per box).
+        assert_eq!(sys.constraints().len(), 4);
+    }
+
+    #[test]
+    fn no_y_overlap_no_constraint() {
+        let boxes = vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 10)),
+            (Layer::Poly, Rect::from_coords(10, 20, 14, 30)),
+        ];
+        let (sys, _) = generate(&boxes, &rules(), Method::Band);
+        assert_eq!(sys.constraints().len(), 4);
+    }
+
+    #[test]
+    fn connectivity_preserved_after_solve() {
+        // An L of two overlapping metal boxes plus a far-right box: after
+        // compaction the overlap must survive.
+        let boxes = vec![
+            (Layer::Metal1, Rect::from_coords(0, 0, 20, 6)),
+            (Layer::Metal1, Rect::from_coords(16, 0, 22, 30)),
+            (Layer::Metal1, Rect::from_coords(60, 0, 70, 6)),
+        ];
+        let r = rules();
+        let (sys, vars) = generate(&boxes, &r, Method::Visibility);
+        let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
+        // Boxes 0 and 1 stay rigidly attached (overlap preserved).
+        assert_eq!(
+            sol.position(vars[1].left) - sol.position(vars[0].left),
+            16,
+            "rigid connection"
+        );
+        // Box 2 pulled in to min spacing from the nearer of the two
+        // connected boxes.
+        let spacing = r.min_spacing(Layer::Metal1, Layer::Metal1).unwrap();
+        let expect = sol
+            .position(vars[0].right)
+            .max(sol.position(vars[1].right))
+            + spacing;
+        assert_eq!(sol.position(vars[2].left), expect);
+        // No violations under re-check.
+        assert!(sys.violations(&sol.positions_vec(), &[]).is_empty());
+    }
+
+    #[test]
+    fn widths_always_preserved() {
+        let boxes = vec![
+            (Layer::Diffusion, Rect::from_coords(5, 0, 17, 8)),
+            (Layer::Diffusion, Rect::from_coords(40, 2, 49, 6)),
+        ];
+        let (sys, vars) = generate(&boxes, &rules(), Method::Visibility);
+        let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sol.position(vars[0].right) - sol.position(vars[0].left), 12);
+        assert_eq!(sol.position(vars[1].right) - sol.position(vars[1].left), 9);
+    }
+}

@@ -1,0 +1,312 @@
+//! A small dense Big-M simplex LP solver (§6.4.2's "solve the system of
+//! equations using a linear programming algorithm like Simplex \[10\]").
+//!
+//! Leaf-cell constraint systems carry pitch variables, so "the weights on
+//! the edges are not all constants" and Bellman-Ford no longer applies;
+//! the paper proposes converting the graph to linear inequalities and
+//! minimizing a cost function over them. Problem sizes are tiny (tens of
+//! variables), so a dense tableau is entirely adequate.
+
+use std::fmt;
+
+/// Comparison sense of one LP row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `coeffs · z ≥ rhs`
+    Ge,
+    /// `coeffs · z ≤ rhs`
+    Le,
+    /// `coeffs · z = rhs`
+    Eq,
+}
+
+/// A linear program: minimize `objective · z` subject to rows, `z ≥ 0`.
+#[derive(Debug, Clone, Default)]
+pub struct Lp {
+    n: usize,
+    objective: Vec<f64>,
+    rows: Vec<(Vec<(usize, f64)>, Sense, f64)>,
+}
+
+/// LP failure modes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective decreases without bound.
+    Unbounded,
+    /// Iteration limit hit (numerical trouble).
+    Stalled,
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::Stalled => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl Lp {
+    /// Creates a program over `n` non-negative variables with the given
+    /// minimization objective (length `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the objective length differs from `n`.
+    pub fn new(n: usize, objective: Vec<f64>) -> Lp {
+        assert_eq!(objective.len(), n, "objective length mismatch");
+        Lp { n, objective, rows: Vec::new() }
+    }
+
+    /// Adds a constraint row given as sparse `(variable, coefficient)`
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range variable indices.
+    pub fn add_row(&mut self, coeffs: Vec<(usize, f64)>, sense: Sense, rhs: f64) {
+        for &(v, _) in &coeffs {
+            assert!(v < self.n, "variable {v} out of range");
+        }
+        self.rows.push((coeffs, sense, rhs));
+    }
+
+    /// Solves with the Big-M method.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::Stalled`].
+    pub fn solve(&self) -> Result<Vec<f64>, LpError> {
+        let m = self.rows.len();
+        if m == 0 {
+            return Ok(vec![0.0; self.n]);
+        }
+        // Column layout: [structural | slack/surplus | artificial].
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        for (_, sense, rhs) in &self.rows {
+            let flip = *rhs < 0.0;
+            let s = effective_sense(*sense, flip);
+            match s {
+                Sense::Le => n_slack += 1,
+                Sense::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Sense::Eq => n_art += 1,
+            }
+        }
+        let total = self.n + n_slack + n_art;
+        let big_m = 1e9;
+        let mut t = vec![vec![0.0f64; total + 1]; m]; // tableau rows
+        let mut basis = vec![0usize; m];
+        let mut slack_at = self.n;
+        let mut art_at = self.n + n_slack;
+
+        for (r, (coeffs, sense, rhs)) in self.rows.iter().enumerate() {
+            let flip = *rhs < 0.0;
+            let sgn = if flip { -1.0 } else { 1.0 };
+            for &(v, c) in coeffs {
+                t[r][v] += sgn * c;
+            }
+            t[r][total] = sgn * rhs;
+            match effective_sense(*sense, flip) {
+                Sense::Le => {
+                    t[r][slack_at] = 1.0;
+                    basis[r] = slack_at;
+                    slack_at += 1;
+                }
+                Sense::Ge => {
+                    t[r][slack_at] = -1.0;
+                    slack_at += 1;
+                    t[r][art_at] = 1.0;
+                    basis[r] = art_at;
+                    art_at += 1;
+                }
+                Sense::Eq => {
+                    t[r][art_at] = 1.0;
+                    basis[r] = art_at;
+                    art_at += 1;
+                }
+            }
+        }
+
+        // Cost row with Big-M on artificials.
+        let mut cost = vec![0.0f64; total + 1];
+        for (v, &c) in self.objective.iter().enumerate() {
+            cost[v] = c;
+        }
+        for a in self.n + n_slack..total {
+            cost[a] = big_m;
+        }
+        // Reduced costs: z row = cost − Σ (basic cost × row).
+        let mut zrow = cost.clone();
+        for r in 0..m {
+            let cb = cost[basis[r]];
+            if cb != 0.0 {
+                for col in 0..=total {
+                    zrow[col] -= cb * t[r][col];
+                }
+            }
+        }
+
+        let max_iter = 200 * (total + m + 1);
+        for _ in 0..max_iter {
+            // Entering column: most negative reduced cost.
+            let mut enter = None;
+            let mut best = -1e-7;
+            for col in 0..total {
+                if zrow[col] < best {
+                    best = zrow[col];
+                    enter = Some(col);
+                }
+            }
+            let Some(enter) = enter else {
+                // Optimal; check artificials are out (feasibility).
+                for r in 0..m {
+                    if basis[r] >= self.n + n_slack && t[r][total] > 1e-6 {
+                        return Err(LpError::Infeasible);
+                    }
+                }
+                let mut x = vec![0.0; self.n];
+                for r in 0..m {
+                    if basis[r] < self.n {
+                        x[basis[r]] = t[r][total];
+                    }
+                }
+                return Ok(x);
+            };
+            // Ratio test.
+            let mut leave = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..m {
+                if t[r][enter] > 1e-9 {
+                    let ratio = t[r][total] / t[r][enter];
+                    if ratio < best_ratio - 1e-12 {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            // Pivot.
+            let pivot = t[leave][enter];
+            for col in 0..=total {
+                t[leave][col] /= pivot;
+            }
+            for r in 0..m {
+                if r != leave {
+                    let factor = t[r][enter];
+                    if factor != 0.0 {
+                        for col in 0..=total {
+                            t[r][col] -= factor * t[leave][col];
+                        }
+                    }
+                }
+            }
+            let zfactor = zrow[enter];
+            if zfactor != 0.0 {
+                for col in 0..=total {
+                    zrow[col] -= zfactor * t[leave][col];
+                }
+            }
+            basis[leave] = enter;
+        }
+        Err(LpError::Stalled)
+    }
+}
+
+fn effective_sense(sense: Sense, flip: bool) -> Sense {
+    if !flip {
+        return sense;
+    }
+    match sense {
+        Sense::Ge => Sense::Le,
+        Sense::Le => Sense::Ge,
+        Sense::Eq => Sense::Eq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-5, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_minimum() {
+        // minimize x + 2y s.t. x + y >= 4, x <= 3, y <= 5.
+        let mut lp = Lp::new(2, vec![1.0, 2.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], Sense::Ge, 4.0);
+        lp.add_row(vec![(0, 1.0)], Sense::Le, 3.0);
+        lp.add_row(vec![(1, 1.0)], Sense::Le, 5.0);
+        let x = lp.solve().unwrap();
+        assert_close(x[0], 3.0);
+        assert_close(x[1], 1.0);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // minimize y s.t. x + y = 10, y - x >= 2 → x=4, y=6.
+        let mut lp = Lp::new(2, vec![0.0, 1.0]);
+        lp.add_row(vec![(0, 1.0), (1, 1.0)], Sense::Eq, 10.0);
+        lp.add_row(vec![(1, 1.0), (0, -1.0)], Sense::Ge, 2.0);
+        let x = lp.solve().unwrap();
+        assert_close(x[0], 4.0);
+        assert_close(x[1], 6.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = Lp::new(1, vec![1.0]);
+        lp.add_row(vec![(0, 1.0)], Sense::Ge, 5.0);
+        lp.add_row(vec![(0, 1.0)], Sense::Le, 3.0);
+        assert_eq!(lp.solve(), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // maximize x (minimize −x) with no upper bound.
+        let mut lp = Lp::new(1, vec![-1.0]);
+        lp.add_row(vec![(0, 1.0)], Sense::Ge, 0.0);
+        assert_eq!(lp.solve(), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y >= -3, minimize x with y <= 4 → x = max(0, y-3)... y free
+        // to be 0: x = 0.
+        let mut lp = Lp::new(2, vec![1.0, 0.0]);
+        lp.add_row(vec![(0, 1.0), (1, -1.0)], Sense::Ge, -3.0);
+        lp.add_row(vec![(1, 1.0)], Sense::Le, 4.0);
+        let x = lp.solve().unwrap();
+        assert_close(x[0], 0.0);
+    }
+
+    #[test]
+    fn empty_program() {
+        let lp = Lp::new(3, vec![1.0, 1.0, 1.0]);
+        assert_eq!(lp.solve().unwrap(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn difference_constraints_with_pitch_shape() {
+        // The Fig 6.3 shape: y2 − y1 + λ ≥ 8, y1 − y2 ≥ −3 (i.e. y2 ≤ y1+3),
+        // minimize λ → λ = 5 at y2 − y1 = 3.
+        let mut lp = Lp::new(3, vec![0.0, 0.0, 1.0]);
+        lp.add_row(vec![(1, 1.0), (0, -1.0), (2, 1.0)], Sense::Ge, 8.0);
+        lp.add_row(vec![(0, 1.0), (1, -1.0)], Sense::Ge, -3.0);
+        let x = lp.solve().unwrap();
+        assert_close(x[2], 5.0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Bellman-Ford longest-path constraint solving (§6.4.2) plus the
+//! jog-avoiding balanced mode (Fig 6.8).
+//!
+//! "The Bellman Ford assigns to each vertex the lowest possible abscissa
+//! subject to the constraints. The algorithm proved to be extremely fast,
+//! especially if the edges are traversed in sorted (according to their
+//! abscissa) order ... In the case where the initial ordering is preserved
+//! in the final layout exactly one relaxation step is required instead of
+//! the |E| required in the worst case."
+//!
+//! The solver reports the number of relaxation passes so experiment E12
+//! can regenerate that claim. Pure left-packing "can generate electrically
+//! poor layouts ... a more appropriate algorithm would be one that tries
+//! to bring all objects close together as if they were all connected by
+//! rubber bands instead of ... a large magnet on the left" — that is
+//! [`solve_balanced`].
+
+use crate::{ConstraintSystem, VarId};
+
+/// Result of solving a (pitch-free) constraint system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    positions: Vec<i64>,
+    /// Relaxation passes Bellman-Ford needed to reach the fixpoint
+    /// (including the final pass that verified stability).
+    pub passes: usize,
+}
+
+impl Solution {
+    /// The solved abscissa of an edge variable.
+    pub fn position(&self, v: VarId) -> i64 {
+        self.positions[v.0]
+    }
+
+    /// All positions, indexed by variable.
+    pub fn positions_vec(&self) -> Vec<i64> {
+        self.positions.clone()
+    }
+
+    /// Extent of the solution: `max(position) − min(position)`.
+    pub fn extent(&self) -> i64 {
+        let max = self.positions.iter().copied().max().unwrap_or(0);
+        let min = self.positions.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+/// Edge processing order for the relaxation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOrder {
+    /// Constraints in insertion order.
+    Unsorted,
+    /// Constraints sorted by the initial abscissa of their `from`
+    /// variable — the paper's preliminary sort.
+    Sorted,
+}
+
+/// Infeasibility error: the constraint graph has a positive cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Infeasible {
+    /// How many passes ran before divergence was declared.
+    pub passes: usize,
+}
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "constraint system infeasible (positive cycle) after {} passes", self.passes)
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+/// Solves for the leftmost feasible positions with all variables ≥ 0.
+///
+/// # Errors
+///
+/// Returns [`Infeasible`] when the constraints contain a positive cycle.
+///
+/// # Panics
+///
+/// Panics if the system carries pitch terms — those need
+/// [`crate::simplex`].
+pub fn solve(sys: &ConstraintSystem, order: EdgeOrder) -> Result<Solution, Infeasible> {
+    assert!(!sys.has_pitch_terms(), "pitch terms require the LP solver");
+    let n = sys.num_vars();
+    let mut constraints: Vec<_> = sys.constraints().to_vec();
+    if order == EdgeOrder::Sorted {
+        constraints.sort_by_key(|c| sys.initial(c.from));
+    }
+    let mut x = vec![0i64; n];
+    let mut passes = 0usize;
+    loop {
+        passes += 1;
+        let mut changed = false;
+        for c in &constraints {
+            let need = x[c.from.0] + c.weight;
+            if x[c.to.0] < need {
+                x[c.to.0] = need;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(Solution { positions: x, passes });
+        }
+        if passes > n + 1 {
+            return Err(Infeasible { passes });
+        }
+    }
+}
+
+/// The rubber-band solve: every variable sits midway between its earliest
+/// (left-packed) and latest (right-packed, at the same total extent)
+/// feasible position, then a repair sweep restores exact feasibility.
+///
+/// Left-packing Fig 6.8's layout tears a jog into a straight wire; the
+/// balanced solution keeps slack distributed on both sides.
+///
+/// # Errors
+///
+/// Returns [`Infeasible`] on positive cycles.
+pub fn solve_balanced(sys: &ConstraintSystem) -> Result<Solution, Infeasible> {
+    let earliest = solve(sys, EdgeOrder::Sorted)?;
+    let n = sys.num_vars();
+    let width = earliest.positions.iter().copied().max().unwrap_or(0);
+
+    // Latest positions: longest path on the reversed graph from the right
+    // boundary. latest[v] = width − dist_rev[v].
+    let mut dist = vec![0i64; n];
+    let mut passes = 0usize;
+    loop {
+        passes += 1;
+        let mut changed = false;
+        for c in sys.constraints() {
+            // x_to − x_from ≥ w reversed: dist_from ≥ dist_to + w.
+            let need = dist[c.to.0] + c.weight;
+            if dist[c.from.0] < need {
+                dist[c.from.0] = need;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if passes > n + 1 {
+            return Err(Infeasible { passes });
+        }
+    }
+    // Midpoint (floor), then a monotone repair pass for rounding slips.
+    let mut x: Vec<i64> = (0..n)
+        .map(|v| {
+            let e = earliest.positions[v];
+            let l = width - dist[v];
+            e + (l - e).div_euclid(2)
+        })
+        .collect();
+    let mut repair_passes = 0usize;
+    loop {
+        repair_passes += 1;
+        let mut changed = false;
+        for c in sys.constraints() {
+            let need = x[c.from.0] + c.weight;
+            if x[c.to.0] < need {
+                x[c.to.0] = need;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if repair_passes > n + 1 {
+            return Err(Infeasible { passes: repair_passes });
+        }
+    }
+    Ok(Solution { positions: x, passes: earliest.passes + passes + repair_passes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintSystem;
+
+    #[test]
+    fn simple_chain() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(50);
+        let c = s.add_var(90);
+        s.require(a, b, 10);
+        s.require(b, c, 7);
+        let sol = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sol.position(a), 0);
+        assert_eq!(sol.position(b), 10);
+        assert_eq!(sol.position(c), 17);
+        assert_eq!(sol.extent(), 17);
+    }
+
+    #[test]
+    fn sorted_order_converges_in_two_passes_on_preserved_order() {
+        // The paper's claim: when initial ordering survives, one
+        // relaxation pass suffices (plus the verification pass).
+        let mut s = ConstraintSystem::new();
+        let vars: Vec<_> = (0..100).map(|k| s.add_var(k * 10)).collect();
+        for w in vars.windows(2) {
+            s.require(w[0], w[1], 3);
+        }
+        let sorted = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sorted.passes, 2, "1 relaxation + 1 verification");
+
+        // Same system with constraints inserted back-to-front: unsorted
+        // processing needs ~|V| passes.
+        let mut s2 = ConstraintSystem::new();
+        let vars2: Vec<_> = (0..100).map(|k| s2.add_var(k * 10)).collect();
+        for k in (1..100).rev() {
+            s2.require(vars2[k - 1], vars2[k], 3);
+        }
+        let unsorted = solve(&s2, EdgeOrder::Unsorted).unwrap();
+        let sorted2 = solve(&s2, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sorted2.passes, 2);
+        assert!(unsorted.passes > 50, "got {}", unsorted.passes);
+        // Same positions either way.
+        assert_eq!(unsorted.positions_vec(), sorted2.positions_vec());
+    }
+
+    #[test]
+    fn infeasible_positive_cycle() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(0);
+        s.require(a, b, 5);
+        s.require(b, a, -4); // b − a ≥ 5 and a − b ≥ −4 → a ≤ b − 5, a ≥ b − 4: contradiction
+        let err = solve(&s, EdgeOrder::Sorted).unwrap_err();
+        assert!(err.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn equality_cycles_are_fine() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(0);
+        s.require_exact(a, b, 12);
+        let sol = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sol.position(b) - sol.position(a), 12);
+    }
+
+    #[test]
+    fn balanced_solution_is_feasible_and_centered() {
+        // a fixed chain a→b, and a floater f constrained only to the left
+        // wall: left-packing puts f at 0; balanced centers it.
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(100);
+        let f = s.add_var(40);
+        s.require(a, b, 100);
+        s.require(a, f, 0);
+        s.require(f, b, 10); // f can sit anywhere in [0, 90]
+        let left = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(left.position(f), 0);
+        let bal = solve_balanced(&s).unwrap();
+        assert!(s.violations(&bal.positions_vec(), &[]).is_empty());
+        assert_eq!(bal.position(f), 45, "midpoint of [0, 90]");
+        // Total extent unchanged.
+        assert_eq!(bal.position(b) - bal.position(a), 100);
+    }
+
+    #[test]
+    fn balanced_avoids_the_fig_6_8_jog() {
+        // Two wire stubs that should stay aligned: stub T (top row) is
+        // pinned between obstacles; stub B (bottom row) is free. Pure
+        // left-packing yanks B to the wall, creating a jog |x_T − x_B|.
+        let mut s = ConstraintSystem::new();
+        let wall = s.add_var(0);
+        let t = s.add_var(40);
+        let b = s.add_var(40);
+        let right = s.add_var(100);
+        s.require(wall, t, 40); // obstacle holds T at 40
+        s.require(t, right, 10);
+        s.require(wall, b, 0); // B only needs to clear the wall
+        s.require(b, right, 10);
+        s.require(wall, right, 100);
+
+        let left = solve(&s, EdgeOrder::Sorted).unwrap();
+        let jog_left = (left.position(t) - left.position(b)).abs();
+        let bal = solve_balanced(&s).unwrap();
+        let jog_bal = (bal.position(t) - bal.position(b)).abs();
+        assert_eq!(jog_left, 40);
+        assert!(jog_bal < jog_left, "balanced {jog_bal} vs left {jog_left}");
+        assert!(s.violations(&bal.positions_vec(), &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_system() {
+        let s = ConstraintSystem::new();
+        let sol = solve(&s, EdgeOrder::Unsorted).unwrap();
+        assert_eq!(sol.extent(), 0);
+        assert_eq!(sol.passes, 1);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type for the RSG core.
+
+use rsg_layout::LayoutError;
+use std::fmt;
+
+/// Errors raised while building connectivity graphs, extracting sample
+/// interfaces, or expanding graphs to layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsgError {
+    /// No interface with this `(cell_a, cell_b, index)` key is loaded.
+    MissingInterface {
+        /// Name of the reference cell.
+        cell_a: String,
+        /// Name of the placed cell.
+        cell_b: String,
+        /// Interface index number.
+        index: u32,
+    },
+    /// An interface with this key is already loaded with different data.
+    ConflictingInterface {
+        /// Name of the reference cell.
+        cell_a: String,
+        /// Name of the placed cell.
+        cell_b: String,
+        /// Interface index number.
+        index: u32,
+    },
+    /// A node id did not resolve in this generator's arena.
+    UnknownNode(u32),
+    /// A node was used in `mk_cell` after already being consumed by an
+    /// earlier `mk_cell` (its placement is already bound).
+    NodeAlreadyPlaced(u32),
+    /// A node passed to `declare_interface` has no placement yet (its
+    /// component was never expanded by `mk_cell`).
+    NodeNotPlaced(u32),
+    /// A cycle in the connectivity graph implied two different placements
+    /// for the same node (the graph's redundant information disagrees).
+    InconsistentCycle {
+        /// The node with contradictory placements.
+        node: u32,
+    },
+    /// `connect` called with the same node on both ends.
+    SelfEdge(u32),
+    /// An interface label in a sample cell did not select exactly two
+    /// instances.
+    AmbiguousLabel {
+        /// Cell containing the label.
+        cell: String,
+        /// Label text.
+        label: String,
+        /// How many instances contained the label point.
+        hits: usize,
+    },
+    /// Error from the layout database.
+    Layout(LayoutError),
+}
+
+impl fmt::Display for RsgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsgError::MissingInterface { cell_a, cell_b, index } => {
+                write!(f, "no interface #{index} between `{cell_a}` and `{cell_b}`")
+            }
+            RsgError::ConflictingInterface { cell_a, cell_b, index } => {
+                write!(f, "interface #{index} between `{cell_a}` and `{cell_b}` already loaded with different data")
+            }
+            RsgError::UnknownNode(id) => write!(f, "unknown node #{id}"),
+            RsgError::NodeAlreadyPlaced(id) => {
+                write!(f, "node #{id} was already consumed by an earlier mk_cell")
+            }
+            RsgError::NodeNotPlaced(id) => {
+                write!(f, "node #{id} has no placement yet (mk_cell its component first)")
+            }
+            RsgError::InconsistentCycle { node } => {
+                write!(f, "graph cycle implies two different placements for node #{node}")
+            }
+            RsgError::SelfEdge(id) => write!(f, "cannot connect node #{id} to itself"),
+            RsgError::AmbiguousLabel { cell, label, hits } => {
+                write!(
+                    f,
+                    "interface label `{label}` in cell `{cell}` selects {hits} instances (need exactly 2)"
+                )
+            }
+            RsgError::Layout(e) => write!(f, "layout error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RsgError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RsgError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LayoutError> for RsgError {
+    fn from(e: LayoutError) -> RsgError {
+        RsgError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<RsgError> = vec![
+            RsgError::MissingInterface { cell_a: "a".into(), cell_b: "b".into(), index: 1 },
+            RsgError::ConflictingInterface { cell_a: "a".into(), cell_b: "b".into(), index: 2 },
+            RsgError::UnknownNode(3),
+            RsgError::NodeAlreadyPlaced(4),
+            RsgError::NodeNotPlaced(5),
+            RsgError::InconsistentCycle { node: 6 },
+            RsgError::SelfEdge(7),
+            RsgError::AmbiguousLabel { cell: "c".into(), label: "1".into(), hits: 3 },
+            RsgError::Layout(LayoutError::DuplicateCell("x".into())),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Design-by-example interface extraction from a sample layout.
+//!
+//! "One merely provides an example of the interface, and places a numerical
+//! label in the overlapping region" (paper Chapter 5, Fig 5.5). The rule
+//! implemented here:
+//!
+//! * every [`rsg_layout::LayoutObject::Label`] whose text parses as a `u32`
+//!   is an interface declaration;
+//! * the two instances it declares are those whose *deep bounding box*
+//!   (the instance's cell flattened through the calling isometry) contains
+//!   the label anchor point;
+//! * the **reference** instance — the one deskewed to north, from whose
+//!   point of call the interface vector starts — is the instance that
+//!   appears *earlier* in the cell's object list. This is the graphical
+//!   discrimination of §3.4 (Fig 3.7): the sample's author controls which
+//!   of the two same-celltype instances is `A₁` simply by drawing it first.
+
+use crate::{Interface, RsgError};
+use rsg_geom::BoundingBox;
+use rsg_layout::{CellId, CellTable, Instance};
+
+/// One interface mined from the sample layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractedInterface {
+    /// Reference cell (deskewed to north in the interface definition).
+    pub cell_a: CellId,
+    /// The other cell.
+    pub cell_b: CellId,
+    /// Interface index number (the label text).
+    pub index: u32,
+    /// The interface itself.
+    pub interface: Interface,
+    /// The sample cell the example appeared in.
+    pub found_in: CellId,
+}
+
+/// Scans every cell of a sample layout and extracts all labelled
+/// interfaces.
+///
+/// # Errors
+///
+/// Returns [`RsgError::AmbiguousLabel`] when a numeric label's anchor is
+/// contained in fewer or more than two instance bounding boxes, and
+/// propagates layout errors (dangling ids, recursion) from flattening.
+pub fn extract_interfaces(sample: &CellTable) -> Result<Vec<ExtractedInterface>, RsgError> {
+    let mut out = Vec::new();
+    for (cell_id, def) in sample.iter() {
+        let instances: Vec<Instance> = def.instances().copied().collect();
+        if instances.is_empty() {
+            continue;
+        }
+        // Deep bbox of each instance, in the sample cell's coordinates.
+        let mut bboxes = Vec::with_capacity(instances.len());
+        for inst in &instances {
+            bboxes.push(deep_bbox(sample, inst)?);
+        }
+        for (text, at) in def.labels() {
+            let Ok(index) = text.parse::<u32>() else { continue };
+            let hits: Vec<usize> = bboxes
+                .iter()
+                .enumerate()
+                .filter(|(_, bb)| bb.rect().is_some_and(|r| r.contains(at)))
+                .map(|(i, _)| i)
+                .collect();
+            if hits.len() != 2 {
+                return Err(RsgError::AmbiguousLabel {
+                    cell: def.name().to_owned(),
+                    label: text.to_owned(),
+                    hits: hits.len(),
+                });
+            }
+            // Earlier-drawn instance is the reference (A₁ of Fig 3.7).
+            let (ia, ib) = (instances[hits[0]], instances[hits[1]]);
+            out.push(ExtractedInterface {
+                cell_a: ia.cell,
+                cell_b: ib.cell,
+                index,
+                interface: Interface::between(ia.isometry(), ib.isometry()),
+                found_in: cell_id,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Deep bounding box of one instance: the union of all its flattened boxes,
+/// expressed in the calling cell's coordinates.
+fn deep_bbox(sample: &CellTable, inst: &Instance) -> Result<BoundingBox, RsgError> {
+    let flat = rsg_layout::flatten(sample, inst.cell)?;
+    let iso = inst.isometry();
+    Ok(flat.into_iter().map(|b| b.rect.transform(iso)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_geom::{Orientation, Point, Rect, Vector};
+    use rsg_layout::{CellDefinition, Layer};
+
+    fn tile_cell() -> CellDefinition {
+        let mut c = CellDefinition::new("tile");
+        c.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
+        c
+    }
+
+    #[test]
+    fn extracts_overlap_labelled_interface() {
+        let mut t = CellTable::new();
+        let tile = t.insert(tile_cell()).unwrap();
+        let mut pair = CellDefinition::new("pair");
+        pair.add_instance(Instance::new(tile, Point::new(0, 0), Orientation::NORTH));
+        pair.add_instance(Instance::new(tile, Point::new(8, 0), Orientation::NORTH));
+        pair.add_label("1", Point::new(9, 5));
+        t.insert(pair).unwrap();
+
+        let found = extract_interfaces(&t).unwrap();
+        assert_eq!(found.len(), 1);
+        let e = found[0];
+        assert_eq!(e.index, 1);
+        assert_eq!((e.cell_a, e.cell_b), (tile, tile));
+        assert_eq!(e.interface, Interface::new(Vector::new(8, 0), Orientation::NORTH));
+    }
+
+    #[test]
+    fn reference_instance_is_first_drawn() {
+        // Same geometry, reversed drawing order: the extracted interface
+        // must flip to keep the first-drawn instance as reference.
+        let mut t = CellTable::new();
+        let tile = t.insert(tile_cell()).unwrap();
+        let mut pair = CellDefinition::new("pair");
+        pair.add_instance(Instance::new(tile, Point::new(8, 0), Orientation::NORTH));
+        pair.add_instance(Instance::new(tile, Point::new(0, 0), Orientation::NORTH));
+        pair.add_label("1", Point::new(9, 5));
+        t.insert(pair).unwrap();
+
+        let found = extract_interfaces(&t).unwrap();
+        assert_eq!(found[0].interface, Interface::new(Vector::new(-8, 0), Orientation::NORTH));
+    }
+
+    #[test]
+    fn non_numeric_labels_ignored() {
+        let mut t = CellTable::new();
+        let tile = t.insert(tile_cell()).unwrap();
+        let mut pair = CellDefinition::new("pair");
+        pair.add_instance(Instance::new(tile, Point::new(0, 0), Orientation::NORTH));
+        pair.add_instance(Instance::new(tile, Point::new(8, 0), Orientation::NORTH));
+        pair.add_label("vdd", Point::new(9, 5));
+        t.insert(pair).unwrap();
+        assert!(extract_interfaces(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn ambiguous_label_is_an_error() {
+        let mut t = CellTable::new();
+        let tile = t.insert(tile_cell()).unwrap();
+        let mut trio = CellDefinition::new("trio");
+        for x in [0, 4, 8] {
+            trio.add_instance(Instance::new(tile, Point::new(x, 0), Orientation::NORTH));
+        }
+        trio.add_label("1", Point::new(9, 5)); // inside all three bboxes
+        t.insert(trio).unwrap();
+        let err = extract_interfaces(&t).unwrap_err();
+        assert!(matches!(err, RsgError::AmbiguousLabel { hits: 3, .. }));
+    }
+
+    #[test]
+    fn label_outside_everything_is_an_error() {
+        let mut t = CellTable::new();
+        let tile = t.insert(tile_cell()).unwrap();
+        let mut pair = CellDefinition::new("pair");
+        pair.add_instance(Instance::new(tile, Point::new(0, 0), Orientation::NORTH));
+        pair.add_instance(Instance::new(tile, Point::new(8, 0), Orientation::NORTH));
+        pair.add_label("1", Point::new(100, 100));
+        t.insert(pair).unwrap();
+        let err = extract_interfaces(&t).unwrap_err();
+        assert!(matches!(err, RsgError::AmbiguousLabel { hits: 0, .. }));
+    }
+
+    #[test]
+    fn oriented_instances_extract_correctly() {
+        // The second tile is south-rotated and overlapping; reconstruct its
+        // call from the interface and check it round-trips.
+        let mut t = CellTable::new();
+        let tile = t.insert(tile_cell()).unwrap();
+        let call_a = Instance::new(tile, Point::new(0, 0), Orientation::NORTH);
+        let call_b = Instance::new(tile, Point::new(19, 10), Orientation::SOUTH);
+        let mut pair = CellDefinition::new("pair");
+        pair.add_instance(call_a);
+        pair.add_instance(call_b);
+        pair.add_label("4", Point::new(9, 5)); // in both (b covers 9..19 x 0..10)
+        t.insert(pair).unwrap();
+
+        let e = extract_interfaces(&t).unwrap()[0];
+        assert_eq!(e.index, 4);
+        assert_eq!(e.interface.place_second(call_a.isometry()), call_b.isometry());
+    }
+
+    #[test]
+    fn labels_in_multiple_cells() {
+        let mut t = CellTable::new();
+        let tile = t.insert(tile_cell()).unwrap();
+        for (name, dx) in [("p1", 8), ("p2", 6)] {
+            let mut pair = CellDefinition::new(name);
+            pair.add_instance(Instance::new(tile, Point::new(0, 0), Orientation::NORTH));
+            pair.add_instance(Instance::new(tile, Point::new(dx, 0), Orientation::NORTH));
+            pair.add_label(if dx == 8 { "1" } else { "2" }, Point::new(dx + 1, 5));
+            t.insert(pair).unwrap();
+        }
+        let found = extract_interfaces(&t).unwrap();
+        assert_eq!(found.len(), 2);
+        let idx: Vec<u32> = found.iter().map(|e| e.index).collect();
+        assert!(idx.contains(&1) && idx.contains(&2));
+    }
+}

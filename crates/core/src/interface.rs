@@ -1,0 +1,288 @@
+//! The interface algebra of Chapter 2.
+//!
+//! An interface between two cells A and B is the ordered pair
+//! `I_ab = (V_ab, O_ab)`: hold the instance of A at orientation north and
+//! record where B's point of call lands (`V_ab`) and how B is oriented
+//! (`O_ab`). Equations 2.1–2.2 of the paper:
+//!
+//! ```text
+//! O_ab = (O'_a)⁻¹ ∘ O'_b
+//! V_ab = (O'_a)⁻¹ (L'_b − L'_a)
+//! ```
+//!
+//! An interface is therefore exactly the *relative isometry*
+//! `call_a⁻¹ ∘ call_b`, and the whole algebra of the chapter — inversion
+//! (eqs. 2.3–2.4) and inheritance (eqs. 2.11–2.12) — collapses to isometry
+//! composition. The tests check the collapsed forms against the paper's
+//! explicit component formulas.
+
+use rsg_geom::{Isometry, Orientation, Vector};
+use std::fmt;
+
+/// An interface `(V_ab, O_ab)` between two cells (paper §2.2).
+///
+/// # Example
+///
+/// ```
+/// use rsg_core::Interface;
+/// use rsg_geom::{Isometry, Orientation, Point, Vector};
+///
+/// // Fig 2.2: A called at south, B north of it.
+/// let call_a = Isometry::call(Point::new(0, 0), Orientation::SOUTH);
+/// let call_b = Isometry::call(Point::new(0, 10), Orientation::WEST);
+/// let iface = Interface::between(call_a, call_b);
+/// // Deskewed by South⁻¹ = South: B lands below and west becomes east-ish.
+/// assert_eq!(iface.vector, Vector::new(0, -10));
+/// // Round trip: placing B from A's call reproduces B's call.
+/// assert_eq!(iface.place_second(call_a), call_b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interface {
+    /// `V_ab`: from A's point of call to B's, with A deskewed to north.
+    pub vector: Vector,
+    /// `O_ab`: B's orientation with A deskewed to north.
+    pub orientation: Orientation,
+}
+
+impl Interface {
+    /// The trivial interface (B exactly on top of A, same orientation).
+    pub const IDENTITY: Interface =
+        Interface { vector: Vector::ZERO, orientation: Orientation::NORTH };
+
+    /// Creates an interface from its components.
+    pub const fn new(vector: Vector, orientation: Orientation) -> Interface {
+        Interface { vector, orientation }
+    }
+
+    /// Computes `I_ab` from the calling parameters of A and B in a common
+    /// coordinate system (paper eqs. 2.1–2.2).
+    pub fn between(call_a: Isometry, call_b: Isometry) -> Interface {
+        Interface::from_isometry(call_a.inverse().compose(call_b))
+    }
+
+    /// The interface as a relative isometry `call_a⁻¹ ∘ call_b`.
+    pub const fn to_isometry(self) -> Isometry {
+        Isometry { orientation: self.orientation, translation: self.vector }
+    }
+
+    /// Builds an interface from a relative isometry.
+    pub const fn from_isometry(iso: Isometry) -> Interface {
+        Interface { vector: iso.translation, orientation: iso.orientation }
+    }
+
+    /// `I_ba = I_ab⁻¹ = (−O_ab⁻¹ V_ab, O_ab⁻¹)` (paper eqs. 2.3–2.4).
+    pub fn inverse(self) -> Interface {
+        Interface::from_isometry(self.to_isometry().inverse())
+    }
+
+    /// Given the full calling parameters of the first cell, returns the
+    /// calling parameters of the second (paper eqs. 3.1–3.2):
+    ///
+    /// ```text
+    /// O_b = O_a ∘ O_ab        L_b = O_a(V_ab) + L_a
+    /// ```
+    pub fn place_second(self, call_a: Isometry) -> Isometry {
+        call_a.compose(self.to_isometry())
+    }
+
+    /// Given the calling parameters of the *second* cell, recovers the
+    /// first's — the "bilaterality" required of the interface table
+    /// (paper §2.4).
+    pub fn place_first(self, call_b: Isometry) -> Isometry {
+        call_b.compose(self.to_isometry().inverse())
+    }
+
+    /// Interface inheritance (paper §2.5, eqs. 2.11–2.12).
+    ///
+    /// If A is a subcell of C called with `call_a_in_c`, B a subcell of D
+    /// called with `call_b_in_d`, and `self` is an interface `I_ab`, then
+    /// the returned `I_cd` is the interface C and D inherit when their
+    /// subcells A and B are placed in the `I_ab` relation:
+    ///
+    /// ```text
+    /// I_cd = call_a_in_c ∘ I_ab ∘ call_b_in_d⁻¹
+    /// ```
+    pub fn inherit(self, call_a_in_c: Isometry, call_b_in_d: Isometry) -> Interface {
+        Interface::from_isometry(
+            call_a_in_c.compose(self.to_isometry()).compose(call_b_in_d.inverse()),
+        )
+    }
+}
+
+impl Default for Interface {
+    fn default() -> Interface {
+        Interface::IDENTITY
+    }
+}
+
+impl fmt::Display for Interface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(V={}, O={})", self.vector, self.orientation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_geom::Point;
+
+    fn isometries() -> Vec<Isometry> {
+        let mut v = Vec::new();
+        for o in Orientation::ALL {
+            for t in [Vector::ZERO, Vector::new(13, -4), Vector::new(-6, 21)] {
+                v.push(Isometry::new(o, t));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn between_matches_paper_component_formulas() {
+        // Check the collapsed isometry form against eqs. 2.1 and 2.2
+        // written out componentwise.
+        for call_a in isometries() {
+            for call_b in isometries() {
+                let iface = Interface::between(call_a, call_b);
+                let o_ab = call_a.orientation.inverse().compose(call_b.orientation);
+                let v_ab = call_a
+                    .orientation
+                    .inverse()
+                    .apply_vector(call_b.translation - call_a.translation);
+                assert_eq!(iface.orientation, o_ab);
+                assert_eq!(iface.vector, v_ab);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_matches_paper_eq_2_3_2_4() {
+        // I_ba = (−O_ab⁻¹ V_ab, O_ab⁻¹).
+        for call_a in isometries() {
+            for call_b in isometries() {
+                let i_ab = Interface::between(call_a, call_b);
+                let i_ba = i_ab.inverse();
+                assert_eq!(i_ba.orientation, i_ab.orientation.inverse());
+                assert_eq!(
+                    i_ba.vector,
+                    -(i_ab.orientation.inverse().apply_vector(i_ab.vector))
+                );
+                // And it really is the B→A interface.
+                assert_eq!(i_ba, Interface::between(call_b, call_a));
+            }
+        }
+    }
+
+    #[test]
+    fn place_second_round_trips() {
+        for call_a in isometries() {
+            for call_b in isometries() {
+                let iface = Interface::between(call_a, call_b);
+                assert_eq!(iface.place_second(call_a), call_b);
+                assert_eq!(iface.place_first(call_b), call_a);
+            }
+        }
+    }
+
+    #[test]
+    fn interfaces_are_invariant_under_common_isometry() {
+        // §3.4: each connectivity graph corresponds to a whole equivalence
+        // class of layouts modulo a common isometry. Interfaces must not
+        // change when both calls are moved by the same isometry.
+        for g in isometries().into_iter().step_by(4) {
+            for call_a in isometries().into_iter().step_by(3) {
+                for call_b in isometries().into_iter().step_by(5) {
+                    let before = Interface::between(call_a, call_b);
+                    let after = Interface::between(g.compose(call_a), g.compose(call_b));
+                    assert_eq!(before, after);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig_2_2_worked_example() {
+        // Fig 2.2: instance of A oriented South; reorienting the calling
+        // cell by South⁻¹ = South deskews A to North.
+        let call_a = Isometry::call(Point::new(4, 4), Orientation::SOUTH);
+        let call_b = Isometry::call(Point::new(4, 12), Orientation::WEST);
+        let iface = Interface::between(call_a, call_b);
+        // L_b − L_a = (0, 8); deskewed by South: (0, −8).
+        assert_eq!(iface.vector, Vector::new(0, -8));
+        // O_ab = South⁻¹ ∘ West = South ∘ West = East.
+        assert_eq!(iface.orientation, Orientation::SOUTH.compose(Orientation::WEST));
+        assert_eq!(iface.orientation, Orientation::EAST);
+    }
+
+    #[test]
+    fn inherit_matches_paper_eq_2_11_2_12() {
+        // eq 2.11: O_cd = O_a^c ∘ O_ab ∘ (O_b^d)⁻¹
+        // eq 2.12: V_cd = O_a^c V_ab − (O_cd) (O_b^d)⁻¹ L_b^d + L_a^c
+        //   (final line of the derivation, rewritten in our notation: the
+        //    translation of call_a_in_c ∘ I_ab ∘ call_b_in_d⁻¹.)
+        for call_ac in isometries().into_iter().step_by(2) {
+            for call_bd in isometries().into_iter().step_by(3) {
+                for i_ab in
+                    isometries().into_iter().step_by(5).map(Interface::from_isometry)
+                {
+                    let i_cd = i_ab.inherit(call_ac, call_bd);
+                    let o_cd = call_ac
+                        .orientation
+                        .compose(i_ab.orientation)
+                        .compose(call_bd.orientation.inverse());
+                    assert_eq!(i_cd.orientation, o_cd);
+                    // Componentwise translation check (paper eq. 2.12):
+                    // V_cd = O_a^c(V_ab) − O_cd(L_b^d) + L_a^c.
+                    let v = call_ac.orientation.apply_vector(i_ab.vector)
+                        - o_cd.apply_vector(call_bd.translation)
+                        + call_ac.translation;
+                    assert_eq!(i_cd.vector, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inherit_semantics_subcells_end_up_in_relation() {
+        // The defining property (Fig 2.4): if C and D are placed with the
+        // inherited I_cd, then A (inside C) and B (inside D) sit in I_ab.
+        for call_ac in isometries().into_iter().step_by(3) {
+            for call_bd in isometries().into_iter().step_by(4) {
+                for i_ab in isometries().into_iter().step_by(7).map(Interface::from_isometry)
+                {
+                    let i_cd = i_ab.inherit(call_ac, call_bd);
+                    for call_c in isometries().into_iter().step_by(5) {
+                        let call_d = i_cd.place_second(call_c);
+                        let abs_a = call_c.compose(call_ac);
+                        let abs_b = call_d.compose(call_bd);
+                        assert_eq!(Interface::between(abs_a, abs_b), i_ab);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_vector_different_interface() {
+        // §3.4: I_aa = (0, East) has I_aa⁻¹ = (0, West): same vector,
+        // different interface — so selection cannot rely on vectors alone.
+        let i = Interface::new(Vector::ZERO, Orientation::EAST);
+        let inv = i.inverse();
+        assert_eq!(inv.vector, i.vector);
+        assert_ne!(inv, i);
+        // And (V, North) has inverse (−V, North): same orientation,
+        // different interface.
+        let j = Interface::new(Vector::new(5, 0), Orientation::NORTH);
+        let jinv = j.inverse();
+        assert_eq!(jinv.orientation, j.orientation);
+        assert_ne!(jinv, j);
+    }
+
+    #[test]
+    fn identity_interface() {
+        let id = Interface::IDENTITY;
+        assert_eq!(id.inverse(), id);
+        let call = Isometry::call(Point::new(3, 3), Orientation::EAST);
+        assert_eq!(id.place_second(call), call);
+        assert_eq!(Interface::default(), id);
+    }
+}

@@ -1,0 +1,62 @@
+//! The Regular Structure Generator core: design-by-example interfaces,
+//! connectivity graphs, and graph→layout expansion.
+//!
+//! This crate implements Chapters 2 and 3 of Bamji's 1985 thesis:
+//!
+//! * [`Interface`] — the ordered pair `(V_ab, O_ab)` capturing how two cell
+//!   instances sit relative to each other (eqs. 2.1–2.4), with
+//!   [`Interface::inherit`] implementing interface inheritance between
+//!   macrocells (eqs. 2.11–2.12),
+//! * [`InterfaceTable`] — the table of all legal interfaces, keyed by
+//!   `(cell, cell, index)` with automatic loading of the inverse entry,
+//! * [`Rsg`] — the generator itself: a node arena of *partial instances*
+//!   (celltype known, placement delayed), the `mk_instance` / `connect` /
+//!   `mk_cell` primitive operators of Chapter 4, and `declare_interface`
+//!   for inheritance,
+//! * [`extract_interfaces`] — the *design by example* step: mining the
+//!   interface table out of a sample layout where interfaces are marked by
+//!   numeric labels in the overlap region (paper Fig 5.5).
+//!
+//! # Example: a row of cells from one sampled interface
+//!
+//! ```
+//! use rsg_core::Rsg;
+//! use rsg_layout::{CellDefinition, CellTable, Instance, Layer};
+//! use rsg_geom::{Orientation, Point, Rect};
+//!
+//! // Sample layout: two abutting instances of `tile` + label "1" in overlap.
+//! let mut sample = CellTable::new();
+//! let mut tile = CellDefinition::new("tile");
+//! tile.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
+//! let tile_id = sample.insert(tile).unwrap();
+//! let mut pair = CellDefinition::new("pair");
+//! pair.add_instance(Instance::new(tile_id, Point::new(0, 0), Orientation::NORTH));
+//! pair.add_instance(Instance::new(tile_id, Point::new(8, 0), Orientation::NORTH));
+//! pair.add_label("1", Point::new(9, 5)); // inside the overlap
+//! sample.insert(pair).unwrap();
+//!
+//! let mut rsg = Rsg::from_sample(sample).unwrap();
+//! let tile_cell = rsg.cells().lookup("tile").unwrap();
+//!
+//! // Build a row of 4 tiles entirely from the sampled interface.
+//! let nodes: Vec<_> = (0..4).map(|_| rsg.mk_instance(tile_cell)).collect();
+//! for w in nodes.windows(2) {
+//!     rsg.connect(w[0], w[1], 1).unwrap();
+//! }
+//! let row = rsg.mk_cell("row", nodes[0]).unwrap();
+//! assert_eq!(rsg.cells().require(row).unwrap().instances().count(), 4);
+//! ```
+
+#![deny(missing_docs)]
+
+mod error;
+mod extract;
+mod interface;
+mod rsg;
+mod table;
+
+pub use error::RsgError;
+pub use extract::{extract_interfaces, ExtractedInterface};
+pub use interface::Interface;
+pub use rsg::{NodeId, Rsg};
+pub use table::{InterfaceKey, InterfaceTable};

@@ -1,0 +1,545 @@
+//! The generator: node arena, primitive operators, and graph→layout
+//! expansion (Chapter 3 and §4.4 of the paper).
+//!
+//! Nodes are *partial instances*: "vertices represent partial instances
+//! whose cell type is known but whose location and orientation are as yet
+//! unspecified" (§3.1). The three primitive operators are:
+//!
+//! * [`Rsg::mk_instance`] — create a partial-instance node (§4.4.1),
+//! * [`Rsg::connect`] — add a directed, bilaterally-linked edge carrying an
+//!   interface index (§4.4.2),
+//! * [`Rsg::mk_cell`] — traverse the connected component of a root node,
+//!   bind every placement, and register the new cell (§4.4.3).
+//!
+//! [`Rsg::declare_interface`] then lets the freshly built macrocell be used
+//! "in exactly the same fashion as were the primitive cells of the sample
+//! layout" (§2.5).
+
+use crate::{extract_interfaces, Interface, InterfaceTable, RsgError};
+use rsg_geom::{Isometry, Point};
+use rsg_layout::{CellDefinition, CellId, CellTable, Instance};
+use std::collections::VecDeque;
+
+/// Handle to a connectivity-graph node (a partial instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Raw index, for diagnostics.
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// One edge endpoint record (paper Fig 4.4): direction bit, interface
+/// index ("weight"), and the neighbouring node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Edge {
+    /// The node at the other end.
+    other: NodeId,
+    /// Interface index number.
+    index: u32,
+    /// `true` if the edge *emanates* from the node owning this record.
+    outgoing: bool,
+}
+
+/// Node data (paper Fig 4.4): celltype, edge list, and — once its component
+/// has been expanded — the bound placement and owning cell.
+#[derive(Debug, Clone)]
+struct Node {
+    cell: CellId,
+    edges: Vec<Edge>,
+    placement: Option<Instance>,
+    owner: Option<CellId>,
+}
+
+/// The Regular Structure Generator: cell table, interface table, and the
+/// arena of connectivity-graph nodes.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Clone, Default)]
+pub struct Rsg {
+    cells: CellTable,
+    interfaces: InterfaceTable,
+    nodes: Vec<Node>,
+}
+
+impl Rsg {
+    /// Creates a generator with an empty cell table and interface table.
+    pub fn new() -> Rsg {
+        Rsg::default()
+    }
+
+    /// Initializes the generator from a sample layout: loads its cell table
+    /// and extracts every labelled interface (the "Initialize Interface
+    /// Table" box of Fig 3.1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a label selects an ambiguous instance pair or an extracted
+    /// interface conflicts with an earlier one.
+    pub fn from_sample(sample: CellTable) -> Result<Rsg, RsgError> {
+        let extracted = extract_interfaces(&sample)?;
+        let mut interfaces = InterfaceTable::new();
+        for e in &extracted {
+            interfaces.declare(&sample, e.cell_a, e.cell_b, e.index, e.interface)?;
+        }
+        Ok(Rsg { cells: sample, interfaces, nodes: Vec::new() })
+    }
+
+    /// The cell definition table.
+    pub fn cells(&self) -> &CellTable {
+        &self.cells
+    }
+
+    /// Mutable access to the cell table (for adding primitive cells by
+    /// hand instead of via a sample layout).
+    pub fn cells_mut(&mut self) -> &mut CellTable {
+        &mut self.cells
+    }
+
+    /// The interface table.
+    pub fn interfaces(&self) -> &InterfaceTable {
+        &self.interfaces
+    }
+
+    /// Declares a primitive (non-inherited) interface directly.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RsgError::ConflictingInterface`] on clashes.
+    pub fn declare_primitive_interface(
+        &mut self,
+        a: CellId,
+        b: CellId,
+        index: u32,
+        iface: Interface,
+    ) -> Result<(), RsgError> {
+        self.interfaces.declare(&self.cells, a, b, index, iface)
+    }
+
+    /// `mk_instance` (paper §4.4.1): creates a partial-instance node of the
+    /// given celltype with an empty edge list and unbound placement.
+    pub fn mk_instance(&mut self, cell: CellId) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { cell, edges: Vec::new(), placement: None, owner: None });
+        id
+    }
+
+    /// `connect` (paper §4.4.2): adds an edge from `a` to `b` with the
+    /// given interface index. The edge *emanates* from `a` (direction bit
+    /// 1 at `a`, 0 at `b`), so for same-celltype pairs `a` is the reference
+    /// instance of the interface.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown nodes and self-edges.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, index: u32) -> Result<(), RsgError> {
+        if a == b {
+            return Err(RsgError::SelfEdge(a.0));
+        }
+        self.check_node(a)?;
+        self.check_node(b)?;
+        self.nodes[a.0 as usize].edges.push(Edge { other: b, index, outgoing: true });
+        self.nodes[b.0 as usize].edges.push(Edge { other: a, index, outgoing: false });
+        Ok(())
+    }
+
+    /// The celltype of a node.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown node ids.
+    pub fn node_cell(&self, node: NodeId) -> Result<CellId, RsgError> {
+        self.check_node(node)?;
+        Ok(self.nodes[node.0 as usize].cell)
+    }
+
+    /// The bound placement of a node, once its component has been expanded.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown or not-yet-placed nodes.
+    pub fn node_placement(&self, node: NodeId) -> Result<Instance, RsgError> {
+        self.check_node(node)?;
+        self.nodes[node.0 as usize].placement.ok_or(RsgError::NodeNotPlaced(node.0))
+    }
+
+    /// `mk_cell` (paper §4.4.3): expands the connected component of `root`
+    /// into a new cell named `name` and registers it in the cell table.
+    ///
+    /// The root's instance is called at `((0,0), North)`; every other node
+    /// is placed by walking the graph and applying eqs. 3.1–3.2 through the
+    /// interface table. The traversal is breadth-first, but the result is
+    /// traversal-order independent: if the graph has cycles, the redundant
+    /// placements are *verified* and an inconsistent cycle is an error.
+    ///
+    /// # Errors
+    ///
+    /// * [`RsgError::MissingInterface`] if an edge's interface is not loaded,
+    /// * [`RsgError::NodeAlreadyPlaced`] if the component was already built,
+    /// * [`RsgError::InconsistentCycle`] on contradictory cycles,
+    /// * [`RsgError::Layout`] if the cell name is taken.
+    pub fn mk_cell(&mut self, name: &str, root: NodeId) -> Result<CellId, RsgError> {
+        self.mk_cell_at(name, root, Isometry::IDENTITY)
+    }
+
+    /// Like [`Rsg::mk_cell`] but calls the root instance at an arbitrary
+    /// placement — this only selects a different representative of the
+    /// layout equivalence class (§3.4).
+    pub fn mk_cell_at(
+        &mut self,
+        name: &str,
+        root: NodeId,
+        root_call: Isometry,
+    ) -> Result<CellId, RsgError> {
+        self.check_node(root)?;
+        if self.nodes[root.0 as usize].placement.is_some() {
+            return Err(RsgError::NodeAlreadyPlaced(root.0));
+        }
+
+        // Phase 1: compute placements for the whole component.
+        let mut placed: Vec<(NodeId, Isometry)> = Vec::new();
+        let mut queue = VecDeque::new();
+        self.nodes[root.0 as usize].placement = Some(instance_at(
+            self.nodes[root.0 as usize].cell,
+            root_call,
+        ));
+        placed.push((root, root_call));
+        queue.push_back((root, root_call));
+
+        while let Some((u, call_u)) = queue.pop_front() {
+            let edges = self.nodes[u.0 as usize].edges.clone();
+            let cell_u = self.nodes[u.0 as usize].cell;
+            for e in edges {
+                let v = e.other;
+                let node_v = &self.nodes[v.0 as usize];
+                let cell_v = node_v.cell;
+                let iface = self
+                    .interfaces
+                    .resolve(cell_u, cell_v, e.index, e.outgoing)
+                    .ok_or_else(|| self.missing(cell_u, cell_v, e.index))?;
+                let call_v = iface.place_second(call_u);
+                match node_v.placement {
+                    None => {
+                        if node_v.owner.is_some() {
+                            return Err(RsgError::NodeAlreadyPlaced(v.0));
+                        }
+                        self.nodes[v.0 as usize].placement =
+                            Some(instance_at(cell_v, call_v));
+                        placed.push((v, call_v));
+                        queue.push_back((v, call_v));
+                    }
+                    Some(existing) => {
+                        if node_v.owner.is_some() {
+                            // Connected to a node consumed by an earlier
+                            // mk_cell: its placement lives in another cell's
+                            // coordinate system and cannot be reused.
+                            for (n, _) in &placed {
+                                self.nodes[n.0 as usize].placement = None;
+                            }
+                            return Err(RsgError::NodeAlreadyPlaced(v.0));
+                        }
+                        // Cycle: verify the redundant information agrees.
+                        if existing.isometry() != call_v {
+                            // Roll back placements so the arena is unchanged.
+                            for (n, _) in &placed {
+                                self.nodes[n.0 as usize].placement = None;
+                            }
+                            return Err(RsgError::InconsistentCycle { node: v.0 });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phase 2: build and register the cell.
+        let mut def = CellDefinition::new(name);
+        for (n, call) in &placed {
+            def.add_instance(instance_at(self.nodes[n.0 as usize].cell, *call));
+            // `n` is placed; ownership is bound below after insert succeeds.
+            let _ = n;
+        }
+        let id = match self.cells.insert(def) {
+            Ok(id) => id,
+            Err(e) => {
+                for (n, _) in &placed {
+                    self.nodes[n.0 as usize].placement = None;
+                }
+                return Err(e.into());
+            }
+        };
+        for (n, _) in &placed {
+            self.nodes[n.0 as usize].owner = Some(id);
+        }
+        Ok(id)
+    }
+
+    /// `declare_interface` (paper §2.5 / Fig 5.4b): loads a new interface
+    /// number `new_index` between cells `c` and `d`, inherited from the
+    /// existing interface `existing_index` between the celltypes of
+    /// `node_a` (a placed node owned by `c`) and `node_b` (owned by `d`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if either node is unplaced or not owned by the named cell, if
+    /// the existing interface is missing, or on a conflicting declaration.
+    pub fn declare_interface(
+        &mut self,
+        c: CellId,
+        d: CellId,
+        new_index: u32,
+        node_a: NodeId,
+        node_b: NodeId,
+        existing_index: u32,
+    ) -> Result<(), RsgError> {
+        let inst_a = self.node_placement(node_a)?;
+        let inst_b = self.node_placement(node_b)?;
+        debug_assert_eq!(self.nodes[node_a.0 as usize].owner, Some(c), "node_a not owned by c");
+        debug_assert_eq!(self.nodes[node_b.0 as usize].owner, Some(d), "node_b not owned by d");
+        let i_ab = self
+            .interfaces
+            .resolve(inst_a.cell, inst_b.cell, existing_index, true)
+            .ok_or_else(|| self.missing(inst_a.cell, inst_b.cell, existing_index))?;
+        let i_cd = i_ab.inherit(inst_a.isometry(), inst_b.isometry());
+        self.interfaces.declare(&self.cells, c, d, new_index, i_cd)
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), RsgError> {
+        if (node.0 as usize) < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(RsgError::UnknownNode(node.0))
+        }
+    }
+
+    fn missing(&self, a: CellId, b: CellId, index: u32) -> RsgError {
+        RsgError::MissingInterface {
+            cell_a: self.cells.get(a).map_or("?", |c| c.name()).to_owned(),
+            cell_b: self.cells.get(b).map_or("?", |c| c.name()).to_owned(),
+            index,
+        }
+    }
+}
+
+fn instance_at(cell: CellId, call: Isometry) -> Instance {
+    Instance::new(cell, Point::ORIGIN + call.translation, call.orientation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_geom::{Orientation, Rect, Vector};
+    use rsg_layout::Layer;
+
+    /// A generator with cells `a` (10×10) and `b` (6×6), interface a–b #1
+    /// (b abuts to the right of a) and a–a #1 (pitch 10 east).
+    fn setup() -> (Rsg, CellId, CellId) {
+        let mut rsg = Rsg::new();
+        let mut ca = CellDefinition::new("a");
+        ca.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
+        let a = rsg.cells_mut().insert(ca).unwrap();
+        let mut cb = CellDefinition::new("b");
+        cb.add_box(Layer::Poly, Rect::from_coords(0, 0, 6, 6));
+        let b = rsg.cells_mut().insert(cb).unwrap();
+        rsg.declare_primitive_interface(
+            a,
+            b,
+            1,
+            Interface::new(Vector::new(10, 0), Orientation::NORTH),
+        )
+        .unwrap();
+        rsg.declare_primitive_interface(
+            a,
+            a,
+            1,
+            Interface::new(Vector::new(10, 0), Orientation::NORTH),
+        )
+        .unwrap();
+        (rsg, a, b)
+    }
+
+    #[test]
+    fn mk_instance_and_cell_round_trip() {
+        let (mut rsg, a, b) = setup();
+        let na = rsg.mk_instance(a);
+        let nb = rsg.mk_instance(b);
+        rsg.connect(na, nb, 1).unwrap();
+        let id = rsg.mk_cell("pair", na).unwrap();
+        let def = rsg.cells().require(id).unwrap();
+        let placements: Vec<_> = def.instances().collect();
+        assert_eq!(placements.len(), 2);
+        assert_eq!(placements[0].point_of_call, Point::new(0, 0));
+        assert_eq!(placements[1].point_of_call, Point::new(10, 0));
+        assert_eq!(rsg.node_placement(nb).unwrap().point_of_call, Point::new(10, 0));
+    }
+
+    #[test]
+    fn expansion_follows_edges_backwards_too() {
+        // Root chosen so the a–b edge is traversed head→tail.
+        let (mut rsg, a, b) = setup();
+        let na = rsg.mk_instance(a);
+        let nb = rsg.mk_instance(b);
+        rsg.connect(na, nb, 1).unwrap();
+        let id = rsg.mk_cell("pair", nb).unwrap(); // root at B this time
+        let def = rsg.cells().require(id).unwrap();
+        // B at origin; A must be placed at -10,0 relative.
+        let inst_a = def.instances().find(|i| i.cell == a).unwrap();
+        assert_eq!(inst_a.point_of_call, Point::new(-10, 0));
+    }
+
+    #[test]
+    fn directed_edges_resolve_same_celltype_ambiguity() {
+        // Figs 3.5–3.7: an a→a edge must place the head 10 east of the
+        // tail no matter which end is the traversal root.
+        let (mut rsg, a, _) = setup();
+        let n1 = rsg.mk_instance(a);
+        let n2 = rsg.mk_instance(a);
+        rsg.connect(n1, n2, 1).unwrap();
+        let id = rsg.mk_cell("row", n1).unwrap();
+        let def = rsg.cells().require(id).unwrap();
+        let pts: Vec<_> = def.instances().map(|i| i.point_of_call).collect();
+        assert_eq!(pts, vec![Point::new(0, 0), Point::new(10, 0)]);
+
+        // Same graph, traversed from the head instead.
+        let (mut rsg2, a2, _) = setup();
+        let m1 = rsg2.mk_instance(a2);
+        let m2 = rsg2.mk_instance(a2);
+        rsg2.connect(m1, m2, 1).unwrap();
+        let id2 = rsg2.mk_cell("row", m2).unwrap();
+        let def2 = rsg2.cells().require(id2).unwrap();
+        // m2 at origin → m1 must sit 10 *west*, preserving the relation.
+        assert_eq!(rsg2.node_placement(m1).unwrap().point_of_call, Point::new(-10, 0));
+        let iface = Interface::between(
+            rsg2.node_placement(m1).unwrap().isometry(),
+            rsg2.node_placement(m2).unwrap().isometry(),
+        );
+        assert_eq!(iface, Interface::new(Vector::new(10, 0), Orientation::NORTH));
+        let _ = def2;
+    }
+
+    #[test]
+    fn consistent_cycle_accepted_inconsistent_rejected() {
+        // Triangle a-a-a with pitch-10 edges: 1→2, 2→3 and a long edge 1→3
+        // declared as interface #2 with pitch 20 (consistent).
+        let (mut rsg, a, _) = setup();
+        rsg.declare_primitive_interface(
+            a,
+            a,
+            2,
+            Interface::new(Vector::new(20, 0), Orientation::NORTH),
+        )
+        .unwrap();
+        let n1 = rsg.mk_instance(a);
+        let n2 = rsg.mk_instance(a);
+        let n3 = rsg.mk_instance(a);
+        rsg.connect(n1, n2, 1).unwrap();
+        rsg.connect(n2, n3, 1).unwrap();
+        rsg.connect(n1, n3, 2).unwrap();
+        let id = rsg.mk_cell("tri", n1).unwrap();
+        assert_eq!(rsg.cells().require(id).unwrap().instances().count(), 3);
+
+        // Now an inconsistent one: interface #3 pitch 21 contradicts.
+        let (mut rsg2, a2, _) = setup();
+        rsg2.declare_primitive_interface(
+            a2,
+            a2,
+            3,
+            Interface::new(Vector::new(21, 0), Orientation::NORTH),
+        )
+        .unwrap();
+        let m1 = rsg2.mk_instance(a2);
+        let m2 = rsg2.mk_instance(a2);
+        let m3 = rsg2.mk_instance(a2);
+        rsg2.connect(m1, m2, 1).unwrap();
+        rsg2.connect(m2, m3, 1).unwrap();
+        rsg2.connect(m1, m3, 3).unwrap();
+        let err = rsg2.mk_cell("tri", m1).unwrap_err();
+        assert!(matches!(err, RsgError::InconsistentCycle { .. }));
+        // Rollback: nodes are reusable after the failure.
+        assert!(matches!(rsg2.node_placement(m1), Err(RsgError::NodeNotPlaced(_))));
+    }
+
+    #[test]
+    fn missing_interface_reported_with_names() {
+        let (mut rsg, a, b) = setup();
+        let na = rsg.mk_instance(a);
+        let nb = rsg.mk_instance(b);
+        rsg.connect(na, nb, 99).unwrap();
+        let err = rsg.mk_cell("x", na).unwrap_err();
+        match err {
+            RsgError::MissingInterface { cell_a, cell_b, index } => {
+                assert_eq!((cell_a.as_str(), cell_b.as_str(), index), ("a", "b", 99));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_edges_rejected() {
+        let (mut rsg, a, _) = setup();
+        let n = rsg.mk_instance(a);
+        assert!(matches!(rsg.connect(n, n, 1), Err(RsgError::SelfEdge(_))));
+    }
+
+    #[test]
+    fn node_cannot_be_consumed_twice() {
+        let (mut rsg, a, _) = setup();
+        let n = rsg.mk_instance(a);
+        rsg.mk_cell("one", n).unwrap();
+        let err = rsg.mk_cell("two", n).unwrap_err();
+        assert!(matches!(err, RsgError::NodeAlreadyPlaced(_)));
+    }
+
+    #[test]
+    fn duplicate_cell_name_rolls_back() {
+        let (mut rsg, a, _) = setup();
+        let n1 = rsg.mk_instance(a);
+        rsg.mk_cell("dup", n1).unwrap();
+        let n2 = rsg.mk_instance(a);
+        let err = rsg.mk_cell("dup", n2).unwrap_err();
+        assert!(matches!(err, RsgError::Layout(_)));
+        // n2 can still be used under a different name.
+        rsg.mk_cell("dup2", n2).unwrap();
+    }
+
+    #[test]
+    fn inherited_interface_places_macrocells() {
+        // Build two single-instance macrocells of `a`, inherit the a–a
+        // interface up to them, then place them together: the inner `a`s
+        // must land 10 apart.
+        let (mut rsg, a, _) = setup();
+        let n1 = rsg.mk_instance(a);
+        let c = rsg.mk_cell("left", n1).unwrap();
+        let n2 = rsg.mk_instance(a);
+        let d = rsg.mk_cell("right", n2).unwrap();
+        rsg.declare_interface(c, d, 1, n1, n2, 1).unwrap();
+
+        let mc = rsg.mk_instance(c);
+        let md = rsg.mk_instance(d);
+        rsg.connect(mc, md, 1).unwrap();
+        let top = rsg.mk_cell("top", mc).unwrap();
+        let def = rsg.cells().require(top).unwrap();
+        let pts: Vec<_> = def.instances().map(|i| i.point_of_call).collect();
+        assert_eq!(pts, vec![Point::new(0, 0), Point::new(10, 0)]);
+    }
+
+    #[test]
+    fn mk_cell_at_shifts_the_representative() {
+        let (mut rsg, a, _) = setup();
+        let n = rsg.mk_instance(a);
+        let call = Isometry::new(Orientation::SOUTH, Vector::new(7, 7));
+        let id = rsg.mk_cell_at("shifted", n, call).unwrap();
+        let inst = rsg.cells().require(id).unwrap().instances().next().copied().unwrap();
+        assert_eq!(inst.point_of_call, Point::new(7, 7));
+        assert_eq!(inst.orientation, Orientation::SOUTH);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let (mut rsg, _, _) = setup();
+        let bogus = NodeId(999);
+        assert!(matches!(rsg.node_cell(bogus), Err(RsgError::UnknownNode(999))));
+        assert!(matches!(rsg.mk_cell("x", bogus), Err(RsgError::UnknownNode(999))));
+    }
+}

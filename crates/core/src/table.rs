@@ -1,0 +1,220 @@
+//! The interface table (paper §2.4).
+//!
+//! A mapping from `(cellname₁, cellname₂, interface index)` triplets to
+//! interfaces. When `I_ab` is loaded, "`I_ba`, the corresponding interface
+//! between B and A, is also loaded" — the *bilaterality* that lets graph
+//! expansion derive either instance's placement from the other's.
+//!
+//! For two *distinct* cells both directions are stored explicitly. For a
+//! cell interfaced with itself only one canonical entry `I°_aa` is stored;
+//! the caller supplies the traversal direction (the directed-edge bit of
+//! §3.4) and the table hands back `I°_aa` or its inverse accordingly.
+
+use crate::{Interface, RsgError};
+use rsg_layout::{CellId, CellTable};
+use std::collections::HashMap;
+
+/// Key of one interface family member: `(cell_a, cell_b, index)`.
+pub type InterfaceKey = (CellId, CellId, u32);
+
+/// The table of all legal (user-specified or inherited) interfaces.
+///
+/// Implemented with a hash table: "it is imperative that interface lookup
+/// be fast" since expansion performs one lookup per node (paper §4.5).
+#[derive(Debug, Clone, Default)]
+pub struct InterfaceTable {
+    map: HashMap<InterfaceKey, Interface>,
+}
+
+impl InterfaceTable {
+    /// Creates an empty table.
+    pub fn new() -> InterfaceTable {
+        InterfaceTable::default()
+    }
+
+    /// Loads interface `index` between `a` and `b` (in that order: `a` is
+    /// the reference instance deskewed to north).
+    ///
+    /// The reverse entry `(b, a, index) ↦ I⁻¹` is loaded automatically when
+    /// `a ≠ b`. Re-declaring an identical interface is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RsgError::ConflictingInterface`] if the key is taken by a
+    /// different interface. `cells` is used only for error messages.
+    pub fn declare(
+        &mut self,
+        cells: &CellTable,
+        a: CellId,
+        b: CellId,
+        index: u32,
+        iface: Interface,
+    ) -> Result<(), RsgError> {
+        let conflict = |cells: &CellTable| RsgError::ConflictingInterface {
+            cell_a: cells.get(a).map_or("?", |c| c.name()).to_owned(),
+            cell_b: cells.get(b).map_or("?", |c| c.name()).to_owned(),
+            index,
+        };
+        if let Some(existing) = self.map.get(&(a, b, index)) {
+            if *existing != iface {
+                return Err(conflict(cells));
+            }
+            return Ok(());
+        }
+        if a != b {
+            if let Some(existing) = self.map.get(&(b, a, index)) {
+                if *existing != iface.inverse() {
+                    return Err(conflict(cells));
+                }
+            }
+            self.map.insert((b, a, index), iface.inverse());
+        }
+        self.map.insert((a, b, index), iface);
+        Ok(())
+    }
+
+    /// Looks up the interface for traversing an edge whose *tail* cell is
+    /// `from` and *head* cell is `to` with index `index`.
+    ///
+    /// For distinct cells this is a plain lookup (both directions exist).
+    /// For a same-celltype edge the stored canonical `I°_aa` is returned
+    /// when traversing tail→head and its inverse when traversing
+    /// head→tail — resolving the Fig 3.5 ambiguity exactly as §3.4
+    /// prescribes with directed edges.
+    pub fn resolve(
+        &self,
+        from: CellId,
+        to: CellId,
+        index: u32,
+        along_edge_direction: bool,
+    ) -> Option<Interface> {
+        if from == to {
+            let canonical = self.map.get(&(from, to, index))?;
+            Some(if along_edge_direction { *canonical } else { canonical.inverse() })
+        } else {
+            self.map.get(&(from, to, index)).copied()
+        }
+    }
+
+    /// Raw lookup by exact key.
+    pub fn get(&self, a: CellId, b: CellId, index: u32) -> Option<Interface> {
+        self.map.get(&(a, b, index)).copied()
+    }
+
+    /// Number of stored entries (counting auto-loaded inverses).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no interface is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over all `(key, interface)` entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (InterfaceKey, Interface)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All interface indices loaded between a pair of cells, sorted.
+    pub fn indices_between(&self, a: CellId, b: CellId) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.map.keys().filter(|(ka, kb, _)| *ka == a && *kb == b).map(|k| k.2).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_geom::{Orientation, Vector};
+    use rsg_layout::CellDefinition;
+
+    fn two_cells() -> (CellTable, CellId, CellId) {
+        let mut t = CellTable::new();
+        let a = t.insert(CellDefinition::new("a")).unwrap();
+        let b = t.insert(CellDefinition::new("b")).unwrap();
+        (t, a, b)
+    }
+
+    #[test]
+    fn declare_loads_both_directions() {
+        let (cells, a, b) = two_cells();
+        let mut t = InterfaceTable::new();
+        let i = Interface::new(Vector::new(10, 0), Orientation::SOUTH);
+        t.declare(&cells, a, b, 1, i).unwrap();
+        assert_eq!(t.get(a, b, 1), Some(i));
+        assert_eq!(t.get(b, a, 1), Some(i.inverse()));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn redeclaring_identical_is_noop() {
+        let (cells, a, b) = two_cells();
+        let mut t = InterfaceTable::new();
+        let i = Interface::new(Vector::new(10, 0), Orientation::SOUTH);
+        t.declare(&cells, a, b, 1, i).unwrap();
+        t.declare(&cells, a, b, 1, i).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_declaration_rejected() {
+        let (cells, a, b) = two_cells();
+        let mut t = InterfaceTable::new();
+        t.declare(&cells, a, b, 1, Interface::new(Vector::new(10, 0), Orientation::NORTH))
+            .unwrap();
+        let err = t
+            .declare(&cells, a, b, 1, Interface::new(Vector::new(9, 0), Orientation::NORTH))
+            .unwrap_err();
+        assert!(matches!(err, RsgError::ConflictingInterface { index: 1, .. }));
+        // Conflicts are also caught via the reverse entry.
+        let err2 = t
+            .declare(&cells, b, a, 1, Interface::new(Vector::new(3, 3), Orientation::EAST))
+            .unwrap_err();
+        assert!(matches!(err2, RsgError::ConflictingInterface { .. }));
+    }
+
+    #[test]
+    fn same_cell_interface_stores_single_canonical_entry() {
+        let (cells, a, _) = two_cells();
+        let mut t = InterfaceTable::new();
+        let i = Interface::new(Vector::new(8, 0), Orientation::NORTH);
+        t.declare(&cells, a, a, 1, i).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.resolve(a, a, 1, true), Some(i));
+        assert_eq!(t.resolve(a, a, 1, false), Some(i.inverse()));
+    }
+
+    #[test]
+    fn resolve_directionality_for_distinct_cells() {
+        let (cells, a, b) = two_cells();
+        let mut t = InterfaceTable::new();
+        let i = Interface::new(Vector::new(4, 2), Orientation::WEST);
+        t.declare(&cells, a, b, 3, i).unwrap();
+        // Both physical directions exist; the edge-direction bit is unused.
+        assert_eq!(t.resolve(a, b, 3, true), Some(i));
+        assert_eq!(t.resolve(b, a, 3, true), Some(i.inverse()));
+    }
+
+    #[test]
+    fn families_of_interfaces() {
+        let (cells, a, b) = two_cells();
+        let mut t = InterfaceTable::new();
+        t.declare(&cells, a, b, 1, Interface::new(Vector::new(1, 0), Orientation::NORTH))
+            .unwrap();
+        t.declare(&cells, a, b, 2, Interface::new(Vector::new(0, 1), Orientation::SOUTH))
+            .unwrap();
+        assert_eq!(t.indices_between(a, b), vec![1, 2]);
+        assert_eq!(t.indices_between(b, a), vec![1, 2]);
+        assert!(t.get(a, b, 7).is_none());
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = InterfaceTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.iter().count(), 0);
+    }
+}

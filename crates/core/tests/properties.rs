@@ -1,0 +1,134 @@
+//! Property-based tests for the interface algebra and graph expansion
+//! (experiments E4–E6 of DESIGN.md).
+
+use proptest::prelude::*;
+use rsg_core::{Interface, Rsg};
+use rsg_geom::{Isometry, Orientation, Point, Rect, Vector};
+use rsg_layout::{CellDefinition, Layer};
+
+fn arb_orientation() -> impl Strategy<Value = Orientation> {
+    (0usize..8).prop_map(|i| Orientation::ALL[i])
+}
+
+fn arb_isometry() -> impl Strategy<Value = Isometry> {
+    (arb_orientation(), -500i64..500, -500i64..500)
+        .prop_map(|(o, x, y)| Isometry::new(o, Vector::new(x, y)))
+}
+
+fn arb_interface() -> impl Strategy<Value = Interface> {
+    arb_isometry().prop_map(Interface::from_isometry)
+}
+
+proptest! {
+    /// I_ba = I_ab⁻¹ and double inversion is the identity (eqs. 2.3–2.4).
+    #[test]
+    fn interface_inversion(a in arb_isometry(), b in arb_isometry()) {
+        let i_ab = Interface::between(a, b);
+        prop_assert_eq!(i_ab.inverse(), Interface::between(b, a));
+        prop_assert_eq!(i_ab.inverse().inverse(), i_ab);
+    }
+
+    /// Placement round-trips: deriving B from A and A from B are inverse
+    /// operations (the bilaterality of §2.4).
+    #[test]
+    fn placement_bilateral(a in arb_isometry(), i in arb_interface()) {
+        let b = i.place_second(a);
+        prop_assert_eq!(i.place_first(b), a);
+        prop_assert_eq!(Interface::between(a, b), i);
+    }
+
+    /// Interfaces are invariant under a common isometry of the calling
+    /// cell — the equivalence-class property of §3.4.
+    #[test]
+    fn interface_isometry_invariance(g in arb_isometry(), a in arb_isometry(), b in arb_isometry()) {
+        prop_assert_eq!(
+            Interface::between(a, b),
+            Interface::between(g.compose(a), g.compose(b))
+        );
+    }
+
+    /// Inheritance semantics: placing C and D with the inherited interface
+    /// puts the subcells A and B exactly in the original relation
+    /// (Fig 2.4).
+    #[test]
+    fn inheritance_preserves_subcell_relation(
+        i_ab in arb_interface(),
+        call_ac in arb_isometry(),
+        call_bd in arb_isometry(),
+        call_c in arb_isometry(),
+    ) {
+        let i_cd = i_ab.inherit(call_ac, call_bd);
+        let call_d = i_cd.place_second(call_c);
+        let abs_a = call_c.compose(call_ac);
+        let abs_b = call_d.compose(call_bd);
+        prop_assert_eq!(Interface::between(abs_a, abs_b), i_ab);
+    }
+
+    /// Graph expansion is root-invariant modulo isometry: expanding the
+    /// same chain from either end yields layouts in which every adjacent
+    /// pair satisfies the declared interface (E5/E6).
+    #[test]
+    fn chain_expansion_respects_interfaces(
+        iface in arb_interface(),
+        len in 2usize..7,
+        root_choice in 0usize..7,
+    ) {
+        let root_choice = root_choice % len;
+
+        let mut rsg = Rsg::new();
+        let mut cd = CellDefinition::new("t");
+        cd.add_box(Layer::Metal1, Rect::from_coords(0, 0, 4, 4));
+        let t = rsg.cells_mut().insert(cd).unwrap();
+        rsg.declare_primitive_interface(t, t, 1, iface).unwrap();
+
+        let nodes: Vec<_> = (0..len).map(|_| rsg.mk_instance(t)).collect();
+        for w in nodes.windows(2) {
+            rsg.connect(w[0], w[1], 1).unwrap();
+        }
+        rsg.mk_cell("chain", nodes[root_choice]).unwrap();
+
+        for w in nodes.windows(2) {
+            let ca = rsg.node_placement(w[0]).unwrap().isometry();
+            let cb = rsg.node_placement(w[1]).unwrap().isometry();
+            prop_assert_eq!(Interface::between(ca, cb), iface);
+        }
+        // The chosen root is at the origin, north.
+        let root_call = rsg.node_placement(nodes[root_choice]).unwrap();
+        prop_assert_eq!(root_call.point_of_call, Point::ORIGIN);
+        prop_assert_eq!(root_call.orientation, Orientation::NORTH);
+    }
+
+    /// Grid expansion with two interfaces (horizontal + vertical) places
+    /// m*n instances at the lattice points — and any spanning set of edges
+    /// gives the same layout.
+    #[test]
+    fn grid_expansion_is_a_lattice(m in 1usize..5, n in 1usize..5, px in 1i64..40, py in 1i64..40) {
+        let mut rsg = Rsg::new();
+        let mut cd = CellDefinition::new("t");
+        cd.add_box(Layer::Poly, Rect::from_coords(0, 0, 2, 2));
+        let t = rsg.cells_mut().insert(cd).unwrap();
+        rsg.declare_primitive_interface(t, t, 1, Interface::new(Vector::new(px, 0), Orientation::NORTH)).unwrap();
+        rsg.declare_primitive_interface(t, t, 2, Interface::new(Vector::new(0, py), Orientation::NORTH)).unwrap();
+
+        let mut grid = vec![vec![]; n];
+        for row in grid.iter_mut() {
+            *row = (0..m).map(|_| rsg.mk_instance(t)).collect();
+        }
+        // Spanning tree: first column vertical, every row horizontal.
+        for r in 1..n {
+            rsg.connect(grid[r - 1][0], grid[r][0], 2).unwrap();
+        }
+        for row in grid.iter() {
+            for c in 1..m {
+                rsg.connect(row[c - 1], row[c], 1).unwrap();
+            }
+        }
+        rsg.mk_cell("grid", grid[0][0]).unwrap();
+        for (r, row) in grid.iter().enumerate() {
+            for (c, &node) in row.iter().enumerate() {
+                let p = rsg.node_placement(node).unwrap().point_of_call;
+                prop_assert_eq!(p, Point::new(c as i64 * px, r as i64 * py));
+            }
+        }
+    }
+}

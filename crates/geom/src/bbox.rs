@@ -1,0 +1,140 @@
+//! Bounding-box accumulation over collections of geometry.
+
+use crate::{Point, Rect};
+
+/// An accumulating, possibly-empty bounding box.
+///
+/// The RSG computes cell extents by folding every object's rectangle into a
+/// `BoundingBox`; an empty cell yields an empty box (`rect()` is `None`).
+///
+/// # Example
+///
+/// ```
+/// use rsg_geom::{BoundingBox, Point, Rect};
+///
+/// let bb: BoundingBox = [Rect::from_coords(0, 0, 2, 2), Rect::from_coords(5, -1, 6, 1)]
+///     .into_iter()
+///     .collect();
+/// assert_eq!(bb.rect(), Some(Rect::from_coords(0, -1, 6, 2)));
+/// # let _ = Point::ORIGIN;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BoundingBox {
+    rect: Option<Rect>,
+}
+
+impl BoundingBox {
+    /// Creates an empty bounding box.
+    #[inline]
+    pub const fn new() -> BoundingBox {
+        BoundingBox { rect: None }
+    }
+
+    /// `true` if nothing has been included yet.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.rect.is_none()
+    }
+
+    /// The accumulated rectangle, or `None` when empty.
+    #[inline]
+    pub const fn rect(self) -> Option<Rect> {
+        self.rect
+    }
+
+    /// Expands the box to include a rectangle.
+    #[inline]
+    pub fn include_rect(&mut self, r: Rect) {
+        self.rect = Some(match self.rect {
+            Some(cur) => cur.union(r),
+            None => r,
+        });
+    }
+
+    /// Expands the box to include a single point.
+    #[inline]
+    pub fn include_point(&mut self, p: Point) {
+        self.include_rect(Rect::new(p, p));
+    }
+
+    /// Merges another bounding box into this one.
+    #[inline]
+    pub fn include(&mut self, other: BoundingBox) {
+        if let Some(r) = other.rect {
+            self.include_rect(r);
+        }
+    }
+
+    /// Width of the accumulated box (0 when empty).
+    #[inline]
+    pub fn width(self) -> i64 {
+        self.rect.map_or(0, Rect::width)
+    }
+
+    /// Height of the accumulated box (0 when empty).
+    #[inline]
+    pub fn height(self) -> i64 {
+        self.rect.map_or(0, Rect::height)
+    }
+}
+
+impl FromIterator<Rect> for BoundingBox {
+    fn from_iter<I: IntoIterator<Item = Rect>>(iter: I) -> BoundingBox {
+        let mut bb = BoundingBox::new();
+        for r in iter {
+            bb.include_rect(r);
+        }
+        bb
+    }
+}
+
+impl Extend<Rect> for BoundingBox {
+    fn extend<I: IntoIterator<Item = Rect>>(&mut self, iter: I) {
+        for r in iter {
+            self.include_rect(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box() {
+        let bb = BoundingBox::new();
+        assert!(bb.is_empty());
+        assert_eq!(bb.rect(), None);
+        assert_eq!(bb.width(), 0);
+        assert_eq!(bb.height(), 0);
+    }
+
+    #[test]
+    fn accumulates_rects_and_points() {
+        let mut bb = BoundingBox::new();
+        bb.include_rect(Rect::from_coords(0, 0, 1, 1));
+        bb.include_point(Point::new(-5, 3));
+        assert_eq!(bb.rect(), Some(Rect::from_coords(-5, 0, 1, 3)));
+        assert_eq!(bb.width(), 6);
+        assert_eq!(bb.height(), 3);
+    }
+
+    #[test]
+    fn merge_boxes() {
+        let a: BoundingBox = [Rect::from_coords(0, 0, 1, 1)].into_iter().collect();
+        let b: BoundingBox = [Rect::from_coords(10, 10, 11, 12)].into_iter().collect();
+        let mut c = a;
+        c.include(b);
+        assert_eq!(c.rect(), Some(Rect::from_coords(0, 0, 11, 12)));
+        let mut d = BoundingBox::new();
+        d.include(a);
+        assert_eq!(d, a);
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut bb = BoundingBox::new();
+        bb.extend([Rect::from_coords(0, 0, 2, 2), Rect::from_coords(-1, -1, 0, 0)]);
+        assert_eq!(bb.rect(), Some(Rect::from_coords(-1, -1, 2, 2)));
+    }
+}

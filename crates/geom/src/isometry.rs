@@ -1,0 +1,188 @@
+//! Affine isometries: an [`Orientation`] followed by a translation.
+//!
+//! Instantiating a cell B inside a cell A (paper §2.1) performs the isometry
+//! `O'` on B about B's own origin and then places that origin at the point
+//! of call `L'` — exactly an [`Isometry`] `p ↦ O(p) + L`.
+
+use crate::{Orientation, Point, Vector};
+use std::fmt;
+
+/// An affine isometry `p ↦ orientation(p) + translation`.
+///
+/// These compose like the calling parameters of nested instances: if A is
+/// called in B with isometry `I₁` and B in C with `I₂`, an object `Ob` of A
+/// appears in C at `I₂(I₁(Ob)) = (I₂ ∘ I₁)(Ob)` (paper §2.6). The paper
+/// notes that composing the operators first and applying the result once is
+/// the computationally efficient strategy; `Isometry::compose` is that
+/// symbolic composition.
+///
+/// # Example
+///
+/// ```
+/// use rsg_geom::{Isometry, Orientation, Point, Vector};
+///
+/// let call_b_in_a = Isometry::new(Orientation::SOUTH, Vector::new(10, 0));
+/// let call_a_in_c = Isometry::new(Orientation::NORTH, Vector::new(0, 5));
+/// let total = call_a_in_c.compose(call_b_in_a);
+/// let p = Point::new(1, 1);
+/// assert_eq!(total.apply_point(p), call_a_in_c.apply_point(call_b_in_a.apply_point(p)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Isometry {
+    /// The linear (orientation) part, applied about the origin.
+    pub orientation: Orientation,
+    /// The translation applied after the orientation (the point of call).
+    pub translation: Vector,
+}
+
+impl Isometry {
+    /// The identity isometry.
+    pub const IDENTITY: Isometry =
+        Isometry { orientation: Orientation::NORTH, translation: Vector::ZERO };
+
+    /// Creates an isometry from its orientation and translation parts.
+    #[inline]
+    pub const fn new(orientation: Orientation, translation: Vector) -> Isometry {
+        Isometry { orientation, translation }
+    }
+
+    /// A pure translation.
+    #[inline]
+    pub const fn translate(v: Vector) -> Isometry {
+        Isometry { orientation: Orientation::NORTH, translation: v }
+    }
+
+    /// A pure orientation about the origin.
+    #[inline]
+    pub const fn orient(o: Orientation) -> Isometry {
+        Isometry { orientation: o, translation: Vector::ZERO }
+    }
+
+    /// The isometry of an instance called at `point_of_call` with
+    /// `orientation` (paper §2.1 triplet minus the cell pointer).
+    #[inline]
+    pub fn call(point_of_call: Point, orientation: Orientation) -> Isometry {
+        Isometry { orientation, translation: point_of_call.to_vector() }
+    }
+
+    /// Applies the isometry to a point.
+    #[inline]
+    pub fn apply_point(self, p: Point) -> Point {
+        self.orientation.apply_point(p) + self.translation
+    }
+
+    /// Applies only the linear part to a vector (translations do not move
+    /// displacements).
+    #[inline]
+    pub fn apply_vector(self, v: Vector) -> Vector {
+        self.orientation.apply_vector(v)
+    }
+
+    /// Symbolic composition `self ∘ other` (apply `other` first).
+    ///
+    /// `(self ∘ other)(p) = O_s(O_o(p) + t_o) + t_s
+    ///                    = (O_s∘O_o)(p) + O_s(t_o) + t_s`.
+    #[inline]
+    pub fn compose(self, other: Isometry) -> Isometry {
+        Isometry {
+            orientation: self.orientation.compose(other.orientation),
+            translation: self.orientation.apply_vector(other.translation) + self.translation,
+        }
+    }
+
+    /// The inverse isometry: `p ↦ O⁻¹(p − t)`.
+    #[inline]
+    pub fn inverse(self) -> Isometry {
+        let inv = self.orientation.inverse();
+        Isometry { orientation: inv, translation: -(inv.apply_vector(self.translation)) }
+    }
+
+    /// The point of call (image of the origin).
+    #[inline]
+    pub fn point_of_call(self) -> Point {
+        self.translation.to_point()
+    }
+}
+
+impl fmt::Display for Isometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.orientation, self.translation.to_point())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probes() -> Vec<Point> {
+        vec![Point::new(0, 0), Point::new(1, 0), Point::new(-3, 7), Point::new(100, -41)]
+    }
+
+    fn sample_isometries() -> Vec<Isometry> {
+        let mut v = Vec::new();
+        for o in Orientation::ALL {
+            for t in [Vector::ZERO, Vector::new(5, -2), Vector::new(-11, 13)] {
+                v.push(Isometry::new(o, t));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn identity_fixes_everything() {
+        for p in probes() {
+            assert_eq!(Isometry::IDENTITY.apply_point(p), p);
+        }
+    }
+
+    #[test]
+    fn compose_matches_application_order() {
+        for a in sample_isometries() {
+            for b in sample_isometries() {
+                for p in probes() {
+                    assert_eq!(
+                        a.compose(b).apply_point(p),
+                        a.apply_point(b.apply_point(p)),
+                        "a={a} b={b} p={p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for a in sample_isometries() {
+            assert_eq!(a.compose(a.inverse()), Isometry::IDENTITY, "{a}");
+            assert_eq!(a.inverse().compose(a), Isometry::IDENTITY, "{a}");
+            for p in probes() {
+                assert_eq!(a.inverse().apply_point(a.apply_point(p)), p);
+            }
+        }
+    }
+
+    #[test]
+    fn call_constructor_places_origin() {
+        let iso = Isometry::call(Point::new(7, 9), Orientation::SOUTH);
+        assert_eq!(iso.apply_point(Point::ORIGIN), Point::new(7, 9));
+        assert_eq!(iso.point_of_call(), Point::new(7, 9));
+    }
+
+    #[test]
+    fn vectors_ignore_translation() {
+        let iso = Isometry::new(Orientation::SOUTH, Vector::new(100, 100));
+        assert_eq!(iso.apply_vector(Vector::new(1, 2)), Vector::new(-1, -2));
+    }
+
+    #[test]
+    fn composition_is_associative() {
+        let samples = sample_isometries();
+        for a in samples.iter().step_by(5) {
+            for b in samples.iter().step_by(7) {
+                for c in samples.iter().step_by(3) {
+                    assert_eq!(a.compose(*b).compose(*c), a.compose(b.compose(*c)));
+                }
+            }
+        }
+    }
+}

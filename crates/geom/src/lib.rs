@@ -1,0 +1,47 @@
+//! Geometric substrate for the Regular Structure Generator (RSG).
+//!
+//! This crate reproduces the mathematical foundations of Chapter 2 of
+//! Bamji's 1985 thesis *A Design by Example Regular Structure Generator*:
+//!
+//! * integer [`Point`]s and [`Vector`]s on the layout grid,
+//! * the eight Manhattan [`Orientation`]s represented as the group
+//!   ℤ₄ × 𝔹 (Section 2.6 of the paper), with closed-form composition and
+//!   inversion rules,
+//! * full affine [`Isometry`]s (orientation + translation) used when cells
+//!   are instantiated inside other cells,
+//! * axis-aligned rectangles ([`Rect`]) and bounding boxes ([`BoundingBox`]).
+//!
+//! The paper rejects both floating-point angle representations and 2×2 real
+//! matrices for orientations because layout work only ever needs the eight
+//! isometries that map Manhattan geometry to Manhattan geometry; those eight
+//! form a group isomorphic to the dihedral group D₄ and compose with two
+//! integer operations (the claim benchmarked by experiment E2 in DESIGN.md).
+//!
+//! # Example
+//!
+//! ```
+//! use rsg_geom::{Orientation, Point, Vector};
+//!
+//! // Fig 2.5 of the paper: the quarter-turn maps x→y and y→-x.
+//! let p = Point::new(3, 1);
+//! assert_eq!(Orientation::R90.apply_point(p), Point::new(-1, 3));
+//!
+//! // Orientations form a group.
+//! let o = Orientation::R90.compose(Orientation::MIRROR_Y);
+//! assert_eq!(o.compose(o.inverse()), Orientation::NORTH);
+//! # let _ = Vector::new(0, 0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod bbox;
+mod isometry;
+mod orientation;
+mod point;
+mod rect;
+
+pub use bbox::BoundingBox;
+pub use isometry::Isometry;
+pub use orientation::{Orientation, Rotation};
+pub use point::{Point, Vector};
+pub use rect::Rect;

@@ -1,0 +1,408 @@
+//! The eight Manhattan orientations as the group ℤ₄ × 𝔹 (paper §2.6).
+//!
+//! The paper represents an orientation as `e^{iθ} ∘ R^k` where θ is one of
+//! the four quarter-turn angles (an element of ℤ₄) and `R` is the reflection
+//! about the y axis applied *before* the rotation when `k = 1`. With the
+//! paper's own composition and inversion rules (§2.6.1–2.6.2):
+//!
+//! * inverse:  if `k = 1` the orientation is a reflection and is its own
+//!   inverse; otherwise the inverse negates the rotation;
+//! * compose:  `(j₂,k₂) ∘ (j₁,k₁) = (j₂ - j₁, k₂ ⊕ k₁)` when `k₂ = 1`
+//!   and `(j₂ + j₁, k₁)` when `k₂ = 0` (all arithmetic mod 4).
+//!
+//! The four pure rotations are named after compass directions as in the
+//! paper's figures (North = identity, the instance "held at orientation
+//! north" in §2.2).
+
+use crate::{Point, Vector};
+use std::fmt;
+
+/// A quarter-turn rotation count: the ℤ₄ part of an orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Rotation {
+    /// 0° — identity.
+    #[default]
+    R0,
+    /// 90° counterclockwise.
+    R90,
+    /// 180°.
+    R180,
+    /// 270° counterclockwise.
+    R270,
+}
+
+impl Rotation {
+    /// All four rotations in increasing angle order.
+    pub const ALL: [Rotation; 4] = [Rotation::R0, Rotation::R90, Rotation::R180, Rotation::R270];
+
+    /// The number of quarter turns (0–3).
+    #[inline]
+    pub const fn quarter_turns(self) -> u8 {
+        match self {
+            Rotation::R0 => 0,
+            Rotation::R90 => 1,
+            Rotation::R180 => 2,
+            Rotation::R270 => 3,
+        }
+    }
+
+    /// Builds a rotation from a quarter-turn count, reduced mod 4.
+    #[inline]
+    pub const fn from_quarter_turns(n: i64) -> Rotation {
+        match n.rem_euclid(4) {
+            0 => Rotation::R0,
+            1 => Rotation::R90,
+            2 => Rotation::R180,
+            _ => Rotation::R270,
+        }
+    }
+
+    /// Sum of two rotations (ℤ₄ addition).
+    #[inline]
+    pub const fn add(self, other: Rotation) -> Rotation {
+        Rotation::from_quarter_turns(self.quarter_turns() as i64 + other.quarter_turns() as i64)
+    }
+
+    /// Difference of two rotations (ℤ₄ subtraction).
+    #[inline]
+    pub const fn sub(self, other: Rotation) -> Rotation {
+        Rotation::from_quarter_turns(self.quarter_turns() as i64 - other.quarter_turns() as i64)
+    }
+
+    /// Additive inverse in ℤ₄.
+    #[inline]
+    pub const fn neg(self) -> Rotation {
+        Rotation::from_quarter_turns(-(self.quarter_turns() as i64))
+    }
+}
+
+/// One of the eight isometries that map Manhattan geometry to Manhattan
+/// geometry, represented as the pair `(j, k) ∈ ℤ₄ × 𝔹` of paper §2.6.
+///
+/// The operator denoted is `rot(j) ∘ Rʸᵏ`: when `mirror_y` is set, the
+/// reflection about the y axis (x ↦ −x) is performed **before** the
+/// rotation, exactly as in the paper.
+///
+/// The four unmirrored orientations carry the compass names the paper uses
+/// for instance orientations: [`Orientation::NORTH`] (identity),
+/// [`Orientation::EAST`], [`Orientation::SOUTH`], [`Orientation::WEST`].
+///
+/// # Example
+///
+/// ```
+/// use rsg_geom::{Orientation, Vector};
+///
+/// // South ∘ South = North (180° + 180°).
+/// assert_eq!(Orientation::SOUTH.compose(Orientation::SOUTH), Orientation::NORTH);
+///
+/// // Reflections are involutions (paper eq. 2.13).
+/// let refl = Orientation::MIRROR_Y.compose(Orientation::EAST);
+/// assert_eq!(refl.inverse(), refl);
+/// # let _ = Vector::ZERO;
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Orientation {
+    /// The ℤ₄ rotation applied after the optional reflection.
+    pub rotation: Rotation,
+    /// Whether the reflection about the y axis precedes the rotation.
+    pub mirror_y: bool,
+}
+
+impl Orientation {
+    /// Identity: the paper's "orientation north".
+    pub const NORTH: Orientation = Orientation { rotation: Rotation::R0, mirror_y: false };
+    /// Quarter turn counterclockwise. Fig 2.5 row "East": x→y, y→−x under
+    /// the paper's mapping convention (see [`Orientation::apply_vector`]).
+    pub const R90: Orientation = Orientation { rotation: Rotation::R90, mirror_y: false };
+    /// Half turn: the paper's "orientation south".
+    pub const SOUTH: Orientation = Orientation { rotation: Rotation::R180, mirror_y: false };
+    /// Three quarter turns.
+    pub const R270: Orientation = Orientation { rotation: Rotation::R270, mirror_y: false };
+    /// Compass alias: the paper's "East" instance orientation (one quarter
+    /// turn; Fig 2.5 maps East ↦ (y, −x), which is `R270` acting on column
+    /// vectors — see [`Orientation::fig_2_5_mapping`] for the exact table).
+    pub const EAST: Orientation = Orientation { rotation: Rotation::R270, mirror_y: false };
+    /// Compass alias for three quarter turns, the paper's "West".
+    pub const WEST: Orientation = Orientation { rotation: Rotation::R90, mirror_y: false };
+    /// Reflection about the y axis (x ↦ −x), the paper's `R`.
+    pub const MIRROR_Y: Orientation = Orientation { rotation: Rotation::R0, mirror_y: true };
+    /// Reflection about the x axis (y ↦ −y) = rot(180°) ∘ R.
+    pub const MIRROR_X: Orientation = Orientation { rotation: Rotation::R180, mirror_y: true };
+
+    /// All eight orientations (the full group).
+    pub const ALL: [Orientation; 8] = [
+        Orientation { rotation: Rotation::R0, mirror_y: false },
+        Orientation { rotation: Rotation::R90, mirror_y: false },
+        Orientation { rotation: Rotation::R180, mirror_y: false },
+        Orientation { rotation: Rotation::R270, mirror_y: false },
+        Orientation { rotation: Rotation::R0, mirror_y: true },
+        Orientation { rotation: Rotation::R90, mirror_y: true },
+        Orientation { rotation: Rotation::R180, mirror_y: true },
+        Orientation { rotation: Rotation::R270, mirror_y: true },
+    ];
+
+    /// Creates an orientation from its rotation and mirror parts.
+    #[inline]
+    pub const fn new(rotation: Rotation, mirror_y: bool) -> Orientation {
+        Orientation { rotation, mirror_y }
+    }
+
+    /// `true` if this orientation reverses handedness (is a reflection).
+    #[inline]
+    pub const fn is_reflection(self) -> bool {
+        self.mirror_y
+    }
+
+    /// Composition `self ∘ other` (apply `other` first, then `self`).
+    ///
+    /// Implements the paper's §2.6.2 rules: with `self = (j₂, k₂)` and
+    /// `other = (j₁, k₁)`, the result is `(j₂ − j₁, k₂ ⊕ k₁)` when
+    /// `k₂ = 1`, else `(j₂ + j₁, k₁)`.
+    #[inline]
+    pub const fn compose(self, other: Orientation) -> Orientation {
+        if self.mirror_y {
+            Orientation {
+                rotation: self.rotation.sub(other.rotation),
+                mirror_y: !other.mirror_y,
+            }
+        } else {
+            Orientation {
+                rotation: self.rotation.add(other.rotation),
+                mirror_y: other.mirror_y,
+            }
+        }
+    }
+
+    /// The group inverse (paper §2.6.1): reflections are involutions,
+    /// rotations invert by negating the angle.
+    #[inline]
+    pub const fn inverse(self) -> Orientation {
+        if self.mirror_y {
+            self
+        } else {
+            Orientation { rotation: self.rotation.neg(), mirror_y: false }
+        }
+    }
+
+    /// Applies the orientation to a vector.
+    ///
+    /// The reflection about the y axis (x ↦ −x) is applied first when
+    /// `mirror_y` is set, then the counterclockwise rotation. The quarter
+    /// turn maps x → y and y → −x (Fig 2.5's "East" row read as the image
+    /// of the basis under the inverse mapping; see
+    /// [`Orientation::fig_2_5_mapping`] for the paper's exact table).
+    #[inline]
+    pub const fn apply_vector(self, v: Vector) -> Vector {
+        let x = if self.mirror_y { -v.x } else { v.x };
+        let y = v.y;
+        match self.rotation {
+            Rotation::R0 => Vector { x, y },
+            Rotation::R90 => Vector { x: -y, y: x },
+            Rotation::R180 => Vector { x: -x, y: -y },
+            Rotation::R270 => Vector { x: y, y: -x },
+        }
+    }
+
+    /// Applies the orientation to a point (about the origin, since
+    /// orientations "leave S_b, the origin of the coordinate system within
+    /// B, unchanged" — paper §2.1).
+    #[inline]
+    pub const fn apply_point(self, p: Point) -> Point {
+        let v = self.apply_vector(Vector { x: p.x, y: p.y });
+        Point { x: v.x, y: v.y }
+    }
+
+    /// The coordinate mapping table of Fig 2.5 for the four basic rotations.
+    ///
+    /// Returns the pair of coordinate expressions `(new_x, new_y)` for an
+    /// object transformed by the compass orientation, as (coefficients of)
+    /// the original `x` and `y`: each entry is `(cx, cy)` meaning
+    /// `new = cx·x + cy·y`. Fig 2.5 reads:
+    ///
+    /// | Orientation | x coordinate | y coordinate |
+    /// |---|---|---|
+    /// | North | x | y |
+    /// | South | −x | −y |
+    /// | East  | y | −x |
+    /// | West  | −y | x |
+    #[inline]
+    pub fn fig_2_5_mapping(self) -> Option<((i64, i64), (i64, i64))> {
+        if self.mirror_y {
+            return None;
+        }
+        let ex = self.apply_vector(Vector::new(1, 0));
+        let ey = self.apply_vector(Vector::new(0, 1));
+        // new_x = ex.x * x + ey.x * y ; new_y = ex.y * x + ey.y * y
+        Some(((ex.x, ey.x), (ex.y, ey.y)))
+    }
+
+    /// The 2×2 integer matrix `[[a, b], [c, d]]` of this orientation acting
+    /// on column vectors. Used by the matrix-baseline benchmark (E2) and by
+    /// the proptest homomorphism check.
+    #[inline]
+    pub const fn matrix(self) -> [[i64; 2]; 2] {
+        let ex = self.apply_vector(Vector { x: 1, y: 0 });
+        let ey = self.apply_vector(Vector { x: 0, y: 1 });
+        [[ex.x, ey.x], [ex.y, ey.y]]
+    }
+
+    /// A short canonical name (`N`, `E`, `S`, `W` for rotations; `FN`, `FE`,
+    /// `FS`, `FW` for their y-mirrored variants), the common EDA convention.
+    pub fn name(self) -> &'static str {
+        match (self.rotation, self.mirror_y) {
+            (Rotation::R0, false) => "N",
+            (Rotation::R90, false) => "W",
+            (Rotation::R180, false) => "S",
+            (Rotation::R270, false) => "E",
+            (Rotation::R0, true) => "FN",
+            (Rotation::R90, true) => "FW",
+            (Rotation::R180, true) => "FS",
+            (Rotation::R270, true) => "FE",
+        }
+    }
+
+    /// Parses the short names produced by [`Orientation::name`].
+    pub fn from_name(s: &str) -> Option<Orientation> {
+        Orientation::ALL.iter().copied().find(|o| o.name() == s)
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_north() {
+        for o in Orientation::ALL {
+            assert_eq!(o.compose(Orientation::NORTH), o);
+            assert_eq!(Orientation::NORTH.compose(o), o);
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided() {
+        for o in Orientation::ALL {
+            assert_eq!(o.compose(o.inverse()), Orientation::NORTH, "{o}");
+            assert_eq!(o.inverse().compose(o), Orientation::NORTH, "{o}");
+        }
+    }
+
+    #[test]
+    fn group_is_closed_and_has_eight_elements() {
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                seen.insert(a.compose(b));
+            }
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn composition_is_associative() {
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                for c in Orientation::ALL {
+                    assert_eq!(a.compose(b).compose(c), a.compose(b.compose(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composition_matches_function_application() {
+        // (a ∘ b)(v) == a(b(v)) — the homomorphism the whole §2.6 machinery
+        // exists to provide.
+        let probes = [Vector::new(1, 0), Vector::new(0, 1), Vector::new(3, -7)];
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                for v in probes {
+                    assert_eq!(
+                        a.compose(b).apply_vector(v),
+                        a.apply_vector(b.apply_vector(v)),
+                        "a={a} b={b} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn south_inverse_is_south() {
+        // §2.2: "the calling cell must be reoriented by South⁻¹ = South
+        // (because 180° = −180°)".
+        assert_eq!(Orientation::SOUTH.inverse(), Orientation::SOUTH);
+    }
+
+    #[test]
+    fn reflections_are_involutions() {
+        for o in Orientation::ALL.iter().filter(|o| o.is_reflection()) {
+            assert_eq!(o.compose(*o), Orientation::NORTH);
+            assert_eq!(o.inverse(), *o);
+        }
+    }
+
+    #[test]
+    fn rotation_coordinate_mapping_matches_fig_2_5() {
+        // Fig 2.5:   North: (x, y)   South: (−x, −y)
+        //            East:  (y, −x)  West:  (−y, x)
+        let n = Orientation::NORTH.fig_2_5_mapping().unwrap();
+        assert_eq!(n, ((1, 0), (0, 1)));
+        let s = Orientation::SOUTH.fig_2_5_mapping().unwrap();
+        assert_eq!(s, ((-1, 0), (0, -1)));
+        let e = Orientation::EAST.fig_2_5_mapping().unwrap();
+        assert_eq!(e, ((0, 1), (-1, 0))); // new_x = y, new_y = −x
+        let w = Orientation::WEST.fig_2_5_mapping().unwrap();
+        assert_eq!(w, ((0, -1), (1, 0))); // new_x = −y, new_y = x
+        assert!(Orientation::MIRROR_Y.fig_2_5_mapping().is_none());
+    }
+
+    #[test]
+    fn mirror_before_rotation_order() {
+        // (R90, mirror) means mirror first then rotate: (1,0) -mirror-> (-1,0)
+        // -rot90-> (0,-1).
+        let o = Orientation::new(Rotation::R90, true);
+        assert_eq!(o.apply_vector(Vector::new(1, 0)), Vector::new(0, -1));
+    }
+
+    #[test]
+    fn matrix_agrees_with_apply() {
+        for o in Orientation::ALL {
+            let m = o.matrix();
+            let v = Vector::new(5, -3);
+            let mv = Vector::new(m[0][0] * v.x + m[0][1] * v.y, m[1][0] * v.x + m[1][1] * v.y);
+            assert_eq!(mv, o.apply_vector(v), "{o}");
+        }
+    }
+
+    #[test]
+    fn matrices_are_all_distinct() {
+        use std::collections::HashSet;
+        let set: HashSet<_> = Orientation::ALL.iter().map(|o| o.matrix()).collect();
+        assert_eq!(set.len(), 8);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for o in Orientation::ALL {
+            assert_eq!(Orientation::from_name(o.name()), Some(o));
+        }
+        assert_eq!(Orientation::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn determinant_reflects_handedness() {
+        for o in Orientation::ALL {
+            let m = o.matrix();
+            let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+            assert_eq!(det, if o.is_reflection() { -1 } else { 1 });
+        }
+    }
+}

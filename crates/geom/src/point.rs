@@ -1,0 +1,272 @@
+//! Integer points and vectors on the layout grid.
+//!
+//! The RSG works on an integer grid (centi-lambda in this reproduction, so
+//! that half-lambda design rules stay integral). Points are absolute
+//! locations inside some coordinate system; vectors are displacements.
+//! Interface vectors (paper §2.2) are [`Vector`]s.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// An absolute location in some cell coordinate system.
+///
+/// # Example
+///
+/// ```
+/// use rsg_geom::{Point, Vector};
+/// let p = Point::new(2, 3) + Vector::new(1, -1);
+/// assert_eq!(p, Point::new(3, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Point {
+    /// Abscissa in grid units.
+    pub x: i64,
+    /// Ordinate in grid units.
+    pub y: i64,
+}
+
+/// A displacement between two [`Point`]s.
+///
+/// Interface vectors `V_ab` from the paper (§2.2) are `Vector`s: the
+/// displacement from the point of call of cell A to the point of call of
+/// cell B, after deskewing A to orientation north.
+///
+/// # Example
+///
+/// ```
+/// use rsg_geom::{Point, Vector};
+/// assert_eq!(Point::new(5, 5) - Point::new(2, 3), Vector::new(3, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Vector {
+    /// X component in grid units.
+    pub x: i64,
+    /// Y component in grid units.
+    pub y: i64,
+}
+
+impl Point {
+    /// The origin `(0, 0)` of a cell coordinate system (`S_a` in the paper).
+    pub const ORIGIN: Point = Point { x: 0, y: 0 };
+
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Point { x, y }
+    }
+
+    /// The displacement from the origin to this point.
+    #[inline]
+    pub const fn to_vector(self) -> Vector {
+        Vector { x: self.x, y: self.y }
+    }
+
+    /// Componentwise minimum of two points (lower-left corner helper).
+    #[inline]
+    pub fn min(self, other: Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Componentwise maximum of two points (upper-right corner helper).
+    #[inline]
+    pub fn max(self, other: Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+}
+
+impl Vector {
+    /// The zero displacement.
+    pub const ZERO: Vector = Vector { x: 0, y: 0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        Vector { x, y }
+    }
+
+    /// The point reached by displacing the origin by this vector.
+    #[inline]
+    pub const fn to_point(self) -> Point {
+        Point { x: self.x, y: self.y }
+    }
+
+    /// The squared Euclidean length (exact, no floating point).
+    #[inline]
+    pub fn norm_sq(self) -> i64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Manhattan (L1) length of the vector.
+    #[inline]
+    pub fn manhattan(self) -> i64 {
+        self.x.abs() + self.y.abs()
+    }
+}
+
+impl From<Vector> for Point {
+    fn from(v: Vector) -> Point {
+        v.to_point()
+    }
+}
+
+impl From<Point> for Vector {
+    fn from(p: Point) -> Vector {
+        p.to_vector()
+    }
+}
+
+impl Add<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, v: Vector) -> Point {
+        Point::new(self.x + v.x, self.y + v.y)
+    }
+}
+
+impl AddAssign<Vector> for Point {
+    #[inline]
+    fn add_assign(&mut self, v: Vector) {
+        self.x += v.x;
+        self.y += v.y;
+    }
+}
+
+impl Sub<Vector> for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, v: Vector) -> Point {
+        Point::new(self.x - v.x, self.y - v.y)
+    }
+}
+
+impl SubAssign<Vector> for Point {
+    #[inline]
+    fn sub_assign(&mut self, v: Vector) {
+        self.x -= v.x;
+        self.y -= v.y;
+    }
+}
+
+impl Sub for Point {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, other: Point) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    #[inline]
+    fn add(self, other: Vector) -> Vector {
+        Vector::new(self.x + other.x, self.y + other.y)
+    }
+}
+
+impl AddAssign for Vector {
+    #[inline]
+    fn add_assign(&mut self, other: Vector) {
+        self.x += other.x;
+        self.y += other.y;
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    #[inline]
+    fn sub(self, other: Vector) -> Vector {
+        Vector::new(self.x - other.x, self.y - other.y)
+    }
+}
+
+impl SubAssign for Vector {
+    #[inline]
+    fn sub_assign(&mut self, other: Vector) {
+        self.x -= other.x;
+        self.y -= other.y;
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    #[inline]
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<i64> for Vector {
+    type Output = Vector;
+    #[inline]
+    fn mul(self, k: i64) -> Vector {
+        Vector::new(self.x * k, self.y * k)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_vector_arithmetic_round_trip() {
+        let a = Point::new(10, -4);
+        let b = Point::new(-3, 7);
+        let v = b - a;
+        assert_eq!(a + v, b);
+        assert_eq!(b - v, a);
+    }
+
+    #[test]
+    fn vector_group_laws() {
+        let v = Vector::new(5, -2);
+        let w = Vector::new(-1, 9);
+        assert_eq!(v + w, w + v);
+        assert_eq!(v + Vector::ZERO, v);
+        assert_eq!(v + (-v), Vector::ZERO);
+        assert_eq!((v - w) + w, v);
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        assert_eq!(Vector::new(2, -3) * 4, Vector::new(8, -12));
+        assert_eq!(Vector::new(2, -3) * 0, Vector::ZERO);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(Vector::new(3, 4).norm_sq(), 25);
+        assert_eq!(Vector::new(-3, 4).manhattan(), 7);
+    }
+
+    #[test]
+    fn min_max_corners() {
+        let a = Point::new(1, 9);
+        let b = Point::new(4, -2);
+        assert_eq!(a.min(b), Point::new(1, -2));
+        assert_eq!(a.max(b), Point::new(4, 9));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point::new(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Vector::new(-1, 0).to_string(), "<-1, 0>");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Point::from(Vector::new(1, 2)), Point::new(1, 2));
+        assert_eq!(Vector::from(Point::new(3, 4)), Vector::new(3, 4));
+    }
+}

@@ -1,0 +1,252 @@
+//! Axis-aligned rectangles (the "boxes of various layers" of paper §2.1).
+
+use crate::{Isometry, Orientation, Point, Vector};
+use std::fmt;
+
+/// An axis-aligned rectangle with integer corners, normalized so that
+/// `lo ≤ hi` componentwise.
+///
+/// Degenerate rectangles (zero width or height) are permitted — the RSG uses
+/// them for label anchors — but most layout boxes have positive area.
+///
+/// # Example
+///
+/// ```
+/// use rsg_geom::{Orientation, Point, Rect};
+///
+/// let r = Rect::new(Point::new(0, 0), Point::new(4, 2));
+/// assert_eq!(r.width(), 4);
+/// assert_eq!(r.transform_orientation(Orientation::EAST).width(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Rect {
+    lo: Point,
+    hi: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two opposite corners (any order).
+    #[inline]
+    pub fn new(a: Point, b: Point) -> Rect {
+        Rect { lo: a.min(b), hi: a.max(b) }
+    }
+
+    /// Creates a rectangle from `(x_lo, y_lo, x_hi, y_hi)` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x_lo > x_hi` or `y_lo > y_hi`; use [`Rect::new`] when the
+    /// corner order is unknown.
+    #[inline]
+    pub fn from_coords(x_lo: i64, y_lo: i64, x_hi: i64, y_hi: i64) -> Rect {
+        assert!(x_lo <= x_hi && y_lo <= y_hi, "inverted rect ({x_lo},{y_lo})..({x_hi},{y_hi})");
+        Rect { lo: Point::new(x_lo, y_lo), hi: Point::new(x_hi, y_hi) }
+    }
+
+    /// A rectangle from its lower-left corner and a (non-negative) size.
+    #[inline]
+    pub fn from_origin_size(lo: Point, width: i64, height: i64) -> Rect {
+        assert!(width >= 0 && height >= 0, "negative size {width}x{height}");
+        Rect { lo, hi: Point::new(lo.x + width, lo.y + height) }
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub const fn lo(self) -> Point {
+        self.lo
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub const fn hi(self) -> Point {
+        self.hi
+    }
+
+    /// Width (`hi.x − lo.x`, always ≥ 0).
+    #[inline]
+    pub const fn width(self) -> i64 {
+        self.hi.x - self.lo.x
+    }
+
+    /// Height (`hi.y − lo.y`, always ≥ 0).
+    #[inline]
+    pub const fn height(self) -> i64 {
+        self.hi.y - self.lo.y
+    }
+
+    /// Area of the rectangle.
+    #[inline]
+    pub const fn area(self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Center point, rounded toward `lo` on odd sizes.
+    #[inline]
+    pub const fn center(self) -> Point {
+        Point::new((self.lo.x + self.hi.x).div_euclid(2), (self.lo.y + self.hi.y).div_euclid(2))
+    }
+
+    /// `true` if the point lies inside or on the boundary.
+    #[inline]
+    pub fn contains(self, p: Point) -> bool {
+        self.lo.x <= p.x && p.x <= self.hi.x && self.lo.y <= p.y && p.y <= self.hi.y
+    }
+
+    /// `true` if `other` lies entirely within `self` (boundaries may touch).
+    #[inline]
+    pub fn contains_rect(self, other: Rect) -> bool {
+        self.contains(other.lo) && self.contains(other.hi)
+    }
+
+    /// `true` if the interiors overlap (touching edges do **not** count).
+    #[inline]
+    pub fn overlaps(self, other: Rect) -> bool {
+        self.lo.x < other.hi.x
+            && other.lo.x < self.hi.x
+            && self.lo.y < other.hi.y
+            && other.lo.y < self.hi.y
+    }
+
+    /// The intersection rectangle, if the two rectangles touch or overlap.
+    #[inline]
+    pub fn intersect(self, other: Rect) -> Option<Rect> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        if lo.x <= hi.x && lo.y <= hi.y {
+            Some(Rect { lo, hi })
+        } else {
+            None
+        }
+    }
+
+    /// Smallest rectangle containing both.
+    #[inline]
+    pub fn union(self, other: Rect) -> Rect {
+        Rect { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// The rectangle displaced by `v`.
+    #[inline]
+    pub fn translate(self, v: Vector) -> Rect {
+        Rect { lo: self.lo + v, hi: self.hi + v }
+    }
+
+    /// The rectangle grown by `margin` on every side (shrunk if negative).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the rectangle.
+    #[inline]
+    pub fn inflate(self, margin: i64) -> Rect {
+        let lo = Point::new(self.lo.x - margin, self.lo.y - margin);
+        let hi = Point::new(self.hi.x + margin, self.hi.y + margin);
+        assert!(lo.x <= hi.x && lo.y <= hi.y, "inflate({margin}) inverted {self}");
+        Rect { lo, hi }
+    }
+
+    /// The image of this rectangle under an orientation about the origin.
+    ///
+    /// Because the eight Manhattan orientations map axis-aligned boxes to
+    /// axis-aligned boxes (the property that justifies the ℤ₄ × 𝔹
+    /// representation in paper §2.6), the result is again a `Rect`.
+    #[inline]
+    pub fn transform_orientation(self, o: Orientation) -> Rect {
+        Rect::new(o.apply_point(self.lo), o.apply_point(self.hi))
+    }
+
+    /// The image of this rectangle under a full isometry.
+    #[inline]
+    pub fn transform(self, iso: Isometry) -> Rect {
+        Rect::new(iso.apply_point(self.lo), iso.apply_point(self.hi))
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        let r = Rect::new(Point::new(4, 2), Point::new(0, 5));
+        assert_eq!(r.lo(), Point::new(0, 2));
+        assert_eq!(r.hi(), Point::new(4, 5));
+        assert_eq!(r.width(), 4);
+        assert_eq!(r.height(), 3);
+        assert_eq!(r.area(), 12);
+    }
+
+    #[test]
+    fn containment_and_overlap() {
+        let a = Rect::from_coords(0, 0, 10, 10);
+        let b = Rect::from_coords(2, 2, 5, 5);
+        let c = Rect::from_coords(10, 0, 20, 10); // touches a at x=10
+        assert!(a.contains_rect(b));
+        assert!(!b.contains_rect(a));
+        assert!(a.overlaps(b));
+        assert!(!a.overlaps(c), "touching edges are not overlap");
+        assert!(a.contains(Point::new(10, 10)), "boundary contains");
+    }
+
+    #[test]
+    fn intersection_union() {
+        let a = Rect::from_coords(0, 0, 10, 4);
+        let b = Rect::from_coords(5, 2, 15, 8);
+        assert_eq!(a.intersect(b), Some(Rect::from_coords(5, 2, 10, 4)));
+        assert_eq!(a.union(b), Rect::from_coords(0, 0, 15, 8));
+        let far = Rect::from_coords(100, 100, 101, 101);
+        assert_eq!(a.intersect(far), None);
+        // Touching rectangles intersect in a degenerate rect.
+        let c = Rect::from_coords(10, 0, 12, 4);
+        assert_eq!(a.intersect(c), Some(Rect::from_coords(10, 0, 10, 4)));
+    }
+
+    #[test]
+    fn transforms_preserve_area() {
+        let r = Rect::from_coords(1, 2, 7, 5);
+        for o in Orientation::ALL {
+            assert_eq!(r.transform_orientation(o).area(), r.area(), "{o}");
+        }
+    }
+
+    #[test]
+    fn quarter_turn_swaps_width_height() {
+        let r = Rect::from_coords(0, 0, 6, 2);
+        let t = r.transform_orientation(Orientation::EAST);
+        assert_eq!(t.width(), 2);
+        assert_eq!(t.height(), 6);
+    }
+
+    #[test]
+    fn transform_composes() {
+        let r = Rect::from_coords(-2, 1, 4, 9);
+        let a = Isometry::new(Orientation::WEST, Vector::new(3, -3));
+        let b = Isometry::new(Orientation::MIRROR_X, Vector::new(-7, 11));
+        assert_eq!(r.transform(b).transform(a), r.transform(a.compose(b)));
+    }
+
+    #[test]
+    fn inflate_and_translate() {
+        let r = Rect::from_coords(0, 0, 4, 4);
+        assert_eq!(r.inflate(1), Rect::from_coords(-1, -1, 5, 5));
+        assert_eq!(r.inflate(1).inflate(-1), r);
+        assert_eq!(r.translate(Vector::new(2, 3)), Rect::from_coords(2, 3, 6, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn from_coords_panics_on_inversion() {
+        let _ = Rect::from_coords(5, 0, 0, 5);
+    }
+
+    #[test]
+    fn center() {
+        assert_eq!(Rect::from_coords(0, 0, 4, 2).center(), Point::new(2, 1));
+        assert_eq!(Rect::from_coords(0, 0, 3, 3).center(), Point::new(1, 1));
+    }
+}

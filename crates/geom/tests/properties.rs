@@ -1,0 +1,114 @@
+//! Property-based tests for the geometric substrate (experiment E3/E4 support).
+
+use proptest::prelude::*;
+use rsg_geom::{BoundingBox, Isometry, Orientation, Point, Rect, Vector};
+
+fn arb_orientation() -> impl Strategy<Value = Orientation> {
+    (0usize..8).prop_map(|i| Orientation::ALL[i])
+}
+
+fn arb_vector() -> impl Strategy<Value = Vector> {
+    (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Vector::new(x, y))
+}
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_isometry() -> impl Strategy<Value = Isometry> {
+    (arb_orientation(), arb_vector()).prop_map(|(o, t)| Isometry::new(o, t))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), 0i64..200, 0i64..200)
+        .prop_map(|(p, w, h)| Rect::from_origin_size(p, w, h))
+}
+
+proptest! {
+    /// Orientations act linearly: O(v + w) = O(v) + O(w), O(kv) = kO(v).
+    #[test]
+    fn orientation_linearity(o in arb_orientation(), v in arb_vector(), w in arb_vector(), k in -10i64..10) {
+        prop_assert_eq!(o.apply_vector(v + w), o.apply_vector(v) + o.apply_vector(w));
+        prop_assert_eq!(o.apply_vector(v * k), o.apply_vector(v) * k);
+    }
+
+    /// Orientations preserve lengths (they are isometries).
+    #[test]
+    fn orientation_preserves_norm(o in arb_orientation(), v in arb_vector()) {
+        prop_assert_eq!(o.apply_vector(v).norm_sq(), v.norm_sq());
+    }
+
+    /// The ℤ₄×𝔹 composition is a homomorphism onto the matrix group —
+    /// the correctness claim behind paper §2.6.
+    #[test]
+    fn composition_homomorphism(a in arb_orientation(), b in arb_orientation(), v in arb_vector()) {
+        prop_assert_eq!(a.compose(b).apply_vector(v), a.apply_vector(b.apply_vector(v)));
+        // Matrix product agrees with symbolic composition.
+        let (ma, mb, mc) = (a.matrix(), b.matrix(), a.compose(b).matrix());
+        for r in 0..2 {
+            for c in 0..2 {
+                let prod = ma[r][0] * mb[0][c] + ma[r][1] * mb[1][c];
+                prop_assert_eq!(prod, mc[r][c]);
+            }
+        }
+    }
+
+    /// Inversion is exact on both representation and action.
+    #[test]
+    fn orientation_inverse(o in arb_orientation(), v in arb_vector()) {
+        prop_assert_eq!(o.inverse().apply_vector(o.apply_vector(v)), v);
+        prop_assert_eq!(o.compose(o.inverse()), Orientation::NORTH);
+    }
+
+    /// Isometry composition/inversion agree with pointwise application.
+    #[test]
+    fn isometry_algebra(a in arb_isometry(), b in arb_isometry(), p in arb_point()) {
+        prop_assert_eq!(a.compose(b).apply_point(p), a.apply_point(b.apply_point(p)));
+        prop_assert_eq!(a.inverse().apply_point(a.apply_point(p)), p);
+        prop_assert_eq!(a.compose(a.inverse()), Isometry::IDENTITY);
+    }
+
+    /// Rect transforms commute with containment and preserve area.
+    #[test]
+    fn rect_transform_invariants(r in arb_rect(), iso in arb_isometry(), p in arb_point()) {
+        let t = r.transform(iso);
+        prop_assert_eq!(t.area(), r.area());
+        prop_assert_eq!(t.contains(iso.apply_point(p)), r.contains(p));
+    }
+
+    /// Union is the join: both inputs are contained, and it is the smallest
+    /// such rect in area terms when inputs share a corner ordering.
+    #[test]
+    fn rect_union_contains_inputs(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(b);
+        prop_assert!(u.contains_rect(a));
+        prop_assert!(u.contains_rect(b));
+    }
+
+    /// Intersection, when present, is contained in both inputs.
+    #[test]
+    fn rect_intersection_contained(a in arb_rect(), b in arb_rect()) {
+        if let Some(i) = a.intersect(b) {
+            prop_assert!(a.contains_rect(i));
+            prop_assert!(b.contains_rect(i));
+        } else {
+            prop_assert!(!a.overlaps(b));
+        }
+    }
+
+    /// Bounding boxes contain everything folded into them.
+    #[test]
+    fn bbox_contains_all(rects in proptest::collection::vec(arb_rect(), 1..20)) {
+        let bb: BoundingBox = rects.iter().copied().collect();
+        let outer = bb.rect().unwrap();
+        for r in rects {
+            prop_assert!(outer.contains_rect(r));
+        }
+    }
+
+    /// Transforming a rect by an orientation then its inverse round-trips.
+    #[test]
+    fn rect_orientation_round_trip(r in arb_rect(), o in arb_orientation()) {
+        prop_assert_eq!(r.transform_orientation(o).transform_orientation(o.inverse()), r);
+    }
+}

@@ -1,0 +1,123 @@
+//! PLA sample cells and their labelled interfaces.
+//!
+//! One shared sample layout serves both the PLA and the decoder — the
+//! §1.2.2 point that "requiring that the sample layout look like the
+//! finished product is not only an unnecessary restriction, it also
+//! reduces the scope within which any given sample layout may be used".
+
+use rsg_geom::{Orientation, Point, Rect};
+use rsg_layout::{CellDefinition, CellTable, Instance, Layer};
+
+/// Grid pitch of the PLA planes.
+pub const GRID: i64 = 20;
+
+/// Height of the input/output buffer cells.
+pub const BUF_HEIGHT: i64 = 24;
+
+fn square(name: &str, inner: Layer) -> CellDefinition {
+    let mut c = CellDefinition::new(name);
+    c.add_box(Layer::Well, Rect::from_coords(0, 0, GRID, GRID));
+    c.add_box(inner, Rect::from_coords(8, 0, 12, GRID));
+    c
+}
+
+fn buffer(name: &str) -> CellDefinition {
+    let mut c = CellDefinition::new(name);
+    c.add_box(Layer::Well, Rect::from_coords(0, 0, GRID, BUF_HEIGHT));
+    c.add_box(Layer::Metal1, Rect::from_coords(4, 4, 16, BUF_HEIGHT - 4));
+    c
+}
+
+fn mask(name: &str, layer: Layer, rect: Rect) -> CellDefinition {
+    let mut c = CellDefinition::new(name);
+    c.add_box(layer, rect);
+    c
+}
+
+/// Builds the PLA sample layout: `and_sq`, `or_sq`, `in_buf`, `out_buf`,
+/// crosspoint masks `xand`, `xcomp`, `xorm`, and one labelled assembly
+/// cell per interface.
+pub fn sample_layout() -> CellTable {
+    let mut t = CellTable::new();
+    let and_sq = t.insert(square("and_sq", Layer::Poly)).expect("fresh");
+    let or_sq = t.insert(square("or_sq", Layer::Metal1)).expect("fresh");
+    let in_buf = t.insert(buffer("in_buf")).expect("fresh");
+    let out_buf = t.insert(buffer("out_buf")).expect("fresh");
+    let xand_r = Rect::from_coords(2, 2, 8, 8);
+    let xcomp_r = Rect::from_coords(2, 12, 8, 18);
+    let xorm_r = Rect::from_coords(12, 2, 18, 8);
+    let xand = t.insert(mask("xand", Layer::Cut, xand_r)).expect("fresh");
+    let xcomp = t.insert(mask("xcomp", Layer::Cut, xcomp_r)).expect("fresh");
+    let xorm = t.insert(mask("xorm", Layer::Via, xorm_r)).expect("fresh");
+
+    let pair = |name: &str,
+                    a: rsg_layout::CellId,
+                    b: rsg_layout::CellId,
+                    b_at: Point,
+                    label: &str,
+                    label_at: Point| {
+        let mut s = CellDefinition::new(name);
+        s.add_instance(Instance::new(a, Point::new(0, 0), Orientation::NORTH));
+        s.add_instance(Instance::new(b, b_at, Orientation::NORTH));
+        s.add_label(label, label_at);
+        s
+    };
+
+    let cells = [
+        // and_sq–and_sq horizontal (#1) and vertical (#2).
+        pair("s_and_h", and_sq, and_sq, Point::new(GRID, 0), "1", Point::new(GRID, GRID / 2)),
+        pair("s_and_v", and_sq, and_sq, Point::new(0, -GRID), "2", Point::new(GRID / 2, 0)),
+        // or plane.
+        pair("s_or_h", or_sq, or_sq, Point::new(GRID, 0), "1", Point::new(GRID, GRID / 2)),
+        pair("s_or_v", or_sq, or_sq, Point::new(0, -GRID), "2", Point::new(GRID / 2, 0)),
+        // AND→OR bridge.
+        pair("s_bridge", and_sq, or_sq, Point::new(GRID, 0), "1", Point::new(GRID, GRID / 2)),
+        // buffers.
+        pair("s_inbuf", and_sq, in_buf, Point::new(0, GRID), "1", Point::new(GRID / 2, GRID)),
+        pair(
+            "s_outbuf",
+            or_sq,
+            out_buf,
+            Point::new(0, -BUF_HEIGHT),
+            "1",
+            Point::new(GRID / 2, 0),
+        ),
+        // The decoder reuse: output buffers directly under the AND plane.
+        pair(
+            "s_and_outbuf",
+            and_sq,
+            out_buf,
+            Point::new(0, -BUF_HEIGHT),
+            "1",
+            Point::new(GRID / 2, 0),
+        ),
+        // crosspoint masks.
+        pair("s_xand", and_sq, xand, Point::new(0, 0), "1", Point::new(5, 5)),
+        pair("s_xcomp", and_sq, xcomp, Point::new(0, 0), "1", Point::new(5, 15)),
+        pair("s_xorm", or_sq, xorm, Point::new(0, 0), "1", Point::new(15, 5)),
+    ];
+    for c in cells {
+        t.insert(c).expect("unique sample cell names");
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_core::extract_interfaces;
+
+    #[test]
+    fn sample_defines_eleven_interfaces() {
+        let found = extract_interfaces(&sample_layout()).unwrap();
+        assert_eq!(found.len(), 11);
+    }
+
+    #[test]
+    fn cells_present() {
+        let t = sample_layout();
+        for name in ["and_sq", "or_sq", "in_buf", "out_buf", "xand", "xcomp", "xorm"] {
+            assert!(t.lookup(name).is_some(), "{name}");
+        }
+    }
+}

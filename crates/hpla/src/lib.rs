@@ -1,0 +1,40 @@
+//! PLA generation: the RSG-as-superset-of-HPLA claim (§1.2.2).
+//!
+//! The paper positions the RSG against HPLA, the author's earlier
+//! design-by-example PLA generator: "The RSG can generate any PLA that
+//! HPLA can", and the same sample cells "can also be used to generate
+//! other layouts besides PLAs such as decoders and multiplexors". This
+//! crate reproduces that comparison:
+//!
+//! * [`Personality`] — the configuration specification a PLA generator
+//!   takes ("the number of inputs, outputs, product terms and the truth
+//!   table"), with a functional [`Personality::evaluate`],
+//! * [`cells::sample_layout`] — PLA sample cells (AND-plane square,
+//!   OR-plane square, buffers, crosspoint masks) with labelled interfaces,
+//! * [`rsg_pla`] — the RSG-driven generator (connectivity graph +
+//!   interface table),
+//! * [`relocation_pla`] — the HPLA-style baseline that places cells by
+//!   direct pitch arithmetic (the "relocation scheme"),
+//! * [`rsg_decoder`] — a decoder from the *same* sample cells, which the
+//!   relocation scheme cannot express without a new hard-coded
+//!   architecture.
+//!
+//! # Example
+//!
+//! ```
+//! use rsg_hpla::Personality;
+//!
+//! // f0 = a·b̄ + ā·b (XOR), f1 = a·b.
+//! let p = Personality::parse(&["10 10", "01 01", "11 01"], 2, 2).unwrap();
+//! assert_eq!(p.evaluate(&[true, false]), vec![true, false]);
+//! assert_eq!(p.evaluate(&[true, true]), vec![false, true]);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cells;
+mod generate;
+mod personality;
+
+pub use generate::{relocation_pla, rsg_decoder, rsg_pla, GeneratedPla};
+pub use personality::{AndBit, Personality, PersonalityError};

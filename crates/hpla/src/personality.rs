@@ -1,0 +1,274 @@
+//! The PLA configuration specification (truth table / personality).
+
+use std::fmt;
+
+/// One AND-plane crosspoint: how a product term uses an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AndBit {
+    /// The product includes the true literal (`1` in the input cube).
+    True,
+    /// The product includes the complemented literal (`0`).
+    Comp,
+    /// The input does not appear in this product (`-`).
+    DontCare,
+}
+
+/// A PLA personality: the AND-plane cubes and OR-plane connections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Personality {
+    inputs: usize,
+    outputs: usize,
+    and_plane: Vec<Vec<AndBit>>,
+    or_plane: Vec<Vec<bool>>,
+}
+
+/// Personality validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersonalityError {
+    /// A row had the wrong field count or width.
+    Shape {
+        /// Row index (0-based).
+        row: usize,
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// An unknown character in a cube.
+    BadChar {
+        /// Row index.
+        row: usize,
+        /// The offending character.
+        ch: char,
+    },
+}
+
+impl fmt::Display for PersonalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersonalityError::Shape { row, message } => write!(f, "row {row}: {message}"),
+            PersonalityError::BadChar { row, ch } => {
+                write!(f, "row {row}: bad personality character `{ch}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersonalityError {}
+
+impl Personality {
+    /// Builds a personality from raw planes.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rows whose widths disagree with `inputs`/`outputs`.
+    pub fn new(
+        inputs: usize,
+        outputs: usize,
+        and_plane: Vec<Vec<AndBit>>,
+        or_plane: Vec<Vec<bool>>,
+    ) -> Result<Personality, PersonalityError> {
+        if and_plane.len() != or_plane.len() {
+            return Err(PersonalityError::Shape {
+                row: 0,
+                message: format!(
+                    "AND plane has {} rows but OR plane has {}",
+                    and_plane.len(),
+                    or_plane.len()
+                ),
+            });
+        }
+        for (row, cube) in and_plane.iter().enumerate() {
+            if cube.len() != inputs {
+                return Err(PersonalityError::Shape {
+                    row,
+                    message: format!("AND cube width {} != {} inputs", cube.len(), inputs),
+                });
+            }
+        }
+        for (row, out) in or_plane.iter().enumerate() {
+            if out.len() != outputs {
+                return Err(PersonalityError::Shape {
+                    row,
+                    message: format!("OR row width {} != {} outputs", out.len(), outputs),
+                });
+            }
+        }
+        Ok(Personality { inputs, outputs, and_plane, or_plane })
+    }
+
+    /// Parses espresso-style rows `"<cube> <outputs>"`, e.g. `"1-0 01"`.
+    /// Cube characters: `1` true, `0` complement, `-` don't-care.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and character errors with row numbers.
+    pub fn parse(rows: &[&str], inputs: usize, outputs: usize) -> Result<Personality, PersonalityError> {
+        let mut and_plane = Vec::with_capacity(rows.len());
+        let mut or_plane = Vec::with_capacity(rows.len());
+        for (row, line) in rows.iter().enumerate() {
+            let mut parts = line.split_whitespace();
+            let (cube, outs) = match (parts.next(), parts.next()) {
+                (Some(c), Some(o)) => (c, o),
+                _ => {
+                    return Err(PersonalityError::Shape {
+                        row,
+                        message: "expected `<cube> <outputs>`".into(),
+                    })
+                }
+            };
+            let mut and_row = Vec::with_capacity(inputs);
+            for ch in cube.chars() {
+                and_row.push(match ch {
+                    '1' => AndBit::True,
+                    '0' => AndBit::Comp,
+                    '-' => AndBit::DontCare,
+                    other => return Err(PersonalityError::BadChar { row, ch: other }),
+                });
+            }
+            let mut or_row = Vec::with_capacity(outputs);
+            for ch in outs.chars() {
+                or_row.push(match ch {
+                    '1' => true,
+                    '0' => false,
+                    other => return Err(PersonalityError::BadChar { row, ch: other }),
+                });
+            }
+            and_plane.push(and_row);
+            or_plane.push(or_row);
+        }
+        Personality::new(inputs, outputs, and_plane, or_plane)
+    }
+
+    /// A decoder personality: `n` inputs, `2ⁿ` one-hot outputs (the
+    /// "decoders can be built from an AND plane" remark of §1.2.2).
+    pub fn decoder(n: usize) -> Personality {
+        assert!(n >= 1 && n <= 16, "unreasonable decoder width {n}");
+        let terms = 1usize << n;
+        let and_plane = (0..terms)
+            .map(|t| {
+                (0..n)
+                    .map(|i| if t >> i & 1 == 1 { AndBit::True } else { AndBit::Comp })
+                    .collect()
+            })
+            .collect();
+        let or_plane = (0..terms)
+            .map(|t| (0..terms).map(|o| o == t).collect())
+            .collect();
+        Personality { inputs: n, outputs: terms, and_plane, or_plane }
+    }
+
+    /// Number of inputs.
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of outputs.
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Number of product terms.
+    pub fn products(&self) -> usize {
+        self.and_plane.len()
+    }
+
+    /// The AND-plane crosspoint at `(product, input)`.
+    pub fn and_bit(&self, product: usize, input: usize) -> AndBit {
+        self.and_plane[product][input]
+    }
+
+    /// The OR-plane crosspoint at `(product, output)`.
+    pub fn or_bit(&self, product: usize, output: usize) -> bool {
+        self.or_plane[product][output]
+    }
+
+    /// Evaluates the sum-of-products function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != inputs`.
+    pub fn evaluate(&self, input: &[bool]) -> Vec<bool> {
+        assert_eq!(input.len(), self.inputs, "input width mismatch");
+        let fired: Vec<bool> = self
+            .and_plane
+            .iter()
+            .map(|cube| {
+                cube.iter().zip(input).all(|(bit, &v)| match bit {
+                    AndBit::True => v,
+                    AndBit::Comp => !v,
+                    AndBit::DontCare => true,
+                })
+            })
+            .collect();
+        (0..self.outputs)
+            .map(|o| fired.iter().zip(&self.or_plane).any(|(&f, row)| f && row[o]))
+            .collect()
+    }
+
+    /// Crosspoint counts `(and_plane, or_plane)` — the mask instances the
+    /// generators must place.
+    pub fn crosspoint_counts(&self) -> (usize, usize) {
+        let and = self
+            .and_plane
+            .iter()
+            .flatten()
+            .filter(|b| !matches!(b, AndBit::DontCare))
+            .count();
+        let or = self.or_plane.iter().flatten().filter(|&&b| b).count();
+        (and, or)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_evaluate_xor() {
+        let p = Personality::parse(&["10 1", "01 1"], 2, 1).unwrap();
+        assert_eq!(p.evaluate(&[false, false]), vec![false]);
+        assert_eq!(p.evaluate(&[true, false]), vec![true]);
+        assert_eq!(p.evaluate(&[false, true]), vec![true]);
+        assert_eq!(p.evaluate(&[true, true]), vec![false]);
+        assert_eq!(p.crosspoint_counts(), (4, 2));
+    }
+
+    #[test]
+    fn dont_cares() {
+        let p = Personality::parse(&["1- 1"], 2, 1).unwrap();
+        assert_eq!(p.evaluate(&[true, false]), vec![true]);
+        assert_eq!(p.evaluate(&[true, true]), vec![true]);
+        assert_eq!(p.evaluate(&[false, true]), vec![false]);
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let d = Personality::decoder(3);
+        assert_eq!(d.inputs(), 3);
+        assert_eq!(d.outputs(), 8);
+        assert_eq!(d.products(), 8);
+        for t in 0..8usize {
+            let input: Vec<bool> = (0..3).map(|i| t >> i & 1 == 1).collect();
+            let out = d.evaluate(&input);
+            for (o, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, o == t, "t={t} o={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(matches!(
+            Personality::parse(&["1 1", "10 1"], 2, 1),
+            Err(PersonalityError::Shape { row: 0, .. })
+        ));
+        assert!(matches!(
+            Personality::parse(&["1x 1"], 2, 1),
+            Err(PersonalityError::BadChar { ch: 'x', .. })
+        ));
+        assert!(matches!(
+            Personality::parse(&["10"], 2, 1),
+            Err(PersonalityError::Shape { .. })
+        ));
+        assert!(Personality::new(1, 1, vec![vec![AndBit::True]], vec![]).is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! Abstract syntax for the design-file language (Appendix A BNF).
+
+use std::fmt;
+
+/// A variable reference, possibly indexed: `x`, `l.i`, `c.(- i 1)`,
+/// `grid.i.j` (paper §4.3's array facility).
+///
+/// Indices are expressions evaluated in the *current* environment; the
+/// resolved reference is the mangled name `base.i1[.i2]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarRef {
+    /// Base name.
+    pub base: String,
+    /// Zero, one, or two index expressions.
+    pub indices: Vec<Ast>,
+}
+
+impl VarRef {
+    /// A plain, unindexed variable.
+    pub fn plain(name: impl Into<String>) -> VarRef {
+        VarRef { base: name.into(), indices: Vec::new() }
+    }
+}
+
+impl fmt::Display for VarRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for _ in &self.indices {
+            write!(f, ".<i>")?;
+        }
+        Ok(())
+    }
+}
+
+/// A design-file statement / expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ast {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal (`true` / `false`).
+    Bool(bool),
+    /// Variable reference (plain or indexed).
+    Var(VarRef),
+    /// Function, macro, or builtin call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Ast>,
+        /// Source line of the call (for error traces).
+        line: usize,
+    },
+    /// `(cond (test stmt...) ...)` — first matching arm wins; each arm may
+    /// carry several statements (evaluated like a prog).
+    Cond(Vec<(Ast, Vec<Ast>)>),
+    /// `(do (var init next exit) body...)` — loop until `exit` is true.
+    Do {
+        /// Loop variable name.
+        var: String,
+        /// Initial value expression.
+        init: Box<Ast>,
+        /// Next-value expression (evaluated after each iteration).
+        next: Box<Ast>,
+        /// Exit condition (checked before each iteration).
+        exit: Box<Ast>,
+        /// Loop body.
+        body: Vec<Ast>,
+    },
+    /// `(assign var expr)` / `(setq var expr)`.
+    Assign(VarRef, Box<Ast>),
+    /// `(prog stmt...)` — sequence, value of the last statement.
+    Prog(Vec<Ast>),
+    /// `(print expr)`.
+    Print(Box<Ast>),
+    /// `(read)` — pops the next integer from the interpreter's input queue.
+    Read,
+    /// `(mk_instance var cellexpr)` (§4.4.1).
+    MkInstance(VarRef, Box<Ast>),
+    /// `(connect a b inum)` (§4.4.2) — the edge emanates from `a`.
+    Connect(Box<Ast>, Box<Ast>, Box<Ast>),
+    /// `(subcell envexpr var)` — look `var` up in a macro's returned
+    /// environment (§4.2).
+    Subcell(Box<Ast>, VarRef),
+    /// `(mk_cell nameexpr rootexpr)` (§4.4.3).
+    MkCell(Box<Ast>, Box<Ast>),
+    /// `(declare_interface cellC cellD newinum nodeA nodeB existinginum)`
+    /// (§2.5, Fig 5.4b).
+    DeclareInterface {
+        /// Expression naming the first macrocell.
+        cell_c: Box<Ast>,
+        /// Expression naming the second macrocell.
+        cell_d: Box<Ast>,
+        /// New interface index.
+        new_index: Box<Ast>,
+        /// Placed node of the subcell inside C.
+        node_a: Box<Ast>,
+        /// Placed node of the subcell inside D.
+        node_b: Box<Ast>,
+        /// Existing interface index between the subcells' celltypes.
+        existing_index: Box<Ast>,
+    },
+}
+
+/// A top-level form: a procedure definition or a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopLevel {
+    /// `(defun name (formals) (locals ...) body...)` or
+    /// `(macro mname (formals) (locals ...) body...)`.
+    Proc(ProcDef),
+    /// Any other statement, executed in order.
+    Stmt(Ast),
+}
+
+/// A function or macro definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcDef {
+    /// Procedure name (macros must start with `m` — §4.2).
+    pub name: String,
+    /// Formal parameter names.
+    pub formals: Vec<String>,
+    /// Declared locals.
+    pub locals: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Ast>,
+    /// `true` for environment-returning macros.
+    pub is_macro: bool,
+    /// Source line of the definition.
+    pub line: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varref_display() {
+        assert_eq!(VarRef::plain("x").to_string(), "x");
+        let v = VarRef { base: "l".into(), indices: vec![Ast::Int(1)] };
+        assert_eq!(v.to_string(), "l.<i>");
+    }
+}

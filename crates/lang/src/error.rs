@@ -1,0 +1,80 @@
+//! Error type for the design-file language.
+
+use rsg_core::RsgError;
+use std::fmt;
+
+/// Errors from lexing, parsing, or executing a design file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Lexical or syntactic error, with a 1-based line number.
+    Parse {
+        /// Line at which the problem was found.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Runtime error during evaluation.
+    Runtime {
+        /// What went wrong.
+        message: String,
+        /// The call chain (innermost last) when it happened.
+        call_stack: Vec<String>,
+    },
+    /// An error from the underlying generator.
+    Rsg(RsgError),
+}
+
+impl LangError {
+    pub(crate) fn runtime(message: impl Into<String>) -> LangError {
+        LangError::Runtime { message: message.into(), call_stack: Vec::new() }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            LangError::Runtime { message, call_stack } => {
+                write!(f, "runtime error: {message}")?;
+                if !call_stack.is_empty() {
+                    write!(f, " (in {})", call_stack.join(" > "))?;
+                }
+                Ok(())
+            }
+            LangError::Rsg(e) => write!(f, "generator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Rsg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RsgError> for LangError {
+    fn from(e: RsgError) -> LangError {
+        LangError::Rsg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = LangError::Parse { line: 4, message: "unexpected )".into() };
+        assert!(e.to_string().contains("line 4"));
+        let r = LangError::Runtime {
+            message: "unbound variable `x`".into(),
+            call_stack: vec!["mall".into(), "mcell".into()],
+        };
+        assert!(r.to_string().contains("mall > mcell"));
+    }
+}

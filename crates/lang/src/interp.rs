@@ -1,0 +1,780 @@
+//! The design-file interpreter (paper §4.1–§4.5).
+//!
+//! Environments are hash tables in an arena; macros return their frame by
+//! handle and the frame outlives the call ("unlike a classical LISP
+//! interpreter which disposes of the environment frame when a procedure is
+//! exited, environments in design files may have a much greater lifetime",
+//! §4.5). Variable lookup follows the paper's chain: current frame →
+//! global environment (parameter file) → cell definition table.
+
+use crate::ast::{Ast, ProcDef, TopLevel, VarRef};
+use crate::param::parse_parameter_file;
+use crate::parser::parse_program;
+use crate::value::{EnvId, Value};
+use crate::LangError;
+use rsg_core::Rsg;
+use rsg_layout::{CellId, CellTable};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of running a design file: the generator (cell + interface
+/// tables populated), the collected `print` output, and the value of the
+/// last top-level statement.
+#[derive(Debug)]
+pub struct DesignRun {
+    /// The generator, holding every built cell.
+    pub rsg: Rsg,
+    /// Lines produced by `(print ...)`.
+    pub output: Vec<String>,
+    /// Value of the last top-level statement.
+    pub result: Value,
+}
+
+/// The design-file interpreter.
+///
+/// See the [crate-level example](crate) for typical use via
+/// [`crate::run_design`].
+#[derive(Debug)]
+pub struct Interpreter {
+    rsg: Rsg,
+    globals: HashMap<String, Value>,
+    frames: Vec<HashMap<String, Value>>,
+    procs: HashMap<String, ProcDef>,
+    output: Vec<String>,
+    input: VecDeque<i64>,
+    call_stack: Vec<String>,
+    max_call_depth: usize,
+    root_frame: Option<EnvId>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter over an existing generator.
+    pub fn new(rsg: Rsg) -> Interpreter {
+        Interpreter {
+            rsg,
+            globals: HashMap::new(),
+            frames: Vec::new(),
+            procs: HashMap::new(),
+            output: Vec::new(),
+            input: VecDeque::new(),
+            call_stack: Vec::new(),
+            max_call_depth: 100,
+            root_frame: None,
+        }
+    }
+
+    /// Creates an interpreter from a sample layout (extracting its
+    /// interface table, Fig 3.1 step 1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates interface-extraction errors.
+    pub fn from_sample(sample: CellTable) -> Result<Interpreter, LangError> {
+        Ok(Interpreter::new(Rsg::from_sample(sample)?))
+    }
+
+    /// Loads a parameter file into the global environment (§4.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors.
+    pub fn load_parameters(&mut self, src: &str) -> Result<(), LangError> {
+        let p = parse_parameter_file(src)?;
+        for (name, value) in p.bindings {
+            self.globals.insert(name, value);
+        }
+        Ok(())
+    }
+
+    /// Supplies integers for `(read)` statements.
+    pub fn push_input<I: IntoIterator<Item = i64>>(&mut self, values: I) {
+        self.input.extend(values);
+    }
+
+    /// Sets one global directly (a programmatic parameter binding).
+    pub fn set_global(&mut self, name: impl Into<String>, value: Value) {
+        self.globals.insert(name.into(), value);
+    }
+
+    /// Reads a global back (for tests and drivers).
+    pub fn global(&self, name: &str) -> Option<&Value> {
+        self.globals.get(name)
+    }
+
+    /// The generator.
+    pub fn rsg(&self) -> &Rsg {
+        &self.rsg
+    }
+
+    /// The collected `print` output so far.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Parses and executes design-file source, returning the value of the
+    /// last top-level statement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and runtime errors; the interpreter remains usable
+    /// for inspection afterwards.
+    pub fn exec(&mut self, src: &str) -> Result<Value, LangError> {
+        let program = parse_program(src)?;
+        // Definitions first (so statements may call procs defined later in
+        // the file), then statements in order.
+        for form in &program {
+            if let TopLevel::Proc(p) = form {
+                self.procs.insert(p.name.clone(), p.clone());
+            }
+        }
+        let root = match self.root_frame {
+            Some(r) => r,
+            None => {
+                let r = self.new_frame();
+                self.root_frame = Some(r);
+                r
+            }
+        };
+        let mut last = Value::Unit;
+        for form in &program {
+            if let TopLevel::Stmt(stmt) = form {
+                last = self.eval(stmt, root)?;
+            }
+        }
+        Ok(last)
+    }
+
+    /// Consumes the interpreter, executing `src` and packaging the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse and runtime errors.
+    pub fn run(mut self, src: &str) -> Result<DesignRun, LangError> {
+        let result = self.exec(src)?;
+        Ok(DesignRun { rsg: self.rsg, output: self.output, result })
+    }
+
+    // ------------------------------------------------------------------
+    // evaluation
+    // ------------------------------------------------------------------
+
+    fn new_frame(&mut self) -> EnvId {
+        self.frames.push(HashMap::new());
+        EnvId(self.frames.len() as u32 - 1)
+    }
+
+    fn rt(&self, message: impl Into<String>) -> LangError {
+        LangError::Runtime { message: message.into(), call_stack: self.call_stack.clone() }
+    }
+
+    fn eval(&mut self, ast: &Ast, env: EnvId) -> Result<Value, LangError> {
+        match ast {
+            Ast::Int(n) => Ok(Value::Int(*n)),
+            Ast::Str(s) => Ok(Value::Str(s.clone())),
+            Ast::Bool(b) => Ok(Value::Bool(*b)),
+            Ast::Var(vr) => {
+                let name = self.mangle(vr, env)?;
+                self.lookup(&name, env)
+            }
+            Ast::Assign(vr, rhs) => {
+                let value = self.eval(rhs, env)?;
+                let name = self.mangle(vr, env)?;
+                self.assign(&name, value.clone(), env);
+                Ok(value)
+            }
+            Ast::Prog(body) => {
+                let mut last = Value::Unit;
+                for stmt in body {
+                    last = self.eval(stmt, env)?;
+                }
+                Ok(last)
+            }
+            Ast::Cond(arms) => {
+                for (test, body) in arms {
+                    if self.truthy(test, env)? {
+                        let mut last = Value::Unit;
+                        for stmt in body {
+                            last = self.eval(stmt, env)?;
+                        }
+                        return Ok(last);
+                    }
+                }
+                Ok(Value::Unit)
+            }
+            Ast::Do { var, init, next, exit, body } => {
+                let init_v = self.eval(init, env)?;
+                self.frames[env.0 as usize].insert(var.clone(), init_v);
+                loop {
+                    if self.truthy(exit, env)? {
+                        return Ok(Value::Unit);
+                    }
+                    for stmt in body {
+                        self.eval(stmt, env)?;
+                    }
+                    let next_v = self.eval(next, env)?;
+                    self.frames[env.0 as usize].insert(var.clone(), next_v);
+                }
+            }
+            Ast::Print(inner) => {
+                let v = self.eval(inner, env)?;
+                self.output.push(v.to_string());
+                Ok(v)
+            }
+            Ast::Read => self
+                .input
+                .pop_front()
+                .map(Value::Int)
+                .ok_or_else(|| self.rt("`(read)` with empty input queue")),
+            Ast::MkInstance(vr, cell_expr) => {
+                let cell = self.eval_cell(cell_expr, env)?;
+                let node = self.rsg.mk_instance(cell);
+                let name = self.mangle(vr, env)?;
+                self.assign(&name, Value::Node(node), env);
+                Ok(Value::Node(node))
+            }
+            Ast::Connect(a, b, idx) => {
+                let na = self.eval_node(a, env)?;
+                let nb = self.eval_node(b, env)?;
+                let index = self.eval_index(idx, env)?;
+                self.rsg.connect(na, nb, index).map_err(LangError::from)?;
+                Ok(Value::Unit)
+            }
+            Ast::Subcell(env_expr, vr) => {
+                let target = match self.eval(env_expr, env)? {
+                    Value::Env(e) => e,
+                    other => {
+                        return Err(self.rt(format!(
+                            "subcell expects an environment, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                let name = self.mangle(vr, env)?;
+                self.frames[target.0 as usize]
+                    .get(&name)
+                    .cloned()
+                    .ok_or_else(|| self.rt(format!("`{name}` not bound in that environment")))
+            }
+            Ast::MkCell(name_expr, root_expr) => {
+                let name = match self.eval(name_expr, env)? {
+                    Value::Str(s) => s,
+                    Value::Symbol(s) => s,
+                    other => {
+                        return Err(self.rt(format!(
+                            "mk_cell name must be a string, got {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                let root = self.eval_node(root_expr, env)?;
+                let id = self.rsg.mk_cell(&name, root).map_err(LangError::from)?;
+                Ok(Value::Cell(id))
+            }
+            Ast::DeclareInterface { cell_c, cell_d, new_index, node_a, node_b, existing_index } => {
+                let c = self.eval_cell(cell_c, env)?;
+                let d = self.eval_cell(cell_d, env)?;
+                let new_idx = self.eval_index(new_index, env)?;
+                let na = self.eval_node(node_a, env)?;
+                let nb = self.eval_node(node_b, env)?;
+                let old_idx = self.eval_index(existing_index, env)?;
+                self.rsg
+                    .declare_interface(c, d, new_idx, na, nb, old_idx)
+                    .map_err(LangError::from)?;
+                Ok(Value::Unit)
+            }
+            Ast::Call { name, args, line } => self.eval_call(name, args, *line, env),
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[Ast],
+        line: usize,
+        env: EnvId,
+    ) -> Result<Value, LangError> {
+        // User procedures shadow nothing: builtin operator names are not
+        // legal procedure names anyway (they contain punctuation).
+        if self.procs.contains_key(name) {
+            return self.call_proc(name, args, env);
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(a, env)?);
+        }
+        self.builtin(name, &vals, line)
+    }
+
+    fn call_proc(&mut self, name: &str, args: &[Ast], env: EnvId) -> Result<Value, LangError> {
+        if self.call_stack.len() >= self.max_call_depth {
+            return Err(self.rt(format!("call depth limit exceeded calling `{name}`")));
+        }
+        let def = self.procs.get(name).cloned().expect("checked by caller");
+        if args.len() != def.formals.len() {
+            return Err(self.rt(format!(
+                "`{name}` expects {} argument(s), got {}",
+                def.formals.len(),
+                args.len()
+            )));
+        }
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(a, env)?);
+        }
+        // The paper sizes each frame's hash table from the formal+local
+        // count (§4.5); HashMap::with_capacity mirrors that.
+        let mut frame = HashMap::with_capacity(def.formals.len() + def.locals.len());
+        for (f, v) in def.formals.iter().zip(vals) {
+            frame.insert(f.clone(), v);
+        }
+        for l in &def.locals {
+            frame.insert(l.clone(), Value::Unit);
+        }
+        self.frames.push(frame);
+        let callee = EnvId(self.frames.len() as u32 - 1);
+
+        self.call_stack.push(name.to_owned());
+        let mut last = Value::Unit;
+        for stmt in &def.body {
+            match self.eval(stmt, callee) {
+                Ok(v) => last = v,
+                Err(e) => {
+                    self.call_stack.pop();
+                    return Err(e);
+                }
+            }
+        }
+        self.call_stack.pop();
+        Ok(if def.is_macro { Value::Env(callee) } else { last })
+    }
+
+    fn builtin(&mut self, name: &str, vals: &[Value], line: usize) -> Result<Value, LangError> {
+        let int = |v: &Value| -> Result<i64, LangError> {
+            match v {
+                Value::Int(n) => Ok(*n),
+                other => Err(LangError::runtime(format!(
+                    "line {line}: `{name}` expects integers, got {}",
+                    other.type_name()
+                ))),
+            }
+        };
+        let fold = |vals: &[Value], f: fn(i64, i64) -> i64| -> Result<Value, LangError> {
+            if vals.len() < 2 {
+                return Err(LangError::runtime(format!(
+                    "line {line}: `{name}` needs at least 2 arguments"
+                )));
+            }
+            let mut acc = int(&vals[0])?;
+            for v in &vals[1..] {
+                acc = f(acc, int(v)?);
+            }
+            Ok(Value::Int(acc))
+        };
+        let cmp2 = |vals: &[Value]| -> Result<(i64, i64), LangError> {
+            if vals.len() != 2 {
+                return Err(LangError::runtime(format!(
+                    "line {line}: `{name}` takes exactly 2 arguments"
+                )));
+            }
+            Ok((int(&vals[0])?, int(&vals[1])?))
+        };
+        match name {
+            "+" => fold(vals, |a, b| a + b),
+            "-" => {
+                if vals.len() == 1 {
+                    Ok(Value::Int(-int(&vals[0])?))
+                } else {
+                    fold(vals, |a, b| a - b)
+                }
+            }
+            "*" => fold(vals, |a, b| a * b),
+            "//" => {
+                let (a, b) = cmp2(vals)?;
+                if b == 0 {
+                    return Err(self.rt(format!("line {line}: division by zero")));
+                }
+                Ok(Value::Int(a.div_euclid(b)))
+            }
+            "mod" => {
+                let (a, b) = cmp2(vals)?;
+                if b == 0 {
+                    return Err(self.rt(format!("line {line}: mod by zero")));
+                }
+                Ok(Value::Int(a.rem_euclid(b)))
+            }
+            "=" => {
+                if vals.len() != 2 {
+                    return Err(self.rt(format!("line {line}: `=` takes 2 arguments")));
+                }
+                Ok(Value::Bool(vals[0] == vals[1]))
+            }
+            ">" => cmp2(vals).map(|(a, b)| Value::Bool(a > b)),
+            "<" => cmp2(vals).map(|(a, b)| Value::Bool(a < b)),
+            ">=" => cmp2(vals).map(|(a, b)| Value::Bool(a >= b)),
+            "<=" => cmp2(vals).map(|(a, b)| Value::Bool(a <= b)),
+            "min" => fold(vals, i64::min),
+            "max" => fold(vals, i64::max),
+            "not" => match vals {
+                [Value::Bool(b)] => Ok(Value::Bool(!b)),
+                _ => Err(self.rt(format!("line {line}: `not` takes one boolean"))),
+            },
+            _ => Err(self.rt(format!("line {line}: unknown procedure `{name}`"))),
+        }
+    }
+
+    fn truthy(&mut self, ast: &Ast, env: EnvId) -> Result<bool, LangError> {
+        match self.eval(ast, env)? {
+            Value::Bool(b) => Ok(b),
+            other => {
+                Err(self.rt(format!("condition must be a boolean, got {}", other.type_name())))
+            }
+        }
+    }
+
+    /// Resolves a variable reference to its (possibly mangled) name by
+    /// evaluating index expressions in the current environment.
+    fn mangle(&mut self, vr: &VarRef, env: EnvId) -> Result<String, LangError> {
+        if vr.indices.is_empty() {
+            return Ok(vr.base.clone());
+        }
+        let mut name = vr.base.clone();
+        for idx in &vr.indices {
+            match self.eval(idx, env)? {
+                Value::Int(n) => {
+                    name.push('.');
+                    name.push_str(&n.to_string());
+                }
+                other => {
+                    return Err(self.rt(format!(
+                        "index of `{}` must be an integer, got {}",
+                        vr.base,
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        Ok(name)
+    }
+
+    /// §4.1 lookup chain: frame → globals (with symbol-alias resolution) →
+    /// cell table.
+    fn lookup(&self, name: &str, env: EnvId) -> Result<Value, LangError> {
+        if let Some(v) = self.frames[env.0 as usize].get(name) {
+            return self.deref_symbol(v.clone(), 0);
+        }
+        self.lookup_global_or_cell(name, 0)
+    }
+
+    fn lookup_global_or_cell(&self, name: &str, depth: usize) -> Result<Value, LangError> {
+        if depth > 16 {
+            return Err(self.rt(format!("parameter alias chain too deep at `{name}`")));
+        }
+        if let Some(v) = self.globals.get(name) {
+            return self.deref_symbol(v.clone(), depth + 1);
+        }
+        if let Some(cell) = self.rsg.cells().lookup(name) {
+            return Ok(Value::Cell(cell));
+        }
+        Err(self.rt(format!("unbound variable `{name}`")))
+    }
+
+    fn deref_symbol(&self, v: Value, depth: usize) -> Result<Value, LangError> {
+        match v {
+            Value::Symbol(s) => self.lookup_global_or_cell(&s, depth),
+            other => Ok(other),
+        }
+    }
+
+    /// Assignment: update the binding where it lives (frame first, then
+    /// global), else create it in the current frame.
+    fn assign(&mut self, name: &str, value: Value, env: EnvId) {
+        let frame = &mut self.frames[env.0 as usize];
+        if frame.contains_key(name) {
+            frame.insert(name.to_owned(), value);
+        } else if self.globals.contains_key(name) {
+            self.globals.insert(name.to_owned(), value);
+        } else {
+            self.frames[env.0 as usize].insert(name.to_owned(), value);
+        }
+    }
+
+    fn eval_cell(&mut self, ast: &Ast, env: EnvId) -> Result<CellId, LangError> {
+        match self.eval(ast, env)? {
+            Value::Cell(c) => Ok(c),
+            Value::Str(s) | Value::Symbol(s) => self
+                .rsg
+                .cells()
+                .lookup(&s)
+                .ok_or_else(|| self.rt(format!("no cell named `{s}`"))),
+            other => Err(self.rt(format!("expected a cell, got {}", other.type_name()))),
+        }
+    }
+
+    fn eval_node(&mut self, ast: &Ast, env: EnvId) -> Result<rsg_core::NodeId, LangError> {
+        match self.eval(ast, env)? {
+            Value::Node(n) => Ok(n),
+            other => Err(self.rt(format!("expected a node, got {}", other.type_name()))),
+        }
+    }
+
+    fn eval_index(&mut self, ast: &Ast, env: EnvId) -> Result<u32, LangError> {
+        match self.eval(ast, env)? {
+            Value::Int(n) if n >= 0 => Ok(n as u32),
+            Value::Int(n) => Err(self.rt(format!("interface index must be >= 0, got {n}"))),
+            other => {
+                Err(self.rt(format!("interface index must be an integer, got {}", other.type_name())))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_core::Interface;
+    use rsg_geom::{Orientation, Point, Rect, Vector};
+    use rsg_layout::{CellDefinition, Instance, Layer};
+
+    fn bare_interp() -> Interpreter {
+        Interpreter::new(Rsg::new())
+    }
+
+    /// Generator with a 10×10 `tile` and tile–tile interfaces #1 (10 east)
+    /// and #2 (12 north).
+    fn tiled_interp() -> Interpreter {
+        let mut rsg = Rsg::new();
+        let mut c = CellDefinition::new("tile");
+        c.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
+        let t = rsg.cells_mut().insert(c).unwrap();
+        rsg.declare_primitive_interface(t, t, 1, Interface::new(Vector::new(10, 0), Orientation::NORTH))
+            .unwrap();
+        rsg.declare_primitive_interface(t, t, 2, Interface::new(Vector::new(0, 12), Orientation::NORTH))
+            .unwrap();
+        Interpreter::new(rsg)
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let mut i = bare_interp();
+        assert_eq!(i.exec("(+ 1 2 3)").unwrap(), Value::Int(6));
+        assert_eq!(i.exec("(- 10 4)").unwrap(), Value::Int(6));
+        assert_eq!(i.exec("(- 5)").unwrap(), Value::Int(-5));
+        assert_eq!(i.exec("(* 3 4)").unwrap(), Value::Int(12));
+        assert_eq!(i.exec("(// 7 2)").unwrap(), Value::Int(3));
+        assert_eq!(i.exec("(mod 7 2)").unwrap(), Value::Int(1));
+        assert_eq!(i.exec("(= 1 1)").unwrap(), Value::Bool(true));
+        assert_eq!(i.exec("(> 2 1)").unwrap(), Value::Bool(true));
+        assert_eq!(i.exec("(< 2 1)").unwrap(), Value::Bool(false));
+        assert_eq!(i.exec("(min 4 2 9)").unwrap(), Value::Int(2));
+        assert_eq!(i.exec("(not false)").unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn division_errors() {
+        let mut i = bare_interp();
+        assert!(i.exec("(// 1 0)").is_err());
+        assert!(i.exec("(mod 1 0)").is_err());
+    }
+
+    #[test]
+    fn setq_cond_do() {
+        let mut i = bare_interp();
+        let v = i
+            .exec("(setq total 0)\n(do (k 1 (+ k 1) (> k 5)) (setq total (+ total k)))\ntotal")
+            .unwrap();
+        assert_eq!(v, Value::Int(15));
+        let c = i.exec("(cond ((= 1 2) 10) ((= 1 1) 20) (true 30))").unwrap();
+        assert_eq!(c, Value::Int(20));
+        // No matching arm: Unit.
+        assert_eq!(i.exec("(cond ((= 1 2) 10))").unwrap(), Value::Unit);
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        let mut i = bare_interp();
+        let v = i
+            .exec("(defun fact (n) (locals) (cond ((= n 0) 1) (true (* n (fact (- n 1))))))\n(fact 10)")
+            .unwrap();
+        assert_eq!(v, Value::Int(3628800));
+    }
+
+    #[test]
+    fn runaway_recursion_reports_depth() {
+        let mut i = bare_interp();
+        let err = i.exec("(defun foo (n) (locals) (foo (+ n 1)))\n(foo 0)").unwrap_err();
+        assert!(err.to_string().contains("depth"));
+    }
+
+    #[test]
+    fn macros_return_environments() {
+        let mut i = bare_interp();
+        let v = i
+            .exec(
+                "(macro mbox (w h) (locals area) (setq area (* w h)))\n\
+                 (setq e (mbox 3 4))\n(subcell e area)",
+            )
+            .unwrap();
+        assert_eq!(v, Value::Int(12));
+        // Formals are also accessible in the returned environment.
+        let w = i.exec("(subcell e w)").unwrap();
+        assert_eq!(w, Value::Int(3));
+    }
+
+    #[test]
+    fn indexed_variables() {
+        let mut i = bare_interp();
+        let v = i
+            .exec(
+                "(setq n 3)\n\
+                 (do (k 1 (+ k 1) (> k n)) (assign slot.k (* k k)))\n\
+                 (+ slot.1 (+ slot.2 slot.(- n 0)))",
+            )
+            .unwrap();
+        assert_eq!(v, Value::Int(1 + 4 + 9));
+    }
+
+    #[test]
+    fn two_indexed_variables() {
+        let mut i = bare_interp();
+        let v = i.exec("(assign g.2.3 42)\n(setq r 2)\n(setq c 3)\ng.r.c").unwrap();
+        assert_eq!(v, Value::Int(42));
+    }
+
+    #[test]
+    fn parameter_scoping_chain() {
+        let mut i = tiled_interp();
+        i.load_parameters("corecell=tile\nhinum=1\nsize=3\n").unwrap();
+        // `corecell` resolves via global alias → cell table.
+        let v = i.exec("corecell").unwrap();
+        assert!(matches!(v, Value::Cell(_)));
+        // Direct cell-table fallback.
+        let v2 = i.exec("tile").unwrap();
+        assert_eq!(v, v2);
+        // Locals shadow globals.
+        let v3 = i
+            .exec("(defun probe (size) (locals) size)\n(probe 99)")
+            .unwrap();
+        assert_eq!(v3, Value::Int(99));
+        assert_eq!(i.exec("size").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn alias_cycle_detected() {
+        let mut i = bare_interp();
+        i.load_parameters("a=b\nb=a\n").unwrap();
+        let err = i.exec("a").unwrap_err();
+        assert!(err.to_string().contains("too deep"));
+    }
+
+    #[test]
+    fn rsg_primitives_build_a_row() {
+        let mut i = tiled_interp();
+        i.load_parameters("corecell=tile\nhinum=1\n").unwrap();
+        let v = i
+            .exec(
+                "(mk_instance first corecell)\n\
+                 (setq prev first)\n\
+                 (do (k 2 (+ k 1) (> k 4))\n\
+                   (mk_instance cur corecell)\n\
+                   (connect prev cur hinum)\n\
+                   (setq prev cur))\n\
+                 (mk_cell \"row\" first)",
+            )
+            .unwrap();
+        assert!(matches!(v, Value::Cell(_)));
+        let row = i.rsg().cells().lookup("row").unwrap();
+        let pts: Vec<Point> =
+            i.rsg().cells().require(row).unwrap().instances().map(|x| x.point_of_call).collect();
+        assert_eq!(pts, vec![Point::new(0, 0), Point::new(10, 0), Point::new(20, 0), Point::new(30, 0)]);
+    }
+
+    #[test]
+    fn subcell_reaches_into_macro_results() {
+        let mut i = tiled_interp();
+        i.load_parameters("corecell=tile\nhinum=1\nvinum=2\n").unwrap();
+        // mrow builds a row and exposes its first node as `first`; the top
+        // level stitches two rows vertically through those handles.
+        let v = i
+            .exec(
+                "(macro mrow (n) (locals first prev cur)\n\
+                   (mk_instance first corecell)\n\
+                   (setq prev first)\n\
+                   (do (k 2 (+ k 1) (> k n))\n\
+                     (mk_instance cur corecell)\n\
+                     (connect prev cur hinum)\n\
+                     (setq prev cur)))\n\
+                 (setq r1 (mrow 3))\n\
+                 (setq r2 (mrow 3))\n\
+                 (connect (subcell r1 first) (subcell r2 first) vinum)\n\
+                 (mk_cell \"grid\" (subcell r1 first))",
+            )
+            .unwrap();
+        assert!(matches!(v, Value::Cell(_)));
+        let grid = i.rsg().cells().lookup("grid").unwrap();
+        let def = i.rsg().cells().require(grid).unwrap();
+        assert_eq!(def.instances().count(), 6);
+        let pts: std::collections::HashSet<Point> =
+            def.instances().map(|x| x.point_of_call).collect();
+        assert!(pts.contains(&Point::new(20, 12)));
+    }
+
+    #[test]
+    fn print_and_read() {
+        let mut i = bare_interp();
+        i.push_input([7, 8]);
+        let v = i.exec("(print (+ (read) (read)))").unwrap();
+        assert_eq!(v, Value::Int(15));
+        assert_eq!(i.output(), ["15"]);
+        assert!(i.exec("(read)").is_err());
+    }
+
+    #[test]
+    fn error_carries_call_stack() {
+        let mut i = bare_interp();
+        let err = i
+            .exec("(defun inner () (locals) nosuchvar)\n(defun outer () (locals) (inner))\n(outer)")
+            .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("nosuchvar"));
+        assert!(text.contains("outer > inner"), "{text}");
+    }
+
+    #[test]
+    fn wrong_arity_reported() {
+        let mut i = bare_interp();
+        let err = i.exec("(defun fxy (a b) (locals) a)\n(fxy 1)").unwrap_err();
+        assert!(err.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn type_errors() {
+        let mut i = tiled_interp();
+        assert!(i.exec("(connect 1 2 3)").is_err());
+        assert!(i.exec("(mk_cell 42 43)").is_err());
+        assert!(i.exec("(cond (5 1))").is_err());
+        assert!(i.exec("(+ true 1)").is_err());
+        assert!(i.exec("(subcell 3 x)").is_err());
+    }
+
+    #[test]
+    fn run_design_via_sample() {
+        // End-to-end Fig 1.1 flow through the public driver.
+        let mut sample = CellTable::new();
+        let mut tile = CellDefinition::new("tile");
+        tile.add_box(Layer::Poly, Rect::from_coords(0, 0, 6, 6));
+        let t = sample.insert(tile).unwrap();
+        let mut ab = CellDefinition::new("abut");
+        ab.add_instance(Instance::new(t, Point::new(0, 0), Orientation::NORTH));
+        ab.add_instance(Instance::new(t, Point::new(6, 0), Orientation::NORTH));
+        ab.add_label("1", Point::new(6, 3));
+        sample.insert(ab).unwrap();
+
+        let run = crate::run_design(
+            sample,
+            "(mk_instance a corecell)(mk_instance b corecell)(connect a b 1)(mk_cell \"pair\" a)",
+            "corecell=tile\n",
+        )
+        .unwrap();
+        let pair = run.rsg.cells().lookup("pair").unwrap();
+        assert_eq!(run.rsg.cells().require(pair).unwrap().instances().count(), 2);
+    }
+}

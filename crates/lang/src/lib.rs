@@ -1,0 +1,89 @@
+//! The RSG design-file language (Chapter 4 of the paper).
+//!
+//! The design file is "a parameterized, procedural description of the
+//! architecture" written in a Lisp subset. This crate provides the lexer,
+//! the parser for the Appendix-A BNF, and the interpreter, with the
+//! distinctive features of the paper's language:
+//!
+//! * **Macros return their evaluation environment** (§4.2): a macro call
+//!   evaluates like a function but yields the whole frame, so callers pick
+//!   named results out with `(subcell env var)`.
+//! * **Indexed variables** (`l.i`, `c.(- i 1)`): array-like bindings whose
+//!   index is evaluated at run time (§4.3 — "the language does not support
+//!   LIST structures; instead it provides primitive facilities for
+//!   arrays").
+//! * **Parameter-file scoping** (§4.1): variable lookup searches the
+//!   procedure frame, then the global environment set up by the parameter
+//!   file, then the cell definition table.
+//! * The **primitive operators** `mk_instance`, `connect`, `mk_cell`,
+//!   `subcell` and `declare_interface` (§4.4), bound to [`rsg_core::Rsg`].
+//!
+//! # Example
+//!
+//! ```
+//! use rsg_lang::run_design;
+//! use rsg_layout::{CellDefinition, CellTable, Instance, Layer};
+//! use rsg_geom::{Orientation, Point, Rect};
+//!
+//! let mut sample = CellTable::new();
+//! let mut tile = CellDefinition::new("tile");
+//! tile.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
+//! let tile_id = sample.insert(tile).unwrap();
+//! let mut pair = CellDefinition::new("pair");
+//! pair.add_instance(Instance::new(tile_id, Point::new(0, 0), Orientation::NORTH));
+//! pair.add_instance(Instance::new(tile_id, Point::new(10, 0), Orientation::NORTH));
+//! pair.add_label("1", Point::new(10, 5));
+//! sample.insert(pair).unwrap();
+//!
+//! let design = r#"
+//!   (macro mrow (size)
+//!     (locals first prev cur)
+//!     (mk_instance first corecell)
+//!     (setq prev first)
+//!     (do (i 2 (+ i 1) (> i size))
+//!       (mk_instance cur corecell)
+//!       (connect prev cur hinum)
+//!       (setq prev cur))
+//!     (mk_cell "row" first))
+//!   (mrow rowsize)
+//! "#;
+//! let params = "corecell=tile\nhinum=1\nrowsize=4\n";
+//! let run = run_design(sample, design, params).unwrap();
+//! let row = run.rsg.cells().lookup("row").unwrap();
+//! assert_eq!(run.rsg.cells().require(row).unwrap().instances().count(), 4);
+//! ```
+
+#![deny(missing_docs)]
+
+mod ast;
+mod error;
+mod interp;
+mod lexer;
+mod param;
+mod parser;
+mod value;
+
+pub use ast::{Ast, VarRef};
+pub use error::LangError;
+pub use interp::{DesignRun, Interpreter};
+pub use param::parse_parameter_file;
+pub use parser::parse_program;
+pub use value::Value;
+
+use rsg_layout::CellTable;
+
+/// One-shot driver for the Fig 1.1 flow: sample layout + design file +
+/// parameter file → generator state with all built cells.
+///
+/// # Errors
+///
+/// Propagates interface-extraction, parse, and runtime errors.
+pub fn run_design(
+    sample: CellTable,
+    design_src: &str,
+    param_src: &str,
+) -> Result<DesignRun, LangError> {
+    let mut interp = Interpreter::from_sample(sample)?;
+    interp.load_parameters(param_src)?;
+    interp.run(design_src)
+}

@@ -1,0 +1,136 @@
+//! Parameter-file parser (paper §4.1, Appendix C).
+//!
+//! The parameter file "sets up parameter values in the global environment
+//! of the design file interpreter". Syntax, one binding per line:
+//!
+//! ```text
+//! .example_file:/u/bamji/demo/mult.def     # dotted header lines: recorded
+//! vinum=2                                  # integer
+//! mularrayname="array"                     # string
+//! corecell=cell                            # symbol alias, resolved lazily
+//! ```
+//!
+//! Symbol values implement the paper's personalization trick: a statement
+//! `corecell = basiccell` "would cause the variable named corecell ... to
+//! now refer to the cell named basiccell in the sample layout".
+
+use crate::{LangError, Value};
+
+/// A parsed parameter file: bindings plus dotted header lines.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParameterFile {
+    /// `name → value` bindings, in file order.
+    pub bindings: Vec<(String, Value)>,
+    /// Header lines like `.example_file:...` as `(key, value)`.
+    pub headers: Vec<(String, String)>,
+}
+
+/// Parses a parameter file.
+///
+/// # Errors
+///
+/// Returns [`LangError::Parse`] on lines that are neither headers,
+/// comments, nor `name=value` bindings.
+pub fn parse_parameter_file(src: &str) -> Result<ParameterFile, LangError> {
+    let mut out = ParameterFile::default();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('.') {
+            let (key, value) = rest.split_once(':').ok_or_else(|| LangError::Parse {
+                line: line_no,
+                message: "header line must be `.key:value`".into(),
+            })?;
+            out.headers.push((key.trim().to_owned(), value.trim().to_owned()));
+            continue;
+        }
+        let (name, value) = line.split_once('=').ok_or_else(|| LangError::Parse {
+            line: line_no,
+            message: format!("expected `name=value`, got `{line}`"),
+        })?;
+        let name = name.trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            return Err(LangError::Parse {
+                line: line_no,
+                message: format!("bad parameter name `{name}`"),
+            });
+        }
+        let value = value.trim();
+        let parsed = if let Some(stripped) =
+            value.strip_prefix('"').and_then(|v| v.strip_suffix('"'))
+        {
+            Value::Str(stripped.to_owned())
+        } else if let Ok(n) = value.parse::<i64>() {
+            Value::Int(n)
+        } else if value == "true" || value == "false" {
+            Value::Bool(value == "true")
+        } else if !value.is_empty()
+            && value.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        {
+            Value::Symbol(value.to_owned())
+        } else {
+            return Err(LangError::Parse {
+                line: line_no,
+                message: format!("bad parameter value `{value}`"),
+            });
+        };
+        out.bindings.push((name.to_owned(), parsed));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_value_kinds() {
+        let src = r#"
+.example_file:/u/bamji/demo/mult.def
+# a comment
+vinum=2
+mularrayname="array"
+corecell=cell
+flag=true
+"#;
+        let p = parse_parameter_file(src).unwrap();
+        assert_eq!(p.headers, vec![("example_file".to_owned(), "/u/bamji/demo/mult.def".to_owned())]);
+        assert_eq!(p.bindings.len(), 4);
+        assert_eq!(p.bindings[0], ("vinum".to_owned(), Value::Int(2)));
+        assert_eq!(p.bindings[1], ("mularrayname".to_owned(), Value::Str("array".into())));
+        assert_eq!(p.bindings[2], ("corecell".to_owned(), Value::Symbol("cell".into())));
+        assert_eq!(p.bindings[3], ("flag".to_owned(), Value::Bool(true)));
+    }
+
+    #[test]
+    fn whitespace_tolerant() {
+        let p = parse_parameter_file("  a = 5 \n b = \"x y\" \n").unwrap();
+        assert_eq!(p.bindings[0], ("a".to_owned(), Value::Int(5)));
+        assert_eq!(p.bindings[1], ("b".to_owned(), Value::Str("x y".into())));
+    }
+
+    #[test]
+    fn negative_integers() {
+        let p = parse_parameter_file("n=-3\n").unwrap();
+        assert_eq!(p.bindings[0].1, Value::Int(-3));
+    }
+
+    #[test]
+    fn errors_with_line_numbers() {
+        assert!(matches!(
+            parse_parameter_file("good=1\nbad line\n"),
+            Err(LangError::Parse { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_parameter_file("x=@!#\n"),
+            Err(LangError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_parameter_file(".noseparator\n"),
+            Err(LangError::Parse { line: 1, .. })
+        ));
+    }
+}

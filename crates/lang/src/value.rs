@@ -1,0 +1,104 @@
+//! Runtime values of the design-file language.
+
+use rsg_core::NodeId;
+use rsg_layout::CellId;
+use std::fmt;
+
+/// Opaque handle to an environment frame kept alive after a macro returns
+/// (paper §4.2: "macros return their evaluation environment").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EnvId(pub(crate) u32);
+
+/// A design-file runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// A connectivity-graph node (partial instance handle).
+    Node(NodeId),
+    /// A cell definition.
+    Cell(CellId),
+    /// A macro's returned environment.
+    Env(EnvId),
+    /// An unresolved symbol from the parameter file (`corecell=basiccell`);
+    /// re-resolved through globals and the cell table at use time (§4.1).
+    Symbol(String),
+    /// No useful value (connect, assignments, empty progs).
+    Unit,
+}
+
+impl Value {
+    /// A short name of the value's type for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "integer",
+            Value::Bool(_) => "boolean",
+            Value::Str(_) => "string",
+            Value::Node(_) => "node",
+            Value::Cell(_) => "cell",
+            Value::Env(_) => "environment",
+            Value::Symbol(_) => "symbol",
+            Value::Unit => "unit",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Node(n) => write!(f, "#node{}", n.raw()),
+            Value::Cell(c) => write!(f, "#cell{}", c.raw()),
+            Value::Env(e) => write!(f, "#env{}", e.0),
+            Value::Symbol(s) => write!(f, "'{s}"),
+            Value::Unit => write!(f, "nil"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_types() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+        assert_eq!(Value::Unit.to_string(), "nil");
+        assert_eq!(Value::Symbol("c".into()).to_string(), "'c");
+        assert_eq!(Value::Int(0).type_name(), "integer");
+        assert_eq!(Value::Unit.type_name(), "unit");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("a"), Value::Str("a".into()));
+    }
+}

@@ -1,0 +1,200 @@
+//! Coverage of every production in the Appendix-A BNF, as integration
+//! tests against the public interpreter API.
+
+use rsg_core::{Interface, Rsg};
+use rsg_geom::{Orientation, Rect, Vector};
+use rsg_lang::{Interpreter, Value};
+use rsg_layout::{CellDefinition, Layer};
+
+fn interp() -> Interpreter {
+    let mut rsg = Rsg::new();
+    let mut c = CellDefinition::new("tile");
+    c.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
+    let t = rsg.cells_mut().insert(c).unwrap();
+    rsg.declare_primitive_interface(t, t, 1, Interface::new(Vector::new(10, 0), Orientation::NORTH))
+        .unwrap();
+    Interpreter::new(rsg)
+}
+
+#[test]
+fn function_definition_and_call() {
+    let mut i = interp();
+    let v = i
+        .exec("(defun fsq (x) (locals) (* x x))\n(defun fsum (a b) (locals) (+ (fsq a) (fsq b)))\n(fsum 3 4)")
+        .unwrap();
+    assert_eq!(v, Value::Int(25));
+}
+
+#[test]
+fn macro_definition_returns_environment() {
+    let mut i = interp();
+    let v = i
+        .exec("(macro mpoint (x y) (locals dist2) (setq dist2 (+ (* x x) (* y y))))\n(subcell (mpoint 3 4) dist2)")
+        .unwrap();
+    assert_eq!(v, Value::Int(25));
+}
+
+#[test]
+fn locals_shadow_and_default_to_unit() {
+    let mut i = interp();
+    i.set_global("x", Value::Int(99));
+    let v = i.exec("(defun fprobe () (locals x) x)\n(fprobe)").unwrap();
+    assert_eq!(v, Value::Unit, "locals start unbound (unit)");
+    assert_eq!(i.exec("x").unwrap(), Value::Int(99), "global untouched");
+}
+
+#[test]
+fn cond_arms_run_like_progs() {
+    let mut i = interp();
+    let v = i
+        .exec("(setq a 0)\n(cond ((= 1 1) (setq a 5) (+ a 1)))")
+        .unwrap();
+    assert_eq!(v, Value::Int(6));
+    assert_eq!(i.exec("a").unwrap(), Value::Int(5));
+}
+
+#[test]
+fn do_loop_full_form() {
+    // (do (var init next exit) body): classic count-down product.
+    let mut i = interp();
+    let v = i
+        .exec("(setq acc 1)\n(do (k 5 (- k 1) (= k 0)) (setq acc (* acc k)))\nacc")
+        .unwrap();
+    assert_eq!(v, Value::Int(120));
+}
+
+#[test]
+fn nested_do_loops_with_two_indexed_arrays() {
+    let mut i = interp();
+    let v = i
+        .exec(
+            "(do (r 1 (+ r 1) (> r 3))\n\
+               (do (c 1 (+ c 1) (> c 3))\n\
+                 (assign m.r.c (* r c))))\n\
+             (+ m.1.1 (+ m.2.3 m.3.3))",
+        )
+        .unwrap();
+    assert_eq!(v, Value::Int(1 + 6 + 9));
+}
+
+#[test]
+fn prog_returns_last_value() {
+    let mut i = interp();
+    assert_eq!(i.exec("(prog 1 2 3)").unwrap(), Value::Int(3));
+    assert_eq!(i.exec("(prog)").unwrap(), Value::Unit);
+}
+
+#[test]
+fn print_passes_value_through() {
+    let mut i = interp();
+    let v = i.exec("(+ (print 20) (print 22))").unwrap();
+    assert_eq!(v, Value::Int(42));
+    assert_eq!(i.output(), ["20", "22"]);
+}
+
+#[test]
+fn read_consumes_input_queue() {
+    let mut i = interp();
+    i.push_input([5, 7, 9]);
+    assert_eq!(i.exec("(* (read) (read))").unwrap(), Value::Int(35));
+    assert_eq!(i.exec("(read)").unwrap(), Value::Int(9));
+}
+
+#[test]
+fn primitive_operators_build_layout() {
+    let mut i = interp();
+    let v = i
+        .exec(
+            "(mk_instance a tile)\n(mk_instance b tile)\n(mk_instance c tile)\n\
+             (connect a b 1)\n(connect b c 1)\n(mk_cell \"triple\" b)",
+        )
+        .unwrap();
+    assert!(matches!(v, Value::Cell(_)));
+    let id = i.rsg().cells().lookup("triple").unwrap();
+    assert_eq!(i.rsg().cells().require(id).unwrap().instances().count(), 3);
+}
+
+#[test]
+fn declare_interface_statement() {
+    let mut i = interp();
+    i.exec(
+        "(mk_instance a tile)\n(mk_cell \"left\" a)\n\
+         (mk_instance b tile)\n(mk_cell \"right\" b)\n\
+         (declare_interface left right 1 a b 1)\n\
+         (mk_instance la left)\n(mk_instance rb right)\n\
+         (connect la rb 1)\n(mk_cell \"both\" la)",
+    )
+    .unwrap();
+    let id = i.rsg().cells().lookup("both").unwrap();
+    let pts: Vec<_> = i
+        .rsg()
+        .cells()
+        .require(id)
+        .unwrap()
+        .instances()
+        .map(|x| x.point_of_call)
+        .collect();
+    assert_eq!(pts[1].x - pts[0].x, 10, "inherited pitch");
+}
+
+#[test]
+fn deeply_nested_arithmetic() {
+    let mut i = interp();
+    // A deep but non-recursive expression tree.
+    let mut expr = String::from("1");
+    for _ in 0..50 {
+        expr = format!("(+ 1 {expr})");
+    }
+    assert_eq!(i.exec(&expr).unwrap(), Value::Int(51));
+}
+
+#[test]
+fn comments_everywhere() {
+    let mut i = interp();
+    let v = i
+        .exec("; leading\n(+ 1 ; inline\n 2) ; trailing")
+        .unwrap();
+    assert_eq!(v, Value::Int(3));
+}
+
+#[test]
+fn error_messages_are_actionable() {
+    let mut i = interp();
+    for (src, needle) in [
+        ("(nosuch 1)", "unknown procedure"),
+        ("qqq", "unbound variable `qqq`"),
+        ("(connect 1 2 3)", "expected a node"),
+        ("(mk_instance x 42)", "expected a cell"),
+        ("(do (k 1 (+ k 1) k) 1)", "boolean"),
+        ("(+ 1)", "at least 2"),
+    ] {
+        let err = i.exec(src).unwrap_err().to_string();
+        assert!(err.contains(needle), "`{src}` → `{err}` missing `{needle}`");
+    }
+}
+
+#[test]
+fn parameter_file_drives_design_file() {
+    let mut i = interp();
+    i.load_parameters("size=5\ncellname=tile\ninum=1\n").unwrap();
+    i.exec(
+        "(macro mrow (n) (locals first prev cur)\n\
+           (mk_instance first cellname)\n(setq prev first)\n\
+           (do (k 2 (+ k 1) (> k n))\n\
+             (mk_instance cur cellname)\n(connect prev cur inum)\n(setq prev cur)))\n\
+         (mk_cell \"prow\" (subcell (mrow size) first))",
+    )
+    .unwrap();
+    let id = i.rsg().cells().lookup("prow").unwrap();
+    assert_eq!(i.rsg().cells().require(id).unwrap().instances().count(), 5);
+}
+
+#[test]
+fn reassigning_parameters_at_runtime() {
+    // Assignment to an existing global updates the global (the parameter
+    // file seeds the same environment the program mutates).
+    let mut i = interp();
+    i.load_parameters("n=3\n").unwrap();
+    i.exec("(setq n (+ n 1))").unwrap();
+    assert_eq!(i.global("n"), Some(&Value::Int(4)));
+}

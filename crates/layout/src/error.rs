@@ -1,0 +1,49 @@
+//! Error type for the layout database.
+
+use std::fmt;
+
+/// Errors raised by the layout database and its file formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A cell name was inserted twice into a [`crate::CellTable`].
+    DuplicateCell(String),
+    /// A [`crate::CellId`] did not resolve (wrong table or stale id).
+    UnknownCell(String),
+    /// Cell instantiation recursion (a cell that transitively calls itself).
+    RecursiveCell(String),
+    /// A parse error in the `.rsgl` reader, with a 1-based line number.
+    Parse {
+        /// Line at which the error was detected.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::DuplicateCell(name) => write!(f, "duplicate cell name `{name}`"),
+            LayoutError::UnknownCell(what) => write!(f, "unknown cell {what}"),
+            LayoutError::RecursiveCell(name) => {
+                write!(f, "cell `{name}` transitively instantiates itself")
+            }
+            LayoutError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(LayoutError::DuplicateCell("a".into()).to_string(), "duplicate cell name `a`");
+        assert!(LayoutError::Parse { line: 3, message: "bad".into() }
+            .to_string()
+            .contains("line 3"));
+    }
+}

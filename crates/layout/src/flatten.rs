@@ -1,0 +1,152 @@
+//! Hierarchical flattening of a cell to absolute-coordinate boxes.
+
+use crate::{CellId, CellTable, Layer, LayoutError};
+use rsg_geom::{Isometry, Rect};
+
+/// A box in the flattened, absolute coordinate system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlatBox {
+    /// Mask layer of the box.
+    pub layer: Layer,
+    /// Absolute geometry.
+    pub rect: Rect,
+    /// Hierarchy depth at which the box was found (0 = in the root cell).
+    pub depth: u32,
+}
+
+/// Flattens `root` into absolute-coordinate boxes on all layers.
+///
+/// Labels are dropped (they are annotations); instances are recursively
+/// expanded by composing calling isometries, the `I₂(I₁(Ob))` chain of
+/// paper §2.6.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::UnknownCell`] for dangling ids and
+/// [`LayoutError::RecursiveCell`] if the hierarchy is cyclic.
+pub fn flatten(table: &CellTable, root: CellId) -> Result<Vec<FlatBox>, LayoutError> {
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    flatten_rec(table, root, Isometry::IDENTITY, 0, &mut stack, &mut |layer, rect, depth| {
+        out.push(FlatBox { layer, rect, depth });
+    })?;
+    Ok(out)
+}
+
+/// Flattens `root` keeping only boxes of one layer — cheaper when a single
+/// mask is wanted (e.g. DRC on poly only).
+pub fn flatten_boxes_of(
+    table: &CellTable,
+    root: CellId,
+    wanted: Layer,
+) -> Result<Vec<Rect>, LayoutError> {
+    let mut out = Vec::new();
+    let mut stack = Vec::new();
+    flatten_rec(table, root, Isometry::IDENTITY, 0, &mut stack, &mut |layer, rect, _| {
+        if layer == wanted {
+            out.push(rect);
+        }
+    })?;
+    Ok(out)
+}
+
+fn flatten_rec(
+    table: &CellTable,
+    cell: CellId,
+    iso: Isometry,
+    depth: u32,
+    stack: &mut Vec<CellId>,
+    sink: &mut impl FnMut(Layer, Rect, u32),
+) -> Result<(), LayoutError> {
+    if stack.contains(&cell) {
+        let name = table.get(cell).map_or("?", |c| c.name()).to_owned();
+        return Err(LayoutError::RecursiveCell(name));
+    }
+    let def = table.require(cell)?;
+    for (layer, rect) in def.boxes() {
+        sink(layer, rect.transform(iso), depth);
+    }
+    stack.push(cell);
+    for inst in def.instances() {
+        let child = iso.compose(inst.isometry());
+        flatten_rec(table, inst.cell, child, depth + 1, stack, sink)?;
+    }
+    stack.pop();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellDefinition, Instance};
+    use rsg_geom::{Orientation, Point};
+
+    fn leaf_table() -> (CellTable, CellId) {
+        let mut t = CellTable::new();
+        let mut leaf = CellDefinition::new("leaf");
+        leaf.add_box(Layer::Metal1, Rect::from_coords(0, 0, 4, 2));
+        let id = t.insert(leaf).unwrap();
+        (t, id)
+    }
+
+    #[test]
+    fn flat_leaf() {
+        let (t, id) = leaf_table();
+        let flat = flatten(&t, id).unwrap();
+        assert_eq!(flat.len(), 1);
+        assert_eq!(flat[0].rect, Rect::from_coords(0, 0, 4, 2));
+        assert_eq!(flat[0].depth, 0);
+    }
+
+    #[test]
+    fn nested_instances_compose() {
+        let (mut t, leaf) = leaf_table();
+        let mut mid = CellDefinition::new("mid");
+        mid.add_instance(Instance::new(leaf, Point::new(10, 0), Orientation::SOUTH));
+        let mid_id = t.insert(mid).unwrap();
+        let mut top = CellDefinition::new("top");
+        top.add_instance(Instance::new(mid_id, Point::new(0, 100), Orientation::NORTH));
+        let top_id = t.insert(top).unwrap();
+
+        let flat = flatten(&t, top_id).unwrap();
+        assert_eq!(flat.len(), 1);
+        // leaf box (0,0)-(4,2) south-rotated => (-4,-2)-(0,0), +(10,0), +(0,100).
+        assert_eq!(flat[0].rect, Rect::from_coords(6, 98, 10, 100));
+        assert_eq!(flat[0].depth, 2);
+    }
+
+    #[test]
+    fn recursion_detected() {
+        let mut t = CellTable::new();
+        let a = t.insert(CellDefinition::new("a")).unwrap();
+        t.get_mut(a)
+            .unwrap()
+            .add_instance(Instance::new(a, Point::new(1, 1), Orientation::NORTH));
+        assert_eq!(flatten(&t, a), Err(LayoutError::RecursiveCell("a".into())));
+    }
+
+    #[test]
+    fn single_layer_filter() {
+        let (mut t, leaf) = leaf_table();
+        t.get_mut(leaf).unwrap().add_box(Layer::Poly, Rect::from_coords(0, 0, 1, 1));
+        let m1 = flatten_boxes_of(&t, leaf, Layer::Metal1).unwrap();
+        assert_eq!(m1, vec![Rect::from_coords(0, 0, 4, 2)]);
+        let m2 = flatten_boxes_of(&t, leaf, Layer::Metal2).unwrap();
+        assert!(m2.is_empty());
+    }
+
+    #[test]
+    fn diamond_hierarchy_is_not_recursion() {
+        // top calls mid twice; mid calls leaf. Sharing is fine, cycles are not.
+        let (mut t, leaf) = leaf_table();
+        let mut mid = CellDefinition::new("mid");
+        mid.add_instance(Instance::new(leaf, Point::ORIGIN, Orientation::NORTH));
+        let mid_id = t.insert(mid).unwrap();
+        let mut top = CellDefinition::new("top");
+        top.add_instance(Instance::new(mid_id, Point::new(0, 0), Orientation::NORTH));
+        top.add_instance(Instance::new(mid_id, Point::new(20, 0), Orientation::NORTH));
+        let top_id = t.insert(top).unwrap();
+        let flat = flatten(&t, top_id).unwrap();
+        assert_eq!(flat.len(), 2);
+    }
+}

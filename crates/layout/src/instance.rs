@@ -1,0 +1,69 @@
+//! Cell instances: the `(L, O, cell)` triplet of paper §2.1.
+
+use crate::CellId;
+use rsg_geom::{Isometry, Orientation, Point};
+use std::fmt;
+
+/// An instance of a cell inside another cell.
+///
+/// The paper defines an instance as the triplet
+/// `(L', O', ⟨cell definition⟩)` — the point of call, the orientation in the
+/// call, and a pointer to the definition. Here the pointer is a [`CellId`]
+/// into the owning [`crate::CellTable`].
+///
+/// # Example
+///
+/// ```
+/// use rsg_layout::{CellTable, CellDefinition, Instance};
+/// use rsg_geom::{Orientation, Point};
+///
+/// let mut t = CellTable::new();
+/// let id = t.insert(CellDefinition::new("leaf")).unwrap();
+/// let inst = Instance::new(id, Point::new(3, 4), Orientation::SOUTH);
+/// assert_eq!(inst.point_of_call, Point::new(3, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instance {
+    /// The called cell.
+    pub cell: CellId,
+    /// `L'`: where the called cell's origin lands in the calling system.
+    pub point_of_call: Point,
+    /// `O'`: the orientation of the call.
+    pub orientation: Orientation,
+}
+
+impl Instance {
+    /// Creates an instance from its calling parameters.
+    pub const fn new(cell: CellId, point_of_call: Point, orientation: Orientation) -> Instance {
+        Instance { cell, point_of_call, orientation }
+    }
+
+    /// The isometry this call applies to the called cell's objects.
+    pub fn isometry(&self) -> Isometry {
+        Isometry::call(self.point_of_call, self.orientation)
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell#{} {}@{}", self.cell.raw(), self.orientation, self.point_of_call)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellDefinition, CellTable};
+    use rsg_geom::Vector;
+
+    #[test]
+    fn isometry_matches_calling_parameters() {
+        let mut t = CellTable::new();
+        let id = t.insert(CellDefinition::new("x")).unwrap();
+        let i = Instance::new(id, Point::new(5, -2), Orientation::EAST);
+        let iso = i.isometry();
+        assert_eq!(iso.point_of_call(), Point::new(5, -2));
+        assert_eq!(iso.apply_vector(Vector::new(1, 0)), Orientation::EAST.apply_vector(Vector::new(1, 0)));
+        assert_eq!(iso.apply_point(Point::ORIGIN), Point::new(5, -2));
+    }
+}

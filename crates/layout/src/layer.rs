@@ -1,0 +1,171 @@
+//! Mask layers for the synthetic CMOS technology.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A mask layer.
+///
+/// The set is a simplified Mead–Conway CMOS stack plus the `Contact`
+/// pseudo-layer of paper §6.4.3 (Fig 6.9): `Contact` does not correspond to
+/// a lithographic mask; at output time it expands into metal/poly overlaps
+/// and one or more contact cuts (see `rsg-compact::layers`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Layer {
+    /// Active diffusion.
+    Diffusion,
+    /// Polysilicon (transistor gates where it crosses diffusion).
+    Poly,
+    /// First metal.
+    Metal1,
+    /// Second metal.
+    Metal2,
+    /// Contact cut between metal1 and poly/diffusion (real mask layer).
+    Cut,
+    /// Via between metal1 and metal2.
+    Via,
+    /// P-plus implant.
+    Implant,
+    /// N-well.
+    Well,
+    /// The composite contact pseudo-layer of paper Fig 6.9.
+    Contact,
+    /// Non-mask annotation layer used for interface labels (paper Fig 5.5
+    /// places "a numerical label in the overlapping region").
+    Label,
+}
+
+impl Layer {
+    /// Every layer, mask layers first.
+    pub const ALL: [Layer; 10] = [
+        Layer::Diffusion,
+        Layer::Poly,
+        Layer::Metal1,
+        Layer::Metal2,
+        Layer::Cut,
+        Layer::Via,
+        Layer::Implant,
+        Layer::Well,
+        Layer::Contact,
+        Layer::Label,
+    ];
+
+    /// The CIF layer name (MOSIS-style, invented for non-standard layers).
+    pub const fn cif_name(self) -> &'static str {
+        match self {
+            Layer::Diffusion => "CAA",
+            Layer::Poly => "CPG",
+            Layer::Metal1 => "CMF",
+            Layer::Metal2 => "CMS",
+            Layer::Cut => "CCP",
+            Layer::Via => "CVA",
+            Layer::Implant => "CSP",
+            Layer::Well => "CWN",
+            Layer::Contact => "XCT",
+            Layer::Label => "XLB",
+        }
+    }
+
+    /// Short lowercase name used by the `.rsgl` textual format.
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            Layer::Diffusion => "diff",
+            Layer::Poly => "poly",
+            Layer::Metal1 => "m1",
+            Layer::Metal2 => "m2",
+            Layer::Cut => "cut",
+            Layer::Via => "via",
+            Layer::Implant => "impl",
+            Layer::Well => "well",
+            Layer::Contact => "cont",
+            Layer::Label => "label",
+        }
+    }
+
+    /// `true` for layers that appear on lithographic masks (everything but
+    /// the pseudo and annotation layers).
+    pub const fn is_mask(self) -> bool {
+        !matches!(self, Layer::Contact | Layer::Label)
+    }
+
+    /// Stable small integer id for dense tables.
+    pub const fn index(self) -> usize {
+        match self {
+            Layer::Diffusion => 0,
+            Layer::Poly => 1,
+            Layer::Metal1 => 2,
+            Layer::Metal2 => 3,
+            Layer::Cut => 4,
+            Layer::Via => 5,
+            Layer::Implant => 6,
+            Layer::Well => 7,
+            Layer::Contact => 8,
+            Layer::Label => 9,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Error returned when parsing an unknown layer name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseLayerError(pub(crate) String);
+
+impl fmt::Display for ParseLayerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown layer name `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseLayerError {}
+
+impl FromStr for Layer {
+    type Err = ParseLayerError;
+
+    fn from_str(s: &str) -> Result<Layer, ParseLayerError> {
+        Layer::ALL
+            .iter()
+            .copied()
+            .find(|l| l.short_name() == s || l.cif_name() == s)
+            .ok_or_else(|| ParseLayerError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for l in Layer::ALL {
+            assert_eq!(l.short_name().parse::<Layer>().unwrap(), l);
+            assert_eq!(l.cif_name().parse::<Layer>().unwrap(), l);
+        }
+    }
+
+    #[test]
+    fn unknown_name_errors() {
+        let err = "plutonium".parse::<Layer>().unwrap_err();
+        assert!(err.to_string().contains("plutonium"));
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 10];
+        for l in Layer::ALL {
+            assert!(!seen[l.index()]);
+            seen[l.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn mask_classification() {
+        assert!(Layer::Poly.is_mask());
+        assert!(!Layer::Contact.is_mask());
+        assert!(!Layer::Label.is_mask());
+    }
+}

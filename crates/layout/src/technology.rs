@@ -1,0 +1,151 @@
+//! λ-based design rules (Mead & Conway style, paper ref. [25]).
+//!
+//! All dimensions are in **grid units**; the technology fixes how many grid
+//! units one λ spans, so "scaling λ" retargets a whole library — the
+//! motivation for the leaf-cell compactor of Chapter 6.
+
+use crate::Layer;
+use std::collections::HashMap;
+
+/// Minimum-width and minimum-spacing rules for one technology.
+///
+/// Spacing is symmetric: `spacing(a, b) == spacing(b, a)`. Pairs without an
+/// entry do not interact (no constraint is generated between them).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DesignRules {
+    min_width: HashMap<Layer, i64>,
+    min_spacing: HashMap<(Layer, Layer), i64>,
+    /// Extra poly width required over diffusion (transistor gate rule of
+    /// paper §6.4.3).
+    pub gate_width: i64,
+    /// Metal/poly overlap around a contact cut (Fig 6.9 expansion).
+    pub contact_overlap: i64,
+    /// Size of a single square contact cut.
+    pub contact_cut_size: i64,
+    /// Spacing between adjacent cuts in a multi-cut contact.
+    pub contact_cut_spacing: i64,
+}
+
+impl DesignRules {
+    /// Creates an empty rule set (no constraints at all).
+    pub fn new() -> DesignRules {
+        DesignRules::default()
+    }
+
+    /// Sets the minimum width of a layer.
+    pub fn set_min_width(&mut self, layer: Layer, w: i64) -> &mut Self {
+        self.min_width.insert(layer, w);
+        self
+    }
+
+    /// Sets the minimum spacing between two layers (symmetric).
+    pub fn set_min_spacing(&mut self, a: Layer, b: Layer, s: i64) -> &mut Self {
+        let key = if a.index() <= b.index() { (a, b) } else { (b, a) };
+        self.min_spacing.insert(key, s);
+        self
+    }
+
+    /// Minimum width of a layer (0 when unconstrained).
+    pub fn min_width(&self, layer: Layer) -> i64 {
+        self.min_width.get(&layer).copied().unwrap_or(0)
+    }
+
+    /// Minimum spacing between two layers, `None` when they don't interact.
+    pub fn min_spacing(&self, a: Layer, b: Layer) -> Option<i64> {
+        let key = if a.index() <= b.index() { (a, b) } else { (b, a) };
+        self.min_spacing.get(&key).copied()
+    }
+}
+
+/// A named technology: λ scale plus its [`DesignRules`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Technology {
+    /// Human-readable name, e.g. `"mc-lambda-2"`.
+    pub name: String,
+    /// Grid units per λ.
+    pub lambda: i64,
+    /// The design rule set, already multiplied out into grid units.
+    pub rules: DesignRules,
+}
+
+impl Technology {
+    /// The classic Mead–Conway rule set at a given λ (in grid units).
+    ///
+    /// Widths: diffusion/poly/metal1 = 2λ/2λ/3λ; spacings: diff–diff 3λ,
+    /// poly–poly 2λ, poly–diff 1λ, metal–metal 3λ; cut 2λ square with 1λ
+    /// overlap; gates are 2λ wide poly over diffusion.
+    pub fn mead_conway(lambda: i64) -> Technology {
+        assert!(lambda > 0, "lambda must be positive");
+        let mut r = DesignRules::new();
+        r.set_min_width(Layer::Diffusion, 2 * lambda)
+            .set_min_width(Layer::Poly, 2 * lambda)
+            .set_min_width(Layer::Metal1, 3 * lambda)
+            .set_min_width(Layer::Metal2, 4 * lambda)
+            .set_min_width(Layer::Cut, 2 * lambda)
+            .set_min_width(Layer::Contact, 4 * lambda);
+        r.set_min_spacing(Layer::Diffusion, Layer::Diffusion, 3 * lambda)
+            .set_min_spacing(Layer::Poly, Layer::Poly, 2 * lambda)
+            .set_min_spacing(Layer::Poly, Layer::Diffusion, lambda)
+            .set_min_spacing(Layer::Metal1, Layer::Metal1, 3 * lambda)
+            .set_min_spacing(Layer::Metal2, Layer::Metal2, 4 * lambda)
+            .set_min_spacing(Layer::Cut, Layer::Cut, 2 * lambda)
+            .set_min_spacing(Layer::Contact, Layer::Contact, 2 * lambda);
+        r.gate_width = 2 * lambda;
+        r.contact_overlap = lambda;
+        r.contact_cut_size = 2 * lambda;
+        r.contact_cut_spacing = 2 * lambda;
+        Technology { name: format!("mc-lambda-{lambda}"), lambda, rules: r }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Technology {
+        Technology::mead_conway(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spacing_is_symmetric() {
+        let t = Technology::mead_conway(2);
+        assert_eq!(
+            t.rules.min_spacing(Layer::Poly, Layer::Diffusion),
+            t.rules.min_spacing(Layer::Diffusion, Layer::Poly)
+        );
+        assert_eq!(t.rules.min_spacing(Layer::Poly, Layer::Diffusion), Some(2));
+    }
+
+    #[test]
+    fn unrelated_layers_dont_interact() {
+        let t = Technology::mead_conway(2);
+        assert_eq!(t.rules.min_spacing(Layer::Metal1, Layer::Poly), None);
+        assert_eq!(t.rules.min_width(Layer::Label), 0);
+    }
+
+    #[test]
+    fn scaling_lambda_scales_rules() {
+        let a = Technology::mead_conway(1);
+        let b = Technology::mead_conway(3);
+        assert_eq!(a.rules.min_width(Layer::Poly) * 3, b.rules.min_width(Layer::Poly));
+        assert_eq!(
+            a.rules.min_spacing(Layer::Diffusion, Layer::Diffusion).unwrap() * 3,
+            b.rules.min_spacing(Layer::Diffusion, Layer::Diffusion).unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_rejected() {
+        let _ = Technology::mead_conway(0);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let mut r = DesignRules::new();
+        r.set_min_width(Layer::Poly, 5).set_min_width(Layer::Poly, 7);
+        assert_eq!(r.min_width(Layer::Poly), 7);
+    }
+}

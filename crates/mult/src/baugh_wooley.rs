@@ -1,0 +1,198 @@
+//! The Baugh-Wooley signed-multiplication functional model (paper Fig 5.1,
+//! ref. \[13\]).
+//!
+//! For an m-bit two's-complement `a` and n-bit `b`, the product is the sum
+//! of a matrix of partial-product terms plus three boundary constants:
+//!
+//! ```text
+//! a·b = Σ_{i<m-1, j<n-1} aᵢbⱼ 2^{i+j}
+//!     + a_{m-1} b_{n-1} 2^{m+n-2}
+//!     + Σ_{j<n-1} ¬(a_{m-1} bⱼ) 2^{m-1+j}
+//!     + Σ_{i<m-1} ¬(aᵢ b_{n-1}) 2^{n-1+i}
+//!     + 2^{m-1} + 2^{n-1} + 2^{m+n-1}        (mod 2^{m+n})
+//! ```
+//!
+//! Cells computing uncomplemented terms are **type I**; cells computing
+//! complemented terms (exactly one sign bit involved) are **type II** —
+//! the paper's "type II cells occur on the left and bottom edges of the
+//! carry-save array, except for the cell at the lower left corner".
+
+/// Which of the two full-adder cell personalities a position gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellType {
+    /// Adds the plain partial product `aᵢ·bⱼ`.
+    TypeI,
+    /// Adds the complemented partial product `¬(aᵢ·bⱼ)`.
+    TypeII,
+}
+
+/// The structural description of an m×n Baugh-Wooley array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaughWooley {
+    m: usize,
+    n: usize,
+}
+
+impl BaughWooley {
+    /// Creates the model for an m-bit × n-bit multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 ≤ m`, `2 ≤ n`, and `m + n ≤ 62` (so products fit
+    /// an `i64` during simulation).
+    pub fn new(m: usize, n: usize) -> BaughWooley {
+        assert!((2..=60).contains(&m) && (2..=60).contains(&n) && m + n <= 62,
+            "unsupported multiplier size {m}x{n}");
+        BaughWooley { m, n }
+    }
+
+    /// Multiplicand width in bits.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Multiplier width in bits.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The cell personality at array position `(i, j)` — column `i`
+    /// (weight of `aᵢ`), row `j` (weight of `bⱼ`).
+    pub fn cell_type(&self, i: usize, j: usize) -> CellType {
+        let a_sign = i == self.m - 1;
+        let b_sign = j == self.n - 1;
+        if a_sign ^ b_sign {
+            CellType::TypeII
+        } else {
+            CellType::TypeI
+        }
+    }
+
+    /// The partial-product bit contributed by cell `(i, j)` for operands
+    /// `a`, `b` (two's complement in the low `m`/`n` bits).
+    pub fn term(&self, a: i64, b: i64, i: usize, j: usize) -> u8 {
+        let ai = ((a >> i) & 1) as u8;
+        let bj = ((b >> j) & 1) as u8;
+        match self.cell_type(i, j) {
+            CellType::TypeI => ai & bj,
+            CellType::TypeII => 1 ^ (ai & bj),
+        }
+    }
+
+    /// The three boundary constant weights: `m−1`, `n−1`, `m+n−1` — the
+    /// "ones and zeros ... assigned to the unused inputs along the top and
+    /// left edges as prescribed by the Baugh-Wooley algorithm".
+    pub fn constant_weights(&self) -> [usize; 3] {
+        [self.m - 1, self.n - 1, self.m + self.n - 1]
+    }
+
+    /// Range of legal operand values for the multiplicand `a`.
+    pub fn a_range(&self) -> std::ops::RangeInclusive<i64> {
+        -(1i64 << (self.m - 1))..=(1i64 << (self.m - 1)) - 1
+    }
+
+    /// Range of legal operand values for the multiplier `b`.
+    pub fn b_range(&self) -> std::ops::RangeInclusive<i64> {
+        -(1i64 << (self.n - 1))..=(1i64 << (self.n - 1)) - 1
+    }
+
+    /// Reference multiply, evaluating the Baugh-Wooley matrix exactly as
+    /// the array hardware would sum it (no use of the `*` operator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands are outside the representable ranges.
+    pub fn multiply(&self, a: i64, b: i64) -> i64 {
+        assert!(self.a_range().contains(&a), "a={a} out of range for {}-bit", self.m);
+        assert!(self.b_range().contains(&b), "b={b} out of range for {}-bit", self.n);
+        let width = self.m + self.n;
+        let mut acc: u64 = 0;
+        for j in 0..self.n {
+            for i in 0..self.m {
+                let t = self.term(a, b, i, j) as u64;
+                acc = acc.wrapping_add(t << (i + j));
+            }
+        }
+        for w in self.constant_weights() {
+            acc = acc.wrapping_add(1u64 << w);
+        }
+        // Interpret the low `width` bits as two's complement.
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let val = acc & mask;
+        let sign = 1u64 << (width - 1);
+        if val & sign != 0 {
+            (val as i64) - ((sign as i64) << 1)
+        } else {
+            val as i64
+        }
+    }
+
+    /// Counts of type I and type II cells `(type_i, type_ii)`.
+    pub fn type_counts(&self) -> (usize, usize) {
+        let type_ii = (self.m - 1) + (self.n - 1);
+        (self.m * self.n - type_ii, type_ii)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaustive_small_sizes() {
+        for (m, n) in [(2, 2), (3, 3), (4, 4), (3, 5), (5, 3)] {
+            let bw = BaughWooley::new(m, n);
+            for a in bw.a_range() {
+                for b in bw.b_range() {
+                    assert_eq!(bw.multiply(a, b), a * b, "{m}x{n}: {a}*{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn type_assignment_matches_paper() {
+        // Fig 5.1 (6×6): type II where exactly one operand index is the
+        // sign position; the corner (both signs) is type I.
+        let bw = BaughWooley::new(6, 6);
+        assert_eq!(bw.cell_type(5, 5), CellType::TypeI);
+        assert_eq!(bw.cell_type(5, 0), CellType::TypeII);
+        assert_eq!(bw.cell_type(0, 5), CellType::TypeII);
+        assert_eq!(bw.cell_type(0, 0), CellType::TypeI);
+        assert_eq!(bw.type_counts(), (26, 10));
+    }
+
+    #[test]
+    fn extreme_values() {
+        let bw = BaughWooley::new(8, 8);
+        for (a, b) in [(-128, -128), (-128, 127), (127, 127), (0, -128), (-1, -1)] {
+            assert_eq!(bw.multiply(a, b), a * b);
+        }
+    }
+
+    #[test]
+    fn asymmetric_sizes() {
+        let bw = BaughWooley::new(10, 4);
+        for (a, b) in [(-512, -8), (511, 7), (-300, 5), (123, -8)] {
+            assert_eq!(bw.multiply(a, b), a * b);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        let bw = BaughWooley::new(6, 4);
+        assert_eq!(bw.constant_weights(), [5, 3, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        BaughWooley::new(4, 4).multiply(8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported multiplier size")]
+    fn rejects_huge() {
+        let _ = BaughWooley::new(40, 40);
+    }
+}

@@ -1,0 +1,275 @@
+//! The synthetic multiplier leaf-cell library and its sample layout.
+//!
+//! The paper's leaf cells (Appendix E) were hand-drawn NMOS; the RSG never
+//! looks inside them — only bounding geometry, labels, and the interfaces
+//! they exemplify matter. This module builds functionally equivalent
+//! synthetic cells in the λ-based CMOS stack of `rsg-layout`:
+//!
+//! * `basic` — the 40×40 core cell (input inverters + full adder footprint),
+//! * masking cells `typei`, `typeii`, `clock1`, `clock2`, `carry1`,
+//!   `carry2`, `topm1`, `topm2` — small boxes instantiated *inside* the
+//!   basic cell to personalize it (paper Fig 5.3),
+//! * register cells `topreg`, `bottomreg`, `rightreg` and the right-stack
+//!   direction masks `goboth`, `goleft`, `goright`,
+//! * [`sample_layout`] — the Fig 5.5 equivalent: one tiny assembly cell per
+//!   interface, with the numeric label in the overlap region.
+//!
+//! Every cell carries a full-extent `Well` background box so that abutting
+//! instances share a boundary; interface labels sit on that shared line.
+
+use rsg_geom::{Orientation, Point, Rect};
+use rsg_layout::{CellDefinition, CellTable, Instance, Layer};
+
+/// Pitch of the core array in grid units (40 = 20λ at λ = 2).
+pub const PITCH: i64 = 40;
+
+/// Height of the top/bottom register cells.
+pub const REG_HEIGHT: i64 = 20;
+
+/// Width of the right register cells.
+pub const REG_WIDTH: i64 = 20;
+
+/// Names of the mask cells applied to the basic cell, in a stable order.
+pub const BASIC_MASKS: [&str; 8] =
+    ["typei", "typeii", "clock1", "clock2", "carry1", "carry2", "topm1", "topm2"];
+
+/// Names of the right-register direction masks.
+pub const REG_MASKS: [&str; 3] = ["goboth", "goleft", "goright"];
+
+fn basic_cell() -> CellDefinition {
+    let mut c = CellDefinition::new("basic");
+    c.add_box(Layer::Well, Rect::from_coords(0, 0, PITCH, PITCH));
+    c.add_box(Layer::Diffusion, Rect::from_coords(4, 4, 16, 12));
+    c.add_box(Layer::Poly, Rect::from_coords(18, 4, 22, 36));
+    c.add_box(Layer::Metal1, Rect::from_coords(4, 20, 36, 26));
+    c.add_box(Layer::Cut, Rect::from_coords(19, 21, 21, 25));
+    c
+}
+
+/// `(name, layer, rect)` of each basic-cell mask's single box; the boxes
+/// occupy disjoint spots inside the basic cell so that every mask is
+/// independently visible (Fig 5.3's maskings).
+fn basic_mask_specs() -> Vec<(&'static str, Layer, Rect)> {
+    vec![
+        ("typei", Layer::Metal2, Rect::from_coords(24, 4, 30, 10)),
+        ("typeii", Layer::Metal2, Rect::from_coords(24, 12, 30, 18)),
+        ("clock1", Layer::Poly, Rect::from_coords(26, 28, 32, 32)),
+        ("clock2", Layer::Poly, Rect::from_coords(26, 34, 32, 38)),
+        ("carry1", Layer::Metal2, Rect::from_coords(4, 28, 10, 34)),
+        ("carry2", Layer::Metal2, Rect::from_coords(12, 28, 18, 34)),
+        ("topm1", Layer::Cut, Rect::from_coords(32, 32, 36, 36)),
+        ("topm2", Layer::Cut, Rect::from_coords(34, 14, 38, 18)),
+    ]
+}
+
+fn reg_mask_specs() -> Vec<(&'static str, Layer, Rect)> {
+    vec![
+        ("goboth", Layer::Metal2, Rect::from_coords(4, 6, 12, 12)),
+        ("goleft", Layer::Metal2, Rect::from_coords(4, 16, 12, 22)),
+        ("goright", Layer::Metal2, Rect::from_coords(4, 26, 12, 32)),
+    ]
+}
+
+fn topreg_cell() -> CellDefinition {
+    let mut c = CellDefinition::new("topreg");
+    c.add_box(Layer::Well, Rect::from_coords(0, 0, PITCH, REG_HEIGHT));
+    c.add_box(Layer::Metal1, Rect::from_coords(4, 4, 36, 16));
+    c
+}
+
+fn bottomreg_cell() -> CellDefinition {
+    let mut c = CellDefinition::new("bottomreg");
+    c.add_box(Layer::Well, Rect::from_coords(0, 0, PITCH, REG_HEIGHT));
+    c.add_box(Layer::Metal1, Rect::from_coords(4, 4, 36, 16));
+    c.add_box(Layer::Poly, Rect::from_coords(18, 2, 22, 18));
+    c
+}
+
+fn rightreg_cell() -> CellDefinition {
+    let mut c = CellDefinition::new("rightreg");
+    c.add_box(Layer::Well, Rect::from_coords(0, 0, REG_WIDTH, PITCH));
+    c.add_box(Layer::Metal1, Rect::from_coords(4, 4, 16, 36));
+    c
+}
+
+/// Builds the complete sample layout: all leaf cells plus one assembly
+/// cell per interface with its numeric label (the design-by-example input
+/// of Fig 1.1 / Fig 5.5).
+///
+/// Interface index assignments (all per cell pair):
+///
+/// | pair | index | meaning |
+/// |---|---|---|
+/// | basic–basic | 1 | horizontal pitch (east) |
+/// | basic–basic | 2 | vertical pitch (south) |
+/// | basic–mask | 1 | mask applied at the basic cell's origin |
+/// | basic–topreg | 1 | register stack above |
+/// | basic–bottomreg | 1 | register stack below |
+/// | basic–rightreg | 1 | register stack to the right |
+/// | topreg–topreg / bottomreg–bottomreg | 1 | horizontal pitch |
+/// | rightreg–rightreg | 1 | vertical pitch (south) |
+/// | rightreg–mask | 1 | direction mask |
+pub fn sample_layout() -> CellTable {
+    let mut t = CellTable::new();
+    let basic = t.insert(basic_cell()).expect("fresh table");
+    let mut mask_ids = Vec::new();
+    for (name, layer, rect) in basic_mask_specs() {
+        let mut c = CellDefinition::new(name);
+        c.add_box(layer, rect);
+        mask_ids.push((t.insert(c).expect("unique mask name"), rect));
+    }
+    let topreg = t.insert(topreg_cell()).expect("fresh");
+    let bottomreg = t.insert(bottomreg_cell()).expect("fresh");
+    let rightreg = t.insert(rightreg_cell()).expect("fresh");
+    let mut reg_mask_ids = Vec::new();
+    for (name, layer, rect) in reg_mask_specs() {
+        let mut c = CellDefinition::new(name);
+        c.add_box(layer, rect);
+        reg_mask_ids.push((t.insert(c).expect("unique"), rect));
+    }
+
+    // basic–basic horizontal (#1) and vertical (#2).
+    let mut s = CellDefinition::new("s_h");
+    s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(basic, Point::new(PITCH, 0), Orientation::NORTH));
+    s.add_label("1", Point::new(PITCH, PITCH / 2));
+    t.insert(s).expect("fresh");
+
+    let mut s = CellDefinition::new("s_v");
+    s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(basic, Point::new(0, -PITCH), Orientation::NORTH));
+    s.add_label("2", Point::new(PITCH / 2, 0));
+    t.insert(s).expect("fresh");
+
+    // basic + each mask at the shared origin, labelled inside the mask box.
+    for (i, (mask, rect)) in mask_ids.iter().enumerate() {
+        let mut s = CellDefinition::new(format!("s_mask{i}"));
+        s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
+        s.add_instance(Instance::new(*mask, Point::new(0, 0), Orientation::NORTH));
+        s.add_label("1", rect.center());
+        t.insert(s).expect("fresh");
+    }
+
+    // basic–register interfaces.
+    let mut s = CellDefinition::new("s_treg");
+    s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(topreg, Point::new(0, PITCH), Orientation::NORTH));
+    s.add_label("1", Point::new(PITCH / 2, PITCH));
+    t.insert(s).expect("fresh");
+
+    let mut s = CellDefinition::new("s_breg");
+    s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(bottomreg, Point::new(0, -REG_HEIGHT), Orientation::NORTH));
+    s.add_label("1", Point::new(PITCH / 2, 0));
+    t.insert(s).expect("fresh");
+
+    let mut s = CellDefinition::new("s_rreg");
+    s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(rightreg, Point::new(PITCH, 0), Orientation::NORTH));
+    s.add_label("1", Point::new(PITCH, PITCH / 2));
+    t.insert(s).expect("fresh");
+
+    // Register–register pitches.
+    let mut s = CellDefinition::new("s_tregh");
+    s.add_instance(Instance::new(topreg, Point::new(0, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(topreg, Point::new(PITCH, 0), Orientation::NORTH));
+    s.add_label("1", Point::new(PITCH, REG_HEIGHT / 2));
+    t.insert(s).expect("fresh");
+
+    let mut s = CellDefinition::new("s_bregh");
+    s.add_instance(Instance::new(bottomreg, Point::new(0, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(bottomreg, Point::new(PITCH, 0), Orientation::NORTH));
+    s.add_label("1", Point::new(PITCH, REG_HEIGHT / 2));
+    t.insert(s).expect("fresh");
+
+    let mut s = CellDefinition::new("s_rregv");
+    s.add_instance(Instance::new(rightreg, Point::new(0, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(rightreg, Point::new(0, -PITCH), Orientation::NORTH));
+    s.add_label("1", Point::new(REG_WIDTH / 2, 0));
+    t.insert(s).expect("fresh");
+
+    // rightreg + direction masks.
+    for (i, (mask, rect)) in reg_mask_ids.iter().enumerate() {
+        let mut s = CellDefinition::new(format!("s_rmask{i}"));
+        s.add_instance(Instance::new(rightreg, Point::new(0, 0), Orientation::NORTH));
+        s.add_instance(Instance::new(*mask, Point::new(0, 0), Orientation::NORTH));
+        s.add_label("1", rect.center());
+        t.insert(s).expect("fresh");
+    }
+
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_core::{extract_interfaces, Interface, Rsg};
+    use rsg_geom::Vector;
+
+    #[test]
+    fn sample_extracts_all_interfaces() {
+        let table = sample_layout();
+        let found = extract_interfaces(&table).unwrap();
+        // 2 basic-basic + 8 masks + 3 basic-reg + 3 reg-reg + 3 reg masks.
+        assert_eq!(found.len(), 19);
+    }
+
+    #[test]
+    fn key_interfaces_have_expected_geometry() {
+        let table = sample_layout();
+        let rsg = Rsg::from_sample(table).unwrap();
+        let basic = rsg.cells().lookup("basic").unwrap();
+        let topreg = rsg.cells().lookup("topreg").unwrap();
+        let typei = rsg.cells().lookup("typei").unwrap();
+
+        assert_eq!(
+            rsg.interfaces().resolve(basic, basic, 1, true),
+            Some(Interface::new(Vector::new(PITCH, 0), Orientation::NORTH))
+        );
+        assert_eq!(
+            rsg.interfaces().resolve(basic, basic, 2, true),
+            Some(Interface::new(Vector::new(0, -PITCH), Orientation::NORTH))
+        );
+        assert_eq!(
+            rsg.interfaces().get(basic, topreg, 1),
+            Some(Interface::new(Vector::new(0, PITCH), Orientation::NORTH))
+        );
+        // The auto-loaded inverse is present too (bilaterality).
+        assert_eq!(
+            rsg.interfaces().get(topreg, basic, 1),
+            Some(Interface::new(Vector::new(0, -PITCH), Orientation::NORTH))
+        );
+        assert_eq!(
+            rsg.interfaces().get(basic, typei, 1),
+            Some(Interface::new(Vector::ZERO, Orientation::NORTH))
+        );
+    }
+
+    #[test]
+    fn all_named_cells_exist() {
+        let table = sample_layout();
+        for name in ["basic", "topreg", "bottomreg", "rightreg"] {
+            assert!(table.lookup(name).is_some(), "{name}");
+        }
+        for name in BASIC_MASKS.iter().chain(REG_MASKS.iter()) {
+            assert!(table.lookup(name).is_some(), "{name}");
+        }
+    }
+
+    #[test]
+    fn mask_boxes_sit_inside_basic() {
+        for (_, _, rect) in basic_mask_specs() {
+            assert!(
+                Rect::from_coords(0, 0, PITCH, PITCH).contains_rect(rect),
+                "{rect} escapes the basic cell"
+            );
+        }
+        // And pairwise disjoint so maskings never collide.
+        let specs = basic_mask_specs();
+        for (i, a) in specs.iter().enumerate() {
+            for b in &specs[i + 1..] {
+                assert!(!a.2.overlaps(b.2), "{} overlaps {}", a.0, b.0);
+            }
+        }
+    }
+}

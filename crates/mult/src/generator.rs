@@ -1,0 +1,433 @@
+//! Multiplier layout generation: the native-API port of the Appendix B
+//! design file, plus the design file itself for the interpreter path.
+//!
+//! Both paths build the same hierarchy:
+//!
+//! * `array` — the xsize × ysize personalized core array (macro `m2darray`),
+//! * `topregs`, `bottomregs`, `rightregs` — the peripheral register stacks,
+//! * `thewholething` — the complete multiplier, assembled through
+//!   *inherited* interfaces (no additional layout, §2.5).
+//!
+//! The personalization rules follow the paper's Chapter 5 list: cell type
+//! (I/II by array position), clock assignment (by column parity), carry
+//! interface masks, and top masks, with register direction masks on the
+//! right stack.
+
+use crate::cells::{sample_layout, PITCH};
+use rsg_core::{NodeId, Rsg, RsgError};
+use rsg_layout::CellId;
+
+/// A generated multiplier layout.
+#[derive(Debug)]
+pub struct MultiplierLayout {
+    /// The generator holding all built cells.
+    pub rsg: Rsg,
+    /// The complete multiplier cell (`thewholething`).
+    pub top: CellId,
+    /// The inner array cell.
+    pub array: CellId,
+}
+
+/// Builds an `xsize × ysize` bit-systolic multiplier layout with the
+/// native API (no interpreter), mirroring the design file line for line.
+///
+/// # Errors
+///
+/// Propagates generator errors (all indicate internal inconsistency —
+/// the sample layout provides every required interface).
+///
+/// # Panics
+///
+/// Panics if `xsize` or `ysize` is zero.
+pub fn generate(xsize: usize, ysize: usize) -> Result<MultiplierLayout, RsgError> {
+    generate_with(sample_layout(), xsize, ysize)
+}
+
+/// Like [`generate`] but on a caller-provided sample layout (used by the
+/// benchmarks to separate sample-reading time from generation time).
+///
+/// # Errors
+///
+/// Propagates generator errors.
+pub fn generate_with(
+    sample: rsg_layout::CellTable,
+    xsize: usize,
+    ysize: usize,
+) -> Result<MultiplierLayout, RsgError> {
+    assert!(xsize > 0 && ysize > 0, "degenerate multiplier {xsize}x{ysize}");
+    let mut rsg = Rsg::from_sample(sample)?;
+    let look = |rsg: &Rsg, name: &str| rsg.cells().lookup(name).expect("sample cell");
+    let basic = look(&rsg, "basic");
+    let typei = look(&rsg, "typei");
+    let typeii = look(&rsg, "typeii");
+    let clock1 = look(&rsg, "clock1");
+    let clock2 = look(&rsg, "clock2");
+    let carry1 = look(&rsg, "carry1");
+    let carry2 = look(&rsg, "carry2");
+    let topm1 = look(&rsg, "topm1");
+    let topm2 = look(&rsg, "topm2");
+    let topreg = look(&rsg, "topreg");
+    let bottomreg = look(&rsg, "bottomreg");
+    let rightreg = look(&rsg, "rightreg");
+    let goboth = look(&rsg, "goboth");
+    let goleft = look(&rsg, "goleft");
+    let goright = look(&rsg, "goright");
+
+    // --- macro mcell: one personalized core cell ----------------------
+    let mcell = |rsg: &mut Rsg, xloc: usize, yloc: usize| -> Result<NodeId, RsgError> {
+        let c = rsg.mk_instance(basic);
+        // Cell type: type II on the right column and bottom row, except
+        // the corner (Appendix B's cond ladder).
+        let type_mask = if xloc == xsize {
+            if yloc == ysize {
+                typei
+            } else {
+                typeii
+            }
+        } else if yloc == ysize {
+            typeii
+        } else {
+            typei
+        };
+        let t = rsg.mk_instance(type_mask);
+        rsg.connect(c, t, 1)?;
+        // Clock assignment by column parity.
+        let clk = rsg.mk_instance(if xloc % 2 == 0 { clock1 } else { clock2 });
+        rsg.connect(c, clk, 1)?;
+        // Carry interface mask: the left column differs.
+        let car = rsg.mk_instance(if xloc == 1 { carry2 } else { carry1 });
+        rsg.connect(c, car, 1)?;
+        // Top mask: last row differs.
+        let top = rsg.mk_instance(if yloc == ysize { topm2 } else { topm1 });
+        rsg.connect(c, top, 1)?;
+        Ok(c)
+    };
+
+    // --- macro mline + m2darray ---------------------------------------
+    let mut rows: Vec<Vec<NodeId>> = Vec::with_capacity(ysize);
+    for yloc in 1..=ysize {
+        let mut row = Vec::with_capacity(xsize);
+        for xloc in 1..=xsize {
+            let c = mcell(&mut rsg, xloc, yloc)?;
+            if let Some(&prev) = row.last() {
+                rsg.connect(prev, c, 1)?; // hinum
+            }
+            row.push(c);
+        }
+        if let Some(prev_row) = rows.last() {
+            rsg.connect(prev_row[0], row[0], 2)?; // vinum
+        }
+        rows.push(row);
+    }
+    let topleft = rows[0][0];
+    let topright = rows[0][xsize - 1];
+    let bottomleft = rows[ysize - 1][0];
+    let array = rsg.mk_cell("array", topleft)?;
+
+    // --- register stack macros -----------------------------------------
+    let reg_row = |rsg: &mut Rsg, cell: CellId, n: usize| -> Result<Vec<NodeId>, RsgError> {
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let r = rsg.mk_instance(cell);
+            if let Some(&prev) = nodes.last() {
+                rsg.connect(prev, r, 1)?;
+            }
+            nodes.push(r);
+        }
+        Ok(nodes)
+    };
+    let tregs = reg_row(&mut rsg, topreg, xsize)?;
+    let topregs_cell = rsg.mk_cell("topregs", tregs[0])?;
+    let bregs = reg_row(&mut rsg, bottomreg, xsize)?;
+    let bottomregs_cell = rsg.mk_cell("bottomregs", bregs[0])?;
+
+    // Right stack with direction masks (the assdirection personality).
+    let mut rregs = Vec::with_capacity(ysize);
+    for i in 1..=ysize {
+        let r = rsg.mk_instance(rightreg);
+        if let Some(&prev) = rregs.last() {
+            rsg.connect(prev, r, 1)?;
+        }
+        let mask = if i == 1 {
+            goboth
+        } else if i % 2 == 0 {
+            goleft
+        } else {
+            goright
+        };
+        let m = rsg.mk_instance(mask);
+        rsg.connect(r, m, 1)?;
+        rregs.push(r);
+    }
+    let rightregs_cell = rsg.mk_cell("rightregs", rregs[0])?;
+
+    // --- macro mall: inheritance + assembly -----------------------------
+    rsg.declare_interface(topregs_cell, array, 1, tregs[0], topleft, 1)?;
+    rsg.declare_interface(array, bottomregs_cell, 1, bottomleft, bregs[0], 1)?;
+    rsg.declare_interface(array, rightregs_cell, 1, topright, rregs[0], 1)?;
+
+    let tri = rsg.mk_instance(topregs_cell);
+    let arrayi = rsg.mk_instance(array);
+    let bri = rsg.mk_instance(bottomregs_cell);
+    let rri = rsg.mk_instance(rightregs_cell);
+    rsg.connect(tri, arrayi, 1)?;
+    rsg.connect(arrayi, bri, 1)?;
+    rsg.connect(arrayi, rri, 1)?;
+    let top = rsg.mk_cell("thewholething", arrayi)?;
+
+    Ok(MultiplierLayout { rsg, top, array })
+}
+
+/// Expected pitch-grid x coordinate of array column `xloc` (1-based).
+pub fn column_x(xloc: usize) -> i64 {
+    (xloc as i64 - 1) * PITCH
+}
+
+/// Expected pitch-grid y coordinate of array row `yloc` (1-based; rows
+/// grow downward as in the paper's figures).
+pub fn row_y(yloc: usize) -> i64 {
+    -((yloc as i64 - 1) * PITCH)
+}
+
+/// The multiplier design file: a cleaned-up version of the paper's
+/// Appendix B, runnable by `rsg-lang`.
+pub const DESIGN_FILE: &str = r#"
+; Design file for a bit-systolic Baugh-Wooley multiplier.
+; Cleaned-up reproduction of Appendix B of Bamji's 1985 thesis.
+
+(macro mcell (xsize ysize xloc yloc)
+  (locals c foo)
+  (mk_instance c corecell)
+  (cond ((= xsize xloc)
+         (cond ((= ysize yloc) (connect c (mk_instance foo typei) t1inum))
+               (true (connect c (mk_instance foo typeii) t2inum))))
+        (true (cond ((= ysize yloc) (connect c (mk_instance foo typeii) t2inum))
+                    (true (connect c (mk_instance foo typei) t1inum)))))
+  (cond ((= (mod xloc 2) 0) (connect c (mk_instance foo clock1) clk1inum))
+        (true (connect c (mk_instance foo clock2) clk2inum)))
+  (cond ((= xloc 1) (connect c (mk_instance foo carry2) car2inum))
+        (true (connect c (mk_instance foo carry1) car1inum)))
+  (cond ((= yloc ysize) (connect c (mk_instance foo topm2) top2inum))
+        (true (connect c (mk_instance foo topm1) top1inum))))
+
+(macro mline (xsize ysize currentline)
+  (locals l ref lastref)
+  (assign l.1 (mcell xsize ysize 1 currentline))
+  (setq ref (subcell l.1 c))
+  (do (i 2 (+ i 1) (> i xsize))
+    (assign l.i (mcell xsize ysize i currentline))
+    (connect (subcell l.(- i 1) c) (subcell l.i c) hinum))
+  (setq lastref (subcell l.xsize c)))
+
+(macro m2darray (xsize ysize)
+  (locals cl topleft topright bottomleft)
+  (assign cl.1 (mline xsize ysize 1))
+  (setq topleft (subcell cl.1 ref))
+  (setq topright (subcell cl.1 lastref))
+  (do (i 2 (+ i 1) (> i ysize))
+    (assign cl.i (mline xsize ysize i))
+    (connect (subcell cl.(- i 1) ref) (subcell cl.i ref) vinum))
+  (setq bottomleft (subcell cl.ysize ref))
+  (mk_cell mularrayname topleft))
+
+(macro mtopregs (size)
+  (locals l tmp ref)
+  (assign l.1 (mk_instance tmp topregcell))
+  (setq ref l.1)
+  (do (i 2 (+ i 1) (> i size))
+    (assign l.i (mk_instance tmp topregcell))
+    (connect l.(- i 1) l.i topreghinum))
+  (mk_cell topregisters ref))
+
+(macro mbottomregs (size)
+  (locals l tmp ref)
+  (assign l.1 (mk_instance tmp bottomregcell))
+  (setq ref l.1)
+  (do (i 2 (+ i 1) (> i size))
+    (assign l.i (mk_instance tmp bottomregcell))
+    (connect l.(- i 1) l.i bottomreghinum))
+  (mk_cell bottomregisters ref))
+
+(macro mrightregs (size)
+  (locals l tmp foo ref)
+  (assign l.1 (mk_instance tmp rightregcell))
+  (setq ref l.1)
+  (connect l.1 (mk_instance foo goboth) rregmaskinum)
+  (do (i 2 (+ i 1) (> i size))
+    (assign l.i (mk_instance tmp rightregcell))
+    (connect l.(- i 1) l.i rightregvinum)
+    (cond ((= (mod i 2) 0) (connect l.i (mk_instance foo goleft) rregmaskinum))
+          (true (connect l.i (mk_instance foo goright) rregmaskinum))))
+  (mk_cell rightregisters ref))
+
+(macro mall (xsize ysize)
+  (locals arrayfoo tregs bregs rregs tri arrayi bri rri)
+  (setq arrayfoo (m2darray xsize ysize))
+  (setq tregs (mtopregs xsize))
+  (setq bregs (mbottomregs xsize))
+  (setq rregs (mrightregs ysize))
+  (declare_interface topregistername arrayname 1
+    (subcell tregs ref) (subcell arrayfoo topleft) celltotopreginum)
+  (declare_interface arrayname bottomregistername 1
+    (subcell arrayfoo bottomleft) (subcell bregs ref) celltobottomreginum)
+  (declare_interface arrayname rightregistername 1
+    (subcell arrayfoo topright) (subcell rregs ref) celltorightreginum)
+  (mk_instance tri topregistername)
+  (mk_instance arrayi arrayname)
+  (mk_instance bri bottomregistername)
+  (mk_instance rri rightregistername)
+  (connect tri arrayi 1)
+  (connect arrayi bri 1)
+  (connect arrayi rri 1)
+  (mk_cell "thewholething" arrayi))
+
+(mall xsize ysize)
+"#;
+
+/// Builds the Appendix-C-style parameter file for an `xsize × ysize`
+/// multiplier.
+pub fn parameter_file(xsize: usize, ysize: usize) -> String {
+    format!(
+        "\
+.example_file:multiplier.rsgl
+xsize={xsize}
+ysize={ysize}
+corecell=basic
+topregcell=topreg
+bottomregcell=bottomreg
+rightregcell=rightreg
+mularrayname=\"array\"
+arrayname=array
+topregisters=\"topregs\"
+topregistername=topregs
+bottomregisters=\"bottomregs\"
+bottomregistername=bottomregs
+rightregisters=\"rightregs\"
+rightregistername=rightregs
+hinum=1
+vinum=2
+t1inum=1
+t2inum=1
+clk1inum=1
+clk2inum=1
+car1inum=1
+car2inum=1
+top1inum=1
+top2inum=1
+topreghinum=1
+bottomreghinum=1
+rightregvinum=1
+rregmaskinum=1
+celltotopreginum=1
+celltobottomreginum=1
+celltorightreginum=1
+"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{REG_HEIGHT, REG_WIDTH};
+    use rsg_geom::Point;
+    use rsg_layout::stats::LayoutStats;
+
+    #[test]
+    fn array_cell_counts() {
+        let out = generate(6, 6).unwrap();
+        let def = out.rsg.cells().require(out.array).unwrap();
+        // 36 basics + 36 type + 36 clock + 36 carry + 36 top masks.
+        assert_eq!(def.instances().count(), 5 * 36);
+    }
+
+    #[test]
+    fn array_positions_form_the_grid() {
+        let out = generate(4, 3).unwrap();
+        let def = out.rsg.cells().require(out.array).unwrap();
+        let basic = out.rsg.cells().lookup("basic").unwrap();
+        let pts: Vec<Point> =
+            def.instances().filter(|i| i.cell == basic).map(|i| i.point_of_call).collect();
+        assert_eq!(pts.len(), 12);
+        for yloc in 1..=3 {
+            for xloc in 1..=4 {
+                let want = Point::new(column_x(xloc), row_y(yloc));
+                assert!(pts.contains(&want), "missing {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn personalization_masks_follow_the_rules() {
+        let out = generate(5, 4).unwrap();
+        let cells = out.rsg.cells();
+        let def = cells.require(out.array).unwrap();
+        let typei = cells.lookup("typei").unwrap();
+        let typeii = cells.lookup("typeii").unwrap();
+        // Type II count = right column + bottom row − corner... the corner
+        // is type I, so (ysize−1) + (xsize−1) = 7 type II masks.
+        let n_ii = def.instances().filter(|i| i.cell == typeii).count();
+        assert_eq!(n_ii, (5 - 1) + (4 - 1));
+        let n_i = def.instances().filter(|i| i.cell == typei).count();
+        assert_eq!(n_i, 5 * 4 - n_ii);
+        // Type mask of the corner cell sits at the corner position.
+        let corner = Point::new(column_x(5), row_y(4));
+        assert!(def
+            .instances()
+            .any(|i| i.cell == typei && i.point_of_call == corner));
+    }
+
+    #[test]
+    fn register_stacks_land_on_the_periphery() {
+        let out = generate(6, 6).unwrap();
+        let cells = out.rsg.cells();
+        let top = cells.require(out.top).unwrap();
+        assert_eq!(top.instances().count(), 4);
+        let find = |name: &str| {
+            let id = cells.lookup(name).unwrap();
+            top.instances().find(|i| i.cell == id).map(|i| i.point_of_call).unwrap()
+        };
+        assert_eq!(find("array"), Point::new(0, 0));
+        assert_eq!(find("topregs"), Point::new(0, PITCH));
+        assert_eq!(find("bottomregs"), Point::new(0, row_y(6) - REG_HEIGHT));
+        assert_eq!(find("rightregs"), Point::new(column_x(6) + PITCH, 0));
+        let _ = REG_WIDTH;
+    }
+
+    #[test]
+    fn whole_multiplier_stats() {
+        let out = generate(6, 6).unwrap();
+        let stats = LayoutStats::compute(out.rsg.cells(), out.top).unwrap();
+        // 4 macro instances + 180 array objects + 6 + 6 + 12 register objects.
+        assert_eq!(stats.total_instances, 4 + 180 + 6 + 6 + 12);
+        assert_eq!(stats.max_depth, 2);
+        // Bounding box: x from 0 to 6*40+20 (right regs), y from
+        // -5*40-20 (bottom regs) to 40+20 (top regs).
+        let bb = stats.bbox.rect().unwrap();
+        assert_eq!(bb.hi().x, column_x(6) + PITCH + REG_WIDTH);
+        assert_eq!(bb.hi().y, PITCH + REG_HEIGHT);
+        assert_eq!(bb.lo().y, row_y(6) - REG_HEIGHT);
+        assert_eq!(bb.lo().x, 0);
+    }
+
+    #[test]
+    fn rectangular_sizes_work() {
+        for (xs, ys) in [(1, 1), (2, 5), (9, 3), (16, 16)] {
+            let out = generate(xs, ys).unwrap();
+            let def = out.rsg.cells().require(out.array).unwrap();
+            assert_eq!(def.instances().count(), 5 * xs * ys, "{xs}x{ys}");
+        }
+    }
+
+    #[test]
+    fn exports_cleanly() {
+        let out = generate(3, 3).unwrap();
+        let cif = rsg_layout::write_cif(out.rsg.cells(), out.top).unwrap();
+        assert!(cif.contains("thewholething"));
+        let rsgl = rsg_layout::write_rsgl(out.rsg.cells(), out.top).unwrap();
+        let (reread, reread_top) = rsg_layout::read_rsgl(&rsgl).unwrap();
+        let s1 = LayoutStats::compute(out.rsg.cells(), out.top).unwrap();
+        let s2 = LayoutStats::compute(&reread, reread_top).unwrap();
+        assert_eq!(s1.total_boxes, s2.total_boxes);
+        assert_eq!(s1.bbox, s2.bbox);
+    }
+}

@@ -1,0 +1,50 @@
+//! Chapter 5 workload: pipelined Baugh-Wooley array multipliers.
+//!
+//! The paper demonstrates the RSG on "a class of pipelined multipliers":
+//! a carry-save array of two full-adder cell types implementing the
+//! Baugh-Wooley signed two's-complement algorithm, pipelined to any degree
+//! β by retiming, and personalized by cell masking. This crate builds:
+//!
+//! * [`baugh_wooley`] — the functional model: the partial-product matrix
+//!   with its type I / type II cell assignment and boundary constants, and
+//!   an exact reference multiply,
+//! * [`pipeline`] — a cycle-accurate simulator of the retimed array for
+//!   any pipelining degree β (β = 0 is the combinational array of Fig 5.1;
+//!   β = 1 is the bit-systolic multiplier of Fig 5.2a; β = 2 is Fig 5.2b),
+//! * [`cells`] — the synthetic leaf-cell library (basic cell, masking
+//!   cells, register cells) and the sample layout with every interface
+//!   labelled (Fig 5.5's role),
+//! * [`generator`] — the native-API layout generator replicating the
+//!   Appendix B design file's structure, plus the design-file text itself
+//!   for the `rsg-lang` path ([`design_file_source`],
+//!   [`parameter_file_source`]).
+//!
+//! # Example
+//!
+//! ```
+//! use rsg_mult::pipeline::PipelinedMultiplier;
+//!
+//! // A 6×6 bit-systolic multiplier (Fig 5.2a).
+//! let m = PipelinedMultiplier::new(6, 6, 1);
+//! assert_eq!(m.multiply(-17, 23), -17 * 23);
+//! assert!(m.latency() > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod baugh_wooley;
+pub mod cells;
+pub mod generator;
+pub mod pipeline;
+
+/// The multiplier design file (the cleaned-up Appendix B), ready for
+/// [`rsg_lang::run_design`].
+pub fn design_file_source() -> &'static str {
+    generator::DESIGN_FILE
+}
+
+/// The matching parameter file (Appendix C) for an `xsize` × `ysize`
+/// multiplier.
+pub fn parameter_file_source(xsize: usize, ysize: usize) -> String {
+    generator::parameter_file(xsize, ysize)
+}

@@ -1,0 +1,364 @@
+//! Cycle-accurate simulation of the retimed multiplier array (paper
+//! Fig 5.2 and ref. \[18\], Leiserson-Rose-Saxe retiming).
+//!
+//! "Using retiming transformations, the multiplier can be pipelined to any
+//! degree in a manner that preserves the regularity of the inner array,
+//! but adds irregularity to the periphery of the array in the form of
+//! input and output register stacks." The pipelining degree β is the
+//! maximum number of full-adder delays between any two registers:
+//!
+//! * β = 0 — the purely combinational array of Fig 5.1 (no registers),
+//! * β = 1 — the bit-systolic multiplier of Fig 5.2a ("at most one full
+//!   adder combinational delay between any two registers"),
+//! * β = 2 — the lower-degree pipeline of Fig 5.2b, and so on.
+//!
+//! The simulator carries genuine per-stage registers: each clock edge
+//! shifts a wave of state (running carry-save vectors, skewed operands,
+//! partially assimilated result) one stage forward, so latency and
+//! throughput are *measured*, not computed from a formula. The operand
+//! registers travelling with each wave model the paper's peripheral
+//! register stacks (tregs/rregs/bregs) that skew inputs and deskew
+//! outputs.
+
+use crate::baugh_wooley::BaughWooley;
+
+/// One pipeline wave: the state crossing a register boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Wave {
+    /// Skewed multiplicand (register stack along the array edge).
+    a: i64,
+    /// Skewed multiplier.
+    b: i64,
+    /// Carry-save running sum bits.
+    sum: Vec<u8>,
+    /// Carry-save running carry bits.
+    carry: Vec<u8>,
+    /// Bits already assimilated by the pipelined carry-propagate adder.
+    result: u64,
+    /// Ripple carry between CPA stages.
+    cpa_carry: u8,
+    /// Whether this slot holds real data (pipeline fill/drain marker).
+    valid: bool,
+}
+
+impl Wave {
+    fn bubble(width: usize) -> Wave {
+        Wave {
+            a: 0,
+            b: 0,
+            sum: vec![0; width],
+            carry: vec![0; width],
+            result: 0,
+            cpa_carry: 0,
+            valid: false,
+        }
+    }
+}
+
+/// A Baugh-Wooley array multiplier pipelined to degree β.
+///
+/// # Example
+///
+/// ```
+/// use rsg_mult::pipeline::PipelinedMultiplier;
+///
+/// let combinational = PipelinedMultiplier::new(8, 8, 0);
+/// assert_eq!(combinational.latency(), 0);
+///
+/// let systolic = PipelinedMultiplier::new(8, 8, 1);
+/// assert!(systolic.latency() > PipelinedMultiplier::new(8, 8, 2).latency());
+/// assert_eq!(systolic.multiply(-100, 99), -9900);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelinedMultiplier {
+    bw: BaughWooley,
+    beta: usize,
+    /// Row ranges per carry-save stage.
+    csa_stages: Vec<(usize, usize)>,
+    /// Bit ranges per carry-propagate stage.
+    cpa_stages: Vec<(usize, usize)>,
+}
+
+impl PipelinedMultiplier {
+    /// Creates an m×n multiplier pipelined to degree `beta`
+    /// (`beta == 0` means combinational).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unsupported sizes (see [`BaughWooley::new`]).
+    pub fn new(m: usize, n: usize, beta: usize) -> PipelinedMultiplier {
+        let bw = BaughWooley::new(m, n);
+        let mut csa_stages = Vec::new();
+        let mut cpa_stages = Vec::new();
+        if beta > 0 {
+            let mut j = 0;
+            while j < n {
+                let end = (j + beta).min(n);
+                csa_stages.push((j, end));
+                j = end;
+            }
+            let width = m + n;
+            let mut p = 0;
+            while p < width {
+                let end = (p + beta).min(width);
+                cpa_stages.push((p, end));
+                p = end;
+            }
+        }
+        PipelinedMultiplier { bw, beta, csa_stages, cpa_stages }
+    }
+
+    /// The underlying Baugh-Wooley structural model.
+    pub fn baugh_wooley(&self) -> &BaughWooley {
+        &self.bw
+    }
+
+    /// The pipelining degree β (0 = combinational).
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// Clock cycles from operand entry to product exit. Zero for the
+    /// combinational array; `⌈n/β⌉ + ⌈(m+n)/β⌉` register boundaries
+    /// otherwise (measured by the structural simulation, asserted equal in
+    /// tests).
+    pub fn latency(&self) -> usize {
+        self.csa_stages.len() + self.cpa_stages.len()
+    }
+
+    /// Total pipeline register bits — the area the register stacks cost.
+    /// Grows as β shrinks; the bit-systolic version pays the most (the
+    /// trade-off the paper's empirical β study iterates over).
+    pub fn register_bits(&self) -> usize {
+        let width = self.bw.m() + self.bw.n();
+        let wave_bits = self.bw.m() + self.bw.n() + 2 * width + width + 1;
+        self.latency() * wave_bits
+    }
+
+    /// Multiplies one pair through the array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operands are out of range for the configured widths.
+    pub fn multiply(&self, a: i64, b: i64) -> i64 {
+        self.simulate_stream(&[(a, b)])[0]
+    }
+
+    /// Streams operand pairs, one per clock, through the pipeline and
+    /// returns the products in order. The simulation runs
+    /// `inputs.len() + latency()` clock cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operand is out of range.
+    pub fn simulate_stream(&self, inputs: &[(i64, i64)]) -> Vec<i64> {
+        for &(a, b) in inputs {
+            assert!(self.bw.a_range().contains(&a), "a={a} out of range");
+            assert!(self.bw.b_range().contains(&b), "b={b} out of range");
+        }
+        if self.beta == 0 {
+            return inputs.iter().map(|&(a, b)| self.combinational(a, b)).collect();
+        }
+        let width = self.bw.m() + self.bw.n();
+        let stages = self.latency();
+        let mut regs: Vec<Wave> = (0..stages).map(|_| Wave::bubble(width)).collect();
+        let mut out = Vec::with_capacity(inputs.len());
+
+        for cycle in 0..inputs.len() + stages {
+            // Shift from the last stage backwards: each register captures
+            // the combinational function of the stage before it.
+            if let Some(last) = regs.last() {
+                if last.valid {
+                    out.push(self.read_result(last));
+                }
+            }
+            for k in (1..stages).rev() {
+                let prev = regs[k - 1].clone();
+                regs[k] = self.stage(k, prev);
+            }
+            let input_wave = match inputs.get(cycle) {
+                Some(&(a, b)) => self.inject(a, b),
+                None => Wave::bubble(width),
+            };
+            regs[0] = self.stage(0, input_wave);
+        }
+        out
+    }
+
+    /// Builds the wave entering stage 0: operands plus the boundary
+    /// constants pre-loaded into the carry-save sum (the "ones and zeros
+    /// assigned to the unused inputs").
+    fn inject(&self, a: i64, b: i64) -> Wave {
+        let width = self.bw.m() + self.bw.n();
+        let mut w = Wave::bubble(width);
+        w.a = a;
+        w.b = b;
+        w.valid = true;
+        for c in self.bw.constant_weights() {
+            w.sum[c] ^= 1;
+            // Two constants may share a weight (m == n puts them both at
+            // m-1); XOR plus an explicit carry keeps the sum exact.
+            if w.sum[c] == 0 {
+                w.carry[c + 1] ^= 1;
+            }
+        }
+        w
+    }
+
+    /// The combinational logic of stage `k` applied to its input wave.
+    fn stage(&self, k: usize, mut w: Wave) -> Wave {
+        if !w.valid {
+            return w;
+        }
+        if k < self.csa_stages.len() {
+            let (j0, j1) = self.csa_stages[k];
+            for j in j0..j1 {
+                self.csa_row(&mut w, j);
+            }
+        } else {
+            let (p0, p1) = self.cpa_stages[k - self.csa_stages.len()];
+            for p in p0..p1 {
+                let s = w.sum[p];
+                let c = w.carry[p];
+                let cin = w.cpa_carry;
+                let bit = s ^ c ^ cin;
+                w.cpa_carry = (s & c) | (s & cin) | (c & cin);
+                w.result |= (bit as u64) << p;
+            }
+        }
+        w
+    }
+
+    /// One carry-save row: a full-width 3:2 compressor folding row j's
+    /// partial products into the redundant (sum, carry) accumulator.
+    /// Positions outside the row's weight span degenerate to half adders
+    /// (term = 0), exactly as the physical array's pass-through cells do.
+    fn csa_row(&self, w: &mut Wave, j: usize) {
+        let width = self.bw.m() + self.bw.n();
+        let mut new_sum = vec![0u8; width];
+        let mut new_carry = vec![0u8; width];
+        for p in 0..width {
+            let t = if p >= j && p - j < self.bw.m() {
+                self.bw.term(w.a, w.b, p - j, j)
+            } else {
+                0
+            };
+            let s = w.sum[p];
+            let c = w.carry[p];
+            new_sum[p] = s ^ c ^ t;
+            if p + 1 < width {
+                new_carry[p + 1] = (s & c) | (s & t) | (c & t);
+            }
+        }
+        w.sum = new_sum;
+        w.carry = new_carry;
+    }
+
+    fn read_result(&self, w: &Wave) -> i64 {
+        let width = self.bw.m() + self.bw.n();
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let val = w.result & mask;
+        let sign = 1u64 << (width - 1);
+        if val & sign != 0 {
+            (val as i64) - ((sign as i64) << 1)
+        } else {
+            val as i64
+        }
+    }
+
+    /// The β = 0 array: evaluate all rows and the CPA in one "cycle".
+    fn combinational(&self, a: i64, b: i64) -> i64 {
+        let width = self.bw.m() + self.bw.n();
+        let mut w = self.inject(a, b);
+        for j in 0..self.bw.n() {
+            self.csa_row(&mut w, j);
+        }
+        for p in 0..width {
+            let s = w.sum[p];
+            let c = w.carry[p];
+            let cin = w.cpa_carry;
+            let bit = s ^ c ^ cin;
+            w.cpa_carry = (s & c) | (s & cin) | (c & cin);
+            w.result |= (bit as u64) << p;
+        }
+        self.read_result(&w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_matches_reference() {
+        let m = PipelinedMultiplier::new(6, 6, 0);
+        for a in m.baugh_wooley().a_range() {
+            for b in m.baugh_wooley().b_range() {
+                assert_eq!(m.multiply(a, b), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_systolic_matches_reference_exhaustively() {
+        let m = PipelinedMultiplier::new(4, 4, 1);
+        for a in m.baugh_wooley().a_range() {
+            for b in m.baugh_wooley().b_range() {
+                assert_eq!(m.multiply(a, b), a * b, "{a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_betas_agree() {
+        for beta in 0..=10 {
+            let m = PipelinedMultiplier::new(8, 6, beta);
+            for (a, b) in [(-128, -32), (127, 31), (-77, 19), (5, -6), (0, 0)] {
+                assert_eq!(m.multiply(a, b), a * b, "beta={beta} {a}*{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_shrinks_with_beta() {
+        // Fig 5.2: the bit-systolic version is the deepest pipeline.
+        let l1 = PipelinedMultiplier::new(8, 8, 1).latency();
+        let l2 = PipelinedMultiplier::new(8, 8, 2).latency();
+        let l4 = PipelinedMultiplier::new(8, 8, 4).latency();
+        assert!(l1 > l2 && l2 > l4, "{l1} {l2} {l4}");
+        assert_eq!(l1, 8 + 16);
+        assert_eq!(l2, 4 + 8);
+        assert_eq!(PipelinedMultiplier::new(8, 8, 0).latency(), 0);
+    }
+
+    #[test]
+    fn streaming_throughput_is_one_per_cycle() {
+        // A full pipeline delivers one product per clock: N inputs produce
+        // exactly N outputs after the fill latency, in order.
+        let m = PipelinedMultiplier::new(6, 6, 1);
+        let inputs: Vec<(i64, i64)> =
+            (0..40).map(|k| ((k % 31) - 15, ((k * 7) % 29) - 14)).collect();
+        let outputs = m.simulate_stream(&inputs);
+        assert_eq!(outputs.len(), inputs.len());
+        for (k, &(a, b)) in inputs.iter().enumerate() {
+            assert_eq!(outputs[k], a * b, "slot {k}");
+        }
+    }
+
+    #[test]
+    fn register_cost_grows_as_beta_shrinks() {
+        let r1 = PipelinedMultiplier::new(8, 8, 1).register_bits();
+        let r2 = PipelinedMultiplier::new(8, 8, 2).register_bits();
+        let r8 = PipelinedMultiplier::new(8, 8, 8).register_bits();
+        assert!(r1 > r2 && r2 > r8);
+    }
+
+    #[test]
+    fn interleaved_bubbles_dont_corrupt() {
+        // Simulate with a single input: everything after it is bubbles;
+        // the product must still come out intact.
+        let m = PipelinedMultiplier::new(5, 7, 3);
+        assert_eq!(m.multiply(-16, 63), -16 * 63);
+        assert_eq!(m.multiply(15, -64), 15 * -64);
+    }
+}

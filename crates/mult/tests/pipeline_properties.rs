@@ -1,0 +1,53 @@
+//! Property tests for experiment E7: every pipelining degree computes
+//! correct products with the retiming-predicted latency.
+
+use proptest::prelude::*;
+use rsg_mult::pipeline::PipelinedMultiplier;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any (m, n, β) triple multiplies correctly on random operands.
+    #[test]
+    fn arbitrary_configs_multiply_correctly(
+        m in 2usize..12,
+        n in 2usize..12,
+        beta in 0usize..6,
+        seeds in proptest::collection::vec((0u64..u64::MAX, 0u64..u64::MAX), 1..8),
+    ) {
+        let mult = PipelinedMultiplier::new(m, n, beta);
+        let amask = (1i64 << m) - 1;
+        let bmask = (1i64 << n) - 1;
+        let to_signed = |raw: i64, bits: usize| {
+            let sign = 1i64 << (bits - 1);
+            if raw & sign != 0 { raw - (sign << 1) } else { raw }
+        };
+        let pairs: Vec<(i64, i64)> = seeds
+            .iter()
+            .map(|&(sa, sb)| {
+                (to_signed(sa as i64 & amask, m), to_signed(sb as i64 & bmask, n))
+            })
+            .collect();
+        let out = mult.simulate_stream(&pairs);
+        prop_assert_eq!(out.len(), pairs.len());
+        for (k, &(a, b)) in pairs.iter().enumerate() {
+            prop_assert_eq!(out[k], a * b, "beta={} {}x{}: {}*{}", beta, m, n, a, b);
+        }
+    }
+
+    /// Latency follows the retiming formula ⌈n/β⌉ + ⌈(m+n)/β⌉.
+    #[test]
+    fn latency_matches_retiming_formula(m in 2usize..16, n in 2usize..16, beta in 1usize..8) {
+        let mult = PipelinedMultiplier::new(m, n, beta);
+        let expect = n.div_ceil(beta) + (m + n).div_ceil(beta);
+        prop_assert_eq!(mult.latency(), expect);
+    }
+
+    /// Register cost is monotonically non-increasing in β.
+    #[test]
+    fn register_cost_monotone(m in 2usize..12, n in 2usize..12, beta in 1usize..6) {
+        let shallow = PipelinedMultiplier::new(m, n, beta + 1).register_bits();
+        let deep = PipelinedMultiplier::new(m, n, beta).register_bits();
+        prop_assert!(deep >= shallow);
+    }
+}

@@ -1,0 +1,43 @@
+//! Runs the Appendix-B multiplier design file through the design-file
+//! interpreter and prints what was built — the interpreted half of
+//! experiment E9.
+//!
+//! Run with `cargo run --example design_file [xsize] [ysize]`.
+
+use rsg::lang::run_design;
+use rsg::layout::stats::LayoutStats;
+use rsg::mult::{cells, design_file_source, parameter_file_source};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let xsize: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let ysize: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(xsize);
+
+    println!("running the multiplier design file for {xsize}x{ysize}...");
+    let run = run_design(
+        cells::sample_layout(),
+        design_file_source(),
+        &parameter_file_source(xsize, ysize),
+    )?;
+
+    for line in &run.output {
+        println!("design file printed: {line}");
+    }
+    println!("last statement value: {}", run.result);
+
+    println!("\ncells built by the design file:");
+    for (_, def) in run.rsg.cells().iter() {
+        let (boxes, labels, instances) = def.object_counts();
+        if instances > 0 && !def.name().starts_with("s_") {
+            println!("  {:<16} {instances:>5} instances, {boxes} boxes, {labels} labels", def.name());
+        }
+    }
+
+    let top = run.rsg.cells().lookup("thewholething").expect("design file built the top");
+    let stats = LayoutStats::compute(run.rsg.cells(), top)?;
+    println!("\nthewholething:\n{stats}");
+
+    let rsgl = rsg::layout::write_rsgl(run.rsg.cells(), top)?;
+    println!("rsgl output: {} bytes ({} lines)", rsgl.len(), rsgl.lines().count());
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Experiment E1's three-phase table (§4.5): "The execution time is
+//! divided into roughly three equal parts: reading in the source file and
+//! building up the initial interface table, parsing and executing the
+//! design and parameter file, and writing the output file. A 32×32
+//! Baugh-Wooley multiplier ... is generated in 5 seconds on a DEC-2060."
+//!
+//! Run with `cargo run --release --example phase_breakdown`.
+
+use rsg::core::Rsg;
+use rsg::lang::Interpreter;
+use rsg::mult::{cells, design_file_source, parameter_file_source};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "size", "read sample", "execute", "write output", "total"
+    );
+    for n in [8usize, 16, 32, 64] {
+        // Phase 1: read the sample layout (from its textual form, as the
+        // paper's RSG read CIF) and build the interface table.
+        let sample_table = cells::sample_layout();
+        let any_top = sample_table.lookup("s_h").expect("sample cell");
+        let sample_text = rsg::layout::write_rsgl(&sample_table, any_top)?;
+
+        let t0 = Instant::now();
+        let (_parsed, _) = rsg::layout::read_rsgl(&sample_text)?;
+        let rsg = Rsg::from_sample(cells::sample_layout())?;
+        let p1 = t0.elapsed();
+        drop(rsg);
+
+        // Phase 2: parse + execute design and parameter files.
+        let t1 = Instant::now();
+        let mut interp = Interpreter::from_sample(cells::sample_layout())?;
+        interp.load_parameters(&parameter_file_source(n, n))?;
+        let run = interp.run(design_file_source())?;
+        let p2 = t1.elapsed();
+
+        // Phase 3: write the output file.
+        let top = run.rsg.cells().lookup("thewholething").expect("built");
+        let t2 = Instant::now();
+        let cif = rsg::layout::write_cif(run.rsg.cells(), top)?;
+        let p3 = t2.elapsed();
+        std::hint::black_box(cif.len());
+
+        println!(
+            "{:>6} {:>14.3?} {:>14.3?} {:>14.3?} {:>14.3?}",
+            format!("{n}x{n}"),
+            p1,
+            p2,
+            p3,
+            p1 + p2 + p3
+        );
+    }
+    println!("\npaper (DEC-2060, 32x32): three roughly equal parts totalling ~5 s");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! The Chapter 5 workload end to end: generate the bit-systolic
+//! multiplier layout (Fig 5.6) and sweep the pipelining degree β of the
+//! functional array (Fig 5.2), printing the latency / register trade-off
+//! the paper's empirical β study iterates over.
+//!
+//! Run with `cargo run --example pipelined_multiplier [n]`.
+
+use rsg::layout::stats::LayoutStats;
+use rsg::mult::generator;
+use rsg::mult::pipeline::PipelinedMultiplier;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+
+    // --- layout side -----------------------------------------------------
+    let out = generator::generate(n, n)?;
+    let stats = LayoutStats::compute(out.rsg.cells(), out.top)?;
+    println!("=== {n}x{n} bit-systolic multiplier layout (Fig 5.6 shape) ===");
+    print!("{stats}");
+    let array = out.rsg.cells().require(out.array)?;
+    println!("array instances: {}", array.instances().count());
+
+    // --- functional side: the β sweep -------------------------------------
+    println!("\n=== pipelining degree sweep (Fig 5.2) ===");
+    println!("{:>4} {:>9} {:>14} {:>10}", "beta", "latency", "register bits", "check");
+    let nbits = n.clamp(2, 16);
+    for beta in [0usize, 1, 2, 4] {
+        let m = PipelinedMultiplier::new(nbits, nbits, beta);
+        // Verify a stream of products through the real pipeline.
+        let hi = (1i64 << (nbits - 1)) - 1;
+        let pairs: Vec<(i64, i64)> =
+            (0..16).map(|k| ((k * 37 % (2 * hi)) - hi, (k * 11 % (2 * hi)) - hi)).collect();
+        let outs = m.simulate_stream(&pairs);
+        let ok = pairs.iter().zip(&outs).all(|(&(a, b), &p)| p == a * b);
+        println!(
+            "{:>4} {:>9} {:>14} {:>10}",
+            beta,
+            m.latency(),
+            m.register_bits(),
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        assert!(ok);
+    }
+    println!("\nbeta=0 is the combinational array of Fig 5.1;");
+    println!("beta=1 is the bit-systolic multiplier of Fig 5.2a;");
+    println!("beta=2 is the two-delay pipeline of Fig 5.2b.");
+    Ok(())
+}

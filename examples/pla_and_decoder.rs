@@ -1,0 +1,55 @@
+//! §1.2.2 in action: one sample layout, two architectures.
+//!
+//! Generates a PLA from a truth table through the RSG, checks it against
+//! the HPLA-style relocation baseline, then builds a decoder from the
+//! *same* sample cells — the thing the relocation scheme cannot do
+//! without a new hard-coded architecture.
+//!
+//! Run with `cargo run --example pla_and_decoder`.
+
+use rsg::hpla::{relocation_pla, rsg_decoder, rsg_pla, Personality};
+use rsg::layout::stats::LayoutStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A full adder: sum = a⊕b⊕cin, cout = majority.
+    let personality = Personality::parse(
+        &[
+            "100 10", "010 10", "001 10", "111 10", // sum minterms
+            "11- 01", "1-1 01", "-11 01", // carry
+        ],
+        3,
+        2,
+    )?;
+    println!(
+        "personality: {} inputs, {} products, {} outputs, crosspoints {:?}",
+        personality.inputs(),
+        personality.products(),
+        personality.outputs(),
+        personality.crosspoint_counts()
+    );
+    // Functional check: it really is a full adder.
+    for bits in 0..8u32 {
+        let input = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+        let out = personality.evaluate(&input);
+        let total = input.iter().filter(|&&b| b).count();
+        assert_eq!(out[0], total % 2 == 1, "sum");
+        assert_eq!(out[1], total >= 2, "carry");
+    }
+    println!("functional model verified (full adder truth table)");
+
+    let pla = rsg_pla(&personality, "fa_pla")?;
+    let stats = LayoutStats::compute(pla.rsg.cells(), pla.top)?;
+    println!("\n=== RSG PLA ===\n{stats}");
+
+    let (relo_table, relo_top) = relocation_pla(&personality, "fa_pla_relo");
+    let relo_stats = LayoutStats::compute(&relo_table, relo_top)?;
+    assert_eq!(stats.total_boxes, relo_stats.total_boxes);
+    assert_eq!(stats.bbox, relo_stats.bbox);
+    println!("relocation baseline produces identical geometry ✓");
+
+    let dec = rsg_decoder(3, "dec3")?;
+    let dec_stats = LayoutStats::compute(dec.rsg.cells(), dec.top)?;
+    println!("\n=== 3-to-8 decoder from the same sample cells ===\n{dec_stats}");
+
+    Ok(())
+}

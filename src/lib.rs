@@ -1,0 +1,22 @@
+//! Umbrella crate for the RSG reproduction.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can `use rsg::core::...`. See `README.md` for the
+//! architecture overview and `DESIGN.md` for the paper-to-module map.
+//!
+//! # Example
+//!
+//! ```
+//! use rsg::geom::{Orientation, Point};
+//! assert_eq!(Orientation::SOUTH.apply_point(Point::new(1, 2)), Point::new(-1, -2));
+//! ```
+
+#![deny(missing_docs)]
+
+pub use rsg_compact as compact;
+pub use rsg_core as core;
+pub use rsg_geom as geom;
+pub use rsg_hpla as hpla;
+pub use rsg_lang as lang;
+pub use rsg_layout as layout;
+pub use rsg_mult as mult;

@@ -1,0 +1,127 @@
+//! Experiments E11/E13/E14 end to end: leaf-compact a library, re-tile it
+//! at the solved pitches, and let the independent DRC referee confirm the
+//! result; compare unknown counts against flat compaction.
+
+use rsg::compact::leaf::{compact, LeafInterface, PitchKind};
+use rsg::compact::scanline::{generate as gen_constraints, Method};
+use rsg::compact::solver::{solve, solve_balanced, EdgeOrder};
+use rsg::geom::{Rect, Vector};
+use rsg::layout::{drc, CellDefinition, Layer, Technology};
+
+fn library_cell() -> CellDefinition {
+    let mut c = CellDefinition::new("cell");
+    c.add_box(Layer::Poly, Rect::from_coords(4, 0, 10, 40));
+    c.add_box(Layer::Metal1, Rect::from_coords(20, 4, 32, 36));
+    c.add_box(Layer::Poly, Rect::from_coords(44, 0, 50, 40));
+    c
+}
+
+fn h_interface(initial: i64) -> LeafInterface {
+    LeafInterface {
+        cell_a: 0,
+        cell_b: 0,
+        kind: PitchKind::VariableX { initial, weight: 8 },
+        y_offset: 0,
+        name: "h".into(),
+    }
+}
+
+#[test]
+fn compacted_library_tiles_drc_clean() {
+    let tech = Technology::mead_conway(2);
+    let out = compact(&[library_cell()], &[h_interface(60)], &tech.rules).unwrap();
+    let pitch = out.pitches[0].1;
+    assert!(pitch < 60, "compaction should shrink the sample pitch, got {pitch}");
+
+    // Re-tile 4 instances at the solved pitch; the independent DRC
+    // referee (which shares no code with the constraint generator's
+    // solver) must find nothing.
+    let mut flat = Vec::new();
+    for k in 0..4i64 {
+        for (l, r) in out.cells[0].boxes() {
+            flat.push((l, r.translate(Vector::new(k * pitch, 0))));
+        }
+    }
+    let violations = drc::check(&flat, &tech.rules);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn one_step_tighter_pitch_fails_drc() {
+    // The solved pitch is *minimal*: tiling one unit tighter violates.
+    let tech = Technology::mead_conway(2);
+    let out = compact(&[library_cell()], &[h_interface(60)], &tech.rules).unwrap();
+    let pitch = out.pitches[0].1 - 1;
+    let mut flat = Vec::new();
+    for k in 0..2i64 {
+        for (l, r) in out.cells[0].boxes() {
+            flat.push((l, r.translate(Vector::new(k * pitch, 0))));
+        }
+    }
+    assert!(!drc::check(&flat, &tech.rules).is_empty());
+}
+
+#[test]
+fn unknown_count_constant_vs_quadratic() {
+    // E11/E13: leaf unknowns are independent of the replication factor;
+    // flat unknowns grow with n².
+    let tech = Technology::mead_conway(2);
+    let leaf = compact(&[library_cell()], &[h_interface(60)], &tech.rules).unwrap();
+    let boxes_per_cell = library_cell().boxes().count();
+    assert_eq!(leaf.unknowns, 2 * boxes_per_cell + 1);
+
+    let mut flat_unknowns = Vec::new();
+    for n in [2usize, 4] {
+        let mut flat = Vec::new();
+        for k in 0..n as i64 {
+            for (l, r) in library_cell().boxes() {
+                flat.push((l, r.translate(Vector::new(k * 60, 0))));
+            }
+        }
+        let (sys, _) = gen_constraints(&flat, &tech.rules, Method::Visibility);
+        flat_unknowns.push(sys.num_vars());
+    }
+    assert_eq!(flat_unknowns, vec![2 * boxes_per_cell * 2, 2 * boxes_per_cell * 4]);
+    assert!(leaf.unknowns < flat_unknowns[0]);
+}
+
+#[test]
+fn technology_retarget_scales_the_pitch() {
+    // The same library compacted under λ = 1 and λ = 3 rules: the pitch
+    // tracks the rule scale — "technology transportable".
+    let fine = compact(
+        &[library_cell()],
+        &[h_interface(60)],
+        &Technology::mead_conway(1).rules,
+    )
+    .unwrap();
+    let coarse = compact(
+        &[library_cell()],
+        &[h_interface(60)],
+        &Technology::mead_conway(3).rules,
+    )
+    .unwrap();
+    assert!(fine.pitches[0].1 < coarse.pitches[0].1);
+}
+
+#[test]
+fn flat_compaction_of_generated_multiplier_metal() {
+    // Cross-stack smoke: flatten the generated 8×8 multiplier, compact
+    // its metal1 in x, verify feasibility and the no-violation property.
+    let out = rsg::mult::generator::generate(8, 8).unwrap();
+    let boxes: Vec<(Layer, Rect)> = rsg::layout::flatten(out.rsg.cells(), out.top)
+        .unwrap()
+        .into_iter()
+        .filter(|b| b.layer == Layer::Metal1)
+        .map(|b| (b.layer, b.rect))
+        .collect();
+    assert!(!boxes.is_empty());
+    let tech = Technology::mead_conway(2);
+    let (sys, _) = gen_constraints(&boxes, &tech.rules, Method::Visibility);
+    let left = solve(&sys, EdgeOrder::Sorted).unwrap();
+    let balanced = solve_balanced(&sys).unwrap();
+    assert!(sys.violations(&left.positions_vec(), &[]).is_empty());
+    assert!(sys.violations(&balanced.positions_vec(), &[]).is_empty());
+    // Balanced never widens the layout.
+    assert!(balanced.extent() >= left.extent());
+}

@@ -1,0 +1,161 @@
+//! Experiments E5/E6: graph↔layout equivalence (Fig 3.2/3.3) and the
+//! directed-edge disambiguation for same-celltype interfaces
+//! (Figs 3.5–3.7), exercised across the full crate stack.
+
+use rsg::core::{Interface, Rsg};
+use rsg::geom::{Orientation, Point, Rect, Vector};
+use rsg::layout::{CellDefinition, CellTable, Instance, Layer};
+
+/// Builds the Fig 3.3 cluster: cells A, B, C, D assembled with only a
+/// spanning tree of interfaces (A–B, B–C, C–D); the missing interfaces
+/// (A–C, A–D, B–D) "are never accessed by the RSG, and therefore need not
+/// be present in the sample layout".
+#[test]
+fn spanning_tree_suffices_fig_3_3() {
+    let mut sample = CellTable::new();
+    let mut ids = Vec::new();
+    for name in ["a", "b", "c", "d"] {
+        let mut cell = CellDefinition::new(name);
+        cell.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
+        ids.push(sample.insert(cell).unwrap());
+    }
+    // Assembly examples: a–b side by side, b–c stacked, c–d side by side.
+    let pairs = [
+        ("s_ab", ids[0], ids[1], Point::new(10, 0)),
+        ("s_bc", ids[1], ids[2], Point::new(0, -10)),
+        ("s_cd", ids[2], ids[3], Point::new(10, 0)),
+    ];
+    for (name, a, b, at) in pairs {
+        let mut s = CellDefinition::new(name);
+        s.add_instance(Instance::new(a, Point::new(0, 0), Orientation::NORTH));
+        s.add_instance(Instance::new(b, at, Orientation::NORTH));
+        s.add_label("1", Point::new(at.x.max(0), at.y.min(10).max(0)));
+        sample.insert(s).unwrap();
+    }
+
+    let mut rsg = Rsg::from_sample(sample).unwrap();
+    let na = rsg.mk_instance(ids[0]);
+    let nb = rsg.mk_instance(ids[1]);
+    let nc = rsg.mk_instance(ids[2]);
+    let nd = rsg.mk_instance(ids[3]);
+    rsg.connect(na, nb, 1).unwrap();
+    rsg.connect(nb, nc, 1).unwrap();
+    rsg.connect(nc, nd, 1).unwrap();
+    let cluster = rsg.mk_cell("cluster", na).unwrap();
+
+    let expect = [
+        (ids[0], Point::new(0, 0)),
+        (ids[1], Point::new(10, 0)),
+        (ids[2], Point::new(10, -10)),
+        (ids[3], Point::new(20, -10)),
+    ];
+    let def = rsg.cells().require(cluster).unwrap();
+    for (cell, at) in expect {
+        assert!(
+            def.instances().any(|i| i.cell == cell && i.point_of_call == at),
+            "missing {cell:?} at {at}"
+        );
+    }
+}
+
+/// The two interpretations of Fig 3.5 produce non-equivalent layouts
+/// (Fig 3.6); directed edges pick one deterministically (Fig 3.7), no
+/// matter the traversal order.
+#[test]
+fn directed_edges_fix_fig_3_6_ambiguity() {
+    // An asymmetric self-interface: neighbour sits east and south-flipped.
+    let iface = Interface::new(Vector::new(12, -3), Orientation::SOUTH);
+
+    let build = |root_is_tail: bool| {
+        let mut rsg = Rsg::new();
+        let mut cell = CellDefinition::new("a");
+        cell.add_box(Layer::Poly, Rect::from_coords(0, 0, 8, 8));
+        let a = rsg.cells_mut().insert(cell).unwrap();
+        rsg.declare_primitive_interface(a, a, 1, iface).unwrap();
+        let n1 = rsg.mk_instance(a);
+        let n2 = rsg.mk_instance(a);
+        rsg.connect(n1, n2, 1).unwrap();
+        let root = if root_is_tail { n1 } else { n2 };
+        rsg.mk_cell("pair", root).unwrap();
+        let c1 = rsg.node_placement(n1).unwrap().isometry();
+        let c2 = rsg.node_placement(n2).unwrap().isometry();
+        Interface::between(c1, c2)
+    };
+
+    // Whichever node roots the traversal, the tail→head relation is the
+    // declared interface — the paper's versions that "depended on how the
+    // graph was actually traversed" are ruled out.
+    assert_eq!(build(true), iface);
+    assert_eq!(build(false), iface);
+}
+
+/// Fig 3.2: a graph expands to the same layout modulo a global isometry
+/// regardless of the root's calling parameters (§3.4's equivalence
+/// class).
+#[test]
+fn root_call_only_moves_the_representative() {
+    use rsg::geom::Isometry;
+    let iface = Interface::new(Vector::new(9, 4), Orientation::WEST);
+    let calls = [
+        Isometry::IDENTITY,
+        Isometry::new(Orientation::SOUTH, Vector::new(100, -50)),
+        Isometry::new(Orientation::MIRROR_Y, Vector::new(-7, 3)),
+    ];
+    let mut reference: Option<Vec<Interface>> = None;
+    for call in calls {
+        let mut rsg = Rsg::new();
+        let mut cell = CellDefinition::new("t");
+        cell.add_box(Layer::Metal2, Rect::from_coords(0, 0, 5, 5));
+        let t = rsg.cells_mut().insert(cell).unwrap();
+        rsg.declare_primitive_interface(t, t, 1, iface).unwrap();
+        let nodes: Vec<_> = (0..5).map(|_| rsg.mk_instance(t)).collect();
+        for w in nodes.windows(2) {
+            rsg.connect(w[0], w[1], 1).unwrap();
+        }
+        rsg.mk_cell_at("chain", nodes[0], call).unwrap();
+        // The pairwise relations are the isometry-invariant signature.
+        let rels: Vec<Interface> = nodes
+            .windows(2)
+            .map(|w| {
+                Interface::between(
+                    rsg.node_placement(w[0]).unwrap().isometry(),
+                    rsg.node_placement(w[1]).unwrap().isometry(),
+                )
+            })
+            .collect();
+        match &reference {
+            None => reference = Some(rels),
+            Some(r) => assert_eq!(*r, rels, "call {call} changed relative geometry"),
+        }
+    }
+}
+
+/// Interface families (Fig 2.3): two different legal interfaces between
+/// the same pair of cells, selected by index.
+#[test]
+fn interface_families_by_index() {
+    let mut rsg = Rsg::new();
+    let mut cell = CellDefinition::new("a");
+    cell.add_box(Layer::Metal1, Rect::from_coords(0, 0, 6, 6));
+    let a = rsg.cells_mut().insert(cell).unwrap();
+    let mut cb = CellDefinition::new("b");
+    cb.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 4));
+    let b = rsg.cells_mut().insert(cb).unwrap();
+    rsg.declare_primitive_interface(a, b, 1, Interface::new(Vector::new(6, 0), Orientation::WEST))
+        .unwrap();
+    rsg.declare_primitive_interface(a, b, 2, Interface::new(Vector::new(0, 6), Orientation::SOUTH))
+        .unwrap();
+
+    let na = rsg.mk_instance(a);
+    let nb1 = rsg.mk_instance(b);
+    let nb2 = rsg.mk_instance(b);
+    rsg.connect(na, nb1, 1).unwrap();
+    rsg.connect(na, nb2, 2).unwrap();
+    rsg.mk_cell("fam", na).unwrap();
+    let p1 = rsg.node_placement(nb1).unwrap();
+    let p2 = rsg.node_placement(nb2).unwrap();
+    assert_eq!(p1.point_of_call, Point::new(6, 0));
+    assert_eq!(p1.orientation, Orientation::WEST);
+    assert_eq!(p2.point_of_call, Point::new(0, 6));
+    assert_eq!(p2.orientation, Orientation::SOUTH);
+}

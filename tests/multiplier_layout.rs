@@ -1,0 +1,112 @@
+//! Experiment E8: the Fig 5.6 multiplier layout at multiple sizes — the
+//! shape facts the figure shows, checked across the full stack, plus
+//! export round-trips.
+
+use rsg::layout::stats::LayoutStats;
+use rsg::mult::cells::{PITCH, REG_HEIGHT, REG_WIDTH};
+use rsg::mult::generator::{column_x, generate, row_y};
+
+#[test]
+fn layout_scales_linearly_in_cell_count() {
+    let mut last = 0usize;
+    for n in [2usize, 4, 8] {
+        let out = generate(n, n).unwrap();
+        let stats = LayoutStats::compute(out.rsg.cells(), out.top).unwrap();
+        // 5 objects per array cell + 2n top/bottom regs + 2n right-stack
+        // objects + 4 macro instances.
+        assert_eq!(stats.total_instances, 5 * n * n + 2 * n + 2 * n + 4);
+        assert!(stats.total_instances > last);
+        last = stats.total_instances;
+    }
+}
+
+#[test]
+fn periphery_has_register_stacks_on_three_sides() {
+    let n = 6;
+    let out = generate(n, n).unwrap();
+    let stats = LayoutStats::compute(out.rsg.cells(), out.top).unwrap();
+    let bb = stats.bbox.rect().unwrap();
+    // Core spans [0, n·PITCH] × [−(n−1)·PITCH, PITCH]; registers extend it
+    // up, down, and right — but not left (no left stack in this design).
+    assert_eq!(bb.lo().x, 0);
+    assert_eq!(bb.hi().x, column_x(n) + PITCH + REG_WIDTH);
+    assert_eq!(bb.hi().y, PITCH + REG_HEIGHT);
+    assert_eq!(bb.lo().y, row_y(n) - REG_HEIGHT);
+}
+
+#[test]
+fn no_two_core_cells_collide() {
+    let out = generate(5, 5).unwrap();
+    let cells = out.rsg.cells();
+    let basic = cells.lookup("basic").unwrap();
+    let def = cells.require(out.array).unwrap();
+    let rects: Vec<rsg::geom::Rect> = def
+        .instances()
+        .filter(|i| i.cell == basic)
+        .map(|i| {
+            rsg::geom::Rect::from_origin_size(i.point_of_call, PITCH, PITCH)
+        })
+        .collect();
+    for (i, a) in rects.iter().enumerate() {
+        for b in &rects[i + 1..] {
+            assert!(!a.overlaps(*b), "{a} overlaps {b}");
+        }
+    }
+}
+
+#[test]
+fn masks_land_exactly_on_their_core_cells() {
+    let out = generate(4, 4).unwrap();
+    let cells = out.rsg.cells();
+    let basic = cells.lookup("basic").unwrap();
+    let def = cells.require(out.array).unwrap();
+    let core_points: std::collections::HashSet<_> = def
+        .instances()
+        .filter(|i| i.cell == basic)
+        .map(|i| i.point_of_call)
+        .collect();
+    for inst in def.instances().filter(|i| i.cell != basic) {
+        assert!(
+            core_points.contains(&inst.point_of_call),
+            "mask at {} has no core cell",
+            inst.point_of_call
+        );
+    }
+}
+
+#[test]
+fn cif_and_rsgl_round_trip_the_full_multiplier() {
+    let out = generate(6, 6).unwrap();
+    let cif = rsg::layout::write_cif(out.rsg.cells(), out.top).unwrap();
+    // Every sample cell the generator used is defined once in the CIF.
+    for name in ["basic", "typei", "typeii", "topreg", "bottomreg", "rightreg"] {
+        assert_eq!(cif.matches(&format!("9 {name};")).count(), 1, "{name}");
+    }
+    let rsgl = rsg::layout::write_rsgl(out.rsg.cells(), out.top).unwrap();
+    let (table, top) = rsg::layout::read_rsgl(&rsgl).unwrap();
+    let s1 = LayoutStats::compute(out.rsg.cells(), out.top).unwrap();
+    let s2 = LayoutStats::compute(&table, top).unwrap();
+    assert_eq!(s1.total_boxes, s2.total_boxes);
+    assert_eq!(s1.total_instances, s2.total_instances);
+    assert_eq!(s1.bbox, s2.bbox);
+    assert_eq!(s1.boxes_per_layer, s2.boxes_per_layer);
+}
+
+#[test]
+fn functional_and_structural_sides_agree_on_type_assignment() {
+    // The layout personalizes type II on the right column + bottom row
+    // except the corner; the Baugh-Wooley functional model personalizes
+    // where exactly one sign bit is involved. Same count.
+    let n = 8;
+    let out = generate(n, n).unwrap();
+    let cells = out.rsg.cells();
+    let typeii = cells.lookup("typeii").unwrap();
+    let layout_count = cells
+        .require(out.array)
+        .unwrap()
+        .instances()
+        .filter(|i| i.cell == typeii)
+        .count();
+    let bw = rsg::mult::baugh_wooley::BaughWooley::new(n, n);
+    assert_eq!(layout_count, bw.type_counts().1);
+}

@@ -1,0 +1,94 @@
+//! Experiment E10 across the stack: RSG-vs-relocation equivalence, the
+//! decoder from shared cells, and a PLA design file running through the
+//! interpreter.
+
+use rsg::hpla::{cells, relocation_pla, rsg_decoder, rsg_pla, Personality};
+use rsg::layout::stats::LayoutStats;
+
+#[test]
+fn rsg_matches_relocation_at_scale() {
+    // 6 in / 10 products / 4 out.
+    let rows: Vec<String> = (0..10)
+        .map(|p| {
+            let cube: String =
+                (0..6).map(|i| ['1', '0', '-'][(p + i) % 3]).collect();
+            let outs: String = (0..4).map(|o| if (p * 3 + o) % 2 == 0 { '1' } else { '0' }).collect();
+            format!("{cube} {outs}")
+        })
+        .collect();
+    let refs: Vec<&str> = rows.iter().map(String::as_str).collect();
+    let p = Personality::parse(&refs, 6, 4).unwrap();
+
+    let a = rsg_pla(&p, "pla").unwrap();
+    let (bt, bid) = relocation_pla(&p, "relo");
+    let sa = LayoutStats::compute(a.rsg.cells(), a.top).unwrap();
+    let sb = LayoutStats::compute(&bt, bid).unwrap();
+    assert_eq!(sa.total_boxes, sb.total_boxes);
+    assert_eq!(sa.bbox, sb.bbox);
+    assert_eq!(sa.boxes_per_layer, sb.boxes_per_layer);
+}
+
+#[test]
+fn decoder_and_pla_share_every_leaf_cell() {
+    let p = Personality::parse(&["10 1", "01 1"], 2, 1).unwrap();
+    let pla = rsg_pla(&p, "pla").unwrap();
+    let dec = rsg_decoder(2, "dec").unwrap();
+    // Both generators resolve their cells from the same sample.
+    for name in ["and_sq", "xand", "xcomp", "out_buf"] {
+        assert!(pla.rsg.cells().lookup(name).is_some());
+        assert!(dec.rsg.cells().lookup(name).is_some());
+    }
+}
+
+#[test]
+fn pla_design_file_through_the_interpreter() {
+    // A 2-input / 2-product / 1-output PLA written directly in the design
+    // file language over the PLA sample cells — the same mechanism that
+    // builds the multiplier builds PLAs (§1.2.2: one framework).
+    let design = r#"
+      (macro mrow (ni no xm1 xm2)
+        (locals first prev cur m)
+        (mk_instance first andcell)
+        (cond ((= xm1 1) (connect first (mk_instance m xtrue) 1))
+              (true (connect first (mk_instance m xfalse) 1)))
+        (setq prev first)
+        (do (i 2 (+ i 1) (> i ni))
+          (mk_instance cur andcell)
+          (connect prev cur 1)
+          (cond ((= xm2 1) (connect cur (mk_instance m xtrue) 1))
+                (true (connect cur (mk_instance m xfalse) 1)))
+          (setq prev cur))
+        (do (o 1 (+ o 1) (> o no))
+          (mk_instance cur orcell)
+          (connect prev cur 1)
+          (connect cur (mk_instance m xor_mask) 1)
+          (setq prev cur)))
+
+      (setq r1 (mrow 2 1 1 0))
+      (setq r2 (mrow 2 1 0 1))
+      (connect (subcell r1 first) (subcell r2 first) 2)
+      (mk_cell "xor_pla" (subcell r1 first))
+    "#;
+    let params = "andcell=and_sq\norcell=or_sq\nxtrue=xand\nxfalse=xcomp\nxor_mask=xorm\n";
+    let run = rsg::lang::run_design(cells::sample_layout(), design, params).unwrap();
+    let top = run.rsg.cells().lookup("xor_pla").unwrap();
+    let def = run.rsg.cells().require(top).unwrap();
+    // 2 rows × (2 AND + 2 masks + 1 OR + 1 or-mask) = 12 instances.
+    assert_eq!(def.instances().count(), 12);
+    let stats = LayoutStats::compute(run.rsg.cells(), top).unwrap();
+    assert_eq!(stats.max_depth, 1);
+}
+
+#[test]
+fn personality_functions_match_generated_crosspoints() {
+    let p = Personality::parse(&["1-0 10", "011 01"], 3, 2).unwrap();
+    let out = rsg_pla(&p, "pla").unwrap();
+    let def = out.rsg.cells().require(out.top).unwrap();
+    let count = |name: &str| {
+        let id = out.rsg.cells().lookup(name).unwrap();
+        def.instances().filter(|i| i.cell == id).count()
+    };
+    let (and_x, or_x) = p.crosspoint_counts();
+    assert_eq!(count("xand") + count("xcomp"), and_x);
+    assert_eq!(count("xorm"), or_x);
+}
