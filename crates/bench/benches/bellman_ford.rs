@@ -35,8 +35,12 @@ fn layout_system() -> ConstraintSystem {
             .map(|b| (b.layer, b.rect))
             .collect();
     let tech = rsg_layout::Technology::mead_conway(2);
-    let (sys, _) =
-        rsg_compact::scanline::generate(&boxes, &tech.rules, rsg_compact::scanline::Method::Visibility);
+    let (sys, _) = rsg_compact::scanline::generate(
+        &boxes,
+        &tech.rules,
+        rsg_compact::scanline::Method::Visibility,
+        rsg_geom::Axis::X,
+    );
     sys
 }
 
@@ -45,7 +49,7 @@ fn bench_orders(c: &mut Criterion) {
     for n in [100usize, 1000, 5000] {
         let s = reversed_chain(n);
         let sorted = solve(&s, EdgeOrder::Sorted).unwrap();
-        let unsorted = solve(&s, EdgeOrder::Unsorted).unwrap();
+        let unsorted = solve(&s, EdgeOrder::Arbitrary).unwrap();
         println!(
             "bellman-ford passes, reversed chain |V|={n}: sorted={} unsorted={}",
             sorted.passes, unsorted.passes
@@ -53,7 +57,7 @@ fn bench_orders(c: &mut Criterion) {
     }
     let ls = layout_system();
     let sorted = solve(&ls, EdgeOrder::Sorted).unwrap();
-    let unsorted = solve(&ls, EdgeOrder::Unsorted).unwrap();
+    let unsorted = solve(&ls, EdgeOrder::Arbitrary).unwrap();
     println!(
         "bellman-ford passes, 16x16 multiplier metal1 ({} vars): sorted={} unsorted={}",
         ls.num_vars(),
@@ -68,7 +72,7 @@ fn bench_orders(c: &mut Criterion) {
             b.iter(|| black_box(solve(s, EdgeOrder::Sorted).unwrap().extent()))
         });
         group.bench_with_input(BenchmarkId::new("unsorted", n), &s, |b, s| {
-            b.iter(|| black_box(solve(s, EdgeOrder::Unsorted).unwrap().extent()))
+            b.iter(|| black_box(solve(s, EdgeOrder::Arbitrary).unwrap().extent()))
         });
     }
     group.finish();
@@ -78,7 +82,7 @@ fn bench_orders(c: &mut Criterion) {
         b.iter(|| black_box(solve(&ls, EdgeOrder::Sorted).unwrap().extent()))
     });
     group.bench_function("unsorted", |b| {
-        b.iter(|| black_box(solve(&ls, EdgeOrder::Unsorted).unwrap().extent()))
+        b.iter(|| black_box(solve(&ls, EdgeOrder::Arbitrary).unwrap().extent()))
     });
     group.finish();
 }

@@ -74,9 +74,20 @@ fn three_phases(c: &mut Criterion) {
     // Phase 3: write the output file.
     let out = rsg_mult::generator::generate(32, 32).unwrap();
     c.bench_function("multiplier/phase3-write-cif-32", |b| {
-        b.iter(|| black_box(rsg_layout::write_cif(out.rsg.cells(), out.top).unwrap().len()))
+        b.iter(|| {
+            black_box(
+                rsg_layout::write_cif(out.rsg.cells(), out.top)
+                    .unwrap()
+                    .len(),
+            )
+        })
     });
 }
 
-criterion_group!(benches, full_generation, interpreted_generation, three_phases);
+criterion_group!(
+    benches,
+    full_generation,
+    interpreted_generation,
+    three_phases
+);
 criterion_main!(benches);

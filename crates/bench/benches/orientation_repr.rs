@@ -16,8 +16,14 @@ impl MatrixOrientation {
     fn compose(self, other: MatrixOrientation) -> MatrixOrientation {
         let (a, b) = (self.0, other.0);
         MatrixOrientation([
-            [a[0][0] * b[0][0] + a[0][1] * b[1][0], a[0][0] * b[0][1] + a[0][1] * b[1][1]],
-            [a[1][0] * b[0][0] + a[1][1] * b[1][0], a[1][0] * b[0][1] + a[1][1] * b[1][1]],
+            [
+                a[0][0] * b[0][0] + a[0][1] * b[1][0],
+                a[0][0] * b[0][1] + a[0][1] * b[1][1],
+            ],
+            [
+                a[1][0] * b[0][0] + a[1][1] * b[1][0],
+                a[1][0] * b[0][1] + a[1][1] * b[1][1],
+            ],
         ])
     }
 
@@ -79,8 +85,10 @@ fn bench_inverse(c: &mut Criterion) {
             black_box(acc)
         })
     });
-    let mats: Vec<MatrixOrientation> =
-        Orientation::ALL.iter().map(|o| MatrixOrientation(o.matrix())).collect();
+    let mats: Vec<MatrixOrientation> = Orientation::ALL
+        .iter()
+        .map(|o| MatrixOrientation(o.matrix()))
+        .collect();
     c.bench_function("orientation/inverse/matrix", |bch| {
         bch.iter(|| {
             let mut acc = 0i64;
@@ -105,8 +113,10 @@ fn bench_apply(c: &mut Criterion) {
             black_box(acc)
         })
     });
-    let mats: Vec<MatrixOrientation> =
-        Orientation::ALL.iter().map(|o| MatrixOrientation(o.matrix())).collect();
+    let mats: Vec<MatrixOrientation> = Orientation::ALL
+        .iter()
+        .map(|o| MatrixOrientation(o.matrix()))
+        .collect();
     c.bench_function("orientation/apply/matrix", |bch| {
         bch.iter(|| {
             let mut acc = Vector::ZERO;

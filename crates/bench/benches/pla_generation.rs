@@ -19,7 +19,9 @@ fn synth(n: usize) -> Personality {
                     _ => '-',
                 })
                 .collect();
-            let outs: String = (0..n).map(|o| if (p + o) % 2 == 0 { '1' } else { '0' }).collect();
+            let outs: String = (0..n)
+                .map(|o| if (p + o) % 2 == 0 { '1' } else { '0' })
+                .collect();
             format!("{cube} {outs}")
         })
         .collect();

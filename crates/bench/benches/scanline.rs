@@ -1,17 +1,24 @@
 //! Experiment E15 — Figs 6.4–6.7: the band scan generates constraints for
 //! hidden edges (quadratic blow-up on fragmented layouts, and
-//! overconstraint); the visibility scan suppresses them.
+//! overconstraint); the visibility scan suppresses them. The y-axis sweep
+//! runs on the same geometry with no transposed copy, so its cost tracks
+//! the x sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rsg_compact::scanline::{generate, Method};
-use rsg_geom::Rect;
+use rsg_geom::{Axis, Rect};
 use rsg_layout::{Layer, Technology};
 use std::hint::black_box;
 
 /// Fig 6.5's fragmented bus: n abutting diffusion fragments.
 fn fragmented(n: usize) -> Vec<(Layer, Rect)> {
     (0..n as i64)
-        .map(|k| (Layer::Diffusion, Rect::from_coords(10 * k, 0, 10 * (k + 1), 4)))
+        .map(|k| {
+            (
+                Layer::Diffusion,
+                Rect::from_coords(10 * k, 0, 10 * (k + 1), 4),
+            )
+        })
         .collect()
 }
 
@@ -21,8 +28,8 @@ fn bench_methods(c: &mut Criterion) {
     // Constraint-count table (the measurable overconstraint).
     for n in [8usize, 16, 32, 64] {
         let boxes = fragmented(n);
-        let (band, _) = generate(&boxes, &rules, Method::Band);
-        let (vis, _) = generate(&boxes, &rules, Method::Visibility);
+        let (band, _) = generate(&boxes, &rules, Method::Band, Axis::X);
+        let (vis, _) = generate(&boxes, &rules, Method::Visibility, Axis::X);
         println!(
             "fragmented bus n={n}: band={} constraints, visibility={}",
             band.constraints().len(),
@@ -34,11 +41,35 @@ fn bench_methods(c: &mut Criterion) {
     for n in [8usize, 32, 64] {
         let boxes = fragmented(n);
         group.bench_with_input(BenchmarkId::new("band", n), &boxes, |b, boxes| {
-            b.iter(|| black_box(generate(boxes, &rules, Method::Band).0.constraints().len()))
+            b.iter(|| {
+                black_box(
+                    generate(boxes, &rules, Method::Band, Axis::X)
+                        .0
+                        .constraints()
+                        .len(),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("visibility", n), &boxes, |b, boxes| {
             b.iter(|| {
-                black_box(generate(boxes, &rules, Method::Visibility).0.constraints().len())
+                black_box(
+                    generate(boxes, &rules, Method::Visibility, Axis::X)
+                        .0
+                        .constraints()
+                        .len(),
+                )
+            })
+        });
+        // The axis-generic sweep: same boxes, perpendicular direction,
+        // zero-copy (the retired transpose path rewrote every rect).
+        group.bench_with_input(BenchmarkId::new("visibility-y", n), &boxes, |b, boxes| {
+            b.iter(|| {
+                black_box(
+                    generate(boxes, &rules, Method::Visibility, Axis::Y)
+                        .0
+                        .constraints()
+                        .len(),
+                )
             })
         });
     }

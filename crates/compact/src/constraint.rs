@@ -13,7 +13,13 @@
 //! by longest-path (Bellman-Ford); with pitch terms the system "cannot be
 //! solved by shortest path algorithms ... because the weights on the edges
 //! are not all constants" and goes to the LP solver instead.
+//!
+//! The paper fixes the sweep direction to x; here the system is
+//! parameterized by [`Axis`], so the same representation (and the same
+//! solvers) serve y-compaction without transposing the layout first —
+//! variables are then ordinates of horizontal edges.
 
+use rsg_geom::Axis;
 use std::fmt;
 
 /// Handle to an edge-position variable.
@@ -51,18 +57,42 @@ pub struct Constraint {
     pub pitch: Option<(PitchId, i64)>,
 }
 
-/// A system of edge variables, pitch variables, and constraints.
-#[derive(Debug, Clone, Default)]
+/// A system of edge variables, pitch variables, and constraints, tagged
+/// with the [`Axis`] its variables move along.
+#[derive(Debug, Clone)]
 pub struct ConstraintSystem {
+    axis: Axis,
     var_initial: Vec<i64>,
     pitch_names: Vec<String>,
     constraints: Vec<Constraint>,
 }
 
+impl Default for ConstraintSystem {
+    fn default() -> ConstraintSystem {
+        ConstraintSystem::new_along(Axis::X)
+    }
+}
+
 impl ConstraintSystem {
-    /// Creates an empty system.
+    /// Creates an empty x-axis system (the paper's default direction).
     pub fn new() -> ConstraintSystem {
         ConstraintSystem::default()
+    }
+
+    /// Creates an empty system whose variables are edge coordinates
+    /// along `axis`.
+    pub fn new_along(axis: Axis) -> ConstraintSystem {
+        ConstraintSystem {
+            axis,
+            var_initial: Vec::new(),
+            pitch_names: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The axis this system's variables move along.
+    pub fn axis(&self) -> Axis {
+        self.axis
     }
 
     /// Adds an edge variable with its position in the initial layout
@@ -80,7 +110,12 @@ impl ConstraintSystem {
 
     /// Adds `x_to − x_from ≥ weight`.
     pub fn require(&mut self, from: VarId, to: VarId, weight: i64) {
-        self.constraints.push(Constraint { to, from, weight, pitch: None });
+        self.constraints.push(Constraint {
+            to,
+            from,
+            weight,
+            pitch: None,
+        });
     }
 
     /// Adds `x_to − x_from + coeff·λ ≥ weight`.
@@ -92,7 +127,12 @@ impl ConstraintSystem {
         pitch: PitchId,
         coeff: i64,
     ) {
-        self.constraints.push(Constraint { to, from, weight, pitch: Some((pitch, coeff)) });
+        self.constraints.push(Constraint {
+            to,
+            from,
+            weight,
+            pitch: Some((pitch, coeff)),
+        });
     }
 
     /// Pins the distance `x_to − x_from` to exactly `d` (two constraints).
@@ -149,7 +189,8 @@ impl fmt::Display for ConstraintSystem {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "ConstraintSystem({} vars, {} pitches, {} constraints)",
+            "ConstraintSystem({} axis, {} vars, {} pitches, {} constraints)",
+            self.axis,
             self.var_initial.len(),
             self.pitch_names.len(),
             self.constraints.len()
@@ -176,6 +217,15 @@ mod tests {
         assert!(s.has_pitch_terms());
         assert_eq!(s.constraints().len(), 2);
         assert!(s.to_string().contains("2 vars"));
+    }
+
+    #[test]
+    fn axis_tag() {
+        assert_eq!(ConstraintSystem::new().axis(), Axis::X);
+        assert_eq!(ConstraintSystem::new_along(Axis::Y).axis(), Axis::Y);
+        assert!(ConstraintSystem::new_along(Axis::Y)
+            .to_string()
+            .contains("y axis"));
     }
 
     #[test]

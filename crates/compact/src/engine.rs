@@ -1,0 +1,174 @@
+//! The axis-generic flat compaction engine.
+//!
+//! One driver serves both sweep directions: [`compact_axis`] generates
+//! visibility constraints along a chosen [`Axis`] (no transposed copy of
+//! the layout, unlike the retired `transpose` module) and solves them
+//! through any [`Solver`] backend. [`compact_xy`] alternates the two
+//! sweeps to a fixpoint — the classic two-pass 1-D compaction the paper
+//! sketches in §6.4 — reporting how many alternations were needed.
+
+use crate::backend::{SolveError, Solver};
+use crate::scanline::{self, BoxVars, Method};
+use rsg_geom::{Axis, Rect};
+use rsg_layout::{DesignRules, Layer};
+
+/// Rewrites `boxes` with solved edge positions along `axis`; coordinates
+/// across the axis are untouched.
+pub fn apply_positions(
+    boxes: &[(Layer, Rect)],
+    vars: &[BoxVars],
+    positions: &[i64],
+    axis: Axis,
+) -> Vec<(Layer, Rect)> {
+    boxes
+        .iter()
+        .zip(vars)
+        .map(|(&(l, r), bv)| {
+            (
+                l,
+                r.with_span_along(
+                    axis,
+                    positions[bv.left.index()],
+                    positions[bv.right.index()],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Compacts a flat box list along `axis` with the given backend.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the backend.
+pub fn compact_axis(
+    boxes: &[(Layer, Rect)],
+    rules: &DesignRules,
+    axis: Axis,
+    solver: &dyn Solver,
+) -> Result<Vec<(Layer, Rect)>, SolveError> {
+    let (sys, vars) = scanline::generate(boxes, rules, Method::Visibility, axis);
+    let out = solver.solve_system(&sys, &[])?;
+    Ok(apply_positions(boxes, &vars, &out.positions, axis))
+}
+
+/// Result of an alternating-axis compaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XyOutcome {
+    /// The compacted boxes.
+    pub boxes: Vec<(Layer, Rect)>,
+    /// Full x+y alternations performed before the fixpoint (or the cap).
+    pub passes: usize,
+    /// `true` when a fixpoint was reached within `max_passes`.
+    pub converged: bool,
+}
+
+/// Alternating x/y compaction until a fixpoint (or `max_passes`), §6.4.
+///
+/// Each pass sweeps [`Axis::X`] then [`Axis::Y`]; the result is a
+/// fixpoint of both sweeps when `converged` is set, i.e. re-running
+/// either sweep leaves the layout unchanged (idempotence).
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the backend.
+pub fn compact_xy(
+    boxes: &[(Layer, Rect)],
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    max_passes: usize,
+) -> Result<XyOutcome, SolveError> {
+    let mut cur = boxes.to_vec();
+    for pass in 0..max_passes {
+        let after_x = compact_axis(&cur, rules, Axis::X, solver)?;
+        let next = compact_axis(&after_x, rules, Axis::Y, solver)?;
+        if next == cur {
+            return Ok(XyOutcome {
+                boxes: cur,
+                passes: pass,
+                converged: true,
+            });
+        }
+        cur = next;
+    }
+    Ok(XyOutcome {
+        boxes: cur,
+        passes: max_passes,
+        converged: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Balanced, BellmanFord};
+    use rsg_layout::{drc, Technology};
+
+    fn rules() -> DesignRules {
+        Technology::mead_conway(2).rules.clone()
+    }
+
+    #[test]
+    fn y_compaction_pulls_rows_together_without_transposing() {
+        let boxes = vec![
+            (Layer::Metal1, Rect::from_coords(0, 0, 20, 6)),
+            (Layer::Metal1, Rect::from_coords(0, 40, 20, 46)), // 34 above: slack
+        ];
+        let out = compact_axis(&boxes, &rules(), Axis::Y, &BellmanFord::SORTED).unwrap();
+        // Pulled down to 3λ = 6 metal spacing.
+        assert_eq!(out[1].1.lo().y - out[0].1.hi().y, 6);
+        // x untouched.
+        assert_eq!(out[0].1.lo().x, 0);
+        assert_eq!(out[1].1.width(), 20);
+    }
+
+    #[test]
+    fn alternating_reaches_a_fixpoint() {
+        let boxes = vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+            (Layer::Poly, Rect::from_coords(30, 0, 34, 20)),
+            (Layer::Poly, Rect::from_coords(0, 50, 4, 70)),
+        ];
+        let r = rules();
+        let out = compact_xy(&boxes, &r, &BellmanFord::SORTED, 10).unwrap();
+        assert!(out.converged, "did not converge");
+        // Result is stable under both sweeps and clean.
+        for axis in Axis::BOTH {
+            let again = compact_axis(&out.boxes, &r, axis, &BellmanFord::SORTED).unwrap();
+            assert_eq!(again, out.boxes, "{axis} sweep not idempotent");
+        }
+        assert!(drc::check(&out.boxes, &r).is_empty());
+    }
+
+    #[test]
+    fn xy_area_never_grows() {
+        let boxes = vec![
+            (Layer::Diffusion, Rect::from_coords(0, 0, 8, 8)),
+            (Layer::Diffusion, Rect::from_coords(40, 0, 48, 8)),
+            (Layer::Diffusion, Rect::from_coords(0, 40, 8, 48)),
+            (Layer::Diffusion, Rect::from_coords(40, 40, 48, 48)),
+        ];
+        let out = compact_xy(&boxes, &rules(), &BellmanFord::SORTED, 5).unwrap();
+        let extent = |bs: &[(Layer, Rect)]| {
+            let bb: rsg_geom::BoundingBox = bs.iter().map(|&(_, r)| r).collect();
+            let r = bb.rect().unwrap();
+            (r.width(), r.height())
+        };
+        let (w0, h0) = extent(&boxes);
+        let (w1, h1) = extent(&out.boxes);
+        assert!(w1 <= w0 && h1 <= h0, "({w1},{h1}) vs ({w0},{h0})");
+        assert!(w1 * h1 < w0 * h0, "area should shrink on this input");
+    }
+
+    #[test]
+    fn balanced_backend_also_converges() {
+        let boxes = vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+            (Layer::Poly, Rect::from_coords(40, 0, 44, 20)),
+        ];
+        let r = rules();
+        let out = compact_xy(&boxes, &r, &Balanced, 10).unwrap();
+        assert!(out.converged);
+        assert!(drc::check(&out.boxes, &r).is_empty());
+    }
+}

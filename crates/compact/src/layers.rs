@@ -21,7 +21,10 @@ pub fn expand_contacts(cell: &CellDefinition, rules: &DesignRules) -> CellDefini
     let mut out = CellDefinition::new(format!("{}$masks", cell.name()));
     for obj in cell.objects() {
         match obj {
-            rsg_layout::LayoutObject::Box { layer: Layer::Contact, rect } => {
+            rsg_layout::LayoutObject::Box {
+                layer: Layer::Contact,
+                rect,
+            } => {
                 out.add_box(Layer::Metal1, *rect);
                 out.add_box(Layer::Poly, *rect);
                 for cut in contact_cuts(*rect, rules) {
@@ -51,8 +54,16 @@ pub fn contact_cuts(contact: Rect, rules: &DesignRules) -> Vec<Rect> {
     let margin = rules.contact_overlap.max(0);
     let avail_w = contact.width() - 2 * margin;
     let avail_h = contact.height() - 2 * margin;
-    let nx = if avail_w < size { 1 } else { 1 + (avail_w - size) / pitch };
-    let ny = if avail_h < size { 1 } else { 1 + (avail_h - size) / pitch };
+    let nx = if avail_w < size {
+        1
+    } else {
+        1 + (avail_w - size) / pitch
+    };
+    let ny = if avail_h < size {
+        1
+    } else {
+        1 + (avail_h - size) / pitch
+    };
     // Center the grid within the contact.
     let grid_w = size + (nx - 1) * pitch;
     let grid_h = size + (ny - 1) * pitch;

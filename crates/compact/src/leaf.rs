@@ -12,18 +12,22 @@
 //! The solved system yields new cell geometry *and* new pitches, from
 //! which "it is possible to build a new sample layout for the new
 //! technology" — [`CompactionResult::cells`] is exactly that library.
+//!
+//! Solving is delegated to any [`Solver`] backend; [`compact_batch`]
+//! additionally fans a set of *independent* libraries out across worker
+//! threads (each cell library is a closed constraint system, so batch
+//! results are byte-identical to the serial path).
 
+use crate::backend::{SolveError, Solver};
 use crate::scanline::{self, BoxVars, Method};
-use crate::simplex::{Lp, LpError, Sense};
-use crate::solver::{self, EdgeOrder};
 use crate::{ConstraintSystem, PitchId, VarId};
-use rsg_geom::{Point, Rect, Vector};
-use rsg_layout::{CellDefinition, DesignRules, Layer, LayoutObject};
+use rsg_geom::{Axis, Rect, Vector};
+use rsg_layout::{CellDefinition, DesignRules, Layer};
 
-/// How an interface displaces the second cell in x.
+/// How an interface displaces the second cell along the compaction axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PitchKind {
-    /// The x displacement is the unknown pitch λ, starting from the
+    /// The displacement is the unknown pitch λ, starting from the
     /// sample's value, with a cost weight (the replication factor `n` of
     /// §6.2's cost function `X ≈ Σ nᵢλᵢ`).
     VariableX {
@@ -32,8 +36,8 @@ pub enum PitchKind {
         /// Cost weight (expected replication factor).
         weight: i64,
     },
-    /// The x displacement is fixed (e.g. a vertical-abutment interface
-    /// contributes x-offset 0 during x compaction).
+    /// The displacement is fixed (e.g. a vertical-abutment interface
+    /// contributes offset 0 during x compaction).
     FixedX(i64),
 }
 
@@ -44,16 +48,16 @@ pub struct LeafInterface {
     pub cell_a: usize,
     /// Index of the second cell (may equal `cell_a`).
     pub cell_b: usize,
-    /// Displacement of B's origin in x.
+    /// Displacement of B's origin along the compaction axis.
     pub kind: PitchKind,
-    /// Fixed displacement of B's origin in y.
+    /// Fixed displacement of B's origin across the compaction axis.
     pub y_offset: i64,
     /// Pitch variable name for reporting.
     pub name: String,
 }
 
 /// Output of leaf-cell compaction.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompactionResult {
     /// The compacted library, same order and names as the input.
     pub cells: Vec<CellDefinition>,
@@ -87,6 +91,15 @@ impl std::fmt::Display for LeafError {
 
 impl std::error::Error for LeafError {}
 
+impl From<SolveError> for LeafError {
+    fn from(e: SolveError) -> LeafError {
+        match e {
+            SolveError::Infeasible(m) => LeafError::Infeasible(m),
+            SolveError::Rounding(m) => LeafError::Rounding(m),
+        }
+    }
+}
+
 /// A box with its edge variables and optional pitch tag (B-side boxes in
 /// an interface pair carry the pitch).
 #[derive(Debug, Clone, Copy)]
@@ -98,7 +111,8 @@ struct VBox {
     pitch: Option<PitchId>,
 }
 
-/// Compacts a cell library in x under every declared interface.
+/// Compacts a cell library in x under every declared interface, solving
+/// through the given backend.
 ///
 /// # Errors
 ///
@@ -107,8 +121,10 @@ pub fn compact(
     cells: &[CellDefinition],
     interfaces: &[LeafInterface],
     rules: &DesignRules,
+    solver: &dyn Solver,
 ) -> Result<CompactionResult, LeafError> {
-    let mut sys = ConstraintSystem::new();
+    let axis = Axis::X;
+    let mut sys = ConstraintSystem::new_along(axis);
     // A global origin variable pins each cell's frame: without it, a
     // cell's contents could translate within its own coordinate system
     // and absorb the pitch (the λ / translation degeneracy).
@@ -121,13 +137,16 @@ pub fn compact(
         let boxes: Vec<(Layer, Rect)> = cell.boxes().collect();
         let vars: Vec<BoxVars> = boxes
             .iter()
-            .map(|(_, r)| BoxVars { left: sys.add_var(r.lo().x), right: sys.add_var(r.hi().x) })
+            .map(|(_, r)| BoxVars {
+                left: sys.add_var(r.lo_along(axis)),
+                right: sys.add_var(r.hi_along(axis)),
+            })
             .collect();
         // Intra-cell constraints: widths, connectivity, visibility spacing.
         scanline::append_constraints(&mut sys, &boxes, &vars, rules, Method::Visibility);
-        // Anchor the cell's leftmost edge at its original abscissa.
-        if let Some(k) = (0..boxes.len()).min_by_key(|&k| boxes[k].1.lo().x) {
-            sys.require_exact(origin, vars[k].left, boxes[k].1.lo().x);
+        // Anchor the cell's lowest edge at its original coordinate.
+        if let Some(k) = (0..boxes.len()).min_by_key(|&k| boxes[k].1.lo_along(axis)) {
+            sys.require_exact(origin, vars[k].left, boxes[k].1.lo_along(axis));
         }
         cell_vars.push(vars);
         cell_boxes.push(boxes);
@@ -147,11 +166,20 @@ pub fn compact(
         };
         pitch_ids.push(pitch);
 
-        let shift = Vector::new(x0, iface.y_offset);
+        let shift = match axis {
+            Axis::X => Vector::new(x0, iface.y_offset),
+            Axis::Y => Vector::new(iface.y_offset, x0),
+        };
         let a_view: Vec<VBox> = cell_boxes[iface.cell_a]
             .iter()
             .zip(&cell_vars[iface.cell_a])
-            .map(|(&(layer, rect), bv)| VBox { layer, rect, left: bv.left, right: bv.right, pitch: None })
+            .map(|(&(layer, rect), bv)| VBox {
+                layer,
+                rect,
+                left: bv.left,
+                right: bv.right,
+                pitch: None,
+            })
             .collect();
         let b_view: Vec<VBox> = cell_boxes[iface.cell_b]
             .iter()
@@ -164,7 +192,7 @@ pub fn compact(
                 pitch,
             })
             .collect();
-        append_cross_constraints(&mut sys, &a_view, &b_view, x0, pitch, rules);
+        append_cross_constraints(&mut sys, &a_view, &b_view, rules);
     }
 
     // Metric excludes the origin convenience variable (Fig 6.3 counts
@@ -172,46 +200,27 @@ pub fn compact(
     let unknowns = (sys.num_vars() - 1) + sys.num_pitches();
     let n_constraints = sys.constraints().len();
 
-    // Solve.
-    let (positions, pitches) = if sys.has_pitch_terms() || sys.num_pitches() > 0 {
-        solve_with_pitches(&sys, &pitch_weights)?
-    } else {
-        let sol = solver::solve(&sys, EdgeOrder::Sorted)
-            .map_err(|e| LeafError::Infeasible(e.to_string()))?;
-        (sol.positions_vec(), Vec::new())
-    };
+    // Solve through the chosen backend.
+    let out = solver.solve_system(&sys, &pitch_weights)?;
+    let (positions, pitches) = (out.positions, out.pitches);
 
     debug_assert!(sys.violations(&positions, &pitches).is_empty());
 
-    // Rebuild the library with the new x coordinates.
+    // Rebuild the library with the new coordinates along the axis.
     let mut out_cells = Vec::with_capacity(cells.len());
     for (cell, vars) in cells.iter().zip(&cell_vars) {
-        let mut out = CellDefinition::new(cell.name());
-        let mut box_idx = 0usize;
-        for obj in cell.objects() {
-            match obj {
-                LayoutObject::Box { layer, rect } => {
-                    let bv = vars[box_idx];
-                    box_idx += 1;
-                    out.add_box(
-                        *layer,
-                        Rect::from_coords(
-                            positions[bv.left.index()],
-                            rect.lo().y,
-                            positions[bv.right.index()],
-                            rect.hi().y,
-                        ),
-                    );
-                }
-                LayoutObject::Label { text, at } => {
-                    out.add_label(text.clone(), Point::new(at.x, at.y));
-                }
-                LayoutObject::Instance(i) => {
-                    out.add_instance(*i);
-                }
-            }
-        }
-        out_cells.push(out);
+        let rects: Vec<Rect> = cell
+            .boxes()
+            .zip(vars)
+            .map(|((_, rect), bv)| {
+                rect.with_span_along(
+                    axis,
+                    positions[bv.left.index()],
+                    positions[bv.right.index()],
+                )
+            })
+            .collect();
+        out_cells.push(cell.with_box_rects(rects));
     }
 
     let mut named_pitches = Vec::new();
@@ -231,25 +240,54 @@ pub fn compact(
     })
 }
 
-/// Emits the cross constraints of one interface pair: spacing and
-/// connectivity between A-side and B-side boxes, folded through the pitch
-/// term (paper Fig 6.3's edge replacement).
+/// One independent leaf-library compaction job for [`compact_batch`].
+#[derive(Debug, Clone)]
+pub struct LibraryJob {
+    /// The library cells.
+    pub cells: Vec<CellDefinition>,
+    /// The declared interfaces between them.
+    pub interfaces: Vec<LeafInterface>,
+}
+
+/// Compacts many *independent* cell libraries, optionally in parallel.
+///
+/// Each job is a closed constraint system, so the jobs are
+/// embarrassingly parallel and the output (including every error) is
+/// byte-identical to mapping [`compact`] serially — [`Parallelism`] only
+/// changes wall-clock time. This is the batch entry point for compacting
+/// a whole generator library (the paper's "compact the cell A only
+/// once" economics, multiplied across a cell catalogue).
+pub fn compact_batch(
+    jobs: &[LibraryJob],
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    parallelism: Parallelism,
+) -> Vec<Result<CompactionResult, LeafError>> {
+    crate::par::par_map(jobs, parallelism.threads(), |job| {
+        compact(&job.cells, &job.interfaces, rules, solver)
+    })
+}
+
+pub use crate::par::Parallelism;
+
+/// Emits the cross constraints of one interface pair: spacing between
+/// A-side and B-side boxes, folded through the pitch term (paper Fig
+/// 6.3's edge replacement).
 fn append_cross_constraints(
     sys: &mut ConstraintSystem,
     a_view: &[VBox],
     b_view: &[VBox],
-    _x0: i64,
-    _pitch: Option<PitchId>,
     rules: &DesignRules,
 ) {
+    let axis = sys.axis();
     let all: Vec<VBox> = a_view.iter().chain(b_view).copied().collect();
     let all_rects: Vec<(Layer, Rect)> = all.iter().map(|v| (v.layer, v.rect)).collect();
 
-    let emit = |sys: &mut ConstraintSystem, from: &VBox, from_right: bool, to: &VBox, to_left: bool, w: i64| {
+    let emit = |sys: &mut ConstraintSystem, from: &VBox, to: &VBox, w: i64| {
         // x_to − x_from + (coeff_to − coeff_from)·λ ≥ w, where a box's
         // pitch tag contributes +λ to its edge positions.
-        let from_var = if from_right { from.right } else { from.left };
-        let to_var = if to_left { to.left } else { to.right };
+        let from_var = from.right;
+        let to_var = to.left;
         match (from.pitch, to.pitch) {
             (None, None) => sys.require(from_var, to_var, w),
             (Some(p), Some(q)) if p == q => sys.require(from_var, to_var, w),
@@ -259,117 +297,49 @@ fn append_cross_constraints(
         }
     };
 
-    // Spacing: a strictly left of b, shared y-range, not hidden. Abutting
-    // same-layer cross boxes are connected material and get no spacing
-    // requirement (their relative position is governed by the pitch).
+    // Spacing: a strictly below b along the axis, shared across-range,
+    // not hidden. Abutting same-layer cross boxes are connected material
+    // and get no spacing requirement (their relative position is
+    // governed by the pitch).
     for (i, a) in all.iter().enumerate() {
         for (j, b) in all.iter().enumerate() {
             if i == j || (i < a_view.len()) == (j < a_view.len()) {
                 continue;
             }
-            let Some(spacing) = rules.min_spacing(a.layer, b.layer) else { continue };
-            if a.rect.hi().x > b.rect.lo().x {
+            let Some(spacing) = rules.min_spacing(a.layer, b.layer) else {
+                continue;
+            };
+            if a.rect.hi_along(axis) > b.rect.lo_along(axis) {
                 continue;
             }
-            if a.rect.lo().y >= b.rect.hi().y || b.rect.lo().y >= a.rect.hi().y {
+            if a.rect.lo_across(axis) >= b.rect.hi_across(axis)
+                || b.rect.lo_across(axis) >= a.rect.hi_across(axis)
+            {
                 continue;
             }
             if a.layer == b.layer && a.rect.intersect(b.rect).is_some() {
                 continue; // abutting/connected across the interface
             }
-            if scanline::hidden_between(&all_rects, i, j) {
+            if scanline::hidden_between(&all_rects, i, j, axis) {
                 continue;
             }
-            emit(sys, a, true, b, true, spacing);
+            emit(sys, a, b, spacing);
         }
     }
-}
-
-/// LP solve + integral pitch rounding + longest-path refinement.
-fn solve_with_pitches(
-    sys: &ConstraintSystem,
-    pitch_weights: &[i64],
-) -> Result<(Vec<i64>, Vec<i64>), LeafError> {
-    let n = sys.num_vars();
-    let p = sys.num_pitches();
-    // LP variables: [edges 0..n | pitches n..n+p].
-    let mut objective = vec![1e-4f64; n];
-    objective.extend(pitch_weights.iter().map(|&w| w as f64));
-    let mut lp = Lp::new(n + p, objective);
-    for c in sys.constraints() {
-        let mut row = vec![(c.to.index(), 1.0), (c.from.index(), -1.0)];
-        if let Some((pid, k)) = c.pitch {
-            row.push((n + pid.index(), k as f64));
-        }
-        lp.add_row(row, Sense::Ge, c.weight as f64);
-    }
-    let x = lp.solve().map_err(|e: LpError| LeafError::Infeasible(e.to_string()))?;
-
-    // Round pitches to integers: try floor/ceil combinations (p is tiny),
-    // keep the feasible combination with minimum cost.
-    let floats: Vec<f64> = (0..p).map(|k| x[n + k]).collect();
-    let mut best: Option<(i64, Vec<i64>, Vec<i64>)> = None;
-    for mask in 0..(1usize << p.min(16)) {
-        let candidate: Vec<i64> = floats
-            .iter()
-            .enumerate()
-            .map(|(k, &v)| {
-                let f = v.floor() as i64;
-                if mask & (1 << k) != 0 {
-                    f + 1
-                } else {
-                    f
-                }
-            })
-            .collect();
-        if candidate.iter().any(|&v| v < 0) {
-            continue;
-        }
-        if let Some(positions) = solve_fixed_pitches(sys, &candidate) {
-            let cost: i64 =
-                candidate.iter().zip(pitch_weights).map(|(&l, &w)| l * w).sum();
-            if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
-                best = Some((cost, positions, candidate));
-            }
-        }
-    }
-    if best.is_none() {
-        // Escalate: bump all pitches upward together a few steps.
-        for bump in 1..=4 {
-            let candidate: Vec<i64> =
-                floats.iter().map(|&v| v.ceil() as i64 + bump).collect();
-            if let Some(positions) = solve_fixed_pitches(sys, &candidate) {
-                best = Some((0, positions, candidate));
-                break;
-            }
-        }
-    }
-    let (_, positions, pitches) = best.ok_or_else(|| {
-        LeafError::Rounding(format!("no integral pitch assignment near {floats:?}"))
-    })?;
-    Ok((positions, pitches))
-}
-
-/// With pitches fixed, the system reduces to difference constraints.
-fn solve_fixed_pitches(sys: &ConstraintSystem, pitches: &[i64]) -> Option<Vec<i64>> {
-    let mut reduced = ConstraintSystem::new();
-    for v in 0..sys.num_vars() {
-        reduced.add_var(sys.initial(VarId(v)));
-    }
-    for c in sys.constraints() {
-        let w = c.weight - c.pitch.map_or(0, |(pid, k)| k * pitches[pid.index()]);
-        reduced.require(c.from, c.to, w);
-    }
-    solver::solve(&reduced, EdgeOrder::Sorted).ok().map(|s| s.positions_vec())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{Balanced, BellmanFord, SimplexPitch};
     use rsg_layout::Technology;
 
     fn rules() -> DesignRules {
         Technology::mead_conway(2).rules.clone()
+    }
+
+    fn bf() -> BellmanFord {
+        BellmanFord::SORTED
     }
 
     /// Fig 6.3: one cell with boxes, one self-interface: the unknowns are
@@ -382,11 +352,14 @@ mod tests {
         let ifaces = vec![LeafInterface {
             cell_a: 0,
             cell_b: 0,
-            kind: PitchKind::VariableX { initial: 24, weight: 1 },
+            kind: PitchKind::VariableX {
+                initial: 24,
+                weight: 1,
+            },
             y_offset: 0,
             name: "lambda_a".into(),
         }];
-        let out = compact(&[cell], &ifaces, &rules()).unwrap();
+        let out = compact(&[cell], &ifaces, &rules(), &bf()).unwrap();
         assert_eq!(out.unknowns, 4 + 1, "4 edges + 1 pitch");
         // Pitch compacts to the minimum: second box at min poly spacing
         // from first, then wrap: λ = 16-12... solved geometry: boxes 4
@@ -414,14 +387,20 @@ mod tests {
                 LeafInterface {
                     cell_a: 0,
                     cell_b: 0,
-                    kind: PitchKind::VariableX { initial: 40, weight: w2 },
+                    kind: PitchKind::VariableX {
+                        initial: 40,
+                        weight: w2,
+                    },
                     y_offset: -20,
                     name: "l2".into(),
                 },
                 LeafInterface {
                     cell_a: 0,
                     cell_b: 0,
-                    kind: PitchKind::VariableX { initial: 40, weight: w3 },
+                    kind: PitchKind::VariableX {
+                        initial: 40,
+                        weight: w3,
+                    },
                     y_offset: 20,
                     name: "l3".into(),
                 },
@@ -429,8 +408,8 @@ mod tests {
         };
         let r = rules();
         // Heavy weight on l3 → shrink l3 at l2's expense, and vice versa.
-        let favor_l3 = compact(&[cell.clone()], &mk(1, 10), &r).unwrap();
-        let favor_l2 = compact(&[cell.clone()], &mk(10, 1), &r).unwrap();
+        let favor_l3 = compact(&[cell.clone()], &mk(1, 10), &r, &bf()).unwrap();
+        let favor_l2 = compact(&[cell.clone()], &mk(10, 1), &r, &bf()).unwrap();
         let (l2a, l3a) = (favor_l3.pitches[0].1, favor_l3.pitches[1].1);
         let (l2b, l3b) = (favor_l2.pitches[0].1, favor_l2.pitches[1].1);
         assert!(l3a < l3b, "favoring l3 shrinks it: {l3a} vs {l3b}");
@@ -453,7 +432,10 @@ mod tests {
             LeafInterface {
                 cell_a: 0,
                 cell_b: 1,
-                kind: PitchKind::VariableX { initial: 60, weight: 5 },
+                kind: PitchKind::VariableX {
+                    initial: 60,
+                    weight: 5,
+                },
                 y_offset: 0,
                 name: "lab".into(),
             },
@@ -465,7 +447,7 @@ mod tests {
                 name: "vert".into(),
             },
         ];
-        let out = compact(&[a, b], &ifaces, &rules()).unwrap();
+        let out = compact(&[a, b], &ifaces, &rules(), &bf()).unwrap();
         // Intra: A's two diff boxes pull to 6λ spacing (6 at λ=2): second
         // box at 12..18. A–B pitch: B clears A's right box by 6.
         let a_boxes: Vec<(Layer, Rect)> = out.cells[0].boxes().collect();
@@ -485,12 +467,15 @@ mod tests {
         let ifaces = vec![LeafInterface {
             cell_a: 0,
             cell_b: 0,
-            kind: PitchKind::VariableX { initial: 44, weight: 1 },
+            kind: PitchKind::VariableX {
+                initial: 44,
+                weight: 1,
+            },
             y_offset: 0,
             name: "l".into(),
         }];
         let r = rules();
-        let out = compact(&[cell], &ifaces, &r).unwrap();
+        let out = compact(&[cell], &ifaces, &r, &bf()).unwrap();
         let lambda = out.pitches[0].1;
         // Tile 3 instances and scan the flat result: no violations.
         let mut flat: Vec<(Layer, Rect)> = Vec::new();
@@ -499,7 +484,7 @@ mod tests {
                 flat.push((l, rect.translate(rsg_geom::Vector::new(k * lambda, 0))));
             }
         }
-        let (sys, vars) = scanline::generate(&flat, &r, Method::Visibility);
+        let (sys, vars) = scanline::generate(&flat, &r, Method::Visibility, Axis::X);
         let positions: Vec<i64> = flat
             .iter()
             .flat_map(|(_, rect)| [rect.lo().x, rect.hi().x])
@@ -526,7 +511,60 @@ mod tests {
             y_offset: 0,
             name: "tight".into(),
         }];
-        let err = compact(&[cell], &ifaces, &rules()).unwrap_err();
+        let err = compact(&[cell], &ifaces, &rules(), &bf()).unwrap_err();
         assert!(matches!(err, LeafError::Infeasible(_)), "{err}");
+    }
+
+    fn sample_jobs(n: usize) -> Vec<LibraryJob> {
+        (0..n)
+            .map(|k| {
+                let k = k as i64;
+                let mut cell = CellDefinition::new(format!("cell{k}"));
+                cell.add_box(Layer::Poly, Rect::from_coords(2, 0, 8, 30));
+                cell.add_box(Layer::Metal1, Rect::from_coords(14, 5, 26, 25));
+                cell.add_box(
+                    Layer::Poly,
+                    Rect::from_coords(30 + 2 * k, 0, 34 + 2 * k, 30),
+                );
+                LibraryJob {
+                    cells: vec![cell],
+                    interfaces: vec![LeafInterface {
+                        cell_a: 0,
+                        cell_b: 0,
+                        kind: PitchKind::VariableX {
+                            initial: 44 + 2 * k,
+                            weight: 1 + k,
+                        },
+                        y_offset: 0,
+                        name: format!("l{k}"),
+                    }],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_parallel_is_byte_identical_to_serial() {
+        let jobs = sample_jobs(12);
+        let r = rules();
+        let serial = compact_batch(&jobs, &r, &bf(), Parallelism::Serial);
+        for par in [Parallelism::Auto, Parallelism::Threads(3)] {
+            let parallel = compact_batch(&jobs, &r, &bf(), par);
+            assert_eq!(serial, parallel, "{par:?} diverged from serial");
+        }
+    }
+
+    #[test]
+    fn batch_through_every_backend() {
+        let jobs = sample_jobs(4);
+        let r = rules();
+        for backend in [&bf() as &dyn Solver, &Balanced, &SimplexPitch] {
+            let out = compact_batch(&jobs, &r, backend, Parallelism::Auto);
+            assert!(
+                out.iter().all(Result::is_ok),
+                "{} failed a batch job",
+                backend.name()
+            );
+        }
     }
 }

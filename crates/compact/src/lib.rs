@@ -4,23 +4,30 @@
 //! assembled regular structure (duplicating effort over every replication
 //! factor), compact the library cells **once**, taking into account every
 //! way the cells may legally interface, with the pitches λᵢ as first-class
-//! unknowns. This crate implements the whole pipeline:
+//! unknowns. This crate implements the whole pipeline, generalized to an
+//! axis-generic, backend-pluggable engine:
 //!
 //! * [`ConstraintSystem`] — one-dimensional graph-based constraints
-//!   `x_to − x_from + Σcλ ≥ w` over vertical box edges and pitch
-//!   variables (§6.3, Fig 6.3),
-//! * [`scanline`] — two constraint generators: the naive *band* method
-//!   that overconstrains fragmented layouts (Figs 6.4–6.6) and the correct
-//!   *visibility* method (Fig 6.7) in which hidden edges generate no
-//!   constraints,
+//!   `x_to − x_from + Σcλ ≥ w` over box edges and pitch variables
+//!   (§6.3, Fig 6.3), tagged with the [`rsg_geom::Axis`] they sweep,
+//! * [`scanline`] — two constraint generators, generic over the sweep
+//!   axis: the naive *band* method that overconstrains fragmented
+//!   layouts (Figs 6.4–6.6) and the correct *visibility* method
+//!   (Fig 6.7) in which hidden edges generate no constraints,
 //! * [`solver`] — a Bellman-Ford longest-path solver with the paper's
 //!   sorted-edge optimization (§6.4.2) and a jog-avoiding balanced mode
 //!   (Fig 6.8's "rubber bands, not a large magnet"),
+//! * [`backend`] — the [`Solver`] trait those procedures implement, so
+//!   every compaction entry point takes a pluggable backend,
 //! * [`simplex`] — a small dense LP solver for pitch trade-offs under a
 //!   user cost function (§6.2, Figs 6.1–6.2),
+//! * [`engine`] — flat compaction along either axis plus the
+//!   alternating-axis fixpoint [`engine::compact_xy`] (§6.4), replacing
+//!   the old layout-transposing y pass (shimmed in [`transpose`]),
 //! * [`leaf`] — the leaf-cell compactor proper: intra-cell plus
 //!   interface-folded inter-cell constraints, solved for edge positions
-//!   *and* pitches simultaneously,
+//!   *and* pitches simultaneously, with [`leaf::compact_batch`] fanning
+//!   independent libraries out across threads,
 //! * [`layers`] — pseudo-layer handling: contact expansion (Fig 6.9) and
 //!   transistor-gate detection (§6.4.3).
 //!
@@ -28,15 +35,16 @@
 //!
 //! ```
 //! use rsg_compact::{scanline, solver, ConstraintSystem};
+//! use rsg_geom::{Axis, Rect};
 //! use rsg_layout::{Layer, Technology};
-//! use rsg_geom::Rect;
 //!
 //! let tech = Technology::mead_conway(2);
 //! let boxes = vec![
 //!     (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
 //!     (Layer::Poly, Rect::from_coords(30, 0, 34, 20)), // far right: slack
 //! ];
-//! let (sys, vars) = scanline::generate(&boxes, &tech.rules, scanline::Method::Visibility);
+//! let (sys, vars) =
+//!     scanline::generate(&boxes, &tech.rules, scanline::Method::Visibility, Axis::X);
 //! let sol = solver::solve(&sys, solver::EdgeOrder::Sorted).unwrap();
 //! // Left-packed: the right box pulls in to the 2λ poly spacing.
 //! let left_edge_of_right_box = sol.position(vars[1].left);
@@ -45,12 +53,16 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 mod constraint;
+pub mod engine;
 pub mod layers;
 pub mod leaf;
+pub mod par;
 pub mod scanline;
 pub mod simplex;
 pub mod solver;
 pub mod transpose;
 
+pub use backend::{Balanced, BellmanFord, SimplexPitch, Solver};
 pub use constraint::{Constraint, ConstraintSystem, PitchId, VarId};

@@ -1,0 +1,124 @@
+//! Minimal deterministic parallel map over scoped threads.
+//!
+//! The batch leaf compactor fans independent cells out across cores.
+//! The container this repository builds in has no registry access, so
+//! instead of `rayon` this module implements the one primitive needed —
+//! an order-preserving parallel map — on `std::thread::scope`. Results
+//! are collected by input index, so the output is byte-identical to the
+//! serial map regardless of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Maps `f` over `items` on up to `threads` worker threads, preserving
+/// input order in the output.
+///
+/// `threads == 0` or `threads == 1` (or a single-item input) runs inline
+/// with no thread overhead. Worker panics propagate to the caller.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    // `scope` joins every worker before returning and re-raises any
+    // worker panic, so the expect below only runs when all slots filled.
+    let slots = std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker completed every index"))
+        .collect()
+}
+
+/// Worker count for [`Parallelism::Auto`]: the machine's available
+/// parallelism (1 when it cannot be determined).
+pub fn auto_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// How a batch operation distributes its independent jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// All jobs inline on the calling thread.
+    Serial,
+    /// One worker per available core.
+    #[default]
+    Auto,
+    /// Exactly this many worker threads.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The concrete worker count.
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Auto => auto_threads(),
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let serial: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 9] {
+            assert_eq!(par_map(&items, threads, |&x| x * x), serial);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(&[] as &[i32], 8, |&x| x), Vec::<i32>::new());
+        assert_eq!(par_map(&[7], 8, |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallelism_thread_counts() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Threads(3).threads(), 3);
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert!(Parallelism::Auto.threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<usize> = (0..8).collect();
+        let _ = par_map(&items, 4, |&x| {
+            assert!(x != 5, "boom");
+            x
+        });
+    }
+}

@@ -1,32 +1,42 @@
-//! Constraint generation by scanning (§6.4.1).
+//! Constraint generation by scanning (§6.4.1), generic over the sweep
+//! [`Axis`].
 //!
 //! Two methods are provided, reproducing the paper's comparison:
 //!
-//! * [`Method::Band`] — the naive horizontal-band scan the paper's first
-//!   compactor used: every pair of facing edges on interacting layers
-//!   whose boxes share a y-range gets a spacing constraint, **including
-//!   hidden edges**. On a fragmented bus (Fig 6.5) this "would force the
-//!   x size of the final layout to be at least nλ".
-//! * [`Method::Visibility`] — the correct vertical scan line (Fig 6.7):
-//!   "the scan line contains information of what a viewer on the scan
-//!   line looking toward the left would see"; hidden edges never appear,
-//!   so merging of abutting boxes is implicitly taken care of.
+//! * [`Method::Band`] — the naive band scan the paper's first compactor
+//!   used: every pair of facing edges on interacting layers whose boxes
+//!   share a range across the sweep axis gets a spacing constraint,
+//!   **including hidden edges**. On a fragmented bus (Fig 6.5) this
+//!   "would force the x size of the final layout to be at least nλ".
+//! * [`Method::Visibility`] — the correct scan line (Fig 6.7): "the scan
+//!   line contains information of what a viewer on the scan line looking
+//!   toward the left would see"; hidden edges never appear, so merging
+//!   of abutting boxes is implicitly taken care of.
 //!
 //! Both methods also emit, for every box, an exact width constraint (the
 //! compactor preserves widths — device and bus sizing is the business of
 //! the masking cells, §6.4.1), and connectivity constraints keeping
 //! same-layer boxes that touched in the input touching in the output.
+//!
+//! The paper describes the x sweep only and obtains y by transposing the
+//! whole layout; here the sweep axis is a parameter, so the y pass runs
+//! on the same geometry with no copy. Throughout, *along* means the
+//! sweep axis (edge coordinates that become variables) and *across* the
+//! perpendicular axis (frozen during the sweep).
 
 use crate::{ConstraintSystem, VarId};
-use rsg_geom::Rect;
+use rsg_geom::{Axis, Rect};
 use rsg_layout::{DesignRules, Layer};
 
-/// The two edge variables of one input box.
+/// The two moving-edge variables of one input box along the sweep axis.
+///
+/// For an x sweep `left`/`right` are the west/east vertical edges; for a
+/// y sweep they are the south/north horizontal edges (low/high ordinate).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BoxVars {
-    /// Variable of the left (west) vertical edge.
+    /// Variable of the low edge along the sweep axis.
     pub left: VarId,
-    /// Variable of the right (east) vertical edge.
+    /// Variable of the high edge along the sweep axis.
     pub right: VarId,
 }
 
@@ -39,23 +49,24 @@ pub enum Method {
     Visibility,
 }
 
-/// Generates the x-direction constraint system for a flat list of boxes.
+/// Generates the constraint system along `axis` for a flat box list.
 ///
 /// Returns the system plus the per-box edge variables (in input order).
-/// Horizontal edges "play no role in the constraint representation and
-/// are assumed to shrink or expand in response" — y coordinates are
-/// untouched throughout.
+/// Edges perpendicular to the sweep "play no role in the constraint
+/// representation and are assumed to shrink or expand in response" —
+/// coordinates across the axis are untouched throughout.
 pub fn generate(
     boxes: &[(Layer, Rect)],
     rules: &DesignRules,
     method: Method,
+    axis: Axis,
 ) -> (ConstraintSystem, Vec<BoxVars>) {
-    let mut sys = ConstraintSystem::new();
+    let mut sys = ConstraintSystem::new_along(axis);
     let vars: Vec<BoxVars> = boxes
         .iter()
         .map(|(_, r)| {
-            let left = sys.add_var(r.lo().x);
-            let right = sys.add_var(r.hi().x);
+            let left = sys.add_var(r.lo_along(axis));
+            let right = sys.add_var(r.hi_along(axis));
             BoxVars { left, right }
         })
         .collect();
@@ -66,7 +77,7 @@ pub fn generate(
 /// Appends the width, connectivity, and spacing constraints for `boxes`
 /// (whose edge variables were already allocated as `vars`) into an
 /// existing system — the building block the leaf compactor reuses per
-/// cell.
+/// cell. The sweep axis is taken from [`ConstraintSystem::axis`].
 pub fn append_constraints(
     sys: &mut ConstraintSystem,
     boxes: &[(Layer, Rect)],
@@ -74,16 +85,18 @@ pub fn append_constraints(
     rules: &DesignRules,
     method: Method,
 ) {
+    let axis = sys.axis();
+
     // Width preservation.
     for ((_, r), bv) in boxes.iter().zip(vars) {
-        sys.require_exact(bv.left, bv.right, r.width());
+        sys.require_exact(bv.left, bv.right, r.extent_along(axis));
     }
 
     // Connectivity: same-layer boxes that touch or overlap stay rigidly
-    // attached (their x overlap is preserved exactly). Connected nets are
-    // rigid bodies in this compactor; only the space between disconnected
-    // groups compresses — device and bus resizing belongs to the masking
-    // cells, not the compactor (§6.4.1).
+    // attached (their overlap along the axis is preserved exactly).
+    // Connected nets are rigid bodies in this compactor; only the space
+    // between disconnected groups compresses — device and bus resizing
+    // belongs to the masking cells, not the compactor (§6.4.1).
     for i in 0..boxes.len() {
         for j in 0..boxes.len() {
             if i == j {
@@ -91,10 +104,14 @@ pub fn append_constraints(
             }
             let (la, ra) = boxes[i];
             let (lb, rb) = boxes[j];
-            if la != lb || !touches(ra, rb) || ra.lo().x > rb.lo().x {
+            if la != lb || !touches(ra, rb) || ra.lo_along(axis) > rb.lo_along(axis) {
                 continue;
             }
-            sys.require_exact(vars[i].left, vars[j].left, rb.lo().x - ra.lo().x);
+            sys.require_exact(
+                vars[i].left,
+                vars[j].left,
+                rb.lo_along(axis) - ra.lo_along(axis),
+            );
         }
     }
 
@@ -106,15 +123,18 @@ pub fn append_constraints(
             }
             let (layer_a, ra) = boxes[i];
             let (layer_b, rb) = boxes[j];
-            let Some(spacing) = rules.min_spacing(layer_a, layer_b) else { continue };
-            // `a` strictly left of `b`, sharing a y-range.
-            if ra.hi().x > rb.lo().x || !y_overlap(ra, rb) {
+            let Some(spacing) = rules.min_spacing(layer_a, layer_b) else {
+                continue;
+            };
+            // `a` strictly below `b` along the axis, sharing an
+            // across-axis range.
+            if ra.hi_along(axis) > rb.lo_along(axis) || !across_overlap(ra, rb, axis) {
                 continue;
             }
             if layer_a == layer_b && touches(ra, rb) {
                 continue; // connected material: no spacing requirement
             }
-            if method == Method::Visibility && hidden_between(boxes, i, j) {
+            if method == Method::Visibility && hidden_between(boxes, i, j, axis) {
                 continue;
             }
             sys.require(vars[i].right, vars[j].left, spacing);
@@ -122,8 +142,8 @@ pub fn append_constraints(
     }
 }
 
-fn y_overlap(a: Rect, b: Rect) -> bool {
-    a.lo().y < b.hi().y && b.lo().y < a.hi().y
+fn across_overlap(a: Rect, b: Rect, axis: Axis) -> bool {
+    a.lo_across(axis) < b.hi_across(axis) && b.lo_across(axis) < a.hi_across(axis)
 }
 
 fn touches(a: Rect, b: Rect) -> bool {
@@ -131,20 +151,21 @@ fn touches(a: Rect, b: Rect) -> bool {
     a.intersect(b).is_some()
 }
 
-/// `true` when the gap between box `i`'s right edge and box `j`'s left
-/// edge is fully covered, over their shared y-range, by *same-layer*
-/// material of some third box — the hidden-edge condition of Fig 6.4.
-pub(crate) fn hidden_between(boxes: &[(Layer, Rect)], i: usize, j: usize) -> bool {
+/// `true` when the gap between box `i`'s high edge and box `j`'s low edge
+/// (along the sweep axis) is fully covered, over their shared across-axis
+/// range, by *same-layer* material of some third box — the hidden-edge
+/// condition of Fig 6.4.
+pub(crate) fn hidden_between(boxes: &[(Layer, Rect)], i: usize, j: usize, axis: Axis) -> bool {
     let (layer_i, ra) = boxes[i];
     let (layer_j, rb) = boxes[j];
-    let y0 = ra.lo().y.max(rb.lo().y);
-    let y1 = ra.hi().y.min(rb.hi().y);
-    let x0 = ra.hi().x;
-    let x1 = rb.lo().x;
-    if x0 >= x1 || y0 >= y1 {
+    let c0 = ra.lo_across(axis).max(rb.lo_across(axis));
+    let c1 = ra.hi_across(axis).min(rb.hi_across(axis));
+    let a0 = ra.hi_along(axis);
+    let a1 = rb.lo_along(axis);
+    if a0 >= a1 || c0 >= c1 {
         return false;
     }
-    let region = Rect::from_coords(x0, y0, x1, y1);
+    let region = Rect::from_spans(axis, (a0, a1), (c0, c1));
     let covers: Vec<Rect> = boxes
         .iter()
         .enumerate()
@@ -152,38 +173,41 @@ pub(crate) fn hidden_between(boxes: &[(Layer, Rect)], i: usize, j: usize) -> boo
         .filter_map(|(_, &(_, r))| r.intersect(region))
         .filter(|r| r.area() > 0)
         .collect();
-    region_covered(region, &covers)
+    region_covered(region, &covers, axis)
 }
 
 /// `true` if the union of `rects` covers all of `region`. Checked by
-/// decomposing into x strips at every rect boundary and verifying full
-/// y coverage per strip.
-fn region_covered(region: Rect, rects: &[Rect]) -> bool {
-    let mut xs: Vec<i64> = rects.iter().flat_map(|r| [r.lo().x, r.hi().x]).collect();
-    xs.push(region.lo().x);
-    xs.push(region.hi().x);
-    xs.retain(|&x| x >= region.lo().x && x <= region.hi().x);
-    xs.sort_unstable();
-    xs.dedup();
-    for w in xs.windows(2) {
-        let (sx0, sx1) = (w[0], w[1]);
-        if sx0 >= sx1 {
+/// decomposing into strips (along the sweep axis) at every rect boundary
+/// and verifying full across-axis coverage per strip.
+fn region_covered(region: Rect, rects: &[Rect], axis: Axis) -> bool {
+    let mut cuts: Vec<i64> = rects
+        .iter()
+        .flat_map(|r| [r.lo_along(axis), r.hi_along(axis)])
+        .collect();
+    cuts.push(region.lo_along(axis));
+    cuts.push(region.hi_along(axis));
+    cuts.retain(|&a| a >= region.lo_along(axis) && a <= region.hi_along(axis));
+    cuts.sort_unstable();
+    cuts.dedup();
+    for w in cuts.windows(2) {
+        let (s0, s1) = (w[0], w[1]);
+        if s0 >= s1 {
             continue;
         }
         let mut ivs: Vec<(i64, i64)> = rects
             .iter()
-            .filter(|r| r.lo().x <= sx0 && r.hi().x >= sx1)
-            .map(|r| (r.lo().y, r.hi().y))
+            .filter(|r| r.lo_along(axis) <= s0 && r.hi_along(axis) >= s1)
+            .map(|r| (r.lo_across(axis), r.hi_across(axis)))
             .collect();
         ivs.sort_unstable();
-        let mut covered_to = region.lo().y;
+        let mut covered_to = region.lo_across(axis);
         for (lo, hi) in ivs {
             if lo > covered_to {
                 return false;
             }
             covered_to = covered_to.max(hi);
         }
-        if covered_to < region.hi().y {
+        if covered_to < region.hi_across(axis) {
             return false;
         }
     }
@@ -207,7 +231,12 @@ mod tests {
     /// exactly as the paper warns; the visibility method compacts fine.
     fn fragmented_bus(n: usize) -> Vec<(Layer, Rect)> {
         (0..n as i64)
-            .map(|k| (Layer::Diffusion, Rect::from_coords(4 * k, 0, 4 * (k + 1), 4)))
+            .map(|k| {
+                (
+                    Layer::Diffusion,
+                    Rect::from_coords(4 * k, 0, 4 * (k + 1), 4),
+                )
+            })
             .collect()
     }
 
@@ -217,8 +246,8 @@ mod tests {
         let boxes = fragmented_bus(n);
         let r = rules();
 
-        let (band, _) = generate(&boxes, &r, Method::Band);
-        let (vis, vv) = generate(&boxes, &r, Method::Visibility);
+        let (band, _) = generate(&boxes, &r, Method::Band, Axis::X);
+        let (vis, vv) = generate(&boxes, &r, Method::Visibility, Axis::X);
         assert!(band.constraints().len() > vis.constraints().len());
 
         // Visibility: the bus survives at its natural length.
@@ -242,10 +271,13 @@ mod tests {
             (Layer::Poly, Rect::from_coords(20, 0, 24, 10)),
         ];
         let r = rules();
-        let (vis, _) = generate(&boxes, &r, Method::Visibility);
-        let (band, _) = generate(&boxes, &r, Method::Band);
+        let (vis, _) = generate(&boxes, &r, Method::Visibility, Axis::X);
+        let (band, _) = generate(&boxes, &r, Method::Band, Axis::X);
         let spacing_constraints = |s: &ConstraintSystem| {
-            s.constraints().iter().filter(|c| c.weight > 0 && c.pitch.is_none()).count()
+            s.constraints()
+                .iter()
+                .filter(|c| c.weight > 0 && c.pitch.is_none())
+                .count()
         };
         // Band has the 0↔2 spacing; visibility does not.
         assert!(spacing_constraints(&band) > spacing_constraints(&vis));
@@ -253,7 +285,7 @@ mod tests {
 
     #[test]
     fn partially_hidden_edge_still_constrained() {
-        // Fig 6.6: the middle box only covers part of the shared y-range,
+        // Fig 6.6: the middle box only covers part of the shared range,
         // so at scan position y₂ the edges see each other — a constraint
         // is required even under visibility.
         let boxes = vec![
@@ -262,7 +294,7 @@ mod tests {
             (Layer::Poly, Rect::from_coords(30, 0, 34, 20)),
         ];
         let r = rules();
-        let (vis, vars) = generate(&boxes, &r, Method::Visibility);
+        let (vis, vars) = generate(&boxes, &r, Method::Visibility, Axis::X);
         let has = vis
             .constraints()
             .iter()
@@ -277,18 +309,18 @@ mod tests {
             (Layer::Metal1, Rect::from_coords(0, 0, 6, 10)),
             (Layer::Poly, Rect::from_coords(10, 0, 14, 10)),
         ];
-        let (sys, _) = generate(&boxes, &rules(), Method::Visibility);
+        let (sys, _) = generate(&boxes, &rules(), Method::Visibility, Axis::X);
         // Only the 4 width constraints (2 per box).
         assert_eq!(sys.constraints().len(), 4);
     }
 
     #[test]
-    fn no_y_overlap_no_constraint() {
+    fn no_across_overlap_no_constraint() {
         let boxes = vec![
             (Layer::Poly, Rect::from_coords(0, 0, 4, 10)),
             (Layer::Poly, Rect::from_coords(10, 20, 14, 30)),
         ];
-        let (sys, _) = generate(&boxes, &rules(), Method::Band);
+        let (sys, _) = generate(&boxes, &rules(), Method::Band, Axis::X);
         assert_eq!(sys.constraints().len(), 4);
     }
 
@@ -302,7 +334,7 @@ mod tests {
             (Layer::Metal1, Rect::from_coords(60, 0, 70, 6)),
         ];
         let r = rules();
-        let (sys, vars) = generate(&boxes, &r, Method::Visibility);
+        let (sys, vars) = generate(&boxes, &r, Method::Visibility, Axis::X);
         let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
         // Boxes 0 and 1 stay rigidly attached (overlap preserved).
         assert_eq!(
@@ -313,10 +345,7 @@ mod tests {
         // Box 2 pulled in to min spacing from the nearer of the two
         // connected boxes.
         let spacing = r.min_spacing(Layer::Metal1, Layer::Metal1).unwrap();
-        let expect = sol
-            .position(vars[0].right)
-            .max(sol.position(vars[1].right))
-            + spacing;
+        let expect = sol.position(vars[0].right).max(sol.position(vars[1].right)) + spacing;
         assert_eq!(sol.position(vars[2].left), expect);
         // No violations under re-check.
         assert!(sys.violations(&sol.positions_vec(), &[]).is_empty());
@@ -328,9 +357,47 @@ mod tests {
             (Layer::Diffusion, Rect::from_coords(5, 0, 17, 8)),
             (Layer::Diffusion, Rect::from_coords(40, 2, 49, 6)),
         ];
-        let (sys, vars) = generate(&boxes, &rules(), Method::Visibility);
+        let (sys, vars) = generate(&boxes, &rules(), Method::Visibility, Axis::X);
         let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
         assert_eq!(sol.position(vars[0].right) - sol.position(vars[0].left), 12);
         assert_eq!(sol.position(vars[1].right) - sol.position(vars[1].left), 9);
+    }
+
+    #[test]
+    fn y_sweep_equals_x_sweep_on_transposed_geometry() {
+        // The defining property of the axis-generic generator: sweeping Y
+        // over boxes is the same system as sweeping X over the transposed
+        // boxes (up to the axis tag).
+        let boxes = vec![
+            (Layer::Metal1, Rect::from_coords(0, 0, 20, 6)),
+            (Layer::Metal1, Rect::from_coords(0, 40, 20, 46)),
+            (Layer::Poly, Rect::from_coords(30, 2, 34, 50)),
+        ];
+        let transposed: Vec<(Layer, Rect)> =
+            boxes.iter().map(|&(l, r)| (l, r.transpose())).collect();
+        let r = rules();
+        for method in [Method::Band, Method::Visibility] {
+            let (sys_y, _) = generate(&boxes, &r, method, Axis::Y);
+            let (sys_xt, _) = generate(&transposed, &r, method, Axis::X);
+            assert_eq!(sys_y.axis(), Axis::Y);
+            assert_eq!(sys_y.constraints(), sys_xt.constraints());
+            assert_eq!(sys_y.num_vars(), sys_xt.num_vars());
+        }
+    }
+
+    #[test]
+    fn y_sweep_pulls_rows_together() {
+        let boxes = vec![
+            (Layer::Metal1, Rect::from_coords(0, 0, 20, 6)),
+            (Layer::Metal1, Rect::from_coords(0, 40, 20, 46)), // far above: slack
+        ];
+        let r = rules();
+        let (sys, vars) = generate(&boxes, &r, Method::Visibility, Axis::Y);
+        let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
+        let spacing = r.min_spacing(Layer::Metal1, Layer::Metal1).unwrap();
+        assert_eq!(
+            sol.position(vars[1].left) - sol.position(vars[0].right),
+            spacing
+        );
     }
 }

@@ -20,12 +20,15 @@ pub enum Sense {
     Eq,
 }
 
+/// One LP row: sparse coefficients, comparison sense, right-hand side.
+type Row = (Vec<(usize, f64)>, Sense, f64);
+
 /// A linear program: minimize `objective · z` subject to rows, `z ≥ 0`.
 #[derive(Debug, Clone, Default)]
 pub struct Lp {
     n: usize,
     objective: Vec<f64>,
-    rows: Vec<(Vec<(usize, f64)>, Sense, f64)>,
+    rows: Vec<Row>,
 }
 
 /// LP failure modes.
@@ -60,7 +63,11 @@ impl Lp {
     /// Panics if the objective length differs from `n`.
     pub fn new(n: usize, objective: Vec<f64>) -> Lp {
         assert_eq!(objective.len(), n, "objective length mismatch");
-        Lp { n, objective, rows: Vec::new() }
+        Lp {
+            n,
+            objective,
+            rows: Vec::new(),
+        }
     }
 
     /// Adds a constraint row given as sparse `(variable, coefficient)`
@@ -82,6 +89,9 @@ impl Lp {
     ///
     /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
     /// [`LpError::Stalled`].
+    // The dense-tableau loops index several parallel arrays at once;
+    // iterator rewrites would obscure the pivoting arithmetic.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self) -> Result<Vec<f64>, LpError> {
         let m = self.rows.len();
         if m == 0 {

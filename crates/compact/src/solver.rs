@@ -48,8 +48,9 @@ impl Solution {
 /// Edge processing order for the relaxation loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EdgeOrder {
-    /// Constraints in insertion order.
-    Unsorted,
+    /// Constraints in insertion (arbitrary) order — the worst case the
+    /// paper contrasts against its preliminary sort.
+    Arbitrary,
     /// Constraints sorted by the initial abscissa of their `from`
     /// variable — the paper's preliminary sort.
     Sorted,
@@ -64,7 +65,11 @@ pub struct Infeasible {
 
 impl std::fmt::Display for Infeasible {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "constraint system infeasible (positive cycle) after {} passes", self.passes)
+        write!(
+            f,
+            "constraint system infeasible (positive cycle) after {} passes",
+            self.passes
+        )
     }
 }
 
@@ -100,7 +105,10 @@ pub fn solve(sys: &ConstraintSystem, order: EdgeOrder) -> Result<Solution, Infea
             }
         }
         if !changed {
-            return Ok(Solution { positions: x, passes });
+            return Ok(Solution {
+                positions: x,
+                passes,
+            });
         }
         if passes > n + 1 {
             return Err(Infeasible { passes });
@@ -168,10 +176,15 @@ pub fn solve_balanced(sys: &ConstraintSystem) -> Result<Solution, Infeasible> {
             break;
         }
         if repair_passes > n + 1 {
-            return Err(Infeasible { passes: repair_passes });
+            return Err(Infeasible {
+                passes: repair_passes,
+            });
         }
     }
-    Ok(Solution { positions: x, passes: earliest.passes + passes + repair_passes })
+    Ok(Solution {
+        positions: x,
+        passes: earliest.passes + passes + repair_passes,
+    })
 }
 
 #[cfg(test)]
@@ -213,7 +226,7 @@ mod tests {
         for k in (1..100).rev() {
             s2.require(vars2[k - 1], vars2[k], 3);
         }
-        let unsorted = solve(&s2, EdgeOrder::Unsorted).unwrap();
+        let unsorted = solve(&s2, EdgeOrder::Arbitrary).unwrap();
         let sorted2 = solve(&s2, EdgeOrder::Sorted).unwrap();
         assert_eq!(sorted2.passes, 2);
         assert!(unsorted.passes > 50, "got {}", unsorted.passes);
@@ -290,7 +303,7 @@ mod tests {
     #[test]
     fn empty_system() {
         let s = ConstraintSystem::new();
-        let sol = solve(&s, EdgeOrder::Unsorted).unwrap();
+        let sol = solve(&s, EdgeOrder::Arbitrary).unwrap();
         assert_eq!(sol.extent(), 0);
         assert_eq!(sol.passes, 1);
     }

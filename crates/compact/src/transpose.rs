@@ -1,18 +1,24 @@
-//! Y-direction compaction by transposition.
+//! Deprecated y-compaction-by-transposition shims.
 //!
-//! The paper restricts discussion to one-dimensional x compaction ("it is
-//! assumed throughout this section that compaction is being performed in
-//! the x dimension"); the y pass is the same machinery on the transposed
-//! layout. Classic two-pass 1-D compaction alternates the two.
+//! The seed implemented the y pass the way the paper describes it: copy
+//! the whole layout across the `x = y` diagonal, compact in x, copy it
+//! back — an O(boxes) rewrite per sweep. The axis-generic
+//! [`crate::engine`] makes the copies unnecessary: [`Axis::Y`] sweeps
+//! run directly on the original geometry. These wrappers remain only so
+//! downstream code migrates at its own pace; new code should call
+//! [`crate::engine::compact_axis`] / [`crate::engine::compact_xy`].
 
-use crate::scanline::{generate, BoxVars, Method};
-use crate::solver::{solve, EdgeOrder, Infeasible};
-use rsg_geom::Rect;
+use crate::backend::{BellmanFord, SolveError};
+use crate::engine;
+use crate::solver::Infeasible;
+use rsg_geom::{Axis, Rect};
 use rsg_layout::{DesignRules, Layer};
 
-/// Reflects a rect across the x = y diagonal.
-fn transpose_rect(r: Rect) -> Rect {
-    Rect::from_coords(r.lo().y, r.lo().x, r.hi().y, r.hi().x)
+fn downgrade(e: SolveError) -> Infeasible {
+    // The engine's pitch-free systems can only fail as infeasible; keep
+    // the old error type for source compatibility.
+    debug_assert!(matches!(e, SolveError::Infeasible(_)));
+    Infeasible { passes: 0 }
 }
 
 /// Compacts a flat box list in x (left-packing); returns the new boxes.
@@ -20,28 +26,26 @@ fn transpose_rect(r: Rect) -> Rect {
 /// # Errors
 ///
 /// Propagates [`Infeasible`] from the solver.
+#[deprecated(note = "use rsg_compact::engine::compact_axis with Axis::X")]
 pub fn compact_x(
     boxes: &[(Layer, Rect)],
     rules: &DesignRules,
 ) -> Result<Vec<(Layer, Rect)>, Infeasible> {
-    let (sys, vars) = generate(boxes, rules, Method::Visibility);
-    let sol = solve(&sys, EdgeOrder::Sorted)?;
-    Ok(apply_x(boxes, &vars, &sol.positions_vec()))
+    engine::compact_axis(boxes, rules, Axis::X, &BellmanFord::SORTED).map_err(downgrade)
 }
 
-/// Compacts in y by transposing, compacting in x, and transposing back.
+/// Compacts in y — formerly by transposing, now a direct [`Axis::Y`]
+/// sweep with no layout copy.
 ///
 /// # Errors
 ///
 /// Propagates [`Infeasible`] from the solver.
+#[deprecated(note = "use rsg_compact::engine::compact_axis with Axis::Y")]
 pub fn compact_y(
     boxes: &[(Layer, Rect)],
     rules: &DesignRules,
 ) -> Result<Vec<(Layer, Rect)>, Infeasible> {
-    let flipped: Vec<(Layer, Rect)> =
-        boxes.iter().map(|&(l, r)| (l, transpose_rect(r))).collect();
-    let compacted = compact_x(&flipped, rules)?;
-    Ok(compacted.into_iter().map(|(l, r)| (l, transpose_rect(r))).collect())
+    engine::compact_axis(boxes, rules, Axis::Y, &BellmanFord::SORTED).map_err(downgrade)
 }
 
 /// Alternating x/y compaction until a fixpoint (or `max_passes`).
@@ -50,104 +54,40 @@ pub fn compact_y(
 /// # Errors
 ///
 /// Propagates [`Infeasible`] from the solver.
+#[deprecated(note = "use rsg_compact::engine::compact_xy")]
 pub fn compact_xy(
     boxes: &[(Layer, Rect)],
     rules: &DesignRules,
     max_passes: usize,
 ) -> Result<(Vec<(Layer, Rect)>, usize), Infeasible> {
-    let mut cur = boxes.to_vec();
-    for pass in 0..max_passes {
-        let next_x = compact_x(&cur, rules)?;
-        let next = compact_y(&next_x, rules)?;
-        if next == cur {
-            return Ok((cur, pass));
-        }
-        cur = next;
-    }
-    Ok((cur, max_passes))
-}
-
-fn apply_x(boxes: &[(Layer, Rect)], vars: &[BoxVars], pos: &[i64]) -> Vec<(Layer, Rect)> {
-    boxes
-        .iter()
-        .zip(vars)
-        .map(|(&(l, r), bv)| {
-            (
-                l,
-                Rect::from_coords(
-                    pos[bv.left.index()],
-                    r.lo().y,
-                    pos[bv.right.index()],
-                    r.hi().y,
-                ),
-            )
-        })
-        .collect()
+    let out =
+        engine::compact_xy(boxes, rules, &BellmanFord::SORTED, max_passes).map_err(downgrade)?;
+    Ok((out.boxes, out.passes))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use rsg_layout::{drc, Technology};
+    use rsg_layout::Technology;
 
     fn rules() -> DesignRules {
         Technology::mead_conway(2).rules.clone()
     }
 
     #[test]
-    fn transpose_is_involution() {
-        let r = Rect::from_coords(1, 2, 5, 9);
-        assert_eq!(transpose_rect(transpose_rect(r)), r);
-        assert_eq!(transpose_rect(r), Rect::from_coords(2, 1, 9, 5));
-    }
-
-    #[test]
-    fn y_compaction_pulls_rows_together() {
+    fn shims_delegate_to_engine() {
         let boxes = vec![
             (Layer::Metal1, Rect::from_coords(0, 0, 20, 6)),
-            (Layer::Metal1, Rect::from_coords(0, 40, 20, 46)), // 34 above: slack
-        ];
-        let out = compact_y(&boxes, &rules()).unwrap();
-        // Pulled down to 3λ = 6 metal spacing.
-        assert_eq!(out[1].1.lo().y - out[0].1.hi().y, 6);
-        // x untouched.
-        assert_eq!(out[0].1.lo().x, 0);
-        assert_eq!(out[1].1.width(), 20);
-    }
-
-    #[test]
-    fn alternating_reaches_a_fixpoint() {
-        let boxes = vec![
-            (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
-            (Layer::Poly, Rect::from_coords(30, 0, 34, 20)),
-            (Layer::Poly, Rect::from_coords(0, 50, 4, 70)),
+            (Layer::Metal1, Rect::from_coords(0, 40, 20, 46)),
         ];
         let r = rules();
-        let (out, passes) = compact_xy(&boxes, &r, 10).unwrap();
-        assert!(passes < 10, "did not converge");
-        // Result is stable and clean.
-        let again = compact_x(&out, &r).unwrap();
-        assert_eq!(again, out);
-        assert!(drc::check(&out, &r).is_empty());
-    }
+        let via_shim = compact_y(&boxes, &r).unwrap();
+        let via_engine = engine::compact_axis(&boxes, &r, Axis::Y, &BellmanFord::SORTED).unwrap();
+        assert_eq!(via_shim, via_engine);
 
-    #[test]
-    fn xy_area_never_grows() {
-        let boxes = vec![
-            (Layer::Diffusion, Rect::from_coords(0, 0, 8, 8)),
-            (Layer::Diffusion, Rect::from_coords(40, 0, 48, 8)),
-            (Layer::Diffusion, Rect::from_coords(0, 40, 8, 48)),
-            (Layer::Diffusion, Rect::from_coords(40, 40, 48, 48)),
-        ];
-        let (out, _) = compact_xy(&boxes, &rules(), 5).unwrap();
-        let extent = |bs: &[(Layer, Rect)]| {
-            let bb: rsg_geom::BoundingBox = bs.iter().map(|&(_, r)| r).collect();
-            let r = bb.rect().unwrap();
-            (r.width(), r.height())
-        };
-        let (w0, h0) = extent(&boxes);
-        let (w1, h1) = extent(&out);
-        assert!(w1 <= w0 && h1 <= h0, "({w1},{h1}) vs ({w0},{h0})");
-        assert!(w1 * h1 < w0 * h0, "area should shrink on this input");
+        let (xy_boxes, _) = compact_xy(&boxes, &r, 10).unwrap();
+        let engine_xy = engine::compact_xy(&boxes, &r, &BellmanFord::SORTED, 10).unwrap();
+        assert_eq!(xy_boxes, engine_xy.boxes);
     }
 }

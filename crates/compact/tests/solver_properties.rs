@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use rsg_compact::scanline::{generate, Method};
 use rsg_compact::solver::{solve, solve_balanced, EdgeOrder};
 use rsg_compact::ConstraintSystem;
-use rsg_geom::{Point, Rect};
+use rsg_geom::{Axis, Point, Rect};
 use rsg_layout::{drc, Layer, Technology};
 
 /// Random feasible difference-constraint systems: chains plus random
@@ -56,7 +56,7 @@ proptest! {
     #[test]
     fn order_invariance(sys in arb_system()) {
         let a = solve(&sys, EdgeOrder::Sorted).unwrap();
-        let b = solve(&sys, EdgeOrder::Unsorted).unwrap();
+        let b = solve(&sys, EdgeOrder::Arbitrary).unwrap();
         prop_assert_eq!(a.positions_vec(), b.positions_vec());
     }
 
@@ -90,7 +90,7 @@ proptest! {
             })
             .collect();
         let tech = Technology::mead_conway(1);
-        let (sys, vars) = generate(&boxes, &tech.rules, Method::Visibility);
+        let (sys, vars) = generate(&boxes, &tech.rules, Method::Visibility, Axis::X);
         let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
         let compacted: Vec<(Layer, Rect)> = boxes
             .iter()
@@ -127,7 +127,7 @@ proptest! {
             .map(|&x| (Layer::Metal1, Rect::from_origin_size(Point::new(x * 3, 0), 6, 6)))
             .collect();
         let tech = Technology::mead_conway(2);
-        let (sys, vars) = generate(&boxes, &tech.rules, Method::Visibility);
+        let (sys, vars) = generate(&boxes, &tech.rules, Method::Visibility, Axis::X);
         let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
         let orig_extent = boxes.iter().map(|(_, r)| r.hi().x).max().unwrap()
             - boxes.iter().map(|(_, r)| r.lo().x).min().unwrap();

@@ -58,10 +58,18 @@ pub enum RsgError {
 impl fmt::Display for RsgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RsgError::MissingInterface { cell_a, cell_b, index } => {
+            RsgError::MissingInterface {
+                cell_a,
+                cell_b,
+                index,
+            } => {
                 write!(f, "no interface #{index} between `{cell_a}` and `{cell_b}`")
             }
-            RsgError::ConflictingInterface { cell_a, cell_b, index } => {
+            RsgError::ConflictingInterface {
+                cell_a,
+                cell_b,
+                index,
+            } => {
                 write!(f, "interface #{index} between `{cell_a}` and `{cell_b}` already loaded with different data")
             }
             RsgError::UnknownNode(id) => write!(f, "unknown node #{id}"),
@@ -69,10 +77,16 @@ impl fmt::Display for RsgError {
                 write!(f, "node #{id} was already consumed by an earlier mk_cell")
             }
             RsgError::NodeNotPlaced(id) => {
-                write!(f, "node #{id} has no placement yet (mk_cell its component first)")
+                write!(
+                    f,
+                    "node #{id} has no placement yet (mk_cell its component first)"
+                )
             }
             RsgError::InconsistentCycle { node } => {
-                write!(f, "graph cycle implies two different placements for node #{node}")
+                write!(
+                    f,
+                    "graph cycle implies two different placements for node #{node}"
+                )
             }
             RsgError::SelfEdge(id) => write!(f, "cannot connect node #{id} to itself"),
             RsgError::AmbiguousLabel { cell, label, hits } => {
@@ -108,14 +122,26 @@ mod tests {
     #[test]
     fn display_covers_variants() {
         let cases: Vec<RsgError> = vec![
-            RsgError::MissingInterface { cell_a: "a".into(), cell_b: "b".into(), index: 1 },
-            RsgError::ConflictingInterface { cell_a: "a".into(), cell_b: "b".into(), index: 2 },
+            RsgError::MissingInterface {
+                cell_a: "a".into(),
+                cell_b: "b".into(),
+                index: 1,
+            },
+            RsgError::ConflictingInterface {
+                cell_a: "a".into(),
+                cell_b: "b".into(),
+                index: 2,
+            },
             RsgError::UnknownNode(3),
             RsgError::NodeAlreadyPlaced(4),
             RsgError::NodeNotPlaced(5),
             RsgError::InconsistentCycle { node: 6 },
             RsgError::SelfEdge(7),
-            RsgError::AmbiguousLabel { cell: "c".into(), label: "1".into(), hits: 3 },
+            RsgError::AmbiguousLabel {
+                cell: "c".into(),
+                label: "1".into(),
+                hits: 3,
+            },
             RsgError::Layout(LayoutError::DuplicateCell("x".into())),
         ];
         for c in cases {

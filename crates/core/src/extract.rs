@@ -55,7 +55,9 @@ pub fn extract_interfaces(sample: &CellTable) -> Result<Vec<ExtractedInterface>,
             bboxes.push(deep_bbox(sample, inst)?);
         }
         for (text, at) in def.labels() {
-            let Ok(index) = text.parse::<u32>() else { continue };
+            let Ok(index) = text.parse::<u32>() else {
+                continue;
+            };
             let hits: Vec<usize> = bboxes
                 .iter()
                 .enumerate()
@@ -118,7 +120,10 @@ mod tests {
         let e = found[0];
         assert_eq!(e.index, 1);
         assert_eq!((e.cell_a, e.cell_b), (tile, tile));
-        assert_eq!(e.interface, Interface::new(Vector::new(8, 0), Orientation::NORTH));
+        assert_eq!(
+            e.interface,
+            Interface::new(Vector::new(8, 0), Orientation::NORTH)
+        );
     }
 
     #[test]
@@ -134,7 +139,10 @@ mod tests {
         t.insert(pair).unwrap();
 
         let found = extract_interfaces(&t).unwrap();
-        assert_eq!(found[0].interface, Interface::new(Vector::new(-8, 0), Orientation::NORTH));
+        assert_eq!(
+            found[0].interface,
+            Interface::new(Vector::new(-8, 0), Orientation::NORTH)
+        );
     }
 
     #[test]
@@ -192,7 +200,10 @@ mod tests {
 
         let e = extract_interfaces(&t).unwrap()[0];
         assert_eq!(e.index, 4);
-        assert_eq!(e.interface.place_second(call_a.isometry()), call_b.isometry());
+        assert_eq!(
+            e.interface.place_second(call_a.isometry()),
+            call_b.isometry()
+        );
     }
 
     #[test]

@@ -46,12 +46,17 @@ pub struct Interface {
 
 impl Interface {
     /// The trivial interface (B exactly on top of A, same orientation).
-    pub const IDENTITY: Interface =
-        Interface { vector: Vector::ZERO, orientation: Orientation::NORTH };
+    pub const IDENTITY: Interface = Interface {
+        vector: Vector::ZERO,
+        orientation: Orientation::NORTH,
+    };
 
     /// Creates an interface from its components.
     pub const fn new(vector: Vector, orientation: Orientation) -> Interface {
-        Interface { vector, orientation }
+        Interface {
+            vector,
+            orientation,
+        }
     }
 
     /// Computes `I_ab` from the calling parameters of A and B in a common
@@ -62,12 +67,18 @@ impl Interface {
 
     /// The interface as a relative isometry `call_a⁻¹ ∘ call_b`.
     pub const fn to_isometry(self) -> Isometry {
-        Isometry { orientation: self.orientation, translation: self.vector }
+        Isometry {
+            orientation: self.orientation,
+            translation: self.vector,
+        }
     }
 
     /// Builds an interface from a relative isometry.
     pub const fn from_isometry(iso: Isometry) -> Interface {
-        Interface { vector: iso.translation, orientation: iso.orientation }
+        Interface {
+            vector: iso.translation,
+            orientation: iso.orientation,
+        }
     }
 
     /// `I_ba = I_ab⁻¹ = (−O_ab⁻¹ V_ab, O_ab⁻¹)` (paper eqs. 2.3–2.4).
@@ -104,7 +115,9 @@ impl Interface {
     /// ```
     pub fn inherit(self, call_a_in_c: Isometry, call_b_in_d: Isometry) -> Interface {
         Interface::from_isometry(
-            call_a_in_c.compose(self.to_isometry()).compose(call_b_in_d.inverse()),
+            call_a_in_c
+                .compose(self.to_isometry())
+                .compose(call_b_in_d.inverse()),
         )
     }
 }
@@ -209,7 +222,10 @@ mod tests {
         // L_b − L_a = (0, 8); deskewed by South: (0, −8).
         assert_eq!(iface.vector, Vector::new(0, -8));
         // O_ab = South⁻¹ ∘ West = South ∘ West = East.
-        assert_eq!(iface.orientation, Orientation::SOUTH.compose(Orientation::WEST));
+        assert_eq!(
+            iface.orientation,
+            Orientation::SOUTH.compose(Orientation::WEST)
+        );
         assert_eq!(iface.orientation, Orientation::EAST);
     }
 
@@ -221,8 +237,10 @@ mod tests {
         //    translation of call_a_in_c ∘ I_ab ∘ call_b_in_d⁻¹.)
         for call_ac in isometries().into_iter().step_by(2) {
             for call_bd in isometries().into_iter().step_by(3) {
-                for i_ab in
-                    isometries().into_iter().step_by(5).map(Interface::from_isometry)
+                for i_ab in isometries()
+                    .into_iter()
+                    .step_by(5)
+                    .map(Interface::from_isometry)
                 {
                     let i_cd = i_ab.inherit(call_ac, call_bd);
                     let o_cd = call_ac
@@ -247,7 +265,10 @@ mod tests {
         // inherited I_cd, then A (inside C) and B (inside D) sit in I_ab.
         for call_ac in isometries().into_iter().step_by(3) {
             for call_bd in isometries().into_iter().step_by(4) {
-                for i_ab in isometries().into_iter().step_by(7).map(Interface::from_isometry)
+                for i_ab in isometries()
+                    .into_iter()
+                    .step_by(7)
+                    .map(Interface::from_isometry)
                 {
                     let i_cd = i_ab.inherit(call_ac, call_bd);
                     for call_c in isometries().into_iter().step_by(5) {

@@ -84,7 +84,11 @@ impl Rsg {
         for e in &extracted {
             interfaces.declare(&sample, e.cell_a, e.cell_b, e.index, e.interface)?;
         }
-        Ok(Rsg { cells: sample, interfaces, nodes: Vec::new() })
+        Ok(Rsg {
+            cells: sample,
+            interfaces,
+            nodes: Vec::new(),
+        })
     }
 
     /// The cell definition table.
@@ -122,7 +126,12 @@ impl Rsg {
     /// given celltype with an empty edge list and unbound placement.
     pub fn mk_instance(&mut self, cell: CellId) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { cell, edges: Vec::new(), placement: None, owner: None });
+        self.nodes.push(Node {
+            cell,
+            edges: Vec::new(),
+            placement: None,
+            owner: None,
+        });
         id
     }
 
@@ -140,8 +149,16 @@ impl Rsg {
         }
         self.check_node(a)?;
         self.check_node(b)?;
-        self.nodes[a.0 as usize].edges.push(Edge { other: b, index, outgoing: true });
-        self.nodes[b.0 as usize].edges.push(Edge { other: a, index, outgoing: false });
+        self.nodes[a.0 as usize].edges.push(Edge {
+            other: b,
+            index,
+            outgoing: true,
+        });
+        self.nodes[b.0 as usize].edges.push(Edge {
+            other: a,
+            index,
+            outgoing: false,
+        });
         Ok(())
     }
 
@@ -162,7 +179,9 @@ impl Rsg {
     /// Fails on unknown or not-yet-placed nodes.
     pub fn node_placement(&self, node: NodeId) -> Result<Instance, RsgError> {
         self.check_node(node)?;
-        self.nodes[node.0 as usize].placement.ok_or(RsgError::NodeNotPlaced(node.0))
+        self.nodes[node.0 as usize]
+            .placement
+            .ok_or(RsgError::NodeNotPlaced(node.0))
     }
 
     /// `mk_cell` (paper §4.4.3): expands the connected component of `root`
@@ -201,10 +220,8 @@ impl Rsg {
         // Phase 1: compute placements for the whole component.
         let mut placed: Vec<(NodeId, Isometry)> = Vec::new();
         let mut queue = VecDeque::new();
-        self.nodes[root.0 as usize].placement = Some(instance_at(
-            self.nodes[root.0 as usize].cell,
-            root_call,
-        ));
+        self.nodes[root.0 as usize].placement =
+            Some(instance_at(self.nodes[root.0 as usize].cell, root_call));
         placed.push((root, root_call));
         queue.push_back((root, root_call));
 
@@ -225,8 +242,7 @@ impl Rsg {
                         if node_v.owner.is_some() {
                             return Err(RsgError::NodeAlreadyPlaced(v.0));
                         }
-                        self.nodes[v.0 as usize].placement =
-                            Some(instance_at(cell_v, call_v));
+                        self.nodes[v.0 as usize].placement = Some(instance_at(cell_v, call_v));
                         placed.push((v, call_v));
                         queue.push_back((v, call_v));
                     }
@@ -295,8 +311,16 @@ impl Rsg {
     ) -> Result<(), RsgError> {
         let inst_a = self.node_placement(node_a)?;
         let inst_b = self.node_placement(node_b)?;
-        debug_assert_eq!(self.nodes[node_a.0 as usize].owner, Some(c), "node_a not owned by c");
-        debug_assert_eq!(self.nodes[node_b.0 as usize].owner, Some(d), "node_b not owned by d");
+        debug_assert_eq!(
+            self.nodes[node_a.0 as usize].owner,
+            Some(c),
+            "node_a not owned by c"
+        );
+        debug_assert_eq!(
+            self.nodes[node_b.0 as usize].owner,
+            Some(d),
+            "node_b not owned by d"
+        );
         let i_ab = self
             .interfaces
             .resolve(inst_a.cell, inst_b.cell, existing_index, true)
@@ -371,7 +395,10 @@ mod tests {
         assert_eq!(placements.len(), 2);
         assert_eq!(placements[0].point_of_call, Point::new(0, 0));
         assert_eq!(placements[1].point_of_call, Point::new(10, 0));
-        assert_eq!(rsg.node_placement(nb).unwrap().point_of_call, Point::new(10, 0));
+        assert_eq!(
+            rsg.node_placement(nb).unwrap().point_of_call,
+            Point::new(10, 0)
+        );
     }
 
     #[test]
@@ -409,12 +436,18 @@ mod tests {
         let id2 = rsg2.mk_cell("row", m2).unwrap();
         let def2 = rsg2.cells().require(id2).unwrap();
         // m2 at origin → m1 must sit 10 *west*, preserving the relation.
-        assert_eq!(rsg2.node_placement(m1).unwrap().point_of_call, Point::new(-10, 0));
+        assert_eq!(
+            rsg2.node_placement(m1).unwrap().point_of_call,
+            Point::new(-10, 0)
+        );
         let iface = Interface::between(
             rsg2.node_placement(m1).unwrap().isometry(),
             rsg2.node_placement(m2).unwrap().isometry(),
         );
-        assert_eq!(iface, Interface::new(Vector::new(10, 0), Orientation::NORTH));
+        assert_eq!(
+            iface,
+            Interface::new(Vector::new(10, 0), Orientation::NORTH)
+        );
         let _ = def2;
     }
 
@@ -457,7 +490,10 @@ mod tests {
         let err = rsg2.mk_cell("tri", m1).unwrap_err();
         assert!(matches!(err, RsgError::InconsistentCycle { .. }));
         // Rollback: nodes are reusable after the failure.
-        assert!(matches!(rsg2.node_placement(m1), Err(RsgError::NodeNotPlaced(_))));
+        assert!(matches!(
+            rsg2.node_placement(m1),
+            Err(RsgError::NodeNotPlaced(_))
+        ));
     }
 
     #[test]
@@ -468,7 +504,11 @@ mod tests {
         rsg.connect(na, nb, 99).unwrap();
         let err = rsg.mk_cell("x", na).unwrap_err();
         match err {
-            RsgError::MissingInterface { cell_a, cell_b, index } => {
+            RsgError::MissingInterface {
+                cell_a,
+                cell_b,
+                index,
+            } => {
                 assert_eq!((cell_a.as_str(), cell_b.as_str(), index), ("a", "b", 99));
             }
             other => panic!("unexpected {other:?}"),
@@ -530,7 +570,14 @@ mod tests {
         let n = rsg.mk_instance(a);
         let call = Isometry::new(Orientation::SOUTH, Vector::new(7, 7));
         let id = rsg.mk_cell_at("shifted", n, call).unwrap();
-        let inst = rsg.cells().require(id).unwrap().instances().next().copied().unwrap();
+        let inst = rsg
+            .cells()
+            .require(id)
+            .unwrap()
+            .instances()
+            .next()
+            .copied()
+            .unwrap();
         assert_eq!(inst.point_of_call, Point::new(7, 7));
         assert_eq!(inst.orientation, Orientation::SOUTH);
     }
@@ -539,7 +586,13 @@ mod tests {
     fn unknown_node_errors() {
         let (mut rsg, _, _) = setup();
         let bogus = NodeId(999);
-        assert!(matches!(rsg.node_cell(bogus), Err(RsgError::UnknownNode(999))));
-        assert!(matches!(rsg.mk_cell("x", bogus), Err(RsgError::UnknownNode(999))));
+        assert!(matches!(
+            rsg.node_cell(bogus),
+            Err(RsgError::UnknownNode(999))
+        ));
+        assert!(matches!(
+            rsg.mk_cell("x", bogus),
+            Err(RsgError::UnknownNode(999))
+        ));
     }
 }

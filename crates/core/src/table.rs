@@ -90,7 +90,11 @@ impl InterfaceTable {
     ) -> Option<Interface> {
         if from == to {
             let canonical = self.map.get(&(from, to, index))?;
-            Some(if along_edge_direction { *canonical } else { canonical.inverse() })
+            Some(if along_edge_direction {
+                *canonical
+            } else {
+                canonical.inverse()
+            })
         } else {
             self.map.get(&(from, to, index)).copied()
         }
@@ -118,8 +122,12 @@ impl InterfaceTable {
 
     /// All interface indices loaded between a pair of cells, sorted.
     pub fn indices_between(&self, a: CellId, b: CellId) -> Vec<u32> {
-        let mut v: Vec<u32> =
-            self.map.keys().filter(|(ka, kb, _)| *ka == a && *kb == b).map(|k| k.2).collect();
+        let mut v: Vec<u32> = self
+            .map
+            .keys()
+            .filter(|(ka, kb, _)| *ka == a && *kb == b)
+            .map(|k| k.2)
+            .collect();
         v.sort_unstable();
         v
     }
@@ -163,15 +171,36 @@ mod tests {
     fn conflicting_declaration_rejected() {
         let (cells, a, b) = two_cells();
         let mut t = InterfaceTable::new();
-        t.declare(&cells, a, b, 1, Interface::new(Vector::new(10, 0), Orientation::NORTH))
-            .unwrap();
+        t.declare(
+            &cells,
+            a,
+            b,
+            1,
+            Interface::new(Vector::new(10, 0), Orientation::NORTH),
+        )
+        .unwrap();
         let err = t
-            .declare(&cells, a, b, 1, Interface::new(Vector::new(9, 0), Orientation::NORTH))
+            .declare(
+                &cells,
+                a,
+                b,
+                1,
+                Interface::new(Vector::new(9, 0), Orientation::NORTH),
+            )
             .unwrap_err();
-        assert!(matches!(err, RsgError::ConflictingInterface { index: 1, .. }));
+        assert!(matches!(
+            err,
+            RsgError::ConflictingInterface { index: 1, .. }
+        ));
         // Conflicts are also caught via the reverse entry.
         let err2 = t
-            .declare(&cells, b, a, 1, Interface::new(Vector::new(3, 3), Orientation::EAST))
+            .declare(
+                &cells,
+                b,
+                a,
+                1,
+                Interface::new(Vector::new(3, 3), Orientation::EAST),
+            )
             .unwrap_err();
         assert!(matches!(err2, RsgError::ConflictingInterface { .. }));
     }
@@ -202,10 +231,22 @@ mod tests {
     fn families_of_interfaces() {
         let (cells, a, b) = two_cells();
         let mut t = InterfaceTable::new();
-        t.declare(&cells, a, b, 1, Interface::new(Vector::new(1, 0), Orientation::NORTH))
-            .unwrap();
-        t.declare(&cells, a, b, 2, Interface::new(Vector::new(0, 1), Orientation::SOUTH))
-            .unwrap();
+        t.declare(
+            &cells,
+            a,
+            b,
+            1,
+            Interface::new(Vector::new(1, 0), Orientation::NORTH),
+        )
+        .unwrap();
+        t.declare(
+            &cells,
+            a,
+            b,
+            2,
+            Interface::new(Vector::new(0, 1), Orientation::SOUTH),
+        )
+        .unwrap();
         assert_eq!(t.indices_between(a, b), vec![1, 2]);
         assert_eq!(t.indices_between(b, a), vec![1, 2]);
         assert!(t.get(a, b, 7).is_none());

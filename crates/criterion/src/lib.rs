@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace builds in a hermetic container without registry access,
+//! so the real `criterion` cannot be fetched. This crate implements the
+//! subset of its API used by the `rsg-bench` suite: [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is simple but honest: each benchmark is warmed up, then
+//! timed over enough iterations to fill a fixed budget, and the median
+//! per-iteration time is reported. Set the `BENCH_JSON` environment
+//! variable to a path to additionally append one JSON line per benchmark
+//! (`{"name": ..., "ns_per_iter": ..., "iters": ...}`), which is how
+//! `BENCH_compaction.json` baselines are recorded.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(name: impl Display, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// Just a parameter value.
+    pub fn from_parameter(param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+/// Drives one benchmark's timing loop.
+pub struct Bencher {
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(f());
+            warm_iters += 1;
+        }
+        let est = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+
+        // Measure in ~10 samples of batched iterations; report the median.
+        let batch = ((MEASURE_BUDGET.as_nanos() as f64 / 10.0 / est.max(1.0)) as u64).max(1);
+        let mut samples = Vec::with_capacity(10);
+        let mut total_iters = 0u64;
+        for _ in 0..10 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            total_iters += batch;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.ns_per_iter = samples[samples.len() / 2];
+        self.iters = total_iters;
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Full benchmark path (`group/id` or bare function name).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Total measured iterations.
+    pub iters: u64,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Creates an empty driver.
+    pub fn new() -> Criterion {
+        Criterion::default()
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        self.record(name.to_string(), b);
+    }
+
+    fn record(&mut self, name: String, b: Bencher) {
+        println!("bench: {name:<50} {:>14.1} ns/iter", b.ns_per_iter);
+        self.results.push(Measurement {
+            name,
+            ns_per_iter: b.ns_per_iter,
+            iters: b.iters,
+        });
+    }
+
+    /// Writes results to `$BENCH_JSON` (if set). Called automatically by
+    /// [`criterion_main!`]-generated harnesses.
+    pub fn final_summary(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        else {
+            eprintln!("BENCH_JSON: cannot open {path}");
+            return;
+        };
+        for m in &self.results {
+            let _ = writeln!(
+                f,
+                "{{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+                m.name.replace('"', "'"),
+                m.ns_per_iter,
+                m.iters
+            );
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        let name = format!("{}/{}", self.name, id.id);
+        self.parent.record(name, b);
+    }
+
+    /// Runs one benchmark without input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchId, mut f: F) {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let name = format!("{}/{}", self.name, id.into_bench_id());
+        self.parent.record(name, b);
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Conversion into a benchmark id string (accepts `&str` or [`BenchmarkId`]).
+pub trait IntoBenchId {
+    /// The id as a string.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::new();
+            $($f(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Generates `main` for a bench target (use with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,62 @@
+//! The two sweep axes of two-dimensional compaction.
+//!
+//! The paper restricts its compaction discussion to one dimension ("it is
+//! assumed throughout this section that compaction is being performed in
+//! the x dimension", §6.3) and obtains the y pass by transposing the
+//! layout. [`Axis`] removes the need for that copy: geometry queries are
+//! phrased *along* a chosen axis (the direction in which edges move) and
+//! *across* it (the perpendicular direction, untouched by the sweep), so
+//! one code path serves both sweeps without rewriting coordinates.
+
+use std::fmt;
+
+/// A coordinate axis of the layout plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// The horizontal axis: variables are x-coordinates of vertical edges.
+    X,
+    /// The vertical axis: variables are y-coordinates of horizontal edges.
+    Y,
+}
+
+impl Axis {
+    /// Both axes, in the conventional x-then-y sweep order.
+    pub const BOTH: [Axis; 2] = [Axis::X, Axis::Y];
+
+    /// The perpendicular axis.
+    #[inline]
+    pub const fn other(self) -> Axis {
+        match self {
+            Axis::X => Axis::Y,
+            Axis::Y => Axis::X,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::X => write!(f, "x"),
+            Axis::Y => write!(f, "y"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involutive() {
+        for a in Axis::BOTH {
+            assert_ne!(a.other(), a);
+            assert_eq!(a.other().other(), a);
+        }
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Axis::X.to_string(), "x");
+        assert_eq!(Axis::Y.to_string(), "y");
+    }
+}

@@ -1,6 +1,6 @@
 //! Bounding-box accumulation over collections of geometry.
 
-use crate::{Point, Rect};
+use crate::{Axis, Point, Rect};
 
 /// An accumulating, possibly-empty bounding box.
 ///
@@ -76,6 +76,13 @@ impl BoundingBox {
     pub fn height(self) -> i64 {
         self.rect.map_or(0, Rect::height)
     }
+
+    /// Extent along an axis: [`BoundingBox::width`] for [`Axis::X`],
+    /// [`BoundingBox::height`] for [`Axis::Y`] (0 when empty).
+    #[inline]
+    pub fn extent_along(self, axis: Axis) -> i64 {
+        self.rect.map_or(0, |r| r.extent_along(axis))
+    }
 }
 
 impl FromIterator<Rect> for BoundingBox {
@@ -134,7 +141,10 @@ mod tests {
     #[test]
     fn extend_trait() {
         let mut bb = BoundingBox::new();
-        bb.extend([Rect::from_coords(0, 0, 2, 2), Rect::from_coords(-1, -1, 0, 0)]);
+        bb.extend([
+            Rect::from_coords(0, 0, 2, 2),
+            Rect::from_coords(-1, -1, 0, 0),
+        ]);
         assert_eq!(bb.rect(), Some(Rect::from_coords(-1, -1, 2, 2)));
     }
 }

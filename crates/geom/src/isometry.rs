@@ -37,32 +37,46 @@ pub struct Isometry {
 
 impl Isometry {
     /// The identity isometry.
-    pub const IDENTITY: Isometry =
-        Isometry { orientation: Orientation::NORTH, translation: Vector::ZERO };
+    pub const IDENTITY: Isometry = Isometry {
+        orientation: Orientation::NORTH,
+        translation: Vector::ZERO,
+    };
 
     /// Creates an isometry from its orientation and translation parts.
     #[inline]
     pub const fn new(orientation: Orientation, translation: Vector) -> Isometry {
-        Isometry { orientation, translation }
+        Isometry {
+            orientation,
+            translation,
+        }
     }
 
     /// A pure translation.
     #[inline]
     pub const fn translate(v: Vector) -> Isometry {
-        Isometry { orientation: Orientation::NORTH, translation: v }
+        Isometry {
+            orientation: Orientation::NORTH,
+            translation: v,
+        }
     }
 
     /// A pure orientation about the origin.
     #[inline]
     pub const fn orient(o: Orientation) -> Isometry {
-        Isometry { orientation: o, translation: Vector::ZERO }
+        Isometry {
+            orientation: o,
+            translation: Vector::ZERO,
+        }
     }
 
     /// The isometry of an instance called at `point_of_call` with
     /// `orientation` (paper §2.1 triplet minus the cell pointer).
     #[inline]
     pub fn call(point_of_call: Point, orientation: Orientation) -> Isometry {
-        Isometry { orientation, translation: point_of_call.to_vector() }
+        Isometry {
+            orientation,
+            translation: point_of_call.to_vector(),
+        }
     }
 
     /// Applies the isometry to a point.
@@ -94,7 +108,10 @@ impl Isometry {
     #[inline]
     pub fn inverse(self) -> Isometry {
         let inv = self.orientation.inverse();
-        Isometry { orientation: inv, translation: -(inv.apply_vector(self.translation)) }
+        Isometry {
+            orientation: inv,
+            translation: -(inv.apply_vector(self.translation)),
+        }
     }
 
     /// The point of call (image of the origin).
@@ -115,7 +132,12 @@ mod tests {
     use super::*;
 
     fn probes() -> Vec<Point> {
-        vec![Point::new(0, 0), Point::new(1, 0), Point::new(-3, 7), Point::new(100, -41)]
+        vec![
+            Point::new(0, 0),
+            Point::new(1, 0),
+            Point::new(-3, 7),
+            Point::new(100, -41),
+        ]
     }
 
     fn sample_isometries() -> Vec<Isometry> {

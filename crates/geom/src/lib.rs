@@ -34,12 +34,14 @@
 
 #![deny(missing_docs)]
 
+mod axis;
 mod bbox;
 mod isometry;
 mod orientation;
 mod point;
 mod rect;
 
+pub use axis::Axis;
 pub use bbox::BoundingBox;
 pub use isometry::Isometry;
 pub use orientation::{Orientation, Rotation};

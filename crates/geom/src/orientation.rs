@@ -110,35 +110,83 @@ pub struct Orientation {
 
 impl Orientation {
     /// Identity: the paper's "orientation north".
-    pub const NORTH: Orientation = Orientation { rotation: Rotation::R0, mirror_y: false };
+    pub const NORTH: Orientation = Orientation {
+        rotation: Rotation::R0,
+        mirror_y: false,
+    };
     /// Quarter turn counterclockwise. Fig 2.5 row "East": x→y, y→−x under
     /// the paper's mapping convention (see [`Orientation::apply_vector`]).
-    pub const R90: Orientation = Orientation { rotation: Rotation::R90, mirror_y: false };
+    pub const R90: Orientation = Orientation {
+        rotation: Rotation::R90,
+        mirror_y: false,
+    };
     /// Half turn: the paper's "orientation south".
-    pub const SOUTH: Orientation = Orientation { rotation: Rotation::R180, mirror_y: false };
+    pub const SOUTH: Orientation = Orientation {
+        rotation: Rotation::R180,
+        mirror_y: false,
+    };
     /// Three quarter turns.
-    pub const R270: Orientation = Orientation { rotation: Rotation::R270, mirror_y: false };
+    pub const R270: Orientation = Orientation {
+        rotation: Rotation::R270,
+        mirror_y: false,
+    };
     /// Compass alias: the paper's "East" instance orientation (one quarter
     /// turn; Fig 2.5 maps East ↦ (y, −x), which is `R270` acting on column
     /// vectors — see [`Orientation::fig_2_5_mapping`] for the exact table).
-    pub const EAST: Orientation = Orientation { rotation: Rotation::R270, mirror_y: false };
+    pub const EAST: Orientation = Orientation {
+        rotation: Rotation::R270,
+        mirror_y: false,
+    };
     /// Compass alias for three quarter turns, the paper's "West".
-    pub const WEST: Orientation = Orientation { rotation: Rotation::R90, mirror_y: false };
+    pub const WEST: Orientation = Orientation {
+        rotation: Rotation::R90,
+        mirror_y: false,
+    };
     /// Reflection about the y axis (x ↦ −x), the paper's `R`.
-    pub const MIRROR_Y: Orientation = Orientation { rotation: Rotation::R0, mirror_y: true };
+    pub const MIRROR_Y: Orientation = Orientation {
+        rotation: Rotation::R0,
+        mirror_y: true,
+    };
     /// Reflection about the x axis (y ↦ −y) = rot(180°) ∘ R.
-    pub const MIRROR_X: Orientation = Orientation { rotation: Rotation::R180, mirror_y: true };
+    pub const MIRROR_X: Orientation = Orientation {
+        rotation: Rotation::R180,
+        mirror_y: true,
+    };
 
     /// All eight orientations (the full group).
     pub const ALL: [Orientation; 8] = [
-        Orientation { rotation: Rotation::R0, mirror_y: false },
-        Orientation { rotation: Rotation::R90, mirror_y: false },
-        Orientation { rotation: Rotation::R180, mirror_y: false },
-        Orientation { rotation: Rotation::R270, mirror_y: false },
-        Orientation { rotation: Rotation::R0, mirror_y: true },
-        Orientation { rotation: Rotation::R90, mirror_y: true },
-        Orientation { rotation: Rotation::R180, mirror_y: true },
-        Orientation { rotation: Rotation::R270, mirror_y: true },
+        Orientation {
+            rotation: Rotation::R0,
+            mirror_y: false,
+        },
+        Orientation {
+            rotation: Rotation::R90,
+            mirror_y: false,
+        },
+        Orientation {
+            rotation: Rotation::R180,
+            mirror_y: false,
+        },
+        Orientation {
+            rotation: Rotation::R270,
+            mirror_y: false,
+        },
+        Orientation {
+            rotation: Rotation::R0,
+            mirror_y: true,
+        },
+        Orientation {
+            rotation: Rotation::R90,
+            mirror_y: true,
+        },
+        Orientation {
+            rotation: Rotation::R180,
+            mirror_y: true,
+        },
+        Orientation {
+            rotation: Rotation::R270,
+            mirror_y: true,
+        },
     ];
 
     /// Creates an orientation from its rotation and mirror parts.
@@ -180,7 +228,10 @@ impl Orientation {
         if self.mirror_y {
             self
         } else {
-            Orientation { rotation: self.rotation.neg(), mirror_y: false }
+            Orientation {
+                rotation: self.rotation.neg(),
+                mirror_y: false,
+            }
         }
     }
 

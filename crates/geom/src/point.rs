@@ -5,6 +5,7 @@
 //! locations inside some coordinate system; vectors are displacements.
 //! Interface vectors (paper §2.2) are [`Vector`]s.
 
+use crate::Axis;
 use std::fmt;
 use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
 
@@ -58,7 +59,19 @@ impl Point {
     /// The displacement from the origin to this point.
     #[inline]
     pub const fn to_vector(self) -> Vector {
-        Vector { x: self.x, y: self.y }
+        Vector {
+            x: self.x,
+            y: self.y,
+        }
+    }
+
+    /// The coordinate on the given axis (`x` for [`Axis::X`]).
+    #[inline]
+    pub const fn coord(self, axis: Axis) -> i64 {
+        match axis {
+            Axis::X => self.x,
+            Axis::Y => self.y,
+        }
     }
 
     /// Componentwise minimum of two points (lower-left corner helper).
@@ -87,7 +100,10 @@ impl Vector {
     /// The point reached by displacing the origin by this vector.
     #[inline]
     pub const fn to_point(self) -> Point {
-        Point { x: self.x, y: self.y }
+        Point {
+            x: self.x,
+            y: self.y,
+        }
     }
 
     /// The squared Euclidean length (exact, no floating point).
@@ -239,6 +255,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op)]
     fn scalar_multiplication() {
         assert_eq!(Vector::new(2, -3) * 4, Vector::new(8, -12));
         assert_eq!(Vector::new(2, -3) * 0, Vector::ZERO);

@@ -1,6 +1,6 @@
 //! Axis-aligned rectangles (the "boxes of various layers" of paper §2.1).
 
-use crate::{Isometry, Orientation, Point, Vector};
+use crate::{Axis, Isometry, Orientation, Point, Vector};
 use std::fmt;
 
 /// An axis-aligned rectangle with integer corners, normalized so that
@@ -28,7 +28,10 @@ impl Rect {
     /// Creates a rectangle from two opposite corners (any order).
     #[inline]
     pub fn new(a: Point, b: Point) -> Rect {
-        Rect { lo: a.min(b), hi: a.max(b) }
+        Rect {
+            lo: a.min(b),
+            hi: a.max(b),
+        }
     }
 
     /// Creates a rectangle from `(x_lo, y_lo, x_hi, y_hi)` coordinates.
@@ -39,15 +42,24 @@ impl Rect {
     /// corner order is unknown.
     #[inline]
     pub fn from_coords(x_lo: i64, y_lo: i64, x_hi: i64, y_hi: i64) -> Rect {
-        assert!(x_lo <= x_hi && y_lo <= y_hi, "inverted rect ({x_lo},{y_lo})..({x_hi},{y_hi})");
-        Rect { lo: Point::new(x_lo, y_lo), hi: Point::new(x_hi, y_hi) }
+        assert!(
+            x_lo <= x_hi && y_lo <= y_hi,
+            "inverted rect ({x_lo},{y_lo})..({x_hi},{y_hi})"
+        );
+        Rect {
+            lo: Point::new(x_lo, y_lo),
+            hi: Point::new(x_hi, y_hi),
+        }
     }
 
     /// A rectangle from its lower-left corner and a (non-negative) size.
     #[inline]
     pub fn from_origin_size(lo: Point, width: i64, height: i64) -> Rect {
         assert!(width >= 0 && height >= 0, "negative size {width}x{height}");
-        Rect { lo, hi: Point::new(lo.x + width, lo.y + height) }
+        Rect {
+            lo,
+            hi: Point::new(lo.x + width, lo.y + height),
+        }
     }
 
     /// Lower-left corner.
@@ -83,7 +95,10 @@ impl Rect {
     /// Center point, rounded toward `lo` on odd sizes.
     #[inline]
     pub const fn center(self) -> Point {
-        Point::new((self.lo.x + self.hi.x).div_euclid(2), (self.lo.y + self.hi.y).div_euclid(2))
+        Point::new(
+            (self.lo.x + self.hi.x).div_euclid(2),
+            (self.lo.y + self.hi.y).div_euclid(2),
+        )
     }
 
     /// `true` if the point lies inside or on the boundary.
@@ -122,13 +137,19 @@ impl Rect {
     /// Smallest rectangle containing both.
     #[inline]
     pub fn union(self, other: Rect) -> Rect {
-        Rect { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Rect {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 
     /// The rectangle displaced by `v`.
     #[inline]
     pub fn translate(self, v: Vector) -> Rect {
-        Rect { lo: self.lo + v, hi: self.hi + v }
+        Rect {
+            lo: self.lo + v,
+            hi: self.hi + v,
+        }
     }
 
     /// The rectangle grown by `margin` on every side (shrunk if negative).
@@ -140,8 +161,85 @@ impl Rect {
     pub fn inflate(self, margin: i64) -> Rect {
         let lo = Point::new(self.lo.x - margin, self.lo.y - margin);
         let hi = Point::new(self.hi.x + margin, self.hi.y + margin);
-        assert!(lo.x <= hi.x && lo.y <= hi.y, "inflate({margin}) inverted {self}");
+        assert!(
+            lo.x <= hi.x && lo.y <= hi.y,
+            "inflate({margin}) inverted {self}"
+        );
         Rect { lo, hi }
+    }
+
+    /// Low edge coordinate along `axis` (`lo.x` for [`Axis::X`]).
+    ///
+    /// The `*_along`/`*_across` accessors let compaction sweeps address
+    /// geometry relative to a chosen axis: *along* is the direction in
+    /// which edges move, *across* is the perpendicular direction the
+    /// sweep leaves untouched.
+    #[inline]
+    pub const fn lo_along(self, axis: Axis) -> i64 {
+        self.lo.coord(axis)
+    }
+
+    /// High edge coordinate along `axis` (`hi.x` for [`Axis::X`]).
+    #[inline]
+    pub const fn hi_along(self, axis: Axis) -> i64 {
+        self.hi.coord(axis)
+    }
+
+    /// Low edge coordinate across `axis` (`lo.y` for [`Axis::X`]).
+    #[inline]
+    pub const fn lo_across(self, axis: Axis) -> i64 {
+        self.lo.coord(axis.other())
+    }
+
+    /// High edge coordinate across `axis` (`hi.y` for [`Axis::X`]).
+    #[inline]
+    pub const fn hi_across(self, axis: Axis) -> i64 {
+        self.hi.coord(axis.other())
+    }
+
+    /// Size along `axis`: [`Rect::width`] for [`Axis::X`],
+    /// [`Rect::height`] for [`Axis::Y`].
+    #[inline]
+    pub const fn extent_along(self, axis: Axis) -> i64 {
+        self.hi_along(axis) - self.lo_along(axis)
+    }
+
+    /// Builds a rectangle from its spans along and across `axis`.
+    ///
+    /// `Rect::from_spans(axis, (a, b), (c, d))` has `[a, b]` on `axis`
+    /// and `[c, d]` on the perpendicular axis; for [`Axis::X`] this is
+    /// `from_coords(a, c, b, d)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either span is inverted.
+    #[inline]
+    pub fn from_spans(axis: Axis, along: (i64, i64), across: (i64, i64)) -> Rect {
+        match axis {
+            Axis::X => Rect::from_coords(along.0, across.0, along.1, across.1),
+            Axis::Y => Rect::from_coords(across.0, along.0, across.1, along.1),
+        }
+    }
+
+    /// This rectangle with its span along `axis` replaced by `[lo, hi]`;
+    /// the span across `axis` is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn with_span_along(self, axis: Axis, lo: i64, hi: i64) -> Rect {
+        Rect::from_spans(axis, (lo, hi), (self.lo_across(axis), self.hi_across(axis)))
+    }
+
+    /// Reflection across the `x = y` diagonal (swaps the roles of the
+    /// two axes). An involution: `r.transpose().transpose() == r`.
+    #[inline]
+    pub const fn transpose(self) -> Rect {
+        Rect {
+            lo: Point::new(self.lo.y, self.lo.x),
+            hi: Point::new(self.hi.y, self.hi.x),
+        }
     }
 
     /// The image of this rectangle under an orientation about the origin.
@@ -235,13 +333,62 @@ mod tests {
         let r = Rect::from_coords(0, 0, 4, 4);
         assert_eq!(r.inflate(1), Rect::from_coords(-1, -1, 5, 5));
         assert_eq!(r.inflate(1).inflate(-1), r);
-        assert_eq!(r.translate(Vector::new(2, 3)), Rect::from_coords(2, 3, 6, 7));
+        assert_eq!(
+            r.translate(Vector::new(2, 3)),
+            Rect::from_coords(2, 3, 6, 7)
+        );
     }
 
     #[test]
     #[should_panic(expected = "inverted")]
     fn from_coords_panics_on_inversion() {
         let _ = Rect::from_coords(5, 0, 0, 5);
+    }
+
+    #[test]
+    fn axis_accessors_mirror_xy() {
+        let r = Rect::from_coords(1, 2, 7, 15);
+        assert_eq!(r.lo_along(Axis::X), 1);
+        assert_eq!(r.hi_along(Axis::X), 7);
+        assert_eq!(r.lo_across(Axis::X), 2);
+        assert_eq!(r.hi_across(Axis::X), 15);
+        assert_eq!(r.extent_along(Axis::X), r.width());
+        assert_eq!(r.lo_along(Axis::Y), 2);
+        assert_eq!(r.hi_along(Axis::Y), 15);
+        assert_eq!(r.lo_across(Axis::Y), 1);
+        assert_eq!(r.hi_across(Axis::Y), 7);
+        assert_eq!(r.extent_along(Axis::Y), r.height());
+        // Along-axis queries on r are across-axis queries on the transpose.
+        let t = r.transpose();
+        for axis in Axis::BOTH {
+            assert_eq!(r.lo_along(axis), t.lo_along(axis.other()));
+            assert_eq!(r.extent_along(axis), t.extent_along(axis.other()));
+        }
+    }
+
+    #[test]
+    fn from_spans_and_with_span() {
+        let r = Rect::from_spans(Axis::Y, (3, 9), (0, 4));
+        assert_eq!(r, Rect::from_coords(0, 3, 4, 9));
+        assert_eq!(
+            r.with_span_along(Axis::Y, 10, 20),
+            Rect::from_coords(0, 10, 4, 20)
+        );
+        assert_eq!(
+            r.with_span_along(Axis::X, 1, 2),
+            Rect::from_coords(1, 3, 2, 9)
+        );
+        assert_eq!(
+            Rect::from_spans(Axis::X, (3, 9), (0, 4)),
+            Rect::from_coords(3, 0, 9, 4)
+        );
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let r = Rect::from_coords(1, 2, 5, 9);
+        assert_eq!(r.transpose(), Rect::from_coords(2, 1, 9, 5));
+        assert_eq!(r.transpose().transpose(), r);
     }
 
     #[test]

@@ -20,8 +20,7 @@ fn arb_isometry() -> impl Strategy<Value = Isometry> {
 }
 
 fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), 0i64..200, 0i64..200)
-        .prop_map(|(p, w, h)| Rect::from_origin_size(p, w, h))
+    (arb_point(), 0i64..200, 0i64..200).prop_map(|(p, w, h)| Rect::from_origin_size(p, w, h))
 }
 
 proptest! {

@@ -51,11 +51,11 @@ pub fn sample_layout() -> CellTable {
     let xorm = t.insert(mask("xorm", Layer::Via, xorm_r)).expect("fresh");
 
     let pair = |name: &str,
-                    a: rsg_layout::CellId,
-                    b: rsg_layout::CellId,
-                    b_at: Point,
-                    label: &str,
-                    label_at: Point| {
+                a: rsg_layout::CellId,
+                b: rsg_layout::CellId,
+                b_at: Point,
+                label: &str,
+                label_at: Point| {
         let mut s = CellDefinition::new(name);
         s.add_instance(Instance::new(a, Point::new(0, 0), Orientation::NORTH));
         s.add_instance(Instance::new(b, b_at, Orientation::NORTH));
@@ -65,15 +65,57 @@ pub fn sample_layout() -> CellTable {
 
     let cells = [
         // and_sq–and_sq horizontal (#1) and vertical (#2).
-        pair("s_and_h", and_sq, and_sq, Point::new(GRID, 0), "1", Point::new(GRID, GRID / 2)),
-        pair("s_and_v", and_sq, and_sq, Point::new(0, -GRID), "2", Point::new(GRID / 2, 0)),
+        pair(
+            "s_and_h",
+            and_sq,
+            and_sq,
+            Point::new(GRID, 0),
+            "1",
+            Point::new(GRID, GRID / 2),
+        ),
+        pair(
+            "s_and_v",
+            and_sq,
+            and_sq,
+            Point::new(0, -GRID),
+            "2",
+            Point::new(GRID / 2, 0),
+        ),
         // or plane.
-        pair("s_or_h", or_sq, or_sq, Point::new(GRID, 0), "1", Point::new(GRID, GRID / 2)),
-        pair("s_or_v", or_sq, or_sq, Point::new(0, -GRID), "2", Point::new(GRID / 2, 0)),
+        pair(
+            "s_or_h",
+            or_sq,
+            or_sq,
+            Point::new(GRID, 0),
+            "1",
+            Point::new(GRID, GRID / 2),
+        ),
+        pair(
+            "s_or_v",
+            or_sq,
+            or_sq,
+            Point::new(0, -GRID),
+            "2",
+            Point::new(GRID / 2, 0),
+        ),
         // AND→OR bridge.
-        pair("s_bridge", and_sq, or_sq, Point::new(GRID, 0), "1", Point::new(GRID, GRID / 2)),
+        pair(
+            "s_bridge",
+            and_sq,
+            or_sq,
+            Point::new(GRID, 0),
+            "1",
+            Point::new(GRID, GRID / 2),
+        ),
         // buffers.
-        pair("s_inbuf", and_sq, in_buf, Point::new(0, GRID), "1", Point::new(GRID / 2, GRID)),
+        pair(
+            "s_inbuf",
+            and_sq,
+            in_buf,
+            Point::new(0, GRID),
+            "1",
+            Point::new(GRID / 2, GRID),
+        ),
         pair(
             "s_outbuf",
             or_sq,
@@ -92,9 +134,30 @@ pub fn sample_layout() -> CellTable {
             Point::new(GRID / 2, 0),
         ),
         // crosspoint masks.
-        pair("s_xand", and_sq, xand, Point::new(0, 0), "1", Point::new(5, 5)),
-        pair("s_xcomp", and_sq, xcomp, Point::new(0, 0), "1", Point::new(5, 15)),
-        pair("s_xorm", or_sq, xorm, Point::new(0, 0), "1", Point::new(15, 5)),
+        pair(
+            "s_xand",
+            and_sq,
+            xand,
+            Point::new(0, 0),
+            "1",
+            Point::new(5, 5),
+        ),
+        pair(
+            "s_xcomp",
+            and_sq,
+            xcomp,
+            Point::new(0, 0),
+            "1",
+            Point::new(5, 15),
+        ),
+        pair(
+            "s_xorm",
+            or_sq,
+            xorm,
+            Point::new(0, 0),
+            "1",
+            Point::new(15, 5),
+        ),
     ];
     for c in cells {
         t.insert(c).expect("unique sample cell names");
@@ -116,7 +179,9 @@ mod tests {
     #[test]
     fn cells_present() {
         let t = sample_layout();
-        for name in ["and_sq", "or_sq", "in_buf", "out_buf", "xand", "xcomp", "xorm"] {
+        for name in [
+            "and_sq", "or_sq", "in_buf", "out_buf", "xand", "xcomp", "xorm",
+        ] {
             assert!(t.lookup(name).is_some(), "{name}");
         }
     }

@@ -1,0 +1,136 @@
+//! Leaf compaction of the PLA cell library (§6.1 applied to the HPLA
+//! sample cells).
+//!
+//! The PLA planes replicate `and_sq`/`or_sq` hundreds of times for large
+//! personalities, so compacting the flat result would redo the same work
+//! per crosspoint; compacting the library once with the plane pitch as
+//! an unknown is the paper's leaf-compactor economics. The plane squares
+//! and the buffer row are *independent* constraint systems, so they form
+//! two [`LibraryJob`]s for the parallel batch compactor.
+
+use crate::cells::GRID;
+use rsg_compact::backend::Solver;
+use rsg_compact::leaf::{
+    compact_batch, CompactionResult, LeafError, LeafInterface, LibraryJob, Parallelism, PitchKind,
+};
+use rsg_layout::DesignRules;
+
+/// The independent compaction jobs of the PLA library: the plane squares
+/// (AND/OR with the shared horizontal grid pitch and the vertical
+/// abutment) and the buffer row (its own horizontal pitch).
+pub fn library_jobs() -> Vec<LibraryJob> {
+    let sample = crate::cells::sample_layout();
+    let cell = |name: &str| {
+        sample
+            .get(sample.lookup(name).expect("sample cell"))
+            .expect("defined")
+            .clone()
+    };
+    let squares = {
+        LibraryJob {
+            cells: vec![cell("and_sq"), cell("or_sq")],
+            interfaces: vec![
+                LeafInterface {
+                    cell_a: 0,
+                    cell_b: 0,
+                    kind: PitchKind::VariableX {
+                        initial: GRID,
+                        weight: 8,
+                    },
+                    y_offset: 0,
+                    name: "and_pitch".into(),
+                },
+                LeafInterface {
+                    cell_a: 1,
+                    cell_b: 1,
+                    kind: PitchKind::VariableX {
+                        initial: GRID,
+                        weight: 4,
+                    },
+                    y_offset: 0,
+                    name: "or_pitch".into(),
+                },
+                // The AND→OR bridge at the plane boundary stays on the
+                // grid: its columns must line up with both planes, so it
+                // is a fixed abutment, not a free pitch.
+                LeafInterface {
+                    cell_a: 0,
+                    cell_b: 1,
+                    kind: PitchKind::FixedX(GRID),
+                    y_offset: 0,
+                    name: "bridge".into(),
+                },
+                // Vertical abutment of plane rows: fixed 0 x-offset.
+                LeafInterface {
+                    cell_a: 0,
+                    cell_b: 0,
+                    kind: PitchKind::FixedX(0),
+                    y_offset: -GRID,
+                    name: "row".into(),
+                },
+            ],
+        }
+    };
+    let buffers = {
+        LibraryJob {
+            cells: vec![cell("in_buf"), cell("out_buf")],
+            interfaces: vec![LeafInterface {
+                cell_a: 0,
+                cell_b: 0,
+                kind: PitchKind::VariableX {
+                    initial: GRID,
+                    weight: 2,
+                },
+                y_offset: 0,
+                name: "buf_pitch".into(),
+            }],
+        }
+    };
+    vec![squares, buffers]
+}
+
+/// Compacts the PLA library for a target technology through any backend,
+/// fanning the independent jobs out per [`Parallelism`].
+///
+/// # Errors
+///
+/// Returns the first [`LeafError`] any job produced.
+pub fn compact_library(
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    parallelism: Parallelism,
+) -> Result<Vec<CompactionResult>, LeafError> {
+    compact_batch(&library_jobs(), rules, solver, parallelism)
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_compact::backend::BellmanFord;
+    use rsg_layout::Technology;
+
+    #[test]
+    fn library_compacts_and_pitches_shrink() {
+        let tech = Technology::mead_conway(2);
+        let out = compact_library(&tech.rules, &BellmanFord::SORTED, Parallelism::Auto).unwrap();
+        assert_eq!(out.len(), 2);
+        for result in &out {
+            for (name, pitch) in &result.pitches {
+                assert!(*pitch > 0, "{name} must stay positive");
+                assert!(*pitch <= GRID, "{name} = {pitch} exceeds the sample grid");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let tech = Technology::mead_conway(2);
+        let serial =
+            compact_library(&tech.rules, &BellmanFord::SORTED, Parallelism::Serial).unwrap();
+        let parallel =
+            compact_library(&tech.rules, &BellmanFord::SORTED, Parallelism::Auto).unwrap();
+        assert_eq!(serial, parallel);
+    }
+}

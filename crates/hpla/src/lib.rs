@@ -33,6 +33,7 @@
 #![deny(missing_docs)]
 
 pub mod cells;
+pub mod compactor;
 mod generate;
 mod personality;
 

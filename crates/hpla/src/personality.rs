@@ -92,7 +92,12 @@ impl Personality {
                 });
             }
         }
-        Ok(Personality { inputs, outputs, and_plane, or_plane })
+        Ok(Personality {
+            inputs,
+            outputs,
+            and_plane,
+            or_plane,
+        })
     }
 
     /// Parses espresso-style rows `"<cube> <outputs>"`, e.g. `"1-0 01"`.
@@ -101,7 +106,11 @@ impl Personality {
     /// # Errors
     ///
     /// Propagates shape and character errors with row numbers.
-    pub fn parse(rows: &[&str], inputs: usize, outputs: usize) -> Result<Personality, PersonalityError> {
+    pub fn parse(
+        rows: &[&str],
+        inputs: usize,
+        outputs: usize,
+    ) -> Result<Personality, PersonalityError> {
         let mut and_plane = Vec::with_capacity(rows.len());
         let mut or_plane = Vec::with_capacity(rows.len());
         for (row, line) in rows.iter().enumerate() {
@@ -141,19 +150,30 @@ impl Personality {
     /// A decoder personality: `n` inputs, `2ⁿ` one-hot outputs (the
     /// "decoders can be built from an AND plane" remark of §1.2.2).
     pub fn decoder(n: usize) -> Personality {
-        assert!(n >= 1 && n <= 16, "unreasonable decoder width {n}");
+        assert!((1..=16).contains(&n), "unreasonable decoder width {n}");
         let terms = 1usize << n;
         let and_plane = (0..terms)
             .map(|t| {
                 (0..n)
-                    .map(|i| if t >> i & 1 == 1 { AndBit::True } else { AndBit::Comp })
+                    .map(|i| {
+                        if t >> i & 1 == 1 {
+                            AndBit::True
+                        } else {
+                            AndBit::Comp
+                        }
+                    })
                     .collect()
             })
             .collect();
         let or_plane = (0..terms)
             .map(|t| (0..terms).map(|o| o == t).collect())
             .collect();
-        Personality { inputs: n, outputs: terms, and_plane, or_plane }
+        Personality {
+            inputs: n,
+            outputs: terms,
+            and_plane,
+            or_plane,
+        }
     }
 
     /// Number of inputs.
@@ -200,7 +220,12 @@ impl Personality {
             })
             .collect();
         (0..self.outputs)
-            .map(|o| fired.iter().zip(&self.or_plane).any(|(&f, row)| f && row[o]))
+            .map(|o| {
+                fired
+                    .iter()
+                    .zip(&self.or_plane)
+                    .any(|(&f, row)| f && row[o])
+            })
             .collect()
     }
 

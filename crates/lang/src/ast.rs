@@ -18,7 +18,10 @@ pub struct VarRef {
 impl VarRef {
     /// A plain, unindexed variable.
     pub fn plain(name: impl Into<String>) -> VarRef {
-        VarRef { base: name.into(), indices: Vec::new() }
+        VarRef {
+            base: name.into(),
+            indices: Vec::new(),
+        }
     }
 }
 
@@ -137,7 +140,10 @@ mod tests {
     #[test]
     fn varref_display() {
         assert_eq!(VarRef::plain("x").to_string(), "x");
-        let v = VarRef { base: "l".into(), indices: vec![Ast::Int(1)] };
+        let v = VarRef {
+            base: "l".into(),
+            indices: vec![Ast::Int(1)],
+        };
         assert_eq!(v.to_string(), "l.<i>");
     }
 }

@@ -26,7 +26,10 @@ pub enum LangError {
 
 impl LangError {
     pub(crate) fn runtime(message: impl Into<String>) -> LangError {
-        LangError::Runtime { message: message.into(), call_stack: Vec::new() }
+        LangError::Runtime {
+            message: message.into(),
+            call_stack: Vec::new(),
+        }
     }
 }
 
@@ -36,7 +39,10 @@ impl fmt::Display for LangError {
             LangError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
-            LangError::Runtime { message, call_stack } => {
+            LangError::Runtime {
+                message,
+                call_stack,
+            } => {
                 write!(f, "runtime error: {message}")?;
                 if !call_stack.is_empty() {
                     write!(f, " (in {})", call_stack.join(" > "))?;
@@ -69,7 +75,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = LangError::Parse { line: 4, message: "unexpected )".into() };
+        let e = LangError::Parse {
+            line: 4,
+            message: "unexpected )".into(),
+        };
         assert!(e.to_string().contains("line 4"));
         let r = LangError::Runtime {
             message: "unbound variable `x`".into(),

@@ -150,7 +150,11 @@ impl Interpreter {
     /// Propagates parse and runtime errors.
     pub fn run(mut self, src: &str) -> Result<DesignRun, LangError> {
         let result = self.exec(src)?;
-        Ok(DesignRun { rsg: self.rsg, output: self.output, result })
+        Ok(DesignRun {
+            rsg: self.rsg,
+            output: self.output,
+            result,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -163,7 +167,10 @@ impl Interpreter {
     }
 
     fn rt(&self, message: impl Into<String>) -> LangError {
-        LangError::Runtime { message: message.into(), call_stack: self.call_stack.clone() }
+        LangError::Runtime {
+            message: message.into(),
+            call_stack: self.call_stack.clone(),
+        }
     }
 
     fn eval(&mut self, ast: &Ast, env: EnvId) -> Result<Value, LangError> {
@@ -200,7 +207,13 @@ impl Interpreter {
                 }
                 Ok(Value::Unit)
             }
-            Ast::Do { var, init, next, exit, body } => {
+            Ast::Do {
+                var,
+                init,
+                next,
+                exit,
+                body,
+            } => {
                 let init_v = self.eval(init, env)?;
                 self.frames[env.0 as usize].insert(var.clone(), init_v);
                 loop {
@@ -269,7 +282,14 @@ impl Interpreter {
                 let id = self.rsg.mk_cell(&name, root).map_err(LangError::from)?;
                 Ok(Value::Cell(id))
             }
-            Ast::DeclareInterface { cell_c, cell_d, new_index, node_a, node_b, existing_index } => {
+            Ast::DeclareInterface {
+                cell_c,
+                cell_d,
+                new_index,
+                node_a,
+                node_b,
+                existing_index,
+            } => {
                 let c = self.eval_cell(cell_c, env)?;
                 let d = self.eval_cell(cell_d, env)?;
                 let new_idx = self.eval_index(new_index, env)?;
@@ -344,7 +364,11 @@ impl Interpreter {
             }
         }
         self.call_stack.pop();
-        Ok(if def.is_macro { Value::Env(callee) } else { last })
+        Ok(if def.is_macro {
+            Value::Env(callee)
+        } else {
+            last
+        })
     }
 
     fn builtin(&mut self, name: &str, vals: &[Value], line: usize) -> Result<Value, LangError> {
@@ -424,9 +448,10 @@ impl Interpreter {
     fn truthy(&mut self, ast: &Ast, env: EnvId) -> Result<bool, LangError> {
         match self.eval(ast, env)? {
             Value::Bool(b) => Ok(b),
-            other => {
-                Err(self.rt(format!("condition must be a boolean, got {}", other.type_name())))
-            }
+            other => Err(self.rt(format!(
+                "condition must be a boolean, got {}",
+                other.type_name()
+            ))),
         }
     }
 
@@ -520,9 +545,10 @@ impl Interpreter {
         match self.eval(ast, env)? {
             Value::Int(n) if n >= 0 => Ok(n as u32),
             Value::Int(n) => Err(self.rt(format!("interface index must be >= 0, got {n}"))),
-            other => {
-                Err(self.rt(format!("interface index must be an integer, got {}", other.type_name())))
-            }
+            other => Err(self.rt(format!(
+                "interface index must be an integer, got {}",
+                other.type_name()
+            ))),
         }
     }
 }
@@ -545,10 +571,20 @@ mod tests {
         let mut c = CellDefinition::new("tile");
         c.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
         let t = rsg.cells_mut().insert(c).unwrap();
-        rsg.declare_primitive_interface(t, t, 1, Interface::new(Vector::new(10, 0), Orientation::NORTH))
-            .unwrap();
-        rsg.declare_primitive_interface(t, t, 2, Interface::new(Vector::new(0, 12), Orientation::NORTH))
-            .unwrap();
+        rsg.declare_primitive_interface(
+            t,
+            t,
+            1,
+            Interface::new(Vector::new(10, 0), Orientation::NORTH),
+        )
+        .unwrap();
+        rsg.declare_primitive_interface(
+            t,
+            t,
+            2,
+            Interface::new(Vector::new(0, 12), Orientation::NORTH),
+        )
+        .unwrap();
         Interpreter::new(rsg)
     }
 
@@ -582,7 +618,9 @@ mod tests {
             .exec("(setq total 0)\n(do (k 1 (+ k 1) (> k 5)) (setq total (+ total k)))\ntotal")
             .unwrap();
         assert_eq!(v, Value::Int(15));
-        let c = i.exec("(cond ((= 1 2) 10) ((= 1 1) 20) (true 30))").unwrap();
+        let c = i
+            .exec("(cond ((= 1 2) 10) ((= 1 1) 20) (true 30))")
+            .unwrap();
         assert_eq!(c, Value::Int(20));
         // No matching arm: Unit.
         assert_eq!(i.exec("(cond ((= 1 2) 10))").unwrap(), Value::Unit);
@@ -600,7 +638,9 @@ mod tests {
     #[test]
     fn runaway_recursion_reports_depth() {
         let mut i = bare_interp();
-        let err = i.exec("(defun foo (n) (locals) (foo (+ n 1)))\n(foo 0)").unwrap_err();
+        let err = i
+            .exec("(defun foo (n) (locals) (foo (+ n 1)))\n(foo 0)")
+            .unwrap_err();
         assert!(err.to_string().contains("depth"));
     }
 
@@ -635,14 +675,17 @@ mod tests {
     #[test]
     fn two_indexed_variables() {
         let mut i = bare_interp();
-        let v = i.exec("(assign g.2.3 42)\n(setq r 2)\n(setq c 3)\ng.r.c").unwrap();
+        let v = i
+            .exec("(assign g.2.3 42)\n(setq r 2)\n(setq c 3)\ng.r.c")
+            .unwrap();
         assert_eq!(v, Value::Int(42));
     }
 
     #[test]
     fn parameter_scoping_chain() {
         let mut i = tiled_interp();
-        i.load_parameters("corecell=tile\nhinum=1\nsize=3\n").unwrap();
+        i.load_parameters("corecell=tile\nhinum=1\nsize=3\n")
+            .unwrap();
         // `corecell` resolves via global alias → cell table.
         let v = i.exec("corecell").unwrap();
         assert!(matches!(v, Value::Cell(_)));
@@ -682,15 +725,30 @@ mod tests {
             .unwrap();
         assert!(matches!(v, Value::Cell(_)));
         let row = i.rsg().cells().lookup("row").unwrap();
-        let pts: Vec<Point> =
-            i.rsg().cells().require(row).unwrap().instances().map(|x| x.point_of_call).collect();
-        assert_eq!(pts, vec![Point::new(0, 0), Point::new(10, 0), Point::new(20, 0), Point::new(30, 0)]);
+        let pts: Vec<Point> = i
+            .rsg()
+            .cells()
+            .require(row)
+            .unwrap()
+            .instances()
+            .map(|x| x.point_of_call)
+            .collect();
+        assert_eq!(
+            pts,
+            vec![
+                Point::new(0, 0),
+                Point::new(10, 0),
+                Point::new(20, 0),
+                Point::new(30, 0)
+            ]
+        );
     }
 
     #[test]
     fn subcell_reaches_into_macro_results() {
         let mut i = tiled_interp();
-        i.load_parameters("corecell=tile\nhinum=1\nvinum=2\n").unwrap();
+        i.load_parameters("corecell=tile\nhinum=1\nvinum=2\n")
+            .unwrap();
         // mrow builds a row and exposes its first node as `first`; the top
         // level stitches two rows vertically through those handles.
         let v = i
@@ -775,6 +833,9 @@ mod tests {
         )
         .unwrap();
         let pair = run.rsg.cells().lookup("pair").unwrap();
-        assert_eq!(run.rsg.cells().require(pair).unwrap().instances().count(), 2);
+        assert_eq!(
+            run.rsg.cells().require(pair).unwrap().instances().count(),
+            2
+        );
     }
 }

@@ -133,7 +133,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
                     text.push(ch);
                     chars.next();
                 }
-                tokens.push(Token::Atom { text, trailing_dot, line });
+                tokens.push(Token::Atom {
+                    text,
+                    trailing_dot,
+                    line,
+                });
             }
         }
     }
@@ -149,7 +153,9 @@ mod tests {
             .unwrap()
             .into_iter()
             .filter_map(|t| match t {
-                Token::Atom { text, trailing_dot, .. } => Some((text, trailing_dot)),
+                Token::Atom {
+                    text, trailing_dot, ..
+                } => Some((text, trailing_dot)),
                 _ => None,
             })
             .collect()
@@ -165,11 +171,14 @@ mod tests {
 
     #[test]
     fn dotted_names_kept_whole() {
-        assert_eq!(atoms("l.i c.1 phi2_2"), vec![
-            ("l.i".to_owned(), false),
-            ("c.1".to_owned(), false),
-            ("phi2_2".to_owned(), false),
-        ]);
+        assert_eq!(
+            atoms("l.i c.1 phi2_2"),
+            vec![
+                ("l.i".to_owned(), false),
+                ("c.1".to_owned(), false),
+                ("phi2_2".to_owned(), false),
+            ]
+        );
     }
 
     #[test]
@@ -182,9 +191,15 @@ mod tests {
     #[test]
     fn strings_and_comments() {
         let toks = lex("(mk_cell \"the whole thing\" x) ; trailing comment\n(y)").unwrap();
-        assert!(toks.iter().any(|t| matches!(t, Token::Str { text, .. } if text == "the whole thing")));
-        assert!(toks.iter().any(|t| matches!(t, Token::Atom { text, .. } if text == "y")));
-        assert!(!toks.iter().any(|t| matches!(t, Token::Atom { text, .. } if text.contains("comment"))));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Str { text, .. } if text == "the whole thing")));
+        assert!(toks
+            .iter()
+            .any(|t| matches!(t, Token::Atom { text, .. } if text == "y")));
+        assert!(!toks
+            .iter()
+            .any(|t| matches!(t, Token::Atom { text, .. } if text.contains("comment"))));
     }
 
     #[test]
@@ -196,7 +211,10 @@ mod tests {
 
     #[test]
     fn unterminated_string() {
-        assert!(matches!(lex("\"abc"), Err(LangError::Parse { line: 1, .. })));
+        assert!(matches!(
+            lex("\"abc"),
+            Err(LangError::Parse { line: 1, .. })
+        ));
         assert!(matches!(lex("\"ab\nc\""), Err(LangError::Parse { .. })));
     }
 

@@ -44,7 +44,8 @@ pub fn parse_parameter_file(src: &str) -> Result<ParameterFile, LangError> {
                 line: line_no,
                 message: "header line must be `.key:value`".into(),
             })?;
-            out.headers.push((key.trim().to_owned(), value.trim().to_owned()));
+            out.headers
+                .push((key.trim().to_owned(), value.trim().to_owned()));
             continue;
         }
         let (name, value) = line.split_once('=').ok_or_else(|| LangError::Parse {
@@ -52,31 +53,36 @@ pub fn parse_parameter_file(src: &str) -> Result<ParameterFile, LangError> {
             message: format!("expected `name=value`, got `{line}`"),
         })?;
         let name = name.trim();
-        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        {
             return Err(LangError::Parse {
                 line: line_no,
                 message: format!("bad parameter name `{name}`"),
             });
         }
         let value = value.trim();
-        let parsed = if let Some(stripped) =
-            value.strip_prefix('"').and_then(|v| v.strip_suffix('"'))
-        {
-            Value::Str(stripped.to_owned())
-        } else if let Ok(n) = value.parse::<i64>() {
-            Value::Int(n)
-        } else if value == "true" || value == "false" {
-            Value::Bool(value == "true")
-        } else if !value.is_empty()
-            && value.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.')
-        {
-            Value::Symbol(value.to_owned())
-        } else {
-            return Err(LangError::Parse {
-                line: line_no,
-                message: format!("bad parameter value `{value}`"),
-            });
-        };
+        let parsed =
+            if let Some(stripped) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) {
+                Value::Str(stripped.to_owned())
+            } else if let Ok(n) = value.parse::<i64>() {
+                Value::Int(n)
+            } else if value == "true" || value == "false" {
+                Value::Bool(value == "true")
+            } else if !value.is_empty()
+                && value
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
+                Value::Symbol(value.to_owned())
+            } else {
+                return Err(LangError::Parse {
+                    line: line_no,
+                    message: format!("bad parameter value `{value}`"),
+                });
+            };
         out.bindings.push((name.to_owned(), parsed));
     }
     Ok(out)
@@ -97,11 +103,23 @@ corecell=cell
 flag=true
 "#;
         let p = parse_parameter_file(src).unwrap();
-        assert_eq!(p.headers, vec![("example_file".to_owned(), "/u/bamji/demo/mult.def".to_owned())]);
+        assert_eq!(
+            p.headers,
+            vec![(
+                "example_file".to_owned(),
+                "/u/bamji/demo/mult.def".to_owned()
+            )]
+        );
         assert_eq!(p.bindings.len(), 4);
         assert_eq!(p.bindings[0], ("vinum".to_owned(), Value::Int(2)));
-        assert_eq!(p.bindings[1], ("mularrayname".to_owned(), Value::Str("array".into())));
-        assert_eq!(p.bindings[2], ("corecell".to_owned(), Value::Symbol("cell".into())));
+        assert_eq!(
+            p.bindings[1],
+            ("mularrayname".to_owned(), Value::Str("array".into()))
+        );
+        assert_eq!(
+            p.bindings[2],
+            ("corecell".to_owned(), Value::Symbol("cell".into()))
+        );
         assert_eq!(p.bindings[3], ("flag".to_owned(), Value::Bool(true)));
     }
 

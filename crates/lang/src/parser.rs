@@ -7,11 +7,24 @@ use crate::LangError;
 /// Intermediate s-expression form.
 #[derive(Debug, Clone, PartialEq)]
 enum Sexp {
-    Atom { text: String, line: usize },
-    Str { text: String, line: usize },
+    Atom {
+        text: String,
+        line: usize,
+    },
+    Str {
+        text: String,
+        line: usize,
+    },
     /// An atom immediately followed by `.(expr)` index expressions.
-    Indexed { base: String, indices: Vec<Sexp>, line: usize },
-    List { items: Vec<Sexp>, line: usize },
+    Indexed {
+        base: String,
+        indices: Vec<Sexp>,
+        line: usize,
+    },
+    List {
+        items: Vec<Sexp>,
+        line: usize,
+    },
 }
 
 impl Sexp {
@@ -26,7 +39,10 @@ impl Sexp {
 }
 
 fn perr(line: usize, message: impl Into<String>) -> LangError {
-    LangError::Parse { line, message: message.into() }
+    LangError::Parse {
+        line,
+        message: message.into(),
+    }
 }
 
 /// Parses a full design file into top-level forms.
@@ -48,23 +64,44 @@ pub fn parse_program(src: &str) -> Result<Vec<TopLevel>, LangError> {
 
 fn parse_sexp(tokens: &[Token], pos: usize) -> Result<(Sexp, usize), LangError> {
     match tokens.get(pos) {
-        None => Err(perr(tokens.last().map_or(1, Token::line), "unexpected end of input")),
+        None => Err(perr(
+            tokens.last().map_or(1, Token::line),
+            "unexpected end of input",
+        )),
         Some(Token::RParen { line }) => Err(perr(*line, "unexpected `)`")),
-        Some(Token::Str { text, line }) => {
-            Ok((Sexp::Str { text: text.clone(), line: *line }, pos + 1))
-        }
-        Some(Token::Atom { text, trailing_dot, line }) => {
+        Some(Token::Str { text, line }) => Ok((
+            Sexp::Str {
+                text: text.clone(),
+                line: *line,
+            },
+            pos + 1,
+        )),
+        Some(Token::Atom {
+            text,
+            trailing_dot,
+            line,
+        }) => {
             if *trailing_dot {
                 // base.(expr) — possibly chained: base.(e1).(e2) is not
                 // supported; a second literal index may follow as part of
                 // the base text already.
                 let (index, next) = parse_sexp(tokens, pos + 1)?;
                 Ok((
-                    Sexp::Indexed { base: text.clone(), indices: vec![index], line: *line },
+                    Sexp::Indexed {
+                        base: text.clone(),
+                        indices: vec![index],
+                        line: *line,
+                    },
                     next,
                 ))
             } else {
-                Ok((Sexp::Atom { text: text.clone(), line: *line }, pos + 1))
+                Ok((
+                    Sexp::Atom {
+                        text: text.clone(),
+                        line: *line,
+                    },
+                    pos + 1,
+                ))
             }
         }
         Some(Token::LParen { line }) => {
@@ -101,7 +138,10 @@ fn lower_toplevel(s: Sexp) -> Result<TopLevel, LangError> {
 fn lower_procdef(items: &[Sexp], line: usize, is_macro: bool) -> Result<ProcDef, LangError> {
     let kw = if is_macro { "macro" } else { "defun" };
     if items.len() < 3 {
-        return Err(perr(line, format!("`{kw}` needs a name and a formals list")));
+        return Err(perr(
+            line,
+            format!("`{kw}` needs a name and a formals list"),
+        ));
     }
     let name = atom_text(&items[1])
         .ok_or_else(|| perr(line, format!("`{kw}` name must be an atom")))?
@@ -138,9 +178,18 @@ fn lower_procdef(items: &[Sexp], line: usize, is_macro: bool) -> Result<ProcDef,
             body_start = 4;
         }
     }
-    let body =
-        items[body_start..].iter().map(lower_stmt).collect::<Result<Vec<_>, LangError>>()?;
-    Ok(ProcDef { name, formals, locals, body, is_macro, line })
+    let body = items[body_start..]
+        .iter()
+        .map(lower_stmt)
+        .collect::<Result<Vec<_>, LangError>>()?;
+    Ok(ProcDef {
+        name,
+        formals,
+        locals,
+        body,
+        is_macro,
+        line,
+    })
 }
 
 fn atom_text(s: &Sexp) -> Option<&str> {
@@ -152,9 +201,10 @@ fn atom_text(s: &Sexp) -> Option<&str> {
 
 fn name_list(s: &Sexp) -> Option<Vec<String>> {
     match s {
-        Sexp::List { items, .. } => {
-            items.iter().map(|i| atom_text(i).map(str::to_owned)).collect()
-        }
+        Sexp::List { items, .. } => items
+            .iter()
+            .map(|i| atom_text(i).map(str::to_owned))
+            .collect(),
         _ => None,
     }
 }
@@ -192,21 +242,34 @@ fn lower_dotted_name(text: &str, line: usize) -> Result<VarRef, LangError> {
         indices.push(idx);
     }
     if indices.len() > 2 {
-        return Err(perr(line, format!("variable `{text}` has more than two indices")));
+        return Err(perr(
+            line,
+            format!("variable `{text}` has more than two indices"),
+        ));
     }
-    Ok(VarRef { base: base.to_owned(), indices })
+    Ok(VarRef {
+        base: base.to_owned(),
+        indices,
+    })
 }
 
 fn lower_varref(s: &Sexp) -> Result<VarRef, LangError> {
     match s {
         Sexp::Atom { text, line } => lower_dotted_name(text, *line),
-        Sexp::Indexed { base, indices, line } => {
+        Sexp::Indexed {
+            base,
+            indices,
+            line,
+        } => {
             let mut vr = lower_dotted_name(base, *line)?;
             for i in indices {
                 vr.indices.push(lower_stmt(i)?);
             }
             if vr.indices.len() > 2 {
-                return Err(perr(*line, format!("variable `{base}` has more than two indices")));
+                return Err(perr(
+                    *line,
+                    format!("variable `{base}` has more than two indices"),
+                ));
             }
             Ok(vr)
         }
@@ -267,13 +330,22 @@ fn lower_stmt(s: &Sexp) -> Result<Ast, LangError> {
                         .iter()
                         .map(lower_stmt)
                         .collect::<Result<Vec<_>, LangError>>()?;
-                    Ok(Ast::Do { var, init, next, exit, body })
+                    Ok(Ast::Do {
+                        var,
+                        init,
+                        next,
+                        exit,
+                        body,
+                    })
                 }
                 "assign" | "setq" => {
                     if items.len() != 3 {
                         return Err(perr(line, format!("{kw} needs a variable and a value")));
                     }
-                    Ok(Ast::Assign(lower_varref(&items[1])?, Box::new(lower_stmt(&items[2])?)))
+                    Ok(Ast::Assign(
+                        lower_varref(&items[1])?,
+                        Box::new(lower_stmt(&items[2])?),
+                    ))
                 }
                 "prog" => {
                     let body = items[1..]
@@ -317,7 +389,10 @@ fn lower_stmt(s: &Sexp) -> Result<Ast, LangError> {
                     if items.len() != 3 {
                         return Err(perr(line, "subcell needs an environment and a variable"));
                     }
-                    Ok(Ast::Subcell(Box::new(lower_stmt(&items[1])?), lower_varref(&items[2])?))
+                    Ok(Ast::Subcell(
+                        Box::new(lower_stmt(&items[1])?),
+                        lower_varref(&items[2])?,
+                    ))
                 }
                 "mk_cell" | "mkcell" => {
                     if items.len() != 3 {
@@ -352,7 +427,11 @@ fn lower_stmt(s: &Sexp) -> Result<Ast, LangError> {
                         .iter()
                         .map(lower_stmt)
                         .collect::<Result<Vec<_>, LangError>>()?;
-                    Ok(Ast::Call { name: kw.to_owned(), args, line })
+                    Ok(Ast::Call {
+                        name: kw.to_owned(),
+                        args,
+                        line,
+                    })
                 }
             }
         }
@@ -419,11 +498,15 @@ mod tests {
             "(defun fadd (a b) (locals t) (+ a b))\n(macro mrow (n) (locals c) (mk_instance c x))",
         )
         .unwrap();
-        let TopLevel::Proc(f) = &prog[0] else { panic!() };
+        let TopLevel::Proc(f) = &prog[0] else {
+            panic!()
+        };
         assert!(!f.is_macro);
         assert_eq!(f.formals, vec!["a", "b"]);
         assert_eq!(f.locals, vec!["t"]);
-        let TopLevel::Proc(m) = &prog[1] else { panic!() };
+        let TopLevel::Proc(m) = &prog[1] else {
+            panic!()
+        };
         assert!(m.is_macro);
     }
 
@@ -437,7 +520,10 @@ mod tests {
 
     #[test]
     fn rsg_primitives_parse() {
-        assert!(matches!(one_stmt("(mk_instance c corecell)"), Ast::MkInstance(..)));
+        assert!(matches!(
+            one_stmt("(mk_instance c corecell)"),
+            Ast::MkInstance(..)
+        ));
         assert!(matches!(one_stmt("(connect a b 1)"), Ast::Connect(..)));
         assert!(matches!(one_stmt("(subcell tregs ref)"), Ast::Subcell(..)));
         assert!(matches!(one_stmt("(mk_cell \"row\" c)"), Ast::MkCell(..)));
@@ -458,9 +544,18 @@ mod tests {
 
     #[test]
     fn errors_have_lines() {
-        assert!(matches!(parse_program("(a\n(b)"), Err(LangError::Parse { line: 1, .. })));
-        assert!(matches!(parse_program(")"), Err(LangError::Parse { line: 1, .. })));
-        assert!(matches!(parse_program("(cond x)"), Err(LangError::Parse { .. })));
+        assert!(matches!(
+            parse_program("(a\n(b)"),
+            Err(LangError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_program(")"),
+            Err(LangError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_program("(cond x)"),
+            Err(LangError::Parse { .. })
+        ));
         assert!(matches!(parse_program("()"), Err(LangError::Parse { .. })));
         assert!(matches!(
             parse_program("(do (i 1 2) x)"),
@@ -476,6 +571,8 @@ mod tests {
     #[test]
     fn plain_call() {
         let c = one_stmt("(mall xsize ysize)");
-        assert!(matches!(c, Ast::Call { ref name, ref args, .. } if name == "mall" && args.len() == 2));
+        assert!(
+            matches!(c, Ast::Call { ref name, ref args, .. } if name == "mall" && args.len() == 2)
+        );
     }
 }

@@ -11,8 +11,13 @@ fn interp() -> Interpreter {
     let mut c = CellDefinition::new("tile");
     c.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 10));
     let t = rsg.cells_mut().insert(c).unwrap();
-    rsg.declare_primitive_interface(t, t, 1, Interface::new(Vector::new(10, 0), Orientation::NORTH))
-        .unwrap();
+    rsg.declare_primitive_interface(
+        t,
+        t,
+        1,
+        Interface::new(Vector::new(10, 0), Orientation::NORTH),
+    )
+    .unwrap();
     Interpreter::new(rsg)
 }
 
@@ -151,9 +156,7 @@ fn deeply_nested_arithmetic() {
 #[test]
 fn comments_everywhere() {
     let mut i = interp();
-    let v = i
-        .exec("; leading\n(+ 1 ; inline\n 2) ; trailing")
-        .unwrap();
+    let v = i.exec("; leading\n(+ 1 ; inline\n 2) ; trailing").unwrap();
     assert_eq!(v, Value::Int(3));
 }
 
@@ -176,7 +179,8 @@ fn error_messages_are_actionable() {
 #[test]
 fn parameter_file_drives_design_file() {
     let mut i = interp();
-    i.load_parameters("size=5\ncellname=tile\ninum=1\n").unwrap();
+    i.load_parameters("size=5\ncellname=tile\ninum=1\n")
+        .unwrap();
     i.exec(
         "(macro mrow (n) (locals first prev cur)\n\
            (mk_instance first cellname)\n(setq prev first)\n\

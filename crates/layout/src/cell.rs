@@ -55,7 +55,10 @@ pub struct CellDefinition {
 impl CellDefinition {
     /// Creates an empty cell with the given name.
     pub fn new(name: impl Into<String>) -> CellDefinition {
-        CellDefinition { name: name.into(), objects: Vec::new() }
+        CellDefinition {
+            name: name.into(),
+            objects: Vec::new(),
+        }
     }
 
     /// The cell's name.
@@ -76,7 +79,10 @@ impl CellDefinition {
 
     /// Adds a label point.
     pub fn add_label(&mut self, text: impl Into<String>, at: Point) -> &mut Self {
-        self.objects.push(LayoutObject::Label { text: text.into(), at });
+        self.objects.push(LayoutObject::Label {
+            text: text.into(),
+            at,
+        });
         self
     }
 
@@ -108,6 +114,36 @@ impl CellDefinition {
             LayoutObject::Label { text, at } => Some((text.as_str(), *at)),
             _ => None,
         })
+    }
+
+    /// Rebuilds the cell with each box's rectangle replaced, in object
+    /// order, by the next rectangle from `rects`; layers, labels, and
+    /// instances are copied through unchanged. This is the primitive the
+    /// compactor uses to write solved edge positions back into a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rects` yields fewer or more rectangles than the cell
+    /// has boxes.
+    pub fn with_box_rects<I: IntoIterator<Item = Rect>>(&self, rects: I) -> CellDefinition {
+        let mut rects = rects.into_iter();
+        let mut out = CellDefinition::new(self.name());
+        for obj in &self.objects {
+            match obj {
+                LayoutObject::Box { layer, .. } => {
+                    let rect = rects.next().expect("one rectangle per box");
+                    out.add_box(*layer, rect);
+                }
+                LayoutObject::Label { text, at } => {
+                    out.add_label(text.clone(), *at);
+                }
+                LayoutObject::Instance(i) => {
+                    out.add_instance(*i);
+                }
+            }
+        }
+        assert!(rects.next().is_none(), "more rectangles than boxes");
+        out
     }
 
     /// Bounding box of the boxes *directly* in this cell (instances are not
@@ -178,7 +214,8 @@ impl CellTable {
 
     /// Like [`CellTable::get`], but returns a descriptive error.
     pub fn require(&self, id: CellId) -> Result<&CellDefinition, LayoutError> {
-        self.get(id).ok_or_else(|| LayoutError::UnknownCell(format!("#{}", id.0)))
+        self.get(id)
+            .ok_or_else(|| LayoutError::UnknownCell(format!("#{}", id.0)))
     }
 
     /// Number of cells in the table.
@@ -193,7 +230,10 @@ impl CellTable {
 
     /// Iterates `(id, definition)` in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (CellId, &CellDefinition)> + '_ {
-        self.cells.iter().enumerate().map(|(i, c)| (CellId(i as u32), c))
+        self.cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CellId(i as u32), c))
     }
 }
 

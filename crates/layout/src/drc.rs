@@ -42,10 +42,20 @@ pub enum Violation {
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Violation::Width { index, layer, actual, required } => {
+            Violation::Width {
+                index,
+                layer,
+                actual,
+                required,
+            } => {
                 write!(f, "box #{index} on {layer}: width {actual} < {required}")
             }
-            Violation::Spacing { a, b, actual, required } => {
+            Violation::Spacing {
+                a,
+                b,
+                actual,
+                required,
+            } => {
                 write!(f, "boxes #{a}/#{b}: spacing {actual} < {required}")
             }
         }
@@ -66,7 +76,12 @@ pub fn check(boxes: &[(Layer, Rect)], rules: &DesignRules) -> Vec<Violation> {
         let min_w = rules.min_width(layer);
         let actual = rect.width().min(rect.height());
         if min_w > 0 && actual < min_w {
-            out.push(Violation::Width { index: i, layer, actual, required: min_w });
+            out.push(Violation::Width {
+                index: i,
+                layer,
+                actual,
+                required: min_w,
+            });
         }
     }
     for (i, &(la, ra)) in boxes.iter().enumerate() {
@@ -77,13 +92,20 @@ pub fn check(boxes: &[(Layer, Rect)], rules: &DesignRules) -> Vec<Violation> {
             if rb.area() == 0 {
                 continue;
             }
-            let Some(required) = rules.min_spacing(la, lb) else { continue };
+            let Some(required) = rules.min_spacing(la, lb) else {
+                continue;
+            };
             if la == lb && ra.intersect(rb).is_some() {
                 continue; // connected material
             }
             let gap = rect_gap(ra, rb);
             if gap < required {
-                out.push(Violation::Spacing { a: i, b: j, actual: gap, required });
+                out.push(Violation::Spacing {
+                    a: i,
+                    b: j,
+                    actual: gap,
+                    required,
+                });
             }
         }
     }
@@ -121,7 +143,14 @@ mod tests {
         let boxes = vec![(Layer::Metal1, Rect::from_coords(0, 0, 4, 40))]; // needs 6
         let v = check(&boxes, &rules());
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::Width { actual: 4, required: 6, .. }));
+        assert!(matches!(
+            v[0],
+            Violation::Width {
+                actual: 4,
+                required: 6,
+                ..
+            }
+        ));
         assert!(v[0].to_string().contains("width 4 < 6"));
     }
 
@@ -133,7 +162,14 @@ mod tests {
         ];
         let v = check(&boxes, &rules());
         assert_eq!(v.len(), 1);
-        assert!(matches!(v[0], Violation::Spacing { actual: 2, required: 4, .. }));
+        assert!(matches!(
+            v[0],
+            Violation::Spacing {
+                actual: 2,
+                required: 4,
+                ..
+            }
+        ));
         // Diagonal: L∞ gap 3 < 4.
         let diag = vec![
             (Layer::Poly, Rect::from_coords(0, 0, 4, 4)),

@@ -28,7 +28,9 @@ impl fmt::Display for LayoutError {
             LayoutError::RecursiveCell(name) => {
                 write!(f, "cell `{name}` transitively instantiates itself")
             }
-            LayoutError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            LayoutError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
         }
     }
 }
@@ -41,9 +43,15 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert_eq!(LayoutError::DuplicateCell("a".into()).to_string(), "duplicate cell name `a`");
-        assert!(LayoutError::Parse { line: 3, message: "bad".into() }
-            .to_string()
-            .contains("line 3"));
+        assert_eq!(
+            LayoutError::DuplicateCell("a".into()).to_string(),
+            "duplicate cell name `a`"
+        );
+        assert!(LayoutError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
     }
 }

@@ -27,9 +27,16 @@ pub struct FlatBox {
 pub fn flatten(table: &CellTable, root: CellId) -> Result<Vec<FlatBox>, LayoutError> {
     let mut out = Vec::new();
     let mut stack = Vec::new();
-    flatten_rec(table, root, Isometry::IDENTITY, 0, &mut stack, &mut |layer, rect, depth| {
-        out.push(FlatBox { layer, rect, depth });
-    })?;
+    flatten_rec(
+        table,
+        root,
+        Isometry::IDENTITY,
+        0,
+        &mut stack,
+        &mut |layer, rect, depth| {
+            out.push(FlatBox { layer, rect, depth });
+        },
+    )?;
     Ok(out)
 }
 
@@ -42,11 +49,18 @@ pub fn flatten_boxes_of(
 ) -> Result<Vec<Rect>, LayoutError> {
     let mut out = Vec::new();
     let mut stack = Vec::new();
-    flatten_rec(table, root, Isometry::IDENTITY, 0, &mut stack, &mut |layer, rect, _| {
-        if layer == wanted {
-            out.push(rect);
-        }
-    })?;
+    flatten_rec(
+        table,
+        root,
+        Isometry::IDENTITY,
+        0,
+        &mut stack,
+        &mut |layer, rect, _| {
+            if layer == wanted {
+                out.push(rect);
+            }
+        },
+    )?;
     Ok(out)
 }
 
@@ -105,7 +119,11 @@ mod tests {
         mid.add_instance(Instance::new(leaf, Point::new(10, 0), Orientation::SOUTH));
         let mid_id = t.insert(mid).unwrap();
         let mut top = CellDefinition::new("top");
-        top.add_instance(Instance::new(mid_id, Point::new(0, 100), Orientation::NORTH));
+        top.add_instance(Instance::new(
+            mid_id,
+            Point::new(0, 100),
+            Orientation::NORTH,
+        ));
         let top_id = t.insert(top).unwrap();
 
         let flat = flatten(&t, top_id).unwrap();
@@ -128,7 +146,9 @@ mod tests {
     #[test]
     fn single_layer_filter() {
         let (mut t, leaf) = leaf_table();
-        t.get_mut(leaf).unwrap().add_box(Layer::Poly, Rect::from_coords(0, 0, 1, 1));
+        t.get_mut(leaf)
+            .unwrap()
+            .add_box(Layer::Poly, Rect::from_coords(0, 0, 1, 1));
         let m1 = flatten_boxes_of(&t, leaf, Layer::Metal1).unwrap();
         assert_eq!(m1, vec![Rect::from_coords(0, 0, 4, 2)]);
         let m2 = flatten_boxes_of(&t, leaf, Layer::Metal2).unwrap();

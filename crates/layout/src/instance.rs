@@ -35,7 +35,11 @@ pub struct Instance {
 impl Instance {
     /// Creates an instance from its calling parameters.
     pub const fn new(cell: CellId, point_of_call: Point, orientation: Orientation) -> Instance {
-        Instance { cell, point_of_call, orientation }
+        Instance {
+            cell,
+            point_of_call,
+            orientation,
+        }
     }
 
     /// The isometry this call applies to the called cell's objects.
@@ -46,7 +50,13 @@ impl Instance {
 
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "cell#{} {}@{}", self.cell.raw(), self.orientation, self.point_of_call)
+        write!(
+            f,
+            "cell#{} {}@{}",
+            self.cell.raw(),
+            self.orientation,
+            self.point_of_call
+        )
     }
 }
 
@@ -63,7 +73,10 @@ mod tests {
         let i = Instance::new(id, Point::new(5, -2), Orientation::EAST);
         let iso = i.isometry();
         assert_eq!(iso.point_of_call(), Point::new(5, -2));
-        assert_eq!(iso.apply_vector(Vector::new(1, 0)), Orientation::EAST.apply_vector(Vector::new(1, 0)));
+        assert_eq!(
+            iso.apply_vector(Vector::new(1, 0)),
+            Orientation::EAST.apply_vector(Vector::new(1, 0))
+        );
         assert_eq!(iso.apply_point(Point::ORIGIN), Point::new(5, -2));
     }
 }

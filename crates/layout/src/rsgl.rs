@@ -111,7 +111,10 @@ pub fn read_rsgl(text: &str) -> Result<(CellTable, CellId), LayoutError> {
     let mut current: Option<CellDefinition> = None;
     let mut top: Option<CellId> = None;
 
-    let err = |line: usize, message: &str| LayoutError::Parse { line, message: message.into() };
+    let err = |line: usize, message: &str| LayoutError::Parse {
+        line,
+        message: message.into(),
+    };
 
     for (i, raw) in text.lines().enumerate() {
         let lineno = i + 1;
@@ -126,17 +129,23 @@ pub fn read_rsgl(text: &str) -> Result<(CellTable, CellId), LayoutError> {
                 if current.is_some() {
                     return Err(err(lineno, "nested `cell` (missing `end`?)"));
                 }
-                let name = toks.next().ok_or_else(|| err(lineno, "cell needs a name"))?;
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "cell needs a name"))?;
                 current = Some(CellDefinition::new(name));
             }
             "end" => {
-                let def = current.take().ok_or_else(|| err(lineno, "`end` outside a cell"))?;
+                let def = current
+                    .take()
+                    .ok_or_else(|| err(lineno, "`end` outside a cell"))?;
                 let name = def.name().to_owned();
                 let id = table.insert(def)?;
                 ids.insert(name, id);
             }
             "box" => {
-                let cell = current.as_mut().ok_or_else(|| err(lineno, "`box` outside a cell"))?;
+                let cell = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`box` outside a cell"))?;
                 let layer: Layer = toks
                     .next()
                     .ok_or_else(|| err(lineno, "box needs a layer"))?
@@ -149,27 +158,43 @@ pub fn read_rsgl(text: &str) -> Result<(CellTable, CellId), LayoutError> {
                 cell.add_box(layer, Rect::from_coords(nums[0], nums[1], nums[2], nums[3]));
             }
             "label" => {
-                let cell =
-                    current.as_mut().ok_or_else(|| err(lineno, "`label` outside a cell"))?;
-                let text = toks.next().ok_or_else(|| err(lineno, "label needs text"))?.to_owned();
+                let cell = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`label` outside a cell"))?;
+                let text = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "label needs text"))?
+                    .to_owned();
                 let nums = parse_ints::<2>(&mut toks).map_err(|m| err(lineno, &m))?;
                 cell.add_label(text, Point::new(nums[0], nums[1]));
             }
             "inst" => {
-                let name =
-                    toks.next().ok_or_else(|| err(lineno, "inst needs a cell name"))?.to_owned();
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "inst needs a cell name"))?
+                    .to_owned();
                 let target = *ids
                     .get(&name)
                     .ok_or_else(|| err(lineno, &format!("instance of undefined cell `{name}`")))?;
-                let o = toks.next().ok_or_else(|| err(lineno, "inst needs an orientation"))?;
+                let o = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "inst needs an orientation"))?;
                 let orientation = Orientation::from_name(o)
                     .ok_or_else(|| err(lineno, &format!("unknown orientation `{o}`")))?;
                 let nums = parse_ints::<2>(&mut toks).map_err(|m| err(lineno, &m))?;
-                let cell = current.as_mut().ok_or_else(|| err(lineno, "`inst` outside a cell"))?;
-                cell.add_instance(Instance::new(target, Point::new(nums[0], nums[1]), orientation));
+                let cell = current
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "`inst` outside a cell"))?;
+                cell.add_instance(Instance::new(
+                    target,
+                    Point::new(nums[0], nums[1]),
+                    orientation,
+                ));
             }
             "top" => {
-                let name = toks.next().ok_or_else(|| err(lineno, "top needs a cell name"))?;
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err(lineno, "top needs a cell name"))?;
                 top = Some(
                     *ids.get(name)
                         .ok_or_else(|| err(lineno, &format!("top cell `{name}` undefined")))?,
@@ -179,10 +204,18 @@ pub fn read_rsgl(text: &str) -> Result<(CellTable, CellId), LayoutError> {
         }
     }
     if current.is_some() {
-        return Err(err(text.lines().count(), "unterminated cell at end of file"));
+        return Err(err(
+            text.lines().count(),
+            "unterminated cell at end of file",
+        ));
     }
     let top = top
-        .or_else(|| table.len().checked_sub(1).map(|i| CellId::from_raw(i as u32)))
+        .or_else(|| {
+            table
+                .len()
+                .checked_sub(1)
+                .map(|i| CellId::from_raw(i as u32))
+        })
         .ok_or_else(|| err(1, "empty layout"))?;
     Ok((table, top))
 }
@@ -192,7 +225,9 @@ fn parse_ints<'a, const N: usize>(
 ) -> Result<[i64; N], String> {
     let mut out = [0i64; N];
     for slot in out.iter_mut() {
-        let t = toks.next().ok_or_else(|| "missing numeric field".to_owned())?;
+        let t = toks
+            .next()
+            .ok_or_else(|| "missing numeric field".to_owned())?;
         *slot = t.parse::<i64>().map_err(|_| format!("bad integer `{t}`"))?;
     }
     Ok(out)
@@ -255,7 +290,10 @@ mod tests {
     #[test]
     fn forward_reference_rejected() {
         let text = "cell a\n  inst b N 0 0\nend\ncell b\nend\n";
-        assert!(matches!(read_rsgl(text), Err(LayoutError::Parse { line: 2, .. })));
+        assert!(matches!(
+            read_rsgl(text),
+            Err(LayoutError::Parse { line: 2, .. })
+        ));
     }
 
     #[test]

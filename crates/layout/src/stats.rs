@@ -32,7 +32,15 @@ impl LayoutStats {
         let mut stats = LayoutStats::default();
         let mut reach = std::collections::HashSet::new();
         let mut stack = Vec::new();
-        walk(table, root, rsg_geom::Isometry::IDENTITY, 0, &mut stack, &mut reach, &mut stats)?;
+        walk(
+            table,
+            root,
+            rsg_geom::Isometry::IDENTITY,
+            0,
+            &mut stack,
+            &mut reach,
+            &mut stats,
+        )?;
         stats.distinct_cells = reach.len();
         Ok(stats)
     }
@@ -67,7 +75,15 @@ fn walk(
     stack.push(cell);
     for inst in def.instances() {
         stats.total_instances += 1;
-        walk(table, inst.cell, iso.compose(inst.isometry()), depth + 1, stack, reach, stats)?;
+        walk(
+            table,
+            inst.cell,
+            iso.compose(inst.isometry()),
+            depth + 1,
+            stack,
+            reach,
+            stats,
+        )?;
     }
     stack.pop();
     Ok(())
@@ -107,7 +123,11 @@ mod tests {
         let leaf_id = t.insert(leaf).unwrap();
         let mut row = CellDefinition::new("row");
         for i in 0..3 {
-            row.add_instance(Instance::new(leaf_id, Point::new(i * 10, 0), Orientation::NORTH));
+            row.add_instance(Instance::new(
+                leaf_id,
+                Point::new(i * 10, 0),
+                Orientation::NORTH,
+            ));
         }
         let row_id = t.insert(row).unwrap();
         let mut top = CellDefinition::new("top");

@@ -40,7 +40,11 @@ impl DesignRules {
 
     /// Sets the minimum spacing between two layers (symmetric).
     pub fn set_min_spacing(&mut self, a: Layer, b: Layer, s: i64) -> &mut Self {
-        let key = if a.index() <= b.index() { (a, b) } else { (b, a) };
+        let key = if a.index() <= b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.min_spacing.insert(key, s);
         self
     }
@@ -52,7 +56,11 @@ impl DesignRules {
 
     /// Minimum spacing between two layers, `None` when they don't interact.
     pub fn min_spacing(&self, a: Layer, b: Layer) -> Option<i64> {
-        let key = if a.index() <= b.index() { (a, b) } else { (b, a) };
+        let key = if a.index() <= b.index() {
+            (a, b)
+        } else {
+            (b, a)
+        };
         self.min_spacing.get(&key).copied()
     }
 }
@@ -94,7 +102,11 @@ impl Technology {
         r.contact_overlap = lambda;
         r.contact_cut_size = 2 * lambda;
         r.contact_cut_spacing = 2 * lambda;
-        Technology { name: format!("mc-lambda-{lambda}"), lambda, rules: r }
+        Technology {
+            name: format!("mc-lambda-{lambda}"),
+            lambda,
+            rules: r,
+        }
     }
 }
 
@@ -129,10 +141,18 @@ mod tests {
     fn scaling_lambda_scales_rules() {
         let a = Technology::mead_conway(1);
         let b = Technology::mead_conway(3);
-        assert_eq!(a.rules.min_width(Layer::Poly) * 3, b.rules.min_width(Layer::Poly));
         assert_eq!(
-            a.rules.min_spacing(Layer::Diffusion, Layer::Diffusion).unwrap() * 3,
-            b.rules.min_spacing(Layer::Diffusion, Layer::Diffusion).unwrap()
+            a.rules.min_width(Layer::Poly) * 3,
+            b.rules.min_width(Layer::Poly)
+        );
+        assert_eq!(
+            a.rules
+                .min_spacing(Layer::Diffusion, Layer::Diffusion)
+                .unwrap()
+                * 3,
+            b.rules
+                .min_spacing(Layer::Diffusion, Layer::Diffusion)
+                .unwrap()
         );
     }
 
@@ -145,7 +165,8 @@ mod tests {
     #[test]
     fn builder_style_overrides() {
         let mut r = DesignRules::new();
-        r.set_min_width(Layer::Poly, 5).set_min_width(Layer::Poly, 7);
+        r.set_min_width(Layer::Poly, 5)
+            .set_min_width(Layer::Poly, 7);
         assert_eq!(r.min_width(Layer::Poly), 7);
     }
 }

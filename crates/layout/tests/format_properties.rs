@@ -24,7 +24,10 @@ fn arb_orientation() -> impl Strategy<Value = Orientation> {
 /// them at random placements.
 fn arb_table() -> impl Strategy<Value = (CellTable, rsg_layout::CellId)> {
     (
-        proptest::collection::vec(proptest::collection::vec((arb_layer(), arb_rect()), 1..6), 1..4),
+        proptest::collection::vec(
+            proptest::collection::vec((arb_layer(), arb_rect()), 1..6),
+            1..4,
+        ),
         proptest::collection::vec(
             (0usize..4, -300i64..300, -300i64..300, arb_orientation()),
             1..10,

@@ -41,8 +41,10 @@ impl BaughWooley {
     /// Panics unless `2 ≤ m`, `2 ≤ n`, and `m + n ≤ 62` (so products fit
     /// an `i64` during simulation).
     pub fn new(m: usize, n: usize) -> BaughWooley {
-        assert!((2..=60).contains(&m) && (2..=60).contains(&n) && m + n <= 62,
-            "unsupported multiplier size {m}x{n}");
+        assert!(
+            (2..=60).contains(&m) && (2..=60).contains(&n) && m + n <= 62,
+            "unsupported multiplier size {m}x{n}"
+        );
         BaughWooley { m, n }
     }
 
@@ -103,8 +105,16 @@ impl BaughWooley {
     ///
     /// Panics if the operands are outside the representable ranges.
     pub fn multiply(&self, a: i64, b: i64) -> i64 {
-        assert!(self.a_range().contains(&a), "a={a} out of range for {}-bit", self.m);
-        assert!(self.b_range().contains(&b), "b={b} out of range for {}-bit", self.n);
+        assert!(
+            self.a_range().contains(&a),
+            "a={a} out of range for {}-bit",
+            self.m
+        );
+        assert!(
+            self.b_range().contains(&b),
+            "b={b} out of range for {}-bit",
+            self.n
+        );
         let width = self.m + self.n;
         let mut acc: u64 = 0;
         for j in 0..self.n {
@@ -117,7 +127,11 @@ impl BaughWooley {
             acc = acc.wrapping_add(1u64 << w);
         }
         // Interpret the low `width` bits as two's complement.
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let val = acc & mask;
         let sign = 1u64 << (width - 1);
         if val & sign != 0 {

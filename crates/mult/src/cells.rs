@@ -30,8 +30,9 @@ pub const REG_HEIGHT: i64 = 20;
 pub const REG_WIDTH: i64 = 20;
 
 /// Names of the mask cells applied to the basic cell, in a stable order.
-pub const BASIC_MASKS: [&str; 8] =
-    ["typei", "typeii", "clock1", "clock2", "carry1", "carry2", "topm1", "topm2"];
+pub const BASIC_MASKS: [&str; 8] = [
+    "typei", "typeii", "clock1", "clock2", "carry1", "carry2", "topm1", "topm2",
+];
 
 /// Names of the right-register direction masks.
 pub const REG_MASKS: [&str; 3] = ["goboth", "goleft", "goright"];
@@ -131,13 +132,21 @@ pub fn sample_layout() -> CellTable {
     // basic–basic horizontal (#1) and vertical (#2).
     let mut s = CellDefinition::new("s_h");
     s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
-    s.add_instance(Instance::new(basic, Point::new(PITCH, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(
+        basic,
+        Point::new(PITCH, 0),
+        Orientation::NORTH,
+    ));
     s.add_label("1", Point::new(PITCH, PITCH / 2));
     t.insert(s).expect("fresh");
 
     let mut s = CellDefinition::new("s_v");
     s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
-    s.add_instance(Instance::new(basic, Point::new(0, -PITCH), Orientation::NORTH));
+    s.add_instance(Instance::new(
+        basic,
+        Point::new(0, -PITCH),
+        Orientation::NORTH,
+    ));
     s.add_label("2", Point::new(PITCH / 2, 0));
     t.insert(s).expect("fresh");
 
@@ -153,45 +162,81 @@ pub fn sample_layout() -> CellTable {
     // basic–register interfaces.
     let mut s = CellDefinition::new("s_treg");
     s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
-    s.add_instance(Instance::new(topreg, Point::new(0, PITCH), Orientation::NORTH));
+    s.add_instance(Instance::new(
+        topreg,
+        Point::new(0, PITCH),
+        Orientation::NORTH,
+    ));
     s.add_label("1", Point::new(PITCH / 2, PITCH));
     t.insert(s).expect("fresh");
 
     let mut s = CellDefinition::new("s_breg");
     s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
-    s.add_instance(Instance::new(bottomreg, Point::new(0, -REG_HEIGHT), Orientation::NORTH));
+    s.add_instance(Instance::new(
+        bottomreg,
+        Point::new(0, -REG_HEIGHT),
+        Orientation::NORTH,
+    ));
     s.add_label("1", Point::new(PITCH / 2, 0));
     t.insert(s).expect("fresh");
 
     let mut s = CellDefinition::new("s_rreg");
     s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
-    s.add_instance(Instance::new(rightreg, Point::new(PITCH, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(
+        rightreg,
+        Point::new(PITCH, 0),
+        Orientation::NORTH,
+    ));
     s.add_label("1", Point::new(PITCH, PITCH / 2));
     t.insert(s).expect("fresh");
 
     // Register–register pitches.
     let mut s = CellDefinition::new("s_tregh");
     s.add_instance(Instance::new(topreg, Point::new(0, 0), Orientation::NORTH));
-    s.add_instance(Instance::new(topreg, Point::new(PITCH, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(
+        topreg,
+        Point::new(PITCH, 0),
+        Orientation::NORTH,
+    ));
     s.add_label("1", Point::new(PITCH, REG_HEIGHT / 2));
     t.insert(s).expect("fresh");
 
     let mut s = CellDefinition::new("s_bregh");
-    s.add_instance(Instance::new(bottomreg, Point::new(0, 0), Orientation::NORTH));
-    s.add_instance(Instance::new(bottomreg, Point::new(PITCH, 0), Orientation::NORTH));
+    s.add_instance(Instance::new(
+        bottomreg,
+        Point::new(0, 0),
+        Orientation::NORTH,
+    ));
+    s.add_instance(Instance::new(
+        bottomreg,
+        Point::new(PITCH, 0),
+        Orientation::NORTH,
+    ));
     s.add_label("1", Point::new(PITCH, REG_HEIGHT / 2));
     t.insert(s).expect("fresh");
 
     let mut s = CellDefinition::new("s_rregv");
-    s.add_instance(Instance::new(rightreg, Point::new(0, 0), Orientation::NORTH));
-    s.add_instance(Instance::new(rightreg, Point::new(0, -PITCH), Orientation::NORTH));
+    s.add_instance(Instance::new(
+        rightreg,
+        Point::new(0, 0),
+        Orientation::NORTH,
+    ));
+    s.add_instance(Instance::new(
+        rightreg,
+        Point::new(0, -PITCH),
+        Orientation::NORTH,
+    ));
     s.add_label("1", Point::new(REG_WIDTH / 2, 0));
     t.insert(s).expect("fresh");
 
     // rightreg + direction masks.
     for (i, (mask, rect)) in reg_mask_ids.iter().enumerate() {
         let mut s = CellDefinition::new(format!("s_rmask{i}"));
-        s.add_instance(Instance::new(rightreg, Point::new(0, 0), Orientation::NORTH));
+        s.add_instance(Instance::new(
+            rightreg,
+            Point::new(0, 0),
+            Orientation::NORTH,
+        ));
         s.add_instance(Instance::new(*mask, Point::new(0, 0), Orientation::NORTH));
         s.add_label("1", rect.center());
         t.insert(s).expect("fresh");

@@ -1,0 +1,134 @@
+//! Leaf compaction of the multiplier cell library (§6.1 applied to the
+//! Chapter 5 cells).
+//!
+//! An n×n multiplier instantiates the basic cell n² times; the paper's
+//! point is that compacting `basic` once — with the array pitch λ as an
+//! unknown — replaces n² compactions. The core array and the register
+//! stacks are independent constraint systems, so they form separate
+//! [`LibraryJob`]s for the parallel batch compactor.
+
+use crate::cells::{PITCH, REG_HEIGHT};
+use rsg_compact::backend::Solver;
+use rsg_compact::leaf::{
+    compact_batch, CompactionResult, LeafError, LeafInterface, LibraryJob, Parallelism, PitchKind,
+};
+use rsg_layout::DesignRules;
+
+/// The independent compaction jobs of the multiplier library: the core
+/// array cell under its horizontal pitch + vertical abutment, and the
+/// top/bottom register stacks under the same horizontal pitch.
+pub fn library_jobs() -> Vec<LibraryJob> {
+    let sample = crate::cells::sample_layout();
+    let cell = |name: &str| {
+        sample
+            .get(sample.lookup(name).expect("sample cell"))
+            .expect("defined")
+            .clone()
+    };
+    let core = LibraryJob {
+        cells: vec![cell("basic")],
+        interfaces: vec![
+            LeafInterface {
+                cell_a: 0,
+                cell_b: 0,
+                // Weight = expected replication (a 32×32 array has 32
+                // columns per row).
+                kind: PitchKind::VariableX {
+                    initial: PITCH,
+                    weight: 32,
+                },
+                y_offset: 0,
+                name: "array_pitch".into(),
+            },
+            LeafInterface {
+                cell_a: 0,
+                cell_b: 0,
+                kind: PitchKind::FixedX(0),
+                y_offset: -PITCH,
+                name: "array_row".into(),
+            },
+        ],
+    };
+    let registers = LibraryJob {
+        cells: vec![cell("topreg"), cell("bottomreg")],
+        interfaces: vec![
+            LeafInterface {
+                cell_a: 0,
+                cell_b: 0,
+                kind: PitchKind::VariableX {
+                    initial: PITCH,
+                    weight: 4,
+                },
+                y_offset: 0,
+                name: "topreg_pitch".into(),
+            },
+            LeafInterface {
+                cell_a: 1,
+                cell_b: 1,
+                kind: PitchKind::VariableX {
+                    initial: PITCH,
+                    weight: 4,
+                },
+                y_offset: 0,
+                name: "bottomreg_pitch".into(),
+            },
+            LeafInterface {
+                cell_a: 0,
+                cell_b: 1,
+                kind: PitchKind::FixedX(0),
+                y_offset: -REG_HEIGHT,
+                name: "reg_stack".into(),
+            },
+        ],
+    };
+    vec![core, registers]
+}
+
+/// Compacts the multiplier library for a target technology through any
+/// backend, fanning the independent jobs out per [`Parallelism`].
+///
+/// # Errors
+///
+/// Returns the first [`LeafError`] any job produced.
+pub fn compact_library(
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    parallelism: Parallelism,
+) -> Result<Vec<CompactionResult>, LeafError> {
+    compact_batch(&library_jobs(), rules, solver, parallelism)
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_compact::backend::{Balanced, BellmanFord};
+    use rsg_layout::Technology;
+
+    #[test]
+    fn core_pitch_never_exceeds_sample() {
+        let tech = Technology::mead_conway(2);
+        let out = compact_library(&tech.rules, &BellmanFord::SORTED, Parallelism::Auto).unwrap();
+        let core = &out[0];
+        let (name, pitch) = &core.pitches[0];
+        assert_eq!(name, "array_pitch");
+        assert!(*pitch > 0 && *pitch <= PITCH, "array pitch {pitch}");
+    }
+
+    #[test]
+    fn backends_and_parallelism_agree() {
+        let tech = Technology::mead_conway(2);
+        let serial =
+            compact_library(&tech.rules, &BellmanFord::SORTED, Parallelism::Serial).unwrap();
+        let parallel =
+            compact_library(&tech.rules, &BellmanFord::SORTED, Parallelism::Threads(2)).unwrap();
+        assert_eq!(serial, parallel);
+        // The balanced backend solves the same pitches (positions may
+        // differ inside the solved pitch).
+        let balanced = compact_library(&tech.rules, &Balanced, Parallelism::Auto).unwrap();
+        for (a, b) in serial.iter().zip(&balanced) {
+            assert_eq!(a.pitches, b.pitches);
+        }
+    }
+}

@@ -54,7 +54,10 @@ pub fn generate_with(
     xsize: usize,
     ysize: usize,
 ) -> Result<MultiplierLayout, RsgError> {
-    assert!(xsize > 0 && ysize > 0, "degenerate multiplier {xsize}x{ysize}");
+    assert!(
+        xsize > 0 && ysize > 0,
+        "degenerate multiplier {xsize}x{ysize}"
+    );
     let mut rsg = Rsg::from_sample(sample)?;
     let look = |rsg: &Rsg, name: &str| rsg.cells().lookup(name).expect("sample cell");
     let basic = look(&rsg, "basic");
@@ -92,7 +95,11 @@ pub fn generate_with(
         let t = rsg.mk_instance(type_mask);
         rsg.connect(c, t, 1)?;
         // Clock assignment by column parity.
-        let clk = rsg.mk_instance(if xloc % 2 == 0 { clock1 } else { clock2 });
+        let clk = rsg.mk_instance(if xloc.is_multiple_of(2) {
+            clock1
+        } else {
+            clock2
+        });
         rsg.connect(c, clk, 1)?;
         // Carry interface mask: the left column differs.
         let car = rsg.mk_instance(if xloc == 1 { carry2 } else { carry1 });
@@ -345,8 +352,11 @@ mod tests {
         let out = generate(4, 3).unwrap();
         let def = out.rsg.cells().require(out.array).unwrap();
         let basic = out.rsg.cells().lookup("basic").unwrap();
-        let pts: Vec<Point> =
-            def.instances().filter(|i| i.cell == basic).map(|i| i.point_of_call).collect();
+        let pts: Vec<Point> = def
+            .instances()
+            .filter(|i| i.cell == basic)
+            .map(|i| i.point_of_call)
+            .collect();
         assert_eq!(pts.len(), 12);
         for yloc in 1..=3 {
             for xloc in 1..=4 {
@@ -384,7 +394,10 @@ mod tests {
         assert_eq!(top.instances().count(), 4);
         let find = |name: &str| {
             let id = cells.lookup(name).unwrap();
-            top.instances().find(|i| i.cell == id).map(|i| i.point_of_call).unwrap()
+            top.instances()
+                .find(|i| i.cell == id)
+                .map(|i| i.point_of_call)
+                .unwrap()
         };
         assert_eq!(find("array"), Point::new(0, 0));
         assert_eq!(find("topregs"), Point::new(0, PITCH));

@@ -34,6 +34,7 @@
 
 pub mod baugh_wooley;
 pub mod cells;
+pub mod compactor;
 pub mod generator;
 pub mod pipeline;
 

@@ -105,7 +105,12 @@ impl PipelinedMultiplier {
                 p = end;
             }
         }
-        PipelinedMultiplier { bw, beta, csa_stages, cpa_stages }
+        PipelinedMultiplier {
+            bw,
+            beta,
+            csa_stages,
+            cpa_stages,
+        }
     }
 
     /// The underlying Baugh-Wooley structural model.
@@ -157,7 +162,10 @@ impl PipelinedMultiplier {
             assert!(self.bw.b_range().contains(&b), "b={b} out of range");
         }
         if self.beta == 0 {
-            return inputs.iter().map(|&(a, b)| self.combinational(a, b)).collect();
+            return inputs
+                .iter()
+                .map(|&(a, b)| self.combinational(a, b))
+                .collect();
         }
         let width = self.bw.m() + self.bw.n();
         let stages = self.latency();
@@ -256,7 +264,11 @@ impl PipelinedMultiplier {
 
     fn read_result(&self, w: &Wave) -> i64 {
         let width = self.bw.m() + self.bw.n();
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let val = w.result & mask;
         let sign = 1u64 << (width - 1);
         if val & sign != 0 {
@@ -336,8 +348,9 @@ mod tests {
         // A full pipeline delivers one product per clock: N inputs produce
         // exactly N outputs after the fill latency, in order.
         let m = PipelinedMultiplier::new(6, 6, 1);
-        let inputs: Vec<(i64, i64)> =
-            (0..40).map(|k| ((k % 31) - 15, ((k * 7) % 29) - 14)).collect();
+        let inputs: Vec<(i64, i64)> = (0..40)
+            .map(|k| ((k % 31) - 15, ((k * 7) % 29) - 14))
+            .collect();
         let outputs = m.simulate_stream(&inputs);
         assert_eq!(outputs.len(), inputs.len());
         for (k, &(a, b)) in inputs.iter().enumerate() {

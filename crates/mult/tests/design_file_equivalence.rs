@@ -30,11 +30,18 @@ fn interpreted_design_file_matches_native_generator() {
             &parameter_file_source(xs, ys),
         )
         .unwrap_or_else(|e| panic!("{xs}x{ys}: {e}"));
-        let top = run.rsg.cells().lookup("thewholething").expect("top cell built");
+        let top = run
+            .rsg
+            .cells()
+            .lookup("thewholething")
+            .expect("top cell built");
 
         let native_sig = flat_signature(native.rsg.cells(), native.top);
         let interp_sig = flat_signature(run.rsg.cells(), top);
-        assert_eq!(native_sig, interp_sig, "flat geometry differs for {xs}x{ys}");
+        assert_eq!(
+            native_sig, interp_sig,
+            "flat geometry differs for {xs}x{ys}"
+        );
 
         let s_native = LayoutStats::compute(native.rsg.cells(), native.top).unwrap();
         let s_interp = LayoutStats::compute(run.rsg.cells(), top).unwrap();
@@ -73,7 +80,12 @@ fn paper_fig_5_6_shape_for_6x6() {
     let count_in = |cell_name: &str, inner: &str| -> usize {
         let holder = cells.lookup(cell_name).unwrap();
         let target = cells.lookup(inner).unwrap();
-        cells.require(holder).unwrap().instances().filter(|i| i.cell == target).count()
+        cells
+            .require(holder)
+            .unwrap()
+            .instances()
+            .filter(|i| i.cell == target)
+            .count()
     };
     assert_eq!(count_in("array", "basic"), 36);
     assert_eq!(count_in("array", "typei") + count_in("array", "typeii"), 36);

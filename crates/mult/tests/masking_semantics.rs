@@ -18,7 +18,10 @@ fn every_cell_gets_one_mask_per_decision() {
     let cells = out.rsg.cells();
     let def = cells.require(out.array).unwrap();
     let basic = cells.lookup("basic").unwrap();
-    let mask_ids: Vec<_> = BASIC_MASKS.iter().map(|n| cells.lookup(n).unwrap()).collect();
+    let mask_ids: Vec<_> = BASIC_MASKS
+        .iter()
+        .map(|n| cells.lookup(n).unwrap())
+        .collect();
     for core in def.instances().filter(|i| i.cell == basic) {
         let masks_here = def
             .instances()
@@ -37,16 +40,17 @@ fn personalities_cover_the_expected_combinations() {
     let cells = out.rsg.cells();
     let def = cells.require(out.array).unwrap();
     let basic = cells.lookup("basic").unwrap();
-    let mask_ids: Vec<_> = BASIC_MASKS.iter().map(|n| cells.lookup(n).unwrap()).collect();
+    let mask_ids: Vec<_> = BASIC_MASKS
+        .iter()
+        .map(|n| cells.lookup(n).unwrap())
+        .collect();
 
     let mut personalities = HashSet::new();
     for core in def.instances().filter(|i| i.cell == basic) {
         let mut combo: Vec<&str> = def
             .instances()
             .filter(|i| i.point_of_call == core.point_of_call && mask_ids.contains(&i.cell))
-            .map(|i| {
-                BASIC_MASKS[mask_ids.iter().position(|&m| m == i.cell).expect("mask")]
-            })
+            .map(|i| BASIC_MASKS[mask_ids.iter().position(|&m| m == i.cell).expect("mask")])
             .collect();
         combo.sort_unstable();
         personalities.insert(combo);

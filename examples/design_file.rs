@@ -29,15 +29,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (_, def) in run.rsg.cells().iter() {
         let (boxes, labels, instances) = def.object_counts();
         if instances > 0 && !def.name().starts_with("s_") {
-            println!("  {:<16} {instances:>5} instances, {boxes} boxes, {labels} labels", def.name());
+            println!(
+                "  {:<16} {instances:>5} instances, {boxes} boxes, {labels} labels",
+                def.name()
+            );
         }
     }
 
-    let top = run.rsg.cells().lookup("thewholething").expect("design file built the top");
+    let top = run
+        .rsg
+        .cells()
+        .lookup("thewholething")
+        .expect("design file built the top");
     let stats = LayoutStats::compute(run.rsg.cells(), top)?;
     println!("\nthewholething:\n{stats}");
 
     let rsgl = rsg::layout::write_rsgl(run.rsg.cells(), top)?;
-    println!("rsgl output: {} bytes ({} lines)", rsgl.len(), rsgl.lines().count());
+    println!(
+        "rsgl output: {} bytes ({} lines)",
+        rsgl.len(),
+        rsgl.lines().count()
+    );
     Ok(())
 }

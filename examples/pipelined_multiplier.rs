@@ -10,7 +10,10 @@ use rsg::mult::generator;
 use rsg::mult::pipeline::PipelinedMultiplier;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
 
     // --- layout side -----------------------------------------------------
     let out = generator::generate(n, n)?;
@@ -22,14 +25,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- functional side: the β sweep -------------------------------------
     println!("\n=== pipelining degree sweep (Fig 5.2) ===");
-    println!("{:>4} {:>9} {:>14} {:>10}", "beta", "latency", "register bits", "check");
+    println!(
+        "{:>4} {:>9} {:>14} {:>10}",
+        "beta", "latency", "register bits", "check"
+    );
     let nbits = n.clamp(2, 16);
     for beta in [0usize, 1, 2, 4] {
         let m = PipelinedMultiplier::new(nbits, nbits, beta);
         // Verify a stream of products through the real pipeline.
         let hi = (1i64 << (nbits - 1)) - 1;
-        let pairs: Vec<(i64, i64)> =
-            (0..16).map(|k| ((k * 37 % (2 * hi)) - hi, (k * 11 % (2 * hi)) - hi)).collect();
+        let pairs: Vec<(i64, i64)> = (0..16)
+            .map(|k| ((k * 37 % (2 * hi)) - hi, (k * 11 % (2 * hi)) - hi))
+            .collect();
         let outs = m.simulate_stream(&pairs);
         let ok = pairs.iter().zip(&outs).all(|(&(a, b), &p)| p == a * b);
         println!(

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // label "1" in the shared region defines interface #1.
     let mut pair = CellDefinition::new("example_pair");
     pair.add_instance(Instance::new(tile_id, Point::new(0, 0), Orientation::NORTH));
-    pair.add_instance(Instance::new(tile_id, Point::new(12, 0), Orientation::NORTH));
+    pair.add_instance(Instance::new(
+        tile_id,
+        Point::new(12, 0),
+        Orientation::NORTH,
+    ));
     pair.add_label("1", Point::new(12, 6));
     sample.insert(pair)?;
 

@@ -2,10 +2,11 @@
 //! at the solved pitches, and let the independent DRC referee confirm the
 //! result; compare unknown counts against flat compaction.
 
+use rsg::compact::backend::BellmanFord;
 use rsg::compact::leaf::{compact, LeafInterface, PitchKind};
 use rsg::compact::scanline::{generate as gen_constraints, Method};
 use rsg::compact::solver::{solve, solve_balanced, EdgeOrder};
-use rsg::geom::{Rect, Vector};
+use rsg::geom::{Axis, Rect, Vector};
 use rsg::layout::{drc, CellDefinition, Layer, Technology};
 
 fn library_cell() -> CellDefinition {
@@ -29,9 +30,18 @@ fn h_interface(initial: i64) -> LeafInterface {
 #[test]
 fn compacted_library_tiles_drc_clean() {
     let tech = Technology::mead_conway(2);
-    let out = compact(&[library_cell()], &[h_interface(60)], &tech.rules).unwrap();
+    let out = compact(
+        &[library_cell()],
+        &[h_interface(60)],
+        &tech.rules,
+        &BellmanFord::SORTED,
+    )
+    .unwrap();
     let pitch = out.pitches[0].1;
-    assert!(pitch < 60, "compaction should shrink the sample pitch, got {pitch}");
+    assert!(
+        pitch < 60,
+        "compaction should shrink the sample pitch, got {pitch}"
+    );
 
     // Re-tile 4 instances at the solved pitch; the independent DRC
     // referee (which shares no code with the constraint generator's
@@ -50,7 +60,13 @@ fn compacted_library_tiles_drc_clean() {
 fn one_step_tighter_pitch_fails_drc() {
     // The solved pitch is *minimal*: tiling one unit tighter violates.
     let tech = Technology::mead_conway(2);
-    let out = compact(&[library_cell()], &[h_interface(60)], &tech.rules).unwrap();
+    let out = compact(
+        &[library_cell()],
+        &[h_interface(60)],
+        &tech.rules,
+        &BellmanFord::SORTED,
+    )
+    .unwrap();
     let pitch = out.pitches[0].1 - 1;
     let mut flat = Vec::new();
     for k in 0..2i64 {
@@ -66,7 +82,13 @@ fn unknown_count_constant_vs_quadratic() {
     // E11/E13: leaf unknowns are independent of the replication factor;
     // flat unknowns grow with n².
     let tech = Technology::mead_conway(2);
-    let leaf = compact(&[library_cell()], &[h_interface(60)], &tech.rules).unwrap();
+    let leaf = compact(
+        &[library_cell()],
+        &[h_interface(60)],
+        &tech.rules,
+        &BellmanFord::SORTED,
+    )
+    .unwrap();
     let boxes_per_cell = library_cell().boxes().count();
     assert_eq!(leaf.unknowns, 2 * boxes_per_cell + 1);
 
@@ -78,10 +100,13 @@ fn unknown_count_constant_vs_quadratic() {
                 flat.push((l, r.translate(Vector::new(k * 60, 0))));
             }
         }
-        let (sys, _) = gen_constraints(&flat, &tech.rules, Method::Visibility);
+        let (sys, _) = gen_constraints(&flat, &tech.rules, Method::Visibility, Axis::X);
         flat_unknowns.push(sys.num_vars());
     }
-    assert_eq!(flat_unknowns, vec![2 * boxes_per_cell * 2, 2 * boxes_per_cell * 4]);
+    assert_eq!(
+        flat_unknowns,
+        vec![2 * boxes_per_cell * 2, 2 * boxes_per_cell * 4]
+    );
     assert!(leaf.unknowns < flat_unknowns[0]);
 }
 
@@ -93,12 +118,14 @@ fn technology_retarget_scales_the_pitch() {
         &[library_cell()],
         &[h_interface(60)],
         &Technology::mead_conway(1).rules,
+        &BellmanFord::SORTED,
     )
     .unwrap();
     let coarse = compact(
         &[library_cell()],
         &[h_interface(60)],
         &Technology::mead_conway(3).rules,
+        &BellmanFord::SORTED,
     )
     .unwrap();
     assert!(fine.pitches[0].1 < coarse.pitches[0].1);
@@ -117,7 +144,7 @@ fn flat_compaction_of_generated_multiplier_metal() {
         .collect();
     assert!(!boxes.is_empty());
     let tech = Technology::mead_conway(2);
-    let (sys, _) = gen_constraints(&boxes, &tech.rules, Method::Visibility);
+    let (sys, _) = gen_constraints(&boxes, &tech.rules, Method::Visibility, Axis::X);
     let left = solve(&sys, EdgeOrder::Sorted).unwrap();
     let balanced = solve_balanced(&sys).unwrap();
     assert!(sys.violations(&left.positions_vec(), &[]).is_empty());

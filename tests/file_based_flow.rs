@@ -49,7 +49,11 @@ fn everything_through_text_files() {
     // 4. The output file.
     let top = run.rsg.cells().lookup("thewholething").unwrap();
     let out_path = dir.join("mult.cif");
-    std::fs::write(&out_path, rsg::layout::write_cif(run.rsg.cells(), top).unwrap()).unwrap();
+    std::fs::write(
+        &out_path,
+        rsg::layout::write_cif(run.rsg.cells(), top).unwrap(),
+    )
+    .unwrap();
 
     // Verify against the in-memory native path.
     let native = rsg::mult::generator::generate(4, 4).unwrap();

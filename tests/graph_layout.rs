@@ -29,7 +29,7 @@ fn spanning_tree_suffices_fig_3_3() {
         let mut s = CellDefinition::new(name);
         s.add_instance(Instance::new(a, Point::new(0, 0), Orientation::NORTH));
         s.add_instance(Instance::new(b, at, Orientation::NORTH));
-        s.add_label("1", Point::new(at.x.max(0), at.y.min(10).max(0)));
+        s.add_label("1", Point::new(at.x.max(0), at.y.clamp(0, 10)));
         sample.insert(s).unwrap();
     }
 
@@ -52,7 +52,8 @@ fn spanning_tree_suffices_fig_3_3() {
     let def = rsg.cells().require(cluster).unwrap();
     for (cell, at) in expect {
         assert!(
-            def.instances().any(|i| i.cell == cell && i.point_of_call == at),
+            def.instances()
+                .any(|i| i.cell == cell && i.point_of_call == at),
             "missing {cell:?} at {at}"
         );
     }
@@ -141,10 +142,20 @@ fn interface_families_by_index() {
     let mut cb = CellDefinition::new("b");
     cb.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 4));
     let b = rsg.cells_mut().insert(cb).unwrap();
-    rsg.declare_primitive_interface(a, b, 1, Interface::new(Vector::new(6, 0), Orientation::WEST))
-        .unwrap();
-    rsg.declare_primitive_interface(a, b, 2, Interface::new(Vector::new(0, 6), Orientation::SOUTH))
-        .unwrap();
+    rsg.declare_primitive_interface(
+        a,
+        b,
+        1,
+        Interface::new(Vector::new(6, 0), Orientation::WEST),
+    )
+    .unwrap();
+    rsg.declare_primitive_interface(
+        a,
+        b,
+        2,
+        Interface::new(Vector::new(0, 6), Orientation::SOUTH),
+    )
+    .unwrap();
 
     let na = rsg.mk_instance(a);
     let nb1 = rsg.mk_instance(b);

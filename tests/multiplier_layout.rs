@@ -43,9 +43,7 @@ fn no_two_core_cells_collide() {
     let rects: Vec<rsg::geom::Rect> = def
         .instances()
         .filter(|i| i.cell == basic)
-        .map(|i| {
-            rsg::geom::Rect::from_origin_size(i.point_of_call, PITCH, PITCH)
-        })
+        .map(|i| rsg::geom::Rect::from_origin_size(i.point_of_call, PITCH, PITCH))
         .collect();
     for (i, a) in rects.iter().enumerate() {
         for b in &rects[i + 1..] {
@@ -79,7 +77,14 @@ fn cif_and_rsgl_round_trip_the_full_multiplier() {
     let out = generate(6, 6).unwrap();
     let cif = rsg::layout::write_cif(out.rsg.cells(), out.top).unwrap();
     // Every sample cell the generator used is defined once in the CIF.
-    for name in ["basic", "typei", "typeii", "topreg", "bottomreg", "rightreg"] {
+    for name in [
+        "basic",
+        "typei",
+        "typeii",
+        "topreg",
+        "bottomreg",
+        "rightreg",
+    ] {
         assert_eq!(cif.matches(&format!("9 {name};")).count(), 1, "{name}");
     }
     let rsgl = rsg::layout::write_rsgl(out.rsg.cells(), out.top).unwrap();

@@ -10,9 +10,10 @@ fn rsg_matches_relocation_at_scale() {
     // 6 in / 10 products / 4 out.
     let rows: Vec<String> = (0..10)
         .map(|p| {
-            let cube: String =
-                (0..6).map(|i| ['1', '0', '-'][(p + i) % 3]).collect();
-            let outs: String = (0..4).map(|o| if (p * 3 + o) % 2 == 0 { '1' } else { '0' }).collect();
+            let cube: String = (0..6).map(|i| ['1', '0', '-'][(p + i) % 3]).collect();
+            let outs: String = (0..4)
+                .map(|o| if (p * 3 + o) % 2 == 0 { '1' } else { '0' })
+                .collect();
             format!("{cube} {outs}")
         })
         .collect();
