@@ -30,9 +30,10 @@ fn layout_system() -> ConstraintSystem {
     let boxes: Vec<(rsg_layout::Layer, rsg_geom::Rect)> =
         rsg_layout::flatten(out.rsg.cells(), out.top)
             .unwrap()
-            .into_iter()
-            .filter(|b| b.layer == rsg_layout::Layer::Metal1)
-            .map(|b| (b.layer, b.rect))
+            .layer_rects()
+            .iter()
+            .filter(|(l, _)| *l == rsg_layout::Layer::Metal1)
+            .copied()
             .collect();
     let tech = rsg_layout::Technology::mead_conway(2);
     let (sys, _) = rsg_compact::scanline::generate(

@@ -282,6 +282,7 @@ fn append_cross_constraints(
     let axis = sys.axis();
     let all: Vec<VBox> = a_view.iter().chain(b_view).copied().collect();
     let all_rects: Vec<(Layer, Rect)> = all.iter().map(|v| (v.layer, v.rect)).collect();
+    let mut oracle = scanline::VisibilityOracle::new(all_rects, axis);
 
     let emit = |sys: &mut ConstraintSystem, from: &VBox, to: &VBox, w: i64| {
         // x_to − x_from + (coeff_to − coeff_from)·λ ≥ w, where a box's
@@ -320,7 +321,7 @@ fn append_cross_constraints(
             if a.layer == b.layer && a.rect.intersect(b.rect).is_some() {
                 continue; // abutting/connected across the interface
             }
-            if scanline::hidden_between(&all_rects, i, j, axis) {
+            if oracle.hidden_between(i, j) {
                 continue;
             }
             emit(sys, a, b, spacing);

@@ -13,7 +13,9 @@
 //! * [`scanline`] — two constraint generators, generic over the sweep
 //!   axis: the naive *band* method that overconstrains fragmented
 //!   layouts (Figs 6.4–6.6) and the correct *visibility* method
-//!   (Fig 6.7) in which hidden edges generate no constraints,
+//!   (Fig 6.7) in which hidden edges generate no constraints; hidden-edge
+//!   coverage is answered from an [`rsg_geom::GeomIndex`] instead of
+//!   rescanning every box per candidate pair,
 //! * [`solver`] — a Bellman-Ford longest-path solver with the paper's
 //!   sorted-edge optimization (§6.4.2) and a jog-avoiding balanced mode
 //!   (Fig 6.8's "rubber bands, not a large magnet"),
@@ -22,8 +24,9 @@
 //! * [`simplex`] — a small dense LP solver for pitch trade-offs under a
 //!   user cost function (§6.2, Figs 6.1–6.2),
 //! * [`engine`] — flat compaction along either axis plus the
-//!   alternating-axis fixpoint [`engine::compact_xy`] (§6.4), replacing
-//!   the old layout-transposing y pass (shimmed in [`transpose`]),
+//!   alternating-axis fixpoint [`engine::compact_xy`] (§6.4); the old
+//!   layout-transposing y pass is gone (its behaviour is pinned by the
+//!   `axis_properties` proptests),
 //! * [`leaf`] — the leaf-cell compactor proper: intra-cell plus
 //!   interface-folded inter-cell constraints, solved for edge positions
 //!   *and* pitches simultaneously, with [`leaf::compact_batch`] fanning
@@ -62,7 +65,6 @@ pub mod par;
 pub mod scanline;
 pub mod simplex;
 pub mod solver;
-pub mod transpose;
 
 pub use backend::{Balanced, BellmanFord, SimplexPitch, Solver};
 pub use constraint::{Constraint, ConstraintSystem, PitchId, VarId};

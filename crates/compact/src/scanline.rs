@@ -25,7 +25,7 @@
 //! perpendicular axis (frozen during the sweep).
 
 use crate::{ConstraintSystem, VarId};
-use rsg_geom::{Axis, Rect};
+use rsg_geom::{Axis, CoverageProfile, GeomIndex, Rect};
 use rsg_layout::{DesignRules, Layer};
 
 /// The two moving-edge variables of one input box along the sweep axis.
@@ -115,7 +115,11 @@ pub fn append_constraints(
         }
     }
 
-    // Spacing constraints.
+    // Spacing constraints. The visibility method consults the hidden-edge
+    // oracle, which answers coverage queries from one spatial index
+    // instead of rescanning every box per candidate pair.
+    let mut oracle =
+        (method == Method::Visibility).then(|| VisibilityOracle::new(boxes.to_vec(), axis));
     for i in 0..boxes.len() {
         for j in 0..boxes.len() {
             if i == j {
@@ -134,8 +138,10 @@ pub fn append_constraints(
             if layer_a == layer_b && touches(ra, rb) {
                 continue; // connected material: no spacing requirement
             }
-            if method == Method::Visibility && hidden_between(boxes, i, j, axis) {
-                continue;
+            if let Some(o) = oracle.as_mut() {
+                if o.hidden_between(i, j) {
+                    continue;
+                }
             }
             sys.require(vars[i].right, vars[j].left, spacing);
         }
@@ -151,67 +157,76 @@ fn touches(a: Rect, b: Rect) -> bool {
     a.intersect(b).is_some()
 }
 
-/// `true` when the gap between box `i`'s high edge and box `j`'s low edge
-/// (along the sweep axis) is fully covered, over their shared across-axis
-/// range, by *same-layer* material of some third box — the hidden-edge
-/// condition of Fig 6.4.
-pub(crate) fn hidden_between(boxes: &[(Layer, Rect)], i: usize, j: usize, axis: Axis) -> bool {
-    let (layer_i, ra) = boxes[i];
-    let (layer_j, rb) = boxes[j];
-    let c0 = ra.lo_across(axis).max(rb.lo_across(axis));
-    let c1 = ra.hi_across(axis).min(rb.hi_across(axis));
-    let a0 = ra.hi_along(axis);
-    let a1 = rb.lo_along(axis);
-    if a0 >= a1 || c0 >= c1 {
-        return false;
-    }
-    let region = Rect::from_spans(axis, (a0, a1), (c0, c1));
-    let covers: Vec<Rect> = boxes
-        .iter()
-        .enumerate()
-        .filter(|&(k, &(l, _))| k != i && k != j && (l == layer_i || l == layer_j))
-        .filter_map(|(_, &(_, r))| r.intersect(region))
-        .filter(|r| r.area() > 0)
-        .collect();
-    region_covered(region, &covers, axis)
+/// The hidden-edge oracle of Fig 6.4, backed by a [`GeomIndex`].
+///
+/// A pair `(i, j)` is *hidden* when the gap between box `i`'s high edge
+/// and box `j`'s low edge (along the sweep axis) is fully covered, over
+/// their shared across-axis range, by material on either box's layer.
+///
+/// The old implementation rescanned every box and re-decomposed the gap
+/// region per candidate pair — the O(n²)-per-pair cost that made the
+/// visibility scan 33× slower than the band scan. The oracle instead
+/// builds, once per `(low box, partner layer)` combination, a
+/// [`CoverageProfile`]: how far contiguous material extends rightward
+/// from `i`'s high edge at every across position. Every `j` on that
+/// layer then answers in one range-minimum lookup, because the pair is
+/// hidden exactly when the minimum coverage reach over the shared
+/// across range reaches `j`'s low edge.
+pub(crate) struct VisibilityOracle {
+    index: GeomIndex<Layer>,
+    /// Profiles for the current low box, keyed by partner layer.
+    profiles: Vec<(Layer, CoverageProfile)>,
+    /// The low box the cached profiles belong to.
+    owner: usize,
 }
 
-/// `true` if the union of `rects` covers all of `region`. Checked by
-/// decomposing into strips (along the sweep axis) at every rect boundary
-/// and verifying full across-axis coverage per strip.
-fn region_covered(region: Rect, rects: &[Rect], axis: Axis) -> bool {
-    let mut cuts: Vec<i64> = rects
-        .iter()
-        .flat_map(|r| [r.lo_along(axis), r.hi_along(axis)])
-        .collect();
-    cuts.push(region.lo_along(axis));
-    cuts.push(region.hi_along(axis));
-    cuts.retain(|&a| a >= region.lo_along(axis) && a <= region.hi_along(axis));
-    cuts.sort_unstable();
-    cuts.dedup();
-    for w in cuts.windows(2) {
-        let (s0, s1) = (w[0], w[1]);
-        if s0 >= s1 {
-            continue;
-        }
-        let mut ivs: Vec<(i64, i64)> = rects
-            .iter()
-            .filter(|r| r.lo_along(axis) <= s0 && r.hi_along(axis) >= s1)
-            .map(|r| (r.lo_across(axis), r.hi_across(axis)))
-            .collect();
-        ivs.sort_unstable();
-        let mut covered_to = region.lo_across(axis);
-        for (lo, hi) in ivs {
-            if lo > covered_to {
-                return false;
-            }
-            covered_to = covered_to.max(hi);
-        }
-        if covered_to < region.hi_across(axis) {
-            return false;
+impl VisibilityOracle {
+    /// Indexes `boxes` for hidden-edge queries along `axis`.
+    pub(crate) fn new(boxes: Vec<(Layer, Rect)>, axis: Axis) -> VisibilityOracle {
+        VisibilityOracle {
+            index: GeomIndex::build(&boxes, axis),
+            profiles: Vec::new(),
+            owner: usize::MAX,
         }
     }
-    true
+
+    /// The hidden-edge test for the pair `(i, j)`, equivalent to the
+    /// retired per-pair region scan. Queries for one `i` should be
+    /// batched (as the generation loops naturally do): switching `i`
+    /// drops the cached profiles.
+    pub(crate) fn hidden_between(&mut self, i: usize, j: usize) -> bool {
+        let axis = self.index.axis();
+        let (layer_i, ra) = self.index.items()[i];
+        let (layer_j, rb) = self.index.items()[j];
+        let c0 = ra.lo_across(axis).max(rb.lo_across(axis));
+        let c1 = ra.hi_across(axis).min(rb.hi_across(axis));
+        let a0 = ra.hi_along(axis);
+        let a1 = rb.lo_along(axis);
+        if a0 >= a1 || c0 >= c1 {
+            return false;
+        }
+        if self.owner != i {
+            self.owner = i;
+            self.profiles.clear();
+        }
+        if !self.profiles.iter().any(|(l, _)| *l == layer_j) {
+            // Material past the furthest candidate low edge can never
+            // decide a query, so the profile is capped there.
+            let until = self.index.max_lo(layer_j).unwrap_or(a0).max(a0);
+            let window = (ra.lo_across(axis), ra.hi_across(axis));
+            let profile = self
+                .index
+                .coverage_profile(&[layer_i, layer_j], a0, until, window);
+            self.profiles.push((layer_j, profile));
+        }
+        let profile = &self
+            .profiles
+            .iter()
+            .find(|(l, _)| *l == layer_j)
+            .expect("profile just inserted")
+            .1;
+        profile.min_reach((c0, c1)) >= a1
+    }
 }
 
 #[cfg(test)]

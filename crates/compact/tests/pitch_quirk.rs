@@ -1,0 +1,79 @@
+//! Regression pin for a known λ-modeling quirk.
+//!
+//! When two cells share a cross interface but none of their material
+//! interacts across it (no spacing rule connects any A-layer to any
+//! B-layer in the gap), the pitch variable has *no* lower bound from
+//! cross constraints: the cost function drives it straight to 0 — a
+//! physically meaningless "stack the cells on top of each other" answer.
+//! This is why the hpla AND→OR bridge is declared `FixedX(GRID)` rather
+//! than a free pitch.
+//!
+//! These tests pin the behaviour so a future fix (e.g. a bounding-box
+//! floor on cross pitches) shows up as a deliberate test update instead
+//! of a silent change.
+
+use rsg_compact::backend::BellmanFord;
+use rsg_compact::leaf::{compact, LeafInterface, PitchKind};
+use rsg_geom::Rect;
+use rsg_layout::{CellDefinition, DesignRules, Layer, Technology};
+
+fn rules() -> DesignRules {
+    Technology::mead_conway(2).rules.clone()
+}
+
+fn cross_interface(initial: i64) -> LeafInterface {
+    LeafInterface {
+        cell_a: 0,
+        cell_b: 1,
+        kind: PitchKind::VariableX { initial, weight: 1 },
+        y_offset: 0,
+        name: "cross".into(),
+    }
+}
+
+/// Metal1 and Poly have no spacing rule between them in the Mead–Conway
+/// set: the cross interface generates no constraints, so the pitch
+/// collapses to 0 (the quirk).
+#[test]
+fn non_interacting_cross_material_pitch_collapses_to_zero() {
+    let mut a = CellDefinition::new("a");
+    a.add_box(Layer::Metal1, Rect::from_coords(0, 0, 6, 10));
+    let mut b = CellDefinition::new("b");
+    b.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 10));
+
+    let out = compact(
+        &[a, b],
+        &[cross_interface(40)],
+        &rules(),
+        &BellmanFord::SORTED,
+    )
+    .unwrap();
+    assert_eq!(
+        out.pitches,
+        vec![("cross".to_string(), 0)],
+        "known quirk: no interacting cross material → pitch solves to 0; \
+         if this fails the quirk was fixed — update the hpla bridge \
+         (currently FixedX for this reason) and this pin together"
+    );
+}
+
+/// Control: the same shape of library *with* interacting material keeps
+/// a positive pitch — the collapse is specifically the missing-rule case.
+#[test]
+fn interacting_cross_material_keeps_a_positive_pitch() {
+    let mut a = CellDefinition::new("a");
+    a.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 10));
+    let mut b = CellDefinition::new("b");
+    b.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 10));
+
+    let out = compact(
+        &[a, b],
+        &[cross_interface(40)],
+        &rules(),
+        &BellmanFord::SORTED,
+    )
+    .unwrap();
+    let pitch = out.pitches[0].1;
+    // B's poly must clear A's poly by the 2λ rule: pitch ≥ width + spacing.
+    assert_eq!(pitch, 8, "poly–poly interface compacts to width+spacing");
+}

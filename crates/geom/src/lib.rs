@@ -36,6 +36,7 @@
 
 mod axis;
 mod bbox;
+mod index;
 mod isometry;
 mod orientation;
 mod point;
@@ -43,6 +44,7 @@ mod rect;
 
 pub use axis::Axis;
 pub use bbox::BoundingBox;
+pub use index::{CoverageProfile, GeomIndex};
 pub use isometry::Isometry;
 pub use orientation::{Orientation, Rotation};
 pub use point::{Point, Vector};

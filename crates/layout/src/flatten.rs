@@ -1,7 +1,14 @@
 //! Hierarchical flattening of a cell to absolute-coordinate boxes.
+//!
+//! [`flatten`] performs the single hierarchy walk of the whole flat
+//! pipeline and returns a [`FlatLayout`]: the box list *plus* a prebuilt
+//! [`GeomIndex`] over it, so every downstream consumer — DRC, statistics,
+//! CIF emission, compaction — shares one spatial view instead of
+//! re-deriving its own.
 
-use crate::{CellId, CellTable, Layer, LayoutError};
-use rsg_geom::{Isometry, Rect};
+use crate::{CellDefinition, CellId, CellTable, Layer, LayoutError};
+use rsg_geom::{Axis, BoundingBox, GeomIndex, Isometry, Rect};
+use std::collections::HashSet;
 
 /// A box in the flattened, absolute coordinate system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -14,30 +21,169 @@ pub struct FlatBox {
     pub depth: u32,
 }
 
-/// Flattens `root` into absolute-coordinate boxes on all layers.
+/// A flattened layout: absolute-coordinate boxes plus a prebuilt
+/// spatial index and the hierarchy-walk tallies.
+///
+/// Returned by [`flatten`]; consumed by [`crate::drc::check_flat`],
+/// [`crate::stats::LayoutStats`], [`crate::write_cif_flat`], and the
+/// compaction entry points (via [`FlatLayout::layer_rects`] /
+/// [`FlatLayout::to_cell`]). Indexing, iteration, and `len` behave like
+/// the underlying `Vec<FlatBox>`.
+#[derive(Debug, Clone)]
+pub struct FlatLayout {
+    boxes: Vec<FlatBox>,
+    index: GeomIndex<Layer>,
+    total_instances: usize,
+    distinct_cells: usize,
+    max_depth: u32,
+}
+
+impl FlatLayout {
+    /// Builds a flat layout (and its index) directly from a box list —
+    /// the entry point for geometry that never lived in a hierarchy.
+    /// With no hierarchy walk behind it, instance and cell tallies are
+    /// the single-cell defaults; depth comes from the boxes themselves.
+    pub fn from_boxes(boxes: Vec<FlatBox>) -> FlatLayout {
+        let pairs: Vec<(Layer, Rect)> = boxes.iter().map(|b| (b.layer, b.rect)).collect();
+        let index = GeomIndex::build_from_vec(pairs, Axis::X);
+        let max_depth = boxes.iter().map(|b| b.depth).max().unwrap_or(0);
+        FlatLayout {
+            boxes,
+            index,
+            total_instances: 0,
+            distinct_cells: 1,
+            max_depth,
+        }
+    }
+
+    /// The flat boxes, in discovery (pre-order) order.
+    pub fn boxes(&self) -> &[FlatBox] {
+        &self.boxes
+    }
+
+    /// Iterates over the flat boxes.
+    pub fn iter(&self) -> std::slice::Iter<'_, FlatBox> {
+        self.boxes.iter()
+    }
+
+    /// Number of flat boxes.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` when the layout holds no boxes.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// The prebuilt spatial index over all boxes (swept along
+    /// [`Axis::X`]).
+    pub fn index(&self) -> &GeomIndex<Layer> {
+        &self.index
+    }
+
+    /// The boxes as `(layer, rect)` pairs — the slice shape the
+    /// constraint generator and DRC take, with no per-caller conversion.
+    pub fn layer_rects(&self) -> &[(Layer, Rect)] {
+        self.index.items()
+    }
+
+    /// Bounding box of all flat boxes.
+    pub fn bbox(&self) -> BoundingBox {
+        self.boxes.iter().map(|b| b.rect).collect()
+    }
+
+    /// Every expanded instance call counted during the walk.
+    pub fn total_instances(&self) -> usize {
+        self.total_instances
+    }
+
+    /// Distinct cell definitions reachable from the root.
+    pub fn distinct_cells(&self) -> usize {
+        self.distinct_cells
+    }
+
+    /// Maximum hierarchy depth visited.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Packages the flat boxes as a single leaf [`CellDefinition`] — the
+    /// bridge from a flattened layout into the leaf compactor, which
+    /// works on cells.
+    pub fn to_cell(&self, name: impl Into<String>) -> CellDefinition {
+        let mut cell = CellDefinition::new(name);
+        for b in &self.boxes {
+            cell.add_box(b.layer, b.rect);
+        }
+        cell
+    }
+}
+
+impl std::ops::Index<usize> for FlatLayout {
+    type Output = FlatBox;
+
+    fn index(&self, k: usize) -> &FlatBox {
+        &self.boxes[k]
+    }
+}
+
+impl IntoIterator for FlatLayout {
+    type Item = FlatBox;
+    type IntoIter = std::vec::IntoIter<FlatBox>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.boxes.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a FlatLayout {
+    type Item = &'a FlatBox;
+    type IntoIter = std::slice::Iter<'a, FlatBox>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.boxes.iter()
+    }
+}
+
+/// Flattens `root` into a [`FlatLayout`] covering all layers.
 ///
 /// Labels are dropped (they are annotations); instances are recursively
 /// expanded by composing calling isometries, the `I₂(I₁(Ob))` chain of
-/// paper §2.6.
+/// paper §2.6. The walk also tallies instances, reachable cells, and
+/// depth, so [`crate::stats::LayoutStats`] needs no second traversal.
 ///
 /// # Errors
 ///
 /// Returns [`LayoutError::UnknownCell`] for dangling ids and
 /// [`LayoutError::RecursiveCell`] if the hierarchy is cyclic.
-pub fn flatten(table: &CellTable, root: CellId) -> Result<Vec<FlatBox>, LayoutError> {
-    let mut out = Vec::new();
-    let mut stack = Vec::new();
+pub fn flatten(table: &CellTable, root: CellId) -> Result<FlatLayout, LayoutError> {
+    let mut boxes = Vec::new();
+    let mut walk = Walk {
+        stack: Vec::new(),
+        reach: HashSet::new(),
+        total_instances: 0,
+        max_depth: 0,
+    };
     flatten_rec(
         table,
         root,
         Isometry::IDENTITY,
         0,
-        &mut stack,
+        &mut walk,
         &mut |layer, rect, depth| {
-            out.push(FlatBox { layer, rect, depth });
+            boxes.push(FlatBox { layer, rect, depth });
         },
     )?;
-    Ok(out)
+    let pairs: Vec<(Layer, Rect)> = boxes.iter().map(|b| (b.layer, b.rect)).collect();
+    let index = GeomIndex::build_from_vec(pairs, Axis::X);
+    Ok(FlatLayout {
+        boxes,
+        index,
+        total_instances: walk.total_instances,
+        distinct_cells: walk.reach.len(),
+        max_depth: walk.max_depth,
+    })
 }
 
 /// Flattens `root` keeping only boxes of one layer — cheaper when a single
@@ -48,13 +194,18 @@ pub fn flatten_boxes_of(
     wanted: Layer,
 ) -> Result<Vec<Rect>, LayoutError> {
     let mut out = Vec::new();
-    let mut stack = Vec::new();
+    let mut walk = Walk {
+        stack: Vec::new(),
+        reach: HashSet::new(),
+        total_instances: 0,
+        max_depth: 0,
+    };
     flatten_rec(
         table,
         root,
         Isometry::IDENTITY,
         0,
-        &mut stack,
+        &mut walk,
         &mut |layer, rect, _| {
             if layer == wanted {
                 out.push(rect);
@@ -64,28 +215,39 @@ pub fn flatten_boxes_of(
     Ok(out)
 }
 
+/// Mutable bookkeeping of one hierarchy walk.
+struct Walk {
+    stack: Vec<CellId>,
+    reach: HashSet<CellId>,
+    total_instances: usize,
+    max_depth: u32,
+}
+
 fn flatten_rec(
     table: &CellTable,
     cell: CellId,
     iso: Isometry,
     depth: u32,
-    stack: &mut Vec<CellId>,
+    walk: &mut Walk,
     sink: &mut impl FnMut(Layer, Rect, u32),
 ) -> Result<(), LayoutError> {
-    if stack.contains(&cell) {
+    if walk.stack.contains(&cell) {
         let name = table.get(cell).map_or("?", |c| c.name()).to_owned();
         return Err(LayoutError::RecursiveCell(name));
     }
+    walk.reach.insert(cell);
+    walk.max_depth = walk.max_depth.max(depth);
     let def = table.require(cell)?;
     for (layer, rect) in def.boxes() {
         sink(layer, rect.transform(iso), depth);
     }
-    stack.push(cell);
+    walk.stack.push(cell);
     for inst in def.instances() {
+        walk.total_instances += 1;
         let child = iso.compose(inst.isometry());
-        flatten_rec(table, inst.cell, child, depth + 1, stack, sink)?;
+        flatten_rec(table, inst.cell, child, depth + 1, walk, sink)?;
     }
-    stack.pop();
+    walk.stack.pop();
     Ok(())
 }
 
@@ -110,6 +272,9 @@ mod tests {
         assert_eq!(flat.len(), 1);
         assert_eq!(flat[0].rect, Rect::from_coords(0, 0, 4, 2));
         assert_eq!(flat[0].depth, 0);
+        assert_eq!(flat.total_instances(), 0);
+        assert_eq!(flat.distinct_cells(), 1);
+        assert_eq!(flat.max_depth(), 0);
     }
 
     #[test]
@@ -131,6 +296,9 @@ mod tests {
         // leaf box (0,0)-(4,2) south-rotated => (-4,-2)-(0,0), +(10,0), +(0,100).
         assert_eq!(flat[0].rect, Rect::from_coords(6, 98, 10, 100));
         assert_eq!(flat[0].depth, 2);
+        assert_eq!(flat.total_instances(), 2);
+        assert_eq!(flat.distinct_cells(), 3);
+        assert_eq!(flat.max_depth(), 2);
     }
 
     #[test]
@@ -140,7 +308,10 @@ mod tests {
         t.get_mut(a)
             .unwrap()
             .add_instance(Instance::new(a, Point::new(1, 1), Orientation::NORTH));
-        assert_eq!(flatten(&t, a), Err(LayoutError::RecursiveCell("a".into())));
+        assert_eq!(
+            flatten(&t, a).unwrap_err(),
+            LayoutError::RecursiveCell("a".into())
+        );
     }
 
     #[test]
@@ -168,5 +339,24 @@ mod tests {
         let top_id = t.insert(top).unwrap();
         let flat = flatten(&t, top_id).unwrap();
         assert_eq!(flat.len(), 2);
+        assert_eq!(flat.total_instances(), 4);
+        assert_eq!(flat.distinct_cells(), 3);
+    }
+
+    #[test]
+    fn prebuilt_index_matches_boxes() {
+        let (mut t, leaf) = leaf_table();
+        t.get_mut(leaf)
+            .unwrap()
+            .add_box(Layer::Poly, Rect::from_coords(8, 0, 12, 2));
+        let flat = flatten(&t, leaf).unwrap();
+        assert_eq!(flat.layer_rects().len(), flat.len());
+        assert_eq!(flat.index().len(), flat.len());
+        assert_eq!(flat.index().axis(), rsg_geom::Axis::X);
+        for (b, &(l, r)) in flat.iter().zip(flat.layer_rects()) {
+            assert_eq!((b.layer, b.rect), (l, r));
+        }
+        let cell = flat.to_cell("flat");
+        assert_eq!(cell.boxes().count(), flat.len());
     }
 }

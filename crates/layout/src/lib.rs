@@ -7,7 +7,9 @@
 //! * [`CellDefinition`]s holding boxes, labels, and [`Instance`]s of other
 //!   cells (paper §2.1 and Fig 4.2/4.3),
 //! * a [`CellTable`] (the paper's "cell definition table", a hash table),
-//! * hierarchical [`flatten`]ing,
+//! * hierarchical [`flatten`]ing into a [`FlatLayout`] — boxes plus a
+//!   prebuilt [`rsg_geom::GeomIndex`] shared by DRC, statistics, CIF
+//!   emission, and the compactor,
 //! * a CIF 2.0 writer and a simple textual `.rsgl` format with both writer
 //!   and reader (standing in for the paper's CIF and DEF back ends),
 //! * layout [`stats::LayoutStats`].
@@ -45,9 +47,9 @@ pub mod stats;
 mod technology;
 
 pub use cell::{CellDefinition, CellId, CellTable, LayoutObject};
-pub use cif::write_cif;
+pub use cif::{write_cif, write_cif_flat};
 pub use error::LayoutError;
-pub use flatten::{flatten, flatten_boxes_of, FlatBox};
+pub use flatten::{flatten, flatten_boxes_of, FlatBox, FlatLayout};
 pub use instance::Instance;
 pub use layer::Layer;
 pub use rsgl::{read_rsgl, write_rsgl};

@@ -1,6 +1,10 @@
 //! Layout statistics: the numbers experiment E8 reports for Fig 5.6.
+//!
+//! Statistics are derived from a [`FlatLayout`] — the same single
+//! hierarchy walk that produces the flat boxes also tallies instances,
+//! reachable cells, and depth, so no second traversal exists.
 
-use crate::{CellId, CellTable, Layer, LayoutError};
+use crate::{CellId, CellTable, FlatLayout, Layer, LayoutError};
 use rsg_geom::BoundingBox;
 use std::collections::HashMap;
 use std::fmt;
@@ -23,70 +27,36 @@ pub struct LayoutStats {
 }
 
 impl LayoutStats {
-    /// Computes statistics for the hierarchy under `root`.
+    /// Computes statistics for the hierarchy under `root` by flattening
+    /// it (one walk) and summarizing the result.
     ///
     /// # Errors
     ///
     /// Fails on cyclic hierarchies or dangling instance ids.
     pub fn compute(table: &CellTable, root: CellId) -> Result<LayoutStats, LayoutError> {
-        let mut stats = LayoutStats::default();
-        let mut reach = std::collections::HashSet::new();
-        let mut stack = Vec::new();
-        walk(
-            table,
-            root,
-            rsg_geom::Isometry::IDENTITY,
-            0,
-            &mut stack,
-            &mut reach,
-            &mut stats,
-        )?;
-        stats.distinct_cells = reach.len();
-        Ok(stats)
+        Ok(LayoutStats::of_flat(&crate::flatten(table, root)?))
+    }
+
+    /// Summarizes an already-flattened layout (no hierarchy walk).
+    pub fn of_flat(flat: &FlatLayout) -> LayoutStats {
+        let mut boxes_per_layer: HashMap<Layer, usize> = HashMap::new();
+        for b in flat.iter() {
+            *boxes_per_layer.entry(b.layer).or_insert(0) += 1;
+        }
+        LayoutStats {
+            boxes_per_layer,
+            total_boxes: flat.len(),
+            total_instances: flat.total_instances(),
+            distinct_cells: flat.distinct_cells(),
+            max_depth: flat.max_depth(),
+            bbox: flat.bbox(),
+        }
     }
 
     /// Flat boxes on one layer (0 when absent).
     pub fn boxes_on(&self, layer: Layer) -> usize {
         self.boxes_per_layer.get(&layer).copied().unwrap_or(0)
     }
-}
-
-fn walk(
-    table: &CellTable,
-    cell: CellId,
-    iso: rsg_geom::Isometry,
-    depth: u32,
-    stack: &mut Vec<CellId>,
-    reach: &mut std::collections::HashSet<CellId>,
-    stats: &mut LayoutStats,
-) -> Result<(), LayoutError> {
-    if stack.contains(&cell) {
-        let name = table.get(cell).map_or("?", |c| c.name()).to_owned();
-        return Err(LayoutError::RecursiveCell(name));
-    }
-    reach.insert(cell);
-    stats.max_depth = stats.max_depth.max(depth);
-    let def = table.require(cell)?;
-    for (layer, rect) in def.boxes() {
-        *stats.boxes_per_layer.entry(layer).or_insert(0) += 1;
-        stats.total_boxes += 1;
-        stats.bbox.include_rect(rect.transform(iso));
-    }
-    stack.push(cell);
-    for inst in def.instances() {
-        stats.total_instances += 1;
-        walk(
-            table,
-            inst.cell,
-            iso.compose(inst.isometry()),
-            depth + 1,
-            stack,
-            reach,
-            stats,
-        )?;
-    }
-    stack.pop();
-    Ok(())
 }
 
 impl fmt::Display for LayoutStats {
@@ -146,5 +116,9 @@ mod tests {
         assert_eq!(s.bbox.rect(), Some(Rect::from_coords(0, 0, 24, 22)));
         let text = s.to_string();
         assert!(text.contains("12 flat boxes"));
+
+        // Of-flat on the same hierarchy agrees with compute.
+        let flat = crate::flatten(&t, top_id).unwrap();
+        assert_eq!(LayoutStats::of_flat(&flat), s);
     }
 }

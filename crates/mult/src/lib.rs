@@ -39,7 +39,7 @@ pub mod generator;
 pub mod pipeline;
 
 /// The multiplier design file (the cleaned-up Appendix B), ready for
-/// [`rsg_lang::run_design`].
+/// `rsg_lang::run_design` (rsg-lang is a dev-dependency, so no link).
 pub fn design_file_source() -> &'static str {
     generator::DESIGN_FILE
 }

@@ -45,11 +45,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let row = rsg.mk_cell("row8", nodes[0])?;
 
-    let stats = rsg::layout::stats::LayoutStats::compute(rsg.cells(), row)?;
+    // One hierarchy walk produces the FlatLayout: boxes + a prebuilt
+    // spatial index that stats, DRC, and flat CIF emission all share.
+    let flat = rsg::layout::flatten(rsg.cells(), row)?;
+    let stats = rsg::layout::stats::LayoutStats::of_flat(&flat);
     println!("built `row8`:\n{stats}");
+    let tech = rsg::layout::Technology::mead_conway(2);
+    println!(
+        "sweep DRC: {} violations",
+        rsg::layout::drc::check_flat(&flat, &tech.rules).len()
+    );
 
     // --- 4. output -------------------------------------------------------
     let cif = rsg::layout::write_cif(rsg.cells(), row)?;
     println!("--- CIF ---\n{cif}");
+    println!(
+        "--- flat CIF ---\n{}",
+        rsg::layout::write_cif_flat(&flat, "row8_flat")
+    );
     Ok(())
 }

@@ -136,11 +136,12 @@ fn flat_compaction_of_generated_multiplier_metal() {
     // Cross-stack smoke: flatten the generated 8×8 multiplier, compact
     // its metal1 in x, verify feasibility and the no-violation property.
     let out = rsg::mult::generator::generate(8, 8).unwrap();
-    let boxes: Vec<(Layer, Rect)> = rsg::layout::flatten(out.rsg.cells(), out.top)
-        .unwrap()
-        .into_iter()
-        .filter(|b| b.layer == Layer::Metal1)
-        .map(|b| (b.layer, b.rect))
+    let flat = rsg::layout::flatten(out.rsg.cells(), out.top).unwrap();
+    let boxes: Vec<(Layer, Rect)> = flat
+        .layer_rects()
+        .iter()
+        .filter(|(l, _)| *l == Layer::Metal1)
+        .copied()
         .collect();
     assert!(!boxes.is_empty());
     let tech = Technology::mead_conway(2);
@@ -151,4 +152,43 @@ fn flat_compaction_of_generated_multiplier_metal() {
     assert!(sys.violations(&balanced.positions_vec(), &[]).is_empty());
     // Balanced never widens the layout.
     assert!(balanced.extent() >= left.extent());
+}
+
+#[test]
+fn flat_layout_feeds_the_leaf_compactor() {
+    // The FlatLayout → leaf::compact bridge: flatten a two-instance
+    // assembly, package the flat boxes as one leaf cell, compact it
+    // under a self-interface, and referee the re-tiled result with the
+    // index-backed sweep DRC.
+    let tech = Technology::mead_conway(2);
+    let mut table = rsg::layout::CellTable::new();
+    let tile = table.insert(library_cell()).unwrap();
+    let mut top = CellDefinition::new("top");
+    for k in 0..2 {
+        top.add_instance(rsg::layout::Instance::new(
+            tile,
+            rsg::geom::Point::new(k * 60, 0),
+            rsg::geom::Orientation::NORTH,
+        ));
+    }
+    let top_id = table.insert(top).unwrap();
+    let flat = rsg::layout::flatten(&table, top_id).unwrap();
+    assert!(drc::check_flat(&flat, &tech.rules).is_empty());
+
+    let out = compact(
+        &[flat.to_cell("flat")],
+        &[h_interface(120)],
+        &tech.rules,
+        &BellmanFord::SORTED,
+    )
+    .unwrap();
+    let pitch = out.pitches[0].1;
+    assert!(pitch < 120, "flattened pair should compact, got {pitch}");
+    let mut retiled = Vec::new();
+    for k in 0..3i64 {
+        for (l, r) in out.cells[0].boxes() {
+            retiled.push((l, r.translate(Vector::new(k * pitch, 0))));
+        }
+    }
+    assert!(drc::check(&retiled, &tech.rules).is_empty());
 }
