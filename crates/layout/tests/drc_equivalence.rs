@@ -1,0 +1,109 @@
+//! Equivalence proptests for the sweep DRC (experiment E16).
+//!
+//! `drc::check` now sweeps a `GeomIndex` so each box only visits
+//! neighbours within its rule distance; the retired all-pairs loop
+//! survives as `drc::check_pairwise`. These properties prove the two
+//! produce the *identical* violation list — same pairs, same measured
+//! gaps, same order — on random box soups, including the degenerate
+//! cases the sweep windows could plausibly mishandle: zero-area boxes,
+//! exactly-touching boxes, and boxes at exactly the rule distance.
+
+use proptest::prelude::*;
+use rsg_geom::{Point, Rect};
+use rsg_layout::{drc, FlatBox, FlatLayout, Layer, Technology};
+
+/// Box soups over the interacting layers, on a fine grid so touching,
+/// overlapping, and exactly-at-rule-distance configurations all occur;
+/// width/height 0 included to exercise the zero-area exemption.
+fn arb_boxes() -> impl Strategy<Value = Vec<(Layer, Rect)>> {
+    proptest::collection::vec((0i64..30, 0i64..30, 0i64..9, 0i64..9, 0usize..4), 1..24).prop_map(
+        |seeds| {
+            let layers = [Layer::Poly, Layer::Diffusion, Layer::Metal1, Layer::Cut];
+            seeds
+                .into_iter()
+                .map(|(x, y, w, h, l)| (layers[l], Rect::from_origin_size(Point::new(x, y), w, h)))
+                .collect()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The sweep checker is list-identical to the pairwise reference.
+    #[test]
+    fn sweep_equals_pairwise(boxes in arb_boxes()) {
+        let rules = Technology::mead_conway(2).rules.clone();
+        prop_assert_eq!(
+            drc::check(&boxes, &rules),
+            drc::check_pairwise(&boxes, &rules)
+        );
+    }
+
+    /// Checking through a prebuilt FlatLayout index agrees too.
+    #[test]
+    fn flat_layout_check_agrees(boxes in arb_boxes()) {
+        let rules = Technology::mead_conway(2).rules.clone();
+        let flat = FlatLayout::from_boxes(
+            boxes
+                .iter()
+                .map(|&(layer, rect)| FlatBox { layer, rect, depth: 0 })
+                .collect(),
+        );
+        prop_assert_eq!(
+            drc::check_flat(&flat, &rules),
+            drc::check_pairwise(&boxes, &rules)
+        );
+    }
+}
+
+/// Hand-picked adversarial cases the random soup may miss.
+#[test]
+fn directed_edge_cases() {
+    let rules = Technology::mead_conway(2).rules.clone();
+    let cases: Vec<Vec<(Layer, Rect)>> = vec![
+        // Exactly at rule distance (poly–poly 4): clean on both paths.
+        vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+            (Layer::Poly, Rect::from_coords(8, 0, 12, 20)),
+        ],
+        // One unit inside the rule distance.
+        vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+            (Layer::Poly, Rect::from_coords(7, 0, 11, 20)),
+        ],
+        // Touching same-layer boxes: connected, exempt.
+        vec![
+            (Layer::Diffusion, Rect::from_coords(0, 0, 10, 4)),
+            (Layer::Diffusion, Rect::from_coords(10, 0, 20, 4)),
+        ],
+        // Corner-touching same-layer boxes: still connected.
+        vec![
+            (Layer::Diffusion, Rect::from_coords(0, 0, 10, 10)),
+            (Layer::Diffusion, Rect::from_coords(10, 10, 20, 20)),
+        ],
+        // Zero-area sliver between two violating boxes: ignored.
+        vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+            (Layer::Poly, Rect::from_coords(5, 0, 5, 20)),
+            (Layer::Poly, Rect::from_coords(6, 0, 10, 20)),
+        ],
+        // Diagonal L∞ violation only visible with both axes measured.
+        vec![
+            (Layer::Metal1, Rect::from_coords(0, 0, 6, 6)),
+            (Layer::Metal1, Rect::from_coords(10, 10, 16, 16)),
+        ],
+        // Cross-layer overlap (poly over diffusion).
+        vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+            (Layer::Diffusion, Rect::from_coords(2, 0, 20, 8)),
+        ],
+    ];
+    for (k, boxes) in cases.iter().enumerate() {
+        assert_eq!(
+            drc::check(boxes, &rules),
+            drc::check_pairwise(boxes, &rules),
+            "case {k}"
+        );
+    }
+}
