@@ -8,8 +8,8 @@
 //! both orders (the paper's actual claim).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rsg_compact::solver::{solve, EdgeOrder};
-use rsg_compact::ConstraintSystem;
+use rsg_solve::solver::{solve, EdgeOrder};
+use rsg_solve::ConstraintSystem;
 use std::hint::black_box;
 
 /// A chain-of-boxes system whose constraints are inserted back-to-front —

@@ -20,7 +20,7 @@
 
 use crate::backend::{SolveError, Solver};
 use crate::scanline::{self, BoxVars, Method};
-use crate::{ConstraintSystem, PitchId, VarId};
+use crate::{Constraint, ConstraintSystem, PitchId, VarId};
 use rsg_geom::{Axis, Rect, Vector};
 use rsg_layout::{CellDefinition, DesignRules, Layer};
 
@@ -56,6 +56,22 @@ pub struct LeafInterface {
     pub name: String,
 }
 
+/// The diagnostics of one solved pitch: the tight (zero-slack)
+/// constraints that pin λ at its value — the §6.2 "which constraints set
+/// the width" answer for one interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PitchBinding {
+    /// The pitch variable's name.
+    pub name: String,
+    /// Its solved value.
+    pub value: i64,
+    /// The pitch-carrying constraints with zero slack at the solution.
+    /// A single tight floor constraint (`λ ≥ spacing_floor`, encoded as
+    /// a self-edge on the origin variable) means nothing geometric pins
+    /// the pitch — the old pitch-collapse quirk, now clamped.
+    pub tight: Vec<Constraint>,
+}
+
 /// Output of leaf-cell compaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompactionResult {
@@ -64,6 +80,8 @@ pub struct CompactionResult {
     /// Solved pitches `(name, value)` for each `VariableX` interface, in
     /// interface order.
     pub pitches: Vec<(String, i64)>,
+    /// Per-pitch critical diagnostics, parallel to `pitches`.
+    pub bindings: Vec<PitchBinding>,
     /// Total unknowns (edge variables + pitch variables) — the Fig 6.3
     /// reduction metric.
     pub unknowns: usize,
@@ -152,7 +170,13 @@ pub fn compact(
         cell_boxes.push(boxes);
     }
 
-    // Pitch variables + folded inter-cell constraints (Fig 6.3).
+    // Pitch variables + folded inter-cell constraints (Fig 6.3). Every
+    // free pitch gets a floor at the technology's smallest spacing rule
+    // (encoded as `λ ≥ floor` through a vacuous origin self-edge): an
+    // interface whose cross material does not interact would otherwise
+    // have no lower bound at all and the cost function would drive its
+    // pitch to the meaningless "stack the cells" value 0.
+    let pitch_floor = rules.spacing_floor();
     let mut pitch_ids: Vec<Option<PitchId>> = Vec::with_capacity(interfaces.len());
     let mut pitch_weights: Vec<i64> = Vec::new();
     for iface in interfaces {
@@ -160,6 +184,9 @@ pub fn compact(
             PitchKind::VariableX { initial, weight } => {
                 let p = sys.add_pitch(iface.name.clone());
                 pitch_weights.push(weight);
+                if pitch_floor > 0 {
+                    sys.require_with_pitch(origin, origin, pitch_floor, p, 1);
+                }
                 (Some(p), initial)
             }
             PitchKind::FixedX(dx) => (None, dx),
@@ -223,18 +250,34 @@ pub fn compact(
         out_cells.push(cell.with_box_rects(rects));
     }
 
+    // Which constraints pin each pitch: zero-slack pitch-carrying
+    // constraints, the §6.2 explanation of the solved λᵢ.
+    let slacks = sys.slacks(&positions, &pitches);
     let mut named_pitches = Vec::new();
+    let mut bindings = Vec::new();
     let mut k = 0usize;
     for (iface, pid) in interfaces.iter().zip(&pitch_ids) {
-        if pid.is_some() {
-            named_pitches.push((iface.name.clone(), pitches[k]));
-            k += 1;
-        }
+        let Some(p) = pid else { continue };
+        named_pitches.push((iface.name.clone(), pitches[k]));
+        let tight: Vec<Constraint> = sys
+            .constraints()
+            .iter()
+            .zip(&slacks)
+            .filter(|(c, &s)| s == 0 && c.pitch.is_some_and(|(q, _)| q == *p))
+            .map(|(c, _)| *c)
+            .collect();
+        bindings.push(PitchBinding {
+            name: iface.name.clone(),
+            value: pitches[k],
+            tight,
+        });
+        k += 1;
     }
 
     Ok(CompactionResult {
         cells: out_cells,
         pitches: named_pitches,
+        bindings,
         unknowns,
         constraints: n_constraints,
     })
@@ -494,6 +537,67 @@ mod tests {
         assert!(
             sys.violations(&positions, &[]).is_empty(),
             "tiled compacted cell violates rules"
+        );
+    }
+
+    /// Every free pitch is floored at the technology's smallest spacing
+    /// rule, and the bindings expose what pins it: geometry when the
+    /// material interacts, the floor alone when it does not.
+    #[test]
+    fn pitch_floor_and_bindings() {
+        let mut a = CellDefinition::new("a");
+        a.add_box(Layer::Metal1, Rect::from_coords(0, 0, 6, 10));
+        let mut b = CellDefinition::new("b");
+        b.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 10));
+        let ifaces = vec![LeafInterface {
+            cell_a: 0,
+            cell_b: 1,
+            kind: PitchKind::VariableX {
+                initial: 40,
+                weight: 1,
+            },
+            y_offset: 0,
+            name: "cross".into(),
+        }];
+        let r = rules();
+        // Metal1 and poly never interact in the Mead–Conway set: without
+        // the floor this pitch collapsed to 0 (the pinned quirk).
+        let out = compact(&[a, b], &ifaces, &r, &bf()).unwrap();
+        assert_eq!(out.pitches, vec![("cross".to_string(), r.spacing_floor())]);
+        assert_eq!(out.bindings.len(), 1);
+        let binding = &out.bindings[0];
+        assert_eq!(binding.value, r.spacing_floor());
+        // The only tight pitch constraint is the floor itself — the
+        // origin self-edge.
+        assert_eq!(binding.tight.len(), 1);
+        assert_eq!(binding.tight[0].from, binding.tight[0].to);
+        assert_eq!(binding.tight[0].weight, r.spacing_floor());
+    }
+
+    #[test]
+    fn geometric_binding_reported_when_material_interacts() {
+        let mut cell = CellDefinition::new("a");
+        cell.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 20));
+        cell.add_box(Layer::Poly, Rect::from_coords(12, 0, 16, 20));
+        let ifaces = vec![LeafInterface {
+            cell_a: 0,
+            cell_b: 0,
+            kind: PitchKind::VariableX {
+                initial: 24,
+                weight: 1,
+            },
+            y_offset: 0,
+            name: "lambda_a".into(),
+        }];
+        let out = compact(&[cell], &ifaces, &rules(), &bf()).unwrap();
+        let binding = &out.bindings[0];
+        assert_eq!(binding.name, "lambda_a");
+        assert_eq!(binding.value, 16);
+        // Real cross-spacing constraints pin this pitch, not the floor.
+        assert!(
+            binding.tight.iter().any(|c| c.from != c.to),
+            "expected a geometric binding, got {:?}",
+            binding.tight
         );
     }
 

@@ -7,32 +7,30 @@
 //! unknowns. This crate implements the whole pipeline, generalized to an
 //! axis-generic, backend-pluggable engine:
 //!
-//! * [`ConstraintSystem`] — one-dimensional graph-based constraints
-//!   `x_to − x_from + Σcλ ≥ w` over box edges and pitch variables
-//!   (§6.3, Fig 6.3), tagged with the [`rsg_geom::Axis`] they sweep,
 //! * [`scanline`] — two constraint generators, generic over the sweep
 //!   axis: the naive *band* method that overconstrains fragmented
 //!   layouts (Figs 6.4–6.6) and the correct *visibility* method
 //!   (Fig 6.7) in which hidden edges generate no constraints; hidden-edge
 //!   coverage is answered from an [`rsg_geom::GeomIndex`] instead of
 //!   rescanning every box per candidate pair,
-//! * [`solver`] — a Bellman-Ford longest-path solver with the paper's
-//!   sorted-edge optimization (§6.4.2) and a jog-avoiding balanced mode
-//!   (Fig 6.8's "rubber bands, not a large magnet"),
-//! * [`backend`] — the [`Solver`] trait those procedures implement, so
-//!   every compaction entry point takes a pluggable backend,
-//! * [`simplex`] — a small dense LP solver for pitch trade-offs under a
-//!   user cost function (§6.2, Figs 6.1–6.2),
 //! * [`engine`] — flat compaction along either axis plus the
-//!   alternating-axis fixpoint [`engine::compact_xy`] (§6.4); the old
-//!   layout-transposing y pass is gone (its behaviour is pinned by the
-//!   `axis_properties` proptests),
+//!   alternating-axis fixpoint [`engine::compact_xy`] (§6.4), now
+//!   warm-starting each sweep from the previous pass's positions and
+//!   reporting a per-pass [`engine::CompactReport`],
 //! * [`leaf`] — the leaf-cell compactor proper: intra-cell plus
 //!   interface-folded inter-cell constraints, solved for edge positions
 //!   *and* pitches simultaneously, with [`leaf::compact_batch`] fanning
 //!   independent libraries out across threads,
 //! * [`layers`] — pseudo-layer handling: contact expansion (Fig 6.9) and
 //!   transistor-gate detection (§6.4.3).
+//!
+//! The solving layer itself — [`ConstraintSystem`] with its CSR
+//! [`rsg_solve::ConstraintGraph`], the longest-path [`solver`]s
+//! (sorted Bellman-Ford, one-pass topological, warm-started), the
+//! [`simplex`] pitch LP, and the pluggable [`backend`] trait — lives in
+//! the [`rsg_solve`] crate and is re-exported here, so
+//! `rsg_compact::{ConstraintSystem, VarId, Solver, ...}` paths keep
+//! working.
 //!
 //! # Example
 //!
@@ -56,15 +54,15 @@
 
 #![deny(missing_docs)]
 
-pub mod backend;
-mod constraint;
 pub mod engine;
 pub mod layers;
 pub mod leaf;
 pub mod par;
 pub mod scanline;
-pub mod simplex;
-pub mod solver;
 
-pub use backend::{Balanced, BellmanFord, SimplexPitch, Solver};
-pub use constraint::{Constraint, ConstraintSystem, PitchId, VarId};
+pub use rsg_solve::{backend, simplex, solver};
+
+pub use rsg_solve::{
+    Balanced, BellmanFord, Constraint, ConstraintGraph, ConstraintSystem, PitchId, SimplexPitch,
+    Solver, Topological, VarId,
+};

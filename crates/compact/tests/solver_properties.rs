@@ -39,8 +39,8 @@ proptest! {
     #[test]
     fn solve_is_sound_and_minimal(sys in arb_system()) {
         let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
-        let pos = sol.positions_vec();
-        prop_assert!(sys.violations(&pos, &[]).is_empty());
+        let pos = sol.positions();
+        prop_assert!(sys.violations(pos, &[]).is_empty());
         for (v, &x) in pos.iter().enumerate() {
             if x == 0 {
                 continue;
@@ -57,7 +57,7 @@ proptest! {
     fn order_invariance(sys in arb_system()) {
         let a = solve(&sys, EdgeOrder::Sorted).unwrap();
         let b = solve(&sys, EdgeOrder::Arbitrary).unwrap();
-        prop_assert_eq!(a.positions_vec(), b.positions_vec());
+        prop_assert_eq!(a.positions(), b.positions());
     }
 
     /// Balanced solutions are feasible and never exceed the left-packed
@@ -66,9 +66,9 @@ proptest! {
     fn balanced_is_feasible(sys in arb_system()) {
         let left = solve(&sys, EdgeOrder::Sorted).unwrap();
         let bal = solve_balanced(&sys).unwrap();
-        prop_assert!(sys.violations(&bal.positions_vec(), &[]).is_empty());
-        let left_max = left.positions_vec().into_iter().max().unwrap();
-        let bal_max = bal.positions_vec().into_iter().max().unwrap();
+        prop_assert!(sys.violations(bal.positions(), &[]).is_empty());
+        let left_max = left.positions().iter().copied().max().unwrap();
+        let bal_max = bal.positions().iter().copied().max().unwrap();
         prop_assert!(bal_max <= left_max);
     }
 

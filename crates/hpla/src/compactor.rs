@@ -50,13 +50,19 @@ pub fn library_jobs() -> Vec<LibraryJob> {
                     y_offset: 0,
                     name: "or_pitch".into(),
                 },
-                // The AND→OR bridge at the plane boundary stays on the
-                // grid: its columns must line up with both planes, so it
-                // is a fixed abutment, not a free pitch.
+                // The AND→OR bridge at the plane boundary. Historically
+                // a FixedX(GRID) abutment because the plane squares do
+                // not interact across it and the free pitch collapsed to
+                // 0; the leaf compactor now floors free pitches at the
+                // technology's smallest spacing rule, so the bridge can
+                // compact like every other interface.
                 LeafInterface {
                     cell_a: 0,
                     cell_b: 1,
-                    kind: PitchKind::FixedX(GRID),
+                    kind: PitchKind::VariableX {
+                        initial: GRID,
+                        weight: 1,
+                    },
                     y_offset: 0,
                     name: "bridge".into(),
                 },
@@ -118,10 +124,20 @@ mod tests {
         assert_eq!(out.len(), 2);
         for result in &out {
             for (name, pitch) in &result.pitches {
-                assert!(*pitch > 0, "{name} must stay positive");
+                assert!(
+                    *pitch >= tech.rules.spacing_floor(),
+                    "{name} = {pitch} under the spacing floor"
+                );
                 assert!(*pitch <= GRID, "{name} = {pitch} exceeds the sample grid");
             }
         }
+        // The bridge is a free pitch again (the collapse quirk is fixed
+        // by the spacing floor) and reports what pins it.
+        let squares = &out[0];
+        let bridge = squares.bindings.iter().find(|b| b.name == "bridge");
+        let bridge = bridge.expect("bridge pitch is variable now");
+        assert!(bridge.value >= tech.rules.spacing_floor());
+        assert!(!bridge.tight.is_empty(), "something must pin the bridge");
     }
 
     #[test]

@@ -63,6 +63,15 @@ impl DesignRules {
         };
         self.min_spacing.get(&key).copied()
     }
+
+    /// The technology's smallest spacing rule across every interacting
+    /// layer pair (0 for an empty rule set). The leaf compactor clamps
+    /// free pitch variables to this floor so an interface whose cross
+    /// material happens not to interact cannot solve its pitch to a
+    /// physically meaningless 0.
+    pub fn spacing_floor(&self) -> i64 {
+        self.min_spacing.values().copied().min().unwrap_or(0)
+    }
 }
 
 /// A named technology: λ scale plus its [`DesignRules`].
@@ -160,6 +169,14 @@ mod tests {
     #[should_panic(expected = "lambda must be positive")]
     fn zero_lambda_rejected() {
         let _ = Technology::mead_conway(0);
+    }
+
+    #[test]
+    fn spacing_floor_is_the_smallest_rule() {
+        let t = Technology::mead_conway(2);
+        // Poly–diffusion at 1λ is the tightest Mead–Conway spacing.
+        assert_eq!(t.rules.spacing_floor(), 2);
+        assert_eq!(DesignRules::new().spacing_floor(), 0);
     }
 
     #[test]

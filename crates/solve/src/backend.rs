@@ -5,11 +5,15 @@
 //! programming algorithm like Simplex" when pitch variables make the
 //! weights symbolic (§6.2). The seed code hard-wired that choice inside
 //! the leaf compactor; the [`Solver`] trait turns it into a backend the
-//! caller picks, so [`crate::leaf::compact`] and [`crate::engine`] run
-//! unchanged over any of:
+//! caller picks, so the leaf compactor and the alternating engine in
+//! `rsg-compact` run unchanged over any of:
 //!
 //! * [`BellmanFord`] — left-packing longest path, in either
-//!   [`EdgeOrder`]; the fastest backend and the paper's default,
+//!   [`EdgeOrder`]; the paper's default. Accepts a warm-start position
+//!   vector through [`Solver::solve_system_warm`],
+//! * [`Topological`] — the one-pass O(V+E) longest path when the
+//!   constraint graph is acyclic, with automatic Bellman-Ford fallback
+//!   when `require_exact` pairs or folded interfaces create cycles,
 //! * [`Balanced`] — the jog-avoiding "rubber bands, not a large magnet"
 //!   mode of Fig 6.8,
 //! * [`SimplexPitch`] — the dense LP, useful when the pitch trade-off
@@ -21,7 +25,7 @@
 
 use crate::simplex::{Lp, LpError, Sense};
 use crate::solver::{self, EdgeOrder, Infeasible, Solution};
-use crate::{ConstraintSystem, VarId};
+use crate::{Constraint, ConstraintSystem, VarId};
 
 /// A complete solution: integral edge positions and pitch values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +38,20 @@ pub struct Outcome {
     /// Relaxation passes of the final longest-path phase (0 when the
     /// backend did not run one).
     pub passes: usize,
+}
+
+impl Outcome {
+    /// Per-constraint slack of this outcome against `sys` — zero means
+    /// the constraint is tight (binding), negative would mean violated.
+    pub fn slacks(&self, sys: &ConstraintSystem) -> Vec<i64> {
+        sys.slacks(&self.positions, &self.pitches)
+    }
+
+    /// The chain of tight constraints pinning `v` at its solved
+    /// position — see [`ConstraintSystem::critical_path`].
+    pub fn critical_path(&self, sys: &ConstraintSystem, v: VarId) -> Vec<Constraint> {
+        sys.critical_path(&self.positions, &self.pitches, v)
+    }
 }
 
 /// Backend failure.
@@ -73,8 +91,8 @@ impl From<Infeasible> for SolveError {
 /// # Example
 ///
 /// ```
-/// use rsg_compact::backend::{BellmanFord, Balanced, Solver};
-/// use rsg_compact::ConstraintSystem;
+/// use rsg_solve::backend::{BellmanFord, Balanced, Topological, Solver};
+/// use rsg_solve::ConstraintSystem;
 ///
 /// let mut sys = ConstraintSystem::new();
 /// let a = sys.add_var(0);
@@ -82,7 +100,7 @@ impl From<Infeasible> for SolveError {
 /// sys.require(a, b, 10); // b − a ≥ 10
 ///
 /// // Any backend can solve the same system.
-/// for backend in [&BellmanFord::SORTED as &dyn Solver, &Balanced] {
+/// for backend in [&BellmanFord::SORTED as &dyn Solver, &Balanced, &Topological] {
 ///     let out = backend.solve_system(&sys, &[]).unwrap();
 ///     assert!(out.positions[b.index()] - out.positions[a.index()] >= 10);
 /// }
@@ -102,6 +120,25 @@ pub trait Solver: Sync {
         sys: &ConstraintSystem,
         pitch_weights: &[i64],
     ) -> Result<Outcome, SolveError>;
+
+    /// Solves with a warm-start position vector (a previous pass's
+    /// solution for the same variables). Backends that cannot exploit a
+    /// seed fall through to [`Solver::solve_system`]; every backend
+    /// returns the same answer either way — warm starting only changes
+    /// the work needed to reach it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError`] when the system is infeasible or pitch
+    /// rounding fails.
+    fn solve_system_warm(
+        &self,
+        sys: &ConstraintSystem,
+        pitch_weights: &[i64],
+        _warm: &[i64],
+    ) -> Result<Outcome, SolveError> {
+        self.solve_system(sys, pitch_weights)
+    }
 }
 
 /// The paper's longest-path solver: every variable at its lowest
@@ -149,6 +186,54 @@ impl Solver for BellmanFord {
         pitch_search(sys, pitch_weights, &|reduced| {
             solver::solve(reduced, self.order)
         })
+    }
+
+    fn solve_system_warm(
+        &self,
+        sys: &ConstraintSystem,
+        pitch_weights: &[i64],
+        warm: &[i64],
+    ) -> Result<Outcome, SolveError> {
+        if sys.num_pitches() == 0 {
+            let sol = solver::solve_warm(sys, self.order, warm)?;
+            return Ok(from_solution(sol));
+        }
+        // Pitch systems go through the LP; the seed cannot shortcut the
+        // pitch search itself.
+        self.solve_system(sys, pitch_weights)
+    }
+}
+
+/// The one-pass topological longest-path backend: O(V+E) on acyclic
+/// systems, automatic sorted Bellman-Ford fallback when `require_exact`
+/// pairs or folded interfaces make the constraint graph cyclic. Same
+/// least solution as [`BellmanFord`] in every case.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Topological;
+
+impl Topological {
+    fn refine(sys: &ConstraintSystem) -> Result<Solution, Infeasible> {
+        match solver::solve_topo(sys) {
+            Some(sol) => Ok(sol),
+            None => solver::solve(sys, EdgeOrder::Sorted),
+        }
+    }
+}
+
+impl Solver for Topological {
+    fn name(&self) -> &'static str {
+        "topological"
+    }
+
+    fn solve_system(
+        &self,
+        sys: &ConstraintSystem,
+        pitch_weights: &[i64],
+    ) -> Result<Outcome, SolveError> {
+        if sys.num_pitches() == 0 {
+            return Ok(from_solution(Topological::refine(sys)?));
+        }
+        pitch_search(sys, pitch_weights, &Topological::refine)
     }
 }
 
@@ -201,7 +286,7 @@ impl Solver for SimplexPitch {
 fn from_solution(sol: Solution) -> Outcome {
     let passes = sol.passes;
     Outcome {
-        positions: sol.positions_vec(),
+        positions: sol.into_positions(),
         pitches: Vec::new(),
         passes,
     }
@@ -284,7 +369,7 @@ fn pitch_search(
     })?;
     let passes = sol.passes;
     Ok(Outcome {
-        positions: sol.positions_vec(),
+        positions: sol.into_positions(),
         pitches,
         passes,
     })
@@ -329,6 +414,7 @@ mod tests {
         for backend in [
             &BellmanFord::SORTED as &dyn Solver,
             &BellmanFord::ARBITRARY,
+            &Topological,
             &Balanced,
             &SimplexPitch,
         ] {
@@ -360,6 +446,7 @@ mod tests {
         s.require_with_pitch(b, a, 2, p, 1);
         for backend in [
             &BellmanFord::SORTED as &dyn Solver,
+            &Topological,
             &Balanced,
             &SimplexPitch,
         ] {
@@ -383,6 +470,7 @@ mod tests {
         s.require(b, a, -4);
         for backend in [
             &BellmanFord::SORTED as &dyn Solver,
+            &Topological,
             &Balanced,
             &SimplexPitch,
         ] {
@@ -400,6 +488,7 @@ mod tests {
         let names = [
             BellmanFord::SORTED.name(),
             BellmanFord::ARBITRARY.name(),
+            Topological.name(),
             Balanced.name(),
             SimplexPitch.name(),
         ];
@@ -407,5 +496,52 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), names.len());
+    }
+
+    #[test]
+    fn topological_matches_bellman_ford_on_cyclic_systems_via_fallback() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(20);
+        let c = s.add_var(40);
+        s.require_exact(a, b, 12); // two-cycle: forces the fallback
+        s.require(b, c, 5);
+        assert!(!s.graph().is_acyclic());
+        let topo = Topological.solve_system(&s, &[]).unwrap();
+        let bf = BellmanFord::SORTED.solve_system(&s, &[]).unwrap();
+        assert_eq!(topo.positions, bf.positions);
+    }
+
+    #[test]
+    fn warm_solve_matches_cold_through_the_trait() {
+        let s = chain();
+        let cold = BellmanFord::SORTED.solve_system(&s, &[]).unwrap();
+        let warm = BellmanFord::SORTED
+            .solve_system_warm(&s, &[], &cold.positions)
+            .unwrap();
+        assert_eq!(warm.positions, cold.positions);
+        assert!(warm.passes < cold.passes, "seeded with the answer");
+        // Backends without a warm path fall through and still agree.
+        let bal = Balanced
+            .solve_system_warm(&s, &[], &cold.positions)
+            .unwrap();
+        assert_eq!(
+            bal.positions,
+            Balanced.solve_system(&s, &[]).unwrap().positions
+        );
+    }
+
+    #[test]
+    fn outcome_slack_and_critical_path() {
+        let s = chain();
+        let out = BellmanFord::SORTED.solve_system(&s, &[]).unwrap();
+        let slacks = out.slacks(&s);
+        // a→b (10) and b→c (7) are tight; a→c (30) binds instead of the
+        // chain when 30 > 17 — check against the actual solution.
+        assert!(slacks.iter().all(|&sl| sl >= 0));
+        let c_var = VarId(2);
+        let chain = out.critical_path(&s, c_var);
+        let total: i64 = chain.iter().map(|k| k.weight).sum();
+        assert_eq!(total, out.positions[c_var.index()]);
     }
 }

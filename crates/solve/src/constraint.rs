@@ -19,8 +19,10 @@
 //! solvers) serve y-compaction without transposing the layout first —
 //! variables are then ordinates of horizontal edges.
 
+use crate::graph::ConstraintGraph;
 use rsg_geom::Axis;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Handle to an edge-position variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,6 +32,10 @@ impl VarId {
     /// Raw index.
     pub const fn index(self) -> usize {
         self.0
+    }
+
+    pub(crate) const fn from_index(i: usize) -> VarId {
+        VarId(i)
     }
 }
 
@@ -59,12 +65,31 @@ pub struct Constraint {
 
 /// A system of edge variables, pitch variables, and constraints, tagged
 /// with the [`Axis`] its variables move along.
-#[derive(Debug, Clone)]
+///
+/// The CSR adjacency view ([`ConstraintGraph`]) is built lazily on the
+/// first [`ConstraintSystem::graph`] call and cached until the system is
+/// mutated, so every solver backend shares one graph instead of
+/// re-walking (and re-sorting) the flat constraint list per solve.
+#[derive(Debug)]
 pub struct ConstraintSystem {
     axis: Axis,
     var_initial: Vec<i64>,
     pitch_names: Vec<String>,
     constraints: Vec<Constraint>,
+    graph: OnceLock<ConstraintGraph>,
+}
+
+impl Clone for ConstraintSystem {
+    fn clone(&self) -> ConstraintSystem {
+        // The graph cache is cheap to rebuild; clones start cold.
+        ConstraintSystem {
+            axis: self.axis,
+            var_initial: self.var_initial.clone(),
+            pitch_names: self.pitch_names.clone(),
+            constraints: self.constraints.clone(),
+            graph: OnceLock::new(),
+        }
+    }
 }
 
 impl Default for ConstraintSystem {
@@ -87,6 +112,7 @@ impl ConstraintSystem {
             var_initial: Vec::new(),
             pitch_names: Vec::new(),
             constraints: Vec::new(),
+            graph: OnceLock::new(),
         }
     }
 
@@ -98,6 +124,7 @@ impl ConstraintSystem {
     /// Adds an edge variable with its position in the initial layout
     /// (used by the sorted-edge optimization and as the solver's hint).
     pub fn add_var(&mut self, initial: i64) -> VarId {
+        self.graph.take();
         self.var_initial.push(initial);
         VarId(self.var_initial.len() - 1)
     }
@@ -110,6 +137,7 @@ impl ConstraintSystem {
 
     /// Adds `x_to − x_from ≥ weight`.
     pub fn require(&mut self, from: VarId, to: VarId, weight: i64) {
+        self.graph.take();
         self.constraints.push(Constraint {
             to,
             from,
@@ -127,6 +155,7 @@ impl ConstraintSystem {
         pitch: PitchId,
         coeff: i64,
     ) {
+        self.graph.take();
         self.constraints.push(Constraint {
             to,
             from,
@@ -144,6 +173,11 @@ impl ConstraintSystem {
     /// Number of edge variables.
     pub fn num_vars(&self) -> usize {
         self.var_initial.len()
+    }
+
+    /// Every edge-variable handle, in index order.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.var_initial.len()).map(VarId)
     }
 
     /// Number of pitch variables.
@@ -171,16 +205,44 @@ impl ConstraintSystem {
         self.constraints.iter().any(|c| c.pitch.is_some())
     }
 
+    /// The CSR adjacency view, built on first use and cached until the
+    /// system is mutated. Shared by every solver backend.
+    pub fn graph(&self) -> &ConstraintGraph {
+        self.graph.get_or_init(|| ConstraintGraph::build(self))
+    }
+
+    /// Slack of one constraint under a candidate solution:
+    /// `x_to − x_from + Σcλ − w`. Non-negative iff the constraint is
+    /// satisfied; zero iff it is *tight* (binding).
+    pub fn slack_of(&self, c: &Constraint, positions: &[i64], pitches: &[i64]) -> i64 {
+        positions[c.to.0] - positions[c.from.0] + c.pitch.map_or(0, |(p, k)| k * pitches[p.0])
+            - c.weight
+    }
+
+    /// Per-constraint slack, in constraint order. `slacks[k] < 0` exactly
+    /// when constraint `k` appears in [`ConstraintSystem::violations`].
+    pub fn slacks(&self, positions: &[i64], pitches: &[i64]) -> Vec<i64> {
+        self.constraints
+            .iter()
+            .map(|c| self.slack_of(c, positions, pitches))
+            .collect()
+    }
+
+    /// The chain of tight constraints that pins `v` at its solved
+    /// position: followed backward from `v` until a variable at position
+    /// 0, returned in source-to-`v` order. For a least (left-packed)
+    /// solution the effective weights of the chain sum to
+    /// `positions[v]`.
+    pub fn critical_path(&self, positions: &[i64], pitches: &[i64], v: VarId) -> Vec<Constraint> {
+        crate::graph::critical_path(self, positions, pitches, v)
+    }
+
     /// Checks a candidate solution; returns the violated constraints.
     pub fn violations(&self, positions: &[i64], pitches: &[i64]) -> Vec<Constraint> {
         self.constraints
             .iter()
             .copied()
-            .filter(|c| {
-                let lhs = positions[c.to.0] - positions[c.from.0]
-                    + c.pitch.map_or(0, |(p, k)| k * pitches[p.0]);
-                lhs < c.weight
-            })
+            .filter(|c| self.slack_of(c, positions, pitches) < 0)
             .collect()
     }
 }

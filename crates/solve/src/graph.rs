@@ -1,0 +1,292 @@
+//! The CSR adjacency view of a [`ConstraintSystem`].
+//!
+//! §6.4.2 treats the constraint system as a graph — "the Bellman Ford
+//! assigns to each vertex the lowest possible abscissa" — but the flat
+//! `Vec<Constraint>` representation forced every solver to re-derive its
+//! own view per solve: the sorted-edge order was re-sorted on each call,
+//! and no solver could walk a variable's neighbours without scanning the
+//! whole list. [`ConstraintGraph`] is the shared view: compressed sparse
+//! rows in both directions (outgoing edges grouped by `from`, incoming by
+//! `to`), the sorted-edge relaxation order computed once, and a
+//! topological order of the variables when the graph is acyclic — the
+//! precondition for the one-pass longest-path solver.
+//!
+//! The graph is built lazily by [`ConstraintSystem::graph`] and cached;
+//! mutating the system invalidates the cache.
+
+use crate::constraint::{Constraint, ConstraintSystem, VarId};
+
+/// One directed edge of the constraint graph.
+///
+/// For an outgoing edge `other` is the `to` variable; for an incoming
+/// edge it is the `from` variable. `weight` is the *constant* part of the
+/// constraint weight — pitch terms, if any, are looked up through
+/// `constraint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphEdge {
+    /// The variable at the far end of the edge.
+    pub other: VarId,
+    /// Constant weight `w` of `x_to − x_from + Σcλ ≥ w`.
+    pub weight: i64,
+    /// Index of the originating constraint in
+    /// [`ConstraintSystem::constraints`].
+    pub constraint: u32,
+}
+
+/// Compressed-sparse-row adjacency of a [`ConstraintSystem`], shared by
+/// every solver backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintGraph {
+    num_vars: usize,
+    out_offsets: Vec<u32>,
+    out_edges: Vec<GraphEdge>,
+    in_offsets: Vec<u32>,
+    in_edges: Vec<GraphEdge>,
+    /// Constraint indices in the paper's sorted-edge relaxation order
+    /// (by the initial abscissa of the `from` variable).
+    sorted: Vec<u32>,
+    /// Variables in topological order of the edge direction, when the
+    /// graph (ignoring vacuous `w ≤ 0` self-loops) is acyclic.
+    topo: Option<Vec<VarId>>,
+}
+
+impl ConstraintGraph {
+    /// Builds the CSR view of `sys`. O(V + E) plus the one-time
+    /// sorted-order sort; called through [`ConstraintSystem::graph`],
+    /// which caches the result.
+    pub fn build(sys: &ConstraintSystem) -> ConstraintGraph {
+        let n = sys.num_vars();
+        let constraints = sys.constraints();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        let mut in_offsets = vec![0u32; n + 1];
+        for c in constraints {
+            out_offsets[c.from.index() + 1] += 1;
+            in_offsets[c.to.index() + 1] += 1;
+        }
+        for v in 0..n {
+            out_offsets[v + 1] += out_offsets[v];
+            in_offsets[v + 1] += in_offsets[v];
+        }
+        let dummy = GraphEdge {
+            other: VarId::from_index(0),
+            weight: 0,
+            constraint: 0,
+        };
+        let mut out_edges = vec![dummy; constraints.len()];
+        let mut in_edges = vec![dummy; constraints.len()];
+        let mut out_fill = out_offsets.clone();
+        let mut in_fill = in_offsets.clone();
+        for (k, c) in constraints.iter().enumerate() {
+            let o = &mut out_fill[c.from.index()];
+            out_edges[*o as usize] = GraphEdge {
+                other: c.to,
+                weight: c.weight,
+                constraint: k as u32,
+            };
+            *o += 1;
+            let i = &mut in_fill[c.to.index()];
+            in_edges[*i as usize] = GraphEdge {
+                other: c.from,
+                weight: c.weight,
+                constraint: k as u32,
+            };
+            *i += 1;
+        }
+
+        let mut sorted: Vec<u32> = (0..constraints.len() as u32).collect();
+        sorted.sort_by_key(|&k| sys.initial(constraints[k as usize].from));
+
+        let topo = topo_order(n, &out_offsets, &out_edges, &in_offsets);
+
+        ConstraintGraph {
+            num_vars: n,
+            out_offsets,
+            out_edges,
+            in_offsets,
+            in_edges,
+            sorted,
+            topo,
+        }
+    }
+
+    /// Number of variables (graph vertices).
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of edges (constraints).
+    pub fn num_edges(&self) -> usize {
+        self.out_edges.len()
+    }
+
+    /// Outgoing edges of `v` (constraints with `from == v`).
+    pub fn outgoing(&self, v: VarId) -> &[GraphEdge] {
+        let lo = self.out_offsets[v.index()] as usize;
+        let hi = self.out_offsets[v.index() + 1] as usize;
+        &self.out_edges[lo..hi]
+    }
+
+    /// Incoming edges of `v` (constraints with `to == v`).
+    pub fn incoming(&self, v: VarId) -> &[GraphEdge] {
+        let lo = self.in_offsets[v.index()] as usize;
+        let hi = self.in_offsets[v.index() + 1] as usize;
+        &self.in_edges[lo..hi]
+    }
+
+    /// Constraint indices in sorted-edge relaxation order (§6.4.2's
+    /// preliminary sort, computed once and shared by every solve).
+    pub fn sorted_order(&self) -> &[u32] {
+        &self.sorted
+    }
+
+    /// Variables in topological order when the graph is acyclic, else
+    /// `None`. Vacuous self-loops (`from == to`, `w ≤ 0`) are ignored —
+    /// they can never bind a longest path. `require_exact` pairs and
+    /// interface-folded two-cycles make the graph cyclic.
+    pub fn topo_order(&self) -> Option<&[VarId]> {
+        self.topo.as_deref()
+    }
+
+    /// `true` when a topological order exists (the one-pass solver
+    /// applies).
+    pub fn is_acyclic(&self) -> bool {
+        self.topo.is_some()
+    }
+}
+
+/// Kahn's algorithm over the CSR rows; `None` on any non-vacuous cycle.
+fn topo_order(
+    n: usize,
+    out_offsets: &[u32],
+    out_edges: &[GraphEdge],
+    in_offsets: &[u32],
+) -> Option<Vec<VarId>> {
+    let vacuous = |from: usize, e: &GraphEdge| e.other.index() == from && e.weight <= 0;
+    let mut indegree = vec![0u32; n];
+    for v in 0..n {
+        indegree[v] = in_offsets[v + 1] - in_offsets[v];
+    }
+    // Self-loops with w ≤ 0 are stripped from the degree count; a
+    // positive-weight self-loop is an unconditional positive cycle and
+    // correctly leaves the graph cyclic.
+    for v in 0..n {
+        for e in &out_edges[out_offsets[v] as usize..out_offsets[v + 1] as usize] {
+            if vacuous(v, e) {
+                indegree[v] -= 1;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&v| indegree[v] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        order.push(VarId::from_index(v));
+        for e in &out_edges[out_offsets[v] as usize..out_offsets[v + 1] as usize] {
+            if vacuous(v, e) {
+                continue;
+            }
+            let t = e.other.index();
+            indegree[t] -= 1;
+            if indegree[t] == 0 {
+                queue.push(t);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// The chain of tight constraints that pins `v`: a path of zero-slack
+/// constraints from a variable at position 0 up to `v`, in
+/// source-to-`v` order. The sum of the chain's effective weights equals
+/// `positions[v]` exactly.
+///
+/// Found by a BFS over tight edges forward from the zero set — the same
+/// support sweep that proves a solution least — so every link's own
+/// chain is grounded and zero-weight tight cycles (equality pairs)
+/// cannot trap the walk. For a variable a non-least candidate holds
+/// above its supported position no grounded chain exists and the result
+/// is empty.
+pub(crate) fn critical_path(
+    sys: &ConstraintSystem,
+    positions: &[i64],
+    pitches: &[i64],
+    v: VarId,
+) -> Vec<Constraint> {
+    let support = support_sweep(sys, positions, pitches, Some(v));
+    let constraints = sys.constraints();
+    let mut chain = Vec::new();
+    let mut cur = v;
+    while support.pred[cur.index()] != NO_PRED {
+        let c = constraints[support.pred[cur.index()] as usize];
+        chain.push(c);
+        cur = c.from;
+    }
+    chain.reverse();
+    chain
+}
+
+pub(crate) const NO_PRED: u32 = u32::MAX;
+
+/// Result of [`support_sweep`]: which variables a chain of tight
+/// constraints connects to the zero set, and the discovering constraint
+/// per variable ([`NO_PRED`] for zero-set members and unsupported
+/// variables).
+pub(crate) struct Support {
+    pub supported: Vec<bool>,
+    pub pred: Vec<u32>,
+}
+
+impl Support {
+    /// `true` when every variable is supported — the candidate is the
+    /// least solution.
+    pub fn all_supported(&self) -> bool {
+        self.supported.iter().all(|&s| s)
+    }
+}
+
+/// BFS over tight (zero-slack) edges forward from the zero set — the
+/// shared core of the warm-start exactness check and the critical-path
+/// walk. A supported variable's position is witnessed by a grounded
+/// chain of tight constraints; in a feasible candidate that makes it
+/// exactly the variable's least position. Stops early once `until` is
+/// supported.
+pub(crate) fn support_sweep(
+    sys: &ConstraintSystem,
+    positions: &[i64],
+    pitches: &[i64],
+    until: Option<VarId>,
+) -> Support {
+    let graph = sys.graph();
+    let n = sys.num_vars();
+    let constraints = sys.constraints();
+    let mut pred = vec![NO_PRED; n];
+    let mut supported = vec![false; n];
+    let mut queue: Vec<usize> = (0..n).filter(|&u| positions[u] == 0).collect();
+    for &u in &queue {
+        supported[u] = true;
+    }
+    let mut head = 0;
+    'bfs: while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for e in graph.outgoing(VarId::from_index(u)) {
+            let t = e.other.index();
+            if supported[t] {
+                continue;
+            }
+            let c = &constraints[e.constraint as usize];
+            if sys.slack_of(c, positions, pitches) == 0 {
+                supported[t] = true;
+                pred[t] = e.constraint;
+                if until.is_some_and(|v| t == v.index()) {
+                    break 'bfs;
+                }
+                queue.push(t);
+            }
+        }
+    }
+    Support { supported, pred }
+}

@@ -1,0 +1,535 @@
+//! Longest-path constraint solving (§6.4.2): sorted-edge Bellman-Ford,
+//! a one-pass topological solver for acyclic systems, warm-started
+//! relaxation, and the jog-avoiding balanced mode (Fig 6.8).
+//!
+//! "The Bellman Ford assigns to each vertex the lowest possible abscissa
+//! subject to the constraints. The algorithm proved to be extremely fast,
+//! especially if the edges are traversed in sorted (according to their
+//! abscissa) order ... In the case where the initial ordering is preserved
+//! in the final layout exactly one relaxation step is required instead of
+//! the |E| required in the worst case."
+//!
+//! All procedures compute the same *least* solution (every variable at
+//! its lowest feasible coordinate, all variables ≥ 0); they differ only
+//! in cost:
+//!
+//! * [`solve`] — relaxation from zero, in either [`EdgeOrder`]; the
+//!   sorted order comes precomputed from the shared
+//!   [`crate::ConstraintGraph`] instead of a per-call sort,
+//! * [`solve_topo`] — one O(V+E) pass in topological order when the
+//!   graph is acyclic (`require_exact` pairs and folded interfaces make
+//!   it cyclic; callers fall back to [`solve`]),
+//! * [`solve_warm`] — relaxation seeded from a previous solution; exact
+//!   (bit-for-bit the least solution, via a support check that resets
+//!   any variable the seed overshot), and near-free when the seed is
+//!   already the answer — the alternating x/y engine's case,
+//! * [`solve_balanced`] — "rubber bands instead of ... a large magnet on
+//!   the left": slack distributed on both sides (Fig 6.8).
+//!
+//! The solvers report relaxation passes so experiments E12/E18 can
+//! regenerate the paper's pass-count claims.
+
+use crate::{Constraint, ConstraintSystem, VarId};
+
+/// Result of solving a (pitch-free) constraint system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    positions: Vec<i64>,
+    /// Relaxation passes needed to reach the fixpoint (including the
+    /// final pass that verified stability; 1 for the topological
+    /// solver's single sweep).
+    pub passes: usize,
+}
+
+impl Solution {
+    /// The solved abscissa of an edge variable.
+    pub fn position(&self, v: VarId) -> i64 {
+        self.positions[v.0]
+    }
+
+    /// All positions, indexed by variable — borrowing; the hot-path
+    /// accessor.
+    pub fn positions(&self) -> &[i64] {
+        &self.positions
+    }
+
+    /// Consumes the solution, returning the position vector without a
+    /// copy.
+    pub fn into_positions(self) -> Vec<i64> {
+        self.positions
+    }
+
+    /// All positions as an owned copy. Prefer [`Solution::positions`]
+    /// (borrowing) or [`Solution::into_positions`] on hot paths.
+    pub fn positions_vec(&self) -> Vec<i64> {
+        self.positions.clone()
+    }
+
+    /// Extent of the solution: `max(position) − min(position)`.
+    pub fn extent(&self) -> i64 {
+        let max = self.positions.iter().copied().max().unwrap_or(0);
+        let min = self.positions.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+
+    /// Per-constraint slack under this solution (pitch-free systems).
+    pub fn slacks(&self, sys: &ConstraintSystem) -> Vec<i64> {
+        sys.slacks(&self.positions, &[])
+    }
+
+    /// The chain of tight constraints pinning `v` — see
+    /// [`ConstraintSystem::critical_path`]. For a least solution the
+    /// chain's weights sum to `position(v)`.
+    pub fn critical_path(&self, sys: &ConstraintSystem, v: VarId) -> Vec<Constraint> {
+        sys.critical_path(&self.positions, &[], v)
+    }
+}
+
+/// Edge processing order for the relaxation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeOrder {
+    /// Constraints in insertion (arbitrary) order — the worst case the
+    /// paper contrasts against its preliminary sort.
+    Arbitrary,
+    /// Constraints sorted by the initial abscissa of their `from`
+    /// variable — the paper's preliminary sort, precomputed on the
+    /// shared constraint graph.
+    Sorted,
+}
+
+/// Infeasibility error: the constraint graph has a positive cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Infeasible {
+    /// How many passes ran before divergence was declared.
+    pub passes: usize,
+}
+
+impl std::fmt::Display for Infeasible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "constraint system infeasible (positive cycle) after {} passes",
+            self.passes
+        )
+    }
+}
+
+impl std::error::Error for Infeasible {}
+
+/// One relaxation loop over `x` to its fixpoint; returns the pass count
+/// (including the verification pass) or [`Infeasible`] on divergence.
+fn relax(sys: &ConstraintSystem, order: EdgeOrder, x: &mut [i64]) -> Result<usize, Infeasible> {
+    let n = sys.num_vars();
+    let constraints = sys.constraints();
+    let mut passes = 0usize;
+    loop {
+        passes += 1;
+        let mut changed = false;
+        let mut step = |c: &Constraint| {
+            let need = x[c.from.0] + c.weight;
+            if x[c.to.0] < need {
+                x[c.to.0] = need;
+                changed = true;
+            }
+        };
+        match order {
+            EdgeOrder::Sorted => {
+                for &k in sys.graph().sorted_order() {
+                    step(&constraints[k as usize]);
+                }
+            }
+            EdgeOrder::Arbitrary => {
+                for c in constraints {
+                    step(c);
+                }
+            }
+        }
+        if !changed {
+            return Ok(passes);
+        }
+        if passes > n + 1 {
+            return Err(Infeasible { passes });
+        }
+    }
+}
+
+/// Solves for the leftmost feasible positions with all variables ≥ 0.
+///
+/// # Errors
+///
+/// Returns [`Infeasible`] when the constraints contain a positive cycle.
+///
+/// # Panics
+///
+/// Panics if the system carries pitch terms — those need
+/// [`crate::simplex`].
+pub fn solve(sys: &ConstraintSystem, order: EdgeOrder) -> Result<Solution, Infeasible> {
+    assert!(!sys.has_pitch_terms(), "pitch terms require the LP solver");
+    let mut x = vec![0i64; sys.num_vars()];
+    let passes = relax(sys, order, &mut x)?;
+    Ok(Solution {
+        positions: x,
+        passes,
+    })
+}
+
+/// Solves seeded from `warm` (typically a previous pass's positions).
+///
+/// The result is bit-for-bit the same least solution [`solve`] computes,
+/// for *any* seed: relaxation from the clamped seed reaches a feasible
+/// fixpoint, then a support sweep finds variables the seed overshot —
+/// a variable is supported when a chain of tight constraints connects it
+/// to a variable at 0 — resets the unsupported ones, and re-relaxes from
+/// what is now a proven under-approximation. When the seed *is* the
+/// least solution (the alternating-engine steady state) the whole call
+/// is one verification pass plus one O(V+E) sweep.
+///
+/// # Errors
+///
+/// Returns [`Infeasible`] when the constraints contain a positive cycle.
+///
+/// # Panics
+///
+/// Panics if the system carries pitch terms or `warm` has the wrong
+/// length.
+pub fn solve_warm(
+    sys: &ConstraintSystem,
+    order: EdgeOrder,
+    warm: &[i64],
+) -> Result<Solution, Infeasible> {
+    assert!(!sys.has_pitch_terms(), "pitch terms require the LP solver");
+    let n = sys.num_vars();
+    assert_eq!(warm.len(), n, "one warm position per variable");
+    let mut x: Vec<i64> = warm.iter().map(|&w| w.max(0)).collect();
+    let mut passes = relax(sys, order, &mut x)?;
+
+    // Support sweep over tight edges from the zero set. Feasibility
+    // makes every position ≥ its least value; a tight chain from a zero
+    // variable makes it ≤. Unsupported variables are exactly the ones
+    // the seed pushed past their least position.
+    let support = crate::graph::support_sweep(sys, &x, &[], None);
+    if !support.all_supported() {
+        // Supported variables already sit at their least positions;
+        // resetting the rest to 0 yields a pointwise under-approximation
+        // of the least solution, from which relaxation is exact.
+        for (xi, &ok) in x.iter_mut().zip(&support.supported) {
+            if !ok {
+                *xi = 0;
+            }
+        }
+        passes += relax(sys, order, &mut x)?;
+    }
+    Ok(Solution {
+        positions: x,
+        passes,
+    })
+}
+
+/// One-pass longest path in topological order — O(V + E), no relaxation
+/// loop. Returns `None` when the constraint graph is cyclic
+/// (`require_exact` pairs, folded interfaces); callers then fall back to
+/// [`solve`]. Acyclic difference-constraint systems are always feasible,
+/// so no `Infeasible` case exists here.
+///
+/// # Panics
+///
+/// Panics if the system carries pitch terms.
+pub fn solve_topo(sys: &ConstraintSystem) -> Option<Solution> {
+    assert!(!sys.has_pitch_terms(), "pitch terms require the LP solver");
+    let graph = sys.graph();
+    let order = graph.topo_order()?;
+    let mut x = vec![0i64; sys.num_vars()];
+    for &v in order {
+        let mut best = 0i64;
+        for e in graph.incoming(v) {
+            best = best.max(x[e.other.index()] + e.weight);
+        }
+        x[v.index()] = best;
+    }
+    Some(Solution {
+        positions: x,
+        passes: 1,
+    })
+}
+
+/// The rubber-band solve: every variable sits midway between its earliest
+/// (left-packed) and latest (right-packed, at the same total extent)
+/// feasible position, then a repair sweep restores exact feasibility.
+///
+/// Left-packing Fig 6.8's layout tears a jog into a straight wire; the
+/// balanced solution keeps slack distributed on both sides.
+///
+/// # Errors
+///
+/// Returns [`Infeasible`] on positive cycles.
+pub fn solve_balanced(sys: &ConstraintSystem) -> Result<Solution, Infeasible> {
+    let earliest = solve(sys, EdgeOrder::Sorted)?;
+    let n = sys.num_vars();
+    let width = earliest.positions.iter().copied().max().unwrap_or(0);
+
+    // Latest positions: longest path on the reversed graph from the right
+    // boundary. latest[v] = width − dist_rev[v].
+    let mut dist = vec![0i64; n];
+    let mut passes = 0usize;
+    loop {
+        passes += 1;
+        let mut changed = false;
+        for c in sys.constraints() {
+            // x_to − x_from ≥ w reversed: dist_from ≥ dist_to + w.
+            let need = dist[c.to.0] + c.weight;
+            if dist[c.from.0] < need {
+                dist[c.from.0] = need;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        if passes > n + 1 {
+            return Err(Infeasible { passes });
+        }
+    }
+    // Midpoint (floor), then a monotone repair pass for rounding slips.
+    let mut x: Vec<i64> = (0..n)
+        .map(|v| {
+            let e = earliest.positions[v];
+            let l = width - dist[v];
+            e + (l - e).div_euclid(2)
+        })
+        .collect();
+    let repair_passes = relax(sys, EdgeOrder::Arbitrary, &mut x)?;
+    Ok(Solution {
+        positions: x,
+        passes: earliest.passes + passes + repair_passes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstraintSystem;
+
+    #[test]
+    fn simple_chain() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(50);
+        let c = s.add_var(90);
+        s.require(a, b, 10);
+        s.require(b, c, 7);
+        let sol = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sol.position(a), 0);
+        assert_eq!(sol.position(b), 10);
+        assert_eq!(sol.position(c), 17);
+        assert_eq!(sol.extent(), 17);
+    }
+
+    #[test]
+    fn sorted_order_converges_in_two_passes_on_preserved_order() {
+        // The paper's claim: when initial ordering survives, one
+        // relaxation pass suffices (plus the verification pass).
+        let mut s = ConstraintSystem::new();
+        let vars: Vec<_> = (0..100).map(|k| s.add_var(k * 10)).collect();
+        for w in vars.windows(2) {
+            s.require(w[0], w[1], 3);
+        }
+        let sorted = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sorted.passes, 2, "1 relaxation + 1 verification");
+
+        // Same system with constraints inserted back-to-front: unsorted
+        // processing needs ~|V| passes.
+        let mut s2 = ConstraintSystem::new();
+        let vars2: Vec<_> = (0..100).map(|k| s2.add_var(k * 10)).collect();
+        for k in (1..100).rev() {
+            s2.require(vars2[k - 1], vars2[k], 3);
+        }
+        let unsorted = solve(&s2, EdgeOrder::Arbitrary).unwrap();
+        let sorted2 = solve(&s2, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sorted2.passes, 2);
+        assert!(unsorted.passes > 50, "got {}", unsorted.passes);
+        // Same positions either way.
+        assert_eq!(unsorted.positions(), sorted2.positions());
+    }
+
+    #[test]
+    fn infeasible_positive_cycle() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(0);
+        s.require(a, b, 5);
+        s.require(b, a, -4); // b − a ≥ 5 and a − b ≥ −4 → a ≤ b − 5, a ≥ b − 4: contradiction
+        let err = solve(&s, EdgeOrder::Sorted).unwrap_err();
+        assert!(err.to_string().contains("infeasible"));
+        // The warm path reports the same infeasibility.
+        assert!(solve_warm(&s, EdgeOrder::Sorted, &[0, 0]).is_err());
+    }
+
+    #[test]
+    fn equality_cycles_are_fine() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(0);
+        s.require_exact(a, b, 12);
+        let sol = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sol.position(b) - sol.position(a), 12);
+    }
+
+    #[test]
+    fn topo_solver_matches_bellman_ford_on_a_dag() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        let c = s.add_var(5);
+        let d = s.add_var(30);
+        s.require(a, b, 4);
+        s.require(a, c, 9);
+        s.require(c, b, 1);
+        s.require(b, d, 2);
+        s.require(c, d, 20);
+        let topo = solve_topo(&s).expect("acyclic");
+        let bf = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(topo.positions(), bf.positions());
+        assert_eq!(topo.passes, 1);
+    }
+
+    #[test]
+    fn topo_solver_declines_cycles() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(0);
+        s.require_exact(a, b, 12);
+        assert!(solve_topo(&s).is_none(), "exact pair is a two-cycle");
+        assert!(!s.graph().is_acyclic());
+    }
+
+    #[test]
+    fn vacuous_self_loops_do_not_block_the_topo_solver() {
+        // The leaf compactor's pitch-floor constraints reduce to
+        // `x_v − x_v ≥ w` with w ≤ 0 once the pitch is fixed; they bind
+        // nothing and must not force the Bellman-Ford fallback.
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        s.require(a, b, 4);
+        s.require(a, a, -6);
+        let topo = solve_topo(&s).expect("self-loop with w ≤ 0 is vacuous");
+        assert_eq!(
+            topo.positions(),
+            solve(&s, EdgeOrder::Sorted).unwrap().positions()
+        );
+    }
+
+    #[test]
+    fn warm_start_from_the_answer_takes_one_pass() {
+        let mut s = ConstraintSystem::new();
+        let vars: Vec<_> = (0..50).map(|k| s.add_var(k * 10)).collect();
+        for w in vars.windows(2) {
+            s.require(w[0], w[1], 3);
+        }
+        let cold = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(cold.passes, 2);
+        let warm = solve_warm(&s, EdgeOrder::Sorted, cold.positions()).unwrap();
+        assert_eq!(warm.positions(), cold.positions(), "bit-for-bit");
+        assert_eq!(warm.passes, 1, "verification only");
+    }
+
+    #[test]
+    fn warm_start_recovers_from_an_overshooting_seed() {
+        // Seed every variable far above the least solution, including an
+        // equality cycle that a naive pull-down could never lower.
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(0);
+        let c = s.add_var(0);
+        s.require_exact(a, b, 12);
+        s.require(b, c, 3);
+        let cold = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(cold.positions(), &[0, 12, 15]);
+        let warm = solve_warm(&s, EdgeOrder::Sorted, &[100, 112, 115]).unwrap();
+        assert_eq!(warm.positions(), cold.positions(), "bit-for-bit");
+    }
+
+    #[test]
+    fn warm_start_clamps_negative_seeds() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        s.require(a, b, 5);
+        let warm = solve_warm(&s, EdgeOrder::Sorted, &[-7, -2]).unwrap();
+        assert_eq!(warm.positions(), &[0, 5]);
+    }
+
+    #[test]
+    fn critical_path_weights_sum_to_the_position() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(50);
+        let c = s.add_var(90);
+        s.require(a, b, 10);
+        s.require(b, c, 7);
+        s.require(a, c, 5); // slack at the solution — not on the path
+        let sol = solve(&s, EdgeOrder::Sorted).unwrap();
+        let chain = sol.critical_path(&s, c);
+        assert_eq!(chain.len(), 2);
+        assert_eq!(chain.iter().map(|k| k.weight).sum::<i64>(), sol.position(c));
+        assert_eq!(chain[0].from, a);
+        assert_eq!(chain[1].to, c);
+        // Slack vector: the bypass constraint has slack 17 − 5 = 12.
+        let slacks = sol.slacks(&s);
+        assert_eq!(slacks, vec![0, 0, 12]);
+    }
+
+    #[test]
+    fn balanced_solution_is_feasible_and_centered() {
+        // a fixed chain a→b, and a floater f constrained only to the left
+        // wall: left-packing puts f at 0; balanced centers it.
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(100);
+        let f = s.add_var(40);
+        s.require(a, b, 100);
+        s.require(a, f, 0);
+        s.require(f, b, 10); // f can sit anywhere in [0, 90]
+        let left = solve(&s, EdgeOrder::Sorted).unwrap();
+        assert_eq!(left.position(f), 0);
+        let bal = solve_balanced(&s).unwrap();
+        assert!(s.violations(bal.positions(), &[]).is_empty());
+        assert_eq!(bal.position(f), 45, "midpoint of [0, 90]");
+        // Total extent unchanged.
+        assert_eq!(bal.position(b) - bal.position(a), 100);
+    }
+
+    #[test]
+    fn balanced_avoids_the_fig_6_8_jog() {
+        // Two wire stubs that should stay aligned: stub T (top row) is
+        // pinned between obstacles; stub B (bottom row) is free. Pure
+        // left-packing yanks B to the wall, creating a jog |x_T − x_B|.
+        let mut s = ConstraintSystem::new();
+        let wall = s.add_var(0);
+        let t = s.add_var(40);
+        let b = s.add_var(40);
+        let right = s.add_var(100);
+        s.require(wall, t, 40); // obstacle holds T at 40
+        s.require(t, right, 10);
+        s.require(wall, b, 0); // B only needs to clear the wall
+        s.require(b, right, 10);
+        s.require(wall, right, 100);
+
+        let left = solve(&s, EdgeOrder::Sorted).unwrap();
+        let jog_left = (left.position(t) - left.position(b)).abs();
+        let bal = solve_balanced(&s).unwrap();
+        let jog_bal = (bal.position(t) - bal.position(b)).abs();
+        assert_eq!(jog_left, 40);
+        assert!(jog_bal < jog_left, "balanced {jog_bal} vs left {jog_left}");
+        assert!(s.violations(bal.positions(), &[]).is_empty());
+    }
+
+    #[test]
+    fn empty_system() {
+        let s = ConstraintSystem::new();
+        let sol = solve(&s, EdgeOrder::Arbitrary).unwrap();
+        assert_eq!(sol.extent(), 0);
+        assert_eq!(sol.passes, 1);
+        assert!(solve_topo(&s).is_some());
+    }
+}

@@ -4,11 +4,20 @@
 //! design and parameter file, and writing the output file. A 32×32
 //! Baugh-Wooley multiplier ... is generated in 5 seconds on a DEC-2060."
 //!
+//! The compaction column is followed by the new solver diagnostics:
+//! which tight constraints pin each library pitch (§6.2's "which
+//! constraints set the width"), and the critical path of the compacted
+//! flat core — the chain of constraints whose weights sum to the solved
+//! extent.
+//!
 //! Run with `cargo run --release --example phase_breakdown`.
 
 use rsg::compact::backend::BellmanFord;
 use rsg::compact::leaf::Parallelism;
+use rsg::compact::scanline::{self, Method};
+use rsg::compact::solver::{solve, EdgeOrder};
 use rsg::core::Rsg;
+use rsg::geom::Axis;
 use rsg::lang::Interpreter;
 use rsg::mult::{cells, compactor, design_file_source, parameter_file_source};
 use std::time::Instant;
@@ -18,6 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>6} {:>14} {:>14} {:>14} {:>14} {:>14}",
         "size", "read sample", "execute", "write output", "compact lib", "total"
     );
+    let mut library = None;
     for n in [8usize, 16, 32, 64] {
         // Phase 1: read the sample layout (from its textual form, as the
         // paper's RSG read CIF) and build the interface table.
@@ -56,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
         let p4 = t3.elapsed();
         std::hint::black_box(lib.len());
+        library = Some(lib);
 
         println!(
             "{:>6} {:>14.3?} {:>14.3?} {:>14.3?} {:>14.3?} {:>14.3?}",
@@ -69,5 +80,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("\npaper (DEC-2060, 32x32): three roughly equal parts totalling ~5 s;");
     println!("library compaction is constant in the array size (leaf economics, §6.1).");
+
+    // What pins each pitch: the tight (zero-slack) constraints the
+    // solver reports per λᵢ — §6.2's "which constraints set the width".
+    println!("\npitch bindings (tight constraints per λ):");
+    for result in library.expect("loop ran") {
+        for binding in &result.bindings {
+            println!(
+                "  {:>16} = {:>3}  pinned by {} tight constraint(s)",
+                binding.name,
+                binding.value,
+                binding.tight.len()
+            );
+        }
+    }
+
+    // Critical path of a flat compaction: the chain of tight constraints
+    // whose weights telescope to the compacted width.
+    let out = rsg::mult::generator::generate(8, 8)?;
+    let flat = rsg::layout::flatten(out.rsg.cells(), out.top)?;
+    let boxes: Vec<_> = flat
+        .layer_rects()
+        .iter()
+        .filter(|(l, _)| *l == rsg::layout::Layer::Metal1)
+        .copied()
+        .collect();
+    let tech = rsg::layout::Technology::mead_conway(2);
+    let (sys, _) = scanline::generate(&boxes, &tech.rules, Method::Visibility, Axis::X);
+    let sol = solve(&sys, EdgeOrder::Sorted)?;
+    let widest = sys
+        .vars()
+        .max_by_key(|&v| sol.position(v))
+        .expect("non-empty system");
+    let chain = sol.critical_path(&sys, widest);
+    let total: i64 = chain.iter().map(|c| c.weight).sum();
+    println!(
+        "\ncritical path, 8x8 multiplier metal1 ({} vars, {} constraints):",
+        sys.num_vars(),
+        sys.constraints().len()
+    );
+    println!(
+        "  {} chain links, weights sum to {} = solved extent {}",
+        chain.len(),
+        total,
+        sol.extent()
+    );
+    assert_eq!(total, sol.extent(), "the chain explains the extent");
     Ok(())
 }

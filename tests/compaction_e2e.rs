@@ -148,10 +148,100 @@ fn flat_compaction_of_generated_multiplier_metal() {
     let (sys, _) = gen_constraints(&boxes, &tech.rules, Method::Visibility, Axis::X);
     let left = solve(&sys, EdgeOrder::Sorted).unwrap();
     let balanced = solve_balanced(&sys).unwrap();
-    assert!(sys.violations(&left.positions_vec(), &[]).is_empty());
-    assert!(sys.violations(&balanced.positions_vec(), &[]).is_empty());
+    assert!(sys.violations(left.positions(), &[]).is_empty());
+    assert!(sys.violations(balanced.positions(), &[]).is_empty());
     // Balanced never widens the layout.
     assert!(balanced.extent() >= left.extent());
+}
+
+#[test]
+fn critical_path_explains_the_solved_extent() {
+    // A known layout: three poly bars in a row plus an unrelated bar far
+    // above. The compacted width is set by the chain
+    // bar0.width → spacing → bar1.width → spacing → bar2.width; the
+    // reported critical path must be exactly that chain, and its weights
+    // must sum to the solved extent.
+    let tech = Technology::mead_conway(2);
+    let boxes: Vec<(Layer, Rect)> = vec![
+        (Layer::Poly, Rect::from_coords(0, 0, 4, 20)),
+        (Layer::Poly, Rect::from_coords(20, 0, 24, 20)),
+        (Layer::Poly, Rect::from_coords(50, 0, 54, 20)),
+        (Layer::Poly, Rect::from_coords(0, 60, 4, 80)), // off the path
+    ];
+    let (sys, vars) = gen_constraints(&boxes, &tech.rules, Method::Visibility, Axis::X);
+    let sol = solve(&sys, EdgeOrder::Sorted).unwrap();
+    // Width 4 + spacing 4 + width 4 + spacing 4 + width 4 = 20.
+    assert_eq!(sol.extent(), 20);
+
+    // The variable that attains the extent is bar2's right edge; its
+    // critical path telescopes to the full extent (the leftmost var of a
+    // least solution sits at 0).
+    let rightmost = vars[2].right;
+    assert_eq!(sol.position(rightmost), sol.extent());
+    let chain = sol.critical_path(&sys, rightmost);
+    let total: i64 = chain.iter().map(|c| c.weight).sum();
+    assert_eq!(total, sol.extent(), "chain weights must sum to the extent");
+    // The chain alternates width and spacing constraints: 3 widths (4)
+    // and 2 spacings (4) in this layout.
+    assert_eq!(chain.len(), 5);
+    assert!(chain.iter().all(|c| c.weight == 4), "{chain:?}");
+    // Every link is tight: zero slack under the solution.
+    let slacks = sys.slacks(sol.positions(), &[]);
+    for link in &chain {
+        let idx = sys
+            .constraints()
+            .iter()
+            .position(|c| c == link)
+            .expect("chain constraints come from the system");
+        assert_eq!(slacks[idx], 0, "chain link {link:?} must be tight");
+    }
+    // The unrelated bar is not on the path.
+    let off_path = [vars[3].left, vars[3].right];
+    assert!(chain
+        .iter()
+        .all(|c| !off_path.contains(&c.from) && !off_path.contains(&c.to)));
+}
+
+#[test]
+fn engine_warm_start_matches_cold_on_the_tiled_array() {
+    // E18's correctness half: the warm-started alternating engine
+    // produces bit-for-bit the same layout as the cold one and never
+    // spends more relaxation passes.
+    use rsg::compact::engine::{compact_xy_with, WarmStart};
+    let tech = Technology::mead_conway(2);
+    let mut boxes = Vec::new();
+    for row in 0..4i64 {
+        for col in 0..4i64 {
+            for (l, r) in library_cell().boxes() {
+                boxes.push((l, r.translate(Vector::new(col * 60, row * 44))));
+            }
+        }
+    }
+    let cold = compact_xy_with(
+        &boxes,
+        &tech.rules,
+        &BellmanFord::SORTED,
+        10,
+        WarmStart::Cold,
+    )
+    .unwrap();
+    let warm = compact_xy_with(
+        &boxes,
+        &tech.rules,
+        &BellmanFord::SORTED,
+        10,
+        WarmStart::Warm,
+    )
+    .unwrap();
+    assert_eq!(cold.boxes, warm.boxes);
+    assert_eq!(cold.passes, warm.passes);
+    assert!(cold.converged && warm.converged);
+    assert!(
+        warm.report.total_solver_passes() < cold.report.total_solver_passes(),
+        "warm {} vs cold {} total relaxation passes",
+        warm.report.total_solver_passes(),
+        cold.report.total_solver_passes()
+    );
 }
 
 #[test]
