@@ -1,0 +1,1352 @@
+//! Hierarchical compaction over instances — the paper's top-level flow.
+//!
+//! The leaf compactor (§6.1) compacts the *cells* of a library once; this
+//! module compacts the *assembly*: a [`CellDefinition`] whose objects are
+//! `Instance`s of already-compacted leaves is re-placed without ever
+//! flattening the mask data. Three ideas carry the chapter-2 + chapter-6
+//! composition:
+//!
+//! * **Interface abstracts** ([`CellAbstract`]) — per-layer edge profiles
+//!   derived from each referenced definition's [`rsg_layout::FlatLayout`]
+//!   (one flatten per distinct `(definition, orientation)`, regardless of
+//!   how many instances call it). For each sweep [`Axis`] the abstract
+//!   records, per elementary across-strip, how far the cell's material on
+//!   each interacting layer extends — the only facts instance-to-instance
+//!   spacing ever needs.
+//! * **Instance-level constraints** — the same sweep/visibility kernel
+//!   that serves flat compaction runs on abstract boxes instead of flat
+//!   boxes: ordered, across-overlapping, non-hidden abstract box pairs
+//!   become difference constraints between *instance origin* variables
+//!   (one unknown per rigid instance cluster, not two per box). Material
+//!   frames keep abutting instances from stacking; coincident-origin
+//!   touching instances are pinned so rows and columns cannot shear.
+//! * **Shared λ pitch classes** — consecutive instances of the same cell
+//!   pair along a row (or column) fold into one pitch variable per class,
+//!   solved to its least value by a monotone fixpoint over rsg-solve
+//!   (each round solves a pure difference system through any
+//!   [`Solver`] backend, warm-started from the previous round; the class
+//!   pitch rises to the worst member gap until stable). Every member pair
+//!   of a class therefore lands at *exactly* the same pitch — the PLA and
+//!   multiplier arrays stay pitch-matched by construction.
+//!
+//! [`compact_cell`] compacts one assembly cell; [`compact_hierarchy`]
+//! walks a whole chip bottom-up (children before callers, as the paper
+//! composes assemblies from interfaces) so multi-level layouts like the
+//! multiplier's `array`/`topregs`/`thewholething` stack compact level by
+//! level. `rsg_hpla::compactor::compact_chip` and
+//! `rsg_mult::compactor::compact_chip` wire the leaf pass and this pass
+//! together.
+
+use crate::backend::{SolveError, Solver};
+use crate::scanline::VisibilityOracle;
+use crate::ConstraintSystem;
+use rsg_geom::{Axis, BoundingBox, Isometry, Orientation, Point, Rect, Vector};
+use rsg_layout::{
+    flatten, CellDefinition, CellId, CellTable, DesignRules, Layer, LayoutError, LayoutObject,
+};
+use std::collections::{BTreeMap, HashMap};
+
+/// Tuning knobs for the hierarchical compactor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierOptions {
+    /// Maximum x+y alternations before giving up on the fixpoint.
+    pub max_passes: usize,
+    /// Maximum pitch-fixpoint rounds per axis sweep.
+    pub max_pitch_rounds: usize,
+}
+
+impl Default for HierOptions {
+    fn default() -> HierOptions {
+        HierOptions {
+            max_passes: 8,
+            max_pitch_rounds: 32,
+        }
+    }
+}
+
+/// Hierarchical compaction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HierError {
+    /// The referenced hierarchy could not be flattened into abstracts.
+    Layout(LayoutError),
+    /// The instance constraint system is infeasible (conflicting pins).
+    Infeasible(String),
+    /// The pitch fixpoint or the x/y alternation failed to stabilize.
+    Diverged(String),
+}
+
+impl std::fmt::Display for HierError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HierError::Layout(e) => write!(f, "hierarchical compaction: {e}"),
+            HierError::Infeasible(m) => write!(f, "hierarchical compaction infeasible: {m}"),
+            HierError::Diverged(m) => write!(f, "hierarchical compaction diverged: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HierError {}
+
+impl From<LayoutError> for HierError {
+    fn from(e: LayoutError) -> HierError {
+        HierError::Layout(e)
+    }
+}
+
+impl From<SolveError> for HierError {
+    fn from(e: SolveError) -> HierError {
+        match e {
+            SolveError::Infeasible(m) => HierError::Infeasible(m),
+            SolveError::Rounding(m) => HierError::Diverged(m),
+        }
+    }
+}
+
+/// The interface abstract of one cell definition under one orientation:
+/// per-axis, per-layer edge profiles plus the bounding frames, in the
+/// instance-local (oriented) coordinate system.
+///
+/// For each sweep axis the profile holds, per elementary across-strip,
+/// one rectangle spanning from the leftmost to the rightmost material on
+/// that layer within the strip (adjacent strips with identical spans are
+/// merged). Spacing between two instances only ever consults the facing
+/// extremes of such strips, so the abstract is exact for the ordered,
+/// non-interleaved placements assemblies are built from, and it stays
+/// small: its size tracks the cell's *silhouette*, not its box count.
+#[derive(Debug, Clone)]
+pub struct CellAbstract {
+    /// Profile boxes per sweep axis (`[x, y]`), local coordinates.
+    profiles: [Vec<(Layer, Rect)>; 2],
+    /// Bounding box of every flat box (background layers included).
+    bbox: Option<Rect>,
+    /// Bounding box of rule-interacting material only.
+    material: Option<Rect>,
+    /// Flat boxes the abstract summarizes.
+    source_boxes: usize,
+}
+
+impl CellAbstract {
+    /// Derives the abstract from a flat box list (local coordinates).
+    pub fn from_boxes(boxes: &[(Layer, Rect)], rules: &DesignRules) -> CellAbstract {
+        let interacting: Vec<Layer> = Layer::ALL
+            .iter()
+            .copied()
+            .filter(|&l| {
+                Layer::ALL
+                    .iter()
+                    .any(|&m| rules.min_spacing(l, m).is_some())
+            })
+            .collect();
+        let live: Vec<(Layer, Rect)> = boxes
+            .iter()
+            .copied()
+            .filter(|&(l, r)| r.area() > 0 && interacting.contains(&l))
+            .collect();
+        let profiles = [profile_along(&live, Axis::X), profile_along(&live, Axis::Y)];
+        let bbox: BoundingBox = boxes
+            .iter()
+            .filter(|(_, r)| r.area() > 0)
+            .map(|&(_, r)| r)
+            .collect();
+        let material: BoundingBox = live.iter().map(|&(_, r)| r).collect();
+        CellAbstract {
+            profiles,
+            bbox: bbox.rect(),
+            material: material.rect(),
+            source_boxes: boxes.len(),
+        }
+    }
+
+    /// The per-layer edge profile for a sweep axis.
+    pub fn profile(&self, axis: Axis) -> &[(Layer, Rect)] {
+        &self.profiles[axis_index(axis)]
+    }
+
+    /// Bounding box of all flat boxes (local), `None` for empty cells.
+    pub fn bbox(&self) -> Option<Rect> {
+        self.bbox
+    }
+
+    /// Bounding box of rule-interacting material (local).
+    pub fn material(&self) -> Option<Rect> {
+        self.material
+    }
+
+    /// Number of flat boxes the abstract replaced — the reduction metric
+    /// ([`CellAbstract::profile`] sizes vs this).
+    pub fn source_boxes(&self) -> usize {
+        self.source_boxes
+    }
+}
+
+const fn axis_index(axis: Axis) -> usize {
+    match axis {
+        Axis::X => 0,
+        Axis::Y => 1,
+    }
+}
+
+/// Per-layer strip profile: for each elementary across-strip that holds
+/// material, one rect spanning the material's along-extremes.
+fn profile_along(boxes: &[(Layer, Rect)], axis: Axis) -> Vec<(Layer, Rect)> {
+    let mut layers: Vec<Layer> = boxes.iter().map(|&(l, _)| l).collect();
+    layers.sort_unstable();
+    layers.dedup();
+    let mut out = Vec::new();
+    for layer in layers {
+        let rects: Vec<Rect> = boxes
+            .iter()
+            .filter(|&&(l, _)| l == layer)
+            .map(|&(_, r)| r)
+            .collect();
+        let mut cuts: Vec<i64> = rects
+            .iter()
+            .flat_map(|r| [r.lo_across(axis), r.hi_across(axis)])
+            .collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        // Merged run of strips sharing one along-span.
+        let mut run: Option<(i64, i64, i64, i64)> = None; // (lo, hi, c0, c1)
+        let flush = |run: &mut Option<(i64, i64, i64, i64)>, out: &mut Vec<(Layer, Rect)>| {
+            if let Some((lo, hi, c0, c1)) = run.take() {
+                out.push((layer, Rect::from_spans(axis, (lo, hi), (c0, c1))));
+            }
+        };
+        for w in cuts.windows(2) {
+            let (c0, c1) = (w[0], w[1]);
+            let mut lo = i64::MAX;
+            let mut hi = i64::MIN;
+            for r in &rects {
+                if r.lo_across(axis) < c1 && r.hi_across(axis) > c0 {
+                    lo = lo.min(r.lo_along(axis));
+                    hi = hi.max(r.hi_along(axis));
+                }
+            }
+            if lo > hi {
+                flush(&mut run, &mut out);
+                continue;
+            }
+            match run {
+                Some((rlo, rhi, _, ref mut rc1)) if rlo == lo && rhi == hi && *rc1 == c0 => {
+                    *rc1 = c1;
+                }
+                _ => {
+                    flush(&mut run, &mut out);
+                    run = Some((lo, hi, c0, c1));
+                }
+            }
+        }
+        flush(&mut run, &mut out);
+    }
+    out
+}
+
+/// One abstract derivation per distinct `(definition, orientation)` no
+/// matter how many instances call it — the economics the paper claims
+/// for hierarchy ("compact the cell A only once", applied to placement).
+/// The [`ShapeKey`] pool in [`compact_cell`] is the cache.
+fn derive_abstract(
+    table: &CellTable,
+    cell: CellId,
+    orientation: Orientation,
+    rules: &DesignRules,
+) -> Result<CellAbstract, LayoutError> {
+    let flat = flatten(table, cell)?;
+    let iso = Isometry::orient(orientation);
+    let boxes: Vec<(Layer, Rect)> = flat
+        .layer_rects()
+        .iter()
+        .map(|&(l, r)| (l, r.transform(iso)))
+        .collect();
+    Ok(CellAbstract::from_boxes(&boxes, rules))
+}
+
+/// Identity of an item's shape, the pitch-class grouping key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum ShapeKey {
+    /// An instance: called definition + orientation (as ℤ₄ × 𝔹 ints).
+    Cell(u32, (u8, bool)),
+    /// A direct box in the assembly cell: layer index + dimensions, so
+    /// differently-sized bars on one layer don't share a pitch class.
+    Box(usize, (i64, i64)),
+}
+
+/// One movable object of the assembly: an instance or a direct box.
+struct Item {
+    /// Index into the root definition's object list.
+    object: usize,
+    /// Current origin (instance point of call; box low corner).
+    pos: Point,
+    /// Shape identity for pitch-class keys.
+    key: ShapeKey,
+    /// Index into the abstract pool.
+    shape: usize,
+}
+
+/// One solved pitch class: a shared λ and the member pairs it locks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HierPitch {
+    /// Sweep axis the pitch applies along.
+    pub axis: Axis,
+    /// Human-readable class name (`cellA->cellB` plus the sample offset).
+    pub name: String,
+    /// Solved pitch value.
+    pub value: i64,
+    /// Number of abutting instance pairs sharing the pitch.
+    pub pairs: usize,
+}
+
+/// Statistics of one axis sweep of the hierarchical engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierSweepStats {
+    /// Sweep direction.
+    pub axis: Axis,
+    /// Instance clusters (= solver variables).
+    pub clusters: usize,
+    /// Abstract boxes fed to the visibility kernel.
+    pub abstract_boxes: usize,
+    /// Difference constraints generated (spacing + frames + pins).
+    pub constraints: usize,
+    /// Pitch-fixpoint rounds until the class pitches stabilized.
+    pub pitch_rounds: usize,
+    /// Total relaxation passes across the rounds' solves.
+    pub solver_passes: usize,
+    /// Origin extent along the axis after the sweep.
+    pub extent: i64,
+}
+
+/// Trace of a whole hierarchical compaction run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierReport {
+    /// One entry per executed axis sweep, in order (x, y, x, y, …).
+    pub sweeps: Vec<HierSweepStats>,
+    /// Flat boxes the instance abstracts summarize (what a flattening
+    /// compactor would have had to move).
+    pub flat_boxes: usize,
+}
+
+impl HierReport {
+    /// Total constraints across every sweep.
+    pub fn total_constraints(&self) -> usize {
+        self.sweeps.iter().map(|s| s.constraints).sum()
+    }
+
+    /// Total relaxation passes across every sweep.
+    pub fn total_solver_passes(&self) -> usize {
+        self.sweeps.iter().map(|s| s.solver_passes).sum()
+    }
+}
+
+/// Result of hierarchically compacting one assembly cell.
+#[derive(Debug, Clone)]
+pub struct HierOutcome {
+    /// The re-placed assembly: same objects, new instance origins.
+    pub cell: CellDefinition,
+    /// Solved pitch classes of the final x and y sweeps.
+    pub pitches: Vec<HierPitch>,
+    /// Full x+y alternations performed before the fixpoint.
+    pub passes: usize,
+    /// Whether the alternation reached a fixpoint within the cap.
+    pub converged: bool,
+    /// Per-sweep diagnostics.
+    pub report: HierReport,
+}
+
+/// A fully compacted hierarchy: the updated cell table plus the per-cell
+/// outcomes, in bottom-up compaction order.
+#[derive(Debug, Clone)]
+pub struct ChipLayout {
+    /// The table with every assembly cell re-placed.
+    pub table: CellTable,
+    /// The root cell (unchanged id).
+    pub top: CellId,
+    /// `(cell name, outcome)` for every compacted assembly cell.
+    pub cells: Vec<(String, HierOutcome)>,
+}
+
+impl ChipLayout {
+    /// The outcome for one assembly cell, by name.
+    pub fn outcome(&self, name: &str) -> Option<&HierOutcome> {
+        self.cells.iter().find(|(n, _)| n == name).map(|(_, o)| o)
+    }
+}
+
+/// Whole-chip compaction failure: the leaf pass or the hierarchy pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChipError {
+    /// The leaf library pass failed.
+    Leaf(crate::leaf::LeafError),
+    /// The hierarchical placement pass failed.
+    Hier(HierError),
+}
+
+impl std::fmt::Display for ChipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChipError::Leaf(e) => write!(f, "chip compaction (leaf pass): {e}"),
+            ChipError::Hier(e) => write!(f, "chip compaction (hier pass): {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChipError {}
+
+impl From<crate::leaf::LeafError> for ChipError {
+    fn from(e: crate::leaf::LeafError) -> ChipError {
+        ChipError::Leaf(e)
+    }
+}
+
+impl From<HierError> for ChipError {
+    fn from(e: HierError) -> ChipError {
+        ChipError::Hier(e)
+    }
+}
+
+/// A fully compacted chip: the leaf-pass results plus the hierarchical
+/// placement of the assembly, never flattened.
+#[derive(Debug, Clone)]
+pub struct ChipCompaction {
+    /// The re-placed hierarchy (updated cell table + per-cell outcomes).
+    pub chip: ChipLayout,
+    /// The leaf-library pass results that produced the new cells.
+    pub leaf: Vec<crate::leaf::CompactionResult>,
+}
+
+/// The generic two-pass chip flow: substitute a leaf-compacted library
+/// into the table (cells matched by name), then hierarchically re-place
+/// every assembly cell reachable from `top`. The workload crates'
+/// `compact_chip` entry points (`rsg_hpla::compactor`,
+/// `rsg_mult::compactor`) wrap this with their own library jobs.
+///
+/// # Errors
+///
+/// Returns [`ChipError::Hier`] when a leaf-pass cell name does not exist
+/// in `table` (a silent skip would leave uncompacted sample geometry in
+/// the chip) or when the placement pass fails.
+pub fn compact_chip_with_library(
+    table: &CellTable,
+    top: CellId,
+    leaf: Vec<crate::leaf::CompactionResult>,
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    opts: &HierOptions,
+) -> Result<ChipCompaction, ChipError> {
+    let mut compacted = table.clone();
+    for result in &leaf {
+        for cell in &result.cells {
+            let id = compacted.lookup(cell.name()).ok_or_else(|| {
+                ChipError::Hier(HierError::Layout(LayoutError::UnknownCell(
+                    cell.name().to_owned(),
+                )))
+            })?;
+            *compacted.get_mut(id).expect("looked up") = cell.clone();
+        }
+    }
+    let chip = compact_hierarchy(&compacted, top, rules, solver, opts)?;
+    Ok(ChipCompaction { chip, leaf })
+}
+
+/// Pins and pitch classes of one sweep axis, derived once from the input
+/// placement (the design's structure, stable across alternations).
+struct AxisStructure {
+    /// Cluster pairs pinned at along-offset 0: any two clusters *drawn
+    /// at the same along-coordinate* stay at the same along-coordinate —
+    /// coincidence alone pins, no touch test (a buffer drawn on its
+    /// column keeps the column even after the leaf pass shrinks the
+    /// bodies apart). These keep rows/columns from shearing; a pin that
+    /// contradicts ordered spacing makes the cell report `Infeasible`.
+    pins: Vec<(usize, usize)>,
+    /// Pitch classes over row-consecutive cluster pairs.
+    classes: Vec<PitchClassDef>,
+}
+
+struct PitchClassDef {
+    name: String,
+    pairs: Vec<(usize, usize)>,
+}
+
+/// A rigid cluster: items whose bodies overlap with positive area in the
+/// input (crosspoint masks over their squares, personality masks over the
+/// basic cell) move as one unit.
+struct Cluster {
+    members: Vec<usize>,
+    /// Member with the largest body — the cluster's identity and origin.
+    rep: usize,
+}
+
+/// Hierarchically compacts one assembly cell: instances (and direct
+/// boxes) are re-placed along both axes against each other's interface
+/// abstracts, with abutting rows/columns folded through shared λ pitch
+/// classes. Leaf definitions are untouched — nothing is flattened into
+/// the result.
+///
+/// # Errors
+///
+/// Returns [`HierError`] when a referenced definition cannot be
+/// flattened for its abstract, when pins conflict (infeasible), or when
+/// the pitch fixpoint / axis alternation fails to stabilize.
+pub fn compact_cell(
+    table: &CellTable,
+    root: CellId,
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    opts: &HierOptions,
+) -> Result<HierOutcome, HierError> {
+    let def = table.require(root)?;
+    let mut shapes: Vec<CellAbstract> = Vec::new();
+    let mut shape_of: HashMap<ShapeKey, usize> = HashMap::new();
+    let mut items: Vec<Item> = Vec::new();
+
+    for (k, obj) in def.objects().iter().enumerate() {
+        match obj {
+            LayoutObject::Instance(inst) => {
+                let key = ShapeKey::Cell(inst.cell.raw(), {
+                    let o = inst.orientation;
+                    (o.rotation as u8, o.mirror_y)
+                });
+                let shape = match shape_of.get(&key) {
+                    Some(&s) => s,
+                    None => {
+                        let a = derive_abstract(table, inst.cell, inst.orientation, rules)?;
+                        shapes.push(a);
+                        shape_of.insert(key, shapes.len() - 1);
+                        shapes.len() - 1
+                    }
+                };
+                items.push(Item {
+                    object: k,
+                    pos: inst.point_of_call,
+                    key,
+                    shape,
+                });
+            }
+            LayoutObject::Box { layer, rect } => {
+                let local = rect.translate(Vector::new(-rect.lo().x, -rect.lo().y));
+                shapes.push(CellAbstract::from_boxes(&[(*layer, local)], rules));
+                items.push(Item {
+                    object: k,
+                    pos: rect.lo(),
+                    key: ShapeKey::Box(layer.index(), (rect.width(), rect.height())),
+                    shape: shapes.len() - 1,
+                });
+            }
+            LayoutObject::Label { .. } => {}
+        }
+    }
+
+    let flat_boxes = items.iter().map(|i| shapes[i.shape].source_boxes()).sum();
+    if items.is_empty() {
+        return Ok(HierOutcome {
+            cell: def.clone(),
+            pitches: Vec::new(),
+            passes: 0,
+            converged: true,
+            report: HierReport {
+                sweeps: Vec::new(),
+                flat_boxes,
+            },
+        });
+    }
+
+    let clusters = rigid_clusters(&items, &shapes);
+    let structure = [
+        axis_structure(table, Axis::X, &items, &clusters),
+        axis_structure(table, Axis::Y, &items, &clusters),
+    ];
+
+    let mut positions: Vec<Point> = items.iter().map(|i| i.pos).collect();
+    let mut report = HierReport {
+        sweeps: Vec::new(),
+        flat_boxes,
+    };
+    let mut warm: [Option<Vec<i64>>; 2] = [None, None];
+    let mut final_pitch: [Vec<HierPitch>; 2] = [Vec::new(), Vec::new()];
+    let mut passes = 0;
+    let mut converged = false;
+    for _ in 0..opts.max_passes {
+        let before = positions.clone();
+        for axis in Axis::BOTH {
+            let (stats, pitches) = sweep_axis(
+                axis,
+                &items,
+                &shapes,
+                &clusters,
+                &structure[axis_index(axis)],
+                &mut positions,
+                rules,
+                solver,
+                &mut warm[axis_index(axis)],
+                opts,
+            )?;
+            report.sweeps.push(stats);
+            final_pitch[axis_index(axis)] = pitches;
+        }
+        passes += 1;
+        if positions == before {
+            converged = true;
+            break;
+        }
+    }
+
+    // Rebuild the assembly with the solved origins; labels pass through.
+    let mut cell = CellDefinition::new(def.name());
+    let delta: HashMap<usize, Vector> = items
+        .iter()
+        .zip(&positions)
+        .map(|(item, &p)| (item.object, p - item.pos))
+        .collect();
+    for (k, obj) in def.objects().iter().enumerate() {
+        match obj {
+            LayoutObject::Instance(inst) => {
+                let d = delta[&k];
+                let mut moved = *inst;
+                moved.point_of_call = inst.point_of_call + d;
+                cell.add_instance(moved);
+            }
+            LayoutObject::Box { layer, rect } => {
+                cell.add_box(*layer, rect.translate(delta[&k]));
+            }
+            LayoutObject::Label { text, at } => {
+                cell.add_label(text.clone(), *at);
+            }
+        }
+    }
+
+    let [px, py] = final_pitch;
+    Ok(HierOutcome {
+        cell,
+        pitches: px.into_iter().chain(py).collect(),
+        passes,
+        converged,
+        report,
+    })
+}
+
+/// Union-find over rigid attachment: two items move as one unit when one
+/// body fully contains the other (a personality mask riding inside its
+/// host cell) or their rule-interacting material overlaps with positive
+/// area. Background-layer overlap alone does **not** fuse — compacted
+/// neighbours legitimately interpenetrate their wells, and fusing them
+/// would freeze the assembly solid on a recompaction pass.
+fn rigid_clusters(items: &[Item], shapes: &[CellAbstract]) -> Vec<Cluster> {
+    let bbox =
+        |i: usize| -> Option<Rect> { shapes[items[i].shape].bbox().map(|r| at(r, items[i].pos)) };
+    let mat = |i: usize| -> Option<Rect> {
+        shapes[items[i].shape]
+            .material()
+            .map(|r| at(r, items[i].pos))
+    };
+    let mut parent: Vec<usize> = (0..items.len()).collect();
+    fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+        if parent[i] != i {
+            let r = find(parent, parent[i]);
+            parent[i] = r;
+        }
+        parent[i]
+    }
+    for i in 0..items.len() {
+        let Some(bi) = bbox(i) else { continue };
+        for j in i + 1..items.len() {
+            let Some(bj) = bbox(j) else { continue };
+            let contained = bi.contains_rect(bj) || bj.contains_rect(bi);
+            let material_overlap = match (mat(i), mat(j)) {
+                (Some(ma), Some(mb)) => ma.intersect(mb).is_some_and(|o| o.area() > 0),
+                _ => false,
+            };
+            if contained || material_overlap {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[rj] = ri;
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..items.len() {
+        let r = find(&mut parent, i);
+        groups.entry(r).or_default().push(i);
+    }
+    groups
+        .into_values()
+        .map(|members| {
+            let rep = members
+                .iter()
+                .copied()
+                .max_by_key(|&i| (bbox(i).map_or(0, |r| r.area()), std::cmp::Reverse(i)))
+                .expect("non-empty cluster");
+            Cluster { members, rep }
+        })
+        .collect()
+}
+
+fn at(r: Rect, p: Point) -> Rect {
+    r.translate(Vector::new(p.x, p.y))
+}
+
+fn along(p: Point, axis: Axis) -> i64 {
+    match axis {
+        Axis::X => p.x,
+        Axis::Y => p.y,
+    }
+}
+
+/// Pins and pitch classes for one axis, from the input placement.
+fn axis_structure(
+    table: &CellTable,
+    axis: Axis,
+    items: &[Item],
+    clusters: &[Cluster],
+) -> AxisStructure {
+    let origin = |c: &Cluster| items[c.rep].pos;
+
+    // Pins: clusters drawn at the same along-coordinate stay at the same
+    // along-coordinate — the design-by-example reading of alignment. A
+    // buffer drawn on its column keeps its column; a register stack drawn
+    // level with its array stays level, even after the leaf pass shrinks
+    // the bodies so they no longer touch. Each coincidence group chains
+    // into consecutive exact pins.
+    let mut pins = Vec::new();
+    let mut by_origin: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+    for (ci, c) in clusters.iter().enumerate() {
+        by_origin
+            .entry(along(origin(c), axis))
+            .or_default()
+            .push(ci);
+    }
+    for group in by_origin.values() {
+        for w in group.windows(2) {
+            pins.push((w[0], w[1]));
+        }
+    }
+
+    // Rows: clusters sharing an across-origin, ordered along the axis.
+    let mut rows: BTreeMap<i64, Vec<usize>> = BTreeMap::new();
+    for (ci, c) in clusters.iter().enumerate() {
+        rows.entry(along(origin(c), axis.other()))
+            .or_default()
+            .push(ci);
+    }
+    let mut classes: BTreeMap<(ShapeKey, ShapeKey, i64), Vec<(usize, usize)>> = BTreeMap::new();
+    for row in rows.values_mut() {
+        row.sort_by_key(|&ci| (along(origin(&clusters[ci]), axis), ci));
+        for w in row.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let d = along(origin(&clusters[b]), axis) - along(origin(&clusters[a]), axis);
+            if d == 0 {
+                continue; // coincident clusters are the pins' business
+            }
+            let key = (items[clusters[a].rep].key, items[clusters[b].rep].key, d);
+            classes.entry(key).or_default().push((a, b));
+        }
+    }
+    let names: HashMap<u32, &str> = table.iter().map(|(id, c)| (id.raw(), c.name())).collect();
+    let name_of = |key: &ShapeKey| -> String {
+        match key {
+            ShapeKey::Cell(raw, _) => names
+                .get(raw)
+                .map_or_else(|| format!("#{raw}"), |n| (*n).to_owned()),
+            ShapeKey::Box(layer, _) => format!("box:{}", Layer::ALL[*layer]),
+        }
+    };
+    let classes = classes
+        .into_iter()
+        .map(|((ka, kb, d), pairs)| PitchClassDef {
+            name: format!("{axis}:{}->{}@{d}", name_of(&ka), name_of(&kb)),
+            pairs,
+        })
+        .collect();
+    AxisStructure { pins, classes }
+}
+
+/// One axis sweep: constraint generation on abstracts, pitch fixpoint,
+/// position update. Returns the stats and the solved pitch classes.
+#[allow(clippy::too_many_arguments)]
+fn sweep_axis(
+    axis: Axis,
+    items: &[Item],
+    shapes: &[CellAbstract],
+    clusters: &[Cluster],
+    structure: &AxisStructure,
+    positions: &mut [Point],
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    warm: &mut Option<Vec<i64>>,
+    opts: &HierOptions,
+) -> Result<(HierSweepStats, Vec<HierPitch>), HierError> {
+    let n = clusters.len();
+    let origin = |c: &Cluster, positions: &[Point]| positions[c.rep];
+
+    // Absolute abstract boxes, tagged with their owning cluster.
+    let mut pboxes: Vec<(Layer, Rect)> = Vec::new();
+    let mut owner: Vec<usize> = Vec::new();
+    for (ci, c) in clusters.iter().enumerate() {
+        for &m in &c.members {
+            for &(l, r) in shapes[items[m].shape].profile(axis) {
+                pboxes.push((l, at(r, positions[m])));
+                owner.push(ci);
+            }
+        }
+    }
+
+    // Material frames per cluster (absolute).
+    let frames: Vec<Option<Rect>> = clusters
+        .iter()
+        .map(|c| {
+            let mut bb = BoundingBox::new();
+            for &m in &c.members {
+                if let Some(r) = shapes[items[m].shape].material() {
+                    bb.include_rect(at(r, positions[m]));
+                }
+            }
+            bb.rect()
+        })
+        .collect();
+
+    // Pairwise constraint weights, collapsed to the max per cluster pair.
+    let base = |ci: usize| along(origin(&clusters[ci], positions), axis);
+    let mut weights: BTreeMap<(usize, usize), i64> = BTreeMap::new();
+    let bump = |weights: &mut BTreeMap<(usize, usize), i64>, a: usize, b: usize, w: i64| {
+        let e = weights.entry((a, b)).or_insert(i64::MIN);
+        *e = (*e).max(w);
+    };
+
+    // Frames: ordered material bounding boxes may abut but not overlap —
+    // the hierarchical engine never compacts *into* a leaf.
+    for a in 0..n {
+        let Some(fa) = frames[a] else { continue };
+        for (b, fb) in frames.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            let Some(fb) = *fb else { continue };
+            if fa.hi_along(axis) > fb.lo_along(axis) {
+                continue;
+            }
+            if fa.lo_across(axis) >= fb.hi_across(axis) || fb.lo_across(axis) >= fa.hi_across(axis)
+            {
+                continue;
+            }
+            let w = (fa.hi_along(axis) - base(a)) - (fb.lo_along(axis) - base(b));
+            bump(&mut weights, a, b, w);
+        }
+    }
+
+    // Spacing between abstract boxes of distinct clusters, hidden pairs
+    // pruned through the same oracle the flat scanline uses. Same-layer
+    // material that touches across a cluster boundary is one electrical
+    // net: like the flat engine's connectivity constraints, the two
+    // clusters are *welded* at their current offset — exempting the pair
+    // from spacing alone would let the compactor pry a connected bus
+    // apart.
+    let mut welds: BTreeMap<(usize, usize), i64> = BTreeMap::new();
+    let mut oracle = VisibilityOracle::new(pboxes.clone(), axis);
+    for (i, &(la, ra)) in pboxes.iter().enumerate() {
+        for (j, &(lb, rb)) in pboxes.iter().enumerate() {
+            if owner[i] == owner[j] {
+                continue;
+            }
+            if la == lb && ra.intersect(rb).is_some() {
+                if owner[i] < owner[j] {
+                    welds.insert((owner[i], owner[j]), base(owner[j]) - base(owner[i]));
+                }
+                continue; // connected material: welded, never spaced
+            }
+            let Some(s) = rules.min_spacing(la, lb) else {
+                continue;
+            };
+            if ra.hi_along(axis) > rb.lo_along(axis) {
+                continue;
+            }
+            // Near-overlap window: the DRC gap is L∞, so a diagonal pair
+            // whose across-gap is under the rule still needs the full
+            // along-spacing — strict overlap would leave corner-to-corner
+            // pairs unconstrained.
+            if ra.lo_across(axis) >= rb.hi_across(axis) + s
+                || rb.lo_across(axis) >= ra.hi_across(axis) + s
+            {
+                continue;
+            }
+            if oracle.hidden_between(i, j) {
+                continue;
+            }
+            let w = s + (ra.hi_along(axis) - base(owner[i])) - (rb.lo_along(axis) - base(owner[j]));
+            bump(&mut weights, owner[i], owner[j], w);
+        }
+    }
+
+    // Normalized initial coordinates.
+    let min_base = (0..n).map(base).min().expect("non-empty");
+    let floor = rules.spacing_floor();
+
+    // Pitch fixpoint: each round solves a pure difference system; every
+    // class pitch then rises to its worst member gap until stable.
+    let mut lambdas: Vec<i64> = structure.classes.iter().map(|_| floor).collect();
+    let mut rounds = 0;
+    let mut passes = 0;
+    let solution = loop {
+        rounds += 1;
+        if rounds > opts.max_pitch_rounds {
+            return Err(HierError::Diverged(format!(
+                "pitch fixpoint still moving after {} rounds on {axis}",
+                opts.max_pitch_rounds
+            )));
+        }
+        let mut sys = ConstraintSystem::new_along(axis);
+        let vars: Vec<_> = (0..n).map(|ci| sys.add_var(base(ci) - min_base)).collect();
+        for (&(a, b), &w) in &weights {
+            sys.require(vars[a], vars[b], w);
+        }
+        for (&(a, b), &d) in &welds {
+            sys.require_exact(vars[a], vars[b], d);
+        }
+        for &(a, b) in &structure.pins {
+            sys.require_exact(vars[a], vars[b], 0);
+        }
+        for (k, class) in structure.classes.iter().enumerate() {
+            for &(a, b) in &class.pairs {
+                sys.require(vars[a], vars[b], lambdas[k]);
+            }
+        }
+        let out = match warm.as_deref() {
+            Some(seed) if seed.len() == n => solver.solve_system_warm(&sys, &[], seed)?,
+            _ => solver.solve_system(&sys, &[])?,
+        };
+        passes += out.passes;
+        let next: Vec<i64> = structure
+            .classes
+            .iter()
+            .zip(&lambdas)
+            .map(|(class, &cur)| {
+                class
+                    .pairs
+                    .iter()
+                    .map(|&(a, b)| out.positions[b] - out.positions[a])
+                    .max()
+                    .unwrap_or(cur)
+            })
+            .collect();
+        let stable = next == lambdas;
+        lambdas = next;
+        if stable {
+            *warm = Some(out.positions.clone());
+            break out;
+        }
+        *warm = Some(out.positions.clone());
+    };
+
+    // Write the solved origins back: every member of a cluster moves by
+    // the cluster's delta.
+    let mut extent = 0;
+    let constraints = weights.len()
+        + welds.len() * 2
+        + structure.pins.len() * 2
+        + structure
+            .classes
+            .iter()
+            .map(|c| c.pairs.len())
+            .sum::<usize>();
+    let deltas: Vec<i64> = (0..n)
+        .map(|ci| solution.positions[ci] + min_base - base(ci))
+        .collect();
+    for (c, &d) in clusters.iter().zip(&deltas) {
+        for &m in &c.members {
+            match axis {
+                Axis::X => positions[m].x += d,
+                Axis::Y => positions[m].y += d,
+            }
+        }
+    }
+    if let (Some(&lo), Some(&hi)) = (
+        solution.positions.iter().min(),
+        solution.positions.iter().max(),
+    ) {
+        extent = hi - lo;
+    }
+
+    let pitches = structure
+        .classes
+        .iter()
+        .zip(&lambdas)
+        .map(|(class, &value)| HierPitch {
+            axis,
+            name: class.name.clone(),
+            value,
+            pairs: class.pairs.len(),
+        })
+        .collect();
+    Ok((
+        HierSweepStats {
+            axis,
+            clusters: n,
+            abstract_boxes: pboxes.len(),
+            constraints,
+            pitch_rounds: rounds,
+            solver_passes: passes,
+            extent,
+        },
+        pitches,
+    ))
+}
+
+/// Hierarchically compacts every assembly cell reachable from `top`,
+/// children before callers, and returns the updated table: the paper's
+/// whole-chip flow (leaves were compacted by the leaf pass; assemblies
+/// compose from interfaces, never from flattened masks).
+///
+/// # Errors
+///
+/// Propagates [`HierError`] from any level; a cyclic hierarchy surfaces
+/// as [`HierError::Layout`], and an assembly whose x/y alternation does
+/// not reach a fixpoint within [`HierOptions::max_passes`] is reported
+/// as [`HierError::Diverged`] — a non-converged placement can carry
+/// stale cross-axis constraints, so the chip flow refuses to build on
+/// it. ([`compact_cell`] still returns such partial results with
+/// `converged == false` for callers that want them.)
+pub fn compact_hierarchy(
+    table: &CellTable,
+    top: CellId,
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    opts: &HierOptions,
+) -> Result<ChipLayout, HierError> {
+    let mut out_table = table.clone();
+    let mut order = Vec::new();
+    let mut mark: HashMap<CellId, u8> = HashMap::new();
+    dfs_order(table, top, &mut mark, &mut order)?;
+    let mut cells = Vec::new();
+    for cell in order {
+        let def = out_table.require(cell)?;
+        if def.instances().next().is_none() {
+            continue; // leaf: the leaf compactor's business
+        }
+        let name = def.name().to_owned();
+        let outcome = compact_cell(&out_table, cell, rules, solver, opts)?;
+        if !outcome.converged {
+            return Err(HierError::Diverged(format!(
+                "cell `{name}` did not reach an x/y fixpoint in {} alternations",
+                opts.max_passes
+            )));
+        }
+        *out_table.get_mut(cell).expect("cell exists") = outcome.cell.clone();
+        cells.push((name, outcome));
+    }
+    Ok(ChipLayout {
+        table: out_table,
+        top,
+        cells,
+    })
+}
+
+fn dfs_order(
+    table: &CellTable,
+    cell: CellId,
+    mark: &mut HashMap<CellId, u8>,
+    order: &mut Vec<CellId>,
+) -> Result<(), HierError> {
+    match mark.get(&cell) {
+        Some(2) => return Ok(()),
+        Some(1) => {
+            let name = table.get(cell).map_or("?", |c| c.name()).to_owned();
+            return Err(HierError::Layout(LayoutError::RecursiveCell(name)));
+        }
+        _ => {}
+    }
+    mark.insert(cell, 1);
+    for inst in table.require(cell)?.instances() {
+        dfs_order(table, inst.cell, mark, order)?;
+    }
+    mark.insert(cell, 2);
+    order.push(cell);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{BellmanFord, Topological};
+    use rsg_layout::{drc, Instance, Technology};
+
+    fn rules() -> DesignRules {
+        Technology::mead_conway(2).rules.clone()
+    }
+
+    fn bf() -> BellmanFord {
+        BellmanFord::SORTED
+    }
+
+    fn leaf(name: &str) -> CellDefinition {
+        // 20-wide leaf: a well background and a centred poly bar.
+        let mut c = CellDefinition::new(name);
+        c.add_box(Layer::Well, Rect::from_coords(0, 0, 20, 20));
+        c.add_box(Layer::Poly, Rect::from_coords(8, 0, 12, 20));
+        c
+    }
+
+    #[test]
+    fn abstract_profiles_summarize_edges() {
+        let boxes = vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 10)),
+            (Layer::Poly, Rect::from_coords(10, 0, 14, 10)),
+            (Layer::Well, Rect::from_coords(0, 0, 20, 20)), // no rules
+        ];
+        let a = CellAbstract::from_boxes(&boxes, &rules());
+        // One merged strip spanning both poly bars along x.
+        assert_eq!(
+            a.profile(Axis::X),
+            &[(Layer::Poly, Rect::from_coords(0, 0, 14, 10))]
+        );
+        // Along y the two bars sit in disjoint across-strips.
+        assert_eq!(
+            a.profile(Axis::Y),
+            &[
+                (Layer::Poly, Rect::from_coords(0, 0, 4, 10)),
+                (Layer::Poly, Rect::from_coords(10, 0, 14, 10)),
+            ]
+        );
+        assert_eq!(a.bbox(), Some(Rect::from_coords(0, 0, 20, 20)));
+        assert_eq!(a.material(), Some(Rect::from_coords(0, 0, 14, 10)));
+        assert_eq!(a.source_boxes(), 3);
+    }
+
+    #[test]
+    fn row_of_instances_compacts_to_min_pitch_uniformly() {
+        let mut t = CellTable::new();
+        let id = t.insert(leaf("leaf")).unwrap();
+        let mut row = CellDefinition::new("row");
+        for k in 0..4 {
+            row.add_instance(Instance::new(id, Point::new(k * 30, 0), Orientation::NORTH));
+        }
+        let root = t.insert(row).unwrap();
+        let out = compact_cell(&t, root, &rules(), &bf(), &HierOptions::default()).unwrap();
+        assert!(out.converged);
+        // Poly bar 8..12, poly-poly spacing 4: pitch = 12 + 4 − 8 = 8.
+        let xs: Vec<i64> = out.cell.instances().map(|i| i.point_of_call.x).collect();
+        assert_eq!(xs, vec![0, 8, 16, 24]);
+        assert_eq!(out.pitches.len(), 1);
+        assert_eq!(out.pitches[0].value, 8);
+        assert_eq!(out.pitches[0].pairs, 3);
+        assert_eq!(out.pitches[0].axis, Axis::X);
+    }
+
+    #[test]
+    fn contained_mask_rides_with_its_host() {
+        let mut t = CellTable::new();
+        let host = t.insert(leaf("host")).unwrap();
+        let mut mask = CellDefinition::new("mask");
+        mask.add_box(Layer::Cut, Rect::from_coords(2, 2, 8, 8));
+        let mask_id = t.insert(mask).unwrap();
+        let mut asm = CellDefinition::new("asm");
+        asm.add_instance(Instance::new(host, Point::new(0, 0), Orientation::NORTH));
+        asm.add_instance(Instance::new(mask_id, Point::new(0, 0), Orientation::NORTH));
+        asm.add_instance(Instance::new(host, Point::new(40, 0), Orientation::NORTH));
+        let root = t.insert(asm).unwrap();
+        let out = compact_cell(&t, root, &rules(), &bf(), &HierOptions::default()).unwrap();
+        let pts: Vec<Point> = out.cell.instances().map(|i| i.point_of_call).collect();
+        // The mask keeps its exact offset inside the host.
+        assert_eq!(pts[1], pts[0], "mask moved relative to its host");
+        // The second host pulled in to the poly pitch.
+        assert_eq!(pts[2].x - pts[0].x, 8);
+    }
+
+    #[test]
+    fn coincident_origins_stay_pinned_across_the_other_axis() {
+        // A column-attached cap: same x origin as its column cell, above
+        // it. Compacting x must keep them x-aligned even though nothing
+        // geometric ties them (no interacting material between them).
+        let mut t = CellTable::new();
+        let base_id = t.insert(leaf("base")).unwrap();
+        let mut cap = CellDefinition::new("cap");
+        cap.add_box(Layer::Well, Rect::from_coords(0, 0, 20, 10));
+        cap.add_box(Layer::Metal1, Rect::from_coords(4, 2, 12, 8));
+        let cap_id = t.insert(cap).unwrap();
+        let mut asm = CellDefinition::new("asm");
+        for k in 0..3 {
+            asm.add_instance(Instance::new(
+                base_id,
+                Point::new(k * 30, 0),
+                Orientation::NORTH,
+            ));
+            asm.add_instance(Instance::new(
+                cap_id,
+                Point::new(k * 30, 20),
+                Orientation::NORTH,
+            ));
+        }
+        let root = t.insert(asm).unwrap();
+        let out = compact_cell(&t, root, &rules(), &bf(), &HierOptions::default()).unwrap();
+        let pts: Vec<Point> = out.cell.instances().map(|i| i.point_of_call).collect();
+        for k in 0..3 {
+            assert_eq!(
+                pts[2 * k].x,
+                pts[2 * k + 1].x,
+                "cap {k} sheared off its column"
+            );
+        }
+    }
+
+    #[test]
+    fn abutting_connected_material_is_never_pried_apart() {
+        // Cells a and b abut so their metal forms one net; a loose poly
+        // bar sits to b's right. Compaction pulls the bar in but must
+        // keep the welded a–b junction at its exact offset — exempting
+        // the pair from spacing alone would sever the bus.
+        let mut t = CellTable::new();
+        let mut a = CellDefinition::new("a");
+        a.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 8));
+        let a_id = t.insert(a).unwrap();
+        let mut b = CellDefinition::new("b");
+        b.add_box(Layer::Metal1, Rect::from_coords(0, 0, 10, 8));
+        b.add_box(Layer::Poly, Rect::from_coords(2, 20, 6, 40));
+        let b_id = t.insert(b).unwrap();
+        let mut asm = CellDefinition::new("asm");
+        asm.add_instance(Instance::new(a_id, Point::new(0, 0), Orientation::NORTH));
+        asm.add_instance(Instance::new(b_id, Point::new(10, 0), Orientation::NORTH));
+        asm.add_box(Layer::Poly, Rect::from_coords(40, 20, 44, 40));
+        let root = t.insert(asm).unwrap();
+        let r = rules();
+        let out = compact_cell(&t, root, &r, &bf(), &HierOptions::default()).unwrap();
+        let pts: Vec<Point> = out.cell.instances().map(|i| i.point_of_call).collect();
+        assert_eq!(
+            pts[1] - pts[0],
+            rsg_geom::Vector::new(10, 0),
+            "welded abutment moved: the net was severed"
+        );
+        // The loose bar still compacts against b's poly.
+        let bar = out.cell.boxes().next().unwrap().1;
+        assert_eq!(bar.lo().x, pts[1].x + 6 + 4, "bar at poly spacing from b");
+    }
+
+    #[test]
+    fn conflicting_pins_report_infeasible() {
+        // Two cells drawn at the same origin whose material is ordered
+        // with a positive spacing demand: the alignment pin contradicts
+        // the spacing constraint.
+        let mut t = CellTable::new();
+        let mut a = CellDefinition::new("a");
+        a.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 10));
+        let a_id = t.insert(a).unwrap();
+        let mut b = CellDefinition::new("b");
+        b.add_box(Layer::Poly, Rect::from_coords(6, 0, 10, 10));
+        let b_id = t.insert(b).unwrap();
+        let mut asm = CellDefinition::new("asm");
+        asm.add_instance(Instance::new(a_id, Point::new(0, 0), Orientation::NORTH));
+        asm.add_instance(Instance::new(b_id, Point::new(0, 0), Orientation::NORTH));
+        let root = t.insert(asm).unwrap();
+        let err = compact_cell(&t, root, &rules(), &bf(), &HierOptions::default()).unwrap_err();
+        assert!(matches!(err, HierError::Infeasible(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_cell_is_untouched() {
+        let mut t = CellTable::new();
+        let id = t.insert(CellDefinition::new("empty")).unwrap();
+        let out = compact_cell(&t, id, &rules(), &bf(), &HierOptions::default()).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.passes, 0);
+        assert_eq!(&out.cell, t.get(id).unwrap());
+    }
+
+    #[test]
+    fn hierarchy_compacts_bottom_up_and_flattens_clean() {
+        // row (4 leaves) instantiated twice in a chip: the row compacts
+        // first, the chip then places the compacted rows — and the
+        // flattened result re-checks clean.
+        let mut t = CellTable::new();
+        let id = t.insert(leaf("leaf")).unwrap();
+        let mut row = CellDefinition::new("row");
+        for k in 0..4 {
+            row.add_instance(Instance::new(id, Point::new(k * 30, 0), Orientation::NORTH));
+        }
+        let row_id = t.insert(row).unwrap();
+        let mut chip = CellDefinition::new("chip");
+        chip.add_instance(Instance::new(row_id, Point::new(0, 0), Orientation::NORTH));
+        chip.add_instance(Instance::new(
+            row_id,
+            Point::new(0, -40),
+            Orientation::NORTH,
+        ));
+        let top = t.insert(chip).unwrap();
+
+        let r = rules();
+        let out = compact_hierarchy(&t, top, &r, &bf(), &HierOptions::default()).unwrap();
+        assert_eq!(
+            out.cells
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            ["row", "chip"],
+            "children compact before callers"
+        );
+        let flat = flatten(&out.table, out.top).unwrap();
+        assert!(drc::check_flat(&flat, &r).is_empty());
+        // The rows shrank: pitch 8 instead of 30.
+        let row_def = out.table.get(row_id).unwrap();
+        let xs: Vec<i64> = row_def.instances().map(|i| i.point_of_call.x).collect();
+        assert_eq!(xs, vec![0, 8, 16, 24]);
+        // The two row instances pulled together vertically. The bars were
+        // *separate* nets in the sample (pitch 40 — not touching), so the
+        // compactor must keep them a poly-poly spacing apart, not fuse
+        // them: pitch = bar height 20 + spacing 4.
+        let chip_def = out.table.get(top).unwrap();
+        let ys: Vec<i64> = chip_def.instances().map(|i| i.point_of_call.y).collect();
+        assert_eq!(ys[0] - ys[1], 24, "row pitch = bar height + spacing");
+    }
+
+    #[test]
+    fn backends_agree_on_the_hier_result() {
+        let mut t = CellTable::new();
+        let id = t.insert(leaf("leaf")).unwrap();
+        let mut row = CellDefinition::new("row");
+        for k in 0..5 {
+            row.add_instance(Instance::new(id, Point::new(k * 26, 0), Orientation::NORTH));
+        }
+        let root = t.insert(row).unwrap();
+        let r = rules();
+        let a = compact_cell(&t, root, &r, &bf(), &HierOptions::default()).unwrap();
+        let b = compact_cell(&t, root, &r, &Topological, &HierOptions::default()).unwrap();
+        assert_eq!(a.cell, b.cell);
+        assert_eq!(a.pitches, b.pitches);
+    }
+
+    #[test]
+    fn recursive_hierarchy_is_an_error() {
+        let mut t = CellTable::new();
+        let a = t.insert(CellDefinition::new("a")).unwrap();
+        t.get_mut(a)
+            .unwrap()
+            .add_instance(Instance::new(a, Point::new(1, 1), Orientation::NORTH));
+        let err = compact_hierarchy(&t, a, &rules(), &bf(), &HierOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            HierError::Layout(LayoutError::RecursiveCell(_))
+        ));
+    }
+
+    #[test]
+    fn direct_boxes_participate_as_items() {
+        // A root with a loose box next to an instance: both compact.
+        let mut t = CellTable::new();
+        let id = t.insert(leaf("leaf")).unwrap();
+        let mut asm = CellDefinition::new("asm");
+        asm.add_instance(Instance::new(id, Point::new(0, 0), Orientation::NORTH));
+        asm.add_box(Layer::Poly, Rect::from_coords(40, 0, 44, 20));
+        asm.add_label("note", Point::new(1, 1));
+        let root = t.insert(asm).unwrap();
+        let r = rules();
+        let out = compact_cell(&t, root, &r, &bf(), &HierOptions::default()).unwrap();
+        let boxes: Vec<(Layer, Rect)> = out.cell.boxes().collect();
+        // Loose bar pulled in to poly spacing from the leaf's bar (8..12).
+        assert_eq!(boxes[0].1, Rect::from_coords(16, 0, 20, 20));
+        assert_eq!(out.cell.labels().count(), 1, "labels pass through");
+        let flat = flatten_root(&t, &out.cell, root);
+        assert!(drc::check(&flat, &r).is_empty());
+    }
+
+    /// Flattens a rebuilt root definition against its original table.
+    fn flatten_root(t: &CellTable, cell: &CellDefinition, original: CellId) -> Vec<(Layer, Rect)> {
+        let mut t2 = t.clone();
+        *t2.get_mut(original).unwrap() = cell.clone();
+        flatten(&t2, original).unwrap().layer_rects().to_vec()
+    }
+}

@@ -300,6 +300,11 @@ pub struct LibraryJob {
 /// changes wall-clock time. This is the batch entry point for compacting
 /// a whole generator library (the paper's "compact the cell A only
 /// once" economics, multiplied across a cell catalogue).
+///
+/// Results are keyed **by job index** — `result[k]` always belongs to
+/// `jobs[k]` — never by cell or pitch name. Jobs whose cells or
+/// interfaces carry duplicate names therefore cannot cross wires under
+/// any scheduling (pinned by the duplicate-name regression test below).
 pub fn compact_batch(
     jobs: &[LibraryJob],
     rules: &DesignRules,
@@ -656,6 +661,66 @@ mod tests {
         for par in [Parallelism::Auto, Parallelism::Threads(3)] {
             let parallel = compact_batch(&jobs, &r, &bf(), par);
             assert_eq!(serial, parallel, "{par:?} diverged from serial");
+        }
+    }
+
+    /// Regression: jobs carrying *duplicate* cell and pitch names must
+    /// come back keyed by job index, never collated by name. The jobs
+    /// below all name their cell `cell` and their pitch `l`, but each
+    /// has distinguishable geometry; the batch result must line up with
+    /// the per-index serial compaction under every parallelism mode.
+    #[test]
+    fn batch_with_duplicate_names_keeps_job_order() {
+        // The compactor preserves box widths, so giving job k a bar of
+        // width 4+k guarantees every job's *result* is distinct — any
+        // cross-wiring or name-keyed collation would be caught.
+        let jobs: Vec<LibraryJob> = (0..8)
+            .map(|k| {
+                let k = k as i64;
+                let mut cell = CellDefinition::new("cell"); // same name on purpose
+                cell.add_box(Layer::Poly, Rect::from_coords(0, 0, 4 + k, 20));
+                cell.add_box(Layer::Poly, Rect::from_coords(30, 0, 34, 20));
+                LibraryJob {
+                    cells: vec![cell],
+                    interfaces: vec![LeafInterface {
+                        cell_a: 0,
+                        cell_b: 0,
+                        kind: PitchKind::VariableX {
+                            initial: 44,
+                            weight: 1,
+                        },
+                        y_offset: 0,
+                        name: "l".into(), // same pitch name on purpose
+                    }],
+                }
+            })
+            .collect();
+        let r = rules();
+        let expected: Vec<CompactionResult> = jobs
+            .iter()
+            .map(|job| compact(&job.cells, &job.interfaces, &r, &bf()).unwrap())
+            .collect();
+        // Self-check: the jobs really are pairwise distinguishable, so a
+        // permuted or collated batch cannot pass by accident.
+        for (a, ra) in expected.iter().enumerate() {
+            for (b, rb) in expected.iter().enumerate().skip(a + 1) {
+                assert_ne!(ra, rb, "jobs {a} and {b} are indistinguishable");
+            }
+        }
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Auto,
+            Parallelism::Threads(4),
+        ] {
+            let batch = compact_batch(&jobs, &r, &bf(), par);
+            assert_eq!(batch.len(), jobs.len());
+            for (k, (want, got)) in expected.iter().zip(&batch).enumerate() {
+                assert_eq!(
+                    got.as_ref().unwrap(),
+                    want,
+                    "{par:?}: result {k} does not belong to job {k}"
+                );
+            }
         }
     }
 

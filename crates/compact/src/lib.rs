@@ -55,6 +55,7 @@
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod hier;
 pub mod layers;
 pub mod leaf;
 pub mod par;

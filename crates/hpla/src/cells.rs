@@ -17,14 +17,21 @@ pub const BUF_HEIGHT: i64 = 24;
 fn square(name: &str, inner: Layer) -> CellDefinition {
     let mut c = CellDefinition::new(name);
     c.add_box(Layer::Well, Rect::from_coords(0, 0, GRID, GRID));
-    c.add_box(inner, Rect::from_coords(8, 0, 12, GRID));
+    // The inner bus runs at the layer's minimum width, centred on the
+    // grid square, so the sample tiles design-rule clean at GRID pitch
+    // (paper §2.3: each cell is made correct by construction).
+    let w = if inner == Layer::Metal1 { 6 } else { 4 };
+    let lo = (GRID - w) / 2;
+    c.add_box(inner, Rect::from_coords(lo, 0, lo + w, GRID));
     c
 }
 
 fn buffer(name: &str) -> CellDefinition {
     let mut c = CellDefinition::new(name);
     c.add_box(Layer::Well, Rect::from_coords(0, 0, GRID, BUF_HEIGHT));
-    c.add_box(Layer::Metal1, Rect::from_coords(4, 4, 16, BUF_HEIGHT - 4));
+    // Top margin of 6 keeps the buffer's metal a full metal-metal
+    // spacing away from the plane bus it abuts.
+    c.add_box(Layer::Metal1, Rect::from_coords(4, 4, 16, BUF_HEIGHT - 6));
     c
 }
 

@@ -10,10 +10,11 @@
 
 use crate::cells::GRID;
 use rsg_compact::backend::Solver;
+use rsg_compact::hier::{self, ChipCompaction, ChipError, HierOptions};
 use rsg_compact::leaf::{
     compact_batch, CompactionResult, LeafError, LeafInterface, LibraryJob, Parallelism, PitchKind,
 };
-use rsg_layout::DesignRules;
+use rsg_layout::{CellId, CellTable, DesignRules};
 
 /// The independent compaction jobs of the PLA library: the plane squares
 /// (AND/OR with the shared horizontal grid pitch and the vertical
@@ -111,6 +112,31 @@ pub fn compact_library(
         .collect()
 }
 
+/// Compacts an assembled PLA end to end, the paper's top-level flow:
+/// **leaf pass** (compact the library cells once, λ pitches as unknowns)
+/// then **hier pass** (re-place the instances against the compacted
+/// cells' interface abstracts, rows/columns pitch-matched through shared
+/// λ classes) — the mask data is never flattened.
+///
+/// `table`/`top` come from either generator ([`crate::rsg_pla`] /
+/// [`crate::relocation_pla`]); the returned
+/// [`rsg_compact::hier::ChipLayout`] holds the updated table with the
+/// same ids.
+///
+/// # Errors
+///
+/// Returns [`ChipError`] when either pass fails.
+pub fn compact_chip(
+    table: &CellTable,
+    top: CellId,
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    parallelism: Parallelism,
+) -> Result<ChipCompaction, ChipError> {
+    let leaf = compact_library(rules, solver, parallelism)?;
+    hier::compact_chip_with_library(table, top, leaf, rules, solver, &HierOptions::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,5 +174,59 @@ mod tests {
         let parallel =
             compact_library(&tech.rules, &BellmanFord::SORTED, Parallelism::Auto).unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn compact_chip_shrinks_pitch_matches_and_stays_clean() {
+        let tech = Technology::mead_conway(2);
+        let p = crate::Personality::parse(&["10 10", "01 10", "11 01"], 2, 2).unwrap();
+        let pla = crate::rsg_pla(&p, "pla").unwrap();
+        let out = compact_chip(
+            pla.rsg.cells(),
+            pla.top,
+            &tech.rules,
+            &BellmanFord::SORTED,
+            Parallelism::Auto,
+        )
+        .unwrap();
+
+        // Flatten only to *verify*: clean under the independent referee,
+        // and strictly smaller than the sample-pitch assembly.
+        let before = rsg_layout::flatten(pla.rsg.cells(), pla.top).unwrap();
+        let after = rsg_layout::flatten(&out.chip.table, out.chip.top).unwrap();
+        assert!(rsg_layout::drc::check_flat(&after, &tech.rules).is_empty());
+        let (b, a) = (before.bbox().rect().unwrap(), after.bbox().rect().unwrap());
+        assert!(
+            a.width() * a.height() < b.width() * b.height(),
+            "chip must shrink: {b} -> {a}"
+        );
+
+        // Pitch matching: every AND-plane row realizes one uniform pitch.
+        let top_def = out.chip.table.require(out.chip.top).unwrap();
+        let and_id = out.chip.table.lookup("and_sq").unwrap();
+        let mut rows: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
+        for inst in top_def.instances().filter(|i| i.cell == and_id) {
+            rows.entry(inst.point_of_call.y)
+                .or_default()
+                .push(inst.point_of_call.x);
+        }
+        let mut gaps = Vec::new();
+        for xs in rows.values_mut() {
+            xs.sort_unstable();
+            gaps.extend(xs.windows(2).map(|w| w[1] - w[0]));
+        }
+        assert!(!gaps.is_empty());
+        assert!(
+            gaps.windows(2).all(|w| w[0] == w[1]),
+            "AND columns not pitch-matched: {gaps:?}"
+        );
+        let outcome = out.chip.outcome("pla").expect("top outcome");
+        let lambda = outcome
+            .pitches
+            .iter()
+            .find(|p| p.name.contains("and_sq->and_sq") && p.axis == rsg_geom::Axis::X)
+            .expect("AND pitch class")
+            .value;
+        assert_eq!(gaps[0], lambda, "realized gap must equal the class λ");
     }
 }

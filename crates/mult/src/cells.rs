@@ -43,31 +43,35 @@ fn basic_cell() -> CellDefinition {
     c.add_box(Layer::Diffusion, Rect::from_coords(4, 4, 16, 12));
     c.add_box(Layer::Poly, Rect::from_coords(18, 4, 22, 36));
     c.add_box(Layer::Metal1, Rect::from_coords(4, 20, 36, 26));
-    c.add_box(Layer::Cut, Rect::from_coords(19, 21, 21, 25));
+    c.add_box(Layer::Cut, Rect::from_coords(18, 21, 22, 25));
     c
 }
 
 /// `(name, layer, rect)` of each basic-cell mask's single box; the boxes
 /// occupy disjoint spots inside the basic cell so that every mask is
-/// independently visible (Fig 5.3's maskings).
+/// independently visible (Fig 5.3's maskings), and every co-occurring
+/// combination (one type + one clock + one carry + one top mask) is
+/// design-rule clean in the tiled array (§2.3): the metal2 masks sit in
+/// two x-bands a full metal2 spacing apart, the top masks use the
+/// rule-free implant marker layer.
 fn basic_mask_specs() -> Vec<(&'static str, Layer, Rect)> {
     vec![
-        ("typei", Layer::Metal2, Rect::from_coords(24, 4, 30, 10)),
-        ("typeii", Layer::Metal2, Rect::from_coords(24, 12, 30, 18)),
+        ("typei", Layer::Metal2, Rect::from_coords(10, 2, 18, 10)),
+        ("typeii", Layer::Metal2, Rect::from_coords(10, 14, 18, 22)),
         ("clock1", Layer::Poly, Rect::from_coords(26, 28, 32, 32)),
         ("clock2", Layer::Poly, Rect::from_coords(26, 34, 32, 38)),
-        ("carry1", Layer::Metal2, Rect::from_coords(4, 28, 10, 34)),
-        ("carry2", Layer::Metal2, Rect::from_coords(12, 28, 18, 34)),
-        ("topm1", Layer::Cut, Rect::from_coords(32, 32, 36, 36)),
-        ("topm2", Layer::Cut, Rect::from_coords(34, 14, 38, 18)),
+        ("carry1", Layer::Metal2, Rect::from_coords(26, 2, 34, 10)),
+        ("carry2", Layer::Metal2, Rect::from_coords(26, 14, 34, 22)),
+        ("topm1", Layer::Implant, Rect::from_coords(32, 32, 36, 36)),
+        ("topm2", Layer::Implant, Rect::from_coords(34, 14, 38, 18)),
     ]
 }
 
 fn reg_mask_specs() -> Vec<(&'static str, Layer, Rect)> {
     vec![
-        ("goboth", Layer::Metal2, Rect::from_coords(4, 6, 12, 12)),
-        ("goleft", Layer::Metal2, Rect::from_coords(4, 16, 12, 22)),
-        ("goright", Layer::Metal2, Rect::from_coords(4, 26, 12, 32)),
+        ("goboth", Layer::Metal2, Rect::from_coords(6, 4, 14, 12)),
+        ("goleft", Layer::Metal2, Rect::from_coords(6, 16, 14, 24)),
+        ("goright", Layer::Metal2, Rect::from_coords(6, 28, 14, 36)),
     ]
 }
 

@@ -9,10 +9,11 @@
 
 use crate::cells::{PITCH, REG_HEIGHT};
 use rsg_compact::backend::Solver;
+use rsg_compact::hier::{self, ChipCompaction, ChipError, HierOptions};
 use rsg_compact::leaf::{
     compact_batch, CompactionResult, LeafError, LeafInterface, LibraryJob, Parallelism, PitchKind,
 };
-use rsg_layout::DesignRules;
+use rsg_layout::{CellId, CellTable, DesignRules};
 
 /// The independent compaction jobs of the multiplier library: the core
 /// array cell under its horizontal pitch + vertical abutment, and the
@@ -100,6 +101,30 @@ pub fn compact_library(
         .collect()
 }
 
+/// Compacts an assembled multiplier end to end: the leaf pass compacts
+/// the library cells once, then the hier pass re-places every assembly
+/// level — `array`, the register stacks, and `thewholething` — against
+/// the compacted cells' interface abstracts, bottom-up and without
+/// flattening. The array rows/columns stay pitch-matched through the
+/// shared λ classes.
+///
+/// `table`/`top` come from [`crate::generator::generate`] (pass
+/// `out.rsg.cells()` and `out.top`).
+///
+/// # Errors
+///
+/// Returns [`ChipError`] when either pass fails.
+pub fn compact_chip(
+    table: &CellTable,
+    top: CellId,
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    parallelism: Parallelism,
+) -> Result<ChipCompaction, ChipError> {
+    let leaf = compact_library(rules, solver, parallelism)?;
+    hier::compact_chip_with_library(table, top, leaf, rules, solver, &HierOptions::default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +155,65 @@ mod tests {
         for (a, b) in serial.iter().zip(&balanced) {
             assert_eq!(a.pitches, b.pitches);
         }
+    }
+
+    #[test]
+    fn compact_chip_compacts_every_level_without_flattening() {
+        let tech = Technology::mead_conway(2);
+        let out = crate::generator::generate(4, 4).unwrap();
+        let chip = compact_chip(
+            out.rsg.cells(),
+            out.top,
+            &tech.rules,
+            &BellmanFord::SORTED,
+            Parallelism::Auto,
+        )
+        .unwrap();
+
+        // Every assembly level compacted, bottom-up: the array and the
+        // register stacks before the top cell.
+        let names: Vec<&str> = chip.chip.cells.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(names.contains(&"array"));
+        assert_eq!(names.last(), Some(&"thewholething"));
+        assert!(chip.chip.cells.iter().all(|(_, o)| o.converged));
+
+        // The hierarchy survives — the top cell still holds 4 instances,
+        // nothing was flattened into boxes.
+        let top_def = chip.chip.table.require(chip.chip.top).unwrap();
+        assert_eq!(top_def.instances().count(), 4);
+        assert_eq!(top_def.boxes().count(), 0);
+
+        // Flatten only to verify: clean and smaller.
+        let before = rsg_layout::flatten(out.rsg.cells(), out.top).unwrap();
+        let after = rsg_layout::flatten(&chip.chip.table, chip.chip.top).unwrap();
+        assert!(rsg_layout::drc::check_flat(&after, &tech.rules).is_empty());
+        let (b, a) = (before.bbox().rect().unwrap(), after.bbox().rect().unwrap());
+        assert!(a.width() * a.height() < b.width() * b.height());
+
+        // The array stays pitch-matched: one uniform column pitch.
+        let array_id = chip.chip.table.lookup("array").unwrap();
+        let basic_id = chip.chip.table.lookup("basic").unwrap();
+        let array_def = chip.chip.table.require(array_id).unwrap();
+        let mut rows: std::collections::BTreeMap<i64, Vec<i64>> = Default::default();
+        for inst in array_def.instances().filter(|i| i.cell == basic_id) {
+            rows.entry(inst.point_of_call.y)
+                .or_default()
+                .push(inst.point_of_call.x);
+        }
+        let mut gaps = Vec::new();
+        for xs in rows.values_mut() {
+            xs.sort_unstable();
+            gaps.extend(xs.windows(2).map(|w| w[1] - w[0]));
+        }
+        assert!(gaps.windows(2).all(|w| w[0] == w[1]), "{gaps:?}");
+        let outcome = chip.chip.outcome("array").unwrap();
+        let lambda = outcome
+            .pitches
+            .iter()
+            .find(|p| p.axis == rsg_geom::Axis::X)
+            .unwrap()
+            .value;
+        assert_eq!(gaps[0], lambda);
+        assert!(lambda < crate::cells::PITCH, "array pitch must shrink");
     }
 }

@@ -20,7 +20,7 @@ use rsg::layout::{CellDefinition, Layer, Technology};
 fn library_cell() -> CellDefinition {
     let mut c = CellDefinition::new("cell");
     c.add_box(Layer::Poly, Rect::from_coords(4, 0, 10, 40));
-    c.add_box(Layer::Diffusion, Rect::from_coords(2, 10, 14, 18));
+    c.add_box(Layer::Diffusion, Rect::from_coords(12, 10, 24, 18));
     c.add_box(Layer::Metal1, Rect::from_coords(20, 4, 32, 36));
     c.add_box(Layer::Poly, Rect::from_coords(40, 0, 46, 40));
     c.add_box(Layer::Contact, Rect::from_coords(22, 14, 30, 26));

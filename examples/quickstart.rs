@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sample = CellTable::new();
     let mut tile = CellDefinition::new("tile");
     tile.add_box(Layer::Well, Rect::from_coords(0, 0, 12, 12));
-    tile.add_box(Layer::Metal1, Rect::from_coords(2, 2, 10, 10));
+    tile.add_box(Layer::Metal1, Rect::from_coords(3, 3, 9, 9));
     let tile_id = sample.insert(tile)?;
 
     // Design by example: two tiles assembled at the desired pitch, the

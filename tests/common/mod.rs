@@ -1,0 +1,91 @@
+//! Shared pipeline builders for the root integration suites.
+//!
+//! The golden-layout suite and the examples-DRC suite both reproduce the
+//! `examples/*` pipelines; building them here keeps the reproductions in
+//! one place so a geometry change cannot leave one suite guarding a
+//! stale pipeline. (The examples themselves stay self-contained — they
+//! are user-facing walkthroughs.)
+
+use rsg::geom::{Orientation, Point, Rect};
+use rsg::layout::{CellDefinition, CellId, CellTable, Instance, Layer};
+
+/// The quickstart pipeline's layout: an 8-tile row generated from a
+/// two-instance example pair (mirrors `examples/quickstart.rs`).
+pub fn quickstart_layout() -> (CellTable, CellId) {
+    let mut sample = CellTable::new();
+    let mut tile = CellDefinition::new("tile");
+    tile.add_box(Layer::Well, Rect::from_coords(0, 0, 12, 12));
+    tile.add_box(Layer::Metal1, Rect::from_coords(3, 3, 9, 9));
+    let tile_id = sample.insert(tile).unwrap();
+    let mut pair = CellDefinition::new("example_pair");
+    pair.add_instance(Instance::new(tile_id, Point::new(0, 0), Orientation::NORTH));
+    pair.add_instance(Instance::new(
+        tile_id,
+        Point::new(12, 0),
+        Orientation::NORTH,
+    ));
+    pair.add_label("1", Point::new(12, 6));
+    sample.insert(pair).unwrap();
+
+    let mut rsg = rsg::core::Rsg::from_sample(sample).unwrap();
+    let tile_cell = rsg.cells().lookup("tile").unwrap();
+    let nodes: Vec<_> = (0..8).map(|_| rsg.mk_instance(tile_cell)).collect();
+    for w in nodes.windows(2) {
+        rsg.connect(w[0], w[1], 1).unwrap();
+    }
+    let row = rsg.mk_cell("row8", nodes[0]).unwrap();
+    (rsg.cells().clone(), row)
+}
+
+/// The library cell `examples/leaf_compaction.rs` compacts (same boxes,
+/// including the `Contact` pseudo-layer).
+#[allow(dead_code)] // each test crate compiles its own copy of this module
+pub fn leaf_compaction_cell() -> CellDefinition {
+    let mut c = CellDefinition::new("cell");
+    c.add_box(Layer::Poly, Rect::from_coords(4, 0, 10, 40));
+    c.add_box(Layer::Diffusion, Rect::from_coords(12, 10, 24, 18));
+    c.add_box(Layer::Metal1, Rect::from_coords(20, 4, 32, 36));
+    c.add_box(Layer::Poly, Rect::from_coords(40, 0, 46, 40));
+    c.add_box(Layer::Contact, Rect::from_coords(22, 14, 30, 26));
+    c
+}
+
+/// The interfaces `examples/leaf_compaction.rs` compacts under: the
+/// variable horizontal pitch plus the fixed vertical abutment.
+#[allow(dead_code)]
+pub fn leaf_compaction_interfaces(weight_h: i64) -> Vec<rsg::compact::leaf::LeafInterface> {
+    use rsg::compact::leaf::{LeafInterface, PitchKind};
+    vec![
+        LeafInterface {
+            cell_a: 0,
+            cell_b: 0,
+            kind: PitchKind::VariableX {
+                initial: 56,
+                weight: weight_h,
+            },
+            y_offset: 0,
+            name: "horizontal".into(),
+        },
+        LeafInterface {
+            cell_a: 0,
+            cell_b: 0,
+            kind: PitchKind::FixedX(0),
+            y_offset: 44,
+            name: "vertical".into(),
+        },
+    ]
+}
+
+/// The full-adder PLA the examples build (`examples/pla_and_decoder.rs`,
+/// `examples/chip_compaction.rs`).
+pub fn full_adder_pla() -> rsg::hpla::GeneratedPla {
+    let personality = rsg::hpla::Personality::parse(
+        &[
+            "100 10", "010 10", "001 10", "111 10", "11- 01", "1-1 01", "-11 01",
+        ],
+        3,
+        2,
+    )
+    .unwrap();
+    rsg::hpla::rsg_pla(&personality, "fa_pla").unwrap()
+}
