@@ -41,10 +41,12 @@ use crate::backend::{SolveError, Solver};
 use crate::scanline::VisibilityOracle;
 use crate::ConstraintSystem;
 use rsg_geom::{Axis, BoundingBox, Isometry, Orientation, Point, Rect, Vector};
+use rsg_layout::hash::{mix, ContentHasher};
 use rsg_layout::{
     flatten, CellDefinition, CellId, CellTable, DesignRules, Layer, LayoutError, LayoutObject,
 };
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Tuning knobs for the hierarchical compactor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,7 +181,7 @@ impl CellAbstract {
     }
 }
 
-const fn axis_index(axis: Axis) -> usize {
+pub(crate) const fn axis_index(axis: Axis) -> usize {
     match axis {
         Axis::X => 0,
         Axis::Y => 1,
@@ -245,7 +247,7 @@ fn profile_along(boxes: &[(Layer, Rect)], axis: Axis) -> Vec<(Layer, Rect)> {
 /// matter how many instances call it — the economics the paper claims
 /// for hierarchy ("compact the cell A only once", applied to placement).
 /// The [`ShapeKey`] pool in [`compact_cell`] is the cache.
-fn derive_abstract(
+pub(crate) fn derive_abstract(
     table: &CellTable,
     cell: CellId,
     orientation: Orientation,
@@ -261,9 +263,325 @@ fn derive_abstract(
     Ok(CellAbstract::from_boxes(&boxes, rules))
 }
 
+/// Work-reuse counters filled by one hooked [`compact_cell_with`] run.
+///
+/// `constraints_emitted`/`constraints_reused` count the sweep kernel's
+/// spacing, frame, and weld output (welds as 2, like
+/// [`HierSweepStats::constraints`]); the cheap structural pins and pitch
+/// constraints are not counted. `pairs_reused` counts unordered cluster
+/// pairs skipped by the visibility kernel because both endpoints'
+/// abstracts and positions were unchanged and no dirty material touched
+/// their window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ReuseCounters {
+    /// Interface abstracts derived by flattening this run.
+    pub abstracts_derived: usize,
+    /// Interface abstracts answered from the content-hash cache.
+    pub abstract_hits: usize,
+    /// Unordered cluster pairs whose emission was copied, not recomputed.
+    pub pairs_reused: usize,
+    /// Kernel constraints computed fresh this run.
+    pub constraints_emitted: usize,
+    /// Kernel constraints copied from the previous run's emission.
+    pub constraints_reused: usize,
+    /// Sweeps that ran the pitch fixpoint + solver.
+    pub sweeps_solved: usize,
+    /// Sweeps answered entirely from the sweep memo.
+    pub sweep_memo_hits: usize,
+    /// Relaxation passes actually performed.
+    pub solver_passes: usize,
+}
+
+/// The sweep kernel's output for one axis, keyed by *cluster index*:
+/// collapsed max spacing/frame weights, exact welds, and per-pair
+/// provenance — the `(cluster, cluster, layer)` key that says which
+/// layer pair produced the binding entry (`None` = material frame).
+/// `BTreeMap` keeps iteration (and thus constraint emission into the
+/// solver) in sorted pair order no matter which entries were copied from
+/// a previous run and which were recomputed.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Emission {
+    /// Ordered cluster pair → strongest required separation.
+    pub weights: BTreeMap<(usize, usize), i64>,
+    /// Ordered cluster pair → exact weld offset (connected material).
+    pub welds: BTreeMap<(usize, usize), i64>,
+    /// Ordered cluster pair → deciding layer pair of the weight entry.
+    pub provenance: BTreeMap<(usize, usize), Option<(Layer, Layer)>>,
+}
+
+/// What one executed sweep looked like — enough to decide, on the next
+/// run, which cluster pairs' emission can be copied instead of re-swept.
+#[derive(Debug, Clone)]
+pub(crate) struct SweepRecord {
+    /// Sweep direction.
+    pub axis: Axis,
+    /// Per-cluster identity keys ([`cluster_keys`]).
+    pub keys: Vec<u64>,
+    /// Per-cluster absolute material frames at sweep time.
+    pub frames: Vec<Option<Rect>>,
+    /// The full emission of the sweep (copied entries included).
+    pub emission: Emission,
+}
+
+/// A memoized sweep solve: the exact solver outcome for one
+/// geometry-identical sweep, replayable without building or solving the
+/// constraint system again. `rounds`/`passes` are the original solve's
+/// diagnostics, replayed into the report on a hit.
+#[derive(Debug, Clone)]
+pub(crate) struct SweepSolution {
+    /// Per-cluster origin delta along the sweep axis.
+    pub deltas: Vec<i64>,
+    /// The solver's final (normalized) positions — the next warm seed.
+    pub positions: Vec<i64>,
+    /// Stable pitch values per class.
+    pub lambdas: Vec<i64>,
+    /// Origin extent along the axis after the sweep.
+    pub extent: i64,
+    /// Pitch-fixpoint rounds of the original solve.
+    pub rounds: usize,
+    /// Relaxation passes of the original solve.
+    pub passes: usize,
+}
+
+/// Cross-run reuse seams of the hierarchical engine. The default
+/// implementations are all inert, so [`NoHooks`] reproduces the plain
+/// [`compact_cell`] behavior bit for bit with no bookkeeping;
+/// `incremental::CompactSession` implements the trait to cache abstracts,
+/// emissions, sweep solves, and warm seeds across edits.
+pub(crate) trait CompactHooks {
+    /// The interface abstract for `(cell, orientation)` plus a content
+    /// signature of everything the abstract depends on (deep geometry,
+    /// orientation, rules). Signatures equal ⟹ abstracts identical; a
+    /// non-caching implementation may return 0 as long as it also leaves
+    /// [`CompactHooks::enabled`] false.
+    fn abstract_for(
+        &mut self,
+        table: &CellTable,
+        cell: CellId,
+        orientation: Orientation,
+        rules: &DesignRules,
+    ) -> Result<(Arc<CellAbstract>, u64), LayoutError>;
+
+    /// Whether the cross-run reuse machinery (keys, records, memo) runs.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Digest of everything outside the geometry that shapes a solve
+    /// (design rules, solver backend, options) — folded into every sweep
+    /// memo key.
+    fn context_tag(&self) -> u64 {
+        0
+    }
+
+    /// Warm-start seed for the first solve along `axis` (the previous
+    /// run's final positions). Exactness never depends on the seed.
+    fn warm_seed(&mut self, _axis: Axis) -> Option<Vec<i64>> {
+        None
+    }
+
+    /// Records the final solver positions of a sweep along `axis`.
+    fn record_warm(&mut self, _axis: Axis, _positions: &[i64]) {}
+
+    /// The previous run's record of the sweep at this ordinal.
+    fn prev_sweep(&mut self, _ordinal: usize) -> Option<Arc<SweepRecord>> {
+        None
+    }
+
+    /// Stores this run's sweep record for the next run.
+    fn record_sweep(&mut self, _ordinal: usize, _record: Arc<SweepRecord>) {}
+
+    /// Looks up a memoized solve by [`sweep_memo_key`].
+    fn memo_get(&mut self, _key: u64) -> Option<Arc<SweepSolution>> {
+        None
+    }
+
+    /// Memoizes a solve under `key`.
+    fn memo_put(&mut self, _key: u64, _solution: Arc<SweepSolution>) {}
+
+    /// Reuse counters to fill, when the caller wants them.
+    fn counters(&mut self) -> Option<&mut ReuseCounters> {
+        None
+    }
+}
+
+/// The inert hook set: derives abstracts on demand, caches nothing.
+pub(crate) struct NoHooks;
+
+impl CompactHooks for NoHooks {
+    fn abstract_for(
+        &mut self,
+        table: &CellTable,
+        cell: CellId,
+        orientation: Orientation,
+        rules: &DesignRules,
+    ) -> Result<(Arc<CellAbstract>, u64), LayoutError> {
+        Ok((
+            Arc::new(derive_abstract(table, cell, orientation, rules)?),
+            0,
+        ))
+    }
+}
+
+/// Identity key of each cluster for cross-run emission reuse: the
+/// absolute position of the representative plus every member's content
+/// signature and offset from the representative, in member order. Two
+/// clusters with equal keys occupy the same absolute space with the same
+/// material, so any emission between two matched clusters is unchanged
+/// unless dirty material entered their window.
+pub(crate) fn cluster_keys(items: &[Item], clusters: &[Cluster], positions: &[Point]) -> Vec<u64> {
+    clusters
+        .iter()
+        .map(|c| {
+            let rp = positions[c.rep];
+            let mut h = ContentHasher::new();
+            h.write_i64(rp.x).write_i64(rp.y);
+            h.write_u64(c.members.len() as u64);
+            for &m in &c.members {
+                h.write_u64(items[m].sig)
+                    .write_i64(positions[m].x - rp.x)
+                    .write_i64(positions[m].y - rp.y);
+            }
+            h.finish()
+        })
+        .collect()
+}
+
+/// Decides which unordered cluster pairs of the current sweep can copy
+/// their emission from `prev` instead of re-running the kernel: both
+/// endpoints must match a previous cluster by key (uniquely, on both
+/// sides), and no *dirty* cluster — unmatched on either side, at its old
+/// or new frame — may intersect (touching included, conservatively) the
+/// union bounding box of the pair's frames. Every gap window the kernel
+/// and its hidden-edge oracle consult for the pair lies inside that
+/// union box, so identical surrounding material implies identical
+/// emission.
+fn pair_reuse(
+    keys: &[u64],
+    frames: &[Option<Rect>],
+    prev: &SweepRecord,
+) -> HashMap<(usize, usize), (usize, usize)> {
+    let mut prev_idx: HashMap<u64, Option<usize>> = HashMap::new();
+    for (pi, &k) in prev.keys.iter().enumerate() {
+        prev_idx
+            .entry(k)
+            .and_modify(|e| *e = None)
+            .or_insert(Some(pi));
+    }
+    let mut cur_count: HashMap<u64, usize> = HashMap::new();
+    for &k in keys {
+        *cur_count.entry(k).or_insert(0) += 1;
+    }
+    let matched: Vec<Option<usize>> = keys
+        .iter()
+        .map(|k| {
+            if cur_count[k] != 1 {
+                return None;
+            }
+            prev_idx.get(k).copied().flatten()
+        })
+        .collect();
+    let matched_prev: HashSet<usize> = matched.iter().flatten().copied().collect();
+
+    let mut dirty: Vec<Rect> = Vec::new();
+    for (ci, m) in matched.iter().enumerate() {
+        if m.is_none() {
+            if let Some(f) = frames[ci] {
+                dirty.push(f);
+            }
+        }
+    }
+    for (pi, f) in prev.frames.iter().enumerate() {
+        if !matched_prev.contains(&pi) {
+            if let Some(f) = *f {
+                dirty.push(f);
+            }
+        }
+    }
+
+    let mut map = HashMap::new();
+    for a in 0..keys.len() {
+        let Some(pa) = matched[a] else { continue };
+        for b in a + 1..keys.len() {
+            let Some(pb) = matched[b] else { continue };
+            let window = match (frames[a], frames[b]) {
+                (Some(fa), Some(fb)) => {
+                    let mut bb = BoundingBox::new();
+                    bb.include_rect(fa);
+                    bb.include_rect(fb);
+                    bb.rect()
+                }
+                (one, other) => one.or(other),
+            };
+            let clean = match window {
+                Some(w) => !dirty.iter().any(|d| d.intersect(w).is_some()),
+                None => true,
+            };
+            if clean {
+                map.insert((a, b), (pa, pb));
+            }
+        }
+    }
+    map
+}
+
+/// Content key of one sweep solve: the run context (rules, solver,
+/// options), the axis, every cluster's member signatures and positions
+/// (relative to the placement's min corner, so uniform translations
+/// hit), the structural pins/classes, and the full emission. Equal keys
+/// ⟹ identical constraint systems ⟹ identical least solutions, so the
+/// memoized [`SweepSolution`] replays exactly.
+#[allow(clippy::too_many_arguments)]
+fn sweep_memo_key(
+    context: u64,
+    axis: Axis,
+    items: &[Item],
+    clusters: &[Cluster],
+    positions: &[Point],
+    structure: &AxisStructure,
+    emission: &Emission,
+    floor: i64,
+) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_u64(context)
+        .write_u64(axis_index(axis) as u64)
+        .write_i64(floor);
+    let minx = positions.iter().map(|p| p.x).min().unwrap_or(0);
+    let miny = positions.iter().map(|p| p.y).min().unwrap_or(0);
+    h.write_u64(clusters.len() as u64);
+    for c in clusters {
+        h.write_u64(c.members.len() as u64);
+        for &m in &c.members {
+            h.write_u64(items[m].sig)
+                .write_i64(positions[m].x - minx)
+                .write_i64(positions[m].y - miny);
+        }
+    }
+    h.write_u64(structure.pins.len() as u64);
+    for &(a, b) in &structure.pins {
+        h.write_u64(a as u64).write_u64(b as u64);
+    }
+    h.write_u64(structure.classes.len() as u64);
+    for class in &structure.classes {
+        h.write_u64(class.pairs.len() as u64);
+        for &(a, b) in &class.pairs {
+            h.write_u64(a as u64).write_u64(b as u64);
+        }
+    }
+    h.write_u64(emission.weights.len() as u64);
+    for (&(a, b), &w) in &emission.weights {
+        h.write_u64(a as u64).write_u64(b as u64).write_i64(w);
+    }
+    h.write_u64(emission.welds.len() as u64);
+    for (&(a, b), &d) in &emission.welds {
+        h.write_u64(a as u64).write_u64(b as u64).write_i64(d);
+    }
+    h.finish()
+}
+
 /// Identity of an item's shape, the pitch-class grouping key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-enum ShapeKey {
+pub(crate) enum ShapeKey {
     /// An instance: called definition + orientation (as ℤ₄ × 𝔹 ints).
     Cell(u32, (u8, bool)),
     /// A direct box in the assembly cell: layer index + dimensions, so
@@ -272,7 +590,7 @@ enum ShapeKey {
 }
 
 /// One movable object of the assembly: an instance or a direct box.
-struct Item {
+pub(crate) struct Item {
     /// Index into the root definition's object list.
     object: usize,
     /// Current origin (instance point of call; box low corner).
@@ -281,6 +599,8 @@ struct Item {
     key: ShapeKey,
     /// Index into the abstract pool.
     shape: usize,
+    /// Content signature of the shape (hooked runs; 0 otherwise).
+    sig: u64,
 }
 
 /// One solved pitch class: a shared λ and the member pairs it locks.
@@ -449,7 +769,7 @@ pub fn compact_chip_with_library(
 
 /// Pins and pitch classes of one sweep axis, derived once from the input
 /// placement (the design's structure, stable across alternations).
-struct AxisStructure {
+pub(crate) struct AxisStructure {
     /// Cluster pairs pinned at along-offset 0: any two clusters *drawn
     /// at the same along-coordinate* stay at the same along-coordinate —
     /// coincidence alone pins, no touch test (a buffer drawn on its
@@ -469,7 +789,7 @@ struct PitchClassDef {
 /// A rigid cluster: items whose bodies overlap with positive area in the
 /// input (crosspoint masks over their squares, personality masks over the
 /// basic cell) move as one unit.
-struct Cluster {
+pub(crate) struct Cluster {
     members: Vec<usize>,
     /// Member with the largest body — the cluster's identity and origin.
     rep: usize,
@@ -493,9 +813,24 @@ pub fn compact_cell(
     solver: &dyn Solver,
     opts: &HierOptions,
 ) -> Result<HierOutcome, HierError> {
+    compact_cell_with(table, root, rules, solver, opts, &mut NoHooks)
+}
+
+/// [`compact_cell`] with reuse hooks — the incremental session's entry.
+/// With [`NoHooks`] this *is* `compact_cell`; with an active hook set the
+/// result stays bit-identical (geometry and pitches) while abstracts,
+/// emission, and solves are reused across runs.
+pub(crate) fn compact_cell_with(
+    table: &CellTable,
+    root: CellId,
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    opts: &HierOptions,
+    hooks: &mut dyn CompactHooks,
+) -> Result<HierOutcome, HierError> {
     let def = table.require(root)?;
-    let mut shapes: Vec<CellAbstract> = Vec::new();
-    let mut shape_of: HashMap<ShapeKey, usize> = HashMap::new();
+    let mut shapes: Vec<Arc<CellAbstract>> = Vec::new();
+    let mut shape_of: HashMap<ShapeKey, (usize, u64)> = HashMap::new();
     let mut items: Vec<Item> = Vec::new();
 
     for (k, obj) in def.objects().iter().enumerate() {
@@ -505,13 +840,14 @@ pub fn compact_cell(
                     let o = inst.orientation;
                     (o.rotation as u8, o.mirror_y)
                 });
-                let shape = match shape_of.get(&key) {
+                let (shape, sig) = match shape_of.get(&key) {
                     Some(&s) => s,
                     None => {
-                        let a = derive_abstract(table, inst.cell, inst.orientation, rules)?;
+                        let (a, sig) =
+                            hooks.abstract_for(table, inst.cell, inst.orientation, rules)?;
                         shapes.push(a);
-                        shape_of.insert(key, shapes.len() - 1);
-                        shapes.len() - 1
+                        shape_of.insert(key, (shapes.len() - 1, sig));
+                        (shapes.len() - 1, sig)
                     }
                 };
                 items.push(Item {
@@ -519,16 +855,26 @@ pub fn compact_cell(
                     pos: inst.point_of_call,
                     key,
                     shape,
+                    sig,
                 });
             }
             LayoutObject::Box { layer, rect } => {
                 let local = rect.translate(Vector::new(-rect.lo().x, -rect.lo().y));
-                shapes.push(CellAbstract::from_boxes(&[(*layer, local)], rules));
+                shapes.push(Arc::new(CellAbstract::from_boxes(
+                    &[(*layer, local)],
+                    rules,
+                )));
                 items.push(Item {
                     object: k,
                     pos: rect.lo(),
                     key: ShapeKey::Box(layer.index(), (rect.width(), rect.height())),
                     shape: shapes.len() - 1,
+                    sig: mix(&[
+                        0x0042_6f78,
+                        layer.index() as u64,
+                        rect.width() as u64,
+                        rect.height() as u64,
+                    ]),
                 });
             }
             LayoutObject::Label { .. } => {}
@@ -560,13 +906,18 @@ pub fn compact_cell(
         sweeps: Vec::new(),
         flat_boxes,
     };
-    let mut warm: [Option<Vec<i64>>; 2] = [None, None];
+    let mut warm: [Option<Vec<i64>>; 2] = if hooks.enabled() {
+        [hooks.warm_seed(Axis::X), hooks.warm_seed(Axis::Y)]
+    } else {
+        [None, None]
+    };
     let mut final_pitch: [Vec<HierPitch>; 2] = [Vec::new(), Vec::new()];
     let mut passes = 0;
     let mut converged = false;
     for _ in 0..opts.max_passes {
         let before = positions.clone();
         for axis in Axis::BOTH {
+            let ordinal = report.sweeps.len();
             let (stats, pitches) = sweep_axis(
                 axis,
                 &items,
@@ -578,6 +929,8 @@ pub fn compact_cell(
                 solver,
                 &mut warm[axis_index(axis)],
                 opts,
+                ordinal,
+                hooks,
             )?;
             report.sweeps.push(stats);
             final_pitch[axis_index(axis)] = pitches;
@@ -629,7 +982,7 @@ pub fn compact_cell(
 /// area. Background-layer overlap alone does **not** fuse — compacted
 /// neighbours legitimately interpenetrate their wells, and fusing them
 /// would freeze the assembly solid on a recompaction pass.
-fn rigid_clusters(items: &[Item], shapes: &[CellAbstract]) -> Vec<Cluster> {
+fn rigid_clusters(items: &[Item], shapes: &[Arc<CellAbstract>]) -> Vec<Cluster> {
     let bbox =
         |i: usize| -> Option<Rect> { shapes[items[i].shape].bbox().map(|r| at(r, items[i].pos)) };
     let mat = |i: usize| -> Option<Rect> {
@@ -765,7 +1118,7 @@ fn axis_structure(
 fn sweep_axis(
     axis: Axis,
     items: &[Item],
-    shapes: &[CellAbstract],
+    shapes: &[Arc<CellAbstract>],
     clusters: &[Cluster],
     structure: &AxisStructure,
     positions: &mut [Point],
@@ -773,6 +1126,8 @@ fn sweep_axis(
     solver: &dyn Solver,
     warm: &mut Option<Vec<i64>>,
     opts: &HierOptions,
+    ordinal: usize,
+    hooks: &mut dyn CompactHooks,
 ) -> Result<(HierSweepStats, Vec<HierPitch>), HierError> {
     let n = clusters.len();
     let origin = |c: &Cluster, positions: &[Point]| positions[c.rep];
@@ -803,20 +1158,45 @@ fn sweep_axis(
         })
         .collect();
 
-    // Pairwise constraint weights, collapsed to the max per cluster pair.
-    let base = |ci: usize| along(origin(&clusters[ci], positions), axis);
-    let mut weights: BTreeMap<(usize, usize), i64> = BTreeMap::new();
-    let bump = |weights: &mut BTreeMap<(usize, usize), i64>, a: usize, b: usize, w: i64| {
-        let e = weights.entry((a, b)).or_insert(i64::MIN);
-        *e = (*e).max(w);
+    // Cross-run reuse: match clusters against the previous run's sweep
+    // at the same ordinal and mark pairs whose emission can be copied.
+    let enabled = hooks.enabled();
+    let keys: Vec<u64> = if enabled {
+        cluster_keys(items, clusters, positions)
+    } else {
+        Vec::new()
     };
+    let prev: Option<Arc<SweepRecord>> = if enabled {
+        hooks.prev_sweep(ordinal).filter(|p| p.axis == axis)
+    } else {
+        None
+    };
+    let reuse: Option<HashMap<(usize, usize), (usize, usize)>> =
+        prev.as_deref().map(|p| pair_reuse(&keys, &frames, p));
+    let reused = |a: usize, b: usize| -> bool {
+        reuse
+            .as_ref()
+            .is_some_and(|m| m.contains_key(&(a.min(b), a.max(b))))
+    };
+
+    // Pairwise constraint weights, collapsed to the max per cluster pair,
+    // with the deciding layer pair recorded as provenance.
+    let base = |ci: usize| along(origin(&clusters[ci], positions), axis);
+    let mut emission = Emission::default();
+    fn bump(e: &mut Emission, a: usize, b: usize, w: i64, prov: Option<(Layer, Layer)>) {
+        let cur = e.weights.entry((a, b)).or_insert(i64::MIN);
+        if w > *cur {
+            *cur = w;
+            e.provenance.insert((a, b), prov);
+        }
+    }
 
     // Frames: ordered material bounding boxes may abut but not overlap —
     // the hierarchical engine never compacts *into* a leaf.
     for a in 0..n {
         let Some(fa) = frames[a] else { continue };
         for (b, fb) in frames.iter().enumerate() {
-            if a == b {
+            if a == b || reused(a, b) {
                 continue;
             }
             let Some(fb) = *fb else { continue };
@@ -828,7 +1208,7 @@ fn sweep_axis(
                 continue;
             }
             let w = (fa.hi_along(axis) - base(a)) - (fb.lo_along(axis) - base(b));
-            bump(&mut weights, a, b, w);
+            bump(&mut emission, a, b, w, None);
         }
     }
 
@@ -839,16 +1219,17 @@ fn sweep_axis(
     // clusters are *welded* at their current offset — exempting the pair
     // from spacing alone would let the compactor pry a connected bus
     // apart.
-    let mut welds: BTreeMap<(usize, usize), i64> = BTreeMap::new();
     let mut oracle = VisibilityOracle::new(pboxes.clone(), axis);
     for (i, &(la, ra)) in pboxes.iter().enumerate() {
         for (j, &(lb, rb)) in pboxes.iter().enumerate() {
-            if owner[i] == owner[j] {
+            if owner[i] == owner[j] || reused(owner[i], owner[j]) {
                 continue;
             }
             if la == lb && ra.intersect(rb).is_some() {
                 if owner[i] < owner[j] {
-                    welds.insert((owner[i], owner[j]), base(owner[j]) - base(owner[i]));
+                    emission
+                        .welds
+                        .insert((owner[i], owner[j]), base(owner[j]) - base(owner[i]));
                 }
                 continue; // connected material: welded, never spaced
             }
@@ -871,17 +1252,143 @@ fn sweep_axis(
                 continue;
             }
             let w = s + (ra.hi_along(axis) - base(owner[i])) - (rb.lo_along(axis) - base(owner[j]));
-            bump(&mut weights, owner[i], owner[j], w);
+            bump(&mut emission, owner[i], owner[j], w, Some((la, lb)));
         }
+    }
+
+    // Copy the reused pairs' entries from the previous emission. The
+    // BTreeMaps restore sorted pair order, so the solver sees exactly the
+    // constraint sequence a from-scratch sweep would emit.
+    let fresh_constraints = emission.weights.len() + emission.welds.len() * 2;
+    if let (Some(reuse_map), Some(p)) = (&reuse, prev.as_deref()) {
+        for (&(a, b), &(pa, pb)) in reuse_map {
+            for (cf, ct, pf, pt) in [(a, b, pa, pb), (b, a, pb, pa)] {
+                if let Some(&w) = p.emission.weights.get(&(pf, pt)) {
+                    emission.weights.insert((cf, ct), w);
+                    if let Some(&prov) = p.emission.provenance.get(&(pf, pt)) {
+                        emission.provenance.insert((cf, ct), prov);
+                    }
+                }
+                if let Some(&d) = p.emission.welds.get(&(pf, pt)) {
+                    emission.welds.insert((cf, ct), d);
+                }
+            }
+        }
+        if let Some(c) = hooks.counters() {
+            c.pairs_reused += reuse_map.len();
+            c.constraints_reused +=
+                emission.weights.len() + emission.welds.len() * 2 - fresh_constraints;
+        }
+    }
+    if let Some(c) = hooks.counters() {
+        c.constraints_emitted += fresh_constraints;
+    }
+    if enabled {
+        hooks.record_sweep(
+            ordinal,
+            Arc::new(SweepRecord {
+                axis,
+                keys,
+                frames: frames.clone(),
+                emission: emission.clone(),
+            }),
+        );
     }
 
     // Normalized initial coordinates.
     let min_base = (0..n).map(base).min().expect("non-empty");
     let floor = rules.spacing_floor();
+    let constraints = emission.weights.len()
+        + emission.welds.len() * 2
+        + structure.pins.len() * 2
+        + structure
+            .classes
+            .iter()
+            .map(|c| c.pairs.len())
+            .sum::<usize>();
 
-    // Pitch fixpoint: each round solves a pure difference system; every
-    // class pitch then rises to its worst member gap until stable.
+    let pitch_list = |lambdas: &[i64]| -> Vec<HierPitch> {
+        structure
+            .classes
+            .iter()
+            .zip(lambdas)
+            .map(|(class, &value)| HierPitch {
+                axis,
+                name: class.name.clone(),
+                value,
+                pairs: class.pairs.len(),
+            })
+            .collect()
+    };
+
+    // Geometry-identical sweeps (same clusters, emission, structure, and
+    // context) replay their memoized solve without touching the solver.
+    let memo_key = enabled.then(|| {
+        sweep_memo_key(
+            hooks.context_tag(),
+            axis,
+            items,
+            clusters,
+            positions,
+            structure,
+            &emission,
+            floor,
+        )
+    });
+    if let Some(key) = memo_key {
+        if let Some(m) = hooks.memo_get(key) {
+            for (c, &d) in clusters.iter().zip(&m.deltas) {
+                for &mem in &c.members {
+                    match axis {
+                        Axis::X => positions[mem].x += d,
+                        Axis::Y => positions[mem].y += d,
+                    }
+                }
+            }
+            *warm = Some(m.positions.clone());
+            hooks.record_warm(axis, &m.positions);
+            if let Some(c) = hooks.counters() {
+                c.sweep_memo_hits += 1;
+            }
+            return Ok((
+                HierSweepStats {
+                    axis,
+                    clusters: n,
+                    abstract_boxes: pboxes.len(),
+                    constraints,
+                    pitch_rounds: m.rounds,
+                    solver_passes: m.passes,
+                    extent: m.extent,
+                },
+                pitch_list(&m.lambdas),
+            ));
+        }
+    }
+
+    // Pitch fixpoint: the difference system is built once; each round
+    // solves it, then every class pitch rises to its worst member gap
+    // until stable, patching only the changed class weights in place.
     let mut lambdas: Vec<i64> = structure.classes.iter().map(|_| floor).collect();
+    let mut sys = ConstraintSystem::new_along(axis);
+    let vars: Vec<_> = (0..n).map(|ci| sys.add_var(base(ci) - min_base)).collect();
+    for (&(a, b), &w) in &emission.weights {
+        sys.require(vars[a], vars[b], w);
+    }
+    for (&(a, b), &d) in &emission.welds {
+        sys.require_exact(vars[a], vars[b], d);
+    }
+    for &(a, b) in &structure.pins {
+        sys.require_exact(vars[a], vars[b], 0);
+    }
+    let mut class_slots: Vec<Vec<usize>> = Vec::with_capacity(structure.classes.len());
+    for (k, class) in structure.classes.iter().enumerate() {
+        let mut slots = Vec::with_capacity(class.pairs.len());
+        for &(a, b) in &class.pairs {
+            slots.push(sys.constraints().len());
+            sys.require(vars[a], vars[b], lambdas[k]);
+        }
+        class_slots.push(slots);
+    }
     let mut rounds = 0;
     let mut passes = 0;
     let solution = loop {
@@ -891,22 +1398,6 @@ fn sweep_axis(
                 "pitch fixpoint still moving after {} rounds on {axis}",
                 opts.max_pitch_rounds
             )));
-        }
-        let mut sys = ConstraintSystem::new_along(axis);
-        let vars: Vec<_> = (0..n).map(|ci| sys.add_var(base(ci) - min_base)).collect();
-        for (&(a, b), &w) in &weights {
-            sys.require(vars[a], vars[b], w);
-        }
-        for (&(a, b), &d) in &welds {
-            sys.require_exact(vars[a], vars[b], d);
-        }
-        for &(a, b) in &structure.pins {
-            sys.require_exact(vars[a], vars[b], 0);
-        }
-        for (k, class) in structure.classes.iter().enumerate() {
-            for &(a, b) in &class.pairs {
-                sys.require(vars[a], vars[b], lambdas[k]);
-            }
         }
         let out = match warm.as_deref() {
             Some(seed) if seed.len() == n => solver.solve_system_warm(&sys, &[], seed)?,
@@ -927,25 +1418,25 @@ fn sweep_axis(
             })
             .collect();
         let stable = next == lambdas;
+        if !stable {
+            for (k, slots) in class_slots.iter().enumerate() {
+                if next[k] != lambdas[k] {
+                    for &s in slots {
+                        sys.set_weight(s, next[k]);
+                    }
+                }
+            }
+        }
         lambdas = next;
+        *warm = Some(out.positions.clone());
         if stable {
-            *warm = Some(out.positions.clone());
             break out;
         }
-        *warm = Some(out.positions.clone());
     };
 
     // Write the solved origins back: every member of a cluster moves by
     // the cluster's delta.
     let mut extent = 0;
-    let constraints = weights.len()
-        + welds.len() * 2
-        + structure.pins.len() * 2
-        + structure
-            .classes
-            .iter()
-            .map(|c| c.pairs.len())
-            .sum::<usize>();
     let deltas: Vec<i64> = (0..n)
         .map(|ci| solution.positions[ci] + min_base - base(ci))
         .collect();
@@ -964,17 +1455,26 @@ fn sweep_axis(
         extent = hi - lo;
     }
 
-    let pitches = structure
-        .classes
-        .iter()
-        .zip(&lambdas)
-        .map(|(class, &value)| HierPitch {
-            axis,
-            name: class.name.clone(),
-            value,
-            pairs: class.pairs.len(),
-        })
-        .collect();
+    hooks.record_warm(axis, &solution.positions);
+    if let Some(c) = hooks.counters() {
+        c.sweeps_solved += 1;
+        c.solver_passes += passes;
+    }
+    if let Some(key) = memo_key {
+        hooks.memo_put(
+            key,
+            Arc::new(SweepSolution {
+                deltas,
+                positions: solution.positions.clone(),
+                lambdas: lambdas.clone(),
+                extent,
+                rounds,
+                passes,
+            }),
+        );
+    }
+
+    let pitches = pitch_list(&lambdas);
     Ok((
         HierSweepStats {
             axis,
@@ -1038,7 +1538,7 @@ pub fn compact_hierarchy(
     })
 }
 
-fn dfs_order(
+pub(crate) fn dfs_order(
     table: &CellTable,
     cell: CellId,
     mark: &mut HashMap<CellId, u8>,

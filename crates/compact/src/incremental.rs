@@ -1,0 +1,510 @@
+//! Incremental recompaction — change one leaf, pay for one leaf.
+//!
+//! A layout session edits a design many times between full compactions:
+//! tweak one personality mask, swap a crosspoint, nudge a leaf body. The
+//! from-scratch flow ([`crate::hier::compact_chip_with_library`]) pays
+//! the full hierarchy price on every call even though an edit is usually
+//! visible only inside one definition and along the paths above it.
+//!
+//! [`CompactSession`] makes the flow persistent. Everything expensive is
+//! cached under a *content hash* — a digest of exactly the inputs the
+//! cached value depends on — so cache identity is semantic, not
+//! positional:
+//!
+//! * **leaf results** by `(job content, design rules, solver)` — an
+//!   untouched library job is never re-solved;
+//! * **cell outcomes** by `(deep input geometry, rules, solver,
+//!   options)` — a definition whose own geometry and whose children's
+//!   compacted geometry are unchanged is replayed from the cache, which
+//!   is what turns "one leaf changed" into "one root-path recompacted":
+//!   dirtiness propagates upward through the hashes alone, no explicit
+//!   dirty bits;
+//! * **interface abstracts** by `(child output geometry, orientation,
+//!   rules)` — re-derived only for definitions the edit reached;
+//! * **constraint emission** per cluster pair, copied from the previous
+//!   run's per-sweep record when both endpoint clusters are
+//!   unchanged and no dirty material touches their window, so the sweep
+//!   kernel re-runs only in the dirtied window;
+//! * **whole sweep solves** by exact geometric key, replayed without
+//!   building a constraint system at all;
+//! * **warm seeds** per cell and axis — fresh solves start from the
+//!   previous placement ([`rsg_solve`]'s warm path is exact for any
+//!   seed, so this changes pass counts, never geometry).
+//!
+//! The contract, pinned by the `incremental_equivalence` proptests: every
+//! call returns **bit-identical geometry and pitches** to the
+//! from-scratch flow on the same input. Only the diagnostics
+//! ([`HierOutcome::passes`], per-sweep solver passes) may differ, because
+//! warm starts converge in fewer relaxation rounds.
+//!
+//! ```
+//! use rsg_compact::incremental::CompactSession;
+//! use rsg_compact::{hier::HierOptions, BellmanFord};
+//! use rsg_layout::{CellDefinition, CellTable, Instance, Layer, Technology};
+//! use rsg_geom::{Orientation, Point, Rect};
+//!
+//! let rules = Technology::mead_conway(2).rules;
+//! let mut table = CellTable::new();
+//! let mut leaf = CellDefinition::new("leaf");
+//! leaf.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 8));
+//! let leaf_id = table.insert(leaf).unwrap();
+//! let mut top = CellDefinition::new("top");
+//! top.add_instance(Instance::new(leaf_id, Point::new(0, 0), Orientation::NORTH));
+//! top.add_instance(Instance::new(leaf_id, Point::new(30, 0), Orientation::NORTH));
+//! let top_id = table.insert(top).unwrap();
+//!
+//! let mut session = CompactSession::new();
+//! let opts = HierOptions::default();
+//! let first = session
+//!     .compact_hierarchy(&table, top_id, &rules, &BellmanFord::SORTED, &opts)
+//!     .unwrap();
+//! // Same input again: a pure cache replay.
+//! let again = session
+//!     .compact_hierarchy(&table, top_id, &rules, &BellmanFord::SORTED, &opts)
+//!     .unwrap();
+//! assert_eq!(session.last_stats().cells_compacted, 0);
+//! assert_eq!(
+//!     first.outcome("top").unwrap().cell,
+//!     again.outcome("top").unwrap().cell
+//! );
+//! ```
+
+use crate::backend::Solver;
+use crate::hier::{
+    axis_index, compact_cell_with, derive_abstract, dfs_order, CellAbstract, ChipCompaction,
+    ChipError, ChipLayout, CompactHooks, HierError, HierOptions, HierOutcome, ReuseCounters,
+    SweepRecord, SweepSolution,
+};
+use crate::leaf::{self, CompactionResult, LibraryJob};
+use rsg_geom::{Axis, Orientation};
+use rsg_layout::hash::{deep_hashes, hash_cell, mix, ContentHasher};
+use rsg_layout::{CellId, CellTable, DesignRules, LayoutError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Work done (and avoided) by one session call.
+///
+/// `cells_seen = cell_hits + cells_compacted` over the assembly cells of
+/// the hierarchy; leaves are the leaf pass's business and counted by
+/// `leaf_jobs`/`leaf_hits` instead. A no-op edit shows up as
+/// `cells_compacted == 0`, `abstracts_derived == 0`,
+/// `constraints_emitted == 0` — nothing was re-flattened and nothing was
+/// re-swept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EditStats {
+    /// Assembly cells visited by the hierarchy walk.
+    pub cells_seen: usize,
+    /// Assembly cells replayed from the outcome cache.
+    pub cell_hits: usize,
+    /// Assembly cells actually recompacted.
+    pub cells_compacted: usize,
+    /// Leaf-library jobs solved this call.
+    pub leaf_jobs: usize,
+    /// Leaf-library jobs replayed from the cache.
+    pub leaf_hits: usize,
+    /// Interface abstracts derived by flattening.
+    pub abstracts_derived: usize,
+    /// Interface abstracts answered from the content-hash cache.
+    pub abstract_hits: usize,
+    /// Cluster pairs whose emission was copied instead of re-swept.
+    pub pairs_reused: usize,
+    /// Kernel constraints computed fresh.
+    pub constraints_emitted: usize,
+    /// Kernel constraints copied from the previous run's emission.
+    pub constraints_reused: usize,
+    /// Sweeps that built a system and ran the pitch fixpoint.
+    pub sweeps_solved: usize,
+    /// Sweeps replayed entirely from the sweep memo.
+    pub sweep_memo_hits: usize,
+    /// Solver relaxation passes actually performed.
+    pub solver_passes: usize,
+}
+
+impl EditStats {
+    fn absorb(&mut self, c: &ReuseCounters) {
+        self.abstracts_derived += c.abstracts_derived;
+        self.abstract_hits += c.abstract_hits;
+        self.pairs_reused += c.pairs_reused;
+        self.constraints_emitted += c.constraints_emitted;
+        self.constraints_reused += c.constraints_reused;
+        self.sweeps_solved += c.sweeps_solved;
+        self.sweep_memo_hits += c.sweep_memo_hits;
+        self.solver_passes += c.solver_passes;
+    }
+}
+
+/// Cumulative [`EditStats`] over every successful session call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Number of successful `compact_*` calls accumulated.
+    pub calls: usize,
+    /// Sums of the per-call counters.
+    pub totals: EditStats,
+}
+
+/// Per-cell (by name) cross-run solve state: warm seeds and the previous
+/// run's sweep records. Not content-addressed — it only accelerates, so
+/// a stale entry costs speed, never correctness — but it is dropped
+/// whenever the solve context (rules, solver, options) changes.
+#[derive(Debug, Clone, Default)]
+struct CellHistory {
+    /// Last final solver positions per axis (x, y) — the next warm seed.
+    warm: [Option<Vec<i64>>; 2],
+    /// Sweep records of the previous executed run, by sweep ordinal.
+    prev: Vec<Arc<SweepRecord>>,
+    /// Sweep records being written by the current run.
+    next: Vec<Arc<SweepRecord>>,
+}
+
+impl CellHistory {
+    /// Rotates the double buffer at the start of an executed run. When
+    /// the last calls were all cache hits, `next` still holds the last
+    /// *executed* run's records — exactly the ones to reuse against.
+    fn begin_run(&mut self) {
+        if !self.next.is_empty() {
+            self.prev = std::mem::take(&mut self.next);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CellEntry {
+    outcome: HierOutcome,
+    /// Deep content hash of the compacted output cell.
+    out_hash: u64,
+}
+
+/// A persistent incremental-compaction session.
+///
+/// Clone-cheap (the caches hold [`Arc`]s), so a primed session can be
+/// snapshotted — the benchmark clones one per iteration to measure a
+/// single edit against a stable cache. All caches are keyed by content
+/// hash and never invalidated by edits; the per-cell solve history is
+/// dropped when rules, solver, or options change between calls.
+#[derive(Debug, Clone, Default)]
+pub struct CompactSession {
+    /// `(deep input hash, context)` → compacted outcome.
+    cells: HashMap<u64, Arc<CellEntry>>,
+    /// `(child output hash, orientation, rules)` → interface abstract.
+    abstracts: HashMap<u64, Arc<CellAbstract>>,
+    /// `(job content, rules, solver)` → leaf-library result.
+    leaves: HashMap<u64, Arc<CompactionResult>>,
+    /// Exact sweep-solve memo (keys already include the context tag).
+    memo: HashMap<u64, Arc<SweepSolution>>,
+    /// Per-cell-name warm/record state for the current context.
+    history: HashMap<String, CellHistory>,
+    /// Context tag of the previous call, to detect rule/solver changes.
+    context: Option<u64>,
+    stats: SessionStats,
+    last: EditStats,
+}
+
+/// Digest of everything outside the geometry that shapes a solve.
+fn context_of(rules: &DesignRules, solver: &dyn Solver, opts: &HierOptions) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_u64(rules.content_hash())
+        .write_str(solver.name())
+        .write_u64(opts.max_passes as u64)
+        .write_u64(opts.max_pitch_rounds as u64);
+    h.finish()
+}
+
+fn hash_str(s: &str) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+impl CompactSession {
+    /// Creates an empty session (every first call is a cold run).
+    pub fn new() -> CompactSession {
+        CompactSession::default()
+    }
+
+    /// Work counters of the most recent call.
+    pub fn last_stats(&self) -> EditStats {
+        self.last
+    }
+
+    /// Cumulative counters over every successful call.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    fn begin(&mut self, context: u64) {
+        if self.context != Some(context) {
+            // The solve context changed: warm seeds and sweep records
+            // describe solves under the old rules/solver. The content
+            // caches stay — their keys carry the context.
+            self.history.clear();
+            self.context = Some(context);
+        }
+        self.last = EditStats::default();
+    }
+
+    fn finish(&mut self) {
+        let t = &mut self.stats.totals;
+        let l = &self.last;
+        t.cells_seen += l.cells_seen;
+        t.cell_hits += l.cell_hits;
+        t.cells_compacted += l.cells_compacted;
+        t.leaf_jobs += l.leaf_jobs;
+        t.leaf_hits += l.leaf_hits;
+        t.abstracts_derived += l.abstracts_derived;
+        t.abstract_hits += l.abstract_hits;
+        t.pairs_reused += l.pairs_reused;
+        t.constraints_emitted += l.constraints_emitted;
+        t.constraints_reused += l.constraints_reused;
+        t.sweeps_solved += l.sweeps_solved;
+        t.sweep_memo_hits += l.sweep_memo_hits;
+        t.solver_passes += l.solver_passes;
+        self.stats.calls += 1;
+    }
+
+    /// Incremental [`crate::hier::compact_hierarchy`]: identical results,
+    /// but definitions whose deep content hash (own geometry + children's
+    /// compacted geometry) matches a cached run are replayed instead of
+    /// recompacted, and recompacted cells reuse abstracts, emission,
+    /// memoized sweeps, and warm seeds from the session.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the plain flow's errors ([`HierError`]); a failed call
+    /// leaves the caches valid (they are content-addressed) but does not
+    /// count into [`CompactSession::stats`].
+    pub fn compact_hierarchy(
+        &mut self,
+        table: &CellTable,
+        top: CellId,
+        rules: &DesignRules,
+        solver: &dyn Solver,
+        opts: &HierOptions,
+    ) -> Result<ChipLayout, HierError> {
+        let context = context_of(rules, solver, opts);
+        self.begin(context);
+        let chip = self.hierarchy_inner(table, top, rules, solver, opts, context)?;
+        self.finish();
+        Ok(chip)
+    }
+
+    /// Incremental [`crate::hier::compact_chip_with_library`]: the leaf
+    /// pass runs per [`LibraryJob`] through the leaf-result cache, then
+    /// the hierarchy pass runs through [`CompactSession::compact_hierarchy`]'s
+    /// machinery. Same name-matched substitution, same errors.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::Leaf`] from a failed (uncached) leaf job,
+    /// [`ChipError::Hier`] for an unknown substituted cell name or a
+    /// failed placement pass — identical to the plain flow.
+    pub fn compact_chip_with_library(
+        &mut self,
+        table: &CellTable,
+        top: CellId,
+        jobs: &[LibraryJob],
+        rules: &DesignRules,
+        solver: &dyn Solver,
+        opts: &HierOptions,
+    ) -> Result<ChipCompaction, ChipError> {
+        let context = context_of(rules, solver, opts);
+        self.begin(context);
+        let rules_hash = rules.content_hash();
+        let solver_hash = hash_str(solver.name());
+        let mut leaf_results: Vec<CompactionResult> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let key = mix(&[job.content_hash(), rules_hash, solver_hash]);
+            if let Some(cached) = self.leaves.get(&key) {
+                self.last.leaf_hits += 1;
+                leaf_results.push(cached.as_ref().clone());
+            } else {
+                self.last.leaf_jobs += 1;
+                let result = leaf::compact(&job.cells, &job.interfaces, rules, solver)?;
+                self.leaves.insert(key, Arc::new(result.clone()));
+                leaf_results.push(result);
+            }
+        }
+        let mut compacted = table.clone();
+        for result in &leaf_results {
+            for cell in &result.cells {
+                let id = compacted.lookup(cell.name()).ok_or_else(|| {
+                    ChipError::Hier(HierError::Layout(LayoutError::UnknownCell(
+                        cell.name().to_owned(),
+                    )))
+                })?;
+                *compacted.get_mut(id).expect("looked up") = cell.clone();
+            }
+        }
+        let chip = self.hierarchy_inner(&compacted, top, rules, solver, opts, context)?;
+        self.finish();
+        Ok(ChipCompaction {
+            chip,
+            leaf: leaf_results,
+        })
+    }
+
+    /// The shared hierarchy walk: bottom-up over the DAG, maintaining the
+    /// deep output hash of every visited definition. A parent's input
+    /// hash folds in its children's *output* hashes, so an edit anywhere
+    /// below forces a parent miss exactly when something it can see
+    /// changed — the dirty propagation is the hashing.
+    fn hierarchy_inner(
+        &mut self,
+        table: &CellTable,
+        top: CellId,
+        rules: &DesignRules,
+        solver: &dyn Solver,
+        opts: &HierOptions,
+        context: u64,
+    ) -> Result<ChipLayout, HierError> {
+        let rules_hash = rules.content_hash();
+        let mut out_table = table.clone();
+        let mut order = Vec::new();
+        let mut mark: HashMap<CellId, u8> = HashMap::new();
+        dfs_order(table, top, &mut mark, &mut order)?;
+        // Deep *output* hash per visited cell (leaves: input == output).
+        let mut hash_of: HashMap<CellId, u64> = HashMap::new();
+        let mut cells = Vec::new();
+        for cell in order {
+            let def = out_table.require(cell)?;
+            let in_hash = hash_cell(def, |id| hash_of.get(&id).copied().unwrap_or(0));
+            if def.instances().next().is_none() {
+                hash_of.insert(cell, in_hash);
+                continue; // leaf: the leaf compactor's business
+            }
+            let name = def.name().to_owned();
+            self.last.cells_seen += 1;
+            let key = mix(&[in_hash, context]);
+            let (outcome, out_hash) = match self.cells.get(&key) {
+                Some(entry) => {
+                    self.last.cell_hits += 1;
+                    (entry.outcome.clone(), entry.out_hash)
+                }
+                None => {
+                    self.last.cells_compacted += 1;
+                    let history = self.history.entry(name.clone()).or_default();
+                    history.begin_run();
+                    let mut hooks = SessionHooks {
+                        abstracts: &mut self.abstracts,
+                        hash_of: &hash_of,
+                        rules_hash,
+                        context,
+                        history,
+                        memo: &mut self.memo,
+                        counters: ReuseCounters::default(),
+                    };
+                    let outcome =
+                        compact_cell_with(&out_table, cell, rules, solver, opts, &mut hooks)?;
+                    self.last.absorb(&hooks.counters);
+                    if !outcome.converged {
+                        return Err(HierError::Diverged(format!(
+                            "cell `{name}` did not reach an x/y fixpoint in {} alternations",
+                            opts.max_passes
+                        )));
+                    }
+                    let out_hash =
+                        hash_cell(&outcome.cell, |id| hash_of.get(&id).copied().unwrap_or(0));
+                    self.cells.insert(
+                        key,
+                        Arc::new(CellEntry {
+                            outcome: outcome.clone(),
+                            out_hash,
+                        }),
+                    );
+                    (outcome, out_hash)
+                }
+            };
+            *out_table.get_mut(cell).expect("cell exists") = outcome.cell.clone();
+            hash_of.insert(cell, out_hash);
+            cells.push((name, outcome));
+        }
+        Ok(ChipLayout {
+            table: out_table,
+            top,
+            cells,
+        })
+    }
+}
+
+/// The session's [`CompactHooks`] implementation for one
+/// [`compact_cell_with`] run — borrows the session caches plus the cell's
+/// own history, and collects the run's counters.
+struct SessionHooks<'a> {
+    abstracts: &'a mut HashMap<u64, Arc<CellAbstract>>,
+    /// Deep output hashes of every already-processed definition.
+    hash_of: &'a HashMap<CellId, u64>,
+    rules_hash: u64,
+    context: u64,
+    history: &'a mut CellHistory,
+    memo: &'a mut HashMap<u64, Arc<SweepSolution>>,
+    counters: ReuseCounters,
+}
+
+impl CompactHooks for SessionHooks<'_> {
+    fn abstract_for(
+        &mut self,
+        table: &CellTable,
+        cell: CellId,
+        orientation: Orientation,
+        rules: &DesignRules,
+    ) -> Result<(Arc<CellAbstract>, u64), LayoutError> {
+        // The walk processes children before parents, so the referenced
+        // cell's output hash is always present; the deep-hash fallback
+        // only fires for hook reuse outside the session walk.
+        let src = match self.hash_of.get(&cell) {
+            Some(&h) => h,
+            None => deep_hashes(table, cell)?[&cell],
+        };
+        let sig = mix(&[
+            src,
+            orientation.rotation as u64,
+            orientation.mirror_y as u64,
+            self.rules_hash,
+        ]);
+        if let Some(cached) = self.abstracts.get(&sig) {
+            self.counters.abstract_hits += 1;
+            return Ok((cached.clone(), sig));
+        }
+        self.counters.abstracts_derived += 1;
+        let derived = Arc::new(derive_abstract(table, cell, orientation, rules)?);
+        self.abstracts.insert(sig, derived.clone());
+        Ok((derived, sig))
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn context_tag(&self) -> u64 {
+        self.context
+    }
+
+    fn warm_seed(&mut self, axis: Axis) -> Option<Vec<i64>> {
+        self.history.warm[axis_index(axis)].clone()
+    }
+
+    fn record_warm(&mut self, axis: Axis, positions: &[i64]) {
+        self.history.warm[axis_index(axis)] = Some(positions.to_vec());
+    }
+
+    fn prev_sweep(&mut self, ordinal: usize) -> Option<Arc<SweepRecord>> {
+        self.history.prev.get(ordinal).cloned()
+    }
+
+    fn record_sweep(&mut self, ordinal: usize, record: Arc<SweepRecord>) {
+        if ordinal == self.history.next.len() {
+            self.history.next.push(record);
+        }
+    }
+
+    fn memo_get(&mut self, key: u64) -> Option<Arc<SweepSolution>> {
+        self.memo.get(&key).cloned()
+    }
+
+    fn memo_put(&mut self, key: u64, solution: Arc<SweepSolution>) {
+        self.memo.insert(key, solution);
+    }
+
+    fn counters(&mut self) -> Option<&mut ReuseCounters> {
+        Some(&mut self.counters)
+    }
+}

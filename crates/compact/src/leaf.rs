@@ -292,6 +292,39 @@ pub struct LibraryJob {
     pub interfaces: Vec<LeafInterface>,
 }
 
+impl LibraryJob {
+    /// Deterministic content digest of the job — the leaf-result cache
+    /// key of `incremental::CompactSession`. Two jobs hash equal iff
+    /// their cells (geometry, names, order) and interfaces are
+    /// identical, so equal hashes under equal rules and solver yield a
+    /// byte-identical [`CompactionResult`].
+    ///
+    /// Library cells are self-contained (the leaf compactor flattens
+    /// nothing), so instance references inside a library cell — not a
+    /// supported input — are digested by raw id only.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = rsg_layout::hash::ContentHasher::new();
+        h.write_u64(self.cells.len() as u64);
+        for cell in &self.cells {
+            h.write_u64(rsg_layout::hash::hash_cell(cell, |id| id.raw() as u64));
+        }
+        h.write_u64(self.interfaces.len() as u64);
+        for i in &self.interfaces {
+            h.write_u64(i.cell_a as u64).write_u64(i.cell_b as u64);
+            match i.kind {
+                PitchKind::VariableX { initial, weight } => {
+                    h.write_u64(1).write_i64(initial).write_i64(weight);
+                }
+                PitchKind::FixedX(dx) => {
+                    h.write_u64(2).write_i64(dx);
+                }
+            }
+            h.write_i64(i.y_offset).write_str(&i.name);
+        }
+        h.finish()
+    }
+}
+
 /// Compacts many *independent* cell libraries, optionally in parallel.
 ///
 /// Each job is a closed constraint system, so the jobs are

@@ -22,7 +22,12 @@
 //!   *and* pitches simultaneously, with [`leaf::compact_batch`] fanning
 //!   independent libraries out across threads,
 //! * [`layers`] — pseudo-layer handling: contact expansion (Fig 6.9) and
-//!   transistor-gate detection (§6.4.3).
+//!   transistor-gate detection (§6.4.3),
+//! * [`incremental`] — a persistent [`incremental::CompactSession`] that
+//!   caches leaf results, interface abstracts, constraint emission, and
+//!   sweep solves by content hash, so recompacting after a one-leaf edit
+//!   re-does work only where the edit is visible — bit-identical to the
+//!   from-scratch flow.
 //!
 //! The solving layer itself — [`ConstraintSystem`] with its CSR
 //! [`rsg_solve::ConstraintGraph`], the longest-path [`solver`]s
@@ -56,6 +61,7 @@
 
 pub mod engine;
 pub mod hier;
+pub mod incremental;
 pub mod layers;
 pub mod leaf;
 pub mod par;

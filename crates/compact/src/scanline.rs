@@ -363,7 +363,7 @@ mod tests {
         let expect = sol.position(vars[0].right).max(sol.position(vars[1].right)) + spacing;
         assert_eq!(sol.position(vars[2].left), expect);
         // No violations under re-check.
-        assert!(sys.violations(&sol.positions_vec(), &[]).is_empty());
+        assert!(sys.violations(sol.positions(), &[]).is_empty());
     }
 
     #[test]

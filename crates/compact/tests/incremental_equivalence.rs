@@ -1,0 +1,283 @@
+//! The incremental session's contract, pinned by property tests: on
+//! every input of a random **edit sequence** — grow/shrink a box, move a
+//! box, swap a whole leaf definition — a persistent
+//! [`CompactSession`] returns **bit-identical geometry and pitches** to
+//! the from-scratch [`compact_hierarchy`] on the same table, and the
+//! result stays DRC-clean under the independent flat referee.
+//!
+//! A regression lane checks the *point* of the session: an edit confined
+//! to one leaf leaves the sibling block's cached outcome and abstracts
+//! untouched (cache-hit counters say so), and a no-op edit is a pure
+//! replay — zero recompactions, zero abstracts derived, zero constraints
+//! emitted.
+
+use proptest::prelude::*;
+use rsg_compact::backend::BellmanFord;
+use rsg_compact::hier::{compact_hierarchy, ChipLayout, HierOptions};
+use rsg_compact::incremental::CompactSession;
+use rsg_geom::{Orientation, Point, Rect};
+use rsg_layout::{drc, flatten, CellDefinition, CellId, CellTable, Instance, Layer, Technology};
+
+const LANE_LAYERS: [Layer; 4] = [Layer::Diffusion, Layer::Poly, Layer::Metal1, Layer::Metal2];
+
+/// `(layer index, x offset, width, height)` per lane — clean by
+/// construction: lanes stack vertically with an 8-unit gap (≥ every
+/// Mead–Conway spacing at λ = 2) and every box is ≥ 8 wide/tall.
+type Lanes = Vec<(usize, i64, i64, i64)>;
+
+fn lane_cell(name: &str, lanes: &[(usize, i64, i64, i64)]) -> CellDefinition {
+    let mut c = CellDefinition::new(name);
+    let mut y = 0;
+    for &(layer_idx, x0, w, h) in lanes {
+        let layer = LANE_LAYERS[layer_idx % LANE_LAYERS.len()];
+        c.add_box(layer, Rect::from_coords(x0, y, x0 + w, y + h));
+        y += h + 8;
+    }
+    c
+}
+
+/// A three-level chip: two leaf definitions, one grid block over each,
+/// and a top row alternating the blocks — enough hierarchy for an edit
+/// in `leaf_a` to be invisible from `block_b`.
+fn chip(lanes_a: &Lanes, lanes_b: &Lanes, nx: i64, ny: i64, blocks: i64) -> (CellTable, CellId) {
+    let mut t = CellTable::new();
+    let a = lane_cell("leaf_a", lanes_a);
+    let b = lane_cell("leaf_b", lanes_b);
+    let bb_a = a.local_bbox().rect().expect("non-empty");
+    let bb_b = b.local_bbox().rect().expect("non-empty");
+    let a_id = t.insert(a).unwrap();
+    let b_id = t.insert(b).unwrap();
+
+    let block = |t: &mut CellTable, name: &str, leaf: CellId, bb: Rect| {
+        let (px, py) = (bb.hi().x + 8, bb.hi().y + 8);
+        let mut blk = CellDefinition::new(name);
+        for row in 0..ny {
+            for col in 0..nx {
+                blk.add_instance(Instance::new(
+                    leaf,
+                    Point::new(col * px, row * py),
+                    Orientation::NORTH,
+                ));
+            }
+        }
+        t.insert(blk).unwrap()
+    };
+    let blk_a = block(&mut t, "block_a", a_id, bb_a);
+    let blk_b = block(&mut t, "block_b", b_id, bb_b);
+
+    let width_a = (nx - 1) * (bb_a.hi().x + 8) + bb_a.hi().x;
+    let width_b = (nx - 1) * (bb_b.hi().x + 8) + bb_b.hi().x;
+    let pitch = width_a.max(width_b) + 8;
+    let mut top = CellDefinition::new("chip");
+    for k in 0..blocks {
+        let id = if k % 2 == 0 { blk_a } else { blk_b };
+        top.add_instance(Instance::new(
+            id,
+            Point::new(k * pitch, 0),
+            Orientation::NORTH,
+        ));
+    }
+    let top_id = t.insert(top).unwrap();
+    (t, top_id)
+}
+
+/// One edit step: `target` picks the leaf, `kind` the mutation.
+/// All mutations stay within the clean-by-construction envelope.
+fn apply_edit(lanes: &mut Lanes, kind: u64, lane: usize, x: i64, w: i64, fresh: &Lanes) {
+    let k = lane % lanes.len();
+    match kind % 3 {
+        0 => lanes[k].2 = w,         // grow/shrink the box
+        1 => lanes[k].1 = x,         // move the box sideways
+        _ => *lanes = fresh.clone(), // swap the whole definition
+    }
+}
+
+/// `incremental == cold`, bit for bit, on geometry and pitches.
+fn assert_same(inc: &ChipLayout, cold: &ChipLayout) {
+    assert_eq!(inc.cells.len(), cold.cells.len(), "assembly cell count");
+    for ((n_inc, o_inc), (n_cold, o_cold)) in inc.cells.iter().zip(&cold.cells) {
+        assert_eq!(n_inc, n_cold, "compaction order");
+        assert_eq!(o_inc.cell, o_cold.cell, "geometry of `{n_inc}` diverged");
+        assert_eq!(
+            o_inc.pitches, o_cold.pitches,
+            "pitches of `{n_inc}` diverged"
+        );
+        assert!(o_inc.converged && o_cold.converged);
+    }
+}
+
+fn check_sequence(
+    mut lanes_a: Lanes,
+    mut lanes_b: Lanes,
+    nx: i64,
+    ny: i64,
+    blocks: i64,
+    edits: &[(u64, u64, usize, i64, i64, Lanes)],
+) {
+    let tech = Technology::mead_conway(2);
+    let solver = BellmanFord::SORTED;
+    let opts = HierOptions::default();
+    let mut session = CompactSession::new();
+
+    // The initial state plus one state per edit.
+    for step in 0..=edits.len() {
+        if step > 0 {
+            let (target, kind, lane, x, w, ref fresh) = edits[step - 1];
+            let lanes = if target % 2 == 0 {
+                &mut lanes_a
+            } else {
+                &mut lanes_b
+            };
+            apply_edit(lanes, kind, lane, x, w, fresh);
+        }
+        let (table, top) = chip(&lanes_a, &lanes_b, nx, ny, blocks);
+        prop_assert!(
+            drc::check_flat(&flatten(&table, top).unwrap(), &tech.rules).is_empty(),
+            "generator produced a dirty input"
+        );
+
+        let cold = compact_hierarchy(&table, top, &tech.rules, &solver, &opts).unwrap();
+        let inc = session
+            .compact_hierarchy(&table, top, &tech.rules, &solver, &opts)
+            .unwrap();
+        assert_same(&inc, &cold);
+
+        // And the shared result is clean under the flat referee.
+        let flat = flatten(&inc.table, inc.top).unwrap();
+        let v = drc::check_flat(&flat, &tech.rules);
+        prop_assert!(v.is_empty(), "incremental result violates rules: {v:?}");
+    }
+}
+
+fn lanes_strategy(max_lanes: usize) -> impl Strategy<Value = Lanes> {
+    proptest::collection::vec((0usize..4, 0i64..6, 8i64..20, 8i64..16), 1..max_lanes + 1)
+}
+
+fn edit_strategy() -> impl Strategy<Value = (u64, u64, usize, i64, i64, Lanes)> {
+    (
+        0u64..2,
+        0u64..3,
+        0usize..4,
+        0i64..6,
+        8i64..20,
+        lanes_strategy(2),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn edit_sequences_match_cold_bit_for_bit(
+        lanes_a in lanes_strategy(2),
+        lanes_b in lanes_strategy(2),
+        nx in 1i64..3,
+        ny in 1i64..3,
+        blocks in 2i64..4,
+        edits in proptest::collection::vec(edit_strategy(), 1..4),
+    ) {
+        check_sequence(lanes_a, lanes_b, nx, ny, blocks, &edits);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    #[ignore = "slow lane: longer edit sequences on bigger grids (CI runs it separately)"]
+    fn long_edit_sequences_match_cold(
+        lanes_a in lanes_strategy(3),
+        lanes_b in lanes_strategy(3),
+        nx in 1i64..4,
+        ny in 1i64..4,
+        blocks in 2i64..5,
+        edits in proptest::collection::vec(edit_strategy(), 3..7),
+    ) {
+        check_sequence(lanes_a, lanes_b, nx, ny, blocks, &edits);
+    }
+}
+
+/// A one-leaf edit must leave the *other* block's cached outcome and
+/// abstracts untouched: only the edited block and the top re-run.
+#[test]
+fn one_leaf_edit_leaves_sibling_cache_untouched() {
+    let tech = Technology::mead_conway(2);
+    let solver = BellmanFord::SORTED;
+    let opts = HierOptions::default();
+    let lanes_a: Lanes = vec![(1, 0, 10, 8), (2, 2, 12, 10)];
+    let mut lanes_b: Lanes = vec![(0, 1, 14, 8)];
+
+    let mut session = CompactSession::new();
+    let (table, top) = chip(&lanes_a, &lanes_b, 2, 2, 3);
+    session
+        .compact_hierarchy(&table, top, &tech.rules, &solver, &opts)
+        .unwrap();
+    let cold_stats = session.last_stats();
+    assert_eq!(cold_stats.cells_seen, 3, "block_a, block_b, chip");
+    assert_eq!(
+        cold_stats.cells_compacted, 3,
+        "cold run compacts everything"
+    );
+
+    // Edit leaf_b only: block_b and chip re-run, block_a replays.
+    lanes_b[0].2 = 11;
+    let (table, top) = chip(&lanes_a, &lanes_b, 2, 2, 3);
+    let inc = session
+        .compact_hierarchy(&table, top, &tech.rules, &solver, &opts)
+        .unwrap();
+    let stats = session.last_stats();
+    assert_eq!(stats.cells_compacted, 2, "only block_b and chip re-run");
+    assert_eq!(stats.cell_hits, 1, "block_a replays from the cache");
+    // block_a's leaf_a abstract was already cached; only leaf_b's (and
+    // the blocks' own, for the top) get re-derived.
+    assert!(
+        stats.abstract_hits > 0,
+        "unchanged abstracts must come from the cache"
+    );
+
+    // And the replay is still the from-scratch answer.
+    let cold = compact_hierarchy(&table, top, &tech.rules, &solver, &opts).unwrap();
+    assert_same(&inc, &cold);
+
+    // No-op edit: recompacting the same input is a pure cache replay.
+    let before = session.stats();
+    let noop = session
+        .compact_hierarchy(&table, top, &tech.rules, &solver, &opts)
+        .unwrap();
+    let stats = session.last_stats();
+    assert_eq!(stats.cells_compacted, 0, "no-op edit recompacts nothing");
+    assert_eq!(stats.cell_hits, 3);
+    assert_eq!(stats.abstracts_derived, 0, "no-op edit re-flattens nothing");
+    assert_eq!(stats.constraints_emitted, 0, "no-op edit re-emits nothing");
+    assert_eq!(stats.sweeps_solved, 0);
+    assert_eq!(session.stats().calls, before.calls + 1);
+    assert_same(&noop, &cold);
+}
+
+/// Failure classes match the cold path: a recursive hierarchy surfaces
+/// as the same [`rsg_compact::hier::HierError`] from both flows.
+#[test]
+fn error_classes_match_cold() {
+    let tech = Technology::mead_conway(2);
+    let solver = BellmanFord::SORTED;
+    let opts = HierOptions::default();
+
+    let mut t = CellTable::new();
+    let mut a = CellDefinition::new("a");
+    a.add_box(Layer::Poly, Rect::from_coords(0, 0, 8, 8));
+    let a_id = t.insert(a).unwrap();
+    let mut top = CellDefinition::new("top");
+    top.add_instance(Instance::new(a_id, Point::new(0, 0), Orientation::NORTH));
+    let top_id = t.insert(top).unwrap();
+    // Close the cycle: `a` now instantiates `top`.
+    t.get_mut(a_id).unwrap().add_instance(Instance::new(
+        top_id,
+        Point::new(0, 40),
+        Orientation::NORTH,
+    ));
+
+    let cold = compact_hierarchy(&t, top_id, &tech.rules, &solver, &opts);
+    let inc = CompactSession::new().compact_hierarchy(&t, top_id, &tech.rules, &solver, &opts);
+    assert!(cold.is_err());
+    assert_eq!(inc.unwrap_err(), cold.unwrap_err());
+}

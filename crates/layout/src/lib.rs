@@ -12,7 +12,9 @@
 //!   emission, and the compactor,
 //! * a CIF 2.0 writer and a simple textual `.rsgl` format with both writer
 //!   and reader (standing in for the paper's CIF and DEF back ends),
-//! * layout [`stats::LayoutStats`].
+//! * layout [`stats::LayoutStats`],
+//! * stable content [`hash`]ing of cells and rules — the cache identity
+//!   used by `rsg_compact::incremental`.
 //!
 //! # Example
 //!
@@ -40,6 +42,7 @@ mod cif;
 pub mod drc;
 mod error;
 mod flatten;
+pub mod hash;
 mod instance;
 mod layer;
 mod rsgl;

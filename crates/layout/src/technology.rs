@@ -72,6 +72,39 @@ impl DesignRules {
     pub fn spacing_floor(&self) -> i64 {
         self.min_spacing.values().copied().min().unwrap_or(0)
     }
+
+    /// Deterministic content digest of the rule set — part of every
+    /// incremental-compaction cache key, so two rule sets hash equal iff
+    /// they constrain identically. The hash maps are absorbed in sorted
+    /// key order; iteration order never leaks into the digest.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::ContentHasher::new();
+        let mut widths: Vec<(usize, i64)> = self
+            .min_width
+            .iter()
+            .map(|(&l, &w)| (l.index(), w))
+            .collect();
+        widths.sort_unstable();
+        h.write_u64(widths.len() as u64);
+        for (l, w) in widths {
+            h.write_u64(l as u64).write_i64(w);
+        }
+        let mut spacings: Vec<(usize, usize, i64)> = self
+            .min_spacing
+            .iter()
+            .map(|(&(a, b), &s)| (a.index(), b.index(), s))
+            .collect();
+        spacings.sort_unstable();
+        h.write_u64(spacings.len() as u64);
+        for (a, b, s) in spacings {
+            h.write_u64(a as u64).write_u64(b as u64).write_i64(s);
+        }
+        h.write_i64(self.gate_width)
+            .write_i64(self.contact_overlap)
+            .write_i64(self.contact_cut_size)
+            .write_i64(self.contact_cut_spacing);
+        h.finish()
+    }
 }
 
 /// A named technology: λ scale plus its [`DesignRules`].
@@ -177,6 +210,20 @@ mod tests {
         // Poly–diffusion at 1λ is the tightest Mead–Conway spacing.
         assert_eq!(t.rules.spacing_floor(), 2);
         assert_eq!(DesignRules::new().spacing_floor(), 0);
+    }
+
+    #[test]
+    fn content_hash_tracks_the_rules() {
+        let a = Technology::mead_conway(2).rules;
+        let b = Technology::mead_conway(2).rules;
+        assert_eq!(a.content_hash(), b.content_hash());
+        let mut c = Technology::mead_conway(2).rules;
+        c.set_min_spacing(Layer::Poly, Layer::Poly, 6);
+        assert_ne!(a.content_hash(), c.content_hash());
+        assert_ne!(
+            a.content_hash(),
+            Technology::mead_conway(3).rules.content_hash()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::cells::{PITCH, REG_HEIGHT};
 use rsg_compact::backend::Solver;
 use rsg_compact::hier::{self, ChipCompaction, ChipError, HierOptions};
+use rsg_compact::incremental::CompactSession;
 use rsg_compact::leaf::{
     compact_batch, CompactionResult, LeafError, LeafInterface, LibraryJob, Parallelism, PitchKind,
 };
@@ -123,6 +124,33 @@ pub fn compact_chip(
 ) -> Result<ChipCompaction, ChipError> {
     let leaf = compact_library(rules, solver, parallelism)?;
     hier::compact_chip_with_library(table, top, leaf, rules, solver, &HierOptions::default())
+}
+
+/// [`compact_chip`] through a persistent [`CompactSession`]: after an
+/// edit (say, swapping one control mask in a register cell) only the
+/// definitions that can see the edit — the edited leaf's job, its parent
+/// register stack, and the top cell — are recompacted; the n² core array
+/// replays from the cache. Results are bit-identical to [`compact_chip`]
+/// on the same input.
+///
+/// # Errors
+///
+/// Returns [`ChipError`] when either pass fails.
+pub fn compact_chip_session(
+    session: &mut CompactSession,
+    table: &CellTable,
+    top: CellId,
+    rules: &DesignRules,
+    solver: &dyn Solver,
+) -> Result<ChipCompaction, ChipError> {
+    session.compact_chip_with_library(
+        table,
+        top,
+        &library_jobs(),
+        rules,
+        solver,
+        &HierOptions::default(),
+    )
 }
 
 #[cfg(test)]

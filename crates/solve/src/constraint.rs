@@ -170,6 +170,38 @@ impl ConstraintSystem {
         self.require(to, from, -d);
     }
 
+    /// Replaces the weight of constraint `index` **without** discarding
+    /// the cached CSR graph: the edges are patched in their slots, and
+    /// the sorted relaxation order (a function of initial positions) and
+    /// topological order (a function of the edge set) stay valid. This
+    /// is what makes iterating on one system cheap — the hierarchical
+    /// pitch fixpoint re-solves the same graph dozens of times with only
+    /// the λ-class weights moving.
+    ///
+    /// The one exception is a *self-loop* crossing the vacuousness
+    /// boundary: `from == to, w ≤ 0` is ignored by the topological order
+    /// while `w > 0` is an unconditional positive cycle, so flipping
+    /// between them changes the effective edge set and the graph is
+    /// rebuilt from scratch on next use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_weight(&mut self, index: usize, weight: i64) {
+        let c = &mut self.constraints[index];
+        if c.weight == weight {
+            return;
+        }
+        let self_loop = c.from == c.to;
+        let flips_vacuous = self_loop && (c.weight <= 0) != (weight <= 0);
+        c.weight = weight;
+        if flips_vacuous {
+            self.graph.take();
+        } else if let Some(g) = self.graph.get_mut() {
+            g.set_weight(index, weight);
+        }
+    }
+
     /// Number of edge variables.
     pub fn num_vars(&self) -> usize {
         self.var_initial.len()
@@ -303,6 +335,82 @@ mod tests {
         // b - a + λ >= 8: with b=5, λ=3 it holds exactly.
         assert_eq!(s.violations(&[0, 5], &[3]).len(), 0);
         assert_eq!(s.violations(&[0, 5], &[2]).len(), 1);
+    }
+
+    #[test]
+    fn set_weight_patches_the_cached_graph() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        let c = s.add_var(20);
+        s.require(a, b, 5);
+        s.require(b, c, 7);
+        s.require(a, c, 3);
+        let _ = s.graph(); // populate the cache
+        s.set_weight(1, 9);
+        // The patched graph must equal a cold build of the same system.
+        let fresh = ConstraintGraph::build(&s);
+        assert_eq!(*s.graph(), fresh);
+        assert_eq!(s.constraints()[1].weight, 9);
+    }
+
+    #[test]
+    fn set_weight_without_cache_just_updates() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        s.require(a, b, 5);
+        s.set_weight(0, 6);
+        assert_eq!(s.constraints()[0].weight, 6);
+        assert_eq!(*s.graph(), ConstraintGraph::build(&s));
+    }
+
+    #[test]
+    fn solving_a_patched_system_matches_a_cold_one() {
+        use crate::backend::{BellmanFord, Solver, Topological};
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        let c = s.add_var(20);
+        s.require(a, b, 5);
+        s.require(b, c, 7);
+        let _ = s.graph();
+        let warm = BellmanFord::SORTED.solve_system(&s, &[]).unwrap();
+        s.set_weight(0, 11);
+        s.set_weight(1, 3);
+        let mut cold_sys = ConstraintSystem::new();
+        let a2 = cold_sys.add_var(0);
+        let b2 = cold_sys.add_var(10);
+        let _c2 = cold_sys.add_var(20);
+        cold_sys.require(a2, b2, 11);
+        cold_sys.require(b2, _c2, 3);
+        for solver in [&BellmanFord::SORTED as &dyn Solver, &Topological] {
+            let patched = solver.solve_system(&s, &[]).unwrap();
+            let cold = solver.solve_system(&cold_sys, &[]).unwrap();
+            assert_eq!(patched.positions, cold.positions, "{}", solver.name());
+        }
+        // Warm-start over the patched graph is exact too.
+        let seeded = BellmanFord::SORTED
+            .solve_system_warm(&s, &[], &warm.positions)
+            .unwrap();
+        assert_eq!(seeded.positions, vec![0, 11, 14]);
+    }
+
+    #[test]
+    fn self_loop_vacuousness_flip_rebuilds_topo() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        s.require(a, b, 5);
+        s.require(a, a, 0); // vacuous self-loop (λ-floor pattern)
+        assert!(s.graph().is_acyclic());
+        // w > 0 turns the self-loop into a real positive cycle.
+        s.set_weight(1, 1);
+        assert!(!s.graph().is_acyclic());
+        // …and back.
+        s.set_weight(1, -2);
+        assert!(s.graph().is_acyclic());
+        assert_eq!(*s.graph(), ConstraintGraph::build(&s));
     }
 
     #[test]

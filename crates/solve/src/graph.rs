@@ -48,6 +48,11 @@ pub struct ConstraintGraph {
     /// Variables in topological order of the edge direction, when the
     /// graph (ignoring vacuous `w ≤ 0` self-loops) is acyclic.
     topo: Option<Vec<VarId>>,
+    /// Per-constraint CSR slots (`constraint index → position in
+    /// `out_edges` / `in_edges`), recorded during the fill so a weight
+    /// can later be patched in place without rebuilding the rows.
+    out_slot: Vec<u32>,
+    in_slot: Vec<u32>,
 }
 
 impl ConstraintGraph {
@@ -77,8 +82,11 @@ impl ConstraintGraph {
         let mut in_edges = vec![dummy; constraints.len()];
         let mut out_fill = out_offsets.clone();
         let mut in_fill = in_offsets.clone();
+        let mut out_slot = vec![0u32; constraints.len()];
+        let mut in_slot = vec![0u32; constraints.len()];
         for (k, c) in constraints.iter().enumerate() {
             let o = &mut out_fill[c.from.index()];
+            out_slot[k] = *o;
             out_edges[*o as usize] = GraphEdge {
                 other: c.to,
                 weight: c.weight,
@@ -86,6 +94,7 @@ impl ConstraintGraph {
             };
             *o += 1;
             let i = &mut in_fill[c.to.index()];
+            in_slot[k] = *i;
             in_edges[*i as usize] = GraphEdge {
                 other: c.from,
                 weight: c.weight,
@@ -107,7 +116,21 @@ impl ConstraintGraph {
             in_edges,
             sorted,
             topo,
+            out_slot,
+            in_slot,
         }
+    }
+
+    /// Patches the weight of one constraint's edges in place. The CSR
+    /// rows, the sorted relaxation order (keyed by initial positions),
+    /// and the topological order (keyed by the edge *set*) all survive a
+    /// weight change — except a self-loop crossing the vacuousness
+    /// boundary (`w ≤ 0` ↔ `w > 0`), which changes the effective edge
+    /// set; [`ConstraintSystem::set_weight`] rebuilds in that case and
+    /// never routes it here.
+    pub(crate) fn set_weight(&mut self, constraint: usize, weight: i64) {
+        self.out_edges[self.out_slot[constraint] as usize].weight = weight;
+        self.in_edges[self.in_slot[constraint] as usize].weight = weight;
     }
 
     /// Number of variables (graph vertices).
