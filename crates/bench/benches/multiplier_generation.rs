@@ -32,7 +32,7 @@ fn interpreted_generation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let run = rsg_lang::run_design(
-                    rsg_mult::cells::sample_layout(),
+                    rsg_mult::cells::sample_layout().unwrap(),
                     rsg_mult::design_file_source(),
                     &params,
                 )
@@ -47,14 +47,15 @@ fn interpreted_generation(c: &mut Criterion) {
 fn three_phases(c: &mut Criterion) {
     // Phase 1: read the sample layout text + build the interface table.
     let sample_text = {
-        let table = rsg_mult::cells::sample_layout();
+        let table = rsg_mult::cells::sample_layout().unwrap();
         let top = table.lookup("s_h").unwrap();
         rsg_layout::write_rsgl(&table, top).unwrap()
     };
     c.bench_function("multiplier/phase1-read-sample-32", |b| {
         b.iter(|| {
             let (_table, _) = rsg_layout::read_rsgl(black_box(&sample_text)).unwrap();
-            let rsg = rsg_core::Rsg::from_sample(rsg_mult::cells::sample_layout()).unwrap();
+            let rsg =
+                rsg_core::Rsg::from_sample(rsg_mult::cells::sample_layout().unwrap()).unwrap();
             black_box(rsg.interfaces().len())
         })
     });
@@ -63,7 +64,7 @@ fn three_phases(c: &mut Criterion) {
     c.bench_function("multiplier/phase2-execute-32", |b| {
         b.iter(|| {
             let run = rsg_lang::run_design(
-                rsg_mult::cells::sample_layout(),
+                rsg_mult::cells::sample_layout().unwrap(),
                 rsg_mult::design_file_source(),
                 &params,
             )

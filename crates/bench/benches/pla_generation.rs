@@ -37,7 +37,7 @@ fn bench_pla(c: &mut Criterion) {
             b.iter(|| black_box(rsg_pla(p, "pla").unwrap().top))
         });
         group.bench_with_input(BenchmarkId::new("relocation", n), &p, |b, p| {
-            b.iter(|| black_box(relocation_pla(p, "pla_relo").1))
+            b.iter(|| black_box(relocation_pla(p, "pla_relo").unwrap().1))
         });
     }
     group.finish();

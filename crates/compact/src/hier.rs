@@ -38,6 +38,8 @@
 //! together.
 
 use crate::backend::{SolveError, Solver};
+use crate::fault::{injected_exhaustion, FaultSite, InjectedFault};
+use crate::limits::{Exhausted, Limits};
 use crate::scanline::VisibilityOracle;
 use crate::ConstraintSystem;
 use rsg_geom::{Axis, BoundingBox, Isometry, Orientation, Point, Rect, Vector};
@@ -55,6 +57,10 @@ pub struct HierOptions {
     pub max_passes: usize,
     /// Maximum pitch-fixpoint rounds per axis sweep.
     pub max_pitch_rounds: usize,
+    /// Resource budgets, checked at deterministic checkpoints (flat box
+    /// count, constraint count, cumulative solver passes, deadline).
+    /// [`Limits::NONE`] by default.
+    pub limits: Limits,
 }
 
 impl Default for HierOptions {
@@ -62,6 +68,7 @@ impl Default for HierOptions {
         HierOptions {
             max_passes: 8,
             max_pitch_rounds: 32,
+            limits: Limits::NONE,
         }
     }
 }
@@ -75,6 +82,17 @@ pub enum HierError {
     Infeasible(String),
     /// The pitch fixpoint or the x/y alternation failed to stabilize.
     Diverged(String),
+    /// The backend's rounded pitches could not be repaired to an integral
+    /// solution. Distinct from [`HierError::Diverged`]: the fixpoint was
+    /// fine, the LP relaxation's rounding was not.
+    Rounding(String),
+    /// Position arithmetic overflowed `i64` (input exceeded the
+    /// coordinate budget the interior math is proven safe for).
+    Overflow(String),
+    /// A configured resource budget ([`HierOptions::limits`]) ran out.
+    Exhausted(Exhausted),
+    /// An internal invariant failed; reported as an error, never a panic.
+    Internal(String),
 }
 
 impl std::fmt::Display for HierError {
@@ -83,6 +101,10 @@ impl std::fmt::Display for HierError {
             HierError::Layout(e) => write!(f, "hierarchical compaction: {e}"),
             HierError::Infeasible(m) => write!(f, "hierarchical compaction infeasible: {m}"),
             HierError::Diverged(m) => write!(f, "hierarchical compaction diverged: {m}"),
+            HierError::Rounding(m) => write!(f, "hierarchical pitch rounding failed: {m}"),
+            HierError::Overflow(m) => write!(f, "hierarchical compaction overflowed: {m}"),
+            HierError::Exhausted(e) => e.fmt(f),
+            HierError::Internal(m) => write!(f, "hierarchical compaction internal error: {m}"),
         }
     }
 }
@@ -95,12 +117,33 @@ impl From<LayoutError> for HierError {
     }
 }
 
+impl From<Exhausted> for HierError {
+    fn from(e: Exhausted) -> HierError {
+        HierError::Exhausted(e)
+    }
+}
+
 impl From<SolveError> for HierError {
     fn from(e: SolveError) -> HierError {
         match e {
             SolveError::Infeasible(m) => HierError::Infeasible(m),
-            SolveError::Rounding(m) => HierError::Diverged(m),
+            SolveError::Rounding(m) => HierError::Rounding(m),
+            SolveError::Overflow(m) => HierError::Overflow(m),
+            SolveError::Input(m) => HierError::Internal(m),
         }
+    }
+}
+
+/// Maps an injected fault to the typed error the real fault would raise.
+fn injected_error(fault: InjectedFault, axis: Axis) -> HierError {
+    match fault {
+        InjectedFault::SolverFail => {
+            HierError::Infeasible(format!("injected solver failure on {axis}"))
+        }
+        InjectedFault::Diverge => {
+            HierError::Diverged(format!("injected pitch-fixpoint divergence on {axis}"))
+        }
+        InjectedFault::Exhaust => HierError::Exhausted(injected_exhaustion()),
     }
 }
 
@@ -401,6 +444,14 @@ pub(crate) trait CompactHooks {
 
     /// Reuse counters to fill, when the caller wants them.
     fn counters(&mut self) -> Option<&mut ReuseCounters> {
+        None
+    }
+
+    /// Fault-injection seam: consulted at every solver call, sweep entry,
+    /// and budget checkpoint (deterministic, so an armed
+    /// [`crate::fault::FaultPlan`] names the same site on every run).
+    /// Inert by default.
+    fn fault(&mut self, _site: FaultSite) -> Option<InjectedFault> {
         None
     }
 }
@@ -760,7 +811,13 @@ pub fn compact_chip_with_library(
                     cell.name().to_owned(),
                 )))
             })?;
-            *compacted.get_mut(id).expect("looked up") = cell.clone();
+            let Some(slot) = compacted.get_mut(id) else {
+                return Err(ChipError::Hier(HierError::Internal(format!(
+                    "cell `{}` vanished between lookup and substitution",
+                    cell.name()
+                ))));
+            };
+            *slot = cell.clone();
         }
     }
     let chip = compact_hierarchy(&compacted, top, rules, solver, opts)?;
@@ -828,6 +885,7 @@ pub(crate) fn compact_cell_with(
     opts: &HierOptions,
     hooks: &mut dyn CompactHooks,
 ) -> Result<HierOutcome, HierError> {
+    opts.limits.check_deadline()?;
     let def = table.require(root)?;
     let mut shapes: Vec<Arc<CellAbstract>> = Vec::new();
     let mut shape_of: HashMap<ShapeKey, (usize, u64)> = HashMap::new();
@@ -882,6 +940,11 @@ pub(crate) fn compact_cell_with(
     }
 
     let flat_boxes = items.iter().map(|i| shapes[i.shape].source_boxes()).sum();
+    // Checkpoint: the flat box count this cell's abstracts summarize.
+    if let Some(f) = hooks.fault(FaultSite::Checkpoint) {
+        return Err(injected_error(f, Axis::X));
+    }
+    opts.limits.check_boxes(flat_boxes)?;
     if items.is_empty() {
         return Ok(HierOutcome {
             cell: def.clone(),
@@ -1022,13 +1085,14 @@ fn rigid_clusters(items: &[Item], shapes: &[Arc<CellAbstract>]) -> Vec<Cluster> 
     }
     groups
         .into_values()
-        .map(|members| {
+        .filter_map(|members| {
+            // Every group holds at least its root, so the filter never
+            // actually drops anything — it just keeps this panic-free.
             let rep = members
                 .iter()
                 .copied()
-                .max_by_key(|&i| (bbox(i).map_or(0, |r| r.area()), std::cmp::Reverse(i)))
-                .expect("non-empty cluster");
-            Cluster { members, rep }
+                .max_by_key(|&i| (bbox(i).map_or(0, |r| r.area()), std::cmp::Reverse(i)))?;
+            Some(Cluster { members, rep })
         })
         .collect()
 }
@@ -1129,6 +1193,9 @@ fn sweep_axis(
     ordinal: usize,
     hooks: &mut dyn CompactHooks,
 ) -> Result<(HierSweepStats, Vec<HierPitch>), HierError> {
+    if let Some(f) = hooks.fault(FaultSite::Sweep) {
+        return Err(injected_error(f, axis));
+    }
     let n = clusters.len();
     let origin = |c: &Cluster, positions: &[Point]| positions[c.rep];
 
@@ -1295,8 +1362,9 @@ fn sweep_axis(
         );
     }
 
-    // Normalized initial coordinates.
-    let min_base = (0..n).map(base).min().expect("non-empty");
+    // Normalized initial coordinates (clusters are never empty here, but
+    // an empty sweep normalizes to 0 rather than panicking).
+    let min_base = (0..n).map(base).min().unwrap_or(0);
     let floor = rules.spacing_floor();
     let constraints = emission.weights.len()
         + emission.welds.len() * 2
@@ -1306,6 +1374,8 @@ fn sweep_axis(
             .iter()
             .map(|c| c.pairs.len())
             .sum::<usize>();
+    // Checkpoint: the generated constraint count of this sweep.
+    opts.limits.check_constraints(constraints)?;
 
     let pitch_list = |lambdas: &[i64]| -> Vec<HierPitch> {
         structure
@@ -1399,11 +1469,17 @@ fn sweep_axis(
                 opts.max_pitch_rounds
             )));
         }
+        if let Some(f) = hooks.fault(FaultSite::Solve) {
+            return Err(injected_error(f, axis));
+        }
         let out = match warm.as_deref() {
             Some(seed) if seed.len() == n => solver.solve_system_warm(&sys, &[], seed)?,
             _ => solver.solve_system(&sys, &[])?,
         };
         passes += out.passes;
+        // Checkpoints: cumulative relaxation passes and the deadline.
+        opts.limits.check_passes(passes)?;
+        opts.limits.check_deadline()?;
         let next: Vec<i64> = structure
             .classes
             .iter()
@@ -1528,7 +1604,12 @@ pub fn compact_hierarchy(
                 opts.max_passes
             )));
         }
-        *out_table.get_mut(cell).expect("cell exists") = outcome.cell.clone();
+        let Some(slot) = out_table.get_mut(cell) else {
+            return Err(HierError::Internal(format!(
+                "cell `{name}` vanished from the table mid-walk"
+            )));
+        };
+        *slot = outcome.cell.clone();
         cells.push((name, outcome));
     }
     Ok(ChipLayout {

@@ -70,6 +70,7 @@
 //! ```
 
 use crate::backend::Solver;
+use crate::fault::{FaultPlan, FaultSite, InjectedFault};
 use crate::hier::{
     axis_index, compact_cell_with, derive_abstract, dfs_order, CellAbstract, ChipCompaction,
     ChipError, ChipLayout, CompactHooks, HierError, HierOptions, HierOutcome, ReuseCounters,
@@ -195,17 +196,32 @@ pub struct CompactSession {
     history: HashMap<String, CellHistory>,
     /// Context tag of the previous call, to detect rule/solver changes.
     context: Option<u64>,
+    /// Deterministic fault-injection schedule for subsequent calls.
+    faults: Option<FaultPlan>,
     stats: SessionStats,
     last: EditStats,
 }
 
-/// Digest of everything outside the geometry that shapes a solve.
+/// Digest of everything outside the geometry that shapes a solve. The
+/// budget *caps* are folded in — they change where a run fails, so they
+/// are part of the solve context — but the wall-clock deadline is
+/// deliberately excluded: it is not content-addressable.
 fn context_of(rules: &DesignRules, solver: &dyn Solver, opts: &HierOptions) -> u64 {
     let mut h = ContentHasher::new();
     h.write_u64(rules.content_hash())
         .write_str(solver.name())
         .write_u64(opts.max_passes as u64)
         .write_u64(opts.max_pitch_rounds as u64);
+    for cap in [
+        opts.limits.max_flat_boxes,
+        opts.limits.max_constraints,
+        opts.limits.max_solve_passes,
+    ] {
+        match cap {
+            Some(c) => h.write_u64(1).write_u64(c),
+            None => h.write_u64(0),
+        };
+    }
     h.finish()
 }
 
@@ -231,6 +247,17 @@ impl CompactSession {
         self.stats
     }
 
+    /// Arms (or with `None`, disarms) a deterministic fault-injection
+    /// schedule for subsequent calls. Counters restart at every entry
+    /// point, so `FaultPlan::fail_solve(2)` fails the third solve of
+    /// *each* call until the plan is cleared. An injected failure obeys
+    /// the same contract as a real one: typed error out, caches left
+    /// consistent, and a retry without the plan is bit-identical to a
+    /// cold run.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
     fn begin(&mut self, context: u64) {
         if self.context != Some(context) {
             // The solve context changed: warm seeds and sweep records
@@ -239,7 +266,26 @@ impl CompactSession {
             self.history.clear();
             self.context = Some(context);
         }
+        if let Some(p) = self.faults.as_mut() {
+            p.reset();
+        }
         self.last = EditStats::default();
+    }
+
+    /// Error-path cache hygiene: a failed call may have half-written
+    /// warm seeds and sweep records (they are positional, not
+    /// content-addressed), so they are dropped wholesale. The content
+    /// caches keep every entry — each was completed and is keyed by its
+    /// full input, so nothing partial can hide there. A retry after the
+    /// failure therefore behaves exactly like a cold run for the failed
+    /// cells (pinned by the fault-injection proptests).
+    fn abandon(&mut self) {
+        self.history.clear();
+        self.last = EditStats::default();
+    }
+
+    fn forgetting(&self) -> bool {
+        self.faults.as_ref().is_some_and(|p| p.forget_caches)
     }
 
     fn finish(&mut self) {
@@ -282,7 +328,13 @@ impl CompactSession {
     ) -> Result<ChipLayout, HierError> {
         let context = context_of(rules, solver, opts);
         self.begin(context);
-        let chip = self.hierarchy_inner(table, top, rules, solver, opts, context)?;
+        let chip = match self.hierarchy_inner(table, top, rules, solver, opts, context) {
+            Ok(chip) => chip,
+            Err(e) => {
+                self.abandon();
+                return Err(e);
+            }
+        };
         self.finish();
         Ok(chip)
     }
@@ -308,19 +360,52 @@ impl CompactSession {
     ) -> Result<ChipCompaction, ChipError> {
         let context = context_of(rules, solver, opts);
         self.begin(context);
+        match self.chip_inner(table, top, jobs, rules, solver, opts, context) {
+            Ok(out) => {
+                self.finish();
+                Ok(out)
+            }
+            Err(e) => {
+                self.abandon();
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn chip_inner(
+        &mut self,
+        table: &CellTable,
+        top: CellId,
+        jobs: &[LibraryJob],
+        rules: &DesignRules,
+        solver: &dyn Solver,
+        opts: &HierOptions,
+        context: u64,
+    ) -> Result<ChipCompaction, ChipError> {
         let rules_hash = rules.content_hash();
         let solver_hash = hash_str(solver.name());
+        let forgetting = self.forgetting();
         let mut leaf_results: Vec<CompactionResult> = Vec::with_capacity(jobs.len());
         for job in jobs {
             let key = mix(&[job.content_hash(), rules_hash, solver_hash]);
-            if let Some(cached) = self.leaves.get(&key) {
-                self.last.leaf_hits += 1;
-                leaf_results.push(cached.as_ref().clone());
-            } else {
-                self.last.leaf_jobs += 1;
-                let result = leaf::compact(&job.cells, &job.interfaces, rules, solver)?;
-                self.leaves.insert(key, Arc::new(result.clone()));
-                leaf_results.push(result);
+            match self.leaves.get(&key).filter(|_| !forgetting) {
+                Some(cached) => {
+                    self.last.leaf_hits += 1;
+                    leaf_results.push(cached.as_ref().clone());
+                }
+                None => {
+                    self.last.leaf_jobs += 1;
+                    let result = leaf::compact_limited(
+                        &job.cells,
+                        &job.interfaces,
+                        rules,
+                        solver,
+                        &opts.limits,
+                    )?;
+                    self.leaves.insert(key, Arc::new(result.clone()));
+                    leaf_results.push(result);
+                }
             }
         }
         let mut compacted = table.clone();
@@ -331,11 +416,16 @@ impl CompactSession {
                         cell.name().to_owned(),
                     )))
                 })?;
-                *compacted.get_mut(id).expect("looked up") = cell.clone();
+                let Some(slot) = compacted.get_mut(id) else {
+                    return Err(ChipError::Hier(HierError::Internal(format!(
+                        "cell `{}` vanished between lookup and substitution",
+                        cell.name()
+                    ))));
+                };
+                *slot = cell.clone();
             }
         }
         let chip = self.hierarchy_inner(&compacted, top, rules, solver, opts, context)?;
-        self.finish();
         Ok(ChipCompaction {
             chip,
             leaf: leaf_results,
@@ -374,7 +464,8 @@ impl CompactSession {
             let name = def.name().to_owned();
             self.last.cells_seen += 1;
             let key = mix(&[in_hash, context]);
-            let (outcome, out_hash) = match self.cells.get(&key) {
+            let forgetting = self.forgetting();
+            let (outcome, out_hash) = match self.cells.get(&key).filter(|_| !forgetting) {
                 Some(entry) => {
                     self.last.cell_hits += 1;
                     (entry.outcome.clone(), entry.out_hash)
@@ -391,6 +482,8 @@ impl CompactSession {
                         history,
                         memo: &mut self.memo,
                         counters: ReuseCounters::default(),
+                        faults: self.faults.as_mut(),
+                        forgetting,
                     };
                     let outcome =
                         compact_cell_with(&out_table, cell, rules, solver, opts, &mut hooks)?;
@@ -413,7 +506,12 @@ impl CompactSession {
                     (outcome, out_hash)
                 }
             };
-            *out_table.get_mut(cell).expect("cell exists") = outcome.cell.clone();
+            let Some(slot) = out_table.get_mut(cell) else {
+                return Err(HierError::Internal(format!(
+                    "cell `{name}` vanished from the table mid-walk"
+                )));
+            };
+            *slot = outcome.cell.clone();
             hash_of.insert(cell, out_hash);
             cells.push((name, outcome));
         }
@@ -437,6 +535,10 @@ struct SessionHooks<'a> {
     history: &'a mut CellHistory,
     memo: &'a mut HashMap<u64, Arc<SweepSolution>>,
     counters: ReuseCounters,
+    /// Armed fault schedule of the session, if any.
+    faults: Option<&'a mut FaultPlan>,
+    /// Injected amnesia: answer every cache lookup with a miss.
+    forgetting: bool,
 }
 
 impl CompactHooks for SessionHooks<'_> {
@@ -460,7 +562,7 @@ impl CompactHooks for SessionHooks<'_> {
             orientation.mirror_y as u64,
             self.rules_hash,
         ]);
-        if let Some(cached) = self.abstracts.get(&sig) {
+        if let Some(cached) = self.abstracts.get(&sig).filter(|_| !self.forgetting) {
             self.counters.abstract_hits += 1;
             return Ok((cached.clone(), sig));
         }
@@ -479,6 +581,9 @@ impl CompactHooks for SessionHooks<'_> {
     }
 
     fn warm_seed(&mut self, axis: Axis) -> Option<Vec<i64>> {
+        if self.forgetting {
+            return None;
+        }
         self.history.warm[axis_index(axis)].clone()
     }
 
@@ -487,6 +592,9 @@ impl CompactHooks for SessionHooks<'_> {
     }
 
     fn prev_sweep(&mut self, ordinal: usize) -> Option<Arc<SweepRecord>> {
+        if self.forgetting {
+            return None;
+        }
         self.history.prev.get(ordinal).cloned()
     }
 
@@ -497,6 +605,9 @@ impl CompactHooks for SessionHooks<'_> {
     }
 
     fn memo_get(&mut self, key: u64) -> Option<Arc<SweepSolution>> {
+        if self.forgetting {
+            return None;
+        }
         self.memo.get(&key).cloned()
     }
 
@@ -506,5 +617,9 @@ impl CompactHooks for SessionHooks<'_> {
 
     fn counters(&mut self) -> Option<&mut ReuseCounters> {
         Some(&mut self.counters)
+    }
+
+    fn fault(&mut self, site: FaultSite) -> Option<InjectedFault> {
+        self.faults.as_mut().and_then(|p| p.trip(site))
     }
 }

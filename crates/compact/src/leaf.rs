@@ -19,6 +19,7 @@
 //! results are byte-identical to the serial path).
 
 use crate::backend::{SolveError, Solver};
+use crate::limits::{Exhausted, Limits};
 use crate::scanline::{self, BoxVars, Method};
 use crate::{Constraint, ConstraintSystem, PitchId, VarId};
 use rsg_geom::{Axis, Rect, Vector};
@@ -96,6 +97,17 @@ pub enum LeafError {
     Infeasible(String),
     /// Rounded pitches could not be repaired to an integral solution.
     Rounding(String),
+    /// Position arithmetic overflowed `i64` (input exceeded the
+    /// coordinate budget the interior math is proven safe for).
+    Overflow(String),
+    /// The input library was malformed (coordinates past the ingest
+    /// budget, out-of-range interface indices, pitch-shape errors).
+    Input(String),
+    /// A configured resource budget ran out.
+    Exhausted(Exhausted),
+    /// A batch worker panicked on this job; the rest of the batch is
+    /// unaffected.
+    Panicked(String),
 }
 
 impl std::fmt::Display for LeafError {
@@ -103,6 +115,10 @@ impl std::fmt::Display for LeafError {
         match self {
             LeafError::Infeasible(m) => write!(f, "leaf compaction infeasible: {m}"),
             LeafError::Rounding(m) => write!(f, "pitch rounding failed: {m}"),
+            LeafError::Overflow(m) => write!(f, "leaf compaction overflowed: {m}"),
+            LeafError::Input(m) => write!(f, "malformed leaf library: {m}"),
+            LeafError::Exhausted(e) => e.fmt(f),
+            LeafError::Panicked(m) => write!(f, "leaf compaction worker panicked: {m}"),
         }
     }
 }
@@ -114,7 +130,15 @@ impl From<SolveError> for LeafError {
         match e {
             SolveError::Infeasible(m) => LeafError::Infeasible(m),
             SolveError::Rounding(m) => LeafError::Rounding(m),
+            SolveError::Overflow(m) => LeafError::Overflow(m),
+            SolveError::Input(m) => LeafError::Input(m),
         }
+    }
+}
+
+impl From<Exhausted> for LeafError {
+    fn from(e: Exhausted) -> LeafError {
+        LeafError::Exhausted(e)
     }
 }
 
@@ -130,18 +154,59 @@ struct VBox {
 }
 
 /// Compacts a cell library in x under every declared interface, solving
-/// through the given backend.
+/// through the given backend. Equivalent to [`compact_limited`] with
+/// [`Limits::NONE`].
 ///
 /// # Errors
 ///
-/// Returns [`LeafError`] on infeasible constraint systems.
+/// Returns [`LeafError`] on infeasible constraint systems or malformed
+/// input.
 pub fn compact(
     cells: &[CellDefinition],
     interfaces: &[LeafInterface],
     rules: &DesignRules,
     solver: &dyn Solver,
 ) -> Result<CompactionResult, LeafError> {
+    compact_limited(cells, interfaces, rules, solver, &Limits::NONE)
+}
+
+/// [`compact`] under resource budgets: checkpoints fire after the flat
+/// box count is known, after constraint generation, and (for the
+/// deadline) at entry — deterministic points, so an exhausted run always
+/// fails identically.
+///
+/// # Errors
+///
+/// Returns [`LeafError`] on infeasible systems, malformed input, or an
+/// exhausted budget.
+pub fn compact_limited(
+    cells: &[CellDefinition],
+    interfaces: &[LeafInterface],
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    limits: &Limits,
+) -> Result<CompactionResult, LeafError> {
     let axis = Axis::X;
+    limits.check_deadline()?;
+    // Ingest validation: coordinate budget (so interior arithmetic is
+    // provably overflow-free) and interface index range.
+    let mut total_boxes = 0usize;
+    for cell in cells {
+        cell.validate_budget()
+            .map_err(|e| LeafError::Input(e.to_string()))?;
+        total_boxes += cell.boxes().count();
+    }
+    limits.check_boxes(total_boxes)?;
+    for iface in interfaces {
+        if iface.cell_a >= cells.len() || iface.cell_b >= cells.len() {
+            return Err(LeafError::Input(format!(
+                "interface '{}' references cell {} of a {}-cell library",
+                iface.name,
+                iface.cell_a.max(iface.cell_b),
+                cells.len()
+            )));
+        }
+    }
     let mut sys = ConstraintSystem::new_along(axis);
     // A global origin variable pins each cell's frame: without it, a
     // cell's contents could translate within its own coordinate system
@@ -219,13 +284,14 @@ pub fn compact(
                 pitch,
             })
             .collect();
-        append_cross_constraints(&mut sys, &a_view, &b_view, rules);
+        append_cross_constraints(&mut sys, &a_view, &b_view, rules)?;
     }
 
     // Metric excludes the origin convenience variable (Fig 6.3 counts
     // edge abscissas + pitches only).
     let unknowns = (sys.num_vars() - 1) + sys.num_pitches();
     let n_constraints = sys.constraints().len();
+    limits.check_constraints(n_constraints)?;
 
     // Solve through the chosen backend.
     let out = solver.solve_system(&sys, &pitch_weights)?;
@@ -247,7 +313,12 @@ pub fn compact(
                 )
             })
             .collect();
-        out_cells.push(cell.with_box_rects(rects));
+        // `rects` is built from this cell's own boxes, so the count
+        // matches; route the impossible mismatch as a typed error anyway.
+        out_cells.push(
+            cell.with_box_rects(rects)
+                .map_err(|e| LeafError::Input(e.to_string()))?,
+        );
     }
 
     // Which constraints pin each pitch: zero-slack pitch-carrying
@@ -347,6 +418,13 @@ pub fn compact_batch(
     crate::par::par_map(jobs, parallelism.threads(), |job| {
         compact(&job.cells, &job.interfaces, rules, solver)
     })
+    .into_iter()
+    .map(|slot| match slot {
+        Ok(result) => result,
+        // A panicking job poisons only its own slot, as a typed error.
+        Err(panic) => Err(LeafError::Panicked(panic.message)),
+    })
+    .collect()
 }
 
 pub use crate::par::Parallelism;
@@ -359,7 +437,7 @@ fn append_cross_constraints(
     a_view: &[VBox],
     b_view: &[VBox],
     rules: &DesignRules,
-) {
+) -> Result<(), LeafError> {
     let axis = sys.axis();
     let all: Vec<VBox> = a_view.iter().chain(b_view).copied().collect();
     let all_rects: Vec<(Layer, Rect)> = all.iter().map(|v| (v.layer, v.rect)).collect();
@@ -375,8 +453,16 @@ fn append_cross_constraints(
             (Some(p), Some(q)) if p == q => sys.require(from_var, to_var, w),
             (None, Some(p)) => sys.require_with_pitch(from_var, to_var, w, p, 1),
             (Some(p), None) => sys.require_with_pitch(from_var, to_var, w, p, -1),
-            (Some(_), Some(_)) => unreachable!("one pitch per interface pair"),
+            // One view carries at most one pitch (a_view is always
+            // untagged), so two distinct pitches on one constraint can
+            // only mean the views were built wrong.
+            (Some(_), Some(_)) => {
+                return Err(LeafError::Input(
+                    "cross constraint spans two distinct pitch variables".into(),
+                ))
+            }
         }
+        Ok(())
     };
 
     // Spacing: a strictly below b along the axis, shared across-range,
@@ -405,9 +491,10 @@ fn append_cross_constraints(
             if oracle.hidden_between(i, j) {
                 continue;
             }
-            emit(sys, a, b, spacing);
+            emit(sys, a, b, spacing)?;
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -56,14 +56,19 @@
 //! let left_edge_of_right_box = sol.position(vars[1].left);
 //! assert_eq!(left_edge_of_right_box - sol.position(vars[0].right), 4);
 //! ```
-
+//!
+//! Library code is panic-free by policy: `unwrap`/`expect` are denied
+//! outside `#[cfg(test)]` (see DESIGN.md's robustness section).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod hier;
 pub mod incremental;
 pub mod layers;
 pub mod leaf;
+pub mod limits;
 pub mod par;
 pub mod scanline;
 

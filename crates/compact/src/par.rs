@@ -6,16 +6,65 @@
 //! an order-preserving parallel map — on `std::thread::scope`. Results
 //! are collected by input index, so the output is byte-identical to the
 //! serial map regardless of scheduling.
+//!
+//! A panic inside the mapped closure does **not** poison the batch: each
+//! item runs under `catch_unwind`, the panic payload is captured as a
+//! typed [`WorkerPanic`] for that slot, and every other item still
+//! completes. Callers decide whether one bad item fails the batch.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+
+/// A mapped closure panicked on one item; the rest of the batch is
+/// unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the input item whose closure panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker panicked on item {}: {}",
+            self.index, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn run_one<T, R, F>(f: &F, item: &T, index: usize) -> Result<R, WorkerPanic>
+where
+    F: Fn(&T) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| WorkerPanic {
+        index,
+        message: payload_message(payload),
+    })
+}
 
 /// Maps `f` over `items` on up to `threads` worker threads, preserving
 /// input order in the output.
 ///
 /// `threads == 0` or `threads == 1` (or a single-item input) runs inline
-/// with no thread overhead. Worker panics propagate to the caller.
-pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+/// with no thread overhead. A panic in `f` yields `Err(WorkerPanic)` in
+/// that item's slot instead of unwinding into the caller.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<Result<R, WorkerPanic>>
 where
     T: Sync,
     R: Send,
@@ -23,13 +72,18 @@ where
 {
     let workers = threads.min(items.len());
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| run_one(&f, item, i))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
-    // `scope` joins every worker before returning and re-raises any
-    // worker panic, so the expect below only runs when all slots filled.
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, WorkerPanic>)>();
+    // `scope` joins every worker before returning. Workers never unwind
+    // out of the loop (each call is caught), so every index sends exactly
+    // one result and every slot below is filled.
     let slots = std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
@@ -38,13 +92,14 @@ where
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                if tx.send((i, f(item))).is_err() {
+                if tx.send((i, run_one(f, item, i))).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<R, WorkerPanic>>> =
+            (0..items.len()).map(|_| None).collect();
         for (i, r) in rx {
             slots[i] = Some(r);
         }
@@ -52,7 +107,16 @@ where
     });
     slots
         .into_iter()
-        .map(|s| s.expect("worker completed every index"))
+        .enumerate()
+        .map(|(i, s)| match s {
+            Some(r) => r,
+            // Unreachable by construction; keep the batch panic-free
+            // even if a worker were somehow lost.
+            None => Err(WorkerPanic {
+                index: i,
+                message: "worker produced no result".to_owned(),
+            }),
+        })
         .collect()
 }
 
@@ -89,19 +153,23 @@ impl Parallelism {
 mod tests {
     use super::*;
 
+    fn ok_values<R: std::fmt::Debug>(results: Vec<Result<R, WorkerPanic>>) -> Vec<R> {
+        results.into_iter().map(|r| r.unwrap()).collect()
+    }
+
     #[test]
     fn preserves_order() {
         let items: Vec<usize> = (0..100).collect();
         let serial: Vec<usize> = items.iter().map(|&x| x * x).collect();
         for threads in [1, 2, 4, 9] {
-            assert_eq!(par_map(&items, threads, |&x| x * x), serial);
+            assert_eq!(ok_values(par_map(&items, threads, |&x| x * x)), serial);
         }
     }
 
     #[test]
     fn empty_and_single() {
-        assert_eq!(par_map(&[] as &[i32], 8, |&x| x), Vec::<i32>::new());
-        assert_eq!(par_map(&[7], 8, |&x| x + 1), vec![8]);
+        assert!(par_map(&[] as &[i32], 8, |&x| x).is_empty());
+        assert_eq!(ok_values(par_map(&[7], 8, |&x| x + 1)), vec![8]);
     }
 
     #[test]
@@ -113,12 +181,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scoped thread panicked")]
-    fn worker_panics_propagate() {
+    fn worker_panic_is_typed_and_isolated() {
         let items: Vec<usize> = (0..8).collect();
-        let _ = par_map(&items, 4, |&x| {
-            assert!(x != 5, "boom");
-            x
-        });
+        for threads in [1, 4] {
+            let results = par_map(&items, threads, |&x| {
+                assert!(x != 5, "boom at five");
+                x * 10
+            });
+            assert_eq!(results.len(), 8);
+            for (i, r) in results.iter().enumerate() {
+                if i == 5 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.index, 5);
+                    assert!(err.message.contains("boom at five"), "{}", err.message);
+                    assert!(err.to_string().contains("item 5"));
+                } else {
+                    assert_eq!(*r, Ok(i * 10));
+                }
+            }
+        }
     }
 }

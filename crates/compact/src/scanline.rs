@@ -209,23 +209,19 @@ impl VisibilityOracle {
             self.owner = i;
             self.profiles.clear();
         }
-        if !self.profiles.iter().any(|(l, _)| *l == layer_j) {
-            // Material past the furthest candidate low edge can never
-            // decide a query, so the profile is capped there.
-            let until = self.index.max_lo(layer_j).unwrap_or(a0).max(a0);
-            let window = (ra.lo_across(axis), ra.hi_across(axis));
-            let profile = self
-                .index
-                .coverage_profile(&[layer_i, layer_j], a0, until, window);
-            self.profiles.push((layer_j, profile));
+        if let Some((_, profile)) = self.profiles.iter().find(|(l, _)| *l == layer_j) {
+            return profile.min_reach((c0, c1)) >= a1;
         }
-        let profile = &self
-            .profiles
-            .iter()
-            .find(|(l, _)| *l == layer_j)
-            .expect("profile just inserted")
-            .1;
-        profile.min_reach((c0, c1)) >= a1
+        // Material past the furthest candidate low edge can never
+        // decide a query, so the profile is capped there.
+        let until = self.index.max_lo(layer_j).unwrap_or(a0).max(a0);
+        let window = (ra.lo_across(axis), ra.hi_across(axis));
+        let profile = self
+            .index
+            .coverage_profile(&[layer_i, layer_j], a0, until, window);
+        let hidden = profile.min_reach((c0, c1)) >= a1;
+        self.profiles.push((layer_j, profile));
+        hidden
     }
 }
 

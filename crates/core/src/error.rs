@@ -1,6 +1,16 @@
 //! Error type for the RSG core.
+//!
+//! [`RsgError`] is the unified error of the whole pipeline: every layer
+//! (geometry budget, layout database, constraint solving, leaf and
+//! hierarchical compaction, the RSGL language) converts into it, so the
+//! workload crates' entry points can return one type and callers match
+//! on one taxonomy.
 
+use rsg_compact::hier::{ChipError, HierError};
+use rsg_compact::leaf::LeafError;
+use rsg_compact::limits::Exhausted;
 use rsg_layout::LayoutError;
+use rsg_solve::SolveError;
 use std::fmt;
 
 /// Errors raised while building connectivity graphs, extracting sample
@@ -53,6 +63,21 @@ pub enum RsgError {
     },
     /// Error from the layout database.
     Layout(LayoutError),
+    /// Error from the constraint-solving layer.
+    Solve(SolveError),
+    /// Error from the leaf-cell compactor.
+    Leaf(LeafError),
+    /// Error from the hierarchical compactor.
+    Hier(HierError),
+    /// A resource budget ([`rsg_compact::limits::Limits`]) ran out.
+    Exhausted(Exhausted),
+    /// Error from the RSGL language front end (parse or runtime),
+    /// carried as its rendered message so the dependency graph stays
+    /// acyclic (rsg-lang depends on rsg-core, not vice versa).
+    Lang(String),
+    /// Malformed generator input (e.g. a personality with no inputs or
+    /// no product terms).
+    Invalid(String),
 }
 
 impl fmt::Display for RsgError {
@@ -96,6 +121,12 @@ impl fmt::Display for RsgError {
                 )
             }
             RsgError::Layout(e) => write!(f, "layout error: {e}"),
+            RsgError::Solve(e) => write!(f, "solve error: {e}"),
+            RsgError::Leaf(e) => write!(f, "leaf compaction error: {e}"),
+            RsgError::Hier(e) => write!(f, "hierarchical compaction error: {e}"),
+            RsgError::Exhausted(e) => e.fmt(f),
+            RsgError::Lang(m) => write!(f, "language error: {m}"),
+            RsgError::Invalid(m) => write!(f, "invalid generator input: {m}"),
         }
     }
 }
@@ -104,6 +135,10 @@ impl std::error::Error for RsgError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RsgError::Layout(e) => Some(e),
+            RsgError::Solve(e) => Some(e),
+            RsgError::Leaf(e) => Some(e),
+            RsgError::Hier(e) => Some(e),
+            RsgError::Exhausted(e) => Some(e),
             _ => None,
         }
     }
@@ -112,6 +147,39 @@ impl std::error::Error for RsgError {
 impl From<LayoutError> for RsgError {
     fn from(e: LayoutError) -> RsgError {
         RsgError::Layout(e)
+    }
+}
+
+impl From<SolveError> for RsgError {
+    fn from(e: SolveError) -> RsgError {
+        RsgError::Solve(e)
+    }
+}
+
+impl From<LeafError> for RsgError {
+    fn from(e: LeafError) -> RsgError {
+        RsgError::Leaf(e)
+    }
+}
+
+impl From<HierError> for RsgError {
+    fn from(e: HierError) -> RsgError {
+        RsgError::Hier(e)
+    }
+}
+
+impl From<ChipError> for RsgError {
+    fn from(e: ChipError) -> RsgError {
+        match e {
+            ChipError::Leaf(e) => RsgError::Leaf(e),
+            ChipError::Hier(e) => RsgError::Hier(e),
+        }
+    }
+}
+
+impl From<Exhausted> for RsgError {
+    fn from(e: Exhausted) -> RsgError {
+        RsgError::Exhausted(e)
     }
 }
 
@@ -143,6 +211,15 @@ mod tests {
                 hits: 3,
             },
             RsgError::Layout(LayoutError::DuplicateCell("x".into())),
+            RsgError::Solve(SolveError::Infeasible("cycle".into())),
+            RsgError::Leaf(LeafError::Overflow("relax".into())),
+            RsgError::Hier(HierError::Diverged("fixpoint".into())),
+            RsgError::Exhausted(Exhausted {
+                resource: rsg_compact::limits::Resource::FlatBoxes,
+                limit: 1,
+                observed: 2,
+            }),
+            RsgError::Lang("parse error at line 3".into()),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

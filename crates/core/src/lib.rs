@@ -46,7 +46,10 @@
 //! let row = rsg.mk_cell("row", nodes[0]).unwrap();
 //! assert_eq!(rsg.cells().require(row).unwrap().instances().count(), 4);
 //! ```
-
+//!
+//! Library code is panic-free by policy: `unwrap`/`expect` are denied
+//! outside `#[cfg(test)]` (see DESIGN.md's robustness section).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 mod error;

@@ -83,9 +83,24 @@ impl<L: Copy + Ord> GeomIndex<L> {
             })
             .collect();
         for (k, &(label, _)) in items.iter().enumerate() {
-            let b = buckets
-                .binary_search_by(|b| b.label.cmp(&label))
-                .expect("bucket exists");
+            // The bucket list was deduped from these same items, so the
+            // search succeeds; the Err arm keeps the loop total (and the
+            // bucket list sorted) without a panic path.
+            let b = match buckets.binary_search_by(|b| b.label.cmp(&label)) {
+                Ok(b) => b,
+                Err(i) => {
+                    buckets.insert(
+                        i,
+                        Bucket {
+                            label,
+                            order: Vec::new(),
+                            lo: Vec::new(),
+                            prefix_max_hi: Vec::new(),
+                        },
+                    );
+                    i
+                }
+            };
             buckets[b].order.push(k as u32);
         }
         for bucket in &mut buckets {

@@ -31,8 +31,36 @@
 //! assert_eq!(o.compose(o.inverse()), Orientation::NORTH);
 //! # let _ = Vector::new(0, 0);
 //! ```
-
+//!
+//! Library code is panic-free by policy: `unwrap`/`expect` are denied
+//! outside `#[cfg(test)]` (see DESIGN.md's robustness section).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
+
+/// Coordinate-magnitude budget for ingested layouts (robustness
+/// contract, enforced at the layout crate's ingest points).
+///
+/// Every coordinate a parser or cell builder accepts must satisfy
+/// `|c| ≤ MAX_COORD = 2³⁰`. Interior pipeline arithmetic is then
+/// provably overflow-free in `i64`:
+///
+/// * instance placement composes at most one orientation flip and one
+///   translation per hierarchy level; with ≤ 2¹⁰ levels the flattened
+///   coordinates stay below 2⁴⁰,
+/// * constraint weights are differences of two coordinates plus one
+///   design-rule distance: below 2⁴¹,
+/// * longest-path positions are sums of at most one weight per
+///   variable: ≤ 2⁴¹ · (number of variables), below 2⁶¹ for layouts
+///   within the default flat-box budget of 2²⁰ items (the solver
+///   additionally uses checked adds so adversarial systems built
+///   outside the budget degrade to a typed overflow error),
+/// * areas (`width · height`) of budgeted rectangles are at most
+///   (2³¹)² = 2⁶² < 2⁶³.
+///
+/// Callers constructing geometry directly (not through a parser) can
+/// opt out; the compactors re-validate at their own entry points and
+/// report a typed error instead of overflowing.
+pub const MAX_COORD: i64 = 1 << 30;
 
 mod axis;
 mod bbox;

@@ -5,6 +5,7 @@
 //! finished product is not only an unnecessary restriction, it also
 //! reduces the scope within which any given sample layout may be used".
 
+use rsg_core::RsgError;
 use rsg_geom::{Orientation, Point, Rect};
 use rsg_layout::{CellDefinition, CellTable, Instance, Layer};
 
@@ -44,18 +45,25 @@ fn mask(name: &str, layer: Layer, rect: Rect) -> CellDefinition {
 /// Builds the PLA sample layout: `and_sq`, `or_sq`, `in_buf`, `out_buf`,
 /// crosspoint masks `xand`, `xcomp`, `xorm`, and one labelled assembly
 /// cell per interface.
-pub fn sample_layout() -> CellTable {
+///
+/// # Errors
+///
+/// Returns [`RsgError::Layout`] if the table rejects a cell — the names
+/// are statically unique and the coordinates are within the ingest
+/// budget, so a failure indicates a bug in this module, reported rather
+/// than panicked.
+pub fn sample_layout() -> Result<CellTable, RsgError> {
     let mut t = CellTable::new();
-    let and_sq = t.insert(square("and_sq", Layer::Poly)).expect("fresh");
-    let or_sq = t.insert(square("or_sq", Layer::Metal1)).expect("fresh");
-    let in_buf = t.insert(buffer("in_buf")).expect("fresh");
-    let out_buf = t.insert(buffer("out_buf")).expect("fresh");
+    let and_sq = t.insert(square("and_sq", Layer::Poly))?;
+    let or_sq = t.insert(square("or_sq", Layer::Metal1))?;
+    let in_buf = t.insert(buffer("in_buf"))?;
+    let out_buf = t.insert(buffer("out_buf"))?;
     let xand_r = Rect::from_coords(2, 2, 8, 8);
     let xcomp_r = Rect::from_coords(2, 12, 8, 18);
     let xorm_r = Rect::from_coords(12, 2, 18, 8);
-    let xand = t.insert(mask("xand", Layer::Cut, xand_r)).expect("fresh");
-    let xcomp = t.insert(mask("xcomp", Layer::Cut, xcomp_r)).expect("fresh");
-    let xorm = t.insert(mask("xorm", Layer::Via, xorm_r)).expect("fresh");
+    let xand = t.insert(mask("xand", Layer::Cut, xand_r))?;
+    let xcomp = t.insert(mask("xcomp", Layer::Cut, xcomp_r))?;
+    let xorm = t.insert(mask("xorm", Layer::Via, xorm_r))?;
 
     let pair = |name: &str,
                 a: rsg_layout::CellId,
@@ -167,9 +175,9 @@ pub fn sample_layout() -> CellTable {
         ),
     ];
     for c in cells {
-        t.insert(c).expect("unique sample cell names");
+        t.insert(c)?;
     }
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -179,13 +187,13 @@ mod tests {
 
     #[test]
     fn sample_defines_eleven_interfaces() {
-        let found = extract_interfaces(&sample_layout()).unwrap();
+        let found = extract_interfaces(&sample_layout().unwrap()).unwrap();
         assert_eq!(found.len(), 11);
     }
 
     #[test]
     fn cells_present() {
-        let t = sample_layout();
+        let t = sample_layout().unwrap();
         for name in [
             "and_sq", "or_sq", "in_buf", "out_buf", "xand", "xcomp", "xorm",
         ] {

@@ -10,27 +10,32 @@
 
 use crate::cells::GRID;
 use rsg_compact::backend::Solver;
-use rsg_compact::hier::{self, ChipCompaction, ChipError, HierOptions};
+use rsg_compact::hier::{self, ChipCompaction, HierOptions};
 use rsg_compact::incremental::CompactSession;
 use rsg_compact::leaf::{
-    compact_batch, CompactionResult, LeafError, LeafInterface, LibraryJob, Parallelism, PitchKind,
+    compact_batch, CompactionResult, LeafInterface, LibraryJob, Parallelism, PitchKind,
 };
-use rsg_layout::{CellId, CellTable, DesignRules};
+use rsg_core::RsgError;
+use rsg_layout::{CellDefinition, CellId, CellTable, DesignRules, LayoutError};
 
 /// The independent compaction jobs of the PLA library: the plane squares
 /// (AND/OR with the shared horizontal grid pitch and the vertical
 /// abutment) and the buffer row (its own horizontal pitch).
-pub fn library_jobs() -> Vec<LibraryJob> {
-    let sample = crate::cells::sample_layout();
-    let cell = |name: &str| {
-        sample
-            .get(sample.lookup(name).expect("sample cell"))
-            .expect("defined")
-            .clone()
+///
+/// # Errors
+///
+/// Propagates sample-layout construction errors.
+pub fn library_jobs() -> Result<Vec<LibraryJob>, RsgError> {
+    let sample = crate::cells::sample_layout()?;
+    let cell = |name: &str| -> Result<CellDefinition, RsgError> {
+        let id = sample
+            .lookup(name)
+            .ok_or_else(|| RsgError::Layout(LayoutError::UnknownCell(name.into())))?;
+        Ok(sample.require(id)?.clone())
     };
     let squares = {
         LibraryJob {
-            cells: vec![cell("and_sq"), cell("or_sq")],
+            cells: vec![cell("and_sq")?, cell("or_sq")?],
             interfaces: vec![
                 LeafInterface {
                     cell_a: 0,
@@ -81,7 +86,7 @@ pub fn library_jobs() -> Vec<LibraryJob> {
     };
     let buffers = {
         LibraryJob {
-            cells: vec![cell("in_buf"), cell("out_buf")],
+            cells: vec![cell("in_buf")?, cell("out_buf")?],
             interfaces: vec![LeafInterface {
                 cell_a: 0,
                 cell_b: 0,
@@ -94,7 +99,7 @@ pub fn library_jobs() -> Vec<LibraryJob> {
             }],
         }
     };
-    vec![squares, buffers]
+    Ok(vec![squares, buffers])
 }
 
 /// Compacts the PLA library for a target technology through any backend,
@@ -102,15 +107,16 @@ pub fn library_jobs() -> Vec<LibraryJob> {
 ///
 /// # Errors
 ///
-/// Returns the first [`LeafError`] any job produced.
+/// Returns the first error any job produced.
 pub fn compact_library(
     rules: &DesignRules,
     solver: &dyn Solver,
     parallelism: Parallelism,
-) -> Result<Vec<CompactionResult>, LeafError> {
-    compact_batch(&library_jobs(), rules, solver, parallelism)
+) -> Result<Vec<CompactionResult>, RsgError> {
+    compact_batch(&library_jobs()?, rules, solver, parallelism)
         .into_iter()
-        .collect()
+        .collect::<Result<_, _>>()
+        .map_err(RsgError::from)
 }
 
 /// Compacts an assembled PLA end to end, the paper's top-level flow:
@@ -126,16 +132,17 @@ pub fn compact_library(
 ///
 /// # Errors
 ///
-/// Returns [`ChipError`] when either pass fails.
+/// Returns [`RsgError`] when either pass fails.
 pub fn compact_chip(
     table: &CellTable,
     top: CellId,
     rules: &DesignRules,
     solver: &dyn Solver,
     parallelism: Parallelism,
-) -> Result<ChipCompaction, ChipError> {
+) -> Result<ChipCompaction, RsgError> {
     let leaf = compact_library(rules, solver, parallelism)?;
     hier::compact_chip_with_library(table, top, leaf, rules, solver, &HierOptions::default())
+        .map_err(RsgError::from)
 }
 
 /// [`compact_chip`] through a persistent [`CompactSession`]: the first
@@ -145,22 +152,24 @@ pub fn compact_chip(
 ///
 /// # Errors
 ///
-/// Returns [`ChipError`] when either pass fails.
+/// Returns [`RsgError`] when either pass fails.
 pub fn compact_chip_session(
     session: &mut CompactSession,
     table: &CellTable,
     top: CellId,
     rules: &DesignRules,
     solver: &dyn Solver,
-) -> Result<ChipCompaction, ChipError> {
-    session.compact_chip_with_library(
-        table,
-        top,
-        &library_jobs(),
-        rules,
-        solver,
-        &HierOptions::default(),
-    )
+) -> Result<ChipCompaction, RsgError> {
+    session
+        .compact_chip_with_library(
+            table,
+            top,
+            &library_jobs()?,
+            rules,
+            solver,
+            &HierOptions::default(),
+        )
+        .map_err(RsgError::from)
 }
 
 #[cfg(test)]

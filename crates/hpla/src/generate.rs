@@ -15,6 +15,14 @@ pub struct GeneratedPla {
     pub top: CellId,
 }
 
+/// Looks up a sample cell by name; the sample defines every name used
+/// here, so a miss is an internal bug, reported as a typed error.
+fn require(table: &CellTable, name: &str) -> Result<CellId, RsgError> {
+    table
+        .lookup(name)
+        .ok_or_else(|| RsgError::Layout(rsg_layout::LayoutError::UnknownCell(name.into())))
+}
+
 /// Generates a PLA through the RSG: connectivity graph over the sampled
 /// interfaces, personalized by crosspoint masks.
 ///
@@ -23,14 +31,14 @@ pub struct GeneratedPla {
 /// Propagates generator errors (these indicate an internal bug — the
 /// sample provides every interface used here).
 pub fn rsg_pla(p: &Personality, name: &str) -> Result<GeneratedPla, RsgError> {
-    let mut rsg = Rsg::from_sample(sample_layout())?;
-    let and_sq = rsg.cells().lookup("and_sq").expect("sample");
-    let or_sq = rsg.cells().lookup("or_sq").expect("sample");
-    let in_buf = rsg.cells().lookup("in_buf").expect("sample");
-    let out_buf = rsg.cells().lookup("out_buf").expect("sample");
-    let xand = rsg.cells().lookup("xand").expect("sample");
-    let xcomp = rsg.cells().lookup("xcomp").expect("sample");
-    let xorm = rsg.cells().lookup("xorm").expect("sample");
+    let mut rsg = Rsg::from_sample(sample_layout()?)?;
+    let and_sq = require(rsg.cells(), "and_sq")?;
+    let or_sq = require(rsg.cells(), "or_sq")?;
+    let in_buf = require(rsg.cells(), "in_buf")?;
+    let out_buf = require(rsg.cells(), "out_buf")?;
+    let xand = require(rsg.cells(), "xand")?;
+    let xcomp = require(rsg.cells(), "xcomp")?;
+    let xorm = require(rsg.cells(), "xorm")?;
 
     let (ni, np, no) = (p.inputs(), p.products(), p.outputs());
     let mut first_col_of_row = Vec::with_capacity(np);
@@ -67,7 +75,9 @@ pub fn rsg_pla(p: &Personality, name: &str) -> Result<GeneratedPla, RsgError> {
         // OR row continues to the right.
         for o in 0..no {
             let sq = rsg.mk_instance(or_sq);
-            let pv = prev.expect("at least one input column");
+            let Some(pv) = prev else {
+                return Err(RsgError::Invalid("personality has no input columns".into()));
+            };
             rsg.connect(pv, sq, 1)?;
             if p.or_bit(prod, o) {
                 let m = rsg.mk_instance(xorm);
@@ -80,7 +90,9 @@ pub fn rsg_pla(p: &Personality, name: &str) -> Result<GeneratedPla, RsgError> {
             }
             prev = Some(sq);
         }
-        let rf = row_first.expect("non-empty row");
+        let Some(rf) = row_first else {
+            return Err(RsgError::Invalid("personality row is empty".into()));
+        };
         if let Some(&prev_first) = first_col_of_row.last() {
             rsg.connect(prev_first, rf, 2)?;
         }
@@ -96,15 +108,20 @@ pub fn rsg_pla(p: &Personality, name: &str) -> Result<GeneratedPla, RsgError> {
 ///
 /// Returns a cell table containing the sample cells plus the assembled
 /// PLA.
-pub fn relocation_pla(p: &Personality, name: &str) -> (CellTable, CellId) {
-    let mut table = sample_layout();
-    let and_sq = table.lookup("and_sq").expect("sample");
-    let or_sq = table.lookup("or_sq").expect("sample");
-    let in_buf = table.lookup("in_buf").expect("sample");
-    let out_buf = table.lookup("out_buf").expect("sample");
-    let xand = table.lookup("xand").expect("sample");
-    let xcomp = table.lookup("xcomp").expect("sample");
-    let xorm = table.lookup("xorm").expect("sample");
+///
+/// # Errors
+///
+/// Propagates sample-layout construction errors; any other failure
+/// indicates an internal bug, reported rather than panicked.
+pub fn relocation_pla(p: &Personality, name: &str) -> Result<(CellTable, CellId), RsgError> {
+    let mut table = sample_layout()?;
+    let and_sq = require(&table, "and_sq")?;
+    let or_sq = require(&table, "or_sq")?;
+    let in_buf = require(&table, "in_buf")?;
+    let out_buf = require(&table, "out_buf")?;
+    let xand = require(&table, "xand")?;
+    let xcomp = require(&table, "xcomp")?;
+    let xorm = require(&table, "xorm")?;
 
     let (ni, np, no) = (p.inputs(), p.products(), p.outputs());
     let mut cell = CellDefinition::new(name);
@@ -136,8 +153,8 @@ pub fn relocation_pla(p: &Personality, name: &str) -> (CellTable, CellId) {
             }
         }
     }
-    let id = table.insert(cell).expect("fresh name");
-    (table, id)
+    let id = table.insert(cell)?;
+    Ok((table, id))
 }
 
 /// A decoder from the *same* sample cells: an AND plane with output
@@ -148,11 +165,11 @@ pub fn relocation_pla(p: &Personality, name: &str) -> (CellTable, CellId) {
 /// Propagates generator errors.
 pub fn rsg_decoder(n: usize, name: &str) -> Result<GeneratedPla, RsgError> {
     let d = Personality::decoder(n);
-    let mut rsg = Rsg::from_sample(sample_layout())?;
-    let and_sq = rsg.cells().lookup("and_sq").expect("sample");
-    let out_buf = rsg.cells().lookup("out_buf").expect("sample");
-    let xand = rsg.cells().lookup("xand").expect("sample");
-    let xcomp = rsg.cells().lookup("xcomp").expect("sample");
+    let mut rsg = Rsg::from_sample(sample_layout()?)?;
+    let and_sq = require(rsg.cells(), "and_sq")?;
+    let out_buf = require(rsg.cells(), "out_buf")?;
+    let xand = require(rsg.cells(), "xand")?;
+    let xcomp = require(rsg.cells(), "xcomp")?;
 
     let terms = d.products();
     let mut prev_row_first = None;
@@ -182,7 +199,10 @@ pub fn rsg_decoder(n: usize, name: &str) -> Result<GeneratedPla, RsgError> {
             prev = Some(sq);
         }
     }
-    let top = rsg.mk_cell(name, root.expect("n >= 1"))?;
+    let Some(root) = root else {
+        return Err(RsgError::Invalid("decoder needs n >= 1 inputs".into()));
+    };
+    let top = rsg.mk_cell(name, root)?;
     Ok(GeneratedPla { rsg, top })
 }
 
@@ -238,7 +258,7 @@ mod tests {
             let no = rows[0].split_whitespace().nth(1).unwrap().len();
             let p = Personality::parse(&rows, ni, no).unwrap();
             let a = rsg_pla(&p, "pla").unwrap();
-            let (bt, bid) = relocation_pla(&p, "pla_relo");
+            let (bt, bid) = relocation_pla(&p, "pla_relo").unwrap();
             assert_eq!(
                 flat_signature(a.rsg.cells(), a.top),
                 flat_signature(&bt, bid),

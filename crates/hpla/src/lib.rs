@@ -29,7 +29,10 @@
 //! assert_eq!(p.evaluate(&[true, false]), vec![true, false]);
 //! assert_eq!(p.evaluate(&[true, true]), vec![false, true]);
 //! ```
-
+//!
+//! Library code is panic-free by policy: `unwrap`/`expect` are denied
+//! outside `#[cfg(test)]` (see DESIGN.md's robustness section).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 pub mod cells;

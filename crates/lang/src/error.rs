@@ -69,6 +69,19 @@ impl From<RsgError> for LangError {
     }
 }
 
+/// The reverse direction, for callers that funnel every pipeline stage
+/// into the unified [`RsgError`]: a wrapped generator error unwraps to
+/// itself; parse and runtime errors travel as rendered messages (line
+/// and call-stack context included).
+impl From<LangError> for RsgError {
+    fn from(e: LangError) -> RsgError {
+        match e {
+            LangError::Rsg(inner) => inner,
+            other => RsgError::Lang(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -328,7 +328,9 @@ impl Interpreter {
         if self.call_stack.len() >= self.max_call_depth {
             return Err(self.rt(format!("call depth limit exceeded calling `{name}`")));
         }
-        let def = self.procs.get(name).cloned().expect("checked by caller");
+        let Some(def) = self.procs.get(name).cloned() else {
+            return Err(self.rt(format!("`{name}` is not a defined procedure")));
+        };
         if args.len() != def.formals.len() {
             return Err(self.rt(format!(
                 "`{name}` expects {} argument(s), got {}",

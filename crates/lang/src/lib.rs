@@ -52,7 +52,10 @@
 //! let row = run.rsg.cells().lookup("row").unwrap();
 //! assert_eq!(run.rsg.cells().require(row).unwrap().instances().count(), 4);
 //! ```
-
+//!
+//! Library code is panic-free by policy: `unwrap`/`expect` are denied
+//! outside `#[cfg(test)]` (see DESIGN.md's robustness section).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 mod ast;

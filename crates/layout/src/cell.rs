@@ -121,19 +121,32 @@ impl CellDefinition {
     /// instances are copied through unchanged. This is the primitive the
     /// compactor uses to write solved edge positions back into a cell.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `rects` yields fewer or more rectangles than the cell
-    /// has boxes.
-    pub fn with_box_rects<I: IntoIterator<Item = Rect>>(&self, rects: I) -> CellDefinition {
+    /// Returns [`LayoutError::BoxCount`] if `rects` yields fewer or more
+    /// rectangles than the cell has boxes.
+    pub fn with_box_rects<I: IntoIterator<Item = Rect>>(
+        &self,
+        rects: I,
+    ) -> Result<CellDefinition, LayoutError> {
         let mut rects = rects.into_iter();
         let mut out = CellDefinition::new(self.name());
+        let mut replaced = 0usize;
         for obj in &self.objects {
             match obj {
-                LayoutObject::Box { layer, .. } => {
-                    let rect = rects.next().expect("one rectangle per box");
-                    out.add_box(*layer, rect);
-                }
+                LayoutObject::Box { layer, .. } => match rects.next() {
+                    Some(rect) => {
+                        replaced += 1;
+                        out.add_box(*layer, rect);
+                    }
+                    None => {
+                        return Err(LayoutError::BoxCount {
+                            cell: self.name.clone(),
+                            boxes: self.boxes().count(),
+                            rects: replaced,
+                        })
+                    }
+                },
                 LayoutObject::Label { text, at } => {
                     out.add_label(text.clone(), *at);
                 }
@@ -142,8 +155,62 @@ impl CellDefinition {
                 }
             }
         }
-        assert!(rects.next().is_none(), "more rectangles than boxes");
-        out
+        let extra = rects.count();
+        if extra > 0 {
+            return Err(LayoutError::BoxCount {
+                cell: self.name.clone(),
+                boxes: replaced,
+                rects: replaced + extra,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Checks every coordinate in the cell against the ingest budget
+    /// [`rsg_geom::MAX_COORD`] — the contract that keeps interior sweep,
+    /// constraint-weight, and λ-pitch arithmetic overflow-free (see the
+    /// constant's documentation for the argument).
+    ///
+    /// [`CellTable::insert`] applies this check, so every table-resident
+    /// cell is within budget; call it directly when constructing cells
+    /// that bypass a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::CoordinateBudget`] naming the first
+    /// out-of-budget value.
+    pub fn validate_budget(&self) -> Result<(), LayoutError> {
+        // A range test rather than `abs()`: `i64::MIN.abs()` itself
+        // overflows.
+        let check = |v: i64| {
+            if !(-rsg_geom::MAX_COORD..=rsg_geom::MAX_COORD).contains(&v) {
+                Err(LayoutError::CoordinateBudget {
+                    cell: self.name.clone(),
+                    value: v,
+                })
+            } else {
+                Ok(())
+            }
+        };
+        for obj in &self.objects {
+            match obj {
+                LayoutObject::Box { rect, .. } => {
+                    check(rect.lo().x)?;
+                    check(rect.lo().y)?;
+                    check(rect.hi().x)?;
+                    check(rect.hi().y)?;
+                }
+                LayoutObject::Label { at, .. } => {
+                    check(at.x)?;
+                    check(at.y)?;
+                }
+                LayoutObject::Instance(i) => {
+                    check(i.point_of_call.x)?;
+                    check(i.point_of_call.y)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Bounding box of the boxes *directly* in this cell (instances are not
@@ -184,11 +251,14 @@ impl CellTable {
     ///
     /// # Errors
     ///
-    /// Returns [`LayoutError::DuplicateCell`] if the name is taken.
+    /// Returns [`LayoutError::DuplicateCell`] if the name is taken, or
+    /// [`LayoutError::CoordinateBudget`] if any coordinate exceeds the
+    /// ingest budget (see [`CellDefinition::validate_budget`]).
     pub fn insert(&mut self, cell: CellDefinition) -> Result<CellId, LayoutError> {
         if self.by_name.contains_key(cell.name()) {
             return Err(LayoutError::DuplicateCell(cell.name().to_owned()));
         }
+        cell.validate_budget()?;
         let id = CellId(self.cells.len() as u32);
         self.by_name.insert(cell.name().to_owned(), id);
         self.cells.push(cell);

@@ -11,12 +11,32 @@ pub enum LayoutError {
     UnknownCell(String),
     /// Cell instantiation recursion (a cell that transitively calls itself).
     RecursiveCell(String),
-    /// A parse error in the `.rsgl` reader, with a 1-based line number.
+    /// A parse error in the `.rsgl` or CIF reader, with a 1-based line
+    /// number.
     Parse {
         /// Line at which the error was detected.
         line: usize,
         /// Human-readable description.
         message: String,
+    },
+    /// A coordinate exceeded the ingest budget
+    /// ([`rsg_geom::MAX_COORD`]); admitting it could overflow interior
+    /// `i64` arithmetic, so the layout is rejected at the door.
+    CoordinateBudget {
+        /// Name of the offending cell.
+        cell: String,
+        /// The out-of-budget coordinate value.
+        value: i64,
+    },
+    /// A rewrite supplied the wrong number of rectangles for a cell's
+    /// boxes (see [`crate::CellDefinition::with_box_rects`]).
+    BoxCount {
+        /// Name of the cell being rewritten.
+        cell: String,
+        /// Boxes in the cell definition.
+        boxes: usize,
+        /// Rectangles the rewrite supplied.
+        rects: usize,
     },
 }
 
@@ -30,6 +50,20 @@ impl fmt::Display for LayoutError {
             }
             LayoutError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            LayoutError::CoordinateBudget { cell, value } => {
+                write!(
+                    f,
+                    "cell `{cell}`: coordinate {value} exceeds the ingest budget \
+                     (|c| <= {})",
+                    rsg_geom::MAX_COORD
+                )
+            }
+            LayoutError::BoxCount { cell, boxes, rects } => {
+                write!(
+                    f,
+                    "cell `{cell}`: rewrite supplied {rects} rectangles for {boxes} boxes"
+                )
             }
         }
     }

@@ -34,7 +34,10 @@
 //! let flat = rsg_layout::flatten(&table, top_id).unwrap();
 //! assert_eq!(flat.len(), 1);
 //! ```
-
+//!
+//! Library code is panic-free by policy: `unwrap`/`expect` are denied
+//! outside `#[cfg(test)]` (see DESIGN.md's robustness section).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 mod cell;
@@ -50,7 +53,7 @@ pub mod stats;
 mod technology;
 
 pub use cell::{CellDefinition, CellId, CellTable, LayoutObject};
-pub use cif::{write_cif, write_cif_flat};
+pub use cif::{read_cif, write_cif, write_cif_flat};
 pub use error::LayoutError;
 pub use flatten::{flatten, flatten_boxes_of, FlatBox, FlatLayout};
 pub use instance::Instance;

@@ -123,7 +123,9 @@ pub fn read_rsgl(text: &str) -> Result<(CellTable, CellId), LayoutError> {
             continue;
         }
         let mut toks = line.split_whitespace();
-        let kw = toks.next().unwrap();
+        let Some(kw) = toks.next() else {
+            continue; // unreachable: `line` is non-empty — but no panic path
+        };
         match kw {
             "cell" => {
                 if current.is_some() {
@@ -139,7 +141,7 @@ pub fn read_rsgl(text: &str) -> Result<(CellTable, CellId), LayoutError> {
                     .take()
                     .ok_or_else(|| err(lineno, "`end` outside a cell"))?;
                 let name = def.name().to_owned();
-                let id = table.insert(def)?;
+                let id = table.insert(def).map_err(|e| err(lineno, &e.to_string()))?;
                 ids.insert(name, id);
             }
             "box" => {
@@ -228,7 +230,14 @@ fn parse_ints<'a, const N: usize>(
         let t = toks
             .next()
             .ok_or_else(|| "missing numeric field".to_owned())?;
-        *slot = t.parse::<i64>().map_err(|_| format!("bad integer `{t}`"))?;
+        let v = t.parse::<i64>().map_err(|_| format!("bad integer `{t}`"))?;
+        if !(-rsg_geom::MAX_COORD..=rsg_geom::MAX_COORD).contains(&v) {
+            return Err(format!(
+                "coordinate {v} exceeds the ingest budget (|c| <= {})",
+                rsg_geom::MAX_COORD
+            ));
+        }
+        *slot = v;
     }
     Ok(out)
 }

@@ -17,6 +17,7 @@
 //! Every cell carries a full-extent `Well` background box so that abutting
 //! instances share a boundary; interface labels sit on that shared line.
 
+use rsg_core::RsgError;
 use rsg_geom::{Orientation, Point, Rect};
 use rsg_layout::{CellDefinition, CellTable, Instance, Layer};
 
@@ -114,23 +115,30 @@ fn rightreg_cell() -> CellDefinition {
 /// | topreg–topreg / bottomreg–bottomreg | 1 | horizontal pitch |
 /// | rightreg–rightreg | 1 | vertical pitch (south) |
 /// | rightreg–mask | 1 | direction mask |
-pub fn sample_layout() -> CellTable {
+///
+/// # Errors
+///
+/// Returns [`RsgError::Layout`] if the table rejects a cell — the names
+/// are statically unique and the coordinates are within the ingest
+/// budget, so a failure indicates a bug in this module, reported rather
+/// than panicked.
+pub fn sample_layout() -> Result<CellTable, RsgError> {
     let mut t = CellTable::new();
-    let basic = t.insert(basic_cell()).expect("fresh table");
+    let basic = t.insert(basic_cell())?;
     let mut mask_ids = Vec::new();
     for (name, layer, rect) in basic_mask_specs() {
         let mut c = CellDefinition::new(name);
         c.add_box(layer, rect);
-        mask_ids.push((t.insert(c).expect("unique mask name"), rect));
+        mask_ids.push((t.insert(c)?, rect));
     }
-    let topreg = t.insert(topreg_cell()).expect("fresh");
-    let bottomreg = t.insert(bottomreg_cell()).expect("fresh");
-    let rightreg = t.insert(rightreg_cell()).expect("fresh");
+    let topreg = t.insert(topreg_cell())?;
+    let bottomreg = t.insert(bottomreg_cell())?;
+    let rightreg = t.insert(rightreg_cell())?;
     let mut reg_mask_ids = Vec::new();
     for (name, layer, rect) in reg_mask_specs() {
         let mut c = CellDefinition::new(name);
         c.add_box(layer, rect);
-        reg_mask_ids.push((t.insert(c).expect("unique"), rect));
+        reg_mask_ids.push((t.insert(c)?, rect));
     }
 
     // basic–basic horizontal (#1) and vertical (#2).
@@ -142,7 +150,7 @@ pub fn sample_layout() -> CellTable {
         Orientation::NORTH,
     ));
     s.add_label("1", Point::new(PITCH, PITCH / 2));
-    t.insert(s).expect("fresh");
+    t.insert(s)?;
 
     let mut s = CellDefinition::new("s_v");
     s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
@@ -152,7 +160,7 @@ pub fn sample_layout() -> CellTable {
         Orientation::NORTH,
     ));
     s.add_label("2", Point::new(PITCH / 2, 0));
-    t.insert(s).expect("fresh");
+    t.insert(s)?;
 
     // basic + each mask at the shared origin, labelled inside the mask box.
     for (i, (mask, rect)) in mask_ids.iter().enumerate() {
@@ -160,7 +168,7 @@ pub fn sample_layout() -> CellTable {
         s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
         s.add_instance(Instance::new(*mask, Point::new(0, 0), Orientation::NORTH));
         s.add_label("1", rect.center());
-        t.insert(s).expect("fresh");
+        t.insert(s)?;
     }
 
     // basic–register interfaces.
@@ -172,7 +180,7 @@ pub fn sample_layout() -> CellTable {
         Orientation::NORTH,
     ));
     s.add_label("1", Point::new(PITCH / 2, PITCH));
-    t.insert(s).expect("fresh");
+    t.insert(s)?;
 
     let mut s = CellDefinition::new("s_breg");
     s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
@@ -182,7 +190,7 @@ pub fn sample_layout() -> CellTable {
         Orientation::NORTH,
     ));
     s.add_label("1", Point::new(PITCH / 2, 0));
-    t.insert(s).expect("fresh");
+    t.insert(s)?;
 
     let mut s = CellDefinition::new("s_rreg");
     s.add_instance(Instance::new(basic, Point::new(0, 0), Orientation::NORTH));
@@ -192,7 +200,7 @@ pub fn sample_layout() -> CellTable {
         Orientation::NORTH,
     ));
     s.add_label("1", Point::new(PITCH, PITCH / 2));
-    t.insert(s).expect("fresh");
+    t.insert(s)?;
 
     // Register–register pitches.
     let mut s = CellDefinition::new("s_tregh");
@@ -203,7 +211,7 @@ pub fn sample_layout() -> CellTable {
         Orientation::NORTH,
     ));
     s.add_label("1", Point::new(PITCH, REG_HEIGHT / 2));
-    t.insert(s).expect("fresh");
+    t.insert(s)?;
 
     let mut s = CellDefinition::new("s_bregh");
     s.add_instance(Instance::new(
@@ -217,7 +225,7 @@ pub fn sample_layout() -> CellTable {
         Orientation::NORTH,
     ));
     s.add_label("1", Point::new(PITCH, REG_HEIGHT / 2));
-    t.insert(s).expect("fresh");
+    t.insert(s)?;
 
     let mut s = CellDefinition::new("s_rregv");
     s.add_instance(Instance::new(
@@ -231,7 +239,7 @@ pub fn sample_layout() -> CellTable {
         Orientation::NORTH,
     ));
     s.add_label("1", Point::new(REG_WIDTH / 2, 0));
-    t.insert(s).expect("fresh");
+    t.insert(s)?;
 
     // rightreg + direction masks.
     for (i, (mask, rect)) in reg_mask_ids.iter().enumerate() {
@@ -243,10 +251,10 @@ pub fn sample_layout() -> CellTable {
         ));
         s.add_instance(Instance::new(*mask, Point::new(0, 0), Orientation::NORTH));
         s.add_label("1", rect.center());
-        t.insert(s).expect("fresh");
+        t.insert(s)?;
     }
 
-    t
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -257,7 +265,7 @@ mod tests {
 
     #[test]
     fn sample_extracts_all_interfaces() {
-        let table = sample_layout();
+        let table = sample_layout().unwrap();
         let found = extract_interfaces(&table).unwrap();
         // 2 basic-basic + 8 masks + 3 basic-reg + 3 reg-reg + 3 reg masks.
         assert_eq!(found.len(), 19);
@@ -265,7 +273,7 @@ mod tests {
 
     #[test]
     fn key_interfaces_have_expected_geometry() {
-        let table = sample_layout();
+        let table = sample_layout().unwrap();
         let rsg = Rsg::from_sample(table).unwrap();
         let basic = rsg.cells().lookup("basic").unwrap();
         let topreg = rsg.cells().lookup("topreg").unwrap();
@@ -296,7 +304,7 @@ mod tests {
 
     #[test]
     fn all_named_cells_exist() {
-        let table = sample_layout();
+        let table = sample_layout().unwrap();
         for name in ["basic", "topreg", "bottomreg", "rightreg"] {
             assert!(table.lookup(name).is_some(), "{name}");
         }

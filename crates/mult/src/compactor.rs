@@ -9,26 +9,31 @@
 
 use crate::cells::{PITCH, REG_HEIGHT};
 use rsg_compact::backend::Solver;
-use rsg_compact::hier::{self, ChipCompaction, ChipError, HierOptions};
+use rsg_compact::hier::{self, ChipCompaction, HierOptions};
 use rsg_compact::incremental::CompactSession;
 use rsg_compact::leaf::{
-    compact_batch, CompactionResult, LeafError, LeafInterface, LibraryJob, Parallelism, PitchKind,
+    compact_batch, CompactionResult, LeafInterface, LibraryJob, Parallelism, PitchKind,
 };
-use rsg_layout::{CellId, CellTable, DesignRules};
+use rsg_core::RsgError;
+use rsg_layout::{CellDefinition, CellId, CellTable, DesignRules, LayoutError};
 
 /// The independent compaction jobs of the multiplier library: the core
 /// array cell under its horizontal pitch + vertical abutment, and the
 /// top/bottom register stacks under the same horizontal pitch.
-pub fn library_jobs() -> Vec<LibraryJob> {
-    let sample = crate::cells::sample_layout();
-    let cell = |name: &str| {
-        sample
-            .get(sample.lookup(name).expect("sample cell"))
-            .expect("defined")
-            .clone()
+///
+/// # Errors
+///
+/// Propagates sample-layout construction errors.
+pub fn library_jobs() -> Result<Vec<LibraryJob>, RsgError> {
+    let sample = crate::cells::sample_layout()?;
+    let cell = |name: &str| -> Result<CellDefinition, RsgError> {
+        let id = sample
+            .lookup(name)
+            .ok_or_else(|| RsgError::Layout(LayoutError::UnknownCell(name.into())))?;
+        Ok(sample.require(id)?.clone())
     };
     let core = LibraryJob {
-        cells: vec![cell("basic")],
+        cells: vec![cell("basic")?],
         interfaces: vec![
             LeafInterface {
                 cell_a: 0,
@@ -52,7 +57,7 @@ pub fn library_jobs() -> Vec<LibraryJob> {
         ],
     };
     let registers = LibraryJob {
-        cells: vec![cell("topreg"), cell("bottomreg")],
+        cells: vec![cell("topreg")?, cell("bottomreg")?],
         interfaces: vec![
             LeafInterface {
                 cell_a: 0,
@@ -83,7 +88,7 @@ pub fn library_jobs() -> Vec<LibraryJob> {
             },
         ],
     };
-    vec![core, registers]
+    Ok(vec![core, registers])
 }
 
 /// Compacts the multiplier library for a target technology through any
@@ -91,15 +96,16 @@ pub fn library_jobs() -> Vec<LibraryJob> {
 ///
 /// # Errors
 ///
-/// Returns the first [`LeafError`] any job produced.
+/// Returns the first error any job produced.
 pub fn compact_library(
     rules: &DesignRules,
     solver: &dyn Solver,
     parallelism: Parallelism,
-) -> Result<Vec<CompactionResult>, LeafError> {
-    compact_batch(&library_jobs(), rules, solver, parallelism)
+) -> Result<Vec<CompactionResult>, RsgError> {
+    compact_batch(&library_jobs()?, rules, solver, parallelism)
         .into_iter()
-        .collect()
+        .collect::<Result<_, _>>()
+        .map_err(RsgError::from)
 }
 
 /// Compacts an assembled multiplier end to end: the leaf pass compacts
@@ -114,16 +120,17 @@ pub fn compact_library(
 ///
 /// # Errors
 ///
-/// Returns [`ChipError`] when either pass fails.
+/// Returns [`RsgError`] when either pass fails.
 pub fn compact_chip(
     table: &CellTable,
     top: CellId,
     rules: &DesignRules,
     solver: &dyn Solver,
     parallelism: Parallelism,
-) -> Result<ChipCompaction, ChipError> {
+) -> Result<ChipCompaction, RsgError> {
     let leaf = compact_library(rules, solver, parallelism)?;
     hier::compact_chip_with_library(table, top, leaf, rules, solver, &HierOptions::default())
+        .map_err(RsgError::from)
 }
 
 /// [`compact_chip`] through a persistent [`CompactSession`]: after an
@@ -135,22 +142,24 @@ pub fn compact_chip(
 ///
 /// # Errors
 ///
-/// Returns [`ChipError`] when either pass fails.
+/// Returns [`RsgError`] when either pass fails.
 pub fn compact_chip_session(
     session: &mut CompactSession,
     table: &CellTable,
     top: CellId,
     rules: &DesignRules,
     solver: &dyn Solver,
-) -> Result<ChipCompaction, ChipError> {
-    session.compact_chip_with_library(
-        table,
-        top,
-        &library_jobs(),
-        rules,
-        solver,
-        &HierOptions::default(),
-    )
+) -> Result<ChipCompaction, RsgError> {
+    session
+        .compact_chip_with_library(
+            table,
+            top,
+            &library_jobs()?,
+            rules,
+            solver,
+            &HierOptions::default(),
+        )
+        .map_err(RsgError::from)
 }
 
 #[cfg(test)]

@@ -34,13 +34,10 @@ pub struct MultiplierLayout {
 /// # Errors
 ///
 /// Propagates generator errors (all indicate internal inconsistency —
-/// the sample layout provides every required interface).
-///
-/// # Panics
-///
-/// Panics if `xsize` or `ysize` is zero.
+/// the sample layout provides every required interface), and
+/// [`RsgError::Invalid`] if `xsize` or `ysize` is zero.
 pub fn generate(xsize: usize, ysize: usize) -> Result<MultiplierLayout, RsgError> {
-    generate_with(sample_layout(), xsize, ysize)
+    generate_with(sample_layout()?, xsize, ysize)
 }
 
 /// Like [`generate`] but on a caller-provided sample layout (used by the
@@ -54,27 +51,33 @@ pub fn generate_with(
     xsize: usize,
     ysize: usize,
 ) -> Result<MultiplierLayout, RsgError> {
-    assert!(
-        xsize > 0 && ysize > 0,
-        "degenerate multiplier {xsize}x{ysize}"
-    );
-    let mut rsg = Rsg::from_sample(sample)?;
-    let look = |rsg: &Rsg, name: &str| rsg.cells().lookup(name).expect("sample cell");
-    let basic = look(&rsg, "basic");
-    let typei = look(&rsg, "typei");
-    let typeii = look(&rsg, "typeii");
-    let clock1 = look(&rsg, "clock1");
-    let clock2 = look(&rsg, "clock2");
-    let carry1 = look(&rsg, "carry1");
-    let carry2 = look(&rsg, "carry2");
-    let topm1 = look(&rsg, "topm1");
-    let topm2 = look(&rsg, "topm2");
-    let topreg = look(&rsg, "topreg");
-    let bottomreg = look(&rsg, "bottomreg");
-    let rightreg = look(&rsg, "rightreg");
-    let goboth = look(&rsg, "goboth");
-    let goleft = look(&rsg, "goleft");
-    let goright = look(&rsg, "goright");
+    if xsize == 0 || ysize == 0 {
+        return Err(RsgError::Invalid(format!(
+            "degenerate multiplier {xsize}x{ysize}"
+        )));
+    }
+    let rsg = Rsg::from_sample(sample)?;
+    let look = |name: &str| {
+        rsg.cells()
+            .lookup(name)
+            .ok_or_else(|| RsgError::Layout(rsg_layout::LayoutError::UnknownCell(name.into())))
+    };
+    let basic = look("basic")?;
+    let typei = look("typei")?;
+    let typeii = look("typeii")?;
+    let clock1 = look("clock1")?;
+    let clock2 = look("clock2")?;
+    let carry1 = look("carry1")?;
+    let carry2 = look("carry2")?;
+    let topm1 = look("topm1")?;
+    let topm2 = look("topm2")?;
+    let topreg = look("topreg")?;
+    let bottomreg = look("bottomreg")?;
+    let rightreg = look("rightreg")?;
+    let goboth = look("goboth")?;
+    let goleft = look("goleft")?;
+    let goright = look("goright")?;
+    let mut rsg = rsg;
 
     // --- macro mcell: one personalized core cell ----------------------
     let mcell = |rsg: &mut Rsg, xloc: usize, yloc: usize| -> Result<NodeId, RsgError> {

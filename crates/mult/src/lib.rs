@@ -29,7 +29,10 @@
 //! assert_eq!(m.multiply(-17, 23), -17 * 23);
 //! assert!(m.latency() > 0);
 //! ```
-
+//!
+//! Library code is panic-free by policy: `unwrap`/`expect` are denied
+//! outside `#[cfg(test)]` (see DESIGN.md's robustness section).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 pub mod baugh_wooley;

@@ -25,7 +25,7 @@ fn interpreted_design_file_matches_native_generator() {
         let native = generator::generate(xs, ys).unwrap();
 
         let run = rsg_lang::run_design(
-            sample_layout(),
+            sample_layout().unwrap(),
             design_file_source(),
             &parameter_file_source(xs, ys),
         )
@@ -53,7 +53,7 @@ fn interpreted_design_file_matches_native_generator() {
 #[test]
 fn design_file_declares_inherited_interfaces() {
     let run = rsg_lang::run_design(
-        sample_layout(),
+        sample_layout().unwrap(),
         design_file_source(),
         &parameter_file_source(4, 4),
     )
@@ -71,7 +71,7 @@ fn paper_fig_5_6_shape_for_6x6() {
     // Fig 5.6 is the 6×6 bit-systolic layout: 36 core cells with 4 maskings
     // each, 6 top registers, 6 bottom registers, 6 right registers.
     let run = rsg_lang::run_design(
-        sample_layout(),
+        sample_layout().unwrap(),
         design_file_source(),
         &parameter_file_source(6, 6),
     )

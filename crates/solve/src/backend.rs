@@ -24,7 +24,7 @@
 //! pitches are fixed and the system reduces to difference constraints.
 
 use crate::simplex::{Lp, LpError, Sense};
-use crate::solver::{self, EdgeOrder, Infeasible, Solution};
+use crate::solver::{self, EdgeOrder, Infeasible, Solution, SolveFault};
 use crate::{Constraint, ConstraintSystem, VarId};
 
 /// A complete solution: integral edge positions and pitch values.
@@ -63,6 +63,14 @@ pub enum SolveError {
     /// Fractional pitches could not be rounded to a feasible integral
     /// assignment.
     Rounding(String),
+    /// Position arithmetic left the `i64` range — unreachable for
+    /// layouts within the [`rsg_geom::MAX_COORD`] ingest budget, typed
+    /// instead of wrapping for systems built outside it.
+    Overflow(String),
+    /// The request itself was malformed: pitch-weight count mismatch,
+    /// wrong-length warm seed, or constraints referencing variables of a
+    /// different system.
+    Input(String),
 }
 
 impl std::fmt::Display for SolveError {
@@ -70,6 +78,8 @@ impl std::fmt::Display for SolveError {
         match self {
             SolveError::Infeasible(m) => write!(f, "constraint system infeasible: {m}"),
             SolveError::Rounding(m) => write!(f, "pitch rounding failed: {m}"),
+            SolveError::Overflow(m) => write!(f, "position arithmetic overflowed: {m}"),
+            SolveError::Input(m) => write!(f, "malformed solve request: {m}"),
         }
     }
 }
@@ -79,6 +89,16 @@ impl std::error::Error for SolveError {}
 impl From<Infeasible> for SolveError {
     fn from(e: Infeasible) -> SolveError {
         SolveError::Infeasible(e.to_string())
+    }
+}
+
+impl From<SolveFault> for SolveError {
+    fn from(e: SolveFault) -> SolveError {
+        match e {
+            SolveFault::Infeasible(i) => SolveError::Infeasible(i.to_string()),
+            SolveFault::Overflow { at } => SolveError::Overflow(at.into()),
+            SolveFault::Shape(m) => SolveError::Input(m),
+        }
     }
 }
 
@@ -212,7 +232,7 @@ impl Solver for BellmanFord {
 pub struct Topological;
 
 impl Topological {
-    fn refine(sys: &ConstraintSystem) -> Result<Solution, Infeasible> {
+    fn refine(sys: &ConstraintSystem) -> Result<Solution, SolveFault> {
         match solver::solve_topo(sys) {
             Some(sol) => Ok(sol),
             None => solver::solve(sys, EdgeOrder::Sorted),
@@ -297,13 +317,15 @@ fn from_solution(sol: Solution) -> Outcome {
 fn pitch_search(
     sys: &ConstraintSystem,
     pitch_weights: &[i64],
-    refine: &dyn Fn(&ConstraintSystem) -> Result<Solution, Infeasible>,
+    refine: &dyn Fn(&ConstraintSystem) -> Result<Solution, SolveFault>,
 ) -> Result<Outcome, SolveError> {
-    assert_eq!(
-        pitch_weights.len(),
-        sys.num_pitches(),
-        "one cost weight per pitch variable"
-    );
+    if pitch_weights.len() != sys.num_pitches() {
+        return Err(SolveError::Input(format!(
+            "{} cost weights for {} pitch variables",
+            pitch_weights.len(),
+            sys.num_pitches()
+        )));
+    }
     let n = sys.num_vars();
     let p = sys.num_pitches();
     // LP variables: [edges 0..n | pitches n..n+p]. The tiny per-edge
@@ -326,7 +348,7 @@ fn pitch_search(
     // Round pitches to integers: try floor/ceil combinations (p is tiny),
     // keep the feasible combination with minimum cost.
     let floats: Vec<f64> = (0..p).map(|k| x[n + k]).collect();
-    let mut best: Option<(i64, Solution, Vec<i64>)> = None;
+    let mut best: Option<(i128, Solution, Vec<i64>)> = None;
     for mask in 0..(1usize << p.min(16)) {
         let candidate: Vec<i64> = floats
             .iter()
@@ -344,10 +366,12 @@ fn pitch_search(
             continue;
         }
         if let Some(sol) = refine_fixed(sys, &candidate, refine) {
-            let cost: i64 = candidate
+            // i128: pitch·weight products of adversarial magnitudes must
+            // not wrap while comparing candidates.
+            let cost: i128 = candidate
                 .iter()
                 .zip(pitch_weights)
-                .map(|(&l, &w)| l * w)
+                .map(|(&l, &w)| l as i128 * w as i128)
                 .sum();
             if best.as_ref().is_none_or(|(c, _, _)| cost < *c) {
                 best = Some((cost, sol, candidate));
@@ -376,18 +400,24 @@ fn pitch_search(
 }
 
 /// With pitches fixed, the system reduces to difference constraints the
-/// backend's refinement procedure can handle.
+/// backend's refinement procedure can handle. Candidates whose reduced
+/// weights overflow `i64` are rejected (`None`) like any other
+/// infeasible rounding.
 fn refine_fixed(
     sys: &ConstraintSystem,
     pitches: &[i64],
-    refine: &dyn Fn(&ConstraintSystem) -> Result<Solution, Infeasible>,
+    refine: &dyn Fn(&ConstraintSystem) -> Result<Solution, SolveFault>,
 ) -> Option<Solution> {
     let mut reduced = ConstraintSystem::new_along(sys.axis());
     for v in 0..sys.num_vars() {
         reduced.add_var(sys.initial(VarId(v)));
     }
     for c in sys.constraints() {
-        let w = c.weight - c.pitch.map_or(0, |(pid, k)| k * pitches[pid.index()]);
+        let pitch_part = match c.pitch {
+            None => 0,
+            Some((pid, k)) => k.checked_mul(*pitches.get(pid.index())?)?,
+        };
+        let w = c.weight.checked_sub(pitch_part)?;
         reduced.require(c.from, c.to, w);
     }
     refine(&reduced).ok()

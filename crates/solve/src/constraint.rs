@@ -246,9 +246,20 @@ impl ConstraintSystem {
     /// Slack of one constraint under a candidate solution:
     /// `x_to − x_from + Σcλ − w`. Non-negative iff the constraint is
     /// satisfied; zero iff it is *tight* (binding).
+    ///
+    /// This is a diagnostic over caller-supplied vectors: positions or
+    /// pitches that are missing read as 0, and the arithmetic saturates
+    /// instead of wrapping — exact for anything within the
+    /// [`rsg_geom::MAX_COORD`] ingest budget.
     pub fn slack_of(&self, c: &Constraint, positions: &[i64], pitches: &[i64]) -> i64 {
-        positions[c.to.0] - positions[c.from.0] + c.pitch.map_or(0, |(p, k)| k * pitches[p.0])
-            - c.weight
+        let at = |xs: &[i64], i: usize| xs.get(i).copied().unwrap_or(0);
+        let pitch = c
+            .pitch
+            .map_or(0, |(p, k)| k.saturating_mul(at(pitches, p.0)));
+        at(positions, c.to.0)
+            .saturating_sub(at(positions, c.from.0))
+            .saturating_add(pitch)
+            .saturating_sub(c.weight)
     }
 
     /// Per-constraint slack, in constraint order. `slacks[k] < 0` exactly

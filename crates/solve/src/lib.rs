@@ -36,7 +36,10 @@
 //! let chain = sol.critical_path(&sys, b);
 //! assert_eq!(chain.iter().map(|c| c.weight).sum::<i64>(), 10);
 //! ```
-
+//!
+//! Library code is panic-free by policy: `unwrap`/`expect` are denied
+//! outside `#[cfg(test)]` (see DESIGN.md's robustness section).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
 pub mod backend;
@@ -48,3 +51,4 @@ pub mod solver;
 pub use backend::{Balanced, BellmanFord, Outcome, SimplexPitch, SolveError, Solver, Topological};
 pub use constraint::{Constraint, ConstraintSystem, PitchId, VarId};
 pub use graph::ConstraintGraph;
+pub use solver::{Infeasible, SolveFault};

@@ -116,17 +116,92 @@ impl std::fmt::Display for Infeasible {
 
 impl std::error::Error for Infeasible {}
 
+/// Why a longest-path solve could not produce a solution. Every failure
+/// is typed — the solvers never panic, whatever system they are handed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveFault {
+    /// The constraint graph has a positive cycle.
+    Infeasible(Infeasible),
+    /// An intermediate position sum left the `i64` range. Unreachable
+    /// for layouts within the [`rsg_geom::MAX_COORD`] ingest budget (see
+    /// its overflow-freedom argument); adversarial systems built
+    /// directly against this API land here instead of wrapping.
+    Overflow {
+        /// Which procedure overflowed.
+        at: &'static str,
+    },
+    /// The system cannot be handled by this procedure as shaped: pitch
+    /// terms (those need the LP), a seed of the wrong length, or a
+    /// constraint referencing a variable of a different system.
+    Shape(String),
+}
+
+impl std::fmt::Display for SolveFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveFault::Infeasible(e) => write!(f, "{e}"),
+            SolveFault::Overflow { at } => {
+                write!(f, "position arithmetic overflowed i64 in {at}")
+            }
+            SolveFault::Shape(m) => write!(f, "malformed solve request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveFault {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SolveFault::Infeasible(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Infeasible> for SolveFault {
+    fn from(e: Infeasible) -> SolveFault {
+        SolveFault::Infeasible(e)
+    }
+}
+
+/// Validates that every constraint references variables of this system
+/// and that no pitch terms are present — the shape the longest-path
+/// procedures require. Checked up front so the relaxation loops can
+/// index without a panic path.
+fn check_shape(sys: &ConstraintSystem) -> Result<(), SolveFault> {
+    if sys.has_pitch_terms() {
+        return Err(SolveFault::Shape(
+            "pitch terms require the LP solver".into(),
+        ));
+    }
+    let n = sys.num_vars();
+    for c in sys.constraints() {
+        if c.from.index() >= n || c.to.index() >= n {
+            return Err(SolveFault::Shape(format!(
+                "constraint references variable #{} but the system has {n}",
+                c.from.index().max(c.to.index())
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// One relaxation loop over `x` to its fixpoint; returns the pass count
-/// (including the verification pass) or [`Infeasible`] on divergence.
-fn relax(sys: &ConstraintSystem, order: EdgeOrder, x: &mut [i64]) -> Result<usize, Infeasible> {
+/// (including the verification pass), [`SolveFault::Infeasible`] on
+/// divergence, or [`SolveFault::Overflow`] if a position sum leaves
+/// `i64` (impossible within the ingest budget).
+fn relax(sys: &ConstraintSystem, order: EdgeOrder, x: &mut [i64]) -> Result<usize, SolveFault> {
     let n = sys.num_vars();
     let constraints = sys.constraints();
     let mut passes = 0usize;
     loop {
         passes += 1;
         let mut changed = false;
+        let mut overflowed = false;
         let mut step = |c: &Constraint| {
-            let need = x[c.from.0] + c.weight;
+            let Some(need) = x[c.from.0].checked_add(c.weight) else {
+                overflowed = true;
+                return;
+            };
             if x[c.to.0] < need {
                 x[c.to.0] = need;
                 changed = true;
@@ -144,11 +219,14 @@ fn relax(sys: &ConstraintSystem, order: EdgeOrder, x: &mut [i64]) -> Result<usiz
                 }
             }
         }
+        if overflowed {
+            return Err(SolveFault::Overflow { at: "relax" });
+        }
         if !changed {
             return Ok(passes);
         }
         if passes > n + 1 {
-            return Err(Infeasible { passes });
+            return Err(SolveFault::Infeasible(Infeasible { passes }));
         }
     }
 }
@@ -157,14 +235,12 @@ fn relax(sys: &ConstraintSystem, order: EdgeOrder, x: &mut [i64]) -> Result<usiz
 ///
 /// # Errors
 ///
-/// Returns [`Infeasible`] when the constraints contain a positive cycle.
-///
-/// # Panics
-///
-/// Panics if the system carries pitch terms — those need
-/// [`crate::simplex`].
-pub fn solve(sys: &ConstraintSystem, order: EdgeOrder) -> Result<Solution, Infeasible> {
-    assert!(!sys.has_pitch_terms(), "pitch terms require the LP solver");
+/// Returns [`SolveFault::Infeasible`] when the constraints contain a
+/// positive cycle, [`SolveFault::Shape`] when the system carries pitch
+/// terms (those need [`crate::simplex`]) or references foreign
+/// variables, and [`SolveFault::Overflow`] if position sums leave `i64`.
+pub fn solve(sys: &ConstraintSystem, order: EdgeOrder) -> Result<Solution, SolveFault> {
+    check_shape(sys)?;
     let mut x = vec![0i64; sys.num_vars()];
     let passes = relax(sys, order, &mut x)?;
     Ok(Solution {
@@ -186,20 +262,22 @@ pub fn solve(sys: &ConstraintSystem, order: EdgeOrder) -> Result<Solution, Infea
 ///
 /// # Errors
 ///
-/// Returns [`Infeasible`] when the constraints contain a positive cycle.
-///
-/// # Panics
-///
-/// Panics if the system carries pitch terms or `warm` has the wrong
-/// length.
+/// Returns [`SolveFault::Infeasible`] when the constraints contain a
+/// positive cycle, and [`SolveFault::Shape`] when the system carries
+/// pitch terms or `warm` has the wrong length.
 pub fn solve_warm(
     sys: &ConstraintSystem,
     order: EdgeOrder,
     warm: &[i64],
-) -> Result<Solution, Infeasible> {
-    assert!(!sys.has_pitch_terms(), "pitch terms require the LP solver");
+) -> Result<Solution, SolveFault> {
+    check_shape(sys)?;
     let n = sys.num_vars();
-    assert_eq!(warm.len(), n, "one warm position per variable");
+    if warm.len() != n {
+        return Err(SolveFault::Shape(format!(
+            "warm seed has {} positions for {n} variables",
+            warm.len()
+        )));
+    }
     let mut x: Vec<i64> = warm.iter().map(|&w| w.max(0)).collect();
     let mut passes = relax(sys, order, &mut x)?;
 
@@ -226,23 +304,21 @@ pub fn solve_warm(
 }
 
 /// One-pass longest path in topological order — O(V + E), no relaxation
-/// loop. Returns `None` when the constraint graph is cyclic
-/// (`require_exact` pairs, folded interfaces); callers then fall back to
-/// [`solve`]. Acyclic difference-constraint systems are always feasible,
-/// so no `Infeasible` case exists here.
-///
-/// # Panics
-///
-/// Panics if the system carries pitch terms.
+/// loop. Returns `None` when the procedure declines the system: a cyclic
+/// constraint graph (`require_exact` pairs, folded interfaces), pitch
+/// terms, foreign variable references, or a position sum that would
+/// overflow; callers then fall back to [`solve`], which reports the
+/// non-cycle cases as typed faults. Acyclic difference-constraint
+/// systems are always feasible, so no `Infeasible` case exists here.
 pub fn solve_topo(sys: &ConstraintSystem) -> Option<Solution> {
-    assert!(!sys.has_pitch_terms(), "pitch terms require the LP solver");
+    check_shape(sys).ok()?;
     let graph = sys.graph();
     let order = graph.topo_order()?;
     let mut x = vec![0i64; sys.num_vars()];
     for &v in order {
         let mut best = 0i64;
         for e in graph.incoming(v) {
-            best = best.max(x[e.other.index()] + e.weight);
+            best = best.max(x[e.other.index()].checked_add(e.weight)?);
         }
         x[v.index()] = best;
     }
@@ -261,8 +337,9 @@ pub fn solve_topo(sys: &ConstraintSystem) -> Option<Solution> {
 ///
 /// # Errors
 ///
-/// Returns [`Infeasible`] on positive cycles.
-pub fn solve_balanced(sys: &ConstraintSystem) -> Result<Solution, Infeasible> {
+/// Returns [`SolveFault::Infeasible`] on positive cycles, plus the
+/// shape/overflow faults of [`solve`].
+pub fn solve_balanced(sys: &ConstraintSystem) -> Result<Solution, SolveFault> {
     let earliest = solve(sys, EdgeOrder::Sorted)?;
     let n = sys.num_vars();
     let width = earliest.positions.iter().copied().max().unwrap_or(0);
@@ -276,7 +353,11 @@ pub fn solve_balanced(sys: &ConstraintSystem) -> Result<Solution, Infeasible> {
         let mut changed = false;
         for c in sys.constraints() {
             // x_to − x_from ≥ w reversed: dist_from ≥ dist_to + w.
-            let need = dist[c.to.0] + c.weight;
+            let Some(need) = dist[c.to.0].checked_add(c.weight) else {
+                return Err(SolveFault::Overflow {
+                    at: "solve_balanced",
+                });
+            };
             if dist[c.from.0] < need {
                 dist[c.from.0] = need;
                 changed = true;
@@ -286,15 +367,17 @@ pub fn solve_balanced(sys: &ConstraintSystem) -> Result<Solution, Infeasible> {
             break;
         }
         if passes > n + 1 {
-            return Err(Infeasible { passes });
+            return Err(SolveFault::Infeasible(Infeasible { passes }));
         }
     }
     // Midpoint (floor), then a monotone repair pass for rounding slips.
+    // Saturating: the midpoint is only a seed — the repair relaxation
+    // restores exact feasibility (or reports a typed fault).
     let mut x: Vec<i64> = (0..n)
         .map(|v| {
             let e = earliest.positions[v];
             let l = width - dist[v];
-            e + (l - e).div_euclid(2)
+            e.saturating_add(l.saturating_sub(e).div_euclid(2))
         })
         .collect();
     let repair_passes = relax(sys, EdgeOrder::Arbitrary, &mut x)?;

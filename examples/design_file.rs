@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("running the multiplier design file for {xsize}x{ysize}...");
     let run = run_design(
-        cells::sample_layout(),
+        cells::sample_layout()?,
         design_file_source(),
         &parameter_file_source(xsize, ysize),
     )?;

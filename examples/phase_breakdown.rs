@@ -31,19 +31,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for n in [8usize, 16, 32, 64] {
         // Phase 1: read the sample layout (from its textual form, as the
         // paper's RSG read CIF) and build the interface table.
-        let sample_table = cells::sample_layout();
+        let sample_table = cells::sample_layout()?;
         let any_top = sample_table.lookup("s_h").expect("sample cell");
         let sample_text = rsg::layout::write_rsgl(&sample_table, any_top)?;
 
         let t0 = Instant::now();
         let (_parsed, _) = rsg::layout::read_rsgl(&sample_text)?;
-        let rsg = Rsg::from_sample(cells::sample_layout())?;
+        let rsg = Rsg::from_sample(cells::sample_layout()?)?;
         let p1 = t0.elapsed();
         drop(rsg);
 
         // Phase 2: parse + execute design and parameter files.
         let t1 = Instant::now();
-        let mut interp = Interpreter::from_sample(cells::sample_layout())?;
+        let mut interp = Interpreter::from_sample(cells::sample_layout()?)?;
         interp.load_parameters(&parameter_file_source(n, n))?;
         let run = interp.run(design_file_source())?;
         let p2 = t1.elapsed();

@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = LayoutStats::compute(pla.rsg.cells(), pla.top)?;
     println!("\n=== RSG PLA ===\n{stats}");
 
-    let (relo_table, relo_top) = relocation_pla(&personality, "fa_pla_relo");
+    let (relo_table, relo_top) = relocation_pla(&personality, "fa_pla_relo")?;
     let relo_stats = LayoutStats::compute(&relo_table, relo_top)?;
     assert_eq!(stats.total_boxes, relo_stats.total_boxes);
     assert_eq!(stats.bbox, relo_stats.bbox);

@@ -49,7 +49,7 @@ fn pla_and_decoder_are_clean() {
         2,
     )
     .unwrap();
-    let (table, top) = rsg::hpla::relocation_pla(&personality, "fa_pla_relo");
+    let (table, top) = rsg::hpla::relocation_pla(&personality, "fa_pla_relo").unwrap();
     assert_clean(&table, top, "relocation full-adder PLA");
 
     let dec = rsg::hpla::rsg_decoder(3, "dec3").unwrap();
@@ -60,7 +60,7 @@ fn pla_and_decoder_are_clean() {
 #[test]
 fn design_file_multiplier_is_clean() {
     let run = rsg::lang::run_design(
-        rsg::mult::cells::sample_layout(),
+        rsg::mult::cells::sample_layout().unwrap(),
         rsg::mult::design_file_source(),
         &rsg::mult::parameter_file_source(6, 6),
     )

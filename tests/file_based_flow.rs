@@ -13,7 +13,7 @@ fn everything_through_text_files() {
     // 1. The layout file: serialize the sample library with a wrapper top
     //    cell that instantiates every sample assembly (so one rsgl file
     //    carries the whole library).
-    let mut table = cells::sample_layout();
+    let mut table = cells::sample_layout().unwrap();
     let mut wrapper = rsg::layout::CellDefinition::new("samplefile");
     let mut x = 0i64;
     let sample_cells: Vec<_> = table

@@ -21,7 +21,7 @@ fn rsg_matches_relocation_at_scale() {
     let p = Personality::parse(&refs, 6, 4).unwrap();
 
     let a = rsg_pla(&p, "pla").unwrap();
-    let (bt, bid) = relocation_pla(&p, "relo");
+    let (bt, bid) = relocation_pla(&p, "relo").unwrap();
     let sa = LayoutStats::compute(a.rsg.cells(), a.top).unwrap();
     let sb = LayoutStats::compute(&bt, bid).unwrap();
     assert_eq!(sa.total_boxes, sb.total_boxes);
@@ -71,7 +71,7 @@ fn pla_design_file_through_the_interpreter() {
       (mk_cell "xor_pla" (subcell r1 first))
     "#;
     let params = "andcell=and_sq\norcell=or_sq\nxtrue=xand\nxfalse=xcomp\nxor_mask=xorm\n";
-    let run = rsg::lang::run_design(cells::sample_layout(), design, params).unwrap();
+    let run = rsg::lang::run_design(cells::sample_layout().unwrap(), design, params).unwrap();
     let top = run.rsg.cells().lookup("xor_pla").unwrap();
     let def = run.rsg.cells().require(top).unwrap();
     // 2 rows × (2 AND + 2 masks + 1 OR + 1 or-mask) = 12 instances.
