@@ -82,8 +82,15 @@ fn bench_incremental(c: &mut Criterion) {
     // Prime one session on the original chip; every `edit`/`noop`
     // iteration starts from a clone of this snapshot.
     let mut primed = CompactSession::new();
-    rsg_mult::compactor::compact_chip_session(&mut primed, table, out.top, &tech.rules, &solver)
-        .expect("primes");
+    rsg_mult::compactor::compact_chip_session(
+        &mut primed,
+        table,
+        out.top,
+        &tech.rules,
+        &solver,
+        Parallelism::Serial,
+    )
+    .expect("primes");
 
     // Correctness gate: incremental == cold on the edited chip, and the
     // reuse counters show the one-leaf economics.
@@ -102,6 +109,7 @@ fn bench_incremental(c: &mut Criterion) {
         out.top,
         &tech.rules,
         &solver,
+        Parallelism::Serial,
     )
     .expect("incremental compacts");
     assert_same_chip(&inc_edit, &cold_edit);
@@ -122,8 +130,15 @@ fn bench_incremental(c: &mut Criterion) {
         s.sweep_memo_hits,
     );
     let mut check = primed.clone();
-    rsg_mult::compactor::compact_chip_session(&mut check, table, out.top, &tech.rules, &solver)
-        .expect("noop compacts");
+    rsg_mult::compactor::compact_chip_session(
+        &mut check,
+        table,
+        out.top,
+        &tech.rules,
+        &solver,
+        Parallelism::Serial,
+    )
+    .expect("noop compacts");
     let s = check.last_stats();
     assert_eq!(s.cells_compacted, 0, "no-op edit recompacts nothing");
     assert_eq!(s.abstracts_derived, 0, "no-op edit re-flattens nothing");
@@ -153,6 +168,7 @@ fn bench_incremental(c: &mut Criterion) {
                 out.top,
                 &tech.rules,
                 &solver,
+                Parallelism::Serial,
             )
             .expect("incremental compacts");
             black_box(chip.chip.cells.len())
@@ -167,6 +183,7 @@ fn bench_incremental(c: &mut Criterion) {
                 out.top,
                 &tech.rules,
                 &solver,
+                Parallelism::Serial,
             )
             .expect("noop compacts");
             black_box(chip.chip.cells.len())

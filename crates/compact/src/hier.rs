@@ -40,6 +40,7 @@
 use crate::backend::{SolveError, Solver};
 use crate::fault::{injected_exhaustion, FaultSite, InjectedFault};
 use crate::limits::{Exhausted, Limits};
+use crate::par::{par_map, Parallelism};
 use crate::scanline::VisibilityOracle;
 use crate::ConstraintSystem;
 use rsg_geom::{Axis, BoundingBox, Isometry, Orientation, Point, Rect, Vector};
@@ -61,6 +62,13 @@ pub struct HierOptions {
     /// count, constraint count, cumulative solver passes, deadline).
     /// [`Limits::NONE`] by default.
     pub limits: Limits,
+    /// How the hierarchy walk distributes ready cells across workers:
+    /// cells whose referenced definitions are all done form a wave of
+    /// independent compactions (see [`compact_hierarchy`]). Results are
+    /// **bit-identical** at every setting; only wall-clock changes. The
+    /// default is [`Parallelism::Serial`] — small assemblies don't repay
+    /// thread dispatch, so concurrency is opt-in per call.
+    pub parallelism: Parallelism,
 }
 
 impl Default for HierOptions {
@@ -69,6 +77,7 @@ impl Default for HierOptions {
             max_passes: 8,
             max_pitch_rounds: 32,
             limits: Limits::NONE,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -1286,7 +1295,8 @@ fn sweep_axis(
     // clusters are *welded* at their current offset — exempting the pair
     // from spacing alone would let the compactor pry a connected bus
     // apart.
-    let mut oracle = VisibilityOracle::new(pboxes.clone(), axis);
+    let oracle = VisibilityOracle::new(pboxes.clone(), axis);
+    let mut cursor = oracle.cursor();
     for (i, &(la, ra)) in pboxes.iter().enumerate() {
         for (j, &(lb, rb)) in pboxes.iter().enumerate() {
             if owner[i] == owner[j] || reused(owner[i], owner[j]) {
@@ -1315,7 +1325,7 @@ fn sweep_axis(
             {
                 continue;
             }
-            if oracle.hidden_between(i, j) {
+            if cursor.hidden_between(i, j) {
                 continue;
             }
             let w = s + (ra.hi_along(axis) - base(owner[i])) - (rb.lo_along(axis) - base(owner[j]));
@@ -1590,27 +1600,103 @@ pub fn compact_hierarchy(
     let mut order = Vec::new();
     let mut mark: HashMap<CellId, u8> = HashMap::new();
     dfs_order(table, top, &mut mark, &mut order)?;
-    let mut cells = Vec::new();
+    let threads = opts.parallelism.threads();
+    if threads <= 1 {
+        // Serial reference walk: bottom-up, stop at the first failure.
+        let mut cells = Vec::new();
+        for cell in order {
+            let def = out_table.require(cell)?;
+            if def.instances().next().is_none() {
+                continue; // leaf: the leaf compactor's business
+            }
+            let name = def.name().to_owned();
+            let outcome = compact_cell(&out_table, cell, rules, solver, opts)?;
+            if !outcome.converged {
+                return Err(diverged_error(&name, opts));
+            }
+            let Some(slot) = out_table.get_mut(cell) else {
+                return Err(vanished_error(&name));
+            };
+            *slot = outcome.cell.clone();
+            cells.push((name, outcome));
+        }
+        return Ok(ChipLayout {
+            table: out_table,
+            top,
+            cells,
+        });
+    }
+
+    // Dependency-level scheduler: group the bottom-up order into waves of
+    // assembly cells whose referenced definitions are all done, and fan
+    // each wave across workers. Every cell reads only definitions below
+    // it, all of which were re-placed in earlier waves, so each cell's
+    // computation sees exactly the table state the serial walk would give
+    // it — the outputs are bit-identical; only wall-clock changes.
+    let levels = dependency_levels(table, &order)?;
+    let pos: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut outcomes: HashMap<CellId, HierOutcome> = HashMap::new();
+    // Cells that failed, with their DFS position, plus the set of cells
+    // that cannot be computed because a descendant failed. The serial
+    // walk reports the DFS-earliest failing cell whose descendants all
+    // succeeded; computing every non-poisoned cell and taking the
+    // DFS-minimum failure reproduces that exact error.
+    let mut failures: Vec<(usize, HierError)> = Vec::new();
+    let mut bad: HashSet<CellId> = HashSet::new();
+    for level in &levels {
+        let ready: Vec<CellId> = level
+            .iter()
+            .copied()
+            .filter(|&cell| {
+                let skip = table
+                    .get(cell)
+                    .is_some_and(|def| def.instances().any(|i| bad.contains(&i.cell)));
+                if skip {
+                    bad.insert(cell);
+                }
+                !skip
+            })
+            .collect();
+        let results = par_map(&ready, threads, |&cell| {
+            compact_cell(&out_table, cell, rules, solver, opts)
+        });
+        for (&cell, result) in ready.iter().zip(results) {
+            let name = table.require(cell)?.name().to_owned();
+            let dfs_pos = pos.get(&cell).copied().unwrap_or(usize::MAX);
+            let outcome = match result {
+                Ok(Ok(o)) if o.converged => o,
+                Ok(Ok(_)) => {
+                    failures.push((dfs_pos, diverged_error(&name, opts)));
+                    bad.insert(cell);
+                    continue;
+                }
+                Ok(Err(e)) => {
+                    failures.push((dfs_pos, e));
+                    bad.insert(cell);
+                    continue;
+                }
+                Err(panic) => {
+                    failures.push((dfs_pos, HierError::Internal(panic.to_string())));
+                    bad.insert(cell);
+                    continue;
+                }
+            };
+            let Some(slot) = out_table.get_mut(cell) else {
+                return Err(vanished_error(&name));
+            };
+            *slot = outcome.cell.clone();
+            outcomes.insert(cell, outcome);
+        }
+    }
+    if let Some((_, e)) = failures.into_iter().min_by_key(|&(p, _)| p) {
+        return Err(e);
+    }
+    // Reassemble the per-cell list in the serial walk's bottom-up order.
+    let mut cells = Vec::with_capacity(outcomes.len());
     for cell in order {
-        let def = out_table.require(cell)?;
-        if def.instances().next().is_none() {
-            continue; // leaf: the leaf compactor's business
+        if let Some(outcome) = outcomes.remove(&cell) {
+            cells.push((table.require(cell)?.name().to_owned(), outcome));
         }
-        let name = def.name().to_owned();
-        let outcome = compact_cell(&out_table, cell, rules, solver, opts)?;
-        if !outcome.converged {
-            return Err(HierError::Diverged(format!(
-                "cell `{name}` did not reach an x/y fixpoint in {} alternations",
-                opts.max_passes
-            )));
-        }
-        let Some(slot) = out_table.get_mut(cell) else {
-            return Err(HierError::Internal(format!(
-                "cell `{name}` vanished from the table mid-walk"
-            )));
-        };
-        *slot = outcome.cell.clone();
-        cells.push((name, outcome));
     }
     Ok(ChipLayout {
         table: out_table,
@@ -1619,26 +1705,91 @@ pub fn compact_hierarchy(
     })
 }
 
+fn diverged_error(name: &str, opts: &HierOptions) -> HierError {
+    HierError::Diverged(format!(
+        "cell `{name}` did not reach an x/y fixpoint in {} alternations",
+        opts.max_passes
+    ))
+}
+
+fn vanished_error(name: &str) -> HierError {
+    HierError::Internal(format!("cell `{name}` vanished from the table mid-walk"))
+}
+
+/// Groups a bottom-up [`dfs_order`] into dependency levels over the
+/// assembly cells: a cell lands one level above the deepest assembly it
+/// references, so by the time a level runs, every definition it can see
+/// is final. Leaves are never scheduled (the leaf compactor's business)
+/// and don't separate levels. Within a level, cells keep their DFS
+/// order.
+pub(crate) fn dependency_levels(
+    table: &CellTable,
+    order: &[CellId],
+) -> Result<Vec<Vec<CellId>>, HierError> {
+    let mut level_of: HashMap<CellId, usize> = HashMap::new();
+    let mut levels: Vec<Vec<CellId>> = Vec::new();
+    for &cell in order {
+        let def = table.require(cell)?;
+        if def.instances().next().is_none() {
+            continue;
+        }
+        let mut lvl = 0usize;
+        for inst in def.instances() {
+            if let Some(&l) = level_of.get(&inst.cell) {
+                lvl = lvl.max(l + 1);
+            }
+        }
+        level_of.insert(cell, lvl);
+        if levels.len() <= lvl {
+            levels.resize_with(lvl + 1, Vec::new);
+        }
+        levels[lvl].push(cell);
+    }
+    Ok(levels)
+}
+
+/// Bottom-up topological order of the hierarchy under `cell` (children
+/// before parents, each cell once). Iterative — an explicit frame stack
+/// instead of recursion, so pathologically deep hierarchies (the parser
+/// fuzz corpus builds 500-deep ones) cannot overflow the call stack.
 pub(crate) fn dfs_order(
     table: &CellTable,
     cell: CellId,
     mark: &mut HashMap<CellId, u8>,
     order: &mut Vec<CellId>,
 ) -> Result<(), HierError> {
+    let recursive = |id: CellId| {
+        let name = table.get(id).map_or("?", |c| c.name()).to_owned();
+        HierError::Layout(LayoutError::RecursiveCell(name))
+    };
     match mark.get(&cell) {
         Some(2) => return Ok(()),
-        Some(1) => {
-            let name = table.get(cell).map_or("?", |c| c.name()).to_owned();
-            return Err(HierError::Layout(LayoutError::RecursiveCell(name)));
-        }
+        Some(1) => return Err(recursive(cell)),
         _ => {}
     }
+    let children = |id: CellId| -> Result<Vec<CellId>, HierError> {
+        Ok(table.require(id)?.instances().map(|i| i.cell).collect())
+    };
     mark.insert(cell, 1);
-    for inst in table.require(cell)?.instances() {
-        dfs_order(table, inst.cell, mark, order)?;
+    let mut stack: Vec<(CellId, Vec<CellId>, usize)> = vec![(cell, children(cell)?, 0)];
+    while let Some(frame) = stack.last_mut() {
+        let (id, kids, next) = (frame.0, &frame.1, &mut frame.2);
+        let Some(&child) = kids.get(*next) else {
+            mark.insert(id, 2);
+            order.push(id);
+            stack.pop();
+            continue;
+        };
+        *next += 1;
+        match mark.get(&child) {
+            Some(2) => {}
+            Some(1) => return Err(recursive(child)),
+            _ => {
+                mark.insert(child, 1);
+                stack.push((child, children(child)?, 0));
+            }
+        }
     }
-    mark.insert(cell, 2);
-    order.push(cell);
     Ok(())
 }
 

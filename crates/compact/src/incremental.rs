@@ -72,15 +72,16 @@
 use crate::backend::Solver;
 use crate::fault::{FaultPlan, FaultSite, InjectedFault};
 use crate::hier::{
-    axis_index, compact_cell_with, derive_abstract, dfs_order, CellAbstract, ChipCompaction,
-    ChipError, ChipLayout, CompactHooks, HierError, HierOptions, HierOutcome, ReuseCounters,
-    SweepRecord, SweepSolution,
+    axis_index, compact_cell_with, dependency_levels, derive_abstract, dfs_order, CellAbstract,
+    ChipCompaction, ChipError, ChipLayout, CompactHooks, HierError, HierOptions, HierOutcome,
+    ReuseCounters, SweepRecord, SweepSolution,
 };
 use crate::leaf::{self, CompactionResult, LibraryJob};
+use crate::par::par_map;
 use rsg_geom::{Axis, Orientation};
 use rsg_layout::hash::{deep_hashes, hash_cell, mix, ContentHasher};
 use rsg_layout::{CellId, CellTable, DesignRules, LayoutError};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Work done (and avoided) by one session call.
@@ -446,6 +447,13 @@ impl CompactSession {
         opts: &HierOptions,
         context: u64,
     ) -> Result<ChipLayout, HierError> {
+        // The fault seam counts trips globally across the walk, so its
+        // schedule is only meaningful under the serial visit order — an
+        // armed plan forces the reference path.
+        let threads = opts.parallelism.threads();
+        if threads > 1 && self.faults.is_none() {
+            return self.hierarchy_parallel(table, top, rules, solver, opts, context, threads);
+        }
         let rules_hash = rules.content_hash();
         let mut out_table = table.clone();
         let mut order = Vec::new();
@@ -520,6 +528,316 @@ impl CompactSession {
             top,
             cells,
         })
+    }
+
+    /// The multi-worker variant of [`CompactSession::hierarchy_inner`]:
+    /// the dependency-level schedule of [`crate::hier::compact_hierarchy`]
+    /// layered over the session caches. Per level, a serial pass hashes
+    /// each ready cell and replays outcome-cache hits; the misses fan out
+    /// across workers, each holding a [`ShardHooks`] — a read-only
+    /// snapshot of the shared content caches plus private insert maps and
+    /// the cell's own (name-keyed, therefore exclusive) solve history —
+    /// and the per-worker inserts merge back in level order before the
+    /// next level hashes against them. Geometry, pitches, and the
+    /// reported error are bit-identical to the serial walk (pinned by the
+    /// `parallel_equivalence` proptests); only the reuse *counters* may
+    /// differ, because two workers can re-derive an abstract a serial
+    /// walk would have cache-hit.
+    #[allow(clippy::too_many_arguments)]
+    fn hierarchy_parallel(
+        &mut self,
+        table: &CellTable,
+        top: CellId,
+        rules: &DesignRules,
+        solver: &dyn Solver,
+        opts: &HierOptions,
+        context: u64,
+        threads: usize,
+    ) -> Result<ChipLayout, HierError> {
+        let rules_hash = rules.content_hash();
+        let mut out_table = table.clone();
+        let mut order = Vec::new();
+        let mut mark: HashMap<CellId, u8> = HashMap::new();
+        dfs_order(table, top, &mut mark, &mut order)?;
+        let levels = dependency_levels(table, &order)?;
+        let pos: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+        // Deep *output* hash per visited cell. Leaves are pure inputs
+        // (input == output, and their hash reads no other definition), so
+        // they all hash up front.
+        let mut hash_of: HashMap<CellId, u64> = HashMap::new();
+        for &cell in &order {
+            let def = out_table.require(cell)?;
+            if def.instances().next().is_none() {
+                let h = hash_cell(def, |id| hash_of.get(&id).copied().unwrap_or(0));
+                hash_of.insert(cell, h);
+            }
+        }
+        let mut outcomes: HashMap<CellId, HierOutcome> = HashMap::new();
+        // Same failure semantics as the parallel plain walk: compute every
+        // cell whose descendants all succeeded, then report the error of
+        // the DFS-earliest failure — exactly the cell the serial walk
+        // would have stopped at.
+        let mut failures: Vec<(usize, HierError)> = Vec::new();
+        let mut bad: HashSet<CellId> = HashSet::new();
+        for level in &levels {
+            // Serial cache pass: a poisoned cell cannot even be hashed
+            // (a descendant has no output), hits replay immediately, and
+            // misses queue for the fan-out with their history taken out
+            // of the session (cell names are unique, so each worker owns
+            // its history exclusively).
+            let mut misses: Vec<MissJob> = Vec::new();
+            for &cell in level {
+                let def = out_table.require(cell)?;
+                if def.instances().any(|i| bad.contains(&i.cell)) {
+                    bad.insert(cell);
+                    continue;
+                }
+                self.last.cells_seen += 1;
+                let name = def.name().to_owned();
+                let in_hash = hash_cell(def, |id| hash_of.get(&id).copied().unwrap_or(0));
+                let key = mix(&[in_hash, context]);
+                if let Some(entry) = self.cells.get(&key) {
+                    self.last.cell_hits += 1;
+                    let outcome = entry.outcome.clone();
+                    let out_hash = entry.out_hash;
+                    let Some(slot) = out_table.get_mut(cell) else {
+                        return Err(HierError::Internal(format!(
+                            "cell `{name}` vanished from the table mid-walk"
+                        )));
+                    };
+                    *slot = outcome.cell.clone();
+                    hash_of.insert(cell, out_hash);
+                    outcomes.insert(cell, outcome);
+                    continue;
+                }
+                self.last.cells_compacted += 1;
+                let mut history = self.history.remove(&name).unwrap_or_default();
+                history.begin_run();
+                misses.push(MissJob {
+                    cell,
+                    name,
+                    key,
+                    history,
+                });
+            }
+            if misses.is_empty() {
+                continue;
+            }
+            let results = {
+                let abstracts = &self.abstracts;
+                let memo = &self.memo;
+                let out_table = &out_table;
+                let hash_of = &hash_of;
+                par_map(&misses, threads, move |job| {
+                    let mut hooks = ShardHooks {
+                        abstracts,
+                        new_abstracts: HashMap::new(),
+                        hash_of,
+                        rules_hash,
+                        context,
+                        history: job.history.clone(),
+                        memo,
+                        new_memo: HashMap::new(),
+                        counters: ReuseCounters::default(),
+                    };
+                    let outcome =
+                        compact_cell_with(out_table, job.cell, rules, solver, opts, &mut hooks);
+                    ShardResult {
+                        outcome,
+                        history: hooks.history,
+                        new_abstracts: hooks.new_abstracts,
+                        new_memo: hooks.new_memo,
+                        counters: hooks.counters,
+                    }
+                })
+            };
+            // Merge in level order (a DFS suborder), so cache insertion
+            // order — and therefore everything downstream — is
+            // deterministic regardless of worker interleaving.
+            for (job, result) in misses.into_iter().zip(results) {
+                let dfs_pos = pos.get(&job.cell).copied().unwrap_or(usize::MAX);
+                let shard = match result {
+                    Ok(s) => s,
+                    Err(panic) => {
+                        failures.push((dfs_pos, HierError::Internal(panic.to_string())));
+                        bad.insert(job.cell);
+                        continue;
+                    }
+                };
+                self.abstracts.extend(shard.new_abstracts);
+                self.memo.extend(shard.new_memo);
+                self.history.insert(job.name.clone(), shard.history);
+                self.last.absorb(&shard.counters);
+                let outcome = match shard.outcome {
+                    Ok(o) if o.converged => o,
+                    Ok(_) => {
+                        failures.push((
+                            dfs_pos,
+                            HierError::Diverged(format!(
+                                "cell `{}` did not reach an x/y fixpoint in {} alternations",
+                                job.name, opts.max_passes
+                            )),
+                        ));
+                        bad.insert(job.cell);
+                        continue;
+                    }
+                    Err(e) => {
+                        failures.push((dfs_pos, e));
+                        bad.insert(job.cell);
+                        continue;
+                    }
+                };
+                let out_hash =
+                    hash_cell(&outcome.cell, |id| hash_of.get(&id).copied().unwrap_or(0));
+                self.cells.insert(
+                    job.key,
+                    Arc::new(CellEntry {
+                        outcome: outcome.clone(),
+                        out_hash,
+                    }),
+                );
+                let Some(slot) = out_table.get_mut(job.cell) else {
+                    return Err(HierError::Internal(format!(
+                        "cell `{}` vanished from the table mid-walk",
+                        job.name
+                    )));
+                };
+                *slot = outcome.cell.clone();
+                hash_of.insert(job.cell, out_hash);
+                outcomes.insert(job.cell, outcome);
+            }
+        }
+        if let Some((_, e)) = failures.into_iter().min_by_key(|&(p, _)| p) {
+            return Err(e);
+        }
+        // Reassemble the per-cell list in the serial walk's bottom-up
+        // order.
+        let mut cells = Vec::with_capacity(outcomes.len());
+        for cell in order {
+            if let Some(outcome) = outcomes.remove(&cell) {
+                cells.push((table.require(cell)?.name().to_owned(), outcome));
+            }
+        }
+        Ok(ChipLayout {
+            table: out_table,
+            top,
+            cells,
+        })
+    }
+}
+
+/// One outcome-cache miss queued for the parallel fan-out, carrying the
+/// cell's solve history out of the session for the worker's exclusive
+/// use.
+struct MissJob {
+    cell: CellId,
+    name: String,
+    /// Outcome-cache key (`mix(deep input hash, context)`).
+    key: u64,
+    history: CellHistory,
+}
+
+/// Everything a worker produced for one miss: the outcome plus the cache
+/// state to merge back — its updated history and the abstracts/memo
+/// entries it derived (content-addressed, so merge order only affects
+/// counters, never values).
+struct ShardResult {
+    outcome: Result<HierOutcome, HierError>,
+    history: CellHistory,
+    new_abstracts: HashMap<u64, Arc<CellAbstract>>,
+    new_memo: HashMap<u64, Arc<SweepSolution>>,
+    counters: ReuseCounters,
+}
+
+/// The per-worker [`CompactHooks`]: reads go to the shared snapshot
+/// first, then to the worker's private inserts; writes stay private until
+/// the level's deterministic merge. Fault injection is structurally
+/// absent — an armed plan forces the serial path before this type is ever
+/// constructed.
+struct ShardHooks<'a> {
+    abstracts: &'a HashMap<u64, Arc<CellAbstract>>,
+    new_abstracts: HashMap<u64, Arc<CellAbstract>>,
+    /// Deep output hashes of every definition from earlier levels.
+    hash_of: &'a HashMap<CellId, u64>,
+    rules_hash: u64,
+    context: u64,
+    history: CellHistory,
+    memo: &'a HashMap<u64, Arc<SweepSolution>>,
+    new_memo: HashMap<u64, Arc<SweepSolution>>,
+    counters: ReuseCounters,
+}
+
+impl CompactHooks for ShardHooks<'_> {
+    fn abstract_for(
+        &mut self,
+        table: &CellTable,
+        cell: CellId,
+        orientation: Orientation,
+        rules: &DesignRules,
+    ) -> Result<(Arc<CellAbstract>, u64), LayoutError> {
+        let src = match self.hash_of.get(&cell) {
+            Some(&h) => h,
+            None => deep_hashes(table, cell)?[&cell],
+        };
+        let sig = mix(&[
+            src,
+            orientation.rotation as u64,
+            orientation.mirror_y as u64,
+            self.rules_hash,
+        ]);
+        if let Some(cached) = self
+            .abstracts
+            .get(&sig)
+            .or_else(|| self.new_abstracts.get(&sig))
+        {
+            self.counters.abstract_hits += 1;
+            return Ok((cached.clone(), sig));
+        }
+        self.counters.abstracts_derived += 1;
+        let derived = Arc::new(derive_abstract(table, cell, orientation, rules)?);
+        self.new_abstracts.insert(sig, derived.clone());
+        Ok((derived, sig))
+    }
+
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn context_tag(&self) -> u64 {
+        self.context
+    }
+
+    fn warm_seed(&mut self, axis: Axis) -> Option<Vec<i64>> {
+        self.history.warm[axis_index(axis)].clone()
+    }
+
+    fn record_warm(&mut self, axis: Axis, positions: &[i64]) {
+        self.history.warm[axis_index(axis)] = Some(positions.to_vec());
+    }
+
+    fn prev_sweep(&mut self, ordinal: usize) -> Option<Arc<SweepRecord>> {
+        self.history.prev.get(ordinal).cloned()
+    }
+
+    fn record_sweep(&mut self, ordinal: usize, record: Arc<SweepRecord>) {
+        if ordinal == self.history.next.len() {
+            self.history.next.push(record);
+        }
+    }
+
+    fn memo_get(&mut self, key: u64) -> Option<Arc<SweepSolution>> {
+        self.memo
+            .get(&key)
+            .or_else(|| self.new_memo.get(&key))
+            .cloned()
+    }
+
+    fn memo_put(&mut self, key: u64, solution: Arc<SweepSolution>) {
+        self.new_memo.insert(key, solution);
+    }
+
+    fn counters(&mut self) -> Option<&mut ReuseCounters> {
+        Some(&mut self.counters)
     }
 }
 

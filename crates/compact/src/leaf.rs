@@ -186,6 +186,38 @@ pub fn compact_limited(
     solver: &dyn Solver,
     limits: &Limits,
 ) -> Result<CompactionResult, LeafError> {
+    compact_limited_par(
+        cells,
+        interfaces,
+        rules,
+        solver,
+        limits,
+        Parallelism::Serial,
+    )
+}
+
+/// [`compact_limited`] with constraint *generation* fanned across worker
+/// threads: the intra-cell spacing scans and the per-interface cross
+/// scans run their pair filters in parallel, emitting into the system in
+/// the serial order. The result — success or error — is bit-identical
+/// to [`compact_limited`] at any thread count; only wall-clock changes.
+///
+/// Use this for one big library on an otherwise idle machine;
+/// [`compact_batch`] applies it automatically to single-job batches
+/// (many-job batches keep their job-level fan-out instead).
+///
+/// # Errors
+///
+/// Returns [`LeafError`] on infeasible systems, malformed input, or an
+/// exhausted budget.
+pub fn compact_limited_par(
+    cells: &[CellDefinition],
+    interfaces: &[LeafInterface],
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    limits: &Limits,
+    par: Parallelism,
+) -> Result<CompactionResult, LeafError> {
     let axis = Axis::X;
     limits.check_deadline()?;
     // Ingest validation: coordinate budget (so interior arithmetic is
@@ -226,7 +258,7 @@ pub fn compact_limited(
             })
             .collect();
         // Intra-cell constraints: widths, connectivity, visibility spacing.
-        scanline::append_constraints(&mut sys, &boxes, &vars, rules, Method::Visibility);
+        scanline::append_constraints_par(&mut sys, &boxes, &vars, rules, Method::Visibility, par);
         // Anchor the cell's lowest edge at its original coordinate.
         if let Some(k) = (0..boxes.len()).min_by_key(|&k| boxes[k].1.lo_along(axis)) {
             sys.require_exact(origin, vars[k].left, boxes[k].1.lo_along(axis));
@@ -284,7 +316,7 @@ pub fn compact_limited(
                 pitch,
             })
             .collect();
-        append_cross_constraints(&mut sys, &a_view, &b_view, rules)?;
+        append_cross_constraints(&mut sys, &a_view, &b_view, rules, par)?;
     }
 
     // Metric excludes the origin convenience variable (Fig 6.3 counts
@@ -415,8 +447,23 @@ pub fn compact_batch(
     solver: &dyn Solver,
     parallelism: Parallelism,
 ) -> Vec<Result<CompactionResult, LeafError>> {
+    // A single-job batch has no job-level work to distribute, so the
+    // workers move inside the job: its constraint-generation scans fan
+    // out instead (bit-identical output either way).
+    let inner = if jobs.len() == 1 {
+        parallelism
+    } else {
+        Parallelism::Serial
+    };
     crate::par::par_map(jobs, parallelism.threads(), |job| {
-        compact(&job.cells, &job.interfaces, rules, solver)
+        compact_limited_par(
+            &job.cells,
+            &job.interfaces,
+            rules,
+            solver,
+            &Limits::NONE,
+            inner,
+        )
     })
     .into_iter()
     .map(|slot| match slot {
@@ -437,11 +484,12 @@ fn append_cross_constraints(
     a_view: &[VBox],
     b_view: &[VBox],
     rules: &DesignRules,
+    par: Parallelism,
 ) -> Result<(), LeafError> {
     let axis = sys.axis();
     let all: Vec<VBox> = a_view.iter().chain(b_view).copied().collect();
     let all_rects: Vec<(Layer, Rect)> = all.iter().map(|v| (v.layer, v.rect)).collect();
-    let mut oracle = scanline::VisibilityOracle::new(all_rects, axis);
+    let oracle = scanline::VisibilityOracle::new(all_rects, axis);
 
     let emit = |sys: &mut ConstraintSystem, from: &VBox, to: &VBox, w: i64| {
         // x_to − x_from + (coeff_to − coeff_from)·λ ≥ w, where a box's
@@ -468,31 +516,67 @@ fn append_cross_constraints(
     // Spacing: a strictly below b along the axis, shared across-range,
     // not hidden. Abutting same-layer cross boxes are connected material
     // and get no spacing requirement (their relative position is
-    // governed by the pitch).
-    for (i, a) in all.iter().enumerate() {
-        for (j, b) in all.iter().enumerate() {
-            if i == j || (i < a_view.len()) == (j < a_view.len()) {
-                continue;
+    // governed by the pitch). The scan is a pure pair filter (the oracle
+    // is read-only behind per-worker cursors), so ranges of low boxes
+    // fan across workers; the collected pairs are emitted serially in
+    // the (i, j) order the serial loop would use, so the system — and
+    // any emission error — is bit-identical at every thread count.
+    let scan_range = |range: std::ops::Range<usize>, out: &mut Vec<(usize, usize, i64)>| {
+        let mut cursor = oracle.cursor();
+        for i in range {
+            let a = &all[i];
+            for (j, b) in all.iter().enumerate() {
+                if i == j || (i < a_view.len()) == (j < a_view.len()) {
+                    continue;
+                }
+                let Some(spacing) = rules.min_spacing(a.layer, b.layer) else {
+                    continue;
+                };
+                if a.rect.hi_along(axis) > b.rect.lo_along(axis) {
+                    continue;
+                }
+                if a.rect.lo_across(axis) >= b.rect.hi_across(axis)
+                    || b.rect.lo_across(axis) >= a.rect.hi_across(axis)
+                {
+                    continue;
+                }
+                if a.layer == b.layer && a.rect.intersect(b.rect).is_some() {
+                    continue; // abutting/connected across the interface
+                }
+                if cursor.hidden_between(i, j) {
+                    continue;
+                }
+                out.push((i, j, spacing));
             }
-            let Some(spacing) = rules.min_spacing(a.layer, b.layer) else {
-                continue;
-            };
-            if a.rect.hi_along(axis) > b.rect.lo_along(axis) {
-                continue;
-            }
-            if a.rect.lo_across(axis) >= b.rect.hi_across(axis)
-                || b.rect.lo_across(axis) >= a.rect.hi_across(axis)
-            {
-                continue;
-            }
-            if a.layer == b.layer && a.rect.intersect(b.rect).is_some() {
-                continue; // abutting/connected across the interface
-            }
-            if oracle.hidden_between(i, j) {
-                continue;
-            }
-            emit(sys, a, b, spacing)?;
         }
+    };
+    let threads = par.threads().min(all.len().max(1));
+    let mut pairs: Vec<(usize, usize, i64)> = Vec::new();
+    if threads <= 1 {
+        scan_range(0..all.len(), &mut pairs);
+    } else {
+        let chunk = all.len().div_ceil(threads * 8).max(1);
+        let ranges: Vec<(usize, usize)> = (0..all.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(all.len())))
+            .collect();
+        let blocks = crate::par::par_map(&ranges, threads, |&(s, e)| {
+            let mut block = Vec::new();
+            scan_range(s..e, &mut block);
+            block
+        });
+        for (block, &(s, e)) in blocks.into_iter().zip(&ranges) {
+            match block {
+                Ok(mut b) => pairs.append(&mut b),
+                // The scan closure is panic-free; if a worker still
+                // died, recompute the range inline so any genuine panic
+                // surfaces on the caller's thread, as in serial.
+                Err(_) => scan_range(s..e, &mut pairs),
+            }
+        }
+    }
+    for (i, j, spacing) in pairs {
+        emit(sys, &all[i], &all[j], spacing)?;
     }
     Ok(())
 }

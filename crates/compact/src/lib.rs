@@ -69,7 +69,7 @@ pub mod incremental;
 pub mod layers;
 pub mod leaf;
 pub mod limits;
-pub mod par;
+pub use rsg_geom::par;
 pub mod scanline;
 
 pub use rsg_solve::{backend, simplex, solver};

@@ -24,6 +24,7 @@
 //! sweep axis (edge coordinates that become variables) and *across* the
 //! perpendicular axis (frozen during the sweep).
 
+use crate::par::Parallelism;
 use crate::{ConstraintSystem, VarId};
 use rsg_geom::{Axis, CoverageProfile, GeomIndex, Rect};
 use rsg_layout::{DesignRules, Layer};
@@ -61,6 +62,22 @@ pub fn generate(
     method: Method,
     axis: Axis,
 ) -> (ConstraintSystem, Vec<BoxVars>) {
+    generate_par(boxes, rules, method, axis, Parallelism::Serial)
+}
+
+/// [`generate`] with the spacing scan fanned across worker threads.
+///
+/// The emitted system is **bit-identical** to the serial one at any
+/// thread count: workers scan disjoint ranges of low boxes against the
+/// shared read-only index and their constraint blocks are appended in
+/// range order, reproducing the serial emission order exactly.
+pub fn generate_par(
+    boxes: &[(Layer, Rect)],
+    rules: &DesignRules,
+    method: Method,
+    axis: Axis,
+    par: Parallelism,
+) -> (ConstraintSystem, Vec<BoxVars>) {
     let mut sys = ConstraintSystem::new_along(axis);
     let vars: Vec<BoxVars> = boxes
         .iter()
@@ -70,7 +87,7 @@ pub fn generate(
             BoxVars { left, right }
         })
         .collect();
-    append_constraints(&mut sys, boxes, &vars, rules, method);
+    append_constraints_par(&mut sys, boxes, &vars, rules, method, par);
     (sys, vars)
 }
 
@@ -84,6 +101,19 @@ pub fn append_constraints(
     vars: &[BoxVars],
     rules: &DesignRules,
     method: Method,
+) {
+    append_constraints_par(sys, boxes, vars, rules, method, Parallelism::Serial);
+}
+
+/// [`append_constraints`] with the spacing scan fanned across workers —
+/// see [`generate_par`] for the determinism contract.
+pub fn append_constraints_par(
+    sys: &mut ConstraintSystem,
+    boxes: &[(Layer, Rect)],
+    vars: &[BoxVars],
+    rules: &DesignRules,
+    method: Method,
+    par: Parallelism,
 ) {
     let axis = sys.axis();
 
@@ -117,34 +147,68 @@ pub fn append_constraints(
 
     // Spacing constraints. The visibility method consults the hidden-edge
     // oracle, which answers coverage queries from one spatial index
-    // instead of rescanning every box per candidate pair.
-    let mut oracle =
+    // instead of rescanning every box per candidate pair. Each worker
+    // scans its own range of low boxes with a private oracle cursor; the
+    // per-range constraint lists are appended in range order, matching
+    // the serial (i, j) emission order exactly.
+    let oracle =
         (method == Method::Visibility).then(|| VisibilityOracle::new(boxes.to_vec(), axis));
-    for i in 0..boxes.len() {
-        for j in 0..boxes.len() {
-            if i == j {
-                continue;
-            }
-            let (layer_a, ra) = boxes[i];
-            let (layer_b, rb) = boxes[j];
-            let Some(spacing) = rules.min_spacing(layer_a, layer_b) else {
-                continue;
-            };
-            // `a` strictly below `b` along the axis, sharing an
-            // across-axis range.
-            if ra.hi_along(axis) > rb.lo_along(axis) || !across_overlap(ra, rb, axis) {
-                continue;
-            }
-            if layer_a == layer_b && touches(ra, rb) {
-                continue; // connected material: no spacing requirement
-            }
-            if let Some(o) = oracle.as_mut() {
-                if o.hidden_between(i, j) {
+    let scan_range = |range: std::ops::Range<usize>, out: &mut Vec<(usize, usize, i64)>| {
+        let mut cursor = oracle.as_ref().map(|o| o.cursor());
+        for i in range {
+            for j in 0..boxes.len() {
+                if i == j {
                     continue;
                 }
+                let (layer_a, ra) = boxes[i];
+                let (layer_b, rb) = boxes[j];
+                let Some(spacing) = rules.min_spacing(layer_a, layer_b) else {
+                    continue;
+                };
+                // `a` strictly below `b` along the axis, sharing an
+                // across-axis range.
+                if ra.hi_along(axis) > rb.lo_along(axis) || !across_overlap(ra, rb, axis) {
+                    continue;
+                }
+                if layer_a == layer_b && touches(ra, rb) {
+                    continue; // connected material: no spacing requirement
+                }
+                if let Some(c) = cursor.as_mut() {
+                    if c.hidden_between(i, j) {
+                        continue;
+                    }
+                }
+                out.push((i, j, spacing));
             }
-            sys.require(vars[i].right, vars[j].left, spacing);
         }
+    };
+    let threads = par.threads().min(boxes.len().max(1));
+    let mut spacings: Vec<(usize, usize, i64)> = Vec::new();
+    if threads <= 1 {
+        scan_range(0..boxes.len(), &mut spacings);
+    } else {
+        let chunk = boxes.len().div_ceil(threads * 8).max(1);
+        let ranges: Vec<(usize, usize)> = (0..boxes.len())
+            .step_by(chunk)
+            .map(|s| (s, (s + chunk).min(boxes.len())))
+            .collect();
+        let blocks = crate::par::par_map(&ranges, threads, |&(s, e)| {
+            let mut block = Vec::new();
+            scan_range(s..e, &mut block);
+            block
+        });
+        for (block, &(s, e)) in blocks.into_iter().zip(&ranges) {
+            match block {
+                Ok(mut b) => spacings.append(&mut b),
+                // The scan closure is panic-free; if a worker still
+                // died, recompute the range inline so any genuine panic
+                // surfaces on the caller's thread, as in serial.
+                Err(_) => scan_range(s..e, &mut spacings),
+            }
+        }
+    }
+    for (i, j, spacing) in spacings {
+        sys.require(vars[i].right, vars[j].left, spacing);
     }
 }
 
@@ -174,22 +238,39 @@ fn touches(a: Rect, b: Rect) -> bool {
 /// across range reaches `j`'s low edge.
 pub(crate) struct VisibilityOracle {
     index: GeomIndex<Layer>,
-    /// Profiles for the current low box, keyed by partner layer.
-    profiles: Vec<(Layer, CoverageProfile)>,
-    /// The low box the cached profiles belong to.
-    owner: usize,
 }
 
 impl VisibilityOracle {
     /// Indexes `boxes` for hidden-edge queries along `axis`.
     pub(crate) fn new(boxes: Vec<(Layer, Rect)>, axis: Axis) -> VisibilityOracle {
         VisibilityOracle {
-            index: GeomIndex::build(&boxes, axis),
+            index: GeomIndex::build_from_vec(boxes, axis),
+        }
+    }
+
+    /// A query cursor over the shared index. The index is immutable, so
+    /// any number of cursors (one per worker thread) can scan the same
+    /// oracle concurrently, each with its own profile cache.
+    pub(crate) fn cursor(&self) -> VisibilityCursor<'_> {
+        VisibilityCursor {
+            index: &self.index,
             profiles: Vec::new(),
             owner: usize::MAX,
         }
     }
+}
 
+/// One worker's view of a [`VisibilityOracle`]: the shared read-only
+/// index plus a private per-low-box profile cache.
+pub(crate) struct VisibilityCursor<'a> {
+    index: &'a GeomIndex<Layer>,
+    /// Profiles for the current low box, keyed by partner layer.
+    profiles: Vec<(Layer, CoverageProfile)>,
+    /// The low box the cached profiles belong to.
+    owner: usize,
+}
+
+impl VisibilityCursor<'_> {
     /// The hidden-edge test for the pair `(i, j)`, equivalent to the
     /// retired per-pair region scan. Queries for one `i` should be
     /// batched (as the generation loops naturally do): switching `i`

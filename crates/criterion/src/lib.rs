@@ -204,6 +204,12 @@ impl IntoBenchId for &str {
     }
 }
 
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
 impl IntoBenchId for BenchmarkId {
     fn into_bench_id(self) -> String {
         self.id

@@ -17,6 +17,11 @@ use crate::{Axis, Rect};
 
 /// One per-label bucket: item ids sorted by their low edge along the
 /// sweep axis, with a prefix maximum of high edges for early exit.
+///
+/// All four box coordinates are mirrored into dense per-bucket columns
+/// (struct-of-arrays) so window scans touch only sequential `i64` data
+/// instead of chasing `(label, Rect)` pairs through the item table —
+/// at 10⁶ boxes the pointer chase is the scan's dominant cost.
 #[derive(Debug, Clone)]
 struct Bucket<L> {
     label: L,
@@ -24,8 +29,28 @@ struct Bucket<L> {
     order: Vec<u32>,
     /// `lo_along` of each entry in sorted order (binary-search key).
     lo: Vec<i64>,
+    /// `hi_along` of each entry in sorted order.
+    hi: Vec<i64>,
+    /// `lo_across` of each entry in sorted order.
+    across_lo: Vec<i64>,
+    /// `hi_across` of each entry in sorted order.
+    across_hi: Vec<i64>,
     /// `prefix_max_hi[k] = max(hi_along of entries 0..=k)`.
     prefix_max_hi: Vec<i64>,
+}
+
+impl<L> Bucket<L> {
+    fn empty(label: L) -> Bucket<L> {
+        Bucket {
+            label,
+            order: Vec::new(),
+            lo: Vec::new(),
+            hi: Vec::new(),
+            across_lo: Vec::new(),
+            across_hi: Vec::new(),
+            prefix_max_hi: Vec::new(),
+        }
+    }
 }
 
 /// A sweep-ordered spatial index over labelled rectangles.
@@ -73,15 +98,7 @@ impl<L: Copy + Ord> GeomIndex<L> {
         let mut labels: Vec<L> = items.iter().map(|&(l, _)| l).collect();
         labels.sort_unstable();
         labels.dedup();
-        let mut buckets: Vec<Bucket<L>> = labels
-            .into_iter()
-            .map(|label| Bucket {
-                label,
-                order: Vec::new(),
-                lo: Vec::new(),
-                prefix_max_hi: Vec::new(),
-            })
-            .collect();
+        let mut buckets: Vec<Bucket<L>> = labels.into_iter().map(Bucket::empty).collect();
         for (k, &(label, _)) in items.iter().enumerate() {
             // The bucket list was deduped from these same items, so the
             // search succeeds; the Err arm keeps the loop total (and the
@@ -89,15 +106,7 @@ impl<L: Copy + Ord> GeomIndex<L> {
             let b = match buckets.binary_search_by(|b| b.label.cmp(&label)) {
                 Ok(b) => b,
                 Err(i) => {
-                    buckets.insert(
-                        i,
-                        Bucket {
-                            label,
-                            order: Vec::new(),
-                            lo: Vec::new(),
-                            prefix_max_hi: Vec::new(),
-                        },
-                    );
+                    buckets.insert(i, Bucket::empty(label));
                     i
                 }
             };
@@ -111,6 +120,9 @@ impl<L: Copy + Ord> GeomIndex<L> {
             for &k in &bucket.order {
                 let r = items[k as usize].1;
                 bucket.lo.push(r.lo_along(axis));
+                bucket.hi.push(r.hi_along(axis));
+                bucket.across_lo.push(r.lo_across(axis));
+                bucket.across_hi.push(r.hi_across(axis));
                 max_hi = max_hi.max(r.hi_along(axis));
                 bucket.prefix_max_hi.push(max_hi);
             }
@@ -191,9 +203,8 @@ impl<L: Copy + Ord> GeomIndex<L> {
                 if b.prefix_max_hi[pos] < min_hi {
                     return None; // nothing earlier can reach the window
                 }
-                let k = b.order[pos] as usize;
-                if self.items[k].1.hi_along(self.axis) >= min_hi {
-                    return Some(k);
+                if b.hi[pos] >= min_hi {
+                    return Some(b.order[pos] as usize);
                 }
             }
             None
@@ -234,25 +245,45 @@ impl<L: Copy + Ord> GeomIndex<L> {
     ) -> CoverageProfile {
         // Candidates: boxes on the labels intersecting the along window
         // [start, until] with positive across overlap of the window.
-        let mut cand: Vec<Rect> = Vec::new();
+        // The scan reads only the bucket's dense coordinate columns.
+        let mut cand: Vec<BoxSpan> = Vec::new();
         let mut seen_labels: Vec<L> = Vec::new();
         for &label in labels {
             if seen_labels.contains(&label) {
                 continue; // identical labels would double-count a bucket
             }
             seen_labels.push(label);
-            for k in self.neighbors_within(label, (start, until), 0) {
-                let r = self.items[k].1;
-                if r.hi_along(self.axis) > start
-                    && r.lo_across(self.axis) < across.1
-                    && r.hi_across(self.axis) > across.0
-                {
-                    cand.push(r);
+            let Some(b) = self.bucket(label) else {
+                continue;
+            };
+            let mut pos = b.lo.partition_point(|&lo| lo <= until);
+            while pos > 0 {
+                pos -= 1;
+                if b.prefix_max_hi[pos] < start {
+                    break; // nothing earlier can reach the window
+                }
+                if b.hi[pos] > start && b.across_lo[pos] < across.1 && b.across_hi[pos] > across.0 {
+                    cand.push(BoxSpan {
+                        lo: b.lo[pos],
+                        hi: b.hi[pos],
+                        across_lo: b.across_lo[pos],
+                        across_hi: b.across_hi[pos],
+                    });
                 }
             }
         }
-        CoverageProfile::build(self.axis, start, until, across, &cand)
+        CoverageProfile::build(start, until, across, &cand)
     }
+}
+
+/// A box reduced to its four axis-relative edges — what coverage
+/// profiling needs, already resolved against the index's sweep axis.
+#[derive(Debug, Clone, Copy)]
+struct BoxSpan {
+    lo: i64,
+    hi: i64,
+    across_lo: i64,
+    across_hi: i64,
 }
 
 /// Piecewise-constant coverage reach over an across-axis window: for
@@ -273,10 +304,10 @@ pub struct CoverageProfile {
 }
 
 impl CoverageProfile {
-    fn build(axis: Axis, start: i64, until: i64, window: (i64, i64), cand: &[Rect]) -> Self {
+    fn build(start: i64, until: i64, window: (i64, i64), cand: &[BoxSpan]) -> Self {
         let mut cuts: Vec<i64> = cand
             .iter()
-            .flat_map(|r| [r.lo_across(axis), r.hi_across(axis)])
+            .flat_map(|r| [r.across_lo, r.across_hi])
             .filter(|&c| c > window.0 && c < window.1)
             .collect();
         cuts.push(window.0);
@@ -293,8 +324,8 @@ impl CoverageProfile {
             ivs.clear();
             ivs.extend(
                 cand.iter()
-                    .filter(|r| r.lo_across(axis) <= s0 && r.hi_across(axis) >= s1)
-                    .map(|r| (r.lo_along(axis), r.hi_along(axis))),
+                    .filter(|r| r.across_lo <= s0 && r.across_hi >= s1)
+                    .map(|r| (r.lo, r.hi)),
             );
             ivs.sort_unstable();
             let mut f = start;

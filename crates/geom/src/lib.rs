@@ -67,6 +67,7 @@ mod bbox;
 mod index;
 mod isometry;
 mod orientation;
+pub mod par;
 mod point;
 mod rect;
 

@@ -1,11 +1,14 @@
 //! Minimal deterministic parallel map over scoped threads.
 //!
-//! The batch leaf compactor fans independent cells out across cores.
-//! The container this repository builds in has no registry access, so
-//! instead of `rayon` this module implements the one primitive needed —
-//! an order-preserving parallel map — on `std::thread::scope`. Results
-//! are collected by input index, so the output is byte-identical to the
-//! serial map regardless of scheduling.
+//! The batch leaf compactor, the hierarchy DAG walk, and the per-layer
+//! DRC sweep all fan independent jobs out across cores. The container
+//! this repository builds in has no registry access, so instead of
+//! `rayon` this module implements the one primitive needed — an
+//! order-preserving parallel map — on `std::thread::scope`. Workers
+//! claim contiguous index chunks from a shared atomic cursor and write
+//! results straight into preallocated per-index slots, so the output is
+//! byte-identical to the serial map regardless of scheduling and the
+//! hot batch path allocates nothing per item.
 //!
 //! A panic inside the mapped closure does **not** poison the batch: each
 //! item runs under `catch_unwind`, the panic payload is captured as a
@@ -14,7 +17,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// A mapped closure panicked on one item; the rest of the batch is
 /// unaffected.
@@ -48,6 +51,14 @@ fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+/// One output slot, owned by exactly one worker while it runs.
+type Slot<R> = Option<Result<R, WorkerPanic>>;
+
+/// A claimable chunk of output slots: base index plus the slot slice.
+/// The `Mutex` mediates only the one-time handoff to the claiming
+/// worker, never per-item traffic.
+type Task<'a, R> = Mutex<Option<(usize, &'a mut [Slot<R>])>>;
+
 fn run_one<T, R, F>(f: &F, item: &T, index: usize) -> Result<R, WorkerPanic>
 where
     F: Fn(&T) -> R,
@@ -79,31 +90,42 @@ where
             .collect();
     }
 
+    // Preallocated output: one slot per input index. Each chunk of slots
+    // is handed to exactly one worker (claimed through the atomic
+    // cursor), so writes are disjoint; the per-chunk `Mutex` only
+    // mediates the one-time slice handoff, never per-item traffic.
+    let mut slots: Vec<Slot<R>> = (0..items.len()).map(|_| None).collect();
+    // More chunks than workers so a slow chunk cannot serialize the
+    // batch; chunk claiming costs one atomic op per chunk, not per item.
+    let chunk = items.len().div_ceil(workers * 4).max(1);
+    let tasks: Vec<Task<'_, R>> = slots
+        .chunks_mut(chunk)
+        .enumerate()
+        .map(|(c, out)| Mutex::new(Some((c * chunk, out))))
+        .collect();
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Result<R, WorkerPanic>)>();
-    // `scope` joins every worker before returning. Workers never unwind
-    // out of the loop (each call is caught), so every index sends exactly
-    // one result and every slot below is filled.
-    let slots = std::thread::scope(|scope| {
+    // `scope` joins every worker before returning, so every chunk is
+    // claimed and every slot below is filled. Workers never unwind out
+    // of the loop (each call is caught).
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            let tx = tx.clone();
             let next = &next;
+            let tasks = &tasks;
             let f = &f;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(item) = items.get(i) else { break };
-                if tx.send((i, run_one(f, item, i))).is_err() {
-                    break;
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(c) else { break };
+                let claimed = match task.lock() {
+                    Ok(mut guard) => guard.take(),
+                    Err(mut poisoned) => poisoned.get_mut().take(),
+                };
+                let Some((base, out)) = claimed else { continue };
+                for (j, slot) in out.iter_mut().enumerate() {
+                    let i = base + j;
+                    *slot = Some(run_one(f, &items[i], i));
                 }
             });
         }
-        drop(tx);
-        let mut slots: Vec<Option<Result<R, WorkerPanic>>> =
-            (0..items.len()).map(|_| None).collect();
-        for (i, r) in rx {
-            slots[i] = Some(r);
-        }
-        slots
     });
     slots
         .into_iter()

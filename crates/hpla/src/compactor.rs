@@ -141,14 +141,17 @@ pub fn compact_chip(
     parallelism: Parallelism,
 ) -> Result<ChipCompaction, RsgError> {
     let leaf = compact_library(rules, solver, parallelism)?;
-    hier::compact_chip_with_library(table, top, leaf, rules, solver, &HierOptions::default())
-        .map_err(RsgError::from)
+    let opts = HierOptions {
+        parallelism,
+        ..HierOptions::default()
+    };
+    hier::compact_chip_with_library(table, top, leaf, rules, solver, &opts).map_err(RsgError::from)
 }
 
 /// [`compact_chip`] through a persistent [`CompactSession`]: the first
 /// call is a cold run, subsequent calls after an edit recompact only the
 /// definitions the edit is visible from. Results are bit-identical to
-/// [`compact_chip`] on the same input.
+/// [`compact_chip`] on the same input at every `parallelism` setting.
 ///
 /// # Errors
 ///
@@ -159,16 +162,14 @@ pub fn compact_chip_session(
     top: CellId,
     rules: &DesignRules,
     solver: &dyn Solver,
+    parallelism: Parallelism,
 ) -> Result<ChipCompaction, RsgError> {
+    let opts = HierOptions {
+        parallelism,
+        ..HierOptions::default()
+    };
     session
-        .compact_chip_with_library(
-            table,
-            top,
-            &library_jobs()?,
-            rules,
-            solver,
-            &HierOptions::default(),
-        )
+        .compact_chip_with_library(table, top, &library_jobs()?, rules, solver, &opts)
         .map_err(RsgError::from)
 }
 

@@ -16,6 +16,7 @@
 //! identical order.
 
 use crate::{DesignRules, FlatLayout, Layer};
+use rsg_geom::par::{par_map, Parallelism};
 use rsg_geom::{GeomIndex, Rect};
 use std::fmt;
 
@@ -92,8 +93,32 @@ pub fn check_flat(flat: &FlatLayout, rules: &DesignRules) -> Vec<Violation> {
 /// axis; any pair violating does so within that window, because the L∞
 /// gap bounds the along-axis gap from above.
 pub fn check_indexed(index: &GeomIndex<Layer>, rules: &DesignRules) -> Vec<Violation> {
+    check_indexed_par(index, rules, Parallelism::Serial)
+}
+
+/// [`check_flat`] with the sweep fanned across worker threads — the
+/// per-box neighbour scans are independent, so ranges of box indices
+/// run on separate workers and the range results concatenate in index
+/// order. The violation list is **bit-identical** to [`check_flat`]
+/// at any thread count.
+pub fn check_flat_par(flat: &FlatLayout, rules: &DesignRules, par: Parallelism) -> Vec<Violation> {
+    check_indexed_par(flat.index(), rules, par)
+}
+
+/// [`check_indexed`] with the spacing sweep fanned across workers.
+///
+/// Widths are a single cheap pass and stay serial; the spacing scan —
+/// the dominant cost — splits the box list into contiguous index
+/// ranges, each producing its violation block independently against
+/// the shared read-only index. Blocks are concatenated in range order,
+/// so the output order (by `a`, then `b`) matches the serial sweep and
+/// the pairwise referee exactly.
+pub fn check_indexed_par(
+    index: &GeomIndex<Layer>,
+    rules: &DesignRules,
+    par: Parallelism,
+) -> Vec<Violation> {
     let boxes = index.items();
-    let axis = index.axis();
     let mut out = Vec::new();
     for (i, &(layer, rect)) in boxes.iter().enumerate() {
         if rect.area() == 0 {
@@ -111,13 +136,54 @@ pub fn check_indexed(index: &GeomIndex<Layer>, rules: &DesignRules) -> Vec<Viola
         }
     }
     let labels: Vec<Layer> = index.labels().collect();
+    let threads = par.threads().min(boxes.len().max(1));
+    if threads <= 1 {
+        spacing_sweep(index, rules, &labels, 0..boxes.len(), &mut out);
+        return out;
+    }
+    // More ranges than workers so one dense region cannot serialize the
+    // batch; each range yields its block, concatenated in range order.
+    let chunk = boxes.len().div_ceil(threads * 8).max(1);
+    let ranges: Vec<(usize, usize)> = (0..boxes.len())
+        .step_by(chunk)
+        .map(|s| (s, (s + chunk).min(boxes.len())))
+        .collect();
+    let blocks = par_map(&ranges, threads, |&(s, e)| {
+        let mut block = Vec::new();
+        spacing_sweep(index, rules, &labels, s..e, &mut block);
+        block
+    });
+    for (block, &(s, e)) in blocks.into_iter().zip(&ranges) {
+        match block {
+            Ok(mut b) => out.append(&mut b),
+            // The sweep closure is panic-free; if a worker still died,
+            // recompute the range inline so the serial semantics (and
+            // any genuine panic) surface on the caller's thread.
+            Err(_) => spacing_sweep(index, rules, &labels, s..e, &mut out),
+        }
+    }
+    out
+}
+
+/// The spacing half of the sweep for boxes `i` in `range`, appended to
+/// `out` in the serial order (by `i`, then partner index).
+fn spacing_sweep(
+    index: &GeomIndex<Layer>,
+    rules: &DesignRules,
+    labels: &[Layer],
+    range: std::ops::Range<usize>,
+    out: &mut Vec<Violation>,
+) {
+    let boxes = index.items();
+    let axis = index.axis();
     let mut near: Vec<Violation> = Vec::new();
-    for (i, &(la, ra)) in boxes.iter().enumerate() {
+    for i in range {
+        let (la, ra) = boxes[i];
         if ra.area() == 0 {
             continue;
         }
         near.clear();
-        for &lb in &labels {
+        for &lb in labels {
             let Some(required) = rules.min_spacing(la, lb) else {
                 continue;
             };
@@ -149,11 +215,10 @@ pub fn check_indexed(index: &GeomIndex<Layer>, rules: &DesignRules) -> Vec<Viola
         // reference exactly. Only spacing violations reach `near`.
         near.sort_by_key(|v| match v {
             Violation::Spacing { b, .. } => *b,
-            Violation::Width { .. } => unreachable!("widths are emitted in the first loop"),
+            Violation::Width { .. } => usize::MAX, // widths never reach `near`
         });
         out.append(&mut near);
     }
-    out
 }
 
 /// The all-pairs reference checker the sweep replaced. Same output as

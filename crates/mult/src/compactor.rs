@@ -129,8 +129,11 @@ pub fn compact_chip(
     parallelism: Parallelism,
 ) -> Result<ChipCompaction, RsgError> {
     let leaf = compact_library(rules, solver, parallelism)?;
-    hier::compact_chip_with_library(table, top, leaf, rules, solver, &HierOptions::default())
-        .map_err(RsgError::from)
+    let opts = HierOptions {
+        parallelism,
+        ..HierOptions::default()
+    };
+    hier::compact_chip_with_library(table, top, leaf, rules, solver, &opts).map_err(RsgError::from)
 }
 
 /// [`compact_chip`] through a persistent [`CompactSession`]: after an
@@ -138,7 +141,7 @@ pub fn compact_chip(
 /// definitions that can see the edit — the edited leaf's job, its parent
 /// register stack, and the top cell — are recompacted; the n² core array
 /// replays from the cache. Results are bit-identical to [`compact_chip`]
-/// on the same input.
+/// on the same input at every `parallelism` setting.
 ///
 /// # Errors
 ///
@@ -149,16 +152,14 @@ pub fn compact_chip_session(
     top: CellId,
     rules: &DesignRules,
     solver: &dyn Solver,
+    parallelism: Parallelism,
 ) -> Result<ChipCompaction, RsgError> {
+    let opts = HierOptions {
+        parallelism,
+        ..HierOptions::default()
+    };
     session
-        .compact_chip_with_library(
-            table,
-            top,
-            &library_jobs()?,
-            rules,
-            solver,
-            &HierOptions::default(),
-        )
+        .compact_chip_with_library(table, top, &library_jobs()?, rules, solver, &opts)
         .map_err(RsgError::from)
 }
 

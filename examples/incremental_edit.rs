@@ -91,6 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pla.top,
         &tech.rules,
         &solver,
+        Parallelism::Auto,
     )?;
     show(&session.last_stats());
     let cold = rsg::hpla::compactor::compact_chip(
@@ -119,6 +120,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pla2.top,
         &tech.rules,
         &solver,
+        Parallelism::Auto,
     )?;
     let stats = session.last_stats();
     show(&stats);
@@ -143,6 +145,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pla2.top,
         &tech.rules,
         &solver,
+        Parallelism::Auto,
     )?;
     let stats = session.last_stats();
     show(&stats);

@@ -80,6 +80,7 @@ fn multiplier_one_mask_edit_recompacts_one_path() {
         out.top,
         &tech.rules,
         &solver,
+        Parallelism::Auto,
     )
     .unwrap();
     assert_same_chip(&primed, &cold);
@@ -108,6 +109,7 @@ fn multiplier_one_mask_edit_recompacts_one_path() {
         out.top,
         &tech.rules,
         &solver,
+        Parallelism::Auto,
     )
     .unwrap();
     assert_same_chip(&inc_edit, &cold_edit);
@@ -140,6 +142,7 @@ fn multiplier_one_mask_edit_recompacts_one_path() {
         out.top,
         &tech.rules,
         &solver,
+        Parallelism::Auto,
     )
     .unwrap();
     assert_same_chip(&noop, &cold_edit);
@@ -175,6 +178,7 @@ fn pla_personality_edit_reuses_the_leaf_pass() {
         pla1.top,
         &tech.rules,
         &solver,
+        Parallelism::Auto,
     )
     .unwrap();
     assert_same_chip(&inc1, &cold1);
@@ -194,6 +198,7 @@ fn pla_personality_edit_reuses_the_leaf_pass() {
         pla2.top,
         &tech.rules,
         &solver,
+        Parallelism::Auto,
     )
     .unwrap();
     assert_same_chip(&inc2, &cold2);
