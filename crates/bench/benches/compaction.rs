@@ -18,7 +18,7 @@ use rsg_compact::backend::{Balanced, BellmanFord, Solver};
 use rsg_compact::leaf::{
     compact, compact_batch, LeafInterface, LibraryJob, Parallelism, PitchKind,
 };
-use rsg_compact::scanline::{generate, Method};
+use rsg_compact::scanline::{generate, generate_with, Method, Prune};
 use rsg_compact::solver::{solve, EdgeOrder};
 use rsg_geom::{Axis, Rect, Vector};
 use rsg_layout::{CellDefinition, Layer, Technology};
@@ -112,14 +112,24 @@ fn bench_flat_vs_leaf(c: &mut Criterion) {
         },
     ];
 
-    // Report the constraint-count table once.
+    // Report the constraint-count table once: the full emission vs the
+    // transitively-reduced emission the solver now sees by default.
     for n in [2usize, 4, 8] {
         let boxes = tiled(n);
-        let (sys, _) = generate(&boxes, &tech.rules, Method::Visibility, Axis::X);
+        let (full, _) = generate_with(
+            &boxes,
+            &tech.rules,
+            Method::Visibility,
+            Axis::X,
+            Prune::Keep,
+            Parallelism::Serial,
+        );
+        let (pruned, _) = generate(&boxes, &tech.rules, Method::Visibility, Axis::X);
         println!(
-            "flat {n}x{n}: {} vars, {} constraints",
-            sys.num_vars(),
-            sys.constraints().len()
+            "flat {n}x{n}: {} vars, {} constraints unpruned, {} pruned",
+            full.num_vars(),
+            full.constraints().len(),
+            pruned.constraints().len()
         );
     }
     let leaf = compact(
@@ -144,6 +154,26 @@ fn bench_flat_vs_leaf(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // The pruning before/after pair at the headline size: same layout,
+    // same solver, only the transitive reduction toggled. `flat/16`
+    // above is the pruned path; this row is the full-emission control.
+    let mut group = c.benchmark_group("compaction/pruning");
+    let boxes = tiled(16);
+    group.bench_with_input(BenchmarkId::new("unpruned", 16), &boxes, |b, boxes| {
+        b.iter(|| {
+            let (sys, _) = generate_with(
+                boxes,
+                &tech.rules,
+                Method::Visibility,
+                Axis::X,
+                Prune::Keep,
+                Parallelism::Serial,
+            );
+            black_box(solve(&sys, EdgeOrder::Sorted).unwrap().extent())
+        })
+    });
     group.finish();
 
     c.bench_function("compaction/leaf-once", |b| {

@@ -5,7 +5,8 @@
 //! the x sweep.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rsg_compact::scanline::{generate, Method};
+use rsg_compact::par::Parallelism;
+use rsg_compact::scanline::{generate, generate_with, Method, Prune};
 use rsg_geom::{Axis, Rect};
 use rsg_layout::{Layer, Technology};
 use std::hint::black_box;
@@ -25,10 +26,20 @@ fn fragmented(n: usize) -> Vec<(Layer, Rect)> {
 fn bench_methods(c: &mut Criterion) {
     let rules = Technology::mead_conway(2).rules.clone();
 
-    // Constraint-count table (the measurable overconstraint).
+    // Constraint-count table (the measurable overconstraint). The band
+    // rows run with `Prune::Keep`: E15 measures the band scan's raw
+    // hidden-edge emission, which the default transitive reduction
+    // (E24) would otherwise absorb.
     for n in [8usize, 16, 32, 64] {
         let boxes = fragmented(n);
-        let (band, _) = generate(&boxes, &rules, Method::Band, Axis::X);
+        let (band, _) = generate_with(
+            &boxes,
+            &rules,
+            Method::Band,
+            Axis::X,
+            Prune::Keep,
+            Parallelism::Serial,
+        );
         let (vis, _) = generate(&boxes, &rules, Method::Visibility, Axis::X);
         println!(
             "fragmented bus n={n}: band={} constraints, visibility={}",
@@ -43,10 +54,17 @@ fn bench_methods(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("band", n), &boxes, |b, boxes| {
             b.iter(|| {
                 black_box(
-                    generate(boxes, &rules, Method::Band, Axis::X)
-                        .0
-                        .constraints()
-                        .len(),
+                    generate_with(
+                        boxes,
+                        &rules,
+                        Method::Band,
+                        Axis::X,
+                        Prune::Keep,
+                        Parallelism::Serial,
+                    )
+                    .0
+                    .constraints()
+                    .len(),
                 )
             })
         });

@@ -1,0 +1,95 @@
+//! E24 regression guard: generated-constraint counts must not creep
+//! back above the recorded ceilings.
+//!
+//! The ceilings live in `BENCH_constraint_ceilings.json` beside
+//! `BENCH_compaction.json`: the pruned constraint count of the E13 8×8
+//! tiled array and of the E23 megachip flat lattice at 10⁵ boxes. Both
+//! workloads are deterministic, so the recorded values are exact — any
+//! increase means a generator or prune regression and fails CI (wired
+//! into ci.yml next to the megachip smoke). Run with
+//! `cargo test --release -p rsg-bench --test constraint_ceilings`.
+
+use rsg_bench::megachip_flat;
+use rsg_compact::par::Parallelism;
+use rsg_compact::scanline::{generate_with, Method, Prune};
+use rsg_geom::{Axis, Rect, Vector};
+use rsg_layout::{Layer, Technology};
+
+/// Reads one `"key": <integer>` value out of the ceilings JSON. The
+/// container has no JSON dependency, and the file is flat enough that
+/// a keyed scan is exact.
+fn ceiling(key: &str) -> usize {
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_constraint_ceilings.json"
+    );
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let needle = format!("\"{key}\":");
+    let at = text
+        .find(&needle)
+        .unwrap_or_else(|| panic!("key {key:?} missing from {path}"));
+    let rest = &text[at + needle.len()..];
+    let digits: String = rest
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits
+        .parse()
+        .unwrap_or_else(|e| panic!("key {key:?} is not an integer: {e}"))
+}
+
+/// The E13 bench cell tiled n×n at its sample pitch (the layout behind
+/// the recorded `flat_tiled_array` rows).
+fn tiled(n: usize) -> Vec<(Layer, Rect)> {
+    let bars = [
+        (Layer::Poly, Rect::from_coords(2, 0, 8, 30)),
+        (Layer::Metal1, Rect::from_coords(16, 5, 28, 25)),
+        (Layer::Poly, Rect::from_coords(34, 0, 38, 30)),
+    ];
+    let mut out = Vec::new();
+    for row in 0..n as i64 {
+        for col in 0..n as i64 {
+            let shift = Vector::new(col * 48, row * 36);
+            for (l, r) in bars {
+                out.push((l, r.translate(shift)));
+            }
+        }
+    }
+    out
+}
+
+fn pruned_count(boxes: &[(Layer, Rect)]) -> usize {
+    let rules = &Technology::mead_conway(2).rules;
+    let (sys, _) = generate_with(
+        boxes,
+        rules,
+        Method::Visibility,
+        Axis::X,
+        Prune::Apply,
+        Parallelism::Serial,
+    );
+    sys.constraints().len()
+}
+
+#[test]
+fn tiled_8x8_stays_under_recorded_ceiling() {
+    let count = pruned_count(&tiled(8));
+    let ceiling = ceiling("tiled_8x8_pruned");
+    assert!(
+        count <= ceiling,
+        "8x8 tiled-array pruned constraint count regressed: {count} > recorded ceiling {ceiling}"
+    );
+}
+
+#[test]
+fn megachip_flat_100k_stays_under_recorded_ceiling() {
+    let boxes = megachip_flat(100_000);
+    let count = pruned_count(&boxes);
+    let ceiling = ceiling("megachip_flat_100k_pruned");
+    assert!(
+        count <= ceiling,
+        "megachip flat (n = {}) pruned constraint count regressed: {count} > recorded ceiling {ceiling}",
+        boxes.len()
+    );
+}

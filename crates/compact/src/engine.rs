@@ -17,7 +17,9 @@
 //! constraint counts, relaxation passes, and the extent trajectory.
 
 use crate::backend::{SolveError, Solver};
-use crate::scanline::{self, BoxVars, Method};
+use crate::par::Parallelism;
+use crate::scanline::{self, BoxVars, Method, Prune};
+use crate::scratch::SweepScratch;
 use rsg_geom::{Axis, Rect};
 use rsg_layout::{DesignRules, Layer};
 
@@ -56,7 +58,7 @@ pub fn compact_axis(
     axis: Axis,
     solver: &dyn Solver,
 ) -> Result<Vec<(Layer, Rect)>, SolveError> {
-    Ok(sweep(boxes, rules, axis, solver, None)?.0)
+    Ok(sweep(boxes, rules, axis, solver, None, &mut SweepScratch::new())?.0)
 }
 
 /// Statistics of one axis sweep inside [`compact_xy`].
@@ -138,21 +140,32 @@ pub enum WarmStart {
 /// The boxes, solved positions, and stats of one traced sweep.
 type SweepResult = (Vec<(Layer, Rect)>, Vec<i64>, SweepStats);
 
-/// One traced sweep: generate, solve (optionally warm), apply.
+/// One traced sweep: generate (into the reusable arena), solve
+/// (optionally warm), apply.
 fn sweep(
     boxes: &[(Layer, Rect)],
     rules: &DesignRules,
     axis: Axis,
     solver: &dyn Solver,
     warm: Option<&[i64]>,
+    scratch: &mut SweepScratch,
 ) -> Result<SweepResult, SolveError> {
-    let (sys, vars) = scanline::generate(boxes, rules, Method::Visibility, axis);
+    let vars = scanline::generate_scratch(
+        scratch,
+        boxes,
+        rules,
+        Method::Visibility,
+        axis,
+        Prune::Apply,
+        Parallelism::Serial,
+    );
+    let sys = &scratch.sys;
     let out = match warm {
         // A seed is only meaningful while the variable layout matches
         // (two edge variables per box, in box order — stable across
         // alternations for a fixed box list).
-        Some(seed) if seed.len() == sys.num_vars() => solver.solve_system_warm(&sys, &[], seed)?,
-        _ => solver.solve_system(&sys, &[])?,
+        Some(seed) if seed.len() == sys.num_vars() => solver.solve_system_warm(sys, &[], seed)?,
+        _ => solver.solve_system(sys, &[])?,
     };
     let extent = {
         let max = out.positions.iter().copied().max().unwrap_or(0);
@@ -211,13 +224,19 @@ pub fn compact_xy_with(
     };
     let mut seed_x: Option<Vec<i64>> = None;
     let mut seed_y: Option<Vec<i64>> = None;
+    // One sweep arena per axis, reused across alternations: buffers are
+    // cleared, not reallocated, and the converging re-sweep (same boxes,
+    // same constraints) gets its CSR graph back without a rebuild.
+    let mut scratch_x = SweepScratch::new();
+    let mut scratch_y = SweepScratch::new();
     for pass in 0..max_passes {
         let warm_x = if warm == WarmStart::Warm {
             seed_x.as_deref()
         } else {
             None
         };
-        let (after_x, pos_x, stats_x) = sweep(&cur, rules, Axis::X, solver, warm_x)?;
+        let (after_x, pos_x, stats_x) =
+            sweep(&cur, rules, Axis::X, solver, warm_x, &mut scratch_x)?;
         seed_x = Some(pos_x);
         report.sweeps.push(stats_x);
 
@@ -226,7 +245,8 @@ pub fn compact_xy_with(
         } else {
             None
         };
-        let (next, pos_y, stats_y) = sweep(&after_x, rules, Axis::Y, solver, warm_y)?;
+        let (next, pos_y, stats_y) =
+            sweep(&after_x, rules, Axis::Y, solver, warm_y, &mut scratch_y)?;
         seed_y = Some(pos_y);
         report.sweeps.push(stats_y);
 

@@ -41,8 +41,8 @@ use crate::backend::{SolveError, Solver};
 use crate::fault::{injected_exhaustion, FaultSite, InjectedFault};
 use crate::limits::{Exhausted, Limits};
 use crate::par::{par_map, Parallelism};
-use crate::scanline::VisibilityOracle;
-use crate::ConstraintSystem;
+use crate::scanline::VisibilityCursor;
+use crate::scratch::SweepScratch;
 use rsg_geom::{Axis, BoundingBox, Isometry, Orientation, Point, Rect, Vector};
 use rsg_layout::hash::{mix, ContentHasher};
 use rsg_layout::{
@@ -69,6 +69,12 @@ pub struct HierOptions {
     /// default is [`Parallelism::Serial`] — small assemblies don't repay
     /// thread dispatch, so concurrency is opt-in per call.
     pub parallelism: Parallelism,
+    /// Transitively reduce the instance spacing edges before solving:
+    /// an origin edge `a → b` implied by a tighter kept chain
+    /// `a → c → b` is dropped. Solution-identical (same origins, same
+    /// pitches — see DESIGN.md, "Constraint pruning + sweep arenas");
+    /// `false` keeps the full emission for equivalence testing.
+    pub prune: bool,
 }
 
 impl Default for HierOptions {
@@ -78,6 +84,7 @@ impl Default for HierOptions {
             max_pitch_rounds: 32,
             limits: Limits::NONE,
             parallelism: Parallelism::Serial,
+            prune: true,
         }
     }
 }
@@ -984,6 +991,11 @@ pub(crate) fn compact_cell_with(
         [None, None]
     };
     let mut final_pitch: [Vec<HierPitch>; 2] = [Vec::new(), Vec::new()];
+    // One sweep arena per axis: the constraint system, its CSR graph,
+    // and the oracle index are cleared and refilled across alternation
+    // passes instead of rebuilt cold (a converged re-sweep reuses the
+    // previous pass's graph wholesale).
+    let mut scratch: [SweepScratch; 2] = [SweepScratch::new(), SweepScratch::new()];
     let mut passes = 0;
     let mut converged = false;
     for _ in 0..opts.max_passes {
@@ -1003,6 +1015,7 @@ pub(crate) fn compact_cell_with(
                 opts,
                 ordinal,
                 hooks,
+                &mut scratch[axis_index(axis)],
             )?;
             report.sweeps.push(stats);
             final_pitch[axis_index(axis)] = pitches;
@@ -1188,6 +1201,71 @@ fn axis_structure(
 /// One axis sweep: constraint generation on abstracts, pitch fixpoint,
 /// position update. Returns the stats and the solved pitch classes.
 #[allow(clippy::too_many_arguments)]
+/// The emission's origin-spacing edges, optionally transitively reduced.
+///
+/// An edge `(a, b, w_ab)` is dropped when a kept interposed cluster `c`
+/// carries edges `(a, c, w_ac)` and `(c, b, w_cb)` with
+/// `w_ac + w_cb ≥ w_ab` — the chain already forces
+/// `x_b − x_a ≥ w_ac + w_cb ≥ w_ab` in every feasible solution, so the
+/// dropped edge never binds (cluster extents are pre-folded into the
+/// origin weights, so no width term appears). Edges are visited in
+/// `BTreeMap` order and chains only use edges not yet dropped;
+/// soundness follows by reverse induction on drop order, exactly as for
+/// the flat scanline prune (DESIGN.md).
+fn pruned_weight_edges(
+    n: usize,
+    weights: &BTreeMap<(usize, usize), i64>,
+    prune: bool,
+) -> Vec<((usize, usize), i64)> {
+    let mut edges: Vec<((usize, usize), i64)> = weights.iter().map(|(&p, &w)| (p, w)).collect();
+    if !prune || edges.len() < 3 {
+        return edges;
+    }
+    // `edges` is sorted by (a, b): bucket offsets by source cluster.
+    let mut starts = vec![0usize; n + 1];
+    for &((a, _), _) in &edges {
+        starts[a + 1] += 1;
+    }
+    for a in 0..n {
+        starts[a + 1] += starts[a];
+    }
+    let mut keep = vec![true; edges.len()];
+    for idx in 0..edges.len() {
+        let ((a, b), w_ab) = edges[idx];
+        for m in starts[a]..starts[a + 1] {
+            if !keep[m] {
+                continue;
+            }
+            let ((_, c), w_ac) = edges[m];
+            if c == b {
+                continue;
+            }
+            let row = &edges[starts[c]..starts[c + 1]];
+            let Ok(p) = row.binary_search_by(|&((_, t), _)| t.cmp(&b)) else {
+                continue;
+            };
+            let m2 = starts[c] + p;
+            if !keep[m2] {
+                continue;
+            }
+            if w_ac.saturating_add(edges[m2].1) >= w_ab {
+                keep[idx] = false;
+                break;
+            }
+        }
+    }
+    let mut w = 0;
+    for idx in 0..edges.len() {
+        if keep[idx] {
+            edges[w] = edges[idx];
+            w += 1;
+        }
+    }
+    edges.truncate(w);
+    edges
+}
+
+#[allow(clippy::too_many_arguments)]
 fn sweep_axis(
     axis: Axis,
     items: &[Item],
@@ -1201,24 +1279,33 @@ fn sweep_axis(
     opts: &HierOptions,
     ordinal: usize,
     hooks: &mut dyn CompactHooks,
+    scratch: &mut SweepScratch,
 ) -> Result<(HierSweepStats, Vec<HierPitch>), HierError> {
     if let Some(f) = hooks.fault(FaultSite::Sweep) {
         return Err(injected_error(f, axis));
     }
     let n = clusters.len();
     let origin = |c: &Cluster, positions: &[Point]| positions[c.rep];
+    let SweepScratch { sys, scan } = scratch;
 
-    // Absolute abstract boxes, tagged with their owning cluster.
-    let mut pboxes: Vec<(Layer, Rect)> = Vec::new();
+    // Absolute abstract boxes, tagged with their owning cluster. The box
+    // list fills the scan arena's item buffer and goes straight into its
+    // recycled spatial index (the oracle and the candidate walks below
+    // both read from there).
+    let pbuf = &mut scan.items;
+    pbuf.clear();
     let mut owner: Vec<usize> = Vec::new();
     for (ci, c) in clusters.iter().enumerate() {
         for &m in &c.members {
             for &(l, r) in shapes[items[m].shape].profile(axis) {
-                pboxes.push((l, at(r, positions[m])));
+                pbuf.push((l, at(r, positions[m])));
                 owner.push(ci);
             }
         }
     }
+    let stale = scan.index.rebuild_from_vec(std::mem::take(pbuf), axis);
+    *pbuf = stale;
+    let pboxes: &[(Layer, Rect)] = scan.index.items();
 
     // Material frames per cluster (absolute).
     let frames: Vec<Option<Rect>> = clusters
@@ -1295,8 +1382,7 @@ fn sweep_axis(
     // clusters are *welded* at their current offset — exempting the pair
     // from spacing alone would let the compactor pry a connected bus
     // apart.
-    let oracle = VisibilityOracle::new(pboxes.clone(), axis);
-    let mut cursor = oracle.cursor();
+    let mut cursor = VisibilityCursor::with_cache(&scan.index, std::mem::take(&mut scan.profiles));
     for (i, &(la, ra)) in pboxes.iter().enumerate() {
         for (j, &(lb, rb)) in pboxes.iter().enumerate() {
             if owner[i] == owner[j] || reused(owner[i], owner[j]) {
@@ -1332,6 +1418,7 @@ fn sweep_axis(
             bump(&mut emission, owner[i], owner[j], w, Some((la, lb)));
         }
     }
+    scan.profiles = cursor.into_cache();
 
     // Copy the reused pairs' entries from the previous emission. The
     // BTreeMaps restore sorted pair order, so the solver sees exactly the
@@ -1445,13 +1532,22 @@ fn sweep_axis(
         }
     }
 
-    // Pitch fixpoint: the difference system is built once; each round
-    // solves it, then every class pitch rises to its worst member gap
-    // until stable, patching only the changed class weights in place.
+    // Pitch fixpoint: the difference system is built once (refilled into
+    // the sweep arena — an identical refill reuses the previous pass's
+    // CSR graph); each round solves it, then every class pitch rises to
+    // its worst member gap until stable, patching only the changed class
+    // weights in place.
+    //
+    // The emission itself — recorded, reused, and memo-keyed above in
+    // full — is transitively reduced here at system-build time: an
+    // origin edge already implied by a tighter kept two-hop chain never
+    // reaches the solver. Same greedy rule as the flat scanline prune
+    // (edges in BTreeMap order, chains through not-yet-dropped edges),
+    // so the kept set is deterministic and solution-identical.
     let mut lambdas: Vec<i64> = structure.classes.iter().map(|_| floor).collect();
-    let mut sys = ConstraintSystem::new_along(axis);
+    sys.reset(axis);
     let vars: Vec<_> = (0..n).map(|ci| sys.add_var(base(ci) - min_base)).collect();
-    for (&(a, b), &w) in &emission.weights {
+    for &((a, b), w) in &pruned_weight_edges(n, &emission.weights, opts.prune) {
         sys.require(vars[a], vars[b], w);
     }
     for (&(a, b), &d) in &emission.welds {
@@ -1464,8 +1560,9 @@ fn sweep_axis(
     for (k, class) in structure.classes.iter().enumerate() {
         let mut slots = Vec::with_capacity(class.pairs.len());
         for &(a, b) in &class.pairs {
-            slots.push(sys.constraints().len());
-            sys.require(vars[a], vars[b], lambdas[k]);
+            // require_slot: these are re-weighted by index during the
+            // fixpoint, so they must never dedup against a neighbour.
+            slots.push(sys.require_slot(vars[a], vars[b], lambdas[k]));
         }
         class_slots.push(slots);
     }
@@ -1483,8 +1580,8 @@ fn sweep_axis(
             return Err(injected_error(f, axis));
         }
         let out = match warm.as_deref() {
-            Some(seed) if seed.len() == n => solver.solve_system_warm(&sys, &[], seed)?,
-            _ => solver.solve_system(&sys, &[])?,
+            Some(seed) if seed.len() == n => solver.solve_system_warm(sys, &[], seed)?,
+            _ => solver.solve_system(sys, &[])?,
         };
         passes += out.passes;
         // Checkpoints: cumulative relaxation passes and the deadline.

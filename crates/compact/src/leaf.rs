@@ -20,9 +20,10 @@
 
 use crate::backend::{SolveError, Solver};
 use crate::limits::{Exhausted, Limits};
-use crate::scanline::{self, BoxVars, Method};
+use crate::scanline::{self, BoxVars, Method, Prune};
+use crate::scratch::ScanScratch;
 use crate::{Constraint, ConstraintSystem, PitchId, VarId};
-use rsg_geom::{Axis, Rect, Vector};
+use rsg_geom::{Axis, GeomIndex, Rect, Vector};
 use rsg_layout::{CellDefinition, DesignRules, Layer};
 
 /// How an interface displaces the second cell along the compaction axis.
@@ -218,6 +219,39 @@ pub fn compact_limited_par(
     limits: &Limits,
     par: Parallelism,
 ) -> Result<CompactionResult, LeafError> {
+    compact_limited_impl(cells, interfaces, rules, solver, limits, par, Prune::Apply)
+}
+
+/// [`compact_limited_par`] with the intra-cell transitive-reduction
+/// prune disabled — the full spacing emission reaches the solver. The
+/// result (cells, pitches, and [`PitchBinding`]s) is identical to the
+/// pruned path; this entry exists so the equivalence proptests can pin
+/// that claim rather than assume it.
+///
+/// # Errors
+///
+/// Returns [`LeafError`] on infeasible systems, malformed input, or an
+/// exhausted budget.
+pub fn compact_limited_unpruned(
+    cells: &[CellDefinition],
+    interfaces: &[LeafInterface],
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    limits: &Limits,
+    par: Parallelism,
+) -> Result<CompactionResult, LeafError> {
+    compact_limited_impl(cells, interfaces, rules, solver, limits, par, Prune::Keep)
+}
+
+fn compact_limited_impl(
+    cells: &[CellDefinition],
+    interfaces: &[LeafInterface],
+    rules: &DesignRules,
+    solver: &dyn Solver,
+    limits: &Limits,
+    par: Parallelism,
+    prune: Prune,
+) -> Result<CompactionResult, LeafError> {
     let axis = Axis::X;
     limits.check_deadline()?;
     // Ingest validation: coordinate budget (so interior arithmetic is
@@ -245,7 +279,10 @@ pub fn compact_limited_par(
     // and absorb the pitch (the λ / translation degeneracy).
     let origin = sys.add_var(0);
 
-    // Edge variables per cell box.
+    // Edge variables per cell box. One scan scratch serves every cell's
+    // intra-cell append *and* the cross scans below — the per-cell index
+    // and candidate buffers are cleared, not reallocated, between cells.
+    let mut scan = ScanScratch::new();
     let mut cell_vars: Vec<Vec<BoxVars>> = Vec::with_capacity(cells.len());
     let mut cell_boxes: Vec<Vec<(Layer, Rect)>> = Vec::with_capacity(cells.len());
     for cell in cells {
@@ -257,8 +294,18 @@ pub fn compact_limited_par(
                 right: sys.add_var(r.hi_along(axis)),
             })
             .collect();
-        // Intra-cell constraints: widths, connectivity, visibility spacing.
-        scanline::append_constraints_par(&mut sys, &boxes, &vars, rules, Method::Visibility, par);
+        // Intra-cell constraints: widths, connectivity, visibility
+        // spacing (transitively-reduced — solution-identical).
+        scanline::append_constraints_with(
+            &mut sys,
+            &boxes,
+            &vars,
+            rules,
+            Method::Visibility,
+            prune,
+            par,
+            &mut scan,
+        );
         // Anchor the cell's lowest edge at its original coordinate.
         if let Some(k) = (0..boxes.len()).min_by_key(|&k| boxes[k].1.lo_along(axis)) {
             sys.require_exact(origin, vars[k].left, boxes[k].1.lo_along(axis));
@@ -316,7 +363,7 @@ pub fn compact_limited_par(
                 pitch,
             })
             .collect();
-        append_cross_constraints(&mut sys, &a_view, &b_view, rules, par)?;
+        append_cross_constraints(&mut sys, &a_view, &b_view, rules, par, &mut scan)?;
     }
 
     // Metric excludes the origin convenience variable (Fig 6.3 counts
@@ -485,11 +532,21 @@ fn append_cross_constraints(
     b_view: &[VBox],
     rules: &DesignRules,
     par: Parallelism,
+    scan: &mut ScanScratch,
 ) -> Result<(), LeafError> {
     let axis = sys.axis();
     let all: Vec<VBox> = a_view.iter().chain(b_view).copied().collect();
-    let all_rects: Vec<(Layer, Rect)> = all.iter().map(|v| (v.layer, v.rect)).collect();
-    let oracle = scanline::VisibilityOracle::new(all_rects, axis);
+    let ScanScratch {
+        index,
+        items,
+        spacings,
+        ..
+    } = scan;
+    items.clear();
+    items.extend(all.iter().map(|v| (v.layer, v.rect)));
+    let stale = index.rebuild_from_vec(std::mem::take(items), axis);
+    *items = stale;
+    let index: &GeomIndex<Layer> = index;
 
     let emit = |sys: &mut ConstraintSystem, from: &VBox, to: &VBox, w: i64| {
         // x_to − x_from + (coeff_to − coeff_from)·λ ≥ w, where a box's
@@ -522,7 +579,7 @@ fn append_cross_constraints(
     // the (i, j) order the serial loop would use, so the system — and
     // any emission error — is bit-identical at every thread count.
     let scan_range = |range: std::ops::Range<usize>, out: &mut Vec<(usize, usize, i64)>| {
-        let mut cursor = oracle.cursor();
+        let mut cursor = scanline::VisibilityCursor::new(index);
         for i in range {
             let a = &all[i];
             for (j, b) in all.iter().enumerate() {
@@ -551,9 +608,10 @@ fn append_cross_constraints(
         }
     };
     let threads = par.threads().min(all.len().max(1));
-    let mut pairs: Vec<(usize, usize, i64)> = Vec::new();
+    let pairs = spacings;
+    pairs.clear();
     if threads <= 1 {
-        scan_range(0..all.len(), &mut pairs);
+        scan_range(0..all.len(), pairs);
     } else {
         let chunk = all.len().div_ceil(threads * 8).max(1);
         let ranges: Vec<(usize, usize)> = (0..all.len())
@@ -571,11 +629,11 @@ fn append_cross_constraints(
                 // The scan closure is panic-free; if a worker still
                 // died, recompute the range inline so any genuine panic
                 // surfaces on the caller's thread, as in serial.
-                Err(_) => scan_range(s..e, &mut pairs),
+                Err(_) => scan_range(s..e, pairs),
             }
         }
     }
-    for (i, j, spacing) in pairs {
+    for &(i, j, spacing) in pairs.iter() {
         emit(sys, &all[i], &all[j], spacing)?;
     }
     Ok(())

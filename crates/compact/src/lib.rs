@@ -71,6 +71,7 @@ pub mod leaf;
 pub mod limits;
 pub use rsg_geom::par;
 pub mod scanline;
+pub mod scratch;
 
 pub use rsg_solve::{backend, simplex, solver};
 

@@ -18,6 +18,16 @@
 //! the masking cells, §6.4.1), and connectivity constraints keeping
 //! same-layer boxes that touched in the input touching in the output.
 //!
+//! Candidate pairs are enumerated through the [`GeomIndex`] bucket
+//! columns rather than an all-pairs scan, and the emitted spacing set is
+//! put through a transitive-reduction prune ([`Prune::Apply`]): a
+//! spacing edge `a → b` already implied by a tighter chain through an
+//! interposed box `k` (`a → k`, `k`'s exact width, `k → b`) is dropped
+//! before the solver ever sees it. Pruning is *solution-identical* —
+//! the feasible region is unchanged, so solved positions, extents, and
+//! feasibility verdicts match the unpruned system exactly (DESIGN.md,
+//! "Constraint pruning + sweep arenas").
+//!
 //! The paper describes the x sweep only and obtains y by transposing the
 //! whole layout; here the sweep axis is a parameter, so the y pass runs
 //! on the same geometry with no copy. Throughout, *along* means the
@@ -25,6 +35,7 @@
 //! perpendicular axis (frozen during the sweep).
 
 use crate::par::Parallelism;
+use crate::scratch::{ScanScratch, SweepScratch};
 use crate::{ConstraintSystem, VarId};
 use rsg_geom::{Axis, CoverageProfile, GeomIndex, Rect};
 use rsg_layout::{DesignRules, Layer};
@@ -50,6 +61,19 @@ pub enum Method {
     Visibility,
 }
 
+/// Whether to drop spacing constraints that a tighter two-hop chain
+/// already implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Prune {
+    /// Transitive-reduction-during-generation (the default): smaller
+    /// graph, identical solutions.
+    #[default]
+    Apply,
+    /// Keep every generated spacing constraint — the reference behavior
+    /// the equivalence proptests compare against.
+    Keep,
+}
+
 /// Generates the constraint system along `axis` for a flat box list.
 ///
 /// Returns the system plus the per-box edge variables (in input order).
@@ -70,7 +94,8 @@ pub fn generate(
 /// The emitted system is **bit-identical** to the serial one at any
 /// thread count: workers scan disjoint ranges of low boxes against the
 /// shared read-only index and their constraint blocks are appended in
-/// range order, reproducing the serial emission order exactly.
+/// range order, reproducing the serial emission order exactly (the
+/// prune pass then runs serially over that shared list).
 pub fn generate_par(
     boxes: &[(Layer, Rect)],
     rules: &DesignRules,
@@ -78,7 +103,39 @@ pub fn generate_par(
     axis: Axis,
     par: Parallelism,
 ) -> (ConstraintSystem, Vec<BoxVars>) {
-    let mut sys = ConstraintSystem::new_along(axis);
+    generate_with(boxes, rules, method, axis, Prune::Apply, par)
+}
+
+/// [`generate_par`] with explicit [`Prune`] control — the entry point
+/// the pruning-equivalence tests and benches use to obtain the unpruned
+/// reference system.
+pub fn generate_with(
+    boxes: &[(Layer, Rect)],
+    rules: &DesignRules,
+    method: Method,
+    axis: Axis,
+    prune: Prune,
+    par: Parallelism,
+) -> (ConstraintSystem, Vec<BoxVars>) {
+    let mut scratch = SweepScratch::new();
+    let vars = generate_scratch(&mut scratch, boxes, rules, method, axis, prune, par);
+    (std::mem::take(&mut scratch.sys), vars)
+}
+
+/// [`generate_with`] into a reusable [`SweepScratch`]: the system is
+/// reset (keeping its buffers and, when the refill matches the previous
+/// sweep, its CSR graph) and lives inside the scratch afterwards.
+pub(crate) fn generate_scratch(
+    scratch: &mut SweepScratch,
+    boxes: &[(Layer, Rect)],
+    rules: &DesignRules,
+    method: Method,
+    axis: Axis,
+    prune: Prune,
+    par: Parallelism,
+) -> Vec<BoxVars> {
+    let SweepScratch { sys, scan } = scratch;
+    sys.reset(axis);
     let vars: Vec<BoxVars> = boxes
         .iter()
         .map(|(_, r)| {
@@ -87,8 +144,8 @@ pub fn generate_par(
             BoxVars { left, right }
         })
         .collect();
-    append_constraints_par(&mut sys, boxes, &vars, rules, method, par);
-    (sys, vars)
+    append_constraints_with(sys, boxes, &vars, rules, method, prune, par, scan);
+    vars
 }
 
 /// Appends the width, connectivity, and spacing constraints for `boxes`
@@ -115,7 +172,50 @@ pub fn append_constraints_par(
     method: Method,
     par: Parallelism,
 ) {
+    let mut scratch = ScanScratch::new();
+    append_constraints_with(
+        sys,
+        boxes,
+        vars,
+        rules,
+        method,
+        Prune::Apply,
+        par,
+        &mut scratch,
+    );
+}
+
+/// The full generator: width + connectivity + (pruned) spacing, drawing
+/// every buffer from `scratch`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn append_constraints_with(
+    sys: &mut ConstraintSystem,
+    boxes: &[(Layer, Rect)],
+    vars: &[BoxVars],
+    rules: &DesignRules,
+    method: Method,
+    prune: Prune,
+    par: Parallelism,
+    scratch: &mut ScanScratch,
+) {
     let axis = sys.axis();
+    let ScanScratch {
+        index,
+        items,
+        spacings,
+        cand,
+        keep,
+        starts,
+        profiles,
+    } = scratch;
+
+    // One spatial index serves candidate enumeration (spacing and
+    // connectivity) and the hidden-edge oracle. Its storage — bucket
+    // columns and the item list — is recycled from the previous scan.
+    items.clear();
+    items.extend_from_slice(boxes);
+    let stale = index.rebuild_from_vec(std::mem::take(items), axis);
+    *items = stale;
 
     // Width preservation.
     for ((_, r), bv) in boxes.iter().zip(vars) {
@@ -127,93 +227,223 @@ pub fn append_constraints_par(
     // Connected nets are rigid bodies in this compactor; only the space
     // between disconnected groups compresses — device and bus resizing
     // belongs to the masking cells, not the compactor (§6.4.1).
-    for i in 0..boxes.len() {
-        for j in 0..boxes.len() {
-            if i == j {
-                continue;
+    //
+    // Candidates come from the box's own layer bucket: low edge in
+    // `[lo, hi]` (ascending walk, early exit past `hi`) and closed
+    // across-overlap (strict with slack 1 on integer coordinates) is
+    // exactly "touches, not strictly below" — sorted back to input
+    // order to match the historical j-ascending emission.
+    for (i, &(layer_a, ra)) in boxes.iter().enumerate() {
+        cand.clear();
+        let lo = ra.lo_along(axis);
+        let hi = ra.hi_along(axis);
+        let across = (ra.lo_across(axis), ra.hi_across(axis));
+        for k in index.ordered_after(layer_a, lo, across, 1) {
+            if boxes[k].1.lo_along(axis) > hi {
+                break;
             }
-            let (la, ra) = boxes[i];
-            let (lb, rb) = boxes[j];
-            if la != lb || !touches(ra, rb) || ra.lo_along(axis) > rb.lo_along(axis) {
-                continue;
+            if k != i {
+                cand.push((k, 0));
             }
-            sys.require_exact(
-                vars[i].left,
-                vars[j].left,
-                rb.lo_along(axis) - ra.lo_along(axis),
-            );
+        }
+        cand.sort_unstable_by_key(|&(j, _)| j);
+        for &(j, _) in cand.iter() {
+            let rb = boxes[j].1;
+            sys.require_exact(vars[i].left, vars[j].left, rb.lo_along(axis) - lo);
         }
     }
 
     // Spacing constraints. The visibility method consults the hidden-edge
-    // oracle, which answers coverage queries from one spatial index
+    // oracle, which answers coverage queries from the shared index
     // instead of rescanning every box per candidate pair. Each worker
     // scans its own range of low boxes with a private oracle cursor; the
     // per-range constraint lists are appended in range order, matching
     // the serial (i, j) emission order exactly.
-    let oracle =
-        (method == Method::Visibility).then(|| VisibilityOracle::new(boxes.to_vec(), axis));
-    let scan_range = |range: std::ops::Range<usize>, out: &mut Vec<(usize, usize, i64)>| {
-        let mut cursor = oracle.as_ref().map(|o| o.cursor());
-        for i in range {
-            for j in 0..boxes.len() {
-                if i == j {
-                    continue;
-                }
-                let (layer_a, ra) = boxes[i];
-                let (layer_b, rb) = boxes[j];
-                let Some(spacing) = rules.min_spacing(layer_a, layer_b) else {
-                    continue;
-                };
-                // `a` strictly below `b` along the axis, sharing an
-                // across-axis range.
-                if ra.hi_along(axis) > rb.lo_along(axis) || !across_overlap(ra, rb, axis) {
-                    continue;
-                }
-                if layer_a == layer_b && touches(ra, rb) {
-                    continue; // connected material: no spacing requirement
-                }
-                if let Some(c) = cursor.as_mut() {
-                    if c.hidden_between(i, j) {
-                        continue;
-                    }
-                }
-                out.push((i, j, spacing));
-            }
-        }
-    };
+    spacings.clear();
     let threads = par.threads().min(boxes.len().max(1));
-    let mut spacings: Vec<(usize, usize, i64)> = Vec::new();
     if threads <= 1 {
-        scan_range(0..boxes.len(), &mut spacings);
+        let mut cursor = (method == Method::Visibility)
+            .then(|| VisibilityCursor::with_cache(index, std::mem::take(profiles)));
+        scan_spacings(
+            boxes,
+            rules,
+            axis,
+            index,
+            cursor.as_mut(),
+            0..boxes.len(),
+            cand,
+            spacings,
+        );
+        if let Some(c) = cursor {
+            *profiles = c.into_cache();
+        }
     } else {
         let chunk = boxes.len().div_ceil(threads * 8).max(1);
         let ranges: Vec<(usize, usize)> = (0..boxes.len())
             .step_by(chunk)
             .map(|s| (s, (s + chunk).min(boxes.len())))
             .collect();
+        let index_ref: &GeomIndex<Layer> = index;
         let blocks = crate::par::par_map(&ranges, threads, |&(s, e)| {
             let mut block = Vec::new();
-            scan_range(s..e, &mut block);
+            let mut buf = Vec::new();
+            let mut cursor =
+                (method == Method::Visibility).then(|| VisibilityCursor::new(index_ref));
+            scan_spacings(
+                boxes,
+                rules,
+                axis,
+                index_ref,
+                cursor.as_mut(),
+                s..e,
+                &mut buf,
+                &mut block,
+            );
             block
         });
         for (block, &(s, e)) in blocks.into_iter().zip(&ranges) {
             match block {
                 Ok(mut b) => spacings.append(&mut b),
-                // The scan closure is panic-free; if a worker still
-                // died, recompute the range inline so any genuine panic
+                // The scan is panic-free; if a worker still died,
+                // recompute the range inline so any genuine panic
                 // surfaces on the caller's thread, as in serial.
-                Err(_) => scan_range(s..e, &mut spacings),
+                Err(_) => {
+                    let mut cursor =
+                        (method == Method::Visibility).then(|| VisibilityCursor::new(index_ref));
+                    scan_spacings(
+                        boxes,
+                        rules,
+                        axis,
+                        index_ref,
+                        cursor.as_mut(),
+                        s..e,
+                        cand,
+                        spacings,
+                    );
+                }
             }
         }
     }
-    for (i, j, spacing) in spacings {
+
+    if prune == Prune::Apply {
+        prune_spacings(boxes, axis, spacings, keep, starts);
+    }
+    for &(i, j, spacing) in spacings.iter() {
         sys.require(vars[i].right, vars[j].left, spacing);
     }
 }
 
-fn across_overlap(a: Rect, b: Rect, axis: Axis) -> bool {
-    a.lo_across(axis) < b.hi_across(axis) && b.lo_across(axis) < a.hi_across(axis)
+/// Collects `(i, j, spacing)` triples for low boxes in `range`, in the
+/// historical (i ascending, j ascending) emission order.
+#[allow(clippy::too_many_arguments)]
+fn scan_spacings(
+    boxes: &[(Layer, Rect)],
+    rules: &DesignRules,
+    axis: Axis,
+    index: &GeomIndex<Layer>,
+    mut cursor: Option<&mut VisibilityCursor<'_>>,
+    range: std::ops::Range<usize>,
+    cand: &mut Vec<(usize, i64)>,
+    out: &mut Vec<(usize, usize, i64)>,
+) {
+    for i in range {
+        let (layer_a, ra) = boxes[i];
+        let from = ra.hi_along(axis);
+        let across = (ra.lo_across(axis), ra.hi_across(axis));
+        cand.clear();
+        for layer_b in index.labels() {
+            let Some(spacing) = rules.min_spacing(layer_a, layer_b) else {
+                continue;
+            };
+            // `a` strictly below `b` along the axis (low edge at or past
+            // `a`'s high edge), sharing an across-axis range: exactly the
+            // bucket walk's membership test at slack 0.
+            for k in index.ordered_after(layer_b, from, across, 0) {
+                if k != i {
+                    cand.push((k, spacing));
+                }
+            }
+        }
+        cand.sort_unstable_by_key(|&(j, _)| j);
+        for &(j, spacing) in cand.iter() {
+            let (layer_b, rb) = boxes[j];
+            if layer_a == layer_b && touches(ra, rb) {
+                continue; // connected material: no spacing requirement
+            }
+            if let Some(c) = cursor.as_deref_mut() {
+                if c.hidden_between(i, j) {
+                    continue;
+                }
+            }
+            out.push((i, j, spacing));
+        }
+    }
+}
+
+/// Transitive-reduction prune over the collected spacing triples.
+///
+/// An edge `(i, j, s_ij)` is dropped when some kept interposed box `k`
+/// carries edges `(i, k, s_ik)` and `(k, j, s_kj)` with
+/// `s_ik + width(k) + s_kj ≥ s_ij`: every feasible solution already
+/// satisfies `left_j − right_i ≥ s_ik + w_k + s_kj` through `k`'s exact
+/// width constraint, so the dropped edge never binds. Edges are
+/// considered in emission order and chains only use edges not yet
+/// dropped; soundness of that greedy rule follows by reverse induction
+/// on drop order (DESIGN.md). Deterministic: same list in, same list
+/// out, on every thread count.
+fn prune_spacings(
+    boxes: &[(Layer, Rect)],
+    axis: Axis,
+    spacings: &mut Vec<(usize, usize, i64)>,
+    keep: &mut Vec<bool>,
+    starts: &mut Vec<usize>,
+) {
+    let n = boxes.len();
+    keep.clear();
+    keep.resize(spacings.len(), true);
+    // `spacings` is sorted by (i, j): bucket offsets by source box.
+    starts.clear();
+    starts.resize(n + 1, 0);
+    for &(i, _, _) in spacings.iter() {
+        starts[i + 1] += 1;
+    }
+    for i in 0..n {
+        starts[i + 1] += starts[i];
+    }
+    for idx in 0..spacings.len() {
+        let (i, j, s_ij) = spacings[idx];
+        for m in starts[i]..starts[i + 1] {
+            if !keep[m] {
+                continue;
+            }
+            let (_, k, s_ik) = spacings[m];
+            if k == j {
+                continue;
+            }
+            let row = &spacings[starts[k]..starts[k + 1]];
+            let Ok(p) = row.binary_search_by(|&(_, t, _)| t.cmp(&j)) else {
+                continue;
+            };
+            let m2 = starts[k] + p;
+            if !keep[m2] {
+                continue;
+            }
+            let s_kj = spacings[m2].2;
+            let w_k = boxes[k].1.extent_along(axis);
+            if s_ik.saturating_add(w_k).saturating_add(s_kj) >= s_ij {
+                keep[idx] = false;
+                break;
+            }
+        }
+    }
+    let mut w = 0;
+    for idx in 0..spacings.len() {
+        if keep[idx] {
+            spacings[w] = spacings[idx];
+            w += 1;
+        }
+    }
+    spacings.truncate(w);
 }
 
 fn touches(a: Rect, b: Rect) -> bool {
@@ -221,7 +451,8 @@ fn touches(a: Rect, b: Rect) -> bool {
     a.intersect(b).is_some()
 }
 
-/// The hidden-edge oracle of Fig 6.4, backed by a [`GeomIndex`].
+/// One worker's view of the hidden-edge oracle of Fig 6.4: the shared
+/// read-only [`GeomIndex`] plus a private per-low-box profile cache.
 ///
 /// A pair `(i, j)` is *hidden* when the gap between box `i`'s high edge
 /// and box `j`'s low edge (along the sweep axis) is fully covered, over
@@ -229,39 +460,16 @@ fn touches(a: Rect, b: Rect) -> bool {
 ///
 /// The old implementation rescanned every box and re-decomposed the gap
 /// region per candidate pair — the O(n²)-per-pair cost that made the
-/// visibility scan 33× slower than the band scan. The oracle instead
+/// visibility scan 33× slower than the band scan. The cursor instead
 /// builds, once per `(low box, partner layer)` combination, a
 /// [`CoverageProfile`]: how far contiguous material extends rightward
 /// from `i`'s high edge at every across position. Every `j` on that
 /// layer then answers in one range-minimum lookup, because the pair is
 /// hidden exactly when the minimum coverage reach over the shared
 /// across range reaches `j`'s low edge.
-pub(crate) struct VisibilityOracle {
-    index: GeomIndex<Layer>,
-}
-
-impl VisibilityOracle {
-    /// Indexes `boxes` for hidden-edge queries along `axis`.
-    pub(crate) fn new(boxes: Vec<(Layer, Rect)>, axis: Axis) -> VisibilityOracle {
-        VisibilityOracle {
-            index: GeomIndex::build_from_vec(boxes, axis),
-        }
-    }
-
-    /// A query cursor over the shared index. The index is immutable, so
-    /// any number of cursors (one per worker thread) can scan the same
-    /// oracle concurrently, each with its own profile cache.
-    pub(crate) fn cursor(&self) -> VisibilityCursor<'_> {
-        VisibilityCursor {
-            index: &self.index,
-            profiles: Vec::new(),
-            owner: usize::MAX,
-        }
-    }
-}
-
-/// One worker's view of a [`VisibilityOracle`]: the shared read-only
-/// index plus a private per-low-box profile cache.
+///
+/// The index is immutable, so any number of cursors (one per worker
+/// thread) can query it concurrently, each with its own cache.
 pub(crate) struct VisibilityCursor<'a> {
     index: &'a GeomIndex<Layer>,
     /// Profiles for the current low box, keyed by partner layer.
@@ -270,11 +478,34 @@ pub(crate) struct VisibilityCursor<'a> {
     owner: usize,
 }
 
-impl VisibilityCursor<'_> {
-    /// The hidden-edge test for the pair `(i, j)`, equivalent to the
-    /// retired per-pair region scan. Queries for one `i` should be
-    /// batched (as the generation loops naturally do): switching `i`
-    /// drops the cached profiles.
+impl<'a> VisibilityCursor<'a> {
+    /// A cursor over `index` with a cold profile cache.
+    pub(crate) fn new(index: &'a GeomIndex<Layer>) -> VisibilityCursor<'a> {
+        VisibilityCursor::with_cache(index, Vec::new())
+    }
+
+    /// A cursor reusing `cache`'s allocation (contents are discarded).
+    pub(crate) fn with_cache(
+        index: &'a GeomIndex<Layer>,
+        mut cache: Vec<(Layer, CoverageProfile)>,
+    ) -> VisibilityCursor<'a> {
+        cache.clear();
+        VisibilityCursor {
+            index,
+            profiles: cache,
+            owner: usize::MAX,
+        }
+    }
+
+    /// Hands the cache allocation back for the next scan.
+    pub(crate) fn into_cache(self) -> Vec<(Layer, CoverageProfile)> {
+        self.profiles
+    }
+
+    /// The hidden-edge test for the pair `(i, j)` of `index.items()`,
+    /// equivalent to the retired per-pair region scan. Queries for one
+    /// `i` should be batched (as the generation loops naturally do):
+    /// switching `i` drops the cached profiles.
     pub(crate) fn hidden_between(&mut self, i: usize, j: usize) -> bool {
         let axis = self.index.axis();
         let (layer_i, ra) = self.index.items()[i];
@@ -349,7 +580,8 @@ mod tests {
         assert_eq!(w_vis, 4 * n as i64);
 
         // Band: hidden-edge spacing demands ≥ 6 between fragments that
-        // must stay abutting — infeasible (the overconstraint).
+        // must stay abutting — infeasible (the overconstraint). The
+        // prune preserves feasibility verdicts, so this still fails.
         assert!(solve(&band, EdgeOrder::Sorted).is_err());
     }
 
@@ -364,7 +596,14 @@ mod tests {
         ];
         let r = rules();
         let (vis, _) = generate(&boxes, &r, Method::Visibility, Axis::X);
-        let (band, _) = generate(&boxes, &r, Method::Band, Axis::X);
+        let (band, _) = generate_with(
+            &boxes,
+            &r,
+            Method::Band,
+            Axis::X,
+            Prune::Keep,
+            Parallelism::Serial,
+        );
         let spacing_constraints = |s: &ConstraintSystem| {
             s.constraints()
                 .iter()
@@ -386,7 +625,14 @@ mod tests {
             (Layer::Poly, Rect::from_coords(30, 0, 34, 20)),
         ];
         let r = rules();
-        let (vis, vars) = generate(&boxes, &r, Method::Visibility, Axis::X);
+        let (vis, vars) = generate_with(
+            &boxes,
+            &r,
+            Method::Visibility,
+            Axis::X,
+            Prune::Keep,
+            Parallelism::Serial,
+        );
         let has = vis
             .constraints()
             .iter()
@@ -459,7 +705,7 @@ mod tests {
     fn y_sweep_equals_x_sweep_on_transposed_geometry() {
         // The defining property of the axis-generic generator: sweeping Y
         // over boxes is the same system as sweeping X over the transposed
-        // boxes (up to the axis tag).
+        // boxes (up to the axis tag). Holds with and without pruning.
         let boxes = vec![
             (Layer::Metal1, Rect::from_coords(0, 0, 20, 6)),
             (Layer::Metal1, Rect::from_coords(0, 40, 20, 46)),
@@ -469,11 +715,15 @@ mod tests {
             boxes.iter().map(|&(l, r)| (l, r.transpose())).collect();
         let r = rules();
         for method in [Method::Band, Method::Visibility] {
-            let (sys_y, _) = generate(&boxes, &r, method, Axis::Y);
-            let (sys_xt, _) = generate(&transposed, &r, method, Axis::X);
-            assert_eq!(sys_y.axis(), Axis::Y);
-            assert_eq!(sys_y.constraints(), sys_xt.constraints());
-            assert_eq!(sys_y.num_vars(), sys_xt.num_vars());
+            for prune in [Prune::Apply, Prune::Keep] {
+                let (sys_y, _) =
+                    generate_with(&boxes, &r, method, Axis::Y, prune, Parallelism::Serial);
+                let (sys_xt, _) =
+                    generate_with(&transposed, &r, method, Axis::X, prune, Parallelism::Serial);
+                assert_eq!(sys_y.axis(), Axis::Y);
+                assert_eq!(sys_y.constraints(), sys_xt.constraints());
+                assert_eq!(sys_y.num_vars(), sys_xt.num_vars());
+            }
         }
     }
 
@@ -491,5 +741,62 @@ mod tests {
             sol.position(vars[1].left) - sol.position(vars[0].right),
             spacing
         );
+    }
+
+    #[test]
+    fn pruning_drops_chain_implied_edges_only() {
+        // Three poly boxes in a row with gaps: the 0→2 spacing is implied
+        // by 0→1, width(1), 1→2 (spacings 2+2 plus width 10 ≥ 2), so
+        // pruning drops exactly that edge and the solutions agree.
+        let boxes = vec![
+            (Layer::Poly, Rect::from_coords(0, 0, 4, 10)),
+            (Layer::Poly, Rect::from_coords(14, 0, 24, 10)),
+            (Layer::Poly, Rect::from_coords(34, 0, 38, 10)),
+        ];
+        let r = rules();
+        let (pruned, pv) = generate(&boxes, &r, Method::Visibility, Axis::X);
+        let (full, fv) = generate_with(
+            &boxes,
+            &r,
+            Method::Visibility,
+            Axis::X,
+            Prune::Keep,
+            Parallelism::Serial,
+        );
+        assert_eq!(full.constraints().len(), pruned.constraints().len() + 1);
+        let sp = solve(&pruned, EdgeOrder::Sorted).unwrap();
+        let sf = solve(&full, EdgeOrder::Sorted).unwrap();
+        assert_eq!(sp.positions(), sf.positions());
+        assert_eq!(pv, fv);
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial_with_pruning() {
+        let mut boxes = Vec::new();
+        for k in 0..12i64 {
+            let x = 11 * k;
+            boxes.push((Layer::Poly, Rect::from_coords(x, 0, x + 4, 10 + k)));
+            boxes.push((Layer::Metal1, Rect::from_coords(x, 12, x + 6, 30)));
+        }
+        let r = rules();
+        for prune in [Prune::Apply, Prune::Keep] {
+            let (serial, _) = generate_with(
+                &boxes,
+                &r,
+                Method::Visibility,
+                Axis::X,
+                prune,
+                Parallelism::Serial,
+            );
+            let (par, _) = generate_with(
+                &boxes,
+                &r,
+                Method::Visibility,
+                Axis::X,
+                prune,
+                Parallelism::Threads(4),
+            );
+            assert_eq!(serial.constraints(), par.constraints());
+        }
     }
 }

@@ -1,0 +1,85 @@
+//! Reusable sweep arenas.
+//!
+//! One compaction run is many sweeps over the same boxes: `compact_xy`
+//! alternates axes until a fixpoint, the hierarchical walker re-sweeps
+//! every cluster per pass, and the pitch fixpoint re-solves dozens of
+//! times. Before this module each sweep rebuilt everything from cold —
+//! constraint system, CSR graph, spatial index, candidate buffers — so
+//! the allocator sat squarely on the hot path at megachip scale.
+//!
+//! [`SweepScratch`] keeps those allocations alive between sweeps:
+//! clear-and-refill instead of drop-and-rebuild. The constraint system
+//! inside goes further than capacity reuse — via
+//! [`ConstraintSystem::reset`] it snapshots the previous sweep's content,
+//! and a refill that reproduces it byte-for-byte (the converged final
+//! alternation) gets the previous CSR graph back without any rebuild.
+
+use crate::ConstraintSystem;
+use rsg_geom::{Axis, CoverageProfile, GeomIndex, Rect};
+use rsg_layout::Layer;
+
+/// Buffers for one constraint-generation scan ([`crate::scanline`]).
+///
+/// Everything here is cleared (not shrunk) per use; the spatial index
+/// recycles its bucket columns through
+/// [`GeomIndex::rebuild_from_vec`].
+#[derive(Debug)]
+pub struct ScanScratch {
+    /// Spatial index over the scanned boxes — backs both candidate
+    /// enumeration and the hidden-edge oracle.
+    pub(crate) index: GeomIndex<Layer>,
+    /// Recycled storage for the index's item list.
+    pub(crate) items: Vec<(Layer, Rect)>,
+    /// Collected `(low box, high box, spacing)` triples, in emission
+    /// order, shared by the serial scan and the parallel merge.
+    pub(crate) spacings: Vec<(usize, usize, i64)>,
+    /// Per-low-box candidate merge buffer `(high box, spacing)`.
+    pub(crate) cand: Vec<(usize, i64)>,
+    /// Per-edge keep marks for the transitive-reduction prune.
+    pub(crate) keep: Vec<bool>,
+    /// Per-source offsets into `spacings` for chain lookups.
+    pub(crate) starts: Vec<usize>,
+    /// The serial visibility cursor's profile cache.
+    pub(crate) profiles: Vec<(Layer, CoverageProfile)>,
+}
+
+impl ScanScratch {
+    /// An empty scratch; buffers grow on first use and stick around.
+    pub fn new() -> ScanScratch {
+        ScanScratch {
+            index: GeomIndex::build(&[], Axis::X),
+            items: Vec::new(),
+            spacings: Vec::new(),
+            cand: Vec::new(),
+            keep: Vec::new(),
+            starts: Vec::new(),
+            profiles: Vec::new(),
+        }
+    }
+}
+
+impl Default for ScanScratch {
+    fn default() -> ScanScratch {
+        ScanScratch::new()
+    }
+}
+
+/// Arena for a full sweep: the constraint system (with its cached CSR
+/// graph and double-buffered content snapshot) plus the scan buffers.
+///
+/// [`crate::engine::compact_xy`] holds one per axis so that each
+/// refill's snapshot comparison runs against the *same axis's* previous
+/// sweep; the hierarchical walker and the leaf compactor thread one
+/// through their fixpoint rounds the same way.
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    pub(crate) sys: ConstraintSystem,
+    pub(crate) scan: ScanScratch,
+}
+
+impl SweepScratch {
+    /// An empty arena.
+    pub fn new() -> SweepScratch {
+        SweepScratch::default()
+    }
+}

@@ -8,9 +8,15 @@
 //! properties prove both produce the *identical* constraint system —
 //! same constraints in the same order, same variables, both axes — on
 //! random box soups including zero-area and touching boxes.
+//!
+//! Generation runs with [`Prune::Keep`]: the reference predates the
+//! transitive-reduction prune, so these tests pin the *full* emission.
+//! `tests/prune_equivalence.rs` proves the pruned system solves to the
+//! same geometry.
 
 use proptest::prelude::*;
-use rsg_compact::scanline::{generate, BoxVars, Method};
+use rsg_compact::par::Parallelism;
+use rsg_compact::scanline::{generate_with, BoxVars, Method, Prune};
 use rsg_compact::ConstraintSystem;
 use rsg_geom::{Axis, Point, Rect};
 use rsg_layout::{DesignRules, Layer, Technology};
@@ -167,7 +173,14 @@ proptest! {
     fn visibility_scan_equals_reference(boxes in arb_boxes()) {
         let rules = Technology::mead_conway(2).rules.clone();
         for axis in Axis::BOTH {
-            let (new_sys, new_vars) = generate(&boxes, &rules, Method::Visibility, axis);
+            let (new_sys, new_vars) = generate_with(
+                &boxes,
+                &rules,
+                Method::Visibility,
+                axis,
+                Prune::Keep,
+                Parallelism::Serial,
+            );
             let (ref_sys, ref_vars) = reference_generate(&boxes, &rules, axis);
             prop_assert_eq!(new_sys.constraints(), ref_sys.constraints(), "{}", axis);
             prop_assert_eq!(new_vars, ref_vars);
@@ -228,7 +241,14 @@ fn directed_hidden_edge_cases() {
     ];
     for (k, boxes) in cases.iter().enumerate() {
         for axis in Axis::BOTH {
-            let (new_sys, _) = generate(boxes, &rules, Method::Visibility, axis);
+            let (new_sys, _) = generate_with(
+                boxes,
+                &rules,
+                Method::Visibility,
+                axis,
+                Prune::Keep,
+                Parallelism::Serial,
+            );
             let (ref_sys, _) = reference_generate(boxes, &rules, axis);
             assert_eq!(
                 new_sys.constraints(),

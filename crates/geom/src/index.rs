@@ -95,10 +95,46 @@ impl<L: Copy + Ord> GeomIndex<L> {
     /// [`GeomIndex::build`] taking ownership — spares the copy when the
     /// caller's vector would be dropped anyway (as in flattening).
     pub fn build_from_vec(items: Vec<(L, Rect)>, axis: Axis) -> GeomIndex<L> {
+        let mut index = GeomIndex {
+            axis,
+            items: Vec::new(),
+            buckets: Vec::new(),
+        };
+        let _ = index.rebuild_from_vec(items, axis);
+        index
+    }
+
+    /// Rebuilds this index in place from a fresh item list along `axis`,
+    /// recycling the bucket columns (capacity is kept, contents are
+    /// replaced). Returns the previous item vector — still holding its
+    /// stale contents — so a sweep arena can clear and refill it for the
+    /// next rebuild instead of reallocating.
+    pub fn rebuild_from_vec(&mut self, items: Vec<(L, Rect)>, axis: Axis) -> Vec<(L, Rect)> {
+        self.axis = axis;
+        let old = std::mem::replace(&mut self.items, items);
+        let items = &self.items;
+        let mut shells = std::mem::take(&mut self.buckets);
+        for b in &mut shells {
+            b.order.clear();
+            b.lo.clear();
+            b.hi.clear();
+            b.across_lo.clear();
+            b.across_hi.clear();
+            b.prefix_max_hi.clear();
+        }
         let mut labels: Vec<L> = items.iter().map(|&(l, _)| l).collect();
         labels.sort_unstable();
         labels.dedup();
-        let mut buckets: Vec<Bucket<L>> = labels.into_iter().map(Bucket::empty).collect();
+        let mut buckets: Vec<Bucket<L>> = labels
+            .into_iter()
+            .map(|label| match shells.pop() {
+                Some(mut shell) => {
+                    shell.label = label;
+                    shell
+                }
+                None => Bucket::empty(label),
+            })
+            .collect();
         for (k, &(label, _)) in items.iter().enumerate() {
             // The bucket list was deduped from these same items, so the
             // search succeeds; the Err arm keeps the loop total (and the
@@ -127,11 +163,8 @@ impl<L: Copy + Ord> GeomIndex<L> {
                 bucket.prefix_max_hi.push(max_hi);
             }
         }
-        GeomIndex {
-            axis,
-            items,
-            buckets,
-        }
+        self.buckets = buckets;
+        old
     }
 
     /// The sweep axis the index was built along.
@@ -205,6 +238,42 @@ impl<L: Copy + Ord> GeomIndex<L> {
                 }
                 if b.hi[pos] >= min_hi {
                     return Some(b.order[pos] as usize);
+                }
+            }
+            None
+        })
+    }
+
+    /// Item indices on `label` whose low edge along the axis is at or
+    /// past `from` and whose across span strictly overlaps `across`
+    /// widened by `slack` on both sides, in ascending low-edge order
+    /// (ties by input index).
+    ///
+    /// This is the constraint generator's candidate walk: for a low box
+    /// ending at `from`, every spacing partner on `label` lies in this
+    /// sequence, so the generator touches only the bucket's dense
+    /// coordinate columns instead of filtering the whole box soup per
+    /// pair.
+    pub fn ordered_after(
+        &self,
+        label: L,
+        from: i64,
+        across: (i64, i64),
+        slack: i64,
+    ) -> impl Iterator<Item = usize> + '_ {
+        let (bucket, start) = match self.bucket(label) {
+            Some(b) => (Some(b), b.lo.partition_point(|&lo| lo < from)),
+            None => (None, 0),
+        };
+        let (c0, c1) = (across.0 - slack, across.1 + slack);
+        let mut pos = start;
+        std::iter::from_fn(move || {
+            let b = bucket?;
+            while pos < b.order.len() {
+                let k = pos;
+                pos += 1;
+                if b.across_lo[k] < c1 && b.across_hi[k] > c0 {
+                    return Some(b.order[k] as usize);
                 }
             }
             None
@@ -479,6 +548,45 @@ mod tests {
         assert_eq!(p.min_reach((0, 12)), 4);
         // Empty query interval: vacuous.
         assert_eq!(p.min_reach((5, 5)), i64::MAX);
+    }
+
+    #[test]
+    fn ordered_after_walks_candidates_in_lo_order() {
+        let idx = GeomIndex::build(&items(), Axis::X);
+        // Partners of a box ending at x = 4 over y ∈ (0, 10).
+        let after: Vec<usize> = idx.ordered_after('p', 4, (0, 10), 0).collect();
+        assert_eq!(after, vec![1, 2]);
+        // Strict across overlap: the 'm' box sits at y ∈ [20, 40].
+        assert!(idx.ordered_after('m', 0, (0, 10), 0).next().is_none());
+        // …but a slack window can reach it.
+        let near: Vec<usize> = idx.ordered_after('m', 0, (0, 10), 12).collect();
+        assert_eq!(near, vec![3]);
+        // Unknown label: empty.
+        assert!(idx.ordered_after('z', 0, (0, 10), 0).next().is_none());
+    }
+
+    #[test]
+    fn rebuild_reuses_storage_and_matches_cold_build() {
+        let mut idx = GeomIndex::build(&items(), Axis::X);
+        let next = vec![
+            ('q', Rect::from_coords(0, 0, 5, 5)),
+            ('p', Rect::from_coords(10, 0, 15, 5)),
+        ];
+        let mut old = idx.rebuild_from_vec(next.clone(), Axis::Y);
+        assert_eq!(old.len(), 4, "previous items returned for recycling");
+        old.clear();
+        let cold = GeomIndex::build(&next, Axis::Y);
+        assert_eq!(idx.axis(), Axis::Y);
+        assert_eq!(idx.items(), cold.items());
+        assert_eq!(
+            idx.labels().collect::<Vec<_>>(),
+            cold.labels().collect::<Vec<_>>()
+        );
+        for label in ['p', 'q'] {
+            let a: Vec<usize> = idx.ordered_after(label, 0, (0, 5), 0).collect();
+            let b: Vec<usize> = cold.ordered_after(label, 0, (0, 5), 0).collect();
+            assert_eq!(a, b, "{label}");
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::graph::ConstraintGraph;
 use rsg_geom::Axis;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 
 /// Handle to an edge-position variable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -77,6 +77,18 @@ pub struct ConstraintSystem {
     pitch_names: Vec<String>,
     constraints: Vec<Constraint>,
     graph: OnceLock<ConstraintGraph>,
+    /// Content snapshot taken by the last [`ConstraintSystem::reset`].
+    /// `prev_valid` records whether `spare` holds the graph built for
+    /// exactly that snapshot, so a refill that reproduces the previous
+    /// sweep's content can skip the CSR rebuild wholesale.
+    prev_axis: Axis,
+    prev_var_initial: Vec<i64>,
+    prev_constraints: Vec<Constraint>,
+    prev_valid: bool,
+    /// Retired graph parked for buffer reuse (or, with `prev_valid`,
+    /// wholesale reuse). A `Mutex` only because `OnceLock` forces the
+    /// lazy `graph()` path to run under `&self`; it is never contended.
+    spare: Mutex<Option<ConstraintGraph>>,
 }
 
 impl Clone for ConstraintSystem {
@@ -88,6 +100,11 @@ impl Clone for ConstraintSystem {
             pitch_names: self.pitch_names.clone(),
             constraints: self.constraints.clone(),
             graph: OnceLock::new(),
+            prev_axis: self.axis,
+            prev_var_initial: Vec::new(),
+            prev_constraints: Vec::new(),
+            prev_valid: false,
+            spare: Mutex::new(None),
         }
     }
 }
@@ -113,6 +130,45 @@ impl ConstraintSystem {
             pitch_names: Vec::new(),
             constraints: Vec::new(),
             graph: OnceLock::new(),
+            prev_axis: axis,
+            prev_var_initial: Vec::new(),
+            prev_constraints: Vec::new(),
+            prev_valid: false,
+            spare: Mutex::new(None),
+        }
+    }
+
+    /// Empties the system for refilling along `axis`, keeping every
+    /// allocation — variable and constraint storage, and the cached CSR
+    /// graph's buffers — for the next sweep. The outgoing content is
+    /// snapshotted: if the refill reproduces it exactly (the common case
+    /// once a compaction alternation converges), [`ConstraintSystem::graph`]
+    /// hands back the previous graph without rebuilding anything.
+    pub fn reset(&mut self, axis: Axis) {
+        self.prev_valid = self.graph.get().is_some();
+        if let Some(g) = self.graph.take() {
+            match self.spare.lock() {
+                Ok(mut spare) => *spare = Some(g),
+                Err(_) => self.prev_valid = false,
+            }
+        }
+        std::mem::swap(&mut self.var_initial, &mut self.prev_var_initial);
+        std::mem::swap(&mut self.constraints, &mut self.prev_constraints);
+        self.prev_axis = self.axis;
+        self.axis = axis;
+        self.var_initial.clear();
+        self.constraints.clear();
+        self.pitch_names.clear();
+    }
+
+    /// Drops the cached graph after a structural mutation, parking it so
+    /// the next build can recycle its buffers.
+    fn discard_graph(&mut self) {
+        if let Some(g) = self.graph.take() {
+            self.prev_valid = false;
+            if let Ok(mut spare) = self.spare.lock() {
+                *spare = Some(g);
+            }
         }
     }
 
@@ -124,7 +180,7 @@ impl ConstraintSystem {
     /// Adds an edge variable with its position in the initial layout
     /// (used by the sorted-edge optimization and as the solver's hint).
     pub fn add_var(&mut self, initial: i64) -> VarId {
-        self.graph.take();
+        self.discard_graph();
         self.var_initial.push(initial);
         VarId(self.var_initial.len() - 1)
     }
@@ -136,9 +192,14 @@ impl ConstraintSystem {
     }
 
     /// Adds `x_to − x_from ≥ weight`.
+    ///
+    /// An exact duplicate of the *immediately preceding* constraint is
+    /// dropped — generators that emit per-event often repeat the edge
+    /// they just produced, and the duplicate changes nothing about the
+    /// feasible region. (Non-adjacent duplicates still get in; the CSR
+    /// build dedupes those per `(from, to, pitch)` class.)
     pub fn require(&mut self, from: VarId, to: VarId, weight: i64) {
-        self.graph.take();
-        self.constraints.push(Constraint {
+        self.push(Constraint {
             to,
             from,
             weight,
@@ -146,7 +207,24 @@ impl ConstraintSystem {
         });
     }
 
-    /// Adds `x_to − x_from + coeff·λ ≥ weight`.
+    /// Like [`ConstraintSystem::require`] but *always* appends, returning
+    /// the new constraint's index. For callers that record the slot in
+    /// order to re-weight it later via [`ConstraintSystem::set_weight`]
+    /// (the hierarchical pitch fixpoint): dedup would alias distinct
+    /// logical slots and let one patch move another caller's constraint.
+    pub fn require_slot(&mut self, from: VarId, to: VarId, weight: i64) -> usize {
+        self.discard_graph();
+        self.constraints.push(Constraint {
+            to,
+            from,
+            weight,
+            pitch: None,
+        });
+        self.constraints.len() - 1
+    }
+
+    /// Adds `x_to − x_from + coeff·λ ≥ weight` (same last-insert dedup
+    /// as [`ConstraintSystem::require`]).
     pub fn require_with_pitch(
         &mut self,
         from: VarId,
@@ -155,13 +233,20 @@ impl ConstraintSystem {
         pitch: PitchId,
         coeff: i64,
     ) {
-        self.graph.take();
-        self.constraints.push(Constraint {
+        self.push(Constraint {
             to,
             from,
             weight,
             pitch: Some((pitch, coeff)),
         });
+    }
+
+    fn push(&mut self, c: Constraint) {
+        if self.constraints.last() == Some(&c) {
+            return;
+        }
+        self.discard_graph();
+        self.constraints.push(c);
     }
 
     /// Pins the distance `x_to − x_from` to exactly `d` (two constraints).
@@ -178,11 +263,12 @@ impl ConstraintSystem {
     /// pitch fixpoint re-solves the same graph dozens of times with only
     /// the λ-class weights moving.
     ///
-    /// The one exception is a *self-loop* crossing the vacuousness
-    /// boundary: `from == to, w ≤ 0` is ignored by the topological order
-    /// while `w > 0` is an unconditional positive cycle, so flipping
-    /// between them changes the effective edge set and the graph is
-    /// rebuilt from scratch on next use.
+    /// Two exceptions fall back to a (buffer-recycling) rebuild on next
+    /// use: a *self-loop* crossing the vacuousness boundary (`from == to,
+    /// w ≤ 0` is ignored by the topological order while `w > 0` is an
+    /// unconditional positive cycle, so the effective edge set changes),
+    /// and a re-weight that changes which member of a parallel-edge class
+    /// dominates after CSR dedup.
     ///
     /// # Panics
     ///
@@ -196,9 +282,19 @@ impl ConstraintSystem {
         let flips_vacuous = self_loop && (c.weight <= 0) != (weight <= 0);
         c.weight = weight;
         if flips_vacuous {
-            self.graph.take();
-        } else if let Some(g) = self.graph.get_mut() {
-            g.set_weight(index, weight);
+            self.discard_graph();
+        } else if self.graph.get().is_some() {
+            let patched = self
+                .graph
+                .get_mut()
+                .map(|g| g.try_patch(index, weight))
+                .unwrap_or(false);
+            if !patched {
+                // The constraint was a parallel-class representative and
+                // the patch would change which member dominates; rebuild
+                // (recycling buffers) on next use.
+                self.discard_graph();
+            }
         }
     }
 
@@ -239,8 +335,26 @@ impl ConstraintSystem {
 
     /// The CSR adjacency view, built on first use and cached until the
     /// system is mutated. Shared by every solver backend.
+    ///
+    /// After a [`ConstraintSystem::reset`], a refill whose content
+    /// matches the previous sweep byte-for-byte gets the previous graph
+    /// back unchanged; any other refill still recycles its buffers.
     pub fn graph(&self) -> &ConstraintGraph {
-        self.graph.get_or_init(|| ConstraintGraph::build(self))
+        self.graph.get_or_init(|| {
+            let spare = self.spare.lock().ok().and_then(|mut s| s.take());
+            match spare {
+                Some(g)
+                    if self.prev_valid
+                        && self.prev_axis == self.axis
+                        && self.prev_var_initial == self.var_initial
+                        && self.prev_constraints == self.constraints =>
+                {
+                    g
+                }
+                Some(g) => ConstraintGraph::build_reusing(self, g),
+                None => ConstraintGraph::build(self),
+            }
+        })
     }
 
     /// Slack of one constraint under a candidate solution:
@@ -421,6 +535,96 @@ mod tests {
         // …and back.
         s.set_weight(1, -2);
         assert!(s.graph().is_acyclic());
+        assert_eq!(*s.graph(), ConstraintGraph::build(&s));
+    }
+
+    #[test]
+    fn duplicate_adds_do_not_inflate_num_edges() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        let c = s.add_var(20);
+        s.require(a, b, 5);
+        s.require(a, b, 5); // consecutive exact duplicate: dropped at insert
+        assert_eq!(s.constraints().len(), 1);
+        s.require(b, c, 7);
+        s.require(a, b, 5); // non-adjacent duplicate: kept in the list…
+        s.require(a, b, 3); // …and a weaker parallel edge too
+        assert_eq!(s.constraints().len(), 4);
+        // …but the CSR build dedupes per (from, to, pitch) class.
+        assert_eq!(s.graph().num_edges(), 2);
+        let p = s.add_pitch("l");
+        s.require_with_pitch(a, b, 8, p, 1);
+        s.require_with_pitch(a, b, 8, p, 1);
+        assert_eq!(s.constraints().len(), 5);
+        assert_eq!(s.graph().num_edges(), 3); // pitch term = distinct class
+    }
+
+    #[test]
+    fn set_weight_on_deduped_parallel_edges_matches_cold_build() {
+        use crate::backend::{BellmanFord, Solver};
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        s.require(a, b, 5);
+        s.require(b, a, -20);
+        s.require(a, b, 3); // dominated parallel edge
+        let _ = s.graph();
+        assert_eq!(s.graph().num_edges(), 2);
+        // Dominated member moves but stays below the representative: no-op.
+        s.set_weight(2, 4);
+        assert_eq!(*s.graph(), ConstraintGraph::build(&s));
+        // Dominated member overtakes the representative: rebuild.
+        s.set_weight(2, 9);
+        assert_eq!(*s.graph(), ConstraintGraph::build(&s));
+        // Representative (now index 2) raised in place: patch.
+        s.set_weight(2, 12);
+        assert_eq!(*s.graph(), ConstraintGraph::build(&s));
+        // Representative lowered below the other member: rebuild again.
+        s.set_weight(2, 1);
+        assert_eq!(*s.graph(), ConstraintGraph::build(&s));
+        let solved = BellmanFord::SORTED.solve_system(&s, &[]).unwrap();
+        assert_eq!(solved.positions, vec![0, 5]);
+    }
+
+    #[test]
+    fn reset_reuses_graph_for_identical_refill() {
+        let fill = |s: &mut ConstraintSystem| {
+            let a = s.add_var(0);
+            let b = s.add_var(10);
+            let c = s.add_var(20);
+            s.require(a, b, 5);
+            s.require(b, c, 7);
+        };
+        let mut s = ConstraintSystem::new();
+        fill(&mut s);
+        let cold = s.graph().clone();
+        s.reset(Axis::X);
+        assert_eq!(s.num_vars(), 0);
+        assert_eq!(s.constraints().len(), 0);
+        fill(&mut s);
+        assert_eq!(*s.graph(), cold);
+        // A refill with different content must NOT reuse wholesale.
+        s.reset(Axis::Y);
+        let a = s.add_var(0);
+        let b = s.add_var(4);
+        s.require(a, b, 9);
+        assert_eq!(*s.graph(), ConstraintGraph::build(&s));
+        assert_eq!(s.axis(), Axis::Y);
+        assert_eq!(s.graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn require_slot_bypasses_dedup_and_returns_index() {
+        let mut s = ConstraintSystem::new();
+        let a = s.add_var(0);
+        let b = s.add_var(10);
+        let i = s.require_slot(a, b, 5);
+        let j = s.require_slot(a, b, 5); // identical, still appended
+        assert_eq!((i, j), (0, 1));
+        assert_eq!(s.constraints().len(), 2);
+        s.set_weight(j, 8);
+        assert_eq!(s.constraints()[1].weight, 8);
         assert_eq!(*s.graph(), ConstraintGraph::build(&s));
     }
 

@@ -14,7 +14,16 @@
 //! The graph is built lazily by [`ConstraintSystem::graph`] and cached;
 //! mutating the system invalidates the cache.
 
-use crate::constraint::{Constraint, ConstraintSystem, VarId};
+use crate::constraint::{Constraint, ConstraintSystem, PitchId, VarId};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Clears and refills a buffer to `len` copies of `value`, keeping its
+/// allocation — the build-reuse primitive of the sweep arenas.
+fn reset<T: Clone>(buf: &mut Vec<T>, len: usize, value: T) {
+    buf.clear();
+    buf.resize(len, value);
+}
 
 /// One directed edge of the constraint graph.
 ///
@@ -35,6 +44,14 @@ pub struct GraphEdge {
 
 /// Compressed-sparse-row adjacency of a [`ConstraintSystem`], shared by
 /// every solver backend.
+///
+/// Parallel constraints — same `from`, same `to`, same pitch term — are
+/// *deduplicated at build time*: only the strongest (maximum-weight)
+/// member of each parallel class appears as a CSR edge or in the sorted
+/// relaxation order, because a feasible candidate satisfying the maximum
+/// satisfies every weaker parallel twin. [`ConstraintGraph::num_edges`]
+/// therefore counts distinct edges, which can be fewer than
+/// `sys.constraints().len()`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConstraintGraph {
     num_vars: usize,
@@ -43,16 +60,26 @@ pub struct ConstraintGraph {
     in_offsets: Vec<u32>,
     in_edges: Vec<GraphEdge>,
     /// Constraint indices in the paper's sorted-edge relaxation order
-    /// (by the initial abscissa of the `from` variable).
+    /// (by the initial abscissa of the `from` variable); representatives
+    /// only.
     sorted: Vec<u32>,
     /// Variables in topological order of the edge direction, when the
     /// graph (ignoring vacuous `w ≤ 0` self-loops) is acyclic.
     topo: Option<Vec<VarId>>,
     /// Per-constraint CSR slots (`constraint index → position in
     /// `out_edges` / `in_edges`), recorded during the fill so a weight
-    /// can later be patched in place without rebuilding the rows.
+    /// can later be patched in place without rebuilding the rows. Only
+    /// meaningful for representatives (`rep[k] == k`).
     out_slot: Vec<u32>,
     in_slot: Vec<u32>,
+    /// Parallel-class representative per constraint: the index of the
+    /// maximum-weight member (first such member on ties). `rep[k] == k`
+    /// exactly when constraint `k` backs a CSR edge.
+    rep: Vec<u32>,
+    /// `true` when the constraint's parallel class has more than one
+    /// member — the case where lowering a representative's weight could
+    /// re-elect a twin and forces a rebuild.
+    shared: Vec<bool>,
 }
 
 impl ConstraintGraph {
@@ -60,14 +87,77 @@ impl ConstraintGraph {
     /// sorted-order sort; called through [`ConstraintSystem::graph`],
     /// which caches the result.
     pub fn build(sys: &ConstraintSystem) -> ConstraintGraph {
+        let empty = ConstraintGraph {
+            num_vars: 0,
+            out_offsets: Vec::new(),
+            out_edges: Vec::new(),
+            in_offsets: Vec::new(),
+            in_edges: Vec::new(),
+            sorted: Vec::new(),
+            topo: None,
+            out_slot: Vec::new(),
+            in_slot: Vec::new(),
+            rep: Vec::new(),
+            shared: Vec::new(),
+        };
+        ConstraintGraph::build_reusing(sys, empty)
+    }
+
+    /// [`ConstraintGraph::build`] recycling the buffers of a retired
+    /// graph — what the sweep arenas feed back so steady-state
+    /// re-generation allocates nothing.
+    pub fn build_reusing(sys: &ConstraintSystem, old: ConstraintGraph) -> ConstraintGraph {
         let n = sys.num_vars();
         let constraints = sys.constraints();
+        let ConstraintGraph {
+            mut out_offsets,
+            mut out_edges,
+            mut in_offsets,
+            mut in_edges,
+            mut sorted,
+            mut out_slot,
+            mut in_slot,
+            mut rep,
+            mut shared,
+            ..
+        } = old;
 
-        let mut out_offsets = vec![0u32; n + 1];
-        let mut in_offsets = vec![0u32; n + 1];
-        for c in constraints {
-            out_offsets[c.from.index() + 1] += 1;
-            in_offsets[c.to.index() + 1] += 1;
+        // Parallel-edge classes: the representative is the first
+        // maximum-weight member of each (from, to, pitch) class.
+        type EdgeClass = (VarId, VarId, Option<(PitchId, i64)>);
+        reset(&mut rep, constraints.len(), 0);
+        reset(&mut shared, constraints.len(), false);
+        let mut best: HashMap<EdgeClass, u32> = HashMap::with_capacity(constraints.len());
+        for (k, c) in constraints.iter().enumerate() {
+            match best.entry((c.from, c.to, c.pitch)) {
+                Entry::Vacant(e) => {
+                    e.insert(k as u32);
+                }
+                Entry::Occupied(mut e) => {
+                    let b = *e.get() as usize;
+                    shared[b] = true;
+                    shared[k] = true;
+                    if c.weight > constraints[b].weight {
+                        e.insert(k as u32);
+                    }
+                }
+            }
+        }
+        let mut edges = 0usize;
+        for (k, c) in constraints.iter().enumerate() {
+            rep[k] = best[&(c.from, c.to, c.pitch)];
+            if rep[k] == k as u32 {
+                edges += 1;
+            }
+        }
+
+        reset(&mut out_offsets, n + 1, 0u32);
+        reset(&mut in_offsets, n + 1, 0u32);
+        for (k, c) in constraints.iter().enumerate() {
+            if rep[k] == k as u32 {
+                out_offsets[c.from.index() + 1] += 1;
+                in_offsets[c.to.index() + 1] += 1;
+            }
         }
         for v in 0..n {
             out_offsets[v + 1] += out_offsets[v];
@@ -78,13 +168,16 @@ impl ConstraintGraph {
             weight: 0,
             constraint: 0,
         };
-        let mut out_edges = vec![dummy; constraints.len()];
-        let mut in_edges = vec![dummy; constraints.len()];
+        reset(&mut out_edges, edges, dummy);
+        reset(&mut in_edges, edges, dummy);
         let mut out_fill = out_offsets.clone();
         let mut in_fill = in_offsets.clone();
-        let mut out_slot = vec![0u32; constraints.len()];
-        let mut in_slot = vec![0u32; constraints.len()];
+        reset(&mut out_slot, constraints.len(), 0u32);
+        reset(&mut in_slot, constraints.len(), 0u32);
         for (k, c) in constraints.iter().enumerate() {
+            if rep[k] != k as u32 {
+                continue;
+            }
             let o = &mut out_fill[c.from.index()];
             out_slot[k] = *o;
             out_edges[*o as usize] = GraphEdge {
@@ -102,8 +195,17 @@ impl ConstraintGraph {
             };
             *i += 1;
         }
+        // Dominated members share their representative's slots, so slot
+        // lookups through `rep` need no second indirection.
+        for k in 0..constraints.len() {
+            if rep[k] != k as u32 {
+                out_slot[k] = out_slot[rep[k] as usize];
+                in_slot[k] = in_slot[rep[k] as usize];
+            }
+        }
 
-        let mut sorted: Vec<u32> = (0..constraints.len() as u32).collect();
+        sorted.clear();
+        sorted.extend((0..constraints.len() as u32).filter(|&k| rep[k as usize] == k));
         sorted.sort_by_key(|&k| sys.initial(constraints[k as usize].from));
 
         let topo = topo_order(n, &out_offsets, &out_edges, &in_offsets);
@@ -118,19 +220,35 @@ impl ConstraintGraph {
             topo,
             out_slot,
             in_slot,
+            rep,
+            shared,
         }
     }
 
-    /// Patches the weight of one constraint's edges in place. The CSR
-    /// rows, the sorted relaxation order (keyed by initial positions),
-    /// and the topological order (keyed by the edge *set*) all survive a
-    /// weight change — except a self-loop crossing the vacuousness
-    /// boundary (`w ≤ 0` ↔ `w > 0`), which changes the effective edge
-    /// set; [`ConstraintSystem::set_weight`] rebuilds in that case and
-    /// never routes it here.
-    pub(crate) fn set_weight(&mut self, constraint: usize, weight: i64) {
-        self.out_edges[self.out_slot[constraint] as usize].weight = weight;
-        self.in_edges[self.in_slot[constraint] as usize].weight = weight;
+    /// Tries to absorb a weight change of one constraint in place.
+    /// Returns `false` when the change can re-elect a different parallel
+    /// representative, in which case [`ConstraintSystem::set_weight`]
+    /// discards the graph and the next use rebuilds. The CSR rows, the
+    /// sorted relaxation order (keyed by initial positions), and the
+    /// topological order (keyed by the edge *set*) all survive a patched
+    /// weight — self-loops crossing the vacuousness boundary are handled
+    /// by the caller and never routed here.
+    pub(crate) fn try_patch(&mut self, constraint: usize, weight: i64) -> bool {
+        let r = self.rep[constraint] as usize;
+        let slot = self.out_slot[r] as usize;
+        let rep_weight = self.out_edges[slot].weight;
+        if r == constraint {
+            if weight >= rep_weight || !self.shared[constraint] {
+                self.out_edges[slot].weight = weight;
+                self.in_edges[self.in_slot[r] as usize].weight = weight;
+                return true;
+            }
+            // A lowered representative may hand the class to a twin.
+            return false;
+        }
+        // A dominated member only matters once it overtakes (or, for an
+        // earlier index, ties) the representative.
+        weight < rep_weight || (weight == rep_weight && constraint > r)
     }
 
     /// Number of variables (graph vertices).
@@ -138,7 +256,9 @@ impl ConstraintGraph {
         self.num_vars
     }
 
-    /// Number of edges (constraints).
+    /// Number of distinct edges — parallel constraints (same endpoints
+    /// and pitch term) collapse to their maximum-weight representative,
+    /// so this can be smaller than `sys.constraints().len()`.
     pub fn num_edges(&self) -> usize {
         self.out_edges.len()
     }
