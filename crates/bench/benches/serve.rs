@@ -1,0 +1,138 @@
+//! Experiment E25 — compaction-as-a-service: what a store hit is worth.
+//!
+//! The workload is the full-adder PLA chip job (leaf library + hier
+//! pass) submitted to a long-lived [`rsg_serve::JobQueue`]. Three rows:
+//!
+//! * `cold` — a fresh queue over a fresh store directory every
+//!   iteration: service startup + key derivation + full solve + atomic
+//!   persist (what the first-ever submission of a design costs),
+//! * `warm` — the same content resubmitted against a primed store; each
+//!   iteration pays key derivation + disk read + payload validation
+//!   only,
+//! * `edit` — one product term added to the personality, submitted to a
+//!   queue whose worker session is warm on the original; the edited
+//!   chip is a different content key, misses the store (its entry is
+//!   deleted per iteration), and re-solves through the persistent
+//!   session — the service-side incremental path.
+//!
+//! Verified in-bench: the warm run performs **zero** solver invocations
+//! (`ServeMetrics::solves` stays 0 across every warm iteration) and its
+//! CIF is **byte-identical** to the cold result; the edited chip maps
+//! to a different store key than the original.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsg_layout::Technology;
+use rsg_serve::{JobQueue, JobSpec, ServeConfig, Store};
+use std::hint::black_box;
+
+fn pla_spec(rows: &[&str]) -> JobSpec {
+    let personality = rsg_hpla::Personality::parse(rows, 3, 2).expect("personality parses");
+    let chip = rsg_hpla::rsg_pla(&personality, "fa_pla").expect("pla generates");
+    JobSpec::Chip {
+        table: chip.rsg.cells().clone(),
+        top: chip.top,
+        library: rsg_hpla::compactor::library_jobs().expect("library jobs"),
+    }
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let tech = Technology::mead_conway(2);
+    let store_root = std::env::temp_dir().join(format!("rsg-bench-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_root).ok();
+
+    let original = pla_spec(&[
+        "100 10", "010 10", "001 10", "111 10", // sum minterms
+        "11- 01", "1-1 01", // carry, one term missing
+    ]);
+    let edited = pla_spec(&[
+        "100 10", "010 10", "001 10", "111 10", //
+        "11- 01", "1-1 01", "-11 01", // the missing carry term
+    ]);
+
+    let queue =
+        JobQueue::new(&store_root, ServeConfig::new(tech.rules.clone())).expect("queue starts");
+
+    // Prime: learn the content keys and pin the cold result.
+    let cold_out = queue
+        .fetch(queue.submit(original.clone()).expect("submit"))
+        .expect("cold job succeeds");
+    let edit_out = queue
+        .fetch(queue.submit(edited.clone()).expect("submit"))
+        .expect("edited job succeeds");
+    assert_ne!(
+        cold_out.key, edit_out.key,
+        "one added product term must change the content key"
+    );
+    let edit_entry = {
+        let store = Store::open(&store_root).expect("store reopens");
+        store.path_of(edit_out.key)
+    };
+
+    let mut group = c.benchmark_group("serve");
+
+    group.bench_function("cold", |b| {
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            let dir = store_root.join(format!("cold-{n}"));
+            let fresh = JobQueue::new(&dir, ServeConfig::new(tech.rules.clone()))
+                .expect("fresh queue starts");
+            let out = fresh
+                .fetch(fresh.submit(original.clone()).expect("submit"))
+                .expect("cold job succeeds");
+            assert!(!out.from_store, "an empty store cannot hit");
+            assert_eq!(
+                out.result.artifacts[0].cif, cold_out.result.artifacts[0].cif,
+                "every cold run must agree byte for byte"
+            );
+            drop(fresh);
+            std::fs::remove_dir_all(&dir).ok();
+            black_box(out)
+        });
+    });
+
+    // Re-prime after the cold row left the entry in place, then pin the
+    // warm contract: zero solves, byte-identical CIF.
+    let warm_queue = JobQueue::new(&store_root, ServeConfig::new(tech.rules.clone()))
+        .expect("fresh queue over the primed store");
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let out = warm_queue
+                .fetch(warm_queue.submit(original.clone()).expect("submit"))
+                .expect("warm job succeeds");
+            assert!(out.from_store, "warm resubmission must hit the store");
+            assert_eq!(
+                out.result.artifacts[0].cif, cold_out.result.artifacts[0].cif,
+                "warm CIF must be byte-identical to the cold run"
+            );
+            black_box(out)
+        });
+    });
+    let warm_metrics = warm_queue.metrics();
+    assert_eq!(
+        warm_metrics.solves, 0,
+        "warm rows must be served with zero solver invocations \
+         (served {} jobs from the store)",
+        warm_metrics.served_from_store
+    );
+    assert!(warm_metrics.served_from_store > 0);
+
+    group.bench_function("edit", |b| {
+        b.iter(|| {
+            std::fs::remove_file(&edit_entry).ok();
+            let out = queue
+                .fetch(queue.submit(edited.clone()).expect("submit"))
+                .expect("edited job succeeds");
+            assert!(!out.from_store, "the edit is new content — it must solve");
+            black_box(out)
+        });
+    });
+
+    group.finish();
+    drop(queue);
+    drop(warm_queue);
+    std::fs::remove_dir_all(&store_root).ok();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

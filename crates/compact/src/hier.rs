@@ -89,6 +89,34 @@ impl Default for HierOptions {
     }
 }
 
+impl HierOptions {
+    /// Digest of the option fields that shape solve *content*: the pass
+    /// and pitch-round ceilings plus the budget caps (they change where
+    /// a run fails, so two runs under different caps are not
+    /// interchangeable). The wall-clock deadline is deliberately
+    /// excluded — it is not content-addressable — and so are
+    /// [`HierOptions::parallelism`] and [`HierOptions::prune`], which
+    /// are solution-identical by contract. This tag is the options leg
+    /// of every compaction cache key, in-memory
+    /// (`rsg_compact::incremental`) and on-disk (`rsg-serve`).
+    pub fn content_tag(&self) -> u64 {
+        let mut h = ContentHasher::new();
+        h.write_u64(self.max_passes as u64)
+            .write_u64(self.max_pitch_rounds as u64);
+        for cap in [
+            self.limits.max_flat_boxes,
+            self.limits.max_constraints,
+            self.limits.max_solve_passes,
+        ] {
+            match cap {
+                Some(c) => h.write_u64(1).write_u64(c),
+                None => h.write_u64(0),
+            };
+        }
+        h.finish()
+    }
+}
+
 /// Hierarchical compaction failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HierError {
@@ -1248,7 +1276,14 @@ fn pruned_weight_edges(
             if !keep[m2] {
                 continue;
             }
-            if w_ac.saturating_add(edges[m2].1) >= w_ab {
+            // Checked, not saturating: a saturated chain sum would
+            // compare as "dominates" and drop an edge the chain does
+            // not actually imply. Overflow means "cannot prove
+            // dominance", so the direct edge is kept.
+            if w_ac
+                .checked_add(edges[m2].1)
+                .is_some_and(|chain| chain >= w_ab)
+            {
                 keep[idx] = false;
                 break;
             }

@@ -80,7 +80,7 @@ use crate::leaf::{self, CompactionResult, LibraryJob};
 use crate::par::par_map;
 use rsg_geom::{Axis, Orientation};
 use rsg_layout::hash::{deep_hashes, hash_cell, mix, ContentHasher};
-use rsg_layout::{CellId, CellTable, DesignRules, LayoutError};
+use rsg_layout::{CellDefinition, CellId, CellTable, DesignRules, LayoutError};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -211,18 +211,7 @@ fn context_of(rules: &DesignRules, solver: &dyn Solver, opts: &HierOptions) -> u
     let mut h = ContentHasher::new();
     h.write_u64(rules.content_hash())
         .write_str(solver.name())
-        .write_u64(opts.max_passes as u64)
-        .write_u64(opts.max_pitch_rounds as u64);
-    for cap in [
-        opts.limits.max_flat_boxes,
-        opts.limits.max_constraints,
-        opts.limits.max_solve_passes,
-    ] {
-        match cap {
-            Some(c) => h.write_u64(1).write_u64(c),
-            None => h.write_u64(0),
-        };
-    }
+        .write_u64(opts.content_tag());
     h.finish()
 }
 
@@ -230,6 +219,33 @@ fn hash_str(s: &str) -> u64 {
     let mut h = ContentHasher::new();
     h.write_str(s);
     h.finish()
+}
+
+/// Deep-hashes `def`, requiring every referenced child to already carry
+/// a computed output hash. A missing child used to fold in as `0`,
+/// which silently aliased distinct inputs onto one cache key — two
+/// different unhashed children produced the same digest, and a stale
+/// cached outcome could be replayed for the wrong geometry. The walk
+/// visits children before parents, so a miss can only mean the
+/// hierarchy is inconsistent (e.g. a dangling instance reference); that
+/// is now a typed [`HierError::Internal`], never a poisoned cache.
+fn checked_hash(def: &CellDefinition, hash_of: &HashMap<CellId, u64>) -> Result<u64, HierError> {
+    let mut missing: Option<CellId> = None;
+    let h = hash_cell(def, |id| match hash_of.get(&id) {
+        Some(&h) => h,
+        None => {
+            missing.get_or_insert(id);
+            0
+        }
+    });
+    match missing {
+        None => Ok(h),
+        Some(id) => Err(HierError::Internal(format!(
+            "cell `{}` references child {id:?} with no computed output hash \
+             (dangling or unvisited instance reference)",
+            def.name()
+        ))),
+    }
 }
 
 impl CompactSession {
@@ -464,7 +480,7 @@ impl CompactSession {
         let mut cells = Vec::new();
         for cell in order {
             let def = out_table.require(cell)?;
-            let in_hash = hash_cell(def, |id| hash_of.get(&id).copied().unwrap_or(0));
+            let in_hash = checked_hash(def, &hash_of)?;
             if def.instances().next().is_none() {
                 hash_of.insert(cell, in_hash);
                 continue; // leaf: the leaf compactor's business
@@ -502,8 +518,7 @@ impl CompactSession {
                             opts.max_passes
                         )));
                     }
-                    let out_hash =
-                        hash_cell(&outcome.cell, |id| hash_of.get(&id).copied().unwrap_or(0));
+                    let out_hash = checked_hash(&outcome.cell, &hash_of)?;
                     self.cells.insert(
                         key,
                         Arc::new(CellEntry {
@@ -568,7 +583,7 @@ impl CompactSession {
         for &cell in &order {
             let def = out_table.require(cell)?;
             if def.instances().next().is_none() {
-                let h = hash_cell(def, |id| hash_of.get(&id).copied().unwrap_or(0));
+                let h = checked_hash(def, &hash_of)?;
                 hash_of.insert(cell, h);
             }
         }
@@ -594,7 +609,7 @@ impl CompactSession {
                 }
                 self.last.cells_seen += 1;
                 let name = def.name().to_owned();
-                let in_hash = hash_cell(def, |id| hash_of.get(&id).copied().unwrap_or(0));
+                let in_hash = checked_hash(def, &hash_of)?;
                 let key = mix(&[in_hash, context]);
                 if let Some(entry) = self.cells.get(&key) {
                     self.last.cell_hits += 1;
@@ -687,8 +702,7 @@ impl CompactSession {
                         continue;
                     }
                 };
-                let out_hash =
-                    hash_cell(&outcome.cell, |id| hash_of.get(&id).copied().unwrap_or(0));
+                let out_hash = checked_hash(&outcome.cell, &hash_of)?;
                 self.cells.insert(
                     job.key,
                     Arc::new(CellEntry {
@@ -939,5 +953,57 @@ impl CompactHooks for SessionHooks<'_> {
 
     fn fault(&mut self, site: FaultSite) -> Option<InjectedFault> {
         self.faults.as_mut().and_then(|p| p.trip(site))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsg_geom::{Orientation, Point, Rect};
+    use rsg_layout::{Instance, Layer};
+
+    /// Regression for the hash-aliasing bug: a definition whose instance
+    /// dangles relative to the output-hash map must be a typed internal
+    /// error, never a digest that folded the missing child as `0`. Two
+    /// parents over *different* missing children used to alias onto one
+    /// cache key and could replay each other's cached outcome.
+    #[test]
+    fn missing_child_hash_is_an_error_not_an_alias() {
+        let mut table = CellTable::new();
+        let mut leaf_a = CellDefinition::new("leaf_a");
+        leaf_a.add_box(Layer::Metal1, Rect::from_coords(0, 0, 4, 4));
+        let a = table.insert(leaf_a).unwrap();
+        let mut leaf_b = CellDefinition::new("leaf_b");
+        leaf_b.add_box(Layer::Poly, Rect::from_coords(0, 0, 8, 2));
+        let b = table.insert(leaf_b).unwrap();
+
+        // Same parent geometry over two different (unhashed) children:
+        // the old `unwrap_or(0)` fold gave both the same digest.
+        let mut over_a = CellDefinition::new("parent");
+        over_a.add_instance(Instance::new(a, Point::new(0, 0), Orientation::NORTH));
+        let mut over_b = CellDefinition::new("parent");
+        over_b.add_instance(Instance::new(b, Point::new(0, 0), Orientation::NORTH));
+
+        let empty: HashMap<CellId, u64> = HashMap::new();
+        for def in [&over_a, &over_b] {
+            match checked_hash(def, &empty) {
+                Err(HierError::Internal(msg)) => {
+                    assert!(msg.contains("parent"), "message names the cell: {msg}");
+                }
+                other => panic!("expected HierError::Internal, got {other:?}"),
+            }
+        }
+
+        // With the children actually hashed, the two parents resolve to
+        // *different* digests — the alias is gone.
+        let mut hash_of = HashMap::new();
+        hash_of.insert(a, checked_hash(table.require(a).unwrap(), &empty).unwrap());
+        hash_of.insert(b, checked_hash(table.require(b).unwrap(), &empty).unwrap());
+        let ha = checked_hash(&over_a, &hash_of).unwrap();
+        let hb = checked_hash(&over_b, &hash_of).unwrap();
+        assert_ne!(
+            ha, hb,
+            "distinct children must yield distinct parent digests"
+        );
     }
 }

@@ -430,7 +430,15 @@ fn prune_spacings(
             }
             let s_kj = spacings[m2].2;
             let w_k = boxes[k].1.extent_along(axis);
-            if s_ik.saturating_add(w_k).saturating_add(s_kj) >= s_ij {
+            // Checked, not saturating: a saturated chain sum would
+            // compare as "dominates" and drop an edge the chain does
+            // not actually imply. Overflow means "cannot prove
+            // dominance", so the direct edge is kept.
+            let dominated = s_ik
+                .checked_add(w_k)
+                .and_then(|v| v.checked_add(s_kj))
+                .is_some_and(|chain| chain >= s_ij);
+            if dominated {
                 keep[idx] = false;
                 break;
             }

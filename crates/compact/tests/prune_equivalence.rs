@@ -193,6 +193,78 @@ proptest! {
     }
 }
 
+/// Prune soundness at the edge of the coordinate budget: boxes spread
+/// across nearly the full ±[`rsg_geom::MAX_COORD`] span produce spacing
+/// weights of ~2³¹, the largest any in-budget layout can emit. The
+/// dominance test now uses `checked_add` — a chain sum that overflows
+/// compares as "cannot prove dominance" and the direct edge is kept —
+/// so pruned and full emission must still solve identically out here,
+/// where a saturating comparison would be closest to lying.
+#[test]
+fn prune_is_sound_at_the_coordinate_budget_edge() {
+    let rules = Technology::mead_conway(2).rules.clone();
+    let m = rsg_geom::MAX_COORD;
+    // A chain i → k → j spanning the whole budget, plus abutting
+    // material near each end so chains, hidden pairs, and same-layer
+    // spacings all occur at extreme coordinates.
+    let boxes = vec![
+        (Layer::Poly, Rect::from_coords(-m, -m, -m + 40, -m + 60)),
+        (
+            Layer::Poly,
+            Rect::from_coords(-m + 12, -m + 4, -m + 90, -m + 34),
+        ),
+        (
+            Layer::Metal1,
+            Rect::from_coords(-m + 2, -m + 2, -m + 50, -m + 26),
+        ),
+        (Layer::Poly, Rect::from_coords(-60, -30, -20, 30)),
+        (Layer::Metal1, Rect::from_coords(-40, -10, 40, 14)),
+        (
+            Layer::Poly,
+            Rect::from_coords(m - 80, m - 70, m - 30, m - 20),
+        ),
+        (
+            Layer::Diffusion,
+            Rect::from_coords(m - 64, m - 90, m - 10, m - 44),
+        ),
+        (Layer::Metal1, Rect::from_coords(m - 100, m - 40, m - 60, m)),
+    ];
+    for axis in Axis::BOTH {
+        let (full, vars_full) = generate_with(
+            &boxes,
+            &rules,
+            Method::Visibility,
+            axis,
+            Prune::Keep,
+            Parallelism::Serial,
+        );
+        let (pruned, vars_pruned) = generate_with(
+            &boxes,
+            &rules,
+            Method::Visibility,
+            axis,
+            Prune::Apply,
+            Parallelism::Serial,
+        );
+        assert_eq!(vars_full, vars_pruned);
+        assert!(pruned.constraints().len() <= full.constraints().len());
+        let sol_full = solve(&full, EdgeOrder::Sorted);
+        let sol_pruned = solve(&pruned, EdgeOrder::Sorted);
+        match (sol_full, sol_pruned) {
+            (Ok(a), Ok(b)) => assert_eq!(
+                a.positions(),
+                b.positions(),
+                "budget-edge packing diverged on {axis}"
+            ),
+            (a, b) => assert_eq!(
+                a.is_err(),
+                b.is_err(),
+                "budget-edge feasibility verdicts diverged on {axis}"
+            ),
+        }
+    }
+}
+
 /// The E13 bench cell tiled n×n at its sample pitch — the layout behind
 /// the recorded `flat_tiled_array` counts in BENCH_compaction.json.
 fn tiled(n: usize) -> Vec<(Layer, Rect)> {

@@ -17,6 +17,7 @@ use rsg_compact::leaf::{
 };
 use rsg_core::RsgError;
 use rsg_layout::{CellDefinition, CellId, CellTable, DesignRules, LayoutError};
+use rsg_serve::{JobOutput, JobQueue, JobSpec, ServeError};
 
 /// The independent compaction jobs of the PLA library: the plane squares
 /// (AND/OR with the shared horizontal grid pitch and the vertical
@@ -171,6 +172,32 @@ pub fn compact_chip_session(
     session
         .compact_chip_with_library(table, top, &library_jobs()?, rules, solver, &opts)
         .map_err(RsgError::from)
+}
+
+/// [`compact_chip`] through a [`JobQueue`]: the whole-chip job (library
+/// included) is content-addressed, so resubmitting an unchanged PLA is
+/// served from the queue's on-disk store with **zero** solver
+/// invocations and byte-identical CIF. Rules, solver, and options come
+/// from the queue's [`rsg_serve::ServeConfig`] — they are part of the
+/// store key.
+///
+/// # Errors
+///
+/// [`ServeError::Client`] when the library jobs cannot be built;
+/// otherwise whatever the served job produced.
+pub fn compact_chip_served(
+    queue: &JobQueue,
+    table: &CellTable,
+    top: CellId,
+) -> Result<JobOutput, ServeError> {
+    let library =
+        library_jobs().map_err(|e| ServeError::Client(format!("hpla library jobs: {e}")))?;
+    let id = queue.submit(JobSpec::Chip {
+        table: table.clone(),
+        top,
+        library,
+    })?;
+    queue.fetch(id)
 }
 
 #[cfg(test)]

@@ -28,6 +28,16 @@ pub enum LayoutError {
         /// The out-of-budget coordinate value.
         value: i64,
     },
+    /// A cell name cannot be serialized to CIF without corrupting the
+    /// statement stream. The CIF `9 {name};` user extension carries the
+    /// name as one whitespace-delimited token terminated by `;`, so a
+    /// name that is empty, contains whitespace or `;`, or begins with
+    /// `(` (the comment introducer) would silently truncate or vanish
+    /// on round-trip; the writer rejects it instead.
+    CifName {
+        /// The unserializable cell name.
+        cell: String,
+    },
     /// A rewrite supplied the wrong number of rectangles for a cell's
     /// boxes (see [`crate::CellDefinition::with_box_rects`]).
     BoxCount {
@@ -50,6 +60,13 @@ impl fmt::Display for LayoutError {
             }
             LayoutError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
+            }
+            LayoutError::CifName { cell } => {
+                write!(
+                    f,
+                    "cell name {cell:?} cannot be written to CIF \
+                     (empty, whitespace, `;`, or leading `(` would corrupt the statement stream)"
+                )
             }
             LayoutError::CoordinateBudget { cell, value } => {
                 write!(

@@ -53,7 +53,7 @@ pub mod stats;
 mod technology;
 
 pub use cell::{CellDefinition, CellId, CellTable, LayoutObject};
-pub use cif::{read_cif, write_cif, write_cif_flat};
+pub use cif::{cif_safe_name, read_cif, write_cif, write_cif_flat};
 pub use error::LayoutError;
 pub use flatten::{flatten, flatten_boxes_of, FlatBox, FlatLayout};
 pub use instance::Instance;

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use rsg_geom::{Orientation, Point, Rect};
 use rsg_layout::{
-    flatten, read_rsgl, stats::LayoutStats, write_cif, write_rsgl, CellDefinition, CellTable,
-    Instance, Layer,
+    cif_safe_name, flatten, read_cif, read_rsgl, stats::LayoutStats, write_cif, write_rsgl,
+    CellDefinition, CellTable, Instance, Layer, LayoutError,
 };
 
 fn arb_layer() -> impl Strategy<Value = Layer> {
@@ -92,6 +92,39 @@ proptest! {
         // The root is called exactly once at top level (after the last DF).
         let tail = cif.rsplit("DF;\n").next().unwrap();
         prop_assert!(tail.starts_with("C "), "{}", tail);
+    }
+
+    /// Hostile cell names (whitespace, `;`, leading `(`, empty) are a
+    /// typed write-time rejection — never a silent truncation — and
+    /// every accepted name round-trips through the CIF reader exactly.
+    /// Pins the ISSUE 10 `9 {name};` corruption fix.
+    #[test]
+    fn cif_cell_names_round_trip_or_reject(
+        chars in proptest::collection::vec(0usize..16, 0..12),
+    ) {
+        const ALPHABET: [char; 16] = [
+            'a', 'b', 'z', '0', '9', '_', '-', '.', '!', '#',
+            ';', '(', ')', ' ', '\t', '\n',
+        ];
+        let name: String = chars.into_iter().map(|i| ALPHABET[i]).collect();
+        let mut t = CellTable::new();
+        let mut c = CellDefinition::new(name.clone());
+        c.add_box(Layer::Metal1, Rect::from_coords(0, 0, 4, 4));
+        let id = t.insert(c).unwrap();
+        match write_cif(&t, id) {
+            Err(LayoutError::CifName { cell }) => {
+                prop_assert_eq!(&cell, &name);
+                prop_assert!(cif_safe_name(&name).is_err());
+            }
+            Err(e) => panic!("unexpected error {e} for name {name:?}"),
+            Ok(cif) => {
+                prop_assert!(cif_safe_name(&name).is_ok(), "accepted {name:?}");
+                let (t2, id2) = read_cif(&cif).unwrap();
+                prop_assert_eq!(t2.require(id2).unwrap().name(), name.as_str());
+                // Idempotent: the reread table writes byte-identically.
+                prop_assert_eq!(write_cif(&t2, id2).unwrap(), cif);
+            }
+        }
     }
 
     /// Flat box count equals the sum over instances of leaf box counts.

@@ -1,0 +1,81 @@
+//! Typed failures of the service layer.
+
+use rsg_compact::hier::{ChipError, HierError};
+use rsg_compact::leaf::LeafError;
+use rsg_layout::LayoutError;
+
+/// Service-layer failure: storage, payload, or the compaction itself.
+///
+/// Store *corruption* is deliberately not a variant — a corrupt entry is
+/// evicted and recomputed, surfacing only in the
+/// [`crate::StoreCounters::evictions`] counter, never as an error the
+/// client has to handle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A filesystem operation on the store failed (the `io::Error`,
+    /// stringified — it is neither `Clone` nor comparable).
+    Io(String),
+    /// A payload could not be serialized or parsed.
+    Payload(String),
+    /// Layout serialization of a compacted result failed.
+    Layout(LayoutError),
+    /// The compaction itself failed (leaf or hierarchy pass).
+    Chip(ChipError),
+    /// The queue's worker pool has shut down.
+    QueueClosed,
+    /// No job with this id was ever submitted.
+    UnknownJob(usize),
+    /// A worker panicked while running the job. The worker's session is
+    /// discarded and the pool keeps serving; resubmitting reruns cold.
+    WorkerPanic(String),
+    /// A client-side precondition failed (e.g. building the library
+    /// jobs for a served chip flow).
+    Client(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(m) => write!(f, "store I/O failed: {m}"),
+            ServeError::Payload(m) => write!(f, "store payload invalid: {m}"),
+            ServeError::Layout(e) => write!(f, "serve serialization: {e}"),
+            ServeError::Chip(e) => write!(f, "served compaction failed: {e}"),
+            ServeError::QueueClosed => write!(f, "job queue is closed"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            ServeError::WorkerPanic(m) => write!(f, "serve worker panicked: {m}"),
+            ServeError::Client(m) => write!(f, "serve client error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e.to_string())
+    }
+}
+
+impl From<LayoutError> for ServeError {
+    fn from(e: LayoutError) -> ServeError {
+        ServeError::Layout(e)
+    }
+}
+
+impl From<ChipError> for ServeError {
+    fn from(e: ChipError) -> ServeError {
+        ServeError::Chip(e)
+    }
+}
+
+impl From<HierError> for ServeError {
+    fn from(e: HierError) -> ServeError {
+        ServeError::Chip(ChipError::Hier(e))
+    }
+}
+
+impl From<LeafError> for ServeError {
+    fn from(e: LeafError) -> ServeError {
+        ServeError::Chip(ChipError::Leaf(e))
+    }
+}

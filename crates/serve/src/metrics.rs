@@ -1,0 +1,161 @@
+//! Service observability: counters and per-phase latency histograms.
+
+use crate::store::StoreCounters;
+use std::time::Duration;
+
+/// Log₂-bucketed wall-clock histogram: bucket `i` counts samples with
+/// `2^i ≤ nanoseconds < 2^(i+1)` (bucket 0 also absorbs sub-ns zeros,
+/// the last bucket absorbs everything ≥ 2^39 ns ≈ 9 minutes). Fixed
+/// size, no allocation, merge-free — cheap enough to snapshot on every
+/// fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LatencyHistogram::BUCKETS],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; LatencyHistogram::BUCKETS],
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Number of log₂ buckets (covers 1 ns … ~9 min).
+    pub const BUCKETS: usize = 40;
+
+    /// Records one sample.
+    pub fn record(&mut self, elapsed: Duration) {
+        let ns = elapsed.as_nanos().max(1);
+        let bucket = (127 - ns.leading_zeros()) as usize;
+        self.buckets[bucket.min(Self::BUCKETS - 1)] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; LatencyHistogram::BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound (exclusive, in ns) of bucket `i`.
+    pub fn bucket_ceiling_ns(i: usize) -> u128 {
+        1u128 << (i + 1)
+    }
+}
+
+impl std::fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count() == 0 {
+            return write!(f, "(no samples)");
+        }
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if !first {
+                write!(f, "  ")?;
+            }
+            first = false;
+            let ceil = Self::bucket_ceiling_ns(i);
+            if ceil >= 1_000_000_000 {
+                write!(f, "<{}s:{n}", ceil / 1_000_000_000)?;
+            } else if ceil >= 1_000_000 {
+                write!(f, "<{}ms:{n}", ceil / 1_000_000)?;
+            } else if ceil >= 1_000 {
+                write!(f, "<{}us:{n}", ceil / 1_000)?;
+            } else {
+                write!(f, "<{ceil}ns:{n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot of everything the service counts. Returned by
+/// [`crate::JobQueue::metrics`] and attached to every fetched job.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Jobs accepted by [`crate::JobQueue::submit`].
+    pub submitted: u64,
+    /// Jobs finished (successfully or not).
+    pub completed: u64,
+    /// Jobs answered from the store without solving.
+    pub served_from_store: u64,
+    /// Jobs that ran the compaction pipeline.
+    pub solves: u64,
+    /// Store hits re-solved in verify mode.
+    pub verified: u64,
+    /// Verify-mode re-solves that did **not** match the stored entry
+    /// (the entry is evicted and replaced by the fresh result).
+    pub verify_mismatches: u64,
+    /// Worker panics contained by the per-job isolation.
+    pub worker_panics: u64,
+    /// The underlying store's hit/miss/eviction/write counters.
+    pub store: StoreCounters,
+    /// Wall clock of key derivation + store lookup, per job.
+    pub lookup: LatencyHistogram,
+    /// Wall clock of actual compaction solves, per solved job.
+    pub solve: LatencyHistogram,
+    /// Wall clock of serialization + atomic persist, per solved job.
+    pub persist: LatencyHistogram,
+}
+
+impl std::fmt::Display for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "jobs: {} submitted, {} completed ({} from store, {} solved, {} panics)",
+            self.submitted, self.completed, self.served_from_store, self.solves, self.worker_panics
+        )?;
+        writeln!(
+            f,
+            "store: {} hits, {} misses, {} evictions, {} writes; verify: {} ({} mismatches)",
+            self.store.hits,
+            self.store.misses,
+            self.store.evictions,
+            self.store.writes,
+            self.verified,
+            self.verify_mismatches
+        )?;
+        writeln!(f, "lookup:  {}", self.lookup)?;
+        writeln!(f, "solve:   {}", self.solve)?;
+        write!(f, "persist: {}", self.persist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_nanos(1));
+        h.record(Duration::from_nanos(3));
+        h.record(Duration::from_nanos(1024));
+        h.record(Duration::from_secs(1_000_000)); // clamps to last bucket
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[10], 1);
+        assert_eq!(h.buckets()[LatencyHistogram::BUCKETS - 1], 1);
+        // Zero durations land in bucket 0, not a panic.
+        h.record(Duration::ZERO);
+        assert_eq!(h.buckets()[0], 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.to_string(), "(no samples)");
+        h.record(Duration::from_micros(3));
+        let s = h.to_string();
+        assert!(s.contains("us:1"), "{s}");
+    }
+}

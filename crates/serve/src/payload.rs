@@ -1,0 +1,450 @@
+//! The served-result payload and its on-disk text encoding.
+//!
+//! A store entry holds *rendered artifacts* — RSGL and CIF text of the
+//! compacted cells — plus the pitch bindings and a compact report, not
+//! the in-memory compaction structs. Clients that want a [`CellTable`]
+//! back read the RSGL; clients that want mask data take the CIF bytes
+//! verbatim, which is what makes the warm path byte-identical to the
+//! cold one by construction.
+//!
+//! The encoding is a line-oriented tag format with length-prefixed raw
+//! blocks (`tag args… <len>\n<len raw bytes>\n`), so hostile cell names
+//! and embedded newlines cannot corrupt the framing — the same failure
+//! class the CIF writer's name validation closes (see
+//! [`rsg_layout::cif_safe_name`]). Serialization is deterministic:
+//! equal payloads encode to equal bytes.
+//!
+//! [`CellTable`]: rsg_layout::CellTable
+
+use crate::error::ServeError;
+
+/// What kind of job produced a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A batch library job: independent leaf cells with interfaces.
+    Library,
+    /// A whole-chip job: leaf pass + hierarchical placement.
+    Chip,
+}
+
+/// One rendered cell (or chip root): its name and both serializations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Cell name (the chip root's name for chip jobs).
+    pub name: String,
+    /// `.rsgl` text — re-readable via [`rsg_layout::read_rsgl`].
+    pub rsgl: String,
+    /// CIF 2.0 text.
+    pub cif: String,
+}
+
+/// A solved pitch, scoped by the cell or job that owns it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedPitch {
+    /// Scoped name, e.g. `leaf0:and_pitch` or `chip:x:a->b+0`.
+    pub name: String,
+    /// Solved value.
+    pub value: i64,
+    /// Abutting pairs sharing the pitch (0 for leaf-library pitches).
+    pub pairs: usize,
+}
+
+/// Mirror of [`rsg_compact::leaf::PitchBinding`]'s tight constraints
+/// with raw variable indices — solver ids are deliberately opaque
+/// outside `rsg_solve`, so the service ships plain `usize`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedConstraint {
+    /// Positive-side variable index.
+    pub to: usize,
+    /// Negative-side variable index.
+    pub from: usize,
+    /// Required minimum separation.
+    pub weight: i64,
+    /// Optional pitch term `(pitch index, coefficient)`.
+    pub pitch: Option<(usize, i64)>,
+}
+
+/// A pitch with its zero-slack critical constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedBinding {
+    /// The pitch variable's name.
+    pub name: String,
+    /// Its solved value.
+    pub value: i64,
+    /// The pitch-carrying constraints with zero slack at the solution.
+    pub tight: Vec<ServedConstraint>,
+}
+
+/// Aggregate diagnostics of the solve that produced a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeReport {
+    /// Cells in the payload (compacted assembly cells for chip jobs,
+    /// library cells for library jobs).
+    pub cells: usize,
+    /// Largest x/y alternation count over the chip's assembly cells.
+    pub passes: usize,
+    /// Whether every cell reached its fixpoint.
+    pub converged: bool,
+    /// Total constraints generated across every solve.
+    pub constraints: usize,
+    /// Total solver relaxation passes.
+    pub solver_passes: usize,
+    /// Flat boxes the hierarchical abstracts summarized.
+    pub flat_boxes: usize,
+    /// Leaf-pass unknowns (edge + pitch variables).
+    pub unknowns: usize,
+}
+
+/// A complete served result: what [`crate::Store`] persists and what
+/// [`crate::JobQueue::fetch`] returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedResult {
+    /// The producing job's kind.
+    pub kind: JobKind,
+    /// Rendered cells, in deterministic (input) order.
+    pub artifacts: Vec<Artifact>,
+    /// Solved pitches, leaf pitches first, then hierarchy pitches.
+    pub pitches: Vec<ServedPitch>,
+    /// Leaf-pass pitch diagnostics.
+    pub bindings: Vec<ServedBinding>,
+    /// Aggregate solve diagnostics.
+    pub report: ServeReport,
+}
+
+/// Appends `tag args… <len>\n<blob>\n`.
+fn push_blob(out: &mut String, header: &str, blob: &str) {
+    out.push_str(header);
+    out.push(' ');
+    out.push_str(&blob.len().to_string());
+    out.push('\n');
+    out.push_str(blob);
+    out.push('\n');
+}
+
+impl ServedResult {
+    /// Deterministic text encoding; [`ServedResult::decode`] inverts it.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str("served 1\n");
+        out.push_str(match self.kind {
+            JobKind::Library => "kind library\n",
+            JobKind::Chip => "kind chip\n",
+        });
+        let r = &self.report;
+        out.push_str(&format!(
+            "report {} {} {} {} {} {} {}\n",
+            r.cells,
+            r.passes,
+            u8::from(r.converged),
+            r.constraints,
+            r.solver_passes,
+            r.flat_boxes,
+            r.unknowns,
+        ));
+        out.push_str(&format!("artifacts {}\n", self.artifacts.len()));
+        for a in &self.artifacts {
+            push_blob(&mut out, "name", &a.name);
+            push_blob(&mut out, "rsgl", &a.rsgl);
+            push_blob(&mut out, "cif", &a.cif);
+        }
+        out.push_str(&format!("pitches {}\n", self.pitches.len()));
+        for p in &self.pitches {
+            push_blob(&mut out, &format!("pitch {} {}", p.value, p.pairs), &p.name);
+        }
+        out.push_str(&format!("bindings {}\n", self.bindings.len()));
+        for b in &self.bindings {
+            push_blob(
+                &mut out,
+                &format!("binding {} {}", b.value, b.tight.len()),
+                &b.name,
+            );
+            for t in &b.tight {
+                match t.pitch {
+                    Some((pid, coeff)) => out.push_str(&format!(
+                        "tight {} {} {} 1 {pid} {coeff}\n",
+                        t.from, t.to, t.weight
+                    )),
+                    None => out.push_str(&format!("tight {} {} {} 0\n", t.from, t.to, t.weight)),
+                }
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses an [`ServedResult::encode`]d payload.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Payload`] on any framing or field violation; the
+    /// store treats that as corruption and evicts the entry.
+    pub fn decode(text: &str) -> Result<ServedResult, ServeError> {
+        let mut cur = Cursor { text, pos: 0 };
+        cur.expect_line("served 1")?;
+        let kind = match cur.line()? {
+            "kind library" => JobKind::Library,
+            "kind chip" => JobKind::Chip,
+            other => return Err(malformed(&format!("unknown kind line {other:?}"))),
+        };
+        let report = {
+            let fields = cur.tagged_fields("report", 7)?;
+            ServeReport {
+                cells: parse_usize(&fields[0])?,
+                passes: parse_usize(&fields[1])?,
+                converged: match fields[2].as_str() {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(malformed(&format!("bad converged flag {other:?}"))),
+                },
+                constraints: parse_usize(&fields[3])?,
+                solver_passes: parse_usize(&fields[4])?,
+                flat_boxes: parse_usize(&fields[5])?,
+                unknowns: parse_usize(&fields[6])?,
+            }
+        };
+        let n_artifacts = parse_usize(&cur.tagged_fields("artifacts", 1)?[0])?;
+        let mut artifacts = Vec::new();
+        for _ in 0..checked_count(n_artifacts, cur.remaining())? {
+            artifacts.push(Artifact {
+                name: cur.blob("name", 0)?.1,
+                rsgl: cur.blob("rsgl", 0)?.1,
+                cif: cur.blob("cif", 0)?.1,
+            });
+        }
+        let n_pitches = parse_usize(&cur.tagged_fields("pitches", 1)?[0])?;
+        let mut pitches = Vec::new();
+        for _ in 0..checked_count(n_pitches, cur.remaining())? {
+            let (args, name) = cur.blob("pitch", 2)?;
+            pitches.push(ServedPitch {
+                name,
+                value: parse_i64(&args[0])?,
+                pairs: parse_usize(&args[1])?,
+            });
+        }
+        let n_bindings = parse_usize(&cur.tagged_fields("bindings", 1)?[0])?;
+        let mut bindings = Vec::new();
+        for _ in 0..checked_count(n_bindings, cur.remaining())? {
+            let (args, name) = cur.blob("binding", 2)?;
+            let value = parse_i64(&args[0])?;
+            let n_tight = parse_usize(&args[1])?;
+            let mut tight = Vec::new();
+            for _ in 0..checked_count(n_tight, cur.remaining())? {
+                let fields = cur.tagged_fields("tight", usize::MAX)?;
+                if fields.len() != 4 && fields.len() != 6 {
+                    return Err(malformed("tight line has neither 4 nor 6 fields"));
+                }
+                let pitch = if fields[3] == "1" {
+                    if fields.len() != 6 {
+                        return Err(malformed("tight pitch flag set but term missing"));
+                    }
+                    Some((parse_usize(&fields[4])?, parse_i64(&fields[5])?))
+                } else {
+                    None
+                };
+                tight.push(ServedConstraint {
+                    from: parse_usize(&fields[0])?,
+                    to: parse_usize(&fields[1])?,
+                    weight: parse_i64(&fields[2])?,
+                    pitch,
+                });
+            }
+            bindings.push(ServedBinding { name, value, tight });
+        }
+        cur.expect_line("end")?;
+        if cur.pos != text.len() {
+            return Err(malformed("trailing bytes after end marker"));
+        }
+        Ok(ServedResult {
+            kind,
+            artifacts,
+            pitches,
+            bindings,
+            report,
+        })
+    }
+}
+
+fn malformed(reason: &str) -> ServeError {
+    ServeError::Payload(reason.to_owned())
+}
+
+fn parse_usize(s: &str) -> Result<usize, ServeError> {
+    s.parse()
+        .map_err(|_| malformed(&format!("expected unsigned integer, got {s:?}")))
+}
+
+fn parse_i64(s: &str) -> Result<i64, ServeError> {
+    s.parse()
+        .map_err(|_| malformed(&format!("expected integer, got {s:?}")))
+}
+
+/// A declared element count can never exceed the remaining payload
+/// bytes (every element costs at least one byte) — rejects hostile
+/// counts before any allocation loop trusts them.
+fn checked_count(n: usize, remaining: usize) -> Result<usize, ServeError> {
+    if n > remaining {
+        return Err(malformed(&format!(
+            "declared count {n} exceeds remaining payload ({remaining} bytes)"
+        )));
+    }
+    Ok(n)
+}
+
+struct Cursor<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn remaining(&self) -> usize {
+        self.text.len() - self.pos
+    }
+
+    /// Next `\n`-terminated line (newline consumed, not returned).
+    fn line(&mut self) -> Result<&'a str, ServeError> {
+        let rest = self
+            .text
+            .get(self.pos..)
+            .ok_or_else(|| malformed("cursor out of bounds"))?;
+        let nl = rest
+            .find('\n')
+            .ok_or_else(|| malformed("unterminated line"))?;
+        self.pos += nl + 1;
+        Ok(&rest[..nl])
+    }
+
+    fn expect_line(&mut self, want: &str) -> Result<(), ServeError> {
+        let got = self.line()?;
+        if got != want {
+            return Err(malformed(&format!("expected {want:?}, got {got:?}")));
+        }
+        Ok(())
+    }
+
+    /// A `tag f1 f2 … fN` line; `n == usize::MAX` accepts any arity.
+    fn tagged_fields(&mut self, tag: &str, n: usize) -> Result<Vec<String>, ServeError> {
+        let line = self.line()?;
+        let mut parts = line.split(' ');
+        if parts.next() != Some(tag) {
+            return Err(malformed(&format!("expected a {tag:?} line, got {line:?}")));
+        }
+        let fields: Vec<String> = parts.map(str::to_owned).collect();
+        if n != usize::MAX && fields.len() != n {
+            return Err(malformed(&format!(
+                "{tag:?} line has {} fields, expected {n}",
+                fields.len()
+            )));
+        }
+        Ok(fields)
+    }
+
+    /// A `tag args… <len>` line followed by exactly `len` raw bytes and
+    /// a newline. Returns the args (without the length) and the blob.
+    fn blob(&mut self, tag: &str, n_args: usize) -> Result<(Vec<String>, String), ServeError> {
+        let mut fields = self.tagged_fields(tag, n_args + 1)?;
+        let len = parse_usize(&fields[n_args])?;
+        fields.truncate(n_args);
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or_else(|| malformed("blob length overflows"))?;
+        let blob = self
+            .text
+            .get(self.pos..end)
+            .ok_or_else(|| malformed("blob extends past payload"))?;
+        self.pos = end;
+        if self.text.get(self.pos..self.pos + 1) != Some("\n") {
+            return Err(malformed("blob not newline-terminated"));
+        }
+        self.pos += 1;
+        Ok((fields, blob.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServedResult {
+        ServedResult {
+            kind: JobKind::Chip,
+            artifacts: vec![Artifact {
+                name: "chip".into(),
+                rsgl: "cell chip\nend\n".into(),
+                cif: "DS 1 1 1;\nDF;\nE\n".into(),
+            }],
+            pitches: vec![ServedPitch {
+                name: "leaf0:and_pitch".into(),
+                value: 12,
+                pairs: 3,
+            }],
+            bindings: vec![ServedBinding {
+                name: "and_pitch".into(),
+                value: 12,
+                tight: vec![
+                    ServedConstraint {
+                        from: 0,
+                        to: 2,
+                        weight: 4,
+                        pitch: Some((0, 1)),
+                    },
+                    ServedConstraint {
+                        from: 1,
+                        to: 0,
+                        weight: -3,
+                        pitch: None,
+                    },
+                ],
+            }],
+            report: ServeReport {
+                cells: 1,
+                passes: 2,
+                converged: true,
+                constraints: 44,
+                solver_passes: 9,
+                flat_boxes: 120,
+                unknowns: 7,
+            },
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let r = sample();
+        let text = r.encode();
+        assert_eq!(ServedResult::decode(&text).unwrap(), r);
+        // Deterministic: same value, same bytes.
+        assert_eq!(r.encode(), text);
+    }
+
+    #[test]
+    fn hostile_names_cannot_break_framing() {
+        let mut r = sample();
+        r.pitches[0].name = "evil\nname artifacts 9".into();
+        r.artifacts[0].name = "ds;\n(paren".into();
+        let text = r.encode();
+        assert_eq!(ServedResult::decode(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let text = sample().encode();
+        for cut in 0..text.len() {
+            let Some(prefix) = text.get(..cut) else {
+                continue; // not a char boundary
+            };
+            assert!(
+                ServedResult::decode(prefix).is_err(),
+                "truncation at {cut} bytes parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_counts_are_rejected_before_allocation() {
+        // A declared artifact count far beyond the payload size must be
+        // rejected up front, not looped over.
+        let text = "served 1\nkind chip\nreport 0 0 1 0 0 0 0\nartifacts 18446744073709551615\n";
+        assert!(ServedResult::decode(text).is_err());
+    }
+}

@@ -1,0 +1,451 @@
+//! Persistent content-addressed store of compaction results.
+//!
+//! Entries are keyed by a [`StoreKey`] — a digest of the *complete*
+//! solve input: deep geometry content, library-job content, design
+//! rules, solver name, and [`HierOptions::content_tag`]. Everything the
+//! result depends on is in the key, so a hit can be served without a
+//! single solver invocation; everything the result does *not* depend on
+//! (wall-clock deadline, parallelism, prune toggle — all
+//! solution-identical or non-content-addressable) is deliberately kept
+//! out, so equivalent requests share one entry.
+//!
+//! ## Durability contract
+//!
+//! *Writes are atomic*: an entry is serialized to a temp file in the
+//! store directory and `rename`d into place, so a crash mid-write can
+//! strand a temp file but never a half-entry under a valid name.
+//! *Reads trust nothing*: every load re-checks the header frame, the
+//! payload checksum, and the full payload parse; any violation evicts
+//! the entry (counted, never surfaced as an error) and the service
+//! recomputes — bit-identically, because the solve pipeline is
+//! deterministic. Corruption can therefore cost time, never wrong mask
+//! geometry.
+
+use crate::error::ServeError;
+use crate::payload::ServedResult;
+use rsg_compact::hier::HierOptions;
+use rsg_compact::leaf::LibraryJob;
+use rsg_layout::hash::{deep_hashes, mix, ContentHasher};
+use rsg_layout::{CellId, CellTable, DesignRules};
+use std::path::{Path, PathBuf};
+
+/// Content digest identifying one solve input. Displayed (and stored)
+/// as 16 hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StoreKey(pub u64);
+
+impl std::fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+fn solver_name_hash(solver_name: &str) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_str(solver_name);
+    h.finish()
+}
+
+/// Key for a batch library job: job content × rules × solver × options.
+pub fn library_key(
+    job: &LibraryJob,
+    rules: &DesignRules,
+    solver_name: &str,
+    opts: &HierOptions,
+) -> StoreKey {
+    StoreKey(mix(&[
+        0x4c49425f4a4f42, // "LIB_JOB" domain tag
+        job.content_hash(),
+        rules.content_hash(),
+        solver_name_hash(solver_name),
+        opts.content_tag(),
+    ]))
+}
+
+/// Key for a whole-chip job: deep geometry content of the hierarchy
+/// under `top`, the library jobs' content, rules, solver, and options.
+///
+/// # Errors
+///
+/// Propagates [`ServeError::Layout`] when the hierarchy cannot be
+/// deep-hashed (unknown or recursive cell references).
+pub fn chip_key(
+    table: &CellTable,
+    top: CellId,
+    library: &[LibraryJob],
+    rules: &DesignRules,
+    solver_name: &str,
+    opts: &HierOptions,
+) -> Result<StoreKey, ServeError> {
+    let deep = deep_hashes(table, top)?;
+    let top_hash = deep
+        .get(&top)
+        .copied()
+        .ok_or_else(|| ServeError::Client("deep_hashes omitted the top cell".to_owned()))?;
+    let mut jobs = ContentHasher::new();
+    jobs.write_u64(library.len() as u64);
+    for job in library {
+        jobs.write_u64(job.content_hash());
+    }
+    Ok(StoreKey(mix(&[
+        0x434849505f4a4f42, // "CHIP_JOB" domain tag
+        top_hash,
+        jobs.finish(),
+        rules.content_hash(),
+        solver_name_hash(solver_name),
+        opts.content_tag(),
+    ])))
+}
+
+/// Hit/miss/eviction counters of one [`Store`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Lookups answered from disk.
+    pub hits: u64,
+    /// Lookups with no (valid) entry.
+    pub misses: u64,
+    /// Entries discarded because validation failed (truncation, bit
+    /// flips, unparseable payload, unreadable file).
+    pub evictions: u64,
+    /// Entries persisted.
+    pub writes: u64,
+}
+
+/// Outcome of a validation sweep over every entry on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepOutcome {
+    /// Entries that validated end to end.
+    pub kept: usize,
+    /// Entries evicted (and files removed) as corrupt.
+    pub evicted: usize,
+}
+
+const MAGIC: &str = "RSGSTORE 1";
+const SUFFIX: &str = ".rsgstore";
+
+fn payload_checksum(payload: &str) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_str(payload);
+    h.finish()
+}
+
+/// The on-disk map. All methods take `&mut self`; shared access is the
+/// caller's concern (the [`crate::JobQueue`] holds it behind a mutex).
+#[derive(Debug)]
+pub struct Store {
+    root: PathBuf,
+    counters: StoreCounters,
+}
+
+impl Store {
+    /// Opens (creating if needed) a store rooted at `root`, then sweeps
+    /// it: every existing entry is fully validated and corrupt ones are
+    /// evicted up front, so later [`Store::get`]s on a surviving entry
+    /// can still fail validation only if the file changed underneath.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the directory cannot be created or read.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, ServeError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        let mut store = Store {
+            root,
+            counters: StoreCounters::default(),
+        };
+        store.sweep()?;
+        Ok(store)
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Counters accumulated since [`Store::open`].
+    pub fn counters(&self) -> StoreCounters {
+        self.counters
+    }
+
+    /// The file a key maps to (exposed so tests can inject corruption).
+    pub fn path_of(&self, key: StoreKey) -> PathBuf {
+        self.root.join(format!("{key}{SUFFIX}"))
+    }
+
+    /// Number of entries currently on disk.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the directory cannot be read.
+    pub fn len(&self) -> Result<usize, ServeError> {
+        Ok(self.entry_paths()?.len())
+    }
+
+    /// Whether the store holds no entries.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the directory cannot be read.
+    pub fn is_empty(&self) -> Result<bool, ServeError> {
+        Ok(self.entry_paths()?.is_empty())
+    }
+
+    fn entry_paths(&self) -> Result<Vec<PathBuf>, ServeError> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.root)? {
+            let path = entry?.path();
+            if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(SUFFIX))
+            {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Looks up `key`. A missing entry is a plain miss; an entry that
+    /// fails *any* validation step is evicted (file removed, counted)
+    /// and reported as a miss — corrupt bytes are never returned.
+    pub fn get(&mut self, key: StoreKey) -> Option<ServedResult> {
+        let path = self.path_of(key);
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.counters.misses += 1;
+                return None;
+            }
+            Err(_) => {
+                self.evict(&path);
+                return None;
+            }
+        };
+        match validate_entry(&bytes, Some(key)) {
+            Ok(result) => {
+                self.counters.hits += 1;
+                Some(result)
+            }
+            Err(_) => {
+                self.evict(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists `result` under `key` atomically: serialize to a temp
+    /// file in the store directory, then rename into place. A reader
+    /// either sees the old entry, the new entry, or no entry — never a
+    /// torn one.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when writing or renaming fails (the temp file
+    /// is cleaned up best-effort).
+    pub fn put(&mut self, key: StoreKey, result: &ServedResult) -> Result<(), ServeError> {
+        let payload = result.encode();
+        let entry = format!(
+            "{MAGIC} {key} {} {:016x}\n{payload}",
+            payload.len(),
+            payload_checksum(&payload)
+        );
+        let tmp = self.root.join(format!(".tmp-{key}-{}", std::process::id()));
+        std::fs::write(&tmp, entry.as_bytes())?;
+        if let Err(e) = std::fs::rename(&tmp, self.path_of(key)) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        self.counters.writes += 1;
+        Ok(())
+    }
+
+    /// Validates every entry on disk, evicting corrupt ones.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the directory cannot be read (individual
+    /// entry failures are evictions, not errors).
+    pub fn sweep(&mut self) -> Result<SweepOutcome, ServeError> {
+        let mut outcome = SweepOutcome::default();
+        for path in self.entry_paths()? {
+            let valid = std::fs::read(&path)
+                .map_err(ServeError::from)
+                .and_then(|bytes| validate_entry(&bytes, key_of_path(&path)))
+                .is_ok();
+            if valid {
+                outcome.kept += 1;
+            } else {
+                self.evict(&path);
+                outcome.evicted += 1;
+            }
+        }
+        Ok(outcome)
+    }
+
+    fn evict(&mut self, path: &Path) {
+        let _ = std::fs::remove_file(path);
+        self.counters.evictions += 1;
+        self.counters.misses += 1;
+    }
+}
+
+fn key_of_path(path: &Path) -> Option<StoreKey> {
+    let name = path.file_name()?.to_str()?.strip_suffix(SUFFIX)?;
+    u64::from_str_radix(name, 16).ok().map(StoreKey)
+}
+
+/// Full validation: UTF-8, header frame, declared length, checksum,
+/// payload parse, and (when known) that the entry's key matches the
+/// name it was found under.
+fn validate_entry(bytes: &[u8], want_key: Option<StoreKey>) -> Result<ServedResult, ServeError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| ServeError::Payload("entry is not UTF-8".to_owned()))?;
+    let nl = text
+        .find('\n')
+        .ok_or_else(|| ServeError::Payload("entry has no header line".to_owned()))?;
+    let header = &text[..nl];
+    let payload = &text[nl + 1..];
+    let rest = header
+        .strip_prefix(MAGIC)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| ServeError::Payload("bad magic".to_owned()))?;
+    let mut fields = rest.split(' ');
+    let (key_hex, len_str, sum_hex) =
+        match (fields.next(), fields.next(), fields.next(), fields.next()) {
+            (Some(k), Some(l), Some(s), None) => (k, l, s),
+            _ => return Err(ServeError::Payload("header field count".to_owned())),
+        };
+    let key = u64::from_str_radix(key_hex, 16)
+        .map_err(|_| ServeError::Payload("bad key hex".to_owned()))?;
+    if want_key.is_some_and(|want| want.0 != key) {
+        return Err(ServeError::Payload(
+            "entry key does not match its name".to_owned(),
+        ));
+    }
+    let declared_len: usize = len_str
+        .parse()
+        .map_err(|_| ServeError::Payload("bad payload length".to_owned()))?;
+    if declared_len != payload.len() {
+        return Err(ServeError::Payload(format!(
+            "declared payload length {declared_len} != actual {}",
+            payload.len()
+        )));
+    }
+    let declared_sum = u64::from_str_radix(sum_hex, 16)
+        .map_err(|_| ServeError::Payload("bad checksum hex".to_owned()))?;
+    if declared_sum != payload_checksum(payload) {
+        return Err(ServeError::Payload("checksum mismatch".to_owned()));
+    }
+    ServedResult::decode(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::{Artifact, JobKind, ServeReport, ServedPitch};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        std::env::temp_dir().join(format!("rsg-store-{tag}-{}-{nanos}", std::process::id()))
+    }
+
+    fn sample() -> ServedResult {
+        ServedResult {
+            kind: JobKind::Library,
+            artifacts: vec![Artifact {
+                name: "leaf".into(),
+                rsgl: "cell leaf\nend\n".into(),
+                cif: "DS 1 1 1;\nDF;\nE\n".into(),
+            }],
+            pitches: vec![ServedPitch {
+                name: "p".into(),
+                value: 8,
+                pairs: 0,
+            }],
+            bindings: vec![],
+            report: ServeReport {
+                cells: 1,
+                converged: true,
+                ..ServeReport::default()
+            },
+        }
+    }
+
+    #[test]
+    fn put_get_round_trips_and_counts() {
+        let root = tmp_root("roundtrip");
+        let mut store = Store::open(&root).unwrap();
+        let key = StoreKey(0xabcd);
+        assert_eq!(store.get(key), None);
+        store.put(key, &sample()).unwrap();
+        assert_eq!(store.get(key), Some(sample()));
+        let c = store.counters();
+        assert_eq!((c.hits, c.misses, c.writes, c.evictions), (1, 1, 1, 0));
+        // Reopen: the sweep validates and keeps the entry.
+        let mut reopened = Store::open(&root).unwrap();
+        assert_eq!(reopened.get(key), Some(sample()));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_bitflipped_entries_are_evicted() {
+        let root = tmp_root("corrupt");
+        let mut store = Store::open(&root).unwrap();
+        let key = StoreKey(7);
+        store.put(key, &sample()).unwrap();
+        let path = store.path_of(key);
+        let pristine = std::fs::read(&path).unwrap();
+
+        // Truncations at every byte boundary.
+        for cut in 0..pristine.len() {
+            std::fs::write(&path, &pristine[..cut]).unwrap();
+            assert_eq!(store.get(key), None, "truncation at {cut} served");
+            assert!(!path.exists(), "truncated entry at {cut} not evicted");
+            store.put(key, &sample()).unwrap();
+        }
+        // A bit flip in every byte.
+        for i in 0..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[i] ^= 0x10;
+            if bytes == pristine {
+                continue;
+            }
+            std::fs::write(&path, &bytes).unwrap();
+            assert_eq!(store.get(key), None, "bit flip at byte {i} served");
+            store.put(key, &sample()).unwrap();
+        }
+        assert!(store.counters().evictions > 0);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn open_sweep_evicts_garbage_files() {
+        let root = tmp_root("sweep");
+        {
+            let mut store = Store::open(&root).unwrap();
+            store.put(StoreKey(1), &sample()).unwrap();
+        }
+        std::fs::write(root.join("00000000000000ff.rsgstore"), b"garbage").unwrap();
+        let mut store = Store::open(&root).unwrap();
+        assert_eq!(store.len().unwrap(), 1, "garbage entry survived the sweep");
+        assert_eq!(store.get(StoreKey(1)), Some(sample()));
+        assert_eq!(store.counters().evictions, 1);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn entry_under_the_wrong_name_is_evicted() {
+        let root = tmp_root("rename");
+        let mut store = Store::open(&root).unwrap();
+        store.put(StoreKey(1), &sample()).unwrap();
+        // An attacker (or a filesystem mishap) renames a valid entry to
+        // a different key: the self-identifying header catches it.
+        std::fs::rename(store.path_of(StoreKey(1)), store.path_of(StoreKey(2))).unwrap();
+        assert_eq!(store.get(StoreKey(2)), None);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,184 @@
+//! Crash/corruption lane for the on-disk store: a damaged entry is
+//! never trusted, never an error — it is silently evicted and the job
+//! recomputed **bit-identically** to a cold run. Plus the warm-contract
+//! proptest: for arbitrary small libraries, warm resubmission is served
+//! from disk and equals the cold result exactly.
+
+use proptest::prelude::*;
+use rsg_compact::leaf::LibraryJob;
+use rsg_geom::Rect;
+use rsg_layout::{CellDefinition, CellId, CellTable, Instance, Layer, Technology};
+use rsg_serve::{JobKind, JobQueue, JobSpec, ServeConfig};
+use std::path::PathBuf;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    std::env::temp_dir().join(format!(
+        "rsg-serve-corrupt-{tag}-{}-{nanos}",
+        std::process::id()
+    ))
+}
+
+fn config() -> ServeConfig {
+    let mut c = ServeConfig::new(Technology::mead_conway(2).rules);
+    c.workers = 1;
+    c
+}
+
+fn tiny_chip() -> (CellTable, CellId) {
+    let mut table = CellTable::new();
+    let mut leaf = CellDefinition::new("leaf");
+    leaf.add_box(Layer::Poly, Rect::from_coords(0, 0, 4, 8));
+    leaf.add_box(Layer::Metal1, Rect::from_coords(10, 0, 14, 8));
+    let leaf_id = table.insert(leaf).unwrap();
+    let mut top = CellDefinition::new("top");
+    top.add_instance(Instance::new(
+        leaf_id,
+        rsg_geom::Point::new(0, 0),
+        rsg_geom::Orientation::NORTH,
+    ));
+    top.add_instance(Instance::new(
+        leaf_id,
+        rsg_geom::Point::new(40, 0),
+        rsg_geom::Orientation::NORTH,
+    ));
+    let top_id = table.insert(top).unwrap();
+    (table, top_id)
+}
+
+fn chip_spec() -> JobSpec {
+    let (table, top) = tiny_chip();
+    JobSpec::Chip {
+        table,
+        top,
+        library: Vec::new(),
+    }
+}
+
+/// Every way of damaging the entry on disk — truncation at an arbitrary
+/// byte, a bit flip at an arbitrary byte, replacement with garbage —
+/// must lead to silent eviction and a recompute that matches the cold
+/// run byte for byte.
+#[test]
+fn damaged_entries_are_evicted_and_recomputed_bit_identically() {
+    let root = tmp_root("damage");
+    let (cold, path) = {
+        let queue = JobQueue::new(&root, config()).unwrap();
+        let out = queue.fetch(queue.submit(chip_spec()).unwrap()).unwrap();
+        assert!(!out.from_store);
+        let store = rsg_serve::Store::open(&root).unwrap();
+        let path = store.path_of(out.key);
+        (out, path)
+    };
+    let pristine = std::fs::read(&path).unwrap();
+
+    let mut damages: Vec<(String, Vec<u8>)> = Vec::new();
+    for cut in [0, 1, 9, pristine.len() / 2, pristine.len() - 1] {
+        damages.push((format!("truncate@{cut}"), pristine[..cut].to_vec()));
+    }
+    for at in [0, 4, 11, pristine.len() / 3, pristine.len() - 2] {
+        let mut bytes = pristine.clone();
+        bytes[at] ^= 0x10;
+        damages.push((format!("bitflip@{at}"), bytes));
+    }
+    damages.push(("garbage".into(), b"RSGSTORE 1 not a real entry\n".to_vec()));
+
+    for (label, bytes) in damages {
+        std::fs::write(&path, &bytes).unwrap();
+        let queue = JobQueue::new(&root, config()).unwrap();
+        let out = queue.fetch(queue.submit(chip_spec()).unwrap()).unwrap();
+        assert!(
+            !out.from_store,
+            "{label}: a damaged entry must never be served"
+        );
+        assert_eq!(
+            out.result, cold.result,
+            "{label}: the recompute must be bit-identical to the cold run"
+        );
+        assert_eq!(out.key, cold.key, "{label}: the key is pure content");
+        let evictions = out.metrics.store.evictions;
+        assert!(
+            evictions >= 1,
+            "{label}: eviction must be counted (saw {evictions})"
+        );
+        // The recompute healed the store: the entry round-trips again.
+        drop(queue);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            pristine,
+            "{label}: the healed entry must match the original bytes"
+        );
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A crash mid-write leaves a temp file, never a half-written entry:
+/// the atomic rename means the visible entry is always whole. Simulate
+/// the aftermath (stray tmp + missing entry) and check recovery.
+#[test]
+fn stray_temp_files_do_not_shadow_entries() {
+    let root = tmp_root("crash");
+    let cold = {
+        let queue = JobQueue::new(&root, config()).unwrap();
+        queue.fetch(queue.submit(chip_spec()).unwrap()).unwrap()
+    };
+    let store = rsg_serve::Store::open(&root).unwrap();
+    let path = store.path_of(cold.key);
+    // The "crash": the real entry is gone, a half-written temp remains.
+    let half = &std::fs::read(&path).unwrap()[..20];
+    std::fs::write(root.join(format!(".tmp-{}-dead", cold.key)), half).unwrap();
+    std::fs::remove_file(&path).unwrap();
+
+    let queue = JobQueue::new(&root, config()).unwrap();
+    let out = queue.fetch(queue.submit(chip_spec()).unwrap()).unwrap();
+    assert!(!out.from_store, "the entry was lost in the crash");
+    assert_eq!(out.result, cold.result, "recovery must match the cold run");
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Warm resubmission ≡ cold, for arbitrary small libraries: whatever
+    /// the content, the second queue serves the first queue's bytes.
+    #[test]
+    fn warm_resubmission_equals_cold_for_arbitrary_libraries(
+        boxes in proptest::collection::vec(
+            (0i64..40, 0i64..40, 1i64..10, 1i64..10, 0usize..3),
+            1..6,
+        ),
+    ) {
+        const LAYERS: [Layer; 3] = [Layer::Poly, Layer::Metal1, Layer::Diffusion];
+        let mut cell = CellDefinition::new("arb");
+        for (x, y, w, h, l) in boxes {
+            cell.add_box(LAYERS[l], Rect::from_coords(x, y, x + w, y + h));
+        }
+        let job = LibraryJob { cells: vec![cell], interfaces: vec![] };
+        let root = tmp_root("prop");
+
+        let cold = {
+            let queue = JobQueue::new(&root, config()).unwrap();
+            queue.fetch(queue.submit(JobSpec::Library(job.clone())).unwrap())
+        };
+        let warm = {
+            let queue = JobQueue::new(&root, config()).unwrap();
+            queue.fetch(queue.submit(JobSpec::Library(job)).unwrap())
+        };
+        match (cold, warm) {
+            (Ok(cold), Ok(warm)) => {
+                prop_assert!(!cold.from_store, "first run cannot hit");
+                prop_assert!(warm.from_store, "second run must hit");
+                prop_assert_eq!(warm.result.clone(), cold.result.clone());
+                prop_assert_eq!(warm.result.kind, JobKind::Library);
+                prop_assert_eq!(warm.metrics.solves, 0, "warm must not solve");
+            }
+            // Infeasible content must fail identically hot and cold —
+            // errors are never persisted, so both runs solve.
+            (Err(c), Err(w)) => prop_assert_eq!(c, w),
+            (c, w) => panic!("cold/warm disagree: cold {c:?}, warm {w:?}"),
+        }
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

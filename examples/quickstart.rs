@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("--- CIF ---\n{cif}");
     println!(
         "--- flat CIF ---\n{}",
-        rsg::layout::write_cif_flat(&flat, "row8_flat")
+        rsg::layout::write_cif_flat(&flat, "row8_flat")?
     );
     Ok(())
 }

@@ -1,0 +1,139 @@
+//! Compaction-as-a-service — the persistent store and job queue in
+//! action.
+//!
+//! A layout *service* outlives any single editing session: designs come
+//! in as batch jobs, and most of them are resubmissions of content the
+//! service has already solved. This walkthrough drives a
+//! [`rsg::serve::JobQueue`] through that life cycle:
+//!
+//! 1. **cold** — a full-adder PLA and a 4×4 multiplier are submitted as
+//!    whole-chip jobs; both miss the store, run through a worker's
+//!    persistent `CompactSession`, and are persisted,
+//! 2. **warm** — a *new* queue over the same store directory (a fresh
+//!    process, in spirit) gets the identical jobs and serves both from
+//!    disk with **zero** solver invocations and byte-identical CIF,
+//! 3. **edit** — one product term is added to the PLA personality; the
+//!    edited chip misses (different content, different key) while the
+//!    untouched multiplier still hits,
+//! 4. **verify** — the audit mode re-solves a hit and diffs it against
+//!    the stored bytes, confirming the store tells the truth.
+//!
+//! Run with `cargo run --release --example serve_demo`.
+
+use rsg::layout::Technology;
+use rsg::serve::{JobQueue, ServeConfig};
+
+fn pla(rows: &[&str], name: &str) -> Result<rsg::hpla::GeneratedPla, Box<dyn std::error::Error>> {
+    let personality = rsg::hpla::Personality::parse(rows, 3, 2)?;
+    Ok(rsg::hpla::rsg_pla(&personality, name)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::mead_conway(2);
+    let store_dir = std::env::temp_dir().join(format!("rsg-serve-demo-{}", std::process::id()));
+    let config = ServeConfig::new(tech.rules.clone());
+
+    let fa_v1 = [
+        "100 10", "010 10", "001 10", "111 10", // sum minterms
+        "11- 01", "1-1 01", // carry, one term still missing
+    ];
+    let fa_v2 = [
+        "100 10", "010 10", "001 10", "111 10", //
+        "11- 01", "1-1 01", "-11 01", // the missing carry term
+    ];
+
+    // --- step 1: the cold runs -------------------------------------------
+    println!("=== cold: submit a PLA and a multiplier to a fresh store ===");
+    let (pla_cold, mult_cold) = {
+        let queue = JobQueue::new(&store_dir, config.clone())?;
+        let chip = pla(&fa_v1, "fa_pla")?;
+        let pla_out =
+            rsg::hpla::compactor::compact_chip_served(&queue, chip.rsg.cells(), chip.top)?;
+        let mult = rsg::mult::generator::generate(4, 4)?;
+        let mult_out =
+            rsg::mult::compactor::compact_chip_served(&queue, mult.rsg.cells(), mult.top)?;
+        for (label, out) in [("pla", &pla_out), ("mult", &mult_out)] {
+            println!(
+                "  [{label}] key {} — {} ({} cells, {} constraints)",
+                out.key,
+                if out.from_store {
+                    "store hit"
+                } else {
+                    "solved"
+                },
+                out.result.report.cells,
+                out.result.report.constraints,
+            );
+        }
+        assert!(!pla_out.from_store && !mult_out.from_store);
+        println!("{}", queue.metrics());
+        (pla_out, mult_out)
+    };
+
+    // --- step 2: the warm resubmission ------------------------------------
+    println!("\n=== warm: a new queue over the same store, identical jobs ===");
+    {
+        let queue = JobQueue::new(&store_dir, config.clone())?;
+        let chip = pla(&fa_v1, "fa_pla")?;
+        let pla_out =
+            rsg::hpla::compactor::compact_chip_served(&queue, chip.rsg.cells(), chip.top)?;
+        let mult = rsg::mult::generator::generate(4, 4)?;
+        let mult_out =
+            rsg::mult::compactor::compact_chip_served(&queue, mult.rsg.cells(), mult.top)?;
+        assert!(pla_out.from_store && mult_out.from_store, "warm must hit");
+        assert_eq!(
+            pla_out.metrics.solves, 0,
+            "a warm resubmission must not invoke the solver at all"
+        );
+        assert_eq!(
+            pla_out.result.artifacts[0].cif,
+            pla_cold.result.artifacts[0].cif
+        );
+        assert_eq!(
+            mult_out.result.artifacts[0].cif,
+            mult_cold.result.artifacts[0].cif
+        );
+        println!("  both served from disk: zero solves, byte-identical CIF");
+        println!("{}", queue.metrics());
+    }
+
+    // --- step 3: the edit -------------------------------------------------
+    println!("\n=== edit: one new product term — only the PLA re-solves ===");
+    {
+        let queue = JobQueue::new(&store_dir, config.clone())?;
+        let chip = pla(&fa_v2, "fa_pla")?;
+        let pla_out =
+            rsg::hpla::compactor::compact_chip_served(&queue, chip.rsg.cells(), chip.top)?;
+        let mult = rsg::mult::generator::generate(4, 4)?;
+        let mult_out =
+            rsg::mult::compactor::compact_chip_served(&queue, mult.rsg.cells(), mult.top)?;
+        assert!(!pla_out.from_store, "edited content is a different key");
+        assert!(mult_out.from_store, "untouched content still hits");
+        assert_ne!(pla_out.key, pla_cold.key);
+        println!(
+            "  pla re-solved under key {}, mult served from store",
+            pla_out.key
+        );
+        println!("{}", queue.metrics());
+    }
+
+    // --- step 4: the audit ------------------------------------------------
+    println!("\n=== verify: re-solve a hit and diff it against the store ===");
+    {
+        let mut audit = config;
+        audit.verify = true;
+        let queue = JobQueue::new(&store_dir, audit)?;
+        let mult = rsg::mult::generator::generate(4, 4)?;
+        let out = rsg::mult::compactor::compact_chip_served(&queue, mult.rsg.cells(), mult.top)?;
+        assert!(out.from_store, "a verified hit is still a hit");
+        assert_eq!(out.metrics.verify_mismatches, 0, "the store told the truth");
+        println!(
+            "  {} entry re-solved and matched ({} verified, {} mismatches)",
+            out.key, out.metrics.verified, out.metrics.verify_mismatches
+        );
+    }
+
+    std::fs::remove_dir_all(&store_dir).ok();
+    println!("\nserve demo complete");
+    Ok(())
+}

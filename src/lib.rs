@@ -20,4 +20,5 @@ pub use rsg_hpla as hpla;
 pub use rsg_lang as lang;
 pub use rsg_layout as layout;
 pub use rsg_mult as mult;
+pub use rsg_serve as serve;
 pub use rsg_solve as solve;

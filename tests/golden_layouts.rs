@@ -81,7 +81,7 @@ fn golden_quickstart_row() {
     let flat = rsg::layout::flatten(&table, row).unwrap();
     assert_golden(
         "quickstart_row8_flat.cif",
-        &rsg::layout::write_cif_flat(&flat, "row8_flat"),
+        &rsg::layout::write_cif_flat(&flat, "row8_flat").unwrap(),
     );
 }
 
